@@ -1,0 +1,65 @@
+#ifndef LHMM_BENCH_BENCH_COMMON_H_
+#define LHMM_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lhmm/lhmm_matcher.h"
+#include "lhmm/trainer.h"
+#include "matchers/classic_matchers.h"
+#include "matchers/ivmm.h"
+#include "matchers/seq2seq.h"
+#include "network/grid_index.h"
+#include "sim/dataset.h"
+
+namespace lhmm::bench {
+
+/// One fully prepared benchmark environment: dataset + spatial index.
+struct Env {
+  sim::Dataset ds;
+  std::unique_ptr<network::GridIndex> index;
+
+  const network::RoadNetwork* net() const { return &ds.network; }
+  int num_towers() const { return static_cast<int>(ds.towers.size()); }
+};
+
+/// Builds one of the two paper datasets. `fast` (or env LHMM_BENCH_FAST=1)
+/// shrinks the trajectory counts for quick runs.
+Env MakeEnv(const std::string& which /* "Hangzhou-S" | "Xiamen-S" */,
+            bool fast = false);
+
+/// True when LHMM_BENCH_FAST=1 is set.
+bool FastMode();
+
+/// Trains an LHMM model, or loads it from the on-disk cache
+/// (bench_cache/<dataset>_<tag>.model). The cache makes the per-table bench
+/// binaries independently runnable without retraining shared models.
+std::shared_ptr<lhmm::LhmmModel> GetLhmmModel(const Env& env,
+                                              const lhmm::LhmmConfig& config,
+                                              const std::string& tag);
+
+/// The standard LHMM configuration used across benches.
+lhmm::LhmmConfig DefaultLhmmConfig();
+
+/// Trains (or loads) one of the seq2seq baselines; `maker` is one of
+/// MakeDeepMm / MakeTransformerMm / MakeDmm.
+std::unique_ptr<matchers::Seq2SeqMatcher> GetSeq2Seq(
+    const Env& env,
+    std::unique_ptr<matchers::Seq2SeqMatcher> (*maker)(const network::RoadNetwork*,
+                                                       const network::GridIndex*,
+                                                       int, uint64_t),
+    const std::string& tag);
+
+/// Classic model configurations: the GPS-designed baselines keep their
+/// GPS-era (too narrow) observation scales; the CTMM-tailored ones widen
+/// them — the paper's Table II grouping.
+hmm::ClassicModelConfig GpsModelConfig();
+hmm::ClassicModelConfig CtmmModelConfig();
+
+/// Engine configuration for the classical baselines (k = 45 per V-A2).
+hmm::EngineConfig BaselineEngineConfig();
+
+}  // namespace lhmm::bench
+
+#endif  // LHMM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,125 @@
+// Reproduces Figure 10 (impact of data scale):
+//  (a) CMF50 as a function of the number of historical trajectories
+//      associated with each cell tower (capping per-tower history), and
+//  (b) CMF50 as a function of the total number of training trajectories.
+// Each setting retrains LHMM on the reduced history.
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "core/csv.h"
+#include "core/stopwatch.h"
+#include "core/strings.h"
+#include "eval/evaluator.h"
+#include "eval/report.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): bench driver.
+namespace L = ::lhmm::lhmm;
+
+namespace {
+
+/// Caps the number of training trajectories that interact with any tower:
+/// trajectories are admitted greedily while every tower they touch is below
+/// the cap.
+std::vector<traj::MatchedTrajectory> CapPerTower(
+    const std::vector<traj::MatchedTrajectory>& train, int cap) {
+  std::unordered_map<traj::TowerId, int> count;
+  std::vector<traj::MatchedTrajectory> out;
+  for (const auto& mt : train) {
+    bool admit = false;
+    for (const auto& p : mt.cellular.points) {
+      if (count[p.tower] < cap) {
+        admit = true;
+        break;
+      }
+    }
+    if (!admit) continue;
+    for (const auto& p : mt.cellular.points) ++count[p.tower];
+    out.push_back(mt);
+  }
+  return out;
+}
+
+double EvalCmf(const bench::Env& env, const std::vector<traj::MatchedTrajectory>& train,
+               const std::string& tag, int num_seeds) {
+  L::TrainInputs inputs;
+  inputs.net = env.net();
+  inputs.index = env.index.get();
+  inputs.num_towers = env.num_towers();
+  inputs.train = &train;
+  // Average two training seeds: single-seed retrains at small data scales
+  // are noisy enough to mask the curve.
+  double cmf_sum = 0.0;
+  const int kSeeds = num_seeds;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    L::LhmmConfig cfg = bench::DefaultLhmmConfig();
+    // Keep the number of passes over the data roughly constant across scales
+    // (a fixed step count would under-train the larger settings), while
+    // capping the cost of this many-retrain sweep.
+    const int n_train = static_cast<int>(train.size());
+    cfg.obs_steps = std::clamp(60 + n_train / 3, 80, 260);
+    cfg.trans_steps = std::clamp(40 + n_train / 4, 60, 170);
+    cfg.seed = 1234 + 71 * seed;
+    core::Stopwatch watch;
+    std::shared_ptr<L::LhmmModel> model = L::TrainLhmm(inputs, cfg);
+    fprintf(stderr, "[bench] %s seed %d trained on %zu trajectories in %.1f s\n",
+            tag.c_str(), seed, train.size(), watch.ElapsedSeconds());
+    L::LhmmMatcher matcher(env.net(), env.index.get(), model);
+    traj::FilterConfig filters;
+    cmf_sum +=
+        eval::EvaluateMatcher(&matcher, env.ds.network, env.ds.test, filters).cmf50;
+  }
+  return cmf_sum / kSeeds;
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::create_directories("bench_out");
+  bench::Env env = bench::MakeEnv("Xiamen-S");
+
+  // ---- (a) Per-tower history cap. ----
+  printf("\n=== Fig. 10(a): CMF50 vs trajectories per tower ===\n");
+  eval::TextTable table_a({"per-tower cap", "train size", "CMF50"});
+  core::CsvWriter csv_a("bench_out/fig10a_per_tower.csv");
+  csv_a.AddRow({"cap", "train_size", "cmf50"});
+  for (int cap : {2, 5, 10, 20, 40}) {
+    const auto train = CapPerTower(env.ds.train, cap);
+    // Two seeds: small per-tower caps are the noisiest settings.
+    const double cmf = EvalCmf(env, train, core::StrFormat("cap=%d", cap), 2);
+    table_a.AddRow({core::StrFormat("%d", cap),
+                    core::StrFormat("%zu", train.size()), eval::Fmt(cmf)});
+    csv_a.AddRow({core::StrFormat("%d", cap), core::StrFormat("%zu", train.size()),
+                  eval::Fmt(cmf)});
+  }
+  table_a.Print();
+  (void)csv_a.Flush();
+
+  // ---- (b) Total data scale. ----
+  printf("\n=== Fig. 10(b): CMF50 vs total training trajectories ===\n");
+  eval::TextTable table_b({"fraction", "train size", "CMF50"});
+  core::CsvWriter csv_b("bench_out/fig10b_total.csv");
+  csv_b.AddRow({"fraction", "train_size", "cmf50"});
+  for (double frac : {0.125, 0.25, 0.5, 1.0}) {
+    std::vector<traj::MatchedTrajectory> train(
+        env.ds.train.begin(),
+        env.ds.train.begin() +
+            static_cast<size_t>(frac * static_cast<double>(env.ds.train.size())));
+    const double cmf = EvalCmf(env, train, core::StrFormat("frac=%.3f", frac), 1);
+    table_b.AddRow({eval::Fmt(frac, 3), core::StrFormat("%zu", train.size()),
+                    eval::Fmt(cmf)});
+    csv_b.AddRow({eval::Fmt(frac, 3), core::StrFormat("%zu", train.size()),
+                  eval::Fmt(cmf)});
+  }
+  table_b.Print();
+  (void)csv_b.Flush();
+
+  printf(
+      "\nPaper shapes: accuracy improves with per-tower history and saturates\n"
+      "around ~20 associated trajectories; more total training data keeps\n"
+      "helping as more of the city gets covered.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Reproduces Figure 7 (robustness): (a) accuracy by distance from the city
+// center (5 levels, urban -> rural) and (b) accuracy by cellular sampling
+// rate (0.2 - 1.4 samples/minute), for LHMM, DMM, and STM on Hangzhou-S.
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/csv.h"
+#include "core/strings.h"
+#include "eval/evaluator.h"
+#include "eval/report.h"
+#include "traj/filters.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): bench driver.
+namespace L = ::lhmm::lhmm;
+
+namespace {
+
+/// CMF50 of one matcher over a trajectory subset.
+double MeanCmf(matchers::MapMatcher* matcher, const bench::Env& env,
+               const std::vector<traj::MatchedTrajectory>& subset) {
+  traj::FilterConfig filters;
+  const eval::EvalSummary s =
+      eval::EvaluateMatcher(matcher, env.ds.network, subset, filters);
+  return s.cmf50;
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::create_directories("bench_out");
+  bench::Env env = bench::MakeEnv("Hangzhou-S");
+
+  std::shared_ptr<L::LhmmModel> model =
+      bench::GetLhmmModel(env, bench::DefaultLhmmConfig(), "lhmm");
+  L::LhmmMatcher lhmm_matcher(env.net(), env.index.get(), model);
+  std::unique_ptr<matchers::Seq2SeqMatcher> dmm =
+      bench::GetSeq2Seq(env, &matchers::MakeDmm, "dmm");
+  matchers::StmMatcher stm(env.net(), env.index.get(), bench::GpsModelConfig(),
+                           bench::BaselineEngineConfig());
+  std::vector<matchers::MapMatcher*> all = {&lhmm_matcher, dmm.get(), &stm};
+
+  // ---- (a) Distance to city center, 5 levels. ----
+  printf("\n=== Fig. 7(a): CMF50 by distance-to-center level ===\n");
+  std::vector<double> radii;
+  for (const auto& mt : env.ds.test) {
+    radii.push_back(sim::CentroidRadius(env.ds.network, mt));
+  }
+  std::vector<double> sorted = radii;
+  std::sort(sorted.begin(), sorted.end());
+  eval::TextTable table_a({"level (urban->rural)", "LHMM", "DMM", "STM", "n"});
+  core::CsvWriter csv_a("bench_out/fig7a_area.csv");
+  csv_a.AddRow({"level", "lhmm_cmf50", "dmm_cmf50", "stm_cmf50", "n"});
+  for (int level = 0; level < 5; ++level) {
+    const double lo = sorted[level * (sorted.size() - 1) / 5];
+    const double hi = sorted[(level + 1) * (sorted.size() - 1) / 5];
+    std::vector<traj::MatchedTrajectory> subset;
+    for (size_t i = 0; i < env.ds.test.size(); ++i) {
+      const bool last = level == 4;
+      if (radii[i] >= lo && (radii[i] < hi || (last && radii[i] <= hi))) {
+        subset.push_back(env.ds.test[i]);
+      }
+    }
+    if (subset.empty()) continue;
+    std::vector<std::string> row = {core::StrFormat("L%d", level + 1)};
+    std::vector<std::string> csv_row = {core::StrFormat("%d", level + 1)};
+    for (matchers::MapMatcher* m : all) {
+      const double cmf = MeanCmf(m, env, subset);
+      row.push_back(eval::Fmt(cmf));
+      csv_row.push_back(eval::Fmt(cmf));
+    }
+    row.push_back(core::StrFormat("%zu", subset.size()));
+    csv_row.push_back(core::StrFormat("%zu", subset.size()));
+    table_a.AddRow(row);
+    csv_a.AddRow(csv_row);
+    fprintf(stderr, "[bench] area level %d done\n", level + 1);
+  }
+  table_a.Print();
+  (void)csv_a.Flush();
+
+  // ---- (b) Sampling rate sweep. ----
+  printf("\n=== Fig. 7(b): CMF50 by sampling rate ===\n");
+  // Our time axis is compressed ~4x relative to the paper's datasets
+  // (16 s vs 67 s mean interval), so the paper's 0.2-1.4 samples/minute
+  // sweep maps to 4x those rates here; rows are labeled with the
+  // paper-equivalent rate.
+  constexpr double kTimeCompression = 4.0;
+  eval::TextTable table_b({"paper-equiv rate", "LHMM", "DMM", "STM"});
+  core::CsvWriter csv_b("bench_out/fig7b_rate.csv");
+  csv_b.AddRow({"paper_equiv_rate_per_min", "lhmm_cmf50", "dmm_cmf50",
+                "stm_cmf50"});
+  for (double paper_rate : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4}) {
+    const double rate = kTimeCompression * paper_rate;
+    std::vector<traj::MatchedTrajectory> resampled = env.ds.test;
+    for (auto& mt : resampled) {
+      mt.cellular = traj::Resample(mt.cellular, rate);
+    }
+    std::vector<std::string> row = {eval::Fmt(paper_rate, 1)};
+    std::vector<std::string> csv_row = {eval::Fmt(paper_rate, 1)};
+    for (matchers::MapMatcher* m : all) {
+      const double cmf = MeanCmf(m, env, resampled);
+      row.push_back(eval::Fmt(cmf));
+      csv_row.push_back(eval::Fmt(cmf));
+    }
+    table_b.AddRow(row);
+    csv_b.AddRow(csv_row);
+    fprintf(stderr, "[bench] rate %.1f done\n", paper_rate);
+  }
+  table_b.Print();
+  (void)csv_b.Flush();
+
+  printf(
+      "\nPaper shapes: LHMM stays flattest across both sweeps; DMM degrades\n"
+      "sharply in rural areas (sparse history) and at low sampling rates;\n"
+      "STM degrades steadily as sampling thins.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels under the
+// map-matching pipeline: spatial index queries, bounded Dijkstra, the HMM
+// engine end to end, attention/MLP inference, and Het-Graph encoder forward.
+
+#include <benchmark/benchmark.h>
+
+#include "core/strings.h"
+
+#include <memory>
+
+#include "hmm/classic_models.h"
+#include "hmm/engine.h"
+#include "lhmm/het_encoder.h"
+#include "lhmm/mr_graph.h"
+#include "network/generators.h"
+#include "network/grid_index.h"
+#include "network/path_cache.h"
+#include "network/shortest_path.h"
+#include "nn/modules.h"
+#include "sim/dataset.h"
+#include "traj/filters.h"
+
+namespace lhmm {
+namespace {
+
+/// Shared fixture state, built once.
+struct MicroEnv {
+  sim::Dataset ds;
+  std::unique_ptr<network::GridIndex> index;
+
+  MicroEnv() {
+    sim::DatasetConfig cfg = sim::XiamenSPreset();
+    cfg.num_train = 30;
+    cfg.num_val = 5;
+    cfg.num_test = 30;
+    ds = sim::BuildDataset(cfg);
+    index = std::make_unique<network::GridIndex>(&ds.network, 300.0);
+  }
+};
+
+MicroEnv& Env() {
+  static MicroEnv* env = new MicroEnv();
+  return *env;
+}
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  MicroEnv& env = Env();
+  core::Rng rng(1);
+  const geo::BBox& b = env.ds.network.Bounds();
+  for (auto _ : state) {
+    const geo::Point p{rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)};
+    benchmark::DoNotOptimize(env.index->Query(p, state.range(0)));
+  }
+}
+BENCHMARK(BM_GridIndexQuery)->Arg(500)->Arg(1500)->Arg(2500);
+
+void BM_GridIndexNearest(benchmark::State& state) {
+  MicroEnv& env = Env();
+  core::Rng rng(2);
+  const geo::BBox& b = env.ds.network.Bounds();
+  for (auto _ : state) {
+    const geo::Point p{rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)};
+    benchmark::DoNotOptimize(env.index->Nearest(p, state.range(0)));
+  }
+}
+BENCHMARK(BM_GridIndexNearest)->Arg(30)->Arg(100);
+
+void BM_BoundedDijkstra(benchmark::State& state) {
+  MicroEnv& env = Env();
+  network::SegmentRouter router(&env.ds.network);
+  core::Rng rng(3);
+  const int n = env.ds.network.num_segments();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        router.Route1(rng.UniformInt(n), rng.UniformInt(n), state.range(0)));
+  }
+}
+BENCHMARK(BM_BoundedDijkstra)->Arg(2000)->Arg(6000);
+
+void BM_RouteMany45(benchmark::State& state) {
+  MicroEnv& env = Env();
+  network::SegmentRouter router(&env.ds.network);
+  core::Rng rng(4);
+  const int n = env.ds.network.num_segments();
+  std::vector<network::SegmentId> targets(45);
+  for (auto& t : targets) t = rng.UniformInt(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.RouteMany(rng.UniformInt(n), targets, 4000.0));
+  }
+}
+BENCHMARK(BM_RouteMany45);
+
+void BM_HmmEngineMatch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  hmm::ClassicModelConfig models;
+  hmm::EngineConfig config;
+  config.k = static_cast<int>(state.range(0));
+  hmm::GaussianObservationModel obs(env.index.get(), models);
+  hmm::ClassicTransitionModel trans(models, &env.ds.network);
+  network::SegmentRouter router(&env.ds.network);
+  network::CachedRouter cached(&router);
+  hmm::Engine engine(&env.ds.network, &cached, &obs, &trans, config);
+  traj::FilterConfig filters;
+  std::vector<traj::Trajectory> cleaned;
+  for (const auto& mt : env.ds.test) {
+    cleaned.push_back(
+        traj::DeduplicateTowers(traj::PreprocessCellular(mt.cellular, filters)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Match(cleaned[i]));
+    i = (i + 1) % cleaned.size();
+  }
+}
+BENCHMARK(BM_HmmEngineMatch)->Arg(15)->Arg(30)->Arg(45)->Unit(benchmark::kMillisecond);
+
+void BM_AttentionForward(benchmark::State& state) {
+  core::Rng rng(5);
+  nn::AdditiveAttention attn(48, 48, 48, &rng);
+  const nn::Matrix keys = nn::Matrix::Gaussian(static_cast<int>(state.range(0)),
+                                               48, 1.0f, &rng);
+  const nn::Matrix query = nn::Matrix::Gaussian(1, 48, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(query, keys, keys));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MlpBatchForward(benchmark::State& state) {
+  core::Rng rng(6);
+  nn::Mlp mlp({96, 48, 2}, &rng);
+  const nn::Matrix x = nn::Matrix::Gaussian(static_cast<int>(state.range(0)), 96,
+                                            1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x));
+  }
+}
+BENCHMARK(BM_MlpBatchForward)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_HetEncoderForward(benchmark::State& state) {
+  MicroEnv& env = Env();
+  traj::FilterConfig filters;
+  std::vector<traj::Trajectory> cleaned;
+  for (const auto& mt : env.ds.train) {
+    cleaned.push_back(
+        traj::DeduplicateTowers(traj::PreprocessCellular(mt.cellular, filters)));
+  }
+  lhmm::MultiRelationalGraph graph = lhmm::BuildGraph(
+      env.ds.network, static_cast<int>(env.ds.towers.size()), env.ds.train, cleaned);
+  core::Rng rng(7);
+  lhmm::EncoderConfig cfg;
+  cfg.dim = static_cast<int>(state.range(0));
+  lhmm::HetGraphEncoder encoder(&graph, cfg, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.ForwardNoGrad());
+  }
+  state.SetLabel(core::StrFormat("|V|=%d", graph.num_nodes()));
+}
+BENCHMARK(BM_HetEncoderForward)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lhmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Reproduces Table I (dataset characteristics) for the two synthetic
+// datasets, side by side with the paper's reported values for the real
+// Hangzhou/Xiamen data. Our datasets are ~1/3 spatial scale with a
+// correspondingly compressed time axis; the error-to-sampling-distance
+// ratios — what actually sets CTMM difficulty — are preserved.
+
+#include "bench/bench_common.h"
+#include "eval/report.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): bench driver.
+
+int main() {
+  eval::TextTable table({"category", "Hangzhou-S (ours)", "Hangzhou (paper)",
+                         "Xiamen-S (ours)", "Xiamen (paper)"});
+
+  bench::Env hz = bench::MakeEnv("Hangzhou-S");
+  bench::Env xm = bench::MakeEnv("Xiamen-S");
+  const sim::DatasetStats h = hz.ds.ComputeStats();
+  const sim::DatasetStats x = xm.ds.ComputeStats();
+
+  auto num = [](double v, int digits = 0) { return eval::Fmt(v, digits); };
+  table.AddRow({"road segments", num(h.road_segments), "92,913",
+                num(x.road_segments), "64,828"});
+  table.AddRow({"intersections", num(h.intersections), "67,330",
+                num(x.intersections), "37,591"});
+  table.AddRow({"cell towers", num(h.num_towers), "n/a", num(x.num_towers),
+                "n/a"});
+  table.AddRow({"cellular trajectory points",
+                num(static_cast<double>(h.cellular_points)), "3.61 million",
+                num(static_cast<double>(x.cellular_points)), "1.18 million"});
+  table.AddRow({"GPS trajectory points",
+                num(static_cast<double>(h.gps_points)), "9.73 million",
+                num(static_cast<double>(x.gps_points)), "4.98 million"});
+  table.AddRow({"cellular points per trajectory", num(h.cellular_points_per_traj, 1),
+                "34", num(x.cellular_points_per_traj, 1), "40"});
+  table.AddRow({"GPS points per trajectory", num(h.gps_points_per_traj, 1), "81",
+                num(x.gps_points_per_traj, 1), "88"});
+  table.AddRow({"avg cellular sampling interval (s)", num(h.avg_cell_interval_s, 1),
+                "67", num(x.avg_cell_interval_s, 1), "42"});
+  table.AddRow({"max cellular sampling interval (s)", num(h.max_cell_interval_s, 1),
+                "247", num(x.max_cell_interval_s, 1), "185"});
+  table.AddRow({"avg cellular sampling distance (m)",
+                num(h.avg_cell_sampling_dist_m, 1), "730",
+                num(x.avg_cell_sampling_dist_m, 1), "650"});
+  table.AddRow({"median cellular sampling distance (m)",
+                num(h.median_cell_sampling_dist_m, 1), "493",
+                num(x.median_cell_sampling_dist_m, 1), "455"});
+  table.AddRow({"mean positioning error (m)", num(h.mean_positioning_error_m, 1),
+                "0.1-3 km range", num(x.mean_positioning_error_m, 1),
+                "0.1-3 km range"});
+  table.AddRow({"p90 positioning error (m)", num(h.p90_positioning_error_m, 1), "-",
+                num(x.p90_positioning_error_m, 1), "-"});
+
+  printf("\n=== Table I (dataset characteristics) ===\n");
+  table.Print();
+  printf(
+      "\nKey preserved ratios: positioning error / sampling distance ~ 2-3x\n"
+      "(paper: 730 m hops vs 0.1-3 km errors), urban core denser than\n"
+      "suburbs, cellular ~4-8x sparser than GPS.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Compares several classical HMM map-matchers on a synthetic cellular
+// dataset. This example exercises the simulator, the shared HMM engine, and
+// the evaluation metrics without any learned components; see quickstart.cpp
+// for the LHMM workflow.
+//
+// Usage: compare_matchers [num_test_trajectories]
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "eval/report.h"
+#include "matchers/classic_matchers.h"
+#include "network/grid_index.h"
+#include "sim/dataset.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): example code.
+
+int main(int argc, char** argv) {
+  int num_test = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  // A scaled-down city keeps this example fast; presets in sim/dataset.h give
+  // the full benchmark configuration.
+  sim::DatasetConfig cfg = sim::XiamenSPreset();
+  cfg.num_train = 10;
+  cfg.num_val = 5;
+  cfg.num_test = num_test;
+  printf("Building dataset %s ...\n", cfg.name.c_str());
+  sim::Dataset ds = sim::BuildDataset(cfg);
+  const sim::DatasetStats stats = ds.ComputeStats();
+  printf("  %d segments, %d nodes, %d towers, mean positioning error %.0f m\n",
+         stats.road_segments, stats.intersections, stats.num_towers,
+         stats.mean_positioning_error_m);
+
+  network::GridIndex index(&ds.network, 300.0);
+  hmm::ClassicModelConfig models;
+  hmm::EngineConfig engine;
+  engine.k = 45;
+
+  std::vector<std::unique_ptr<matchers::MapMatcher>> all;
+  all.push_back(
+      std::make_unique<matchers::StmMatcher>(&ds.network, &index, models, engine));
+  all.push_back(
+      std::make_unique<matchers::McmMatcher>(&ds.network, &index, models, engine));
+  all.push_back(
+      std::make_unique<matchers::ThmmMatcher>(&ds.network, &index, models, engine));
+  hmm::EngineConfig with_shortcut = engine;
+  with_shortcut.use_shortcuts = true;
+  all.push_back(std::make_unique<matchers::StmMatcher>(&ds.network, &index, models,
+                                                       with_shortcut));
+
+  traj::FilterConfig filters;
+  eval::TextTable table(
+      {"matcher", "precision", "recall", "RMF", "CMF50", "HR", "avg time (s)"});
+  for (auto& matcher : all) {
+    const eval::EvalSummary s =
+        eval::EvaluateMatcher(matcher.get(), ds.network, ds.test, filters);
+    table.AddRow({s.matcher, eval::Fmt(s.precision), eval::Fmt(s.recall),
+                  eval::Fmt(s.rmf), eval::Fmt(s.cmf50), eval::Fmt(s.hitting_ratio),
+                  eval::Fmt(s.avg_time_s, 4)});
+    printf("  %s done (%lld shortcut improvements)\n", s.matcher.c_str(),
+           static_cast<long long>(
+               static_cast<matchers::HmmMatcherBase*>(matcher.get())
+                   ->engine()
+                   ->shortcuts_applied()));
+  }
+  printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Real-time vehicle tracking: streams cellular points through the fixed-lag
+// OnlineMatcher (the paper's security-tracking application, Section I),
+// using LHMM's learned probabilities, and reports per-update latency and
+// the accuracy cost of bounded decision delay versus offline matching.
+//
+// Usage: realtime_tracking [num_train] [num_streams] [lag]
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "core/stopwatch.h"
+#include "core/strings.h"
+#include "eval/evaluator.h"
+#include "eval/report.h"
+#include "hmm/online.h"
+#include "lhmm/lhmm_matcher.h"
+#include "lhmm/trainer.h"
+#include "network/grid_index.h"
+#include "sim/dataset.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): example code.
+namespace L = ::lhmm::lhmm;
+
+int main(int argc, char** argv) {
+  const int num_train = argc > 1 ? std::atoi(argv[1]) : 250;
+  const int num_streams = argc > 2 ? std::atoi(argv[2]) : 40;
+  const int lag = argc > 3 ? std::atoi(argv[3]) : 6;
+
+  sim::DatasetConfig cfg = sim::XiamenSPreset();
+  cfg.num_train = num_train;
+  cfg.num_val = 10;
+  cfg.num_test = num_streams;
+  printf("Preparing %s and training LHMM...\n", cfg.name.c_str());
+  sim::Dataset ds = sim::BuildDataset(cfg);
+  network::GridIndex index(&ds.network, 300.0);
+
+  L::TrainInputs inputs;
+  inputs.net = &ds.network;
+  inputs.index = &index;
+  inputs.num_towers = static_cast<int>(ds.towers.size());
+  inputs.train = &ds.train;
+  std::shared_ptr<L::LhmmModel> model = L::TrainLhmm(inputs, L::LhmmConfig{});
+
+  // Offline reference matcher, and the streaming pipeline sharing the same
+  // learned models via the matcher's internal state.
+  L::LhmmMatcher offline(&ds.network, &index, model);
+
+  traj::FilterConfig filters;
+  double online_precision = 0.0;
+  double offline_precision = 0.0;
+  double worst_latency_ms = 0.0;
+  double total_latency_ms = 0.0;
+  int total_pushes = 0;
+
+  for (const auto& mt : ds.test) {
+    const traj::Trajectory t = eval::Preprocess(mt.cellular, filters);
+    if (t.size() < 3) continue;
+
+    // Offline result.
+    const matchers::MatchResult off = offline.Match(t);
+    offline_precision +=
+        eval::ComputePathMetrics(ds.network, off.path, mt.truth_path).precision;
+
+    // Streaming: a fresh online matcher per vehicle, reusing the shared
+    // learned models through a private engine-compatible adapter. We reuse
+    // the offline matcher's models by matching through its observation and
+    // transition interfaces: the LhmmMatcher exposes them via its engine.
+    network::SegmentRouter router(&ds.network);
+    network::CachedRouter cached(&router);
+    hmm::OnlineConfig online_cfg;
+    online_cfg.k = model->config.k;
+    online_cfg.lag = lag;
+    // The online matcher drives the same model objects the engine uses; the
+    // matcher's BeginTrajectory hooks rebuild per-window state each push.
+    hmm::OnlineMatcher online(&ds.network, &cached,
+                              offline.engine()->observation_model(),
+                              offline.engine()->transition_model(), online_cfg);
+    for (const auto& p : t.points) {
+      core::Stopwatch watch;
+      online.Push(p);
+      const double ms = watch.ElapsedMillis();
+      worst_latency_ms = std::max(worst_latency_ms, ms);
+      total_latency_ms += ms;
+      ++total_pushes;
+    }
+    online.Finish();
+    online_precision +=
+        eval::ComputePathMetrics(ds.network, online.committed(), mt.truth_path)
+            .precision;
+  }
+
+  const double n = static_cast<double>(ds.test.size());
+  printf("\n=== Real-time tracking with lag=%d ===\n", lag);
+  eval::TextTable table({"mode", "precision"});
+  table.AddRow({"offline Viterbi", eval::Fmt(offline_precision / n)});
+  table.AddRow({core::StrFormat("online (lag %d)", lag),
+                eval::Fmt(online_precision / n)});
+  table.Print();
+  printf(
+      "\nStreaming latency: mean %.2f ms / update, worst %.2f ms over %d\n"
+      "updates — each cellular ping advances the committed path with a\n"
+      "decision delay of %d samples.\n",
+      total_latency_ms / std::max(1, total_pushes), worst_latency_ms,
+      total_pushes, lag);
+  return 0;
+}

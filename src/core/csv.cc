@@ -1,0 +1,83 @@
+#include "core/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lhmm::core {
+
+namespace {
+std::string EscapeField(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void CsvWriter::AddRow(const std::vector<std::string>& fields) {
+  std::string row;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) row += ',';
+    row += EscapeField(fields[i]);
+  }
+  rows_.push_back(std::move(row));
+}
+
+Status CsvWriter::Flush() const {
+  std::ofstream out(path_);
+  if (!out.is_open()) return Status::IoError("cannot open " + path_);
+  for (const auto& row : rows_) out << row << "\n";
+  if (!out.good()) return Status::IoError("write failed for " + path_);
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field += c;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    fields.push_back(std::move(field));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace lhmm::core

@@ -1,0 +1,33 @@
+#ifndef LHMM_CORE_CSV_H_
+#define LHMM_CORE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lhmm::core {
+
+/// Minimal CSV writer used by benches to dump series for external plotting.
+/// Fields containing the separator or quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Appends one row; values are escaped as needed.
+  void AddRow(const std::vector<std::string>& fields);
+
+  /// Writes all buffered rows to the file, replacing existing content.
+  Status Flush() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
+/// Reads a whole CSV file into rows of fields. Handles quoted fields.
+Result<std::vector<std::vector<std::string>>> ReadCsv(const std::string& path);
+
+}  // namespace lhmm::core
+
+#endif  // LHMM_CORE_CSV_H_

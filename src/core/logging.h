@@ -1,0 +1,61 @@
+#ifndef LHMM_CORE_LOGGING_H_
+#define LHMM_CORE_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lhmm::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Returns the process-wide minimum level below which log lines are dropped.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum log level (default: kInfo).
+void SetMinLogLevel(LogLevel level);
+
+/// One log line under construction. The destructor flushes to stderr if the
+/// line's level passes the filter; fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lhmm::core
+
+#define LHMM_LOG_AT(level) \
+  ::lhmm::core::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG LHMM_LOG_AT(::lhmm::core::LogLevel::kDebug)
+#define LOG_INFO LHMM_LOG_AT(::lhmm::core::LogLevel::kInfo)
+#define LOG_WARNING LHMM_LOG_AT(::lhmm::core::LogLevel::kWarning)
+#define LOG_ERROR LHMM_LOG_AT(::lhmm::core::LogLevel::kError)
+#define LOG_FATAL LHMM_LOG_AT(::lhmm::core::LogLevel::kFatal)
+
+/// Fatal assertion on invariants. Active in all build types: map-matching
+/// results are silently wrong when these fire, so we always pay the check.
+#define CHECK(cond)                                          \
+  if (!(cond))                                               \
+  LHMM_LOG_AT(::lhmm::core::LogLevel::kFatal)                \
+      << "CHECK failed: " #cond " "
+
+#define CHECK_OP(a, b, op) CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#endif  // LHMM_CORE_LOGGING_H_

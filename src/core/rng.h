@@ -1,0 +1,70 @@
+#ifndef LHMM_CORE_RNG_H_
+#define LHMM_CORE_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lhmm::core {
+
+/// Deterministic pseudo-random generator (xoshiro256**) used everywhere in the
+/// library so that simulators, training, and benches are reproducible from a
+/// single seed. Not thread safe; create one per thread of work.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). `n` must be positive.
+  int UniformInt(int n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with the given rate parameter lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (small means only).
+  int Poisson(double mean);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be >= 0 and at least one positive.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent generator (for sub-tasks) from this one.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace lhmm::core
+
+#endif  // LHMM_CORE_RNG_H_

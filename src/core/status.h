@@ -1,0 +1,125 @@
+#ifndef LHMM_CORE_STATUS_H_
+#define LHMM_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lhmm::core {
+
+/// Error categories used across the library. Mirrors the usual database-engine
+/// Status idiom (the project does not use exceptions).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result for fallible operations.
+///
+/// Functions that can fail for reasons a caller should handle return `Status`
+/// (or `Result<T>`); programming errors are reported with CHECK macros instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// Accessing `value()` on an error result is a fatal programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return value;` / `return Status::NotFound(...)`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+namespace internal_status {
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal_status
+
+/// Propagates a non-OK Status from the current function.
+#define LHMM_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::lhmm::core::Status lhmm_status_ = (expr);     \
+    if (!lhmm_status_.ok()) return lhmm_status_;    \
+  } while (false)
+
+/// Fatal check that a Status or Result<T> is OK (requires core/logging.h).
+#define CHECK_OK(expr)                                                        \
+  do {                                                                        \
+    const auto& lhmm_chk_ = (expr);                                           \
+    CHECK(lhmm_chk_.ok()) << ::lhmm::core::internal_status::ToStatus(lhmm_chk_) \
+                                 .ToString();                                 \
+  } while (false)
+
+}  // namespace lhmm::core
+
+#endif  // LHMM_CORE_STATUS_H_

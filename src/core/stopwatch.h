@@ -1,0 +1,31 @@
+#ifndef LHMM_CORE_STOPWATCH_H_
+#define LHMM_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lhmm::core {
+
+/// Wall-clock stopwatch used by the evaluator to report average matching time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lhmm::core
+
+#endif  // LHMM_CORE_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#ifndef LHMM_CORE_STRINGS_H_
+#define LHMM_CORE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lhmm::core {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view text);
+
+/// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses an int; returns false on malformed input.
+bool ParseInt(std::string_view text, int* out);
+
+}  // namespace lhmm::core
+
+#endif  // LHMM_CORE_STRINGS_H_

@@ -1,0 +1,82 @@
+#include "eval/error_analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.h"
+#include "eval/report.h"
+
+namespace lhmm::eval {
+
+std::vector<Bucket> BucketByAttribute(const std::vector<double>& attribute,
+                                      const std::vector<TrajectoryEval>& records,
+                                      int num_buckets) {
+  CHECK_EQ(attribute.size(), records.size());
+  CHECK_GE(num_buckets, 1);
+  std::vector<Bucket> out;
+  if (records.empty()) return out;
+
+  std::vector<int> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return attribute[a] < attribute[b]; });
+
+  const int n = static_cast<int>(records.size());
+  for (int b = 0; b < num_buckets; ++b) {
+    const int begin = b * n / num_buckets;
+    const int end = (b + 1) * n / num_buckets;
+    if (begin >= end) continue;
+    Bucket bucket;
+    bucket.lo = attribute[order[begin]];
+    bucket.hi = attribute[order[end - 1]];
+    bucket.n = end - begin;
+    for (int i = begin; i < end; ++i) {
+      const TrajectoryEval& r = records[order[i]];
+      bucket.precision += r.metrics.precision;
+      bucket.recall += r.metrics.recall;
+      bucket.rmf += r.metrics.rmf;
+      bucket.cmf += r.metrics.cmf;
+      bucket.hitting_ratio += r.hitting_ratio;
+    }
+    const double count = static_cast<double>(bucket.n);
+    bucket.precision /= count;
+    bucket.recall /= count;
+    bucket.rmf /= count;
+    bucket.cmf /= count;
+    bucket.hitting_ratio /= count;
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+double MeanPositioningError(const traj::MatchedTrajectory& mt) {
+  if (mt.cellular.empty() || mt.gps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const traj::TrajPoint& p : mt.cellular.points) {
+    sum += geo::Distance(p.pos, traj::TruePositionAt(mt, p.t));
+  }
+  return sum / static_cast<double>(mt.cellular.size());
+}
+
+double MeanSamplingGap(const traj::MatchedTrajectory& mt) {
+  return mt.cellular.MeanSamplingIntervalSeconds();
+}
+
+double TruthLength(const network::RoadNetwork& net,
+                   const traj::MatchedTrajectory& mt) {
+  return network::PathLength(net, mt.truth_path);
+}
+
+std::string BucketTable(const std::vector<Bucket>& buckets,
+                        const std::string& attribute_label) {
+  TextTable table({attribute_label, "n", "precision", "recall", "RMF", "CMF50",
+                   "HR"});
+  for (const Bucket& b : buckets) {
+    table.AddRow({Fmt(b.lo, 0) + " - " + Fmt(b.hi, 0),
+                  Fmt(static_cast<double>(b.n), 0), Fmt(b.precision),
+                  Fmt(b.recall), Fmt(b.rmf), Fmt(b.cmf), Fmt(b.hitting_ratio)});
+  }
+  return table.ToString();
+}
+
+}  // namespace lhmm::eval

@@ -1,0 +1,49 @@
+#ifndef LHMM_EVAL_ERROR_ANALYSIS_H_
+#define LHMM_EVAL_ERROR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::eval {
+
+/// One quantile bucket of an error-analysis sweep.
+struct Bucket {
+  double lo = 0.0;         ///< Attribute range covered by the bucket.
+  double hi = 0.0;
+  int n = 0;               ///< Trajectories in the bucket.
+  double precision = 0.0;  ///< Macro-averaged metrics within the bucket.
+  double recall = 0.0;
+  double rmf = 0.0;
+  double cmf = 0.0;
+  double hitting_ratio = 0.0;
+};
+
+/// Buckets per-trajectory evaluation records by an attribute (one value per
+/// trajectory, parallel to `records`) into `num_buckets` equal-count
+/// quantiles, macro-averaging the metrics per bucket. The generalization of
+/// the paper's Fig. 7(a) bucketing to arbitrary attributes.
+std::vector<Bucket> BucketByAttribute(const std::vector<double>& attribute,
+                                      const std::vector<TrajectoryEval>& records,
+                                      int num_buckets);
+
+/// Per-trajectory attribute: mean positioning error (tower position vs the
+/// co-recorded GPS position at each cellular sample).
+double MeanPositioningError(const traj::MatchedTrajectory& mt);
+
+/// Per-trajectory attribute: mean time gap between cellular samples.
+double MeanSamplingGap(const traj::MatchedTrajectory& mt);
+
+/// Per-trajectory attribute: route length of the ground truth path.
+double TruthLength(const network::RoadNetwork& net,
+                   const traj::MatchedTrajectory& mt);
+
+/// Renders buckets as a text table with the given attribute label.
+std::string BucketTable(const std::vector<Bucket>& buckets,
+                        const std::string& attribute_label);
+
+}  // namespace lhmm::eval
+
+#endif  // LHMM_EVAL_ERROR_ANALYSIS_H_

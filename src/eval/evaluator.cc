@@ -1,0 +1,73 @@
+#include "eval/evaluator.h"
+
+#include "core/stopwatch.h"
+
+namespace lhmm::eval {
+
+traj::Trajectory Preprocess(const traj::Trajectory& raw,
+                            const traj::FilterConfig& config) {
+  traj::Trajectory t = traj::PreprocessCellular(raw, config);
+  return traj::DeduplicateTowers(t);
+}
+
+std::vector<TrajectoryEval> EvaluatePerTrajectory(
+    matchers::MapMatcher* matcher, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, double corridor_radius) {
+  std::vector<TrajectoryEval> out;
+  out.reserve(split.size());
+  for (size_t i = 0; i < split.size(); ++i) {
+    const traj::MatchedTrajectory& mt = split[i];
+    const traj::Trajectory cleaned = Preprocess(mt.cellular, filter_config);
+    core::Stopwatch watch;
+    const matchers::MatchResult result = matcher->Match(cleaned);
+    TrajectoryEval rec;
+    rec.index = static_cast<int>(i);
+    rec.time_s = watch.ElapsedSeconds();
+    rec.metrics =
+        ComputePathMetrics(net, result.path, mt.truth_path, corridor_radius);
+    if (matcher->ProvidesCandidates()) {
+      rec.hitting_ratio = HittingRatio(result.candidates, result.point_index,
+                                       cleaned.size(), mt.truth_path);
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
+                      const std::string& matcher_name, bool has_hr) {
+  EvalSummary s;
+  s.matcher = matcher_name;
+  s.num_trajectories = static_cast<int>(records.size());
+  s.has_hr = has_hr;
+  if (records.empty()) return s;
+  for (const TrajectoryEval& r : records) {
+    s.precision += r.metrics.precision;
+    s.recall += r.metrics.recall;
+    s.rmf += r.metrics.rmf;
+    s.cmf50 += r.metrics.cmf;
+    s.hitting_ratio += r.hitting_ratio;
+    s.avg_time_s += r.time_s;
+  }
+  const double n = static_cast<double>(records.size());
+  s.precision /= n;
+  s.recall /= n;
+  s.rmf /= n;
+  s.cmf50 /= n;
+  s.hitting_ratio /= n;
+  s.avg_time_s /= n;
+  return s;
+}
+
+EvalSummary EvaluateMatcher(matchers::MapMatcher* matcher,
+                            const network::RoadNetwork& net,
+                            const std::vector<traj::MatchedTrajectory>& split,
+                            const traj::FilterConfig& filter_config,
+                            double corridor_radius) {
+  return Summarize(EvaluatePerTrajectory(matcher, net, split, filter_config,
+                                         corridor_radius),
+                   matcher->name(), matcher->ProvidesCandidates());
+}
+
+}  // namespace lhmm::eval

@@ -1,0 +1,61 @@
+#ifndef LHMM_EVAL_EVALUATOR_H_
+#define LHMM_EVAL_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "matchers/matcher.h"
+#include "traj/filters.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::eval {
+
+/// Aggregated (macro-averaged) evaluation of one matcher over one split.
+struct EvalSummary {
+  std::string matcher;
+  int num_trajectories = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double rmf = 0.0;
+  double cmf50 = 0.0;
+  double hitting_ratio = 0.0;  ///< Only meaningful when has_hr.
+  bool has_hr = false;
+  double avg_time_s = 0.0;  ///< Mean wall-clock matching time per trajectory.
+};
+
+/// Applies the paper's preprocessing to a raw cellular trajectory: SnapNet
+/// filters followed by consecutive-tower deduplication.
+traj::Trajectory Preprocess(const traj::Trajectory& raw,
+                            const traj::FilterConfig& config);
+
+/// Runs a matcher over a split of matched trajectories and macro-averages the
+/// metrics. `corridor_radius` sets the CMF corridor (50 m for CMF50).
+EvalSummary EvaluateMatcher(matchers::MapMatcher* matcher,
+                            const network::RoadNetwork& net,
+                            const std::vector<traj::MatchedTrajectory>& split,
+                            const traj::FilterConfig& filter_config,
+                            double corridor_radius = 50.0);
+
+/// Per-trajectory evaluation record, for robustness bucketing (Fig. 7) and
+/// case studies (Fig. 11).
+struct TrajectoryEval {
+  int index = 0;
+  PathMetrics metrics;
+  double hitting_ratio = 0.0;
+  double time_s = 0.0;
+};
+
+/// Like EvaluateMatcher but returns every per-trajectory record.
+std::vector<TrajectoryEval> EvaluatePerTrajectory(
+    matchers::MapMatcher* matcher, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, double corridor_radius = 50.0);
+
+/// Macro-averages per-trajectory records into a summary.
+EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
+                      const std::string& matcher_name, bool has_hr);
+
+}  // namespace lhmm::eval
+
+#endif  // LHMM_EVAL_EVALUATOR_H_

@@ -1,0 +1,120 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/logging.h"
+#include "geo/polyline.h"
+
+namespace lhmm::eval {
+
+namespace {
+
+/// Sum of lengths of `path` segments whose id appears in `other_set`.
+double OverlapLength(const network::RoadNetwork& net,
+                     const std::vector<network::SegmentId>& path,
+                     const std::unordered_set<network::SegmentId>& other_set) {
+  std::unordered_set<network::SegmentId> counted;
+  double total = 0.0;
+  for (network::SegmentId sid : path) {
+    if (other_set.count(sid) && counted.insert(sid).second) {
+      total += net.segment(sid).length;
+    }
+  }
+  return total;
+}
+
+double UniqueLength(const network::RoadNetwork& net,
+                    const std::vector<network::SegmentId>& path) {
+  std::unordered_set<network::SegmentId> seen;
+  double total = 0.0;
+  for (network::SegmentId sid : path) {
+    if (seen.insert(sid).second) total += net.segment(sid).length;
+  }
+  return total;
+}
+
+}  // namespace
+
+PathMetrics ComputePathMetrics(const network::RoadNetwork& net,
+                               const std::vector<network::SegmentId>& matched,
+                               const std::vector<network::SegmentId>& truth,
+                               double corridor_radius) {
+  PathMetrics out;
+  if (truth.empty()) return out;
+
+  std::unordered_set<network::SegmentId> truth_set(truth.begin(), truth.end());
+  std::unordered_set<network::SegmentId> matched_set(matched.begin(), matched.end());
+  // A segment and its reverse twin describe the same physical road; count a
+  // matched twin as correct (driving direction mix-ups on two-way roads are
+  // not a geometric error).
+  std::unordered_set<network::SegmentId> truth_or_twin = truth_set;
+  for (network::SegmentId sid : truth) {
+    const network::SegmentId twin = net.segment(sid).reverse;
+    if (twin != network::kInvalidSegment) truth_or_twin.insert(twin);
+  }
+  std::unordered_set<network::SegmentId> matched_or_twin = matched_set;
+  for (network::SegmentId sid : matched) {
+    const network::SegmentId twin = net.segment(sid).reverse;
+    if (twin != network::kInvalidSegment) matched_or_twin.insert(twin);
+  }
+
+  const double truth_len = UniqueLength(net, truth);
+  const double matched_len = UniqueLength(net, matched);
+  const double correct_in_matched = OverlapLength(net, matched, truth_or_twin);
+  const double correct_in_truth = OverlapLength(net, truth, matched_or_twin);
+
+  out.precision = matched_len > 0.0 ? correct_in_matched / matched_len : 0.0;
+  out.recall = correct_in_truth / truth_len;
+
+  const double missing = truth_len - correct_in_truth;
+  const double redundant = matched_len - correct_in_matched;
+  out.rmf = (missing + redundant) / truth_len;  // Eq. (22).
+
+  // CMF (Eq. 23): sample the truth geometry and test corridor coverage.
+  if (matched.empty()) {
+    out.cmf = 1.0;
+    return out;
+  }
+  constexpr double kSampleStep = 15.0;  // Meters between corridor probes.
+  int samples = 0;
+  int uncovered = 0;
+  for (network::SegmentId sid : truth) {
+    const geo::Polyline& geom = net.segment(sid).geometry;
+    const int n = std::max(1, static_cast<int>(geom.Length() / kSampleStep));
+    for (int i = 0; i <= n; ++i) {
+      const geo::Point p = geom.PointAt(geom.Length() * i / n);
+      ++samples;
+      bool covered = false;
+      for (network::SegmentId mid : matched) {
+        if (net.segment(mid).geometry.Project(p).dist <= corridor_radius) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) ++uncovered;
+    }
+  }
+  out.cmf = samples > 0 ? static_cast<double>(uncovered) / samples : 0.0;
+  return out;
+}
+
+double HittingRatio(const std::vector<hmm::CandidateSet>& candidates,
+                    const std::vector<int>& point_index, int total_points,
+                    const std::vector<network::SegmentId>& truth) {
+  CHECK_EQ(candidates.size(), point_index.size());
+  if (total_points <= 0) return 0.0;
+  std::unordered_set<network::SegmentId> truth_set(truth.begin(), truth.end());
+  int hits = 0;
+  for (const hmm::CandidateSet& cs : candidates) {
+    for (const hmm::Candidate& c : cs) {
+      if (truth_set.count(c.segment)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / total_points;
+}
+
+}  // namespace lhmm::eval

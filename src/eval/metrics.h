@@ -1,0 +1,36 @@
+#ifndef LHMM_EVAL_METRICS_H_
+#define LHMM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "hmm/candidate.h"
+#include "network/road_network.h"
+
+namespace lhmm::eval {
+
+/// Per-trajectory accuracy metrics (Section V-A3).
+struct PathMetrics {
+  double precision = 0.0;  ///< Correct length / matched length.
+  double recall = 0.0;     ///< Correct length / truth length.
+  double rmf = 0.0;        ///< (missing + redundant length) / truth length.
+  double cmf = 0.0;        ///< Corridor Mismatch Fraction at the given radius.
+};
+
+/// Computes precision, recall, RMF (Eq. 22), and CMF (Eq. 23, corridor radius
+/// `corridor_radius` meters, 50 for CMF50) for one matched path against the
+/// ground truth path.
+PathMetrics ComputePathMetrics(const network::RoadNetwork& net,
+                               const std::vector<network::SegmentId>& matched,
+                               const std::vector<network::SegmentId>& truth,
+                               double corridor_radius = 50.0);
+
+/// Hitting Ratio of one trajectory: the fraction of trajectory points whose
+/// (final) candidate set contains a road of the truth path. Points dropped
+/// before the DP (empty candidate set) count as misses.
+double HittingRatio(const std::vector<hmm::CandidateSet>& candidates,
+                    const std::vector<int>& point_index, int total_points,
+                    const std::vector<network::SegmentId>& truth);
+
+}  // namespace lhmm::eval
+
+#endif  // LHMM_EVAL_METRICS_H_

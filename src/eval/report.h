@@ -1,0 +1,33 @@
+#ifndef LHMM_EVAL_REPORT_H_
+#define LHMM_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace lhmm::eval {
+
+/// A fixed-width text table printer for benchmark output: one header row,
+/// then data rows. Columns are sized to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with column separators and a header rule.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string Fmt(double value, int digits = 3);
+
+}  // namespace lhmm::eval
+
+#endif  // LHMM_EVAL_REPORT_H_

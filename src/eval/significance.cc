@@ -1,0 +1,66 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::eval {
+
+double MetricValue(const TrajectoryEval& record, Metric metric) {
+  switch (metric) {
+    case Metric::kPrecision:
+      return record.metrics.precision;
+    case Metric::kRecall:
+      return record.metrics.recall;
+    case Metric::kRmf:
+      return record.metrics.rmf;
+    case Metric::kCmf:
+      return record.metrics.cmf;
+    case Metric::kHittingRatio:
+      return record.hitting_ratio;
+  }
+  return 0.0;
+}
+
+BootstrapResult PairedBootstrap(const std::vector<TrajectoryEval>& a,
+                                const std::vector<TrajectoryEval>& b,
+                                Metric metric, int resamples, uint64_t seed) {
+  CHECK_EQ(a.size(), b.size());
+  CHECK(!a.empty());
+  CHECK_GE(resamples, 100);
+  const int n = static_cast<int>(a.size());
+
+  std::vector<double> diffs(n);
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    diffs[i] = MetricValue(a[i], metric) - MetricValue(b[i], metric);
+    mean += diffs[i];
+  }
+  mean /= n;
+
+  core::Rng rng(seed);
+  std::vector<double> means(resamples);
+  int sign_flips = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += diffs[rng.UniformInt(n)];
+    means[r] = sum / n;
+    // Two-sided sign test contribution: resampled mean on the other side of
+    // zero from the observed mean.
+    if ((mean >= 0.0 && means[r] <= 0.0) || (mean <= 0.0 && means[r] >= 0.0)) {
+      ++sign_flips;
+    }
+  }
+  std::sort(means.begin(), means.end());
+
+  BootstrapResult out;
+  out.mean_diff = mean;
+  out.ci_low = means[static_cast<size_t>(0.025 * (resamples - 1))];
+  out.ci_high = means[static_cast<size_t>(0.975 * (resamples - 1))];
+  out.p_value = std::min(1.0, 2.0 * static_cast<double>(sign_flips) / resamples);
+  out.num_samples = resamples;
+  return out;
+}
+
+}  // namespace lhmm::eval

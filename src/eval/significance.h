@@ -1,0 +1,37 @@
+#ifndef LHMM_EVAL_SIGNIFICANCE_H_
+#define LHMM_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "eval/evaluator.h"
+
+namespace lhmm::eval {
+
+/// Result of a paired-bootstrap comparison between two matchers over the
+/// same trajectory set.
+struct BootstrapResult {
+  double mean_diff = 0.0;   ///< mean(metric_a - metric_b) over trajectories.
+  double ci_low = 0.0;      ///< 95% confidence interval of the difference.
+  double ci_high = 0.0;
+  double p_value = 0.0;     ///< Two-sided p for H0: no difference.
+  int num_samples = 0;      ///< Bootstrap resamples drawn.
+};
+
+/// Which per-trajectory metric to compare.
+enum class Metric { kPrecision, kRecall, kRmf, kCmf, kHittingRatio };
+
+/// Extracts the chosen metric from a record.
+double MetricValue(const TrajectoryEval& record, Metric metric);
+
+/// Paired bootstrap over per-trajectory records of two matchers evaluated on
+/// the same split (records must be index-aligned). Benchmark-harness staple:
+/// a Table II delta only means something if its CI excludes zero.
+BootstrapResult PairedBootstrap(const std::vector<TrajectoryEval>& a,
+                                const std::vector<TrajectoryEval>& b,
+                                Metric metric, int resamples = 2000,
+                                uint64_t seed = 17);
+
+}  // namespace lhmm::eval
+
+#endif  // LHMM_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,51 @@
+#ifndef LHMM_GEO_BBOX_H_
+#define LHMM_GEO_BBOX_H_
+
+#include <limits>
+
+#include "geo/point.h"
+
+namespace lhmm::geo {
+
+/// Axis-aligned bounding box in the local planar frame.
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  /// True until the first Extend().
+  bool Empty() const { return min_x > max_x; }
+
+  /// Grows the box to cover `p`.
+  void Extend(const Point& p) {
+    if (p.x < min_x) min_x = p.x;
+    if (p.y < min_y) min_y = p.y;
+    if (p.x > max_x) max_x = p.x;
+    if (p.y > max_y) max_y = p.y;
+  }
+
+  /// Grows the box outward by `margin` meters on every side.
+  void Inflate(double margin) {
+    min_x -= margin;
+    min_y -= margin;
+    max_x += margin;
+    max_y += margin;
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const BBox& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y || o.max_y < min_y);
+  }
+
+  double Width() const { return Empty() ? 0.0 : max_x - min_x; }
+  double Height() const { return Empty() ? 0.0 : max_y - min_y; }
+  Point Center() const { return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0}; }
+};
+
+}  // namespace lhmm::geo
+
+#endif  // LHMM_GEO_BBOX_H_

@@ -1,0 +1,39 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+
+namespace lhmm::geo {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371008.8;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Point LocalProjection::Forward(const LatLon& ll) const {
+  return {(ll.lon - origin_.lon) * meters_per_deg_lon_,
+          (ll.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::Backward(const Point& p) const {
+  return {origin_.lat + p.y / meters_per_deg_lat_,
+          origin_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace lhmm::geo

@@ -1,0 +1,40 @@
+#ifndef LHMM_GEO_LATLON_H_
+#define LHMM_GEO_LATLON_H_
+
+#include "geo/point.h"
+
+namespace lhmm::geo {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance between two coordinates, in meters (haversine).
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Equirectangular projection around a reference coordinate. Cities span a few
+/// tens of kilometers, where this projection's error is far below cellular
+/// positioning noise, so it is the library's standard map projection.
+class LocalProjection {
+ public:
+  explicit LocalProjection(const LatLon& origin);
+
+  /// Projects a WGS-84 coordinate to local planar meters.
+  Point Forward(const LatLon& ll) const;
+
+  /// Inverse projection back to WGS-84 degrees.
+  LatLon Backward(const Point& p) const;
+
+  const LatLon& origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace lhmm::geo
+
+#endif  // LHMM_GEO_LATLON_H_

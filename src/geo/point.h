@@ -1,0 +1,67 @@
+#ifndef LHMM_GEO_POINT_H_
+#define LHMM_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace lhmm::geo {
+
+/// A point (or vector) in the local planar frame, in meters. All geometry in
+/// the library runs in this frame; `latlon.h` converts to and from WGS-84.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  Point operator/(double s) const { return {x / s, y / s}; }
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Dot product.
+inline double Dot(const Point& a, const Point& b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the 2-D cross product (signed parallelogram area).
+inline double Cross(const Point& a, const Point& b) { return a.x * b.y - a.y * b.x; }
+
+/// Euclidean norm.
+inline double Norm(const Point& p) { return std::sqrt(p.x * p.x + p.y * p.y); }
+
+/// Euclidean distance between two points, in meters.
+inline double Distance(const Point& a, const Point& b) { return Norm(a - b); }
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+inline double DistanceSq(const Point& a, const Point& b) {
+  const Point d = a - b;
+  return d.x * d.x + d.y * d.y;
+}
+
+/// Linear interpolation: a at t=0, b at t=1.
+inline Point Lerp(const Point& a, const Point& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Heading of the vector a->b in radians, measured from +x axis, in (-pi, pi].
+inline double Bearing(const Point& a, const Point& b) {
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+/// Smallest absolute difference between two angles in radians, in [0, pi].
+inline double AngleDiff(double a, double b) {
+  double d = std::fmod(a - b, 2.0 * M_PI);
+  if (d > M_PI) d -= 2.0 * M_PI;
+  if (d < -M_PI) d += 2.0 * M_PI;
+  return std::fabs(d);
+}
+
+}  // namespace lhmm::geo
+
+#endif  // LHMM_GEO_POINT_H_

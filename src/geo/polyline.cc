@@ -1,0 +1,73 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace lhmm::geo {
+
+Polyline::Polyline(std::vector<Point> points) : points_(std::move(points)) {
+  CHECK_GE(points_.size(), 2u) << "polyline needs at least two vertices";
+  cumulative_.resize(points_.size());
+  cumulative_[0] = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    cumulative_[i] = cumulative_[i - 1] + Distance(points_[i - 1], points_[i]);
+  }
+  length_ = cumulative_.back();
+  for (const Point& p : points_) bounds_.Extend(p);
+}
+
+PolylineProjection Polyline::Project(const Point& p) const {
+  PolylineProjection best;
+  best.dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    const SegmentProjection sp = ProjectOntoSegment(p, points_[i], points_[i + 1]);
+    if (sp.dist < best.dist) {
+      best.dist = sp.dist;
+      best.point = sp.point;
+      best.segment = static_cast<int>(i);
+      best.offset = cumulative_[i] + sp.t * (cumulative_[i + 1] - cumulative_[i]);
+    }
+  }
+  return best;
+}
+
+Point Polyline::PointAt(double offset) const {
+  if (offset <= 0.0) return points_.front();
+  if (offset >= length_) return points_.back();
+  // First vertex with cumulative >= offset.
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), offset);
+  const size_t hi = static_cast<size_t>(it - cumulative_.begin());
+  if (hi == 0) return points_.front();
+  const size_t lo = hi - 1;
+  const double span = cumulative_[hi] - cumulative_[lo];
+  const double t = span > 0.0 ? (offset - cumulative_[lo]) / span : 0.0;
+  return Lerp(points_[lo], points_[hi], t);
+}
+
+double Polyline::BearingAt(double offset) const {
+  offset = std::clamp(offset, 0.0, length_);
+  size_t lo = 0;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    if (cumulative_[i + 1] >= offset) {
+      lo = i;
+      break;
+    }
+    lo = i;
+  }
+  return Bearing(points_[lo], points_[lo + 1]);
+}
+
+double Polyline::TotalTurn() const { return TotalTurnOfPoints(points_); }
+
+double TotalTurnOfPoints(const std::vector<Point>& pts) {
+  double total = 0.0;
+  for (size_t i = 0; i + 2 < pts.size(); ++i) {
+    const double b1 = Bearing(pts[i], pts[i + 1]);
+    const double b2 = Bearing(pts[i + 1], pts[i + 2]);
+    total += AngleDiff(b1, b2);
+  }
+  return total;
+}
+
+}  // namespace lhmm::geo

@@ -1,0 +1,70 @@
+#ifndef LHMM_GEO_POLYLINE_H_
+#define LHMM_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace lhmm::geo {
+
+/// Result of projecting a point onto a polyline.
+struct PolylineProjection {
+  Point point;          ///< Closest point on the polyline.
+  double dist = 0.0;    ///< Distance from the query to `point`.
+  double offset = 0.0;  ///< Arc-length offset of `point` from the start.
+  int segment = 0;      ///< Index of the vertex pair containing `point`.
+};
+
+/// An immutable open polyline with at least two vertices. Road segment
+/// geometries, corridors, and matched paths are all polylines.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> points);
+
+  /// Number of vertices.
+  int size() const { return static_cast<int>(points_.size()); }
+  const std::vector<Point>& points() const { return points_; }
+  const Point& front() const { return points_.front(); }
+  const Point& back() const { return points_.back(); }
+  const Point& operator[](int i) const { return points_[i]; }
+
+  /// Total arc length in meters.
+  double Length() const { return length_; }
+
+  /// Cumulative arc length up to vertex `i` (0 for the first vertex).
+  double OffsetOfVertex(int i) const { return cumulative_[i]; }
+
+  /// Closest point on the polyline to `p`.
+  PolylineProjection Project(const Point& p) const;
+
+  /// Point at arc-length `offset` from the start (clamped to [0, Length]).
+  Point PointAt(double offset) const;
+
+  /// Direction (radians from +x) of the polyline at arc-length `offset`.
+  double BearingAt(double offset) const;
+
+  /// Sum of absolute heading changes over the whole line, in radians. The
+  /// paper's "number of turns" explicit feature is this quantity.
+  double TotalTurn() const;
+
+  /// Bounding box of all vertices.
+  const BBox& Bounds() const { return bounds_; }
+
+ private:
+  std::vector<Point> points_;
+  std::vector<double> cumulative_;
+  double length_ = 0.0;
+  BBox bounds_;
+};
+
+/// Sum of absolute heading changes along an ordered point sequence (radians).
+/// Works on raw point vectors so trajectories can reuse it without an
+/// intermediate Polyline.
+double TotalTurnOfPoints(const std::vector<Point>& pts);
+
+}  // namespace lhmm::geo
+
+#endif  // LHMM_GEO_POLYLINE_H_

@@ -1,0 +1,54 @@
+#include "geo/segment.h"
+
+#include <algorithm>
+
+namespace lhmm::geo {
+
+SegmentProjection ProjectOntoSegment(const Point& p, const Point& a, const Point& b) {
+  const Point ab = b - a;
+  const double len_sq = Dot(ab, ab);
+  SegmentProjection out;
+  if (len_sq <= 0.0) {
+    out.point = a;
+    out.t = 0.0;
+  } else {
+    out.t = std::clamp(Dot(p - a, ab) / len_sq, 0.0, 1.0);
+    out.point = a + ab * out.t;
+  }
+  out.dist = Distance(p, out.point);
+  return out;
+}
+
+double DistanceToSegment(const Point& p, const Point& a, const Point& b) {
+  return ProjectOntoSegment(p, a, b).dist;
+}
+
+namespace {
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = Cross(b - a, c - a);
+  if (v > 1e-12) return 1;
+  if (v < -1e-12) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+}  // namespace
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  const int o1 = Orientation(a1, a2, b1);
+  const int o2 = Orientation(a1, a2, b2);
+  const int o3 = Orientation(b1, b2, a1);
+  const int o4 = Orientation(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a1, a2, b1)) return true;
+  if (o2 == 0 && OnSegment(a1, a2, b2)) return true;
+  if (o3 == 0 && OnSegment(b1, b2, a1)) return true;
+  if (o4 == 0 && OnSegment(b1, b2, a2)) return true;
+  return false;
+}
+
+}  // namespace lhmm::geo

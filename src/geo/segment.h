@@ -1,0 +1,28 @@
+#ifndef LHMM_GEO_SEGMENT_H_
+#define LHMM_GEO_SEGMENT_H_
+
+#include "geo/point.h"
+
+namespace lhmm::geo {
+
+/// Result of projecting a point onto a line segment.
+struct SegmentProjection {
+  Point point;      ///< Closest point on the segment.
+  double t = 0.0;   ///< Parameter along the segment in [0, 1].
+  double dist = 0;  ///< Euclidean distance from the query to `point`.
+};
+
+/// Projects `p` onto the segment a->b (clamped to the segment's extent).
+SegmentProjection ProjectOntoSegment(const Point& p, const Point& a, const Point& b);
+
+/// Distance from `p` to the segment a->b.
+double DistanceToSegment(const Point& p, const Point& a, const Point& b);
+
+/// Returns true if the segments a1->a2 and b1->b2 intersect (including
+/// touching endpoints); used by the synthetic network generator.
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+}  // namespace lhmm::geo
+
+#endif  // LHMM_GEO_SEGMENT_H_

@@ -1,0 +1,27 @@
+#ifndef LHMM_HMM_CANDIDATE_H_
+#define LHMM_HMM_CANDIDATE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "network/road_network.h"
+
+namespace lhmm::hmm {
+
+/// A candidate road segment of one trajectory point (Definition 4), carrying
+/// the observation probability P_O(c | x) assigned by the observation model.
+struct Candidate {
+  network::SegmentId segment = network::kInvalidSegment;
+  double dist = 0.0;        ///< Distance from the point to the segment, m.
+  geo::Point closest;       ///< Closest point on the segment's geometry.
+  double observation = 0.0; ///< P_O(c | x), in [0, 1].
+  /// True for candidates appended by the shortcut pass (Algorithm 2) rather
+  /// than by candidate preparation.
+  bool from_shortcut = false;
+};
+
+using CandidateSet = std::vector<Candidate>;
+
+}  // namespace lhmm::hmm
+
+#endif  // LHMM_HMM_CANDIDATE_H_

@@ -1,0 +1,77 @@
+#include "hmm/classic_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lhmm::hmm {
+
+GaussianObservationModel::GaussianObservationModel(const network::GridIndex* index,
+                                                   const ClassicModelConfig& config)
+    : index_(index), config_(config) {}
+
+double GaussianObservationModel::Score(double dist) const {
+  const double z = dist / config_.obs_sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+CandidateSet GaussianObservationModel::Candidates(const traj::Trajectory& t, int i,
+                                                  int k) {
+  const std::vector<network::SegmentHit> hits =
+      index_->Query(t[i].pos, config_.search_radius);
+  CandidateSet out;
+  out.reserve(std::min<size_t>(hits.size(), k));
+  for (const network::SegmentHit& hit : hits) {
+    if (static_cast<int>(out.size()) >= k) break;
+    Candidate c;
+    c.segment = hit.segment;
+    c.dist = hit.dist;
+    c.closest = hit.closest;
+    c.observation = Score(hit.dist);
+    out.push_back(c);
+  }
+  return out;  // Query() returns hits sorted by distance = descending score.
+}
+
+Candidate GaussianObservationModel::MakeCandidate(const traj::Trajectory& t, int i,
+                                                  network::SegmentId segment) {
+  const geo::PolylineProjection proj =
+      index_->network()->segment(segment).geometry.Project(t[i].pos);
+  Candidate c;
+  c.segment = segment;
+  c.dist = proj.dist;
+  c.closest = proj.point;
+  c.observation = Score(proj.dist);
+  return c;
+}
+
+ClassicTransitionModel::ClassicTransitionModel(const ClassicModelConfig& config,
+                                               const network::RoadNetwork* net)
+    : config_(config), net_(net) {}
+
+double ClassicTransitionModel::TemporalFactor(const traj::Trajectory& t,
+                                              int prev_index, int cur_index,
+                                              const network::Route& route) const {
+  if (net_ == nullptr || route.segments.empty()) return 1.0;
+  const double dt = t[cur_index].t - t[prev_index].t;
+  if (dt <= 1.0) return 1.0;
+  const double v = route.length / dt;
+  double limit_sum = 0.0;
+  for (network::SegmentId sid : route.segments) {
+    limit_sum += net_->segment(sid).speed_limit;
+  }
+  const double v_lim = limit_sum / static_cast<double>(route.segments.size());
+  return std::exp(-std::max(0.0, v - v_lim) / 5.0);
+}
+
+double ClassicTransitionModel::Transition(const traj::Trajectory& t, int prev_index,
+                                          int cur_index, const Candidate& prev,
+                                          const Candidate& cur,
+                                          const network::Route* route,
+                                          double straight_dist) {
+  if (route == nullptr) return 0.0;
+  const double diff = std::fabs(straight_dist - route->length);
+  return std::exp(-diff / config_.trans_beta) *
+         TemporalFactor(t, prev_index, cur_index, *route);
+}
+
+}  // namespace lhmm::hmm

@@ -1,0 +1,67 @@
+#ifndef LHMM_HMM_CLASSIC_MODELS_H_
+#define LHMM_HMM_CLASSIC_MODELS_H_
+
+#include "hmm/models.h"
+#include "network/road_network.h"
+#include "network/grid_index.h"
+
+namespace lhmm::hmm {
+
+/// Parameters of the classical distance-based models (Eq. 2 and Eq. 3).
+struct ClassicModelConfig {
+  /// Gaussian sigma of the observation model, meters. GPS-era defaults are
+  /// tens of meters; CTMM needs hundreds (the tower is far from the road).
+  double obs_sigma = 450.0;
+  /// Candidate search radius around the (tower) position, meters.
+  double search_radius = 2200.0;
+  /// Exponential scale of the transition model, meters.
+  double trans_beta = 500.0;
+};
+
+/// The classical Gaussian observation probability of Eq. (2): closer roads
+/// are more likely. P_O = exp(-0.5 (d/sigma)^2), the density shape with the
+/// candidate-independent normalizer dropped.
+class GaussianObservationModel : public ObservationModel {
+ public:
+  /// The index must outlive the model.
+  GaussianObservationModel(const network::GridIndex* index,
+                           const ClassicModelConfig& config);
+
+  CandidateSet Candidates(const traj::Trajectory& t, int i, int k) override;
+  Candidate MakeCandidate(const traj::Trajectory& t, int i,
+                          network::SegmentId segment) override;
+
+  double Score(double dist) const;
+
+ protected:
+  const network::GridIndex* index_;
+  ClassicModelConfig config_;
+};
+
+/// The classical transition probability of Eq. (3): the route length should
+/// be close to the straight-line distance between the two points,
+/// P_T = exp(-|d_straight - d_route| / beta), optionally multiplied by the
+/// velocity-constraint heuristic [8] (penalize routes whose implied speed
+/// exceeds the roads' limits) that the literature layers onto Eq. (3).
+class ClassicTransitionModel : public TransitionModel {
+ public:
+  /// `net` enables the velocity heuristic; pass nullptr for the bare Eq. (3).
+  explicit ClassicTransitionModel(const ClassicModelConfig& config,
+                                  const network::RoadNetwork* net = nullptr);
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override;
+
+ protected:
+  /// exp(-max(0, v - v_limit)/5) for the route, or 1 when disabled.
+  double TemporalFactor(const traj::Trajectory& t, int prev_index, int cur_index,
+                        const network::Route& route) const;
+
+  ClassicModelConfig config_;
+  const network::RoadNetwork* net_;
+};
+
+}  // namespace lhmm::hmm
+
+#endif  // LHMM_HMM_CLASSIC_MODELS_H_

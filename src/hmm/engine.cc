@@ -1,0 +1,278 @@
+#include "hmm/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+#include <cstdio>
+#include <cstdlib>
+
+namespace lhmm::hmm {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+Engine::Engine(const network::RoadNetwork* net, network::CachedRouter* router,
+               ObservationModel* obs, TransitionModel* trans,
+               const EngineConfig& config)
+    : net_(net), router_(router), obs_(obs), trans_(trans), config_(config) {
+  CHECK(net != nullptr);
+  CHECK(router != nullptr);
+  CHECK(obs != nullptr);
+  CHECK(trans != nullptr);
+}
+
+double Engine::RouteBound(double straight_dist) const {
+  return std::min(config_.max_route_bound,
+                  config_.route_bound_alpha * straight_dist +
+                      config_.route_bound_beta);
+}
+
+EngineResult Engine::Match(const traj::Trajectory& t) {
+  EngineResult result;
+  if (t.empty()) return result;
+
+  obs_->BeginTrajectory(t);
+  trans_->BeginTrajectory(t);
+
+  // Step 1: candidate preparation. Points with no candidates in range are
+  // dropped from the DP (they count as misses in the hitting ratio).
+  std::vector<CandidateSet> cands;
+  std::vector<int> point_index;
+  for (int i = 0; i < t.size(); ++i) {
+    CandidateSet cs = obs_->Candidates(t, i, config_.k);
+    if (cs.empty()) continue;
+    cands.push_back(std::move(cs));
+    point_index.push_back(i);
+  }
+  const int m = static_cast<int>(cands.size());
+  if (m == 0) return result;
+
+  // Straight-line hop between consecutive retained points, for Eq. (3)-style
+  // features and for the route search bound.
+  std::vector<double> straight(m, 0.0);
+  for (int s = 1; s < m; ++s) {
+    straight[s] =
+        geo::Distance(t[point_index[s - 1]].pos, t[point_index[s]].pos);
+  }
+
+  // Step 2+3: forward Viterbi (Algorithm 1) with the shortcut optimization
+  // (Algorithm 2) interleaved: after filling f/pre for step s from C_{s-1},
+  // shortcuts from C_{s-2} may improve f[s] before step s+1 reads it. This
+  // strictly dominates the paper's run-Alg2-after-Alg1 formulation (no stale
+  // f entries) while evaluating the same Eq. (20)-(21) scores.
+  std::vector<std::vector<double>> f(m);
+  std::vector<std::vector<int>> pre(m);
+  f[0].resize(cands[0].size());
+  pre[0].assign(cands[0].size(), -1);
+  for (size_t j = 0; j < cands[0].size(); ++j) {
+    f[0][j] = cands[0][j].observation;  // Algorithm 1 line 5.
+  }
+
+  // w_matrices[s][j][k2]: transition weight W(c_{s-1}^j -> c_s^k2) over the
+  // *original* (pre-shortcut) candidate sets; Eq. (20) consumes these.
+  std::vector<std::vector<std::vector<double>>> w_matrices(m);
+
+  for (int s = 1; s < m; ++s) {
+    const int prev_n = static_cast<int>(cands[s - 1].size());
+    const int cur_n = static_cast<int>(cands[s].size());
+    const double bound = RouteBound(straight[s]);
+
+    std::vector<network::SegmentId> cur_segments(cur_n);
+    for (int k2 = 0; k2 < cur_n; ++k2) cur_segments[k2] = cands[s][k2].segment;
+
+    f[s].assign(cur_n, kNegInf);
+    pre[s].assign(cur_n, -1);
+    auto& w = w_matrices[s];
+    w.assign(prev_n, std::vector<double>(cur_n, 0.0));
+
+    for (int j = 0; j < prev_n; ++j) {
+      const Candidate& prev = cands[s - 1][j];
+      const std::vector<std::optional<network::Route>> routes =
+          router_->RouteMany(prev.segment, cur_segments, bound);
+      for (int k2 = 0; k2 < cur_n; ++k2) {
+        const Candidate& cur = cands[s][k2];
+        const network::Route* route =
+            routes[k2].has_value() ? &routes[k2].value() : nullptr;
+        const double pt = trans_->Transition(t, point_index[s - 1], point_index[s],
+                                             prev, cur, route, straight[s]);
+        const double weight = pt * cur.observation;  // Eq. (13).
+        w[j][k2] = weight;
+        if (route == nullptr) continue;  // Unreachable move.
+        const double score = f[s - 1][j] + weight;  // Eq. (16).
+        if (score > f[s][k2]) {
+          f[s][k2] = score;
+          pre[s][k2] = j;  // Eq. (17).
+        }
+      }
+    }
+
+    if (config_.use_shortcuts && s >= 2) {
+      ShortcutPass(t, s, point_index, &cands, w_matrices[s - 1], w_matrices[s], &f,
+                   &pre);
+    }
+  }
+
+  // Backward pass: Eq. (18)-(19).
+  int best_last = 0;
+  for (size_t j = 1; j < f[m - 1].size(); ++j) {
+    if (f[m - 1][j] > f[m - 1][best_last]) best_last = static_cast<int>(j);
+  }
+  std::vector<int> chosen(m, -1);
+  chosen[m - 1] = best_last;
+  for (int s = m - 1; s > 0; --s) {
+    int p = pre[s][chosen[s]];
+    if (p < 0) {
+      // Disconnected step: restart from this point's best candidate.
+      p = 0;
+      for (size_t j = 1; j < f[s - 1].size(); ++j) {
+        if (f[s - 1][j] > f[s - 1][p]) p = static_cast<int>(j);
+      }
+    }
+    chosen[s - 1] = p;
+  }
+
+  std::vector<Candidate> chain(m);
+  for (int s = 0; s < m; ++s) chain[s] = cands[s][chosen[s]];
+
+  result.candidates = std::move(cands);
+  result.point_index = point_index;
+  result.matched.resize(m);
+  for (int s = 0; s < m; ++s) result.matched[s] = chain[s].segment;
+  result.path = ExpandPath(chain, straight);
+  return result;
+}
+
+void Engine::ShortcutPass(const traj::Trajectory& t, int s,
+                          const std::vector<int>& point_index,
+                          std::vector<CandidateSet>* cands,
+                          const std::vector<std::vector<double>>& w_prev,
+                          const std::vector<std::vector<double>>& w_cur,
+                          std::vector<std::vector<double>>* f,
+                          std::vector<std::vector<int>>* pre) {
+  // Original candidate counts: w matrices were built over these.
+  const int njj = static_cast<int>(w_prev.size());        // |C_{s-2}| original.
+  const int nl = w_prev.empty() ? 0
+                                : static_cast<int>(w_prev[0].size());  // |C_{s-1}|.
+  const int nk = static_cast<int>(w_cur.empty() ? 0 : w_cur[0].size());
+  if (njj == 0 || nl == 0 || nk == 0) return;
+
+  const double straight_02 =
+      geo::Distance(t[point_index[s - 2]].pos, t[point_index[s]].pos);
+  const double straight_01 =
+      geo::Distance(t[point_index[s - 2]].pos, t[point_index[s - 1]].pos);
+  const double straight_12 =
+      geo::Distance(t[point_index[s - 1]].pos, t[point_index[s]].pos);
+  const double bound = RouteBound(straight_02);
+
+  for (int k2 = 0; k2 < nk; ++k2) {
+    const Candidate cur = (*cands)[s][k2];
+    // Eq. (20): rank one-hop predecessors j by the best two-step move
+    // max_l W(j->l) + W(l->k2). We additionally include the accumulated
+    // score f[c_{s-2}^j]: Eq. (21) charges the shortcut against f of the
+    // predecessor, so "best one-hop predecessor" (Algorithm 2 line 3) must
+    // account for how good the path *to* j is — otherwise, at exactly the
+    // noisy points shortcuts exist for (where every W is ~0), the argmax
+    // degenerates to noise and the shortcut can never win.
+    std::vector<std::pair<double, int>> scored;
+    scored.reserve(njj);
+    for (int j = 0; j < njj; ++j) {
+      double best = kNegInf;
+      for (int l = 0; l < nl; ++l) {
+        best = std::max(best, w_prev[j][l] + w_cur[l][k2]);
+      }
+      scored.push_back({(*f)[s - 2][j] + best, j});
+    }
+    const int take = std::min(config_.num_shortcuts, njj);
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    for (int rank = 0; rank < take; ++rank) {
+      const int j = scored[rank].second;
+      const Candidate& origin = (*cands)[s - 2][j];
+      // Shortcut: shortest path c_{s-2}^j -> c_s^k2.
+      const std::optional<network::Route> sp =
+          router_->Route1(origin.segment, cur.segment, bound);
+      if (!sp.has_value()) continue;
+      // Project x_{s-1} onto the shortcut path: nearest segment in it.
+      const geo::Point& mid_pos = t[point_index[s - 1]].pos;
+      network::SegmentId u_seg = network::kInvalidSegment;
+      double u_dist = std::numeric_limits<double>::infinity();
+      for (network::SegmentId sid : sp->segments) {
+        const double d = net_->segment(sid).geometry.Project(mid_pos).dist;
+        if (d < u_dist) {
+          u_dist = d;
+          u_seg = sid;
+        }
+      }
+      if (u_seg == network::kInvalidSegment) continue;
+      Candidate u = obs_->MakeCandidate(t, point_index[s - 1], u_seg);
+      u.from_shortcut = true;
+
+      // Eq. (21): restore the skipped transition through the projected road.
+      const std::optional<network::Route> leg1 =
+          router_->Route1(origin.segment, u_seg, bound);
+      const std::optional<network::Route> leg2 =
+          router_->Route1(u_seg, cur.segment, bound);
+      const network::Route* leg1p = leg1.has_value() ? &leg1.value() : nullptr;
+      const network::Route* leg2p = leg2.has_value() ? &leg2.value() : nullptr;
+      const double w1 = trans_->Transition(t, point_index[s - 2],
+                                           point_index[s - 1], origin, u, leg1p,
+                                           straight_01) *
+                        u.observation;
+      const double w2 = trans_->Transition(t, point_index[s - 1], point_index[s],
+                                           u, cur, leg2p, straight_12) *
+                        cur.observation;
+      if (leg1p == nullptr || leg2p == nullptr) continue;
+      const double f_prime = (*f)[s - 2][j] + w1 + w2;
+      if (getenv("LHMM_DEBUG_SC")) {
+        static long long total = 0, wins = 0;
+        ++total;
+        if (f_prime > (*f)[s][k2]) ++wins;
+        if (total % 5000 == 0)
+          fprintf(stderr, "SC total=%lld wins=%lld\n", total, wins);
+      }
+      if (f_prime > (*f)[s][k2]) {
+        // Append the projected candidate to C_{s-1} and relink the tables.
+        (*cands)[s - 1].push_back(u);
+        const int u_idx = static_cast<int>((*cands)[s - 1].size()) - 1;
+        (*f)[s - 1].push_back((*f)[s - 2][j] + w1);
+        (*pre)[s - 1].push_back(j);
+        (*f)[s][k2] = f_prime;
+        (*pre)[s][k2] = u_idx;
+        ++shortcuts_applied_;
+      }
+    }
+  }
+}
+
+std::vector<network::SegmentId> Engine::ExpandPath(
+    const std::vector<Candidate>& chain, const std::vector<double>& straight) {
+  std::vector<network::SegmentId> path;
+  if (chain.empty()) return path;
+  path.push_back(chain[0].segment);
+  for (size_t s = 1; s < chain.size(); ++s) {
+    const double bound = RouteBound(straight[s]);
+    const std::optional<network::Route> route =
+        router_->Route1(chain[s - 1].segment, chain[s].segment,
+                        std::max(bound, config_.route_bound_beta));
+    if (route.has_value()) {
+      for (network::SegmentId sid : route->segments) {
+        if (path.back() != sid) path.push_back(sid);
+      }
+    } else if (path.back() != chain[s].segment) {
+      path.push_back(chain[s].segment);  // Discontinuity; keep going.
+    }
+  }
+  // Remove immediate backtracks (a->b->a) that expansion can introduce.
+  std::vector<network::SegmentId> cleaned;
+  for (network::SegmentId sid : path) {
+    if (!cleaned.empty() && cleaned.back() == sid) continue;
+    cleaned.push_back(sid);
+  }
+  return cleaned;
+}
+
+}  // namespace lhmm::hmm

@@ -1,0 +1,93 @@
+#ifndef LHMM_HMM_ENGINE_H_
+#define LHMM_HMM_ENGINE_H_
+
+#include <vector>
+
+#include "hmm/models.h"
+#include "network/path_cache.h"
+#include "network/road_network.h"
+
+namespace lhmm::hmm {
+
+/// Knobs of the path-finding process (Section IV-E).
+struct EngineConfig {
+  int k = 45;                  ///< Candidates per point (30 for LHMM in V-A2).
+  bool use_shortcuts = false;  ///< Enable the Algorithm 2 optimization.
+  int num_shortcuts = 1;       ///< K of Eq. (20); 1 suffices per Fig. 9.
+  /// Route search bound = alpha * straight-line distance + beta, clamped to
+  /// max_route_bound (meters).
+  double route_bound_alpha = 4.0;
+  double route_bound_beta = 1500.0;
+  double max_route_bound = 12000.0;
+};
+
+/// Everything the evaluator needs from one matched trajectory.
+struct EngineResult {
+  /// The expanded matched path P as consecutive road segments.
+  std::vector<network::SegmentId> path;
+  /// Final candidate sets per retained point, including any candidates the
+  /// shortcut pass appended; drives the Hitting Ratio metric.
+  std::vector<CandidateSet> candidates;
+  /// Original trajectory index of each retained point (points whose candidate
+  /// set came back empty are dropped before the DP).
+  std::vector<int> point_index;
+  /// Chosen candidate segment per retained point.
+  std::vector<network::SegmentId> matched;
+};
+
+/// The HMM path-finding framework: candidate preparation, candidate graph
+/// construction, Viterbi (Algorithm 1), and the shortcut optimization
+/// (Algorithm 2). Observation and transition probabilities are pluggable, so
+/// every HMM-family matcher in this library — classical baselines and LHMM —
+/// runs through this one engine.
+class Engine {
+ public:
+  /// All pointers must outlive the engine. The router is shared so its
+  /// shortest-path cache amortizes across trajectories and matchers.
+  Engine(const network::RoadNetwork* net, network::CachedRouter* router,
+         ObservationModel* obs, TransitionModel* trans, const EngineConfig& config);
+
+  /// Matches one (preprocessed) cellular trajectory.
+  EngineResult Match(const traj::Trajectory& t);
+
+  const EngineConfig& config() const { return config_; }
+  EngineConfig* mutable_config() { return &config_; }
+
+  /// Number of times the shortcut pass improved a candidate's score since
+  /// construction (diagnostics; drives the Fig. 9 analysis).
+  int64_t shortcuts_applied() const { return shortcuts_applied_; }
+
+  /// The plugged-in models (shared with e.g. an OnlineMatcher).
+  ObservationModel* observation_model() { return obs_; }
+  TransitionModel* transition_model() { return trans_; }
+
+ private:
+  double RouteBound(double straight_dist) const;
+
+  /// Runs the interleaved Algorithm 2 step for point `s`, possibly appending
+  /// a projected candidate to `cands[s-1]` and improving f/pre at `s`.
+  /// `w_prev` and `w_cur` are the original transition-weight matrices of
+  /// steps s-1 and s (Eq. 20 operates on those).
+  void ShortcutPass(const traj::Trajectory& t, int s,
+                    const std::vector<int>& point_index,
+                    std::vector<CandidateSet>* cands,
+                    const std::vector<std::vector<double>>& w_prev,
+                    const std::vector<std::vector<double>>& w_cur,
+                    std::vector<std::vector<double>>* f,
+                    std::vector<std::vector<int>>* pre);
+
+  /// Expands the chosen candidate chain into a full segment path.
+  std::vector<network::SegmentId> ExpandPath(const std::vector<Candidate>& chain,
+                                             const std::vector<double>& straight);
+
+  const network::RoadNetwork* net_;
+  network::CachedRouter* router_;
+  ObservationModel* obs_;
+  TransitionModel* trans_;
+  EngineConfig config_;
+  int64_t shortcuts_applied_ = 0;
+};
+
+}  // namespace lhmm::hmm
+
+#endif  // LHMM_HMM_ENGINE_H_

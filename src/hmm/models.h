@@ -1,0 +1,59 @@
+#ifndef LHMM_HMM_MODELS_H_
+#define LHMM_HMM_MODELS_H_
+
+#include <optional>
+
+#include "hmm/candidate.h"
+#include "network/shortest_path.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::hmm {
+
+/// Produces candidate road segments with observation probabilities P_O(c|x).
+/// Implementations range from the classical Gaussian-distance model (Eq. 2)
+/// to LHMM's learned model (Eq. 8).
+class ObservationModel {
+ public:
+  virtual ~ObservationModel() = default;
+
+  /// Called once before a trajectory is matched; implementations may build
+  /// per-trajectory state (e.g. LHMM's context-aware point representations).
+  virtual void BeginTrajectory(const traj::Trajectory& t) {}
+
+  /// Top-k candidate segments for point `i` of `t`, sorted by descending
+  /// observation probability. May return fewer (or none) when the point has
+  /// no roads in range.
+  virtual CandidateSet Candidates(const traj::Trajectory& t, int i, int k) = 0;
+
+  /// Observation probability of an arbitrary segment for point `i`; used by
+  /// the shortcut pass to score projected candidates that were not part of
+  /// the prepared candidate set.
+  virtual Candidate MakeCandidate(const traj::Trajectory& t, int i,
+                                  network::SegmentId segment) = 0;
+};
+
+/// Scores the move between candidates of consecutive points, P_T(c -> c').
+class TransitionModel {
+ public:
+  virtual ~TransitionModel() = default;
+
+  /// Called once before a trajectory is matched.
+  virtual void BeginTrajectory(const traj::Trajectory& t) {}
+
+  /// Transition probability for moving from `prev` (a candidate of point
+  /// `prev_index`) to `cur` (a candidate of point `cur_index`) along `route`.
+  /// The indices are positions in `t`; they are not necessarily adjacent —
+  /// the engine drops points with empty candidate sets, and shortcut legs
+  /// connect across a skipped point. `route` is nullptr when the target was
+  /// unreachable within the search bound; implementations should return 0
+  /// then. `straight_dist` is the straight-line distance between the two
+  /// trajectory points this move connects (dist(x_{i-1}, x_i) in Eq. 3).
+  virtual double Transition(const traj::Trajectory& t, int prev_index,
+                            int cur_index, const Candidate& prev,
+                            const Candidate& cur, const network::Route* route,
+                            double straight_dist) = 0;
+};
+
+}  // namespace lhmm::hmm
+
+#endif  // LHMM_HMM_MODELS_H_

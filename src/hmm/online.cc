@@ -1,0 +1,195 @@
+#include "hmm/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace lhmm::hmm {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+OnlineMatcher::OnlineMatcher(const network::RoadNetwork* net,
+                             network::CachedRouter* router, ObservationModel* obs,
+                             TransitionModel* trans, const OnlineConfig& config)
+    : net_(net), router_(router), obs_(obs), trans_(trans), config_(config) {
+  CHECK(net != nullptr);
+  CHECK(router != nullptr);
+  CHECK(obs != nullptr);
+  CHECK(trans != nullptr);
+  CHECK_GE(config.lag, 0);
+}
+
+void OnlineMatcher::Reset() {
+  window_.clear();
+  has_anchor_ = false;
+  committed_.clear();
+}
+
+std::vector<network::SegmentId> OnlineMatcher::Push(const traj::TrajPoint& point) {
+  window_.push_back(point);
+  if (static_cast<int>(window_.size()) <= config_.lag) return {};
+  return Advance(/*flush=*/false);
+}
+
+std::vector<network::SegmentId> OnlineMatcher::Finish() {
+  std::vector<network::SegmentId> out;
+  while (!window_.empty()) {
+    const std::vector<network::SegmentId> emitted = Advance(/*flush=*/true);
+    out.insert(out.end(), emitted.begin(), emitted.end());
+    if (emitted.empty() && !window_.empty()) {
+      // Unmatchable head (no candidates anywhere); drop it to make progress.
+      window_.pop_front();
+    }
+  }
+  return out;
+}
+
+std::vector<network::SegmentId> OnlineMatcher::Emit(const Candidate& next,
+                                                    double straight) {
+  std::vector<network::SegmentId> added;
+  if (!has_anchor_) {
+    added.push_back(next.segment);
+  } else {
+    const double bound =
+        std::min(config_.max_route_bound,
+                 config_.route_bound_alpha * straight + config_.route_bound_beta);
+    const auto route = router_->Route1(anchor_.segment, next.segment, bound);
+    if (route.has_value()) {
+      for (network::SegmentId sid : route->segments) {
+        if (committed_.empty() || committed_.back() != sid) added.push_back(sid);
+      }
+    } else if (committed_.empty() || committed_.back() != next.segment) {
+      added.push_back(next.segment);
+    }
+    // Avoid duplicating the anchor segment already present in committed_.
+    if (!added.empty() && !committed_.empty() && added.front() == committed_.back()) {
+      added.erase(added.begin());
+    }
+  }
+  committed_.insert(committed_.end(), added.begin(), added.end());
+  return added;
+}
+
+std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
+  if (window_.empty()) return {};
+
+  // Build the windowed trajectory (models see the causal window only).
+  traj::Trajectory t;
+  t.points.assign(window_.begin(), window_.end());
+  obs_->BeginTrajectory(t);
+  trans_->BeginTrajectory(t);
+
+  // Candidate sets over the window.
+  std::vector<CandidateSet> cands;
+  std::vector<int> point_index;
+  for (int i = 0; i < t.size(); ++i) {
+    CandidateSet cs = obs_->Candidates(t, i, config_.k);
+    if (cs.empty()) continue;
+    cands.push_back(std::move(cs));
+    point_index.push_back(i);
+  }
+  if (cands.empty()) {
+    // Nothing matchable in the window; drop the head to make progress.
+    window_.pop_front();
+    return {};
+  }
+  const int m = static_cast<int>(cands.size());
+
+  // Forward DP. The first scored point additionally pays the transition from
+  // the committed anchor, which pins continuity across commits.
+  std::vector<std::vector<double>> f(m);
+  std::vector<std::vector<int>> pre(m);
+  f[0].assign(cands[0].size(), 0.0);
+  pre[0].assign(cands[0].size(), -1);
+  for (size_t j = 0; j < cands[0].size(); ++j) {
+    double score = cands[0][j].observation;
+    if (has_anchor_) {
+      const double straight =
+          geo::Distance(anchor_point_.pos, t[point_index[0]].pos);
+      const double bound =
+          std::min(config_.max_route_bound,
+                   config_.route_bound_alpha * straight + config_.route_bound_beta);
+      const auto route = router_->Route1(anchor_.segment, cands[0][j].segment, bound);
+      const network::Route* rp = route.has_value() ? &route.value() : nullptr;
+      // prev_index 0 is a stand-in: the anchor point is no longer in `t`, so
+      // models that read timestamps see the window head (conservative).
+      const double pt = trans_->Transition(t, point_index[0], point_index[0],
+                                           anchor_, cands[0][j], rp, straight);
+      score = (rp == nullptr ? kNegInf : pt * cands[0][j].observation);
+    }
+    f[0][j] = score;
+  }
+  for (int s = 1; s < m; ++s) {
+    const double straight =
+        geo::Distance(t[point_index[s - 1]].pos, t[point_index[s]].pos);
+    const double bound =
+        std::min(config_.max_route_bound,
+                 config_.route_bound_alpha * straight + config_.route_bound_beta);
+    f[s].assign(cands[s].size(), kNegInf);
+    pre[s].assign(cands[s].size(), -1);
+    std::vector<network::SegmentId> targets(cands[s].size());
+    for (size_t k2 = 0; k2 < cands[s].size(); ++k2) {
+      targets[k2] = cands[s][k2].segment;
+    }
+    for (size_t j = 0; j < cands[s - 1].size(); ++j) {
+      if (f[s - 1][j] == kNegInf) continue;
+      const auto routes =
+          router_->RouteMany(cands[s - 1][j].segment, targets, bound);
+      for (size_t k2 = 0; k2 < cands[s].size(); ++k2) {
+        if (!routes[k2].has_value()) continue;
+        const double pt =
+            trans_->Transition(t, point_index[s - 1], point_index[s],
+                               cands[s - 1][j], cands[s][k2], &routes[k2].value(),
+                               straight);
+        const double score = f[s - 1][j] + pt * cands[s][k2].observation;
+        if (score > f[s][k2]) {
+          f[s][k2] = score;
+          pre[s][k2] = static_cast<int>(j);
+        }
+      }
+    }
+  }
+
+  // Backtrack from the best terminal to find the head's candidate.
+  int best = 0;
+  for (size_t j = 1; j < f[m - 1].size(); ++j) {
+    if (f[m - 1][j] > f[m - 1][best]) best = static_cast<int>(j);
+  }
+  if (f[m - 1][best] == kNegInf) {
+    // Entire window unreachable from the anchor: drop the anchor pin.
+    has_anchor_ = false;
+    window_.pop_front();
+    return {};
+  }
+  std::vector<int> chain(m);
+  chain[m - 1] = best;
+  for (int s = m - 1; s > 0; --s) {
+    int p = pre[s][chain[s]];
+    if (p < 0) {
+      p = 0;
+      for (size_t j = 1; j < f[s - 1].size(); ++j) {
+        if (f[s - 1][j] > f[s - 1][p]) p = static_cast<int>(j);
+      }
+    }
+    chain[s - 1] = p;
+  }
+
+  // Commit the head point's candidate and slide the window.
+  const Candidate head = cands[0][chain[0]];
+  const double straight =
+      has_anchor_ ? geo::Distance(anchor_point_.pos, t[point_index[0]].pos) : 0.0;
+  std::vector<network::SegmentId> emitted = Emit(head, straight);
+  anchor_ = head;
+  anchor_point_ = t[point_index[0]];
+  has_anchor_ = true;
+  // Drop everything up to and including the head's original point.
+  for (int drop = 0; drop <= point_index[0]; ++drop) window_.pop_front();
+  (void)flush;
+  return emitted;
+}
+
+}  // namespace lhmm::hmm

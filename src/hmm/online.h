@@ -1,0 +1,76 @@
+#ifndef LHMM_HMM_ONLINE_H_
+#define LHMM_HMM_ONLINE_H_
+
+#include <deque>
+#include <vector>
+
+#include "hmm/models.h"
+#include "network/path_cache.h"
+
+namespace lhmm::hmm {
+
+/// Configuration of the fixed-lag online matcher.
+struct OnlineConfig {
+  int k = 20;            ///< Candidates per point.
+  int lag = 8;           ///< Points of look-ahead before a point is committed.
+  double route_bound_alpha = 4.0;
+  double route_bound_beta = 1500.0;
+  double max_route_bound = 12000.0;
+};
+
+/// Fixed-lag online map matching: points stream in one at a time; once a
+/// point has `lag` successors, its match is committed and the road segments
+/// connecting it to the previous commitment are emitted. Runs the same
+/// observation/transition models as the offline Engine over a sliding
+/// window, so any matcher family (classical or learned) can run in real
+/// time with a bounded decision delay.
+///
+/// Latency/accuracy trade-off: larger lag approaches offline Viterbi
+/// accuracy; lag 0 is greedy nearest-candidate tracking.
+class OnlineMatcher {
+ public:
+  /// All pointers must outlive the matcher.
+  OnlineMatcher(const network::RoadNetwork* net, network::CachedRouter* router,
+                ObservationModel* obs, TransitionModel* trans,
+                const OnlineConfig& config);
+
+  /// Feeds the next trajectory point; returns the road segments newly
+  /// committed by this update (often empty while the window fills).
+  std::vector<network::SegmentId> Push(const traj::TrajPoint& point);
+
+  /// Flushes the window at end of stream: commits the best path for all
+  /// pending points and returns its segments.
+  std::vector<network::SegmentId> Finish();
+
+  /// Total committed path so far (everything ever returned, concatenated).
+  const std::vector<network::SegmentId>& committed() const { return committed_; }
+
+  /// Resets all streaming state for a new trajectory.
+  void Reset();
+
+ private:
+  /// Recomputes the windowed DP and (if the window exceeds the lag) commits
+  /// the oldest point.
+  std::vector<network::SegmentId> Advance(bool flush);
+
+  /// Emits the route from the last committed candidate to `next`, appending
+  /// to committed_ and returning the newly added segments.
+  std::vector<network::SegmentId> Emit(const Candidate& next, double straight);
+
+  const network::RoadNetwork* net_;
+  network::CachedRouter* router_;
+  ObservationModel* obs_;
+  TransitionModel* trans_;
+  OnlineConfig config_;
+
+  std::deque<traj::TrajPoint> window_;
+  /// Anchor: the last committed candidate (invalid before the first commit).
+  Candidate anchor_;
+  bool has_anchor_ = false;
+  traj::TrajPoint anchor_point_;
+  std::vector<network::SegmentId> committed_;
+};
+
+}  // namespace lhmm::hmm
+
+#endif  // LHMM_HMM_ONLINE_H_

@@ -1,0 +1,62 @@
+#include "io/dataset_io.h"
+
+#include "core/csv.h"
+#include "core/strings.h"
+#include "io/network_io.h"
+#include "io/trajectory_io.h"
+
+namespace lhmm::io {
+
+core::Status SaveDatasetBundle(const sim::Dataset& ds, const std::string& prefix) {
+  LHMM_RETURN_IF_ERROR(SaveNetworkCsv(ds.network, prefix));
+  LHMM_RETURN_IF_ERROR(SaveTrajectoriesCsv(ds.train, prefix + "_train.csv"));
+  LHMM_RETURN_IF_ERROR(SaveTrajectoriesCsv(ds.test, prefix + "_test.csv"));
+  core::CsvWriter towers(prefix + "_towers.csv");
+  towers.AddRow({"id", "x", "y"});
+  for (const auto& t : ds.towers) {
+    towers.AddRow({core::StrFormat("%d", t.id), core::StrFormat("%.3f", t.pos.x),
+                   core::StrFormat("%.3f", t.pos.y)});
+  }
+  return towers.Flush();
+}
+
+core::Result<DatasetBundle> LoadDatasetBundle(const std::string& prefix) {
+  DatasetBundle b;
+  auto net = LoadNetworkCsv(prefix);
+  if (!net.ok()) return net.status();
+  b.net = std::move(*net);
+  auto train = LoadTrajectoriesCsv(prefix + "_train.csv");
+  if (!train.ok()) return train.status();
+  b.train = std::move(*train);
+  auto test = LoadTrajectoriesCsv(prefix + "_test.csv");
+  if (!test.ok()) return test.status();
+  b.test = std::move(*test);
+  const auto towers = core::ReadCsv(prefix + "_towers.csv");
+  if (!towers.ok()) return towers.status();
+  for (size_t i = 1; i < towers->size(); ++i) {
+    const auto& row = (*towers)[i];
+    int id = 0;
+    double x = 0.0;
+    double y = 0.0;
+    if (row.size() < 3 || !core::ParseInt(row[0], &id) ||
+        !core::ParseDouble(row[1], &x) || !core::ParseDouble(row[2], &y)) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("bad tower row %zu in %s_towers.csv", i, prefix.c_str()));
+    }
+    b.towers.push_back({id, {x, y}});
+  }
+  // Sanity: trajectory paths must reference valid segments.
+  for (const auto* split : {&b.train, &b.test}) {
+    for (const auto& mt : *split) {
+      for (network::SegmentId sid : mt.truth_path) {
+        if (sid < 0 || sid >= b.net.num_segments()) {
+          return core::Status::InvalidArgument(
+              "truth path references a segment outside the network");
+        }
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace lhmm::io

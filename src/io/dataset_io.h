@@ -1,0 +1,32 @@
+#ifndef LHMM_IO_DATASET_IO_H_
+#define LHMM_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "sim/dataset.h"
+
+namespace lhmm::io {
+
+/// A dataset loaded back from disk: the pieces a matcher/trainer needs
+/// (network, towers, splits), without the simulator configuration.
+struct DatasetBundle {
+  network::RoadNetwork net;
+  std::vector<sim::Tower> towers;
+  std::vector<traj::MatchedTrajectory> train;
+  std::vector<traj::MatchedTrajectory> test;
+};
+
+/// Writes a simulated dataset as a file bundle under `prefix`:
+/// `<prefix>_nodes.csv`, `<prefix>_segments.csv` (network),
+/// `<prefix>_towers.csv`, `<prefix>_train.csv[.paths]`,
+/// `<prefix>_test.csv[.paths]`. The on-disk interchange format of the
+/// `lhmm_cli` pipeline.
+core::Status SaveDatasetBundle(const sim::Dataset& ds, const std::string& prefix);
+
+/// Loads a bundle previously written by SaveDatasetBundle.
+core::Result<DatasetBundle> LoadDatasetBundle(const std::string& prefix);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_DATASET_IO_H_

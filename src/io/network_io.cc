@@ -1,0 +1,165 @@
+#include "io/network_io.h"
+
+#include <fstream>
+
+#include "core/csv.h"
+#include "core/strings.h"
+
+namespace lhmm::io {
+
+namespace {
+
+std::string EncodePolyline(const geo::Polyline& line) {
+  std::string out;
+  for (int i = 0; i < line.size(); ++i) {
+    if (i > 0) out += ';';
+    out += core::StrFormat("%.3f %.3f", line[i].x, line[i].y);
+  }
+  return out;
+}
+
+core::Result<std::vector<geo::Point>> DecodePolyline(const std::string& text) {
+  std::vector<geo::Point> pts;
+  for (const std::string& pair : core::StrSplit(text, ';')) {
+    const auto xy = core::StrSplit(std::string(core::StrTrim(pair)), ' ');
+    if (xy.size() != 2) {
+      return core::Status::InvalidArgument("bad polyline vertex: " + pair);
+    }
+    double x = 0.0;
+    double y = 0.0;
+    if (!core::ParseDouble(xy[0], &x) || !core::ParseDouble(xy[1], &y)) {
+      return core::Status::InvalidArgument("bad polyline number: " + pair);
+    }
+    pts.push_back({x, y});
+  }
+  if (pts.size() < 2) {
+    return core::Status::InvalidArgument("polyline needs two vertices");
+  }
+  return pts;
+}
+
+}  // namespace
+
+core::Status SaveNetworkCsv(const network::RoadNetwork& net,
+                            const std::string& prefix) {
+  core::CsvWriter nodes(prefix + "_nodes.csv");
+  nodes.AddRow({"id", "x", "y"});
+  for (network::NodeId v = 0; v < net.num_nodes(); ++v) {
+    nodes.AddRow({core::StrFormat("%d", v),
+                  core::StrFormat("%.3f", net.node(v).pos.x),
+                  core::StrFormat("%.3f", net.node(v).pos.y)});
+  }
+  LHMM_RETURN_IF_ERROR(nodes.Flush());
+
+  core::CsvWriter segs(prefix + "_segments.csv");
+  segs.AddRow({"id", "from", "to", "length", "speed_limit", "level", "reverse",
+               "polyline"});
+  for (const network::RoadSegment& seg : net.segments()) {
+    segs.AddRow({core::StrFormat("%d", seg.id), core::StrFormat("%d", seg.from),
+                 core::StrFormat("%d", seg.to),
+                 core::StrFormat("%.3f", seg.length),
+                 core::StrFormat("%.2f", seg.speed_limit),
+                 core::StrFormat("%d", static_cast<int>(seg.level)),
+                 core::StrFormat("%d", seg.reverse), EncodePolyline(seg.geometry)});
+  }
+  return segs.Flush();
+}
+
+core::Result<network::RoadNetwork> LoadNetworkCsv(const std::string& prefix) {
+  const auto node_rows = core::ReadCsv(prefix + "_nodes.csv");
+  if (!node_rows.ok()) return node_rows.status();
+  const auto seg_rows = core::ReadCsv(prefix + "_segments.csv");
+  if (!seg_rows.ok()) return seg_rows.status();
+
+  network::RoadNetwork net;
+  for (size_t i = 1; i < node_rows->size(); ++i) {
+    const auto& row = (*node_rows)[i];
+    if (row.size() < 3) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("nodes row %zu malformed", i));
+    }
+    double x = 0.0;
+    double y = 0.0;
+    if (!core::ParseDouble(row[1], &x) || !core::ParseDouble(row[2], &y)) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("nodes row %zu has bad coordinates", i));
+    }
+    net.AddNode({x, y});
+  }
+
+  // First pass adds segments; reverse links are validated against the file's
+  // ids, which must match insertion order.
+  std::vector<network::SegmentId> reverse_of;
+  for (size_t i = 1; i < seg_rows->size(); ++i) {
+    const auto& row = (*seg_rows)[i];
+    if (row.size() < 8) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("segments row %zu malformed", i));
+    }
+    int from = 0;
+    int to = 0;
+    int level = 0;
+    int reverse = -1;
+    double speed = 0.0;
+    if (!core::ParseInt(row[1], &from) || !core::ParseInt(row[2], &to) ||
+        !core::ParseDouble(row[4], &speed) || !core::ParseInt(row[5], &level) ||
+        !core::ParseInt(row[6], &reverse)) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("segments row %zu has bad fields", i));
+    }
+    if (from < 0 || from >= net.num_nodes() || to < 0 || to >= net.num_nodes()) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("segments row %zu references unknown nodes", i));
+    }
+    auto pts = DecodePolyline(row[7]);
+    if (!pts.ok()) return pts.status();
+    net.AddSegment(from, to, geo::Polyline(std::move(*pts)), speed,
+                   static_cast<network::RoadLevel>(level));
+    reverse_of.push_back(reverse);
+  }
+  // Stitch reverse twins through the public two-way construction invariant:
+  // rebuild is not possible post hoc, so validate only.
+  for (size_t i = 0; i < reverse_of.size(); ++i) {
+    const network::SegmentId rev = reverse_of[i];
+    if (rev == network::kInvalidSegment) continue;
+    if (rev < 0 || rev >= net.num_segments()) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("segment %zu has bad reverse id %d", i, rev));
+    }
+    const auto& a = net.segment(static_cast<network::SegmentId>(i));
+    const auto& b = net.segment(rev);
+    if (a.from != b.to || a.to != b.from) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("segment %zu reverse id %d is not its twin", i, rev));
+    }
+    net.SetReverse(static_cast<network::SegmentId>(i), rev);
+  }
+  LHMM_RETURN_IF_ERROR(net.Validate());
+  return net;
+}
+
+core::Status ExportNetworkGeoJson(const network::RoadNetwork& net,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return core::Status::IoError("cannot open " + path);
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  for (const network::RoadSegment& seg : net.segments()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"type\":\"Feature\",\"properties\":{\"id\":" << seg.id
+        << ",\"level\":" << static_cast<int>(seg.level)
+        << ",\"speed_limit\":" << seg.speed_limit
+        << "},\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+    for (int i = 0; i < seg.geometry.size(); ++i) {
+      if (i > 0) out << ",";
+      out << core::StrFormat("[%.3f,%.3f]", seg.geometry[i].x, seg.geometry[i].y);
+    }
+    out << "]}}";
+  }
+  out << "]}";
+  if (!out.good()) return core::Status::IoError("write failed for " + path);
+  return core::Status::Ok();
+}
+
+}  // namespace lhmm::io

@@ -1,0 +1,29 @@
+#ifndef LHMM_IO_NETWORK_IO_H_
+#define LHMM_IO_NETWORK_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "network/road_network.h"
+
+namespace lhmm::io {
+
+/// Writes a road network as a pair of CSV files: `<prefix>_nodes.csv`
+/// (id,x,y) and `<prefix>_segments.csv`
+/// (id,from,to,length,speed_limit,level,reverse,polyline) where polyline is a
+/// `x1 y1;x2 y2;...` vertex list in local meters.
+core::Status SaveNetworkCsv(const network::RoadNetwork& net,
+                            const std::string& prefix);
+
+/// Loads a road network previously written by SaveNetworkCsv. Validates
+/// structure before returning.
+core::Result<network::RoadNetwork> LoadNetworkCsv(const std::string& prefix);
+
+/// Exports the network as a GeoJSON FeatureCollection of LineStrings in local
+/// meter coordinates (set `origin` to georeference into WGS-84 lon/lat).
+core::Status ExportNetworkGeoJson(const network::RoadNetwork& net,
+                                  const std::string& path);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_NETWORK_IO_H_

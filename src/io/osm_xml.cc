@@ -1,0 +1,237 @@
+#include "io/osm_xml.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "core/strings.h"
+
+namespace lhmm::io {
+
+namespace {
+
+/// One parsed XML element open-tag: name plus attributes.
+struct Element {
+  std::string name;
+  std::unordered_map<std::string, std::string> attrs;
+  bool self_closing = false;
+  size_t end = 0;  ///< Offset just past the closing '>'.
+};
+
+/// Parses the element whose '<' is at `pos`. Returns false on malformed
+/// syntax or when `pos` does not start an open tag (comments, closers, and
+/// declarations are skipped by the caller).
+bool ParseElement(const std::string& xml, size_t pos, Element* out) {
+  if (pos >= xml.size() || xml[pos] != '<') return false;
+  const size_t close = xml.find('>', pos);
+  if (close == std::string::npos) return false;
+  std::string body = xml.substr(pos + 1, close - pos - 1);
+  out->end = close + 1;
+  out->self_closing = !body.empty() && body.back() == '/';
+  if (out->self_closing) body.pop_back();
+
+  // Element name.
+  size_t i = 0;
+  while (i < body.size() && !std::isspace(static_cast<unsigned char>(body[i]))) {
+    ++i;
+  }
+  out->name = body.substr(0, i);
+  out->attrs.clear();
+  // Attributes: key="value".
+  while (i < body.size()) {
+    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    const size_t eq = body.find('=', i);
+    if (eq == std::string::npos) break;
+    const std::string key(core::StrTrim(body.substr(i, eq - i)));
+    const size_t q1 = body.find_first_of("\"'", eq);
+    if (q1 == std::string::npos) return false;
+    const char quote = body[q1];
+    const size_t q2 = body.find(quote, q1 + 1);
+    if (q2 == std::string::npos) return false;
+    out->attrs[key] = body.substr(q1 + 1, q2 - q1 - 1);
+    i = q2 + 1;
+  }
+  return true;
+}
+
+/// Parses OSM `maxspeed` values ("50", "50 km/h", "30 mph") to m/s.
+double ParseMaxspeed(const std::string& value, double fallback) {
+  double number = 0.0;
+  size_t i = 0;
+  while (i < value.size() &&
+         (std::isdigit(static_cast<unsigned char>(value[i])) || value[i] == '.')) {
+    ++i;
+  }
+  if (i == 0 || !core::ParseDouble(value.substr(0, i), &number)) return fallback;
+  if (value.find("mph") != std::string::npos) return number * 0.44704;
+  return number / 3.6;  // km/h default.
+}
+
+network::RoadLevel LevelOf(const std::string& highway) {
+  if (highway.rfind("motorway", 0) == 0 || highway.rfind("trunk", 0) == 0 ||
+      highway.rfind("primary", 0) == 0) {
+    return network::RoadLevel::kArterial;
+  }
+  if (highway.rfind("secondary", 0) == 0 || highway.rfind("tertiary", 0) == 0) {
+    return network::RoadLevel::kCollector;
+  }
+  return network::RoadLevel::kLocal;
+}
+
+}  // namespace
+
+core::Result<OsmImportResult> ParseOsmXml(const std::string& xml,
+                                          const OsmImportOptions& options) {
+  struct RawNode {
+    geo::LatLon ll;
+  };
+  std::unordered_map<long long, RawNode> raw_nodes;
+  struct RawWay {
+    std::vector<long long> nodes;
+    std::string highway;
+    double speed = 0.0;
+    bool oneway = false;
+  };
+  std::vector<RawWay> ways;
+
+  // Single pass over tags.
+  size_t pos = xml.find('<');
+  RawWay* open_way = nullptr;
+  RawWay pending;
+  while (pos != std::string::npos) {
+    if (xml.compare(pos, 4, "<!--") == 0) {
+      const size_t end = xml.find("-->", pos);
+      if (end == std::string::npos) break;
+      pos = xml.find('<', end + 3);
+      continue;
+    }
+    if (pos + 1 < xml.size() && (xml[pos + 1] == '/' || xml[pos + 1] == '?')) {
+      if (xml.compare(pos, 6, "</way>") == 0 && open_way != nullptr) {
+        ways.push_back(pending);
+        open_way = nullptr;
+      }
+      pos = xml.find('<', pos + 1);
+      continue;
+    }
+    Element el;
+    if (!ParseElement(xml, pos, &el)) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("malformed XML near offset %zu", pos));
+    }
+    if (el.name == "node") {
+      double lat = 0.0;
+      double lon = 0.0;
+      // Node ids can exceed int; parse with strtoll.
+      const auto it = el.attrs.find("id");
+      if (it == el.attrs.end()) {
+        return core::Status::InvalidArgument("node without id");
+      }
+      const long long id = std::strtoll(it->second.c_str(), nullptr, 10);
+      if (!core::ParseDouble(el.attrs.count("lat") ? el.attrs["lat"] : "", &lat) ||
+          !core::ParseDouble(el.attrs.count("lon") ? el.attrs["lon"] : "", &lon)) {
+        return core::Status::InvalidArgument(
+            core::StrFormat("node %lld without lat/lon", id));
+      }
+      raw_nodes[id] = RawNode{{lat, lon}};
+    } else if (el.name == "way") {
+      pending = RawWay{};
+      pending.speed = options.default_speed;
+      if (el.self_closing) {
+        // Empty way: ignore.
+      } else {
+        open_way = &pending;
+      }
+    } else if (el.name == "nd" && open_way != nullptr) {
+      const auto it = el.attrs.find("ref");
+      if (it != el.attrs.end()) {
+        open_way->nodes.push_back(std::strtoll(it->second.c_str(), nullptr, 10));
+      }
+    } else if (el.name == "tag" && open_way != nullptr) {
+      const std::string k = el.attrs.count("k") ? el.attrs["k"] : "";
+      const std::string v = el.attrs.count("v") ? el.attrs["v"] : "";
+      if (k == "highway") open_way->highway = v;
+      if (k == "maxspeed") {
+        open_way->speed = ParseMaxspeed(v, options.default_speed);
+      }
+      if (k == "oneway") open_way->oneway = (v == "yes" || v == "1" || v == "true");
+    }
+    pos = xml.find('<', el.end);
+  }
+
+  // Filter ways, compute projection origin from referenced nodes.
+  std::vector<const RawWay*> kept;
+  double lat_sum = 0.0;
+  double lon_sum = 0.0;
+  int coord_count = 0;
+  for (const RawWay& way : ways) {
+    if (way.nodes.size() < 2) continue;
+    if (std::find(options.highway_classes.begin(), options.highway_classes.end(),
+                  way.highway) == options.highway_classes.end()) {
+      continue;
+    }
+    bool complete = true;
+    for (long long id : way.nodes) {
+      if (!raw_nodes.count(id)) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    kept.push_back(&way);
+    for (long long id : way.nodes) {
+      lat_sum += raw_nodes[id].ll.lat;
+      lon_sum += raw_nodes[id].ll.lon;
+      ++coord_count;
+    }
+  }
+  if (kept.empty()) {
+    return core::Status::InvalidArgument("no drivable ways found in OSM input");
+  }
+
+  OsmImportResult result;
+  result.origin = {lat_sum / coord_count, lon_sum / coord_count};
+  const geo::LocalProjection proj(result.origin);
+
+  // Materialize nodes on demand; each way edge becomes one segment (plus the
+  // reverse twin unless oneway).
+  std::unordered_map<long long, network::NodeId> node_of;
+  auto intern = [&](long long id) {
+    const auto it = node_of.find(id);
+    if (it != node_of.end()) return it->second;
+    const network::NodeId v = result.net.AddNode(proj.Forward(raw_nodes[id].ll));
+    node_of[id] = v;
+    return v;
+  };
+  for (const RawWay* way : kept) {
+    const network::RoadLevel level = LevelOf(way->highway);
+    for (size_t i = 0; i + 1 < way->nodes.size(); ++i) {
+      const network::NodeId a = intern(way->nodes[i]);
+      const network::NodeId b = intern(way->nodes[i + 1]);
+      if (a == b) continue;
+      if (way->oneway) {
+        result.net.AddSegment(a, b, way->speed, level);
+      } else {
+        result.net.AddTwoWay(a, b, way->speed, level);
+      }
+    }
+  }
+  if (options.keep_largest_scc) {
+    result.net =
+        result.net.InducedSubnetwork(result.net.LargestStronglyConnectedComponent());
+  }
+  LHMM_RETURN_IF_ERROR(result.net.Validate());
+  return result;
+}
+
+core::Result<OsmImportResult> LoadOsmXml(const std::string& path,
+                                         const OsmImportOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return core::Status::IoError("cannot open " + path);
+  std::string xml((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return ParseOsmXml(xml, options);
+}
+
+}  // namespace lhmm::io

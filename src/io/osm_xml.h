@@ -1,0 +1,49 @@
+#ifndef LHMM_IO_OSM_XML_H_
+#define LHMM_IO_OSM_XML_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "geo/latlon.h"
+#include "network/road_network.h"
+
+namespace lhmm::io {
+
+/// Options controlling the OSM import.
+struct OsmImportOptions {
+  /// Ways whose `highway` tag is absent or in none of these classes are
+  /// skipped. Defaults cover the drivable network.
+  std::vector<std::string> highway_classes = {
+      "motorway", "trunk",       "primary",     "secondary", "tertiary",
+      "unclassified", "residential", "motorway_link", "trunk_link",
+      "primary_link", "secondary_link", "tertiary_link", "living_street"};
+  /// Fallback speed limit (m/s) when no `maxspeed` tag parses.
+  double default_speed = 13.9;
+  /// Keep only the largest strongly connected component after import.
+  bool keep_largest_scc = true;
+};
+
+/// Result of an OSM import: the network plus the projection used to convert
+/// WGS-84 coordinates into the local planar frame.
+struct OsmImportResult {
+  network::RoadNetwork net;
+  geo::LatLon origin;  ///< Projection origin (mean of node coordinates).
+};
+
+/// Parses OpenStreetMap XML (`.osm`) from a string: `<node>` elements with
+/// lat/lon, `<way>` elements with `<nd ref>` chains and `<tag>` metadata.
+/// Two-way roads become twin segment pairs; `oneway=yes` ways a single
+/// direction. This is a deliberately small parser for the OSM XML subset
+/// that describes road geometry — not a general XML library; it tolerates
+/// attribute reordering and self-closing tags, and fails with a Status on
+/// structurally broken input.
+core::Result<OsmImportResult> ParseOsmXml(const std::string& xml,
+                                          const OsmImportOptions& options = {});
+
+/// Reads the file at `path` and parses it with ParseOsmXml.
+core::Result<OsmImportResult> LoadOsmXml(const std::string& path,
+                                         const OsmImportOptions& options = {});
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_OSM_XML_H_

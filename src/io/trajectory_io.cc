@@ -1,0 +1,126 @@
+#include "io/trajectory_io.h"
+
+#include <fstream>
+
+#include "core/csv.h"
+#include "core/strings.h"
+
+namespace lhmm::io {
+
+core::Status SaveTrajectoriesCsv(const std::vector<traj::MatchedTrajectory>& data,
+                                 const std::string& path) {
+  core::CsvWriter csv(path);
+  csv.AddRow({"traj", "channel", "seq", "t", "x", "y", "tower"});
+  for (size_t ti = 0; ti < data.size(); ++ti) {
+    const auto& mt = data[ti];
+    for (int i = 0; i < mt.cellular.size(); ++i) {
+      const auto& p = mt.cellular[i];
+      csv.AddRow({core::StrFormat("%zu", ti), "cell", core::StrFormat("%d", i),
+                  core::StrFormat("%.3f", p.t), core::StrFormat("%.3f", p.pos.x),
+                  core::StrFormat("%.3f", p.pos.y),
+                  core::StrFormat("%d", p.tower)});
+    }
+    for (int i = 0; i < mt.gps.size(); ++i) {
+      const auto& p = mt.gps[i];
+      csv.AddRow({core::StrFormat("%zu", ti), "gps", core::StrFormat("%d", i),
+                  core::StrFormat("%.3f", p.t), core::StrFormat("%.3f", p.pos.x),
+                  core::StrFormat("%.3f", p.pos.y), "-1"});
+    }
+  }
+  LHMM_RETURN_IF_ERROR(csv.Flush());
+
+  std::vector<std::vector<network::SegmentId>> paths;
+  paths.reserve(data.size());
+  for (const auto& mt : data) paths.push_back(mt.truth_path);
+  return SavePaths(paths, path + ".paths");
+}
+
+core::Result<std::vector<traj::MatchedTrajectory>> LoadTrajectoriesCsv(
+    const std::string& path) {
+  const auto rows = core::ReadCsv(path);
+  if (!rows.ok()) return rows.status();
+  std::vector<traj::MatchedTrajectory> out;
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const auto& row = (*rows)[i];
+    if (row.size() < 7) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("trajectory row %zu malformed", i));
+    }
+    int ti = 0;
+    int tower = -1;
+    double t = 0.0;
+    double x = 0.0;
+    double y = 0.0;
+    if (!core::ParseInt(row[0], &ti) || !core::ParseDouble(row[3], &t) ||
+        !core::ParseDouble(row[4], &x) || !core::ParseDouble(row[5], &y) ||
+        !core::ParseInt(row[6], &tower)) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("trajectory row %zu has bad fields", i));
+    }
+    if (ti < 0) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("trajectory row %zu has negative id", i));
+    }
+    if (static_cast<size_t>(ti) >= out.size()) out.resize(ti + 1);
+    traj::TrajPoint p{{x, y}, t, tower};
+    if (row[1] == "cell") {
+      out[ti].cellular.points.push_back(p);
+    } else if (row[1] == "gps") {
+      out[ti].gps.points.push_back(p);
+    } else {
+      return core::Status::InvalidArgument("unknown channel " + row[1]);
+    }
+  }
+  const auto paths = LoadPaths(path + ".paths");
+  if (!paths.ok()) return paths.status();
+  if (paths->size() > out.size()) out.resize(paths->size());
+  for (size_t i = 0; i < paths->size(); ++i) out[i].truth_path = (*paths)[i];
+  return out;
+}
+
+core::Status SavePaths(const std::vector<std::vector<network::SegmentId>>& paths,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return core::Status::IoError("cannot open " + path);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    out << i << ":";
+    for (size_t j = 0; j < paths[i].size(); ++j) {
+      out << (j == 0 ? "" : " ") << paths[i][j];
+    }
+    out << "\n";
+  }
+  if (!out.good()) return core::Status::IoError("write failed for " + path);
+  return core::Status::Ok();
+}
+
+core::Result<std::vector<std::vector<network::SegmentId>>> LoadPaths(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return core::Status::IoError("cannot open " + path);
+  std::vector<std::vector<network::SegmentId>> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return core::Status::InvalidArgument("path line missing colon: " + line);
+    }
+    int idx = 0;
+    if (!core::ParseInt(line.substr(0, colon), &idx) || idx < 0) {
+      return core::Status::InvalidArgument("bad path index in: " + line);
+    }
+    if (static_cast<size_t>(idx) >= out.size()) out.resize(idx + 1);
+    std::vector<network::SegmentId> segs;
+    for (const std::string& tok : core::StrSplit(line.substr(colon + 1), ' ')) {
+      if (core::StrTrim(tok).empty()) continue;
+      int sid = 0;
+      if (!core::ParseInt(tok, &sid)) {
+        return core::Status::InvalidArgument("bad segment id in: " + line);
+      }
+      segs.push_back(sid);
+    }
+    out[idx] = std::move(segs);
+  }
+  return out;
+}
+
+}  // namespace lhmm::io

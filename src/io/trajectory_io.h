@@ -1,0 +1,34 @@
+#ifndef LHMM_IO_TRAJECTORY_IO_H_
+#define LHMM_IO_TRAJECTORY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::io {
+
+/// Writes matched trajectories to one CSV with columns
+/// (traj,channel,seq,t,x,y,tower): channel is "cell" or "gps"; tower is -1
+/// for GPS samples. Truth paths go to `<path>.paths` with lines
+/// `traj:seg1 seg2 ...`.
+core::Status SaveTrajectoriesCsv(const std::vector<traj::MatchedTrajectory>& data,
+                                 const std::string& path);
+
+/// Loads trajectories previously written by SaveTrajectoriesCsv.
+core::Result<std::vector<traj::MatchedTrajectory>> LoadTrajectoriesCsv(
+    const std::string& path);
+
+/// Writes matched road paths (one line of segment ids per trajectory) to a
+/// plain text file; the format consumed by downstream flow-analysis tools.
+core::Status SavePaths(const std::vector<std::vector<network::SegmentId>>& paths,
+                       const std::string& path);
+
+/// Loads a path file written by SavePaths.
+core::Result<std::vector<std::vector<network::SegmentId>>> LoadPaths(
+    const std::string& path);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_TRAJECTORY_IO_H_

@@ -1,0 +1,119 @@
+#include "lhmm/het_encoder.h"
+
+#include "core/logging.h"
+
+namespace lhmm::lhmm {
+
+namespace {
+
+/// Matrix-only sparse mix for the no-grad inference path.
+nn::Matrix SparseMix(const nn::SparseRows& s, const nn::Matrix& x) {
+  nn::Matrix out(static_cast<int>(s.rows.size()), x.cols());
+  for (size_t i = 0; i < s.rows.size(); ++i) {
+    float* orow = out.Row(static_cast<int>(i));
+    for (const auto& [src, weight] : s.rows[i]) {
+      const float* xrow = x.Row(src);
+      for (int j = 0; j < x.cols(); ++j) orow[j] += weight * xrow[j];
+    }
+  }
+  return out;
+}
+
+void ReluInPlace(nn::Matrix* m) {
+  for (int i = 0; i < m->size(); ++i) {
+    if (m->data()[i] < 0.0f) m->data()[i] = 0.0f;
+  }
+}
+
+}  // namespace
+
+HetGraphEncoder::HetGraphEncoder(const MultiRelationalGraph* graph,
+                                 const EncoderConfig& config, core::Rng* rng)
+    : graph_(graph), config_(config), init_(graph->num_nodes(), config.dim, rng) {
+  CHECK(graph != nullptr);
+  CHECK_GE(config.layers, 1);
+  const int d = config.dim;
+  switch (config.kind) {
+    case EncoderKind::kHeterogeneous:
+      for (int l = 0; l < config.layers; ++l) {
+        std::vector<nn::Linear> per_rel;
+        for (int r = 0; r < kNumRelations; ++r) per_rel.emplace_back(d, d, rng);
+        weight_rel_.push_back(std::move(per_rel));
+        weight_self_.emplace_back(d, d, rng);
+        weight_agg_.emplace_back(d, d, rng);
+      }
+      break;
+    case EncoderKind::kHomogeneous:
+      for (int l = 0; l < config.layers; ++l) {
+        std::vector<nn::Linear> per_rel;
+        per_rel.emplace_back(d, d, rng);  // One shared relation weight.
+        weight_rel_.push_back(std::move(per_rel));
+        weight_self_.emplace_back(d, d, rng);
+        weight_agg_.emplace_back(d, d, rng);
+      }
+      break;
+    case EncoderKind::kMlpOnly:
+      mlp_ = std::make_unique<nn::Mlp>(std::vector<int>{d, d, d}, rng);
+      break;
+  }
+}
+
+nn::Tensor HetGraphEncoder::Forward() const {
+  nn::Tensor h = init_.table();
+  if (config_.kind == EncoderKind::kMlpOnly) {
+    return mlp_->Forward(h);
+  }
+  for (int l = 0; l < config_.layers; ++l) {
+    nn::Tensor agg = weight_self_[l].Forward(h);  // W_0 h term of Eq. (5).
+    if (config_.kind == EncoderKind::kHeterogeneous) {
+      for (int r = 0; r < kNumRelations; ++r) {
+        const auto adj = graph_->MessageMatrix(static_cast<Relation>(r));
+        // Eq. (4): z^rel = mean-normalized neighborhood of W_rel h.
+        nn::Tensor z = nn::SparseMixT(adj, weight_rel_[l][r].Forward(h));
+        agg = nn::AddT(agg, weight_agg_[l].Forward(z));
+      }
+    } else {
+      const auto adj = graph_->UnionMessageMatrix();
+      nn::Tensor z = nn::SparseMixT(adj, weight_rel_[l][0].Forward(h));
+      agg = nn::AddT(agg, weight_agg_[l].Forward(z));
+    }
+    h = nn::ReluT(agg);
+  }
+  return h;
+}
+
+nn::Matrix HetGraphEncoder::ForwardNoGrad() const {
+  nn::Matrix h = init_.table().value();
+  if (config_.kind == EncoderKind::kMlpOnly) {
+    return mlp_->Forward(h);
+  }
+  for (int l = 0; l < config_.layers; ++l) {
+    nn::Matrix agg = weight_self_[l].Forward(h);
+    if (config_.kind == EncoderKind::kHeterogeneous) {
+      for (int r = 0; r < kNumRelations; ++r) {
+        const auto adj = graph_->MessageMatrix(static_cast<Relation>(r));
+        const nn::Matrix z = SparseMix(*adj, weight_rel_[l][r].Forward(h));
+        agg.Accumulate(weight_agg_[l].Forward(z));
+      }
+    } else {
+      const auto adj = graph_->UnionMessageMatrix();
+      const nn::Matrix z = SparseMix(*adj, weight_rel_[l][0].Forward(h));
+      agg.Accumulate(weight_agg_[l].Forward(z));
+    }
+    ReluInPlace(&agg);
+    h = std::move(agg);
+  }
+  return h;
+}
+
+void HetGraphEncoder::CollectParams(std::vector<nn::Tensor>* out) {
+  init_.CollectParams(out);
+  for (auto& per_rel : weight_rel_) {
+    for (nn::Linear& w : per_rel) w.CollectParams(out);
+  }
+  for (nn::Linear& w : weight_self_) w.CollectParams(out);
+  for (nn::Linear& w : weight_agg_) w.CollectParams(out);
+  if (mlp_) mlp_->CollectParams(out);
+}
+
+}  // namespace lhmm::lhmm

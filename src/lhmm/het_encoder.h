@@ -1,0 +1,62 @@
+#ifndef LHMM_LHMM_HET_ENCODER_H_
+#define LHMM_LHMM_HET_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "lhmm/mr_graph.h"
+#include "nn/modules.h"
+
+namespace lhmm::lhmm {
+
+/// Which representation-learning architecture to use; the non-default values
+/// implement the paper's Table III ablations.
+enum class EncoderKind {
+  kHeterogeneous,  ///< Full R-GCN-style Het-Graph Encoder (Eq. 4-5).
+  kHomogeneous,    ///< LHMM-H: one shared weight over the union graph (GCN).
+  kMlpOnly,        ///< LHMM-E: MLP over free embeddings, no message passing.
+};
+
+/// Hyperparameters of the encoder.
+struct EncoderConfig {
+  int dim = 48;    ///< Embedding and hidden width (paper uses 128).
+  int layers = 2;  ///< Message-passing iterations q (paper: q = 2).
+  EncoderKind kind = EncoderKind::kHeterogeneous;
+};
+
+/// The Het-Graph Encoder (Section IV-B): free initial embeddings
+/// h^(0) = W_init^T v (one-hot), then q rounds of per-relation message
+/// passing z_i^rel = mean_{j in N_i^rel} W_rel h_j (Eq. 4) aggregated as
+/// h_i^(l+1) = ReLU(sum_rel W_agg z_i^rel + W_0 h_i^(l)) (Eq. 5).
+class HetGraphEncoder : public nn::Module {
+ public:
+  HetGraphEncoder(const MultiRelationalGraph* graph, const EncoderConfig& config,
+                  core::Rng* rng);
+
+  /// Full-graph forward on the tape; returns the |V| x dim node embeddings.
+  nn::Tensor Forward() const;
+
+  /// Inference forward without gradient tracking.
+  nn::Matrix ForwardNoGrad() const;
+
+  void CollectParams(std::vector<nn::Tensor>* out) override;
+
+  const EncoderConfig& config() const { return config_; }
+  const MultiRelationalGraph* graph() const { return graph_; }
+
+ private:
+  const MultiRelationalGraph* graph_;
+  EncoderConfig config_;
+  nn::Embedding init_;  ///< W_init as a free embedding table.
+  /// weight_rel_[l][r]: W_rel of layer l, relation r (kHeterogeneous), or a
+  /// single shared matrix per layer (kHomogeneous). Empty for kMlpOnly.
+  std::vector<std::vector<nn::Linear>> weight_rel_;
+  std::vector<nn::Linear> weight_self_;  ///< W_0 per layer.
+  std::vector<nn::Linear> weight_agg_;   ///< W_agg per layer.
+  /// kMlpOnly: plain MLP applied to the free embeddings.
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace lhmm::lhmm
+
+#endif  // LHMM_LHMM_HET_ENCODER_H_

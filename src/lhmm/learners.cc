@@ -1,0 +1,186 @@
+#include "lhmm/learners.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::lhmm {
+
+FeatureNorm FitFeatureNorm(const std::vector<double>& values) {
+  FeatureNorm out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  out.mean = static_cast<float>(mean);
+  out.std = static_cast<float>(std::max(1e-3, std::sqrt(var)));
+  return out;
+}
+
+std::vector<double> PositiveProbs(const nn::Matrix& logits) {
+  CHECK_EQ(logits.cols(), 2);
+  std::vector<double> out(logits.rows());
+  for (int i = 0; i < logits.rows(); ++i) {
+    // Class 1 = positive. Stable two-class softmax.
+    const double z = logits(i, 1) - logits(i, 0);
+    out[i] = 1.0 / (1.0 + std::exp(-z));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ObservationLearner
+// ---------------------------------------------------------------------------
+
+ObservationLearner::ObservationLearner(int dim, bool use_implicit, core::Rng* rng)
+    : use_implicit_(use_implicit),
+      attention_(dim, dim, dim, rng),
+      implicit_({2 * dim, dim, 2}, rng),
+      fusion_({(use_implicit ? 1 : 0) + kNumExplicit, 16, 2}, rng) {}
+
+nn::Tensor ObservationLearner::ContextAll(const nn::Tensor& points) const {
+  const int n = points.rows();
+  CHECK_GT(n, 0);
+  // One attention pass per query point (n <= ~50 per trajectory).
+  std::vector<nn::Tensor> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const nn::Tensor q = nn::RowsT(points, {i});
+    rows.push_back(attention_.Forward(q, points, points));
+  }
+  return nn::ConcatRowsT(rows);
+}
+
+nn::Tensor ObservationLearner::ImplicitLogits(const nn::Tensor& roads,
+                                              const nn::Tensor& contexts) const {
+  return implicit_.Forward(nn::ConcatColsT(roads, contexts));
+}
+
+nn::Tensor ObservationLearner::FusionLogits(const nn::Tensor& features) const {
+  return fusion_.Forward(features);
+}
+
+nn::Matrix ObservationLearner::ContextAll(const nn::Matrix& points) const {
+  nn::Matrix out(points.rows(), points.cols());
+  nn::Matrix query(1, points.cols());
+  for (int i = 0; i < points.rows(); ++i) {
+    for (int j = 0; j < points.cols(); ++j) query(0, j) = points(i, j);
+    const nn::Matrix ctx = attention_.Forward(query, points, points);
+    for (int j = 0; j < points.cols(); ++j) out(i, j) = ctx(0, j);
+  }
+  return out;
+}
+
+std::vector<double> ObservationLearner::ImplicitProb(
+    const nn::Matrix& roads, const nn::Matrix& contexts) const {
+  CHECK_EQ(roads.rows(), contexts.rows());
+  nn::Matrix cat(roads.rows(), roads.cols() + contexts.cols());
+  for (int i = 0; i < roads.rows(); ++i) {
+    float* row = cat.Row(i);
+    for (int j = 0; j < roads.cols(); ++j) row[j] = roads(i, j);
+    for (int j = 0; j < contexts.cols(); ++j) row[roads.cols() + j] = contexts(i, j);
+  }
+  return PositiveProbs(implicit_.Forward(cat));
+}
+
+std::vector<double> ObservationLearner::FusionProb(
+    const nn::Matrix& features) const {
+  return PositiveProbs(fusion_.Forward(features));
+}
+
+void ObservationLearner::CollectParams(std::vector<nn::Tensor>* out) {
+  attention_.CollectParams(out);
+  implicit_.CollectParams(out);
+  fusion_.CollectParams(out);
+}
+
+std::vector<nn::Tensor> ObservationLearner::FusionParams() {
+  return fusion_.Params();
+}
+
+std::vector<nn::Tensor> ObservationLearner::ImplicitParams() {
+  std::vector<nn::Tensor> out;
+  attention_.CollectParams(&out);
+  implicit_.CollectParams(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TransitionLearner
+// ---------------------------------------------------------------------------
+
+TransitionLearner::TransitionLearner(int dim, bool use_implicit, core::Rng* rng)
+    : use_implicit_(use_implicit),
+      attention_(dim, dim, dim, rng),
+      membership_({2 * dim, dim, 2}, rng),
+      fusion_({(use_implicit ? 1 : 0) + kNumExplicit, 16, 1}, rng) {}
+
+nn::Tensor TransitionLearner::RoadContexts(const nn::Tensor& roads,
+                                           const nn::Tensor& points) const {
+  const int r = roads.rows();
+  CHECK_GT(r, 0);
+  std::vector<nn::Tensor> rows;
+  rows.reserve(r);
+  for (int i = 0; i < r; ++i) {
+    const nn::Tensor q = nn::RowsT(roads, {i});
+    rows.push_back(attention_.Forward(q, points, points));
+  }
+  return nn::ConcatRowsT(rows);
+}
+
+nn::Tensor TransitionLearner::MembershipLogits(const nn::Tensor& roads,
+                                               const nn::Tensor& contexts) const {
+  return membership_.Forward(nn::ConcatColsT(roads, contexts));
+}
+
+nn::Tensor TransitionLearner::FusionLogits(const nn::Tensor& features) const {
+  return fusion_.Forward(features);
+}
+
+double TransitionLearner::MembershipProb(const nn::Matrix& road,
+                                         const nn::Matrix& points) const {
+  return MembershipProbProjected(road, attention_.ProjectKeys(points), points);
+}
+
+double TransitionLearner::MembershipProbProjected(
+    const nn::Matrix& road, const nn::Matrix& projected_keys,
+    const nn::Matrix& points) const {
+  const nn::Matrix ctx = attention_.ForwardProjected(road, projected_keys, points);
+  nn::Matrix cat(1, road.cols() + ctx.cols());
+  for (int j = 0; j < road.cols(); ++j) cat(0, j) = road(0, j);
+  for (int j = 0; j < ctx.cols(); ++j) cat(0, road.cols() + j) = ctx(0, j);
+  return PositiveProbs(membership_.Forward(cat))[0];
+}
+
+std::vector<double> TransitionLearner::FusionProb(
+    const nn::Matrix& features) const {
+  const nn::Matrix logits = fusion_.Forward(features);
+  CHECK_EQ(logits.cols(), 1);
+  std::vector<double> out(logits.rows());
+  for (int i = 0; i < logits.rows(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-logits(i, 0)));
+  }
+  return out;
+}
+
+void TransitionLearner::CollectParams(std::vector<nn::Tensor>* out) {
+  attention_.CollectParams(out);
+  membership_.CollectParams(out);
+  fusion_.CollectParams(out);
+}
+
+std::vector<nn::Tensor> TransitionLearner::FusionParams() {
+  return fusion_.Params();
+}
+
+std::vector<nn::Tensor> TransitionLearner::MembershipParams() {
+  std::vector<nn::Tensor> out;
+  attention_.CollectParams(&out);
+  membership_.CollectParams(&out);
+  return out;
+}
+
+}  // namespace lhmm::lhmm

@@ -1,0 +1,147 @@
+#ifndef LHMM_LHMM_LEARNERS_H_
+#define LHMM_LHMM_LEARNERS_H_
+
+#include <vector>
+
+#include "nn/modules.h"
+
+namespace lhmm::lhmm {
+
+/// Normalization statistics of one explicit scalar feature ("batch-normalized
+/// Euclidean distance" etc. in Eq. 8/12); fitted on training samples.
+struct FeatureNorm {
+  float mean = 0.0f;
+  float std = 1.0f;
+
+  float Apply(double v) const { return (static_cast<float>(v) - mean) / std; }
+};
+
+/// Fits mean/std over raw feature values (std floored at 1e-3).
+FeatureNorm FitFeatureNorm(const std::vector<double>& values);
+
+/// The observation probability learner (Section IV-C).
+///
+/// Implicit point-road correlation: attention over the trajectory's point
+/// embeddings produces a context-aware point representation x'_i (Eq. 6); an
+/// MLP scores concat(road, x'_i) into a 2-class distribution whose positive
+/// probability is P(c | x') (Eq. 7). A second MLP fuses that with explicit
+/// features (normalized distance, co-occurrence frequency) into P_O (Eq. 8).
+class ObservationLearner : public nn::Module {
+ public:
+  /// `use_implicit` = false builds the LHMM-O ablation: the fusion head sees
+  /// only the explicit features.
+  ObservationLearner(int dim, bool use_implicit, core::Rng* rng);
+
+  bool use_implicit() const { return use_implicit_; }
+
+  // --- Training-path (autodiff) ---
+
+  /// x'_i for every point of one trajectory: `points` is n x d tower
+  /// embeddings; returns n x d contexts.
+  nn::Tensor ContextAll(const nn::Tensor& points) const;
+
+  /// Implicit 2-class logits for rows of (road ⊕ context): `roads` and
+  /// `contexts` are R x d each, paired row-wise.
+  nn::Tensor ImplicitLogits(const nn::Tensor& roads,
+                            const nn::Tensor& contexts) const;
+
+  /// Fusion 2-class logits from rows [P_implicit, norm_dist, co_freq].
+  nn::Tensor FusionLogits(const nn::Tensor& features) const;
+
+  // --- Inference-path (no tape) ---
+
+  nn::Matrix ContextAll(const nn::Matrix& points) const;
+
+  /// Positive-class probability per row of (road ⊕ context).
+  std::vector<double> ImplicitProb(const nn::Matrix& roads,
+                                   const nn::Matrix& contexts) const;
+
+  /// P_O per row of [P_implicit, norm_dist, co_freq].
+  std::vector<double> FusionProb(const nn::Matrix& features) const;
+
+  void CollectParams(std::vector<nn::Tensor>* out) override;
+
+  /// Parameters of the fusion head only (for the fine-tuning stage).
+  std::vector<nn::Tensor> FusionParams();
+
+  /// Parameters of the implicit stack (attention + implicit MLP).
+  std::vector<nn::Tensor> ImplicitParams();
+
+  static constexpr int kNumExplicit = 2;  ///< norm_dist, co_freq.
+
+  const nn::AdditiveAttention& attention() const { return attention_; }
+
+ private:
+  bool use_implicit_;
+  nn::AdditiveAttention attention_;
+  nn::Mlp implicit_;
+  nn::Mlp fusion_;
+};
+
+/// The transition probability learner (Section IV-D).
+///
+/// Road-conditioned attention summarizes the trajectory per road (Eq. 9); an
+/// MLP scores road-in-trajectory membership P(e_l | X) (Eq. 10); the mean
+/// over a route's segments gives the implicit path relevance (Eq. 11), which
+/// a fusion MLP combines with explicit features (route/straight length
+/// mismatch, turn-count mismatch) into P_T (Eq. 12).
+class TransitionLearner : public nn::Module {
+ public:
+  /// `use_implicit` = false builds the LHMM-T ablation.
+  TransitionLearner(int dim, bool use_implicit, core::Rng* rng);
+
+  bool use_implicit() const { return use_implicit_; }
+
+  // --- Training-path ---
+
+  /// Trajectory representation X_l for each query road: `roads` R x d,
+  /// `points` n x d; returns R x d (one attention pass per road).
+  nn::Tensor RoadContexts(const nn::Tensor& roads, const nn::Tensor& points) const;
+
+  /// Membership 2-class logits for rows of (road ⊕ X_l).
+  nn::Tensor MembershipLogits(const nn::Tensor& roads,
+                              const nn::Tensor& contexts) const;
+
+  /// Fusion logits (R x 1) from rows [implicit_mean, len_mismatch,
+  /// turn_mismatch]; trained against the traveled-road ratio of the moving
+  /// path with a soft-target cross-entropy, so P_T = sigmoid(logit).
+  nn::Tensor FusionLogits(const nn::Tensor& features) const;
+
+  // --- Inference-path ---
+
+  /// P(e_l | X) for one road given the trajectory points matrix.
+  double MembershipProb(const nn::Matrix& road, const nn::Matrix& points) const;
+
+  /// Fast-path membership with precomputed projected keys (see
+  /// nn::AdditiveAttention::ProjectKeys) shared across all roads of one
+  /// trajectory.
+  double MembershipProbProjected(const nn::Matrix& road,
+                                 const nn::Matrix& projected_keys,
+                                 const nn::Matrix& points) const;
+
+  /// P_T per row of [implicit_mean, len_mismatch, turn_mismatch].
+  std::vector<double> FusionProb(const nn::Matrix& features) const;
+
+  void CollectParams(std::vector<nn::Tensor>* out) override;
+  std::vector<nn::Tensor> FusionParams();
+
+  /// Parameters of the membership stack (attention + membership MLP).
+  std::vector<nn::Tensor> MembershipParams();
+
+  static constexpr int kNumExplicit = 2;  ///< len mismatch, turn mismatch.
+
+  const nn::AdditiveAttention& attention() const { return attention_; }
+
+ private:
+  bool use_implicit_;
+  nn::AdditiveAttention attention_;
+  nn::Mlp membership_;
+  nn::Mlp fusion_;
+};
+
+/// Positive-class probabilities from R x 2 logits.
+std::vector<double> PositiveProbs(const nn::Matrix& logits);
+
+}  // namespace lhmm::lhmm
+
+#endif  // LHMM_LHMM_LEARNERS_H_

@@ -1,0 +1,147 @@
+#include "lhmm/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "core/logging.h"
+#include "nn/serialize.h"
+
+namespace lhmm::lhmm {
+
+nn::Matrix LhmmModel::TowerRow(traj::TowerId tower) const {
+  nn::Matrix row(1, embeddings.cols());
+  if (tower < 0 || tower >= graph->num_towers()) return row;  // Zero row.
+  const int node = graph->NodeOfTower(tower);
+  for (int j = 0; j < embeddings.cols(); ++j) row(0, j) = embeddings(node, j);
+  return row;
+}
+
+nn::Matrix LhmmModel::SegmentRow(network::SegmentId seg) const {
+  const int node = graph->NodeOfSegment(seg);
+  CHECK_LT(node, embeddings.rows());
+  nn::Matrix row(1, embeddings.cols());
+  for (int j = 0; j < embeddings.cols(); ++j) row(0, j) = embeddings(node, j);
+  return row;
+}
+
+nn::Matrix LhmmModel::PointRows(const traj::Trajectory& t) const {
+  nn::Matrix rows(t.size(), embeddings.cols());
+  for (int i = 0; i < t.size(); ++i) {
+    const traj::TowerId tower = t[i].tower;
+    if (tower < 0 || tower >= graph->num_towers()) continue;
+    const int node = graph->NodeOfTower(tower);
+    for (int j = 0; j < embeddings.cols(); ++j) rows(i, j) = embeddings(node, j);
+  }
+  return rows;
+}
+
+namespace {
+
+/// Cosine similarity between two rows of a matrix.
+double RowCosine(const nn::Matrix& m, int a, int b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (int j = 0; j < m.cols(); ++j) {
+    dot += m(a, j) * m(b, j);
+    na += m(a, j) * m(a, j);
+    nb += m(b, j) * m(b, j);
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+/// Top-k most similar rows to `row` within [begin, end), excluding itself.
+std::vector<std::pair<int, double>> TopKSimilar(const nn::Matrix& m, int row,
+                                                int begin, int end, int k) {
+  std::vector<std::pair<int, double>> scored;
+  scored.reserve(end - begin);
+  for (int i = begin; i < end; ++i) {
+    if (i == row) continue;
+    scored.push_back({i, RowCosine(m, row, i)});
+  }
+  const int take = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) { return a.second > b.second; });
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace
+
+std::vector<std::pair<traj::TowerId, double>> LhmmModel::NearestTowers(
+    traj::TowerId tower, int k) const {
+  std::vector<std::pair<traj::TowerId, double>> out;
+  if (tower < 0 || tower >= graph->num_towers()) return out;
+  for (const auto& [node, sim] :
+       TopKSimilar(embeddings, graph->NodeOfTower(tower), 0, graph->num_towers(),
+                   k)) {
+    out.push_back({node, sim});
+  }
+  return out;
+}
+
+std::vector<std::pair<network::SegmentId, double>> LhmmModel::NearestSegments(
+    network::SegmentId seg, int k) const {
+  std::vector<std::pair<network::SegmentId, double>> out;
+  const int begin = graph->num_towers();
+  const int end = graph->num_nodes();
+  for (const auto& [node, sim] :
+       TopKSimilar(embeddings, graph->NodeOfSegment(seg), begin, end, k)) {
+    out.push_back({node - begin, sim});
+  }
+  return out;
+}
+
+std::vector<nn::Tensor> LhmmModel::AllParams() const {
+  std::vector<nn::Tensor> params;
+  encoder->CollectParams(&params);
+  obs->CollectParams(&params);
+  trans->CollectParams(&params);
+  return params;
+}
+
+core::Status LhmmModel::Save(const std::string& path) const {
+  LHMM_RETURN_IF_ERROR(nn::SaveParams(path, AllParams()));
+  std::ofstream aux(path + ".aux", std::ios::binary);
+  if (!aux.is_open()) return core::Status::IoError("cannot open " + path + ".aux");
+  const FeatureNorm norms[4] = {obs_dist_norm, obs_cofreq_norm, trans_len_norm,
+                                trans_turn_norm};
+  aux.write(reinterpret_cast<const char*>(norms), sizeof(norms));
+  const int32_t rows = embeddings.rows();
+  const int32_t cols = embeddings.cols();
+  aux.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  aux.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  aux.write(reinterpret_cast<const char*>(embeddings.data()),
+            static_cast<std::streamsize>(sizeof(float)) * embeddings.size());
+  if (!aux.good()) return core::Status::IoError("write failed for " + path + ".aux");
+  return core::Status::Ok();
+}
+
+core::Status LhmmModel::Load(const std::string& path) {
+  std::vector<nn::Tensor> params = AllParams();
+  LHMM_RETURN_IF_ERROR(nn::LoadParams(path, &params));
+  std::ifstream aux(path + ".aux", std::ios::binary);
+  if (!aux.is_open()) return core::Status::IoError("cannot open " + path + ".aux");
+  FeatureNorm norms[4];
+  aux.read(reinterpret_cast<char*>(norms), sizeof(norms));
+  obs_dist_norm = norms[0];
+  obs_cofreq_norm = norms[1];
+  trans_len_norm = norms[2];
+  trans_turn_norm = norms[3];
+  int32_t rows = 0;
+  int32_t cols = 0;
+  aux.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  aux.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!aux.good() || rows <= 0 || cols <= 0) {
+    return core::Status::InvalidArgument("corrupt aux file " + path + ".aux");
+  }
+  embeddings = nn::Matrix(rows, cols);
+  aux.read(reinterpret_cast<char*>(embeddings.data()),
+           static_cast<std::streamsize>(sizeof(float)) * embeddings.size());
+  if (!aux.good()) return core::Status::IoError("truncated aux file " + path + ".aux");
+  return core::Status::Ok();
+}
+
+}  // namespace lhmm::lhmm

@@ -1,0 +1,105 @@
+#ifndef LHMM_LHMM_MODEL_H_
+#define LHMM_LHMM_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lhmm/het_encoder.h"
+#include "lhmm/learners.h"
+#include "lhmm/mr_graph.h"
+
+namespace lhmm::lhmm {
+
+/// Full LHMM configuration: architecture, path-finding, and training knobs.
+/// Defaults reproduce the paper's main configuration at laptop scale; the
+/// variant flags produce the Table III ablations.
+struct LhmmConfig {
+  EncoderConfig encoder;
+  bool use_implicit_observation = true;  ///< false -> LHMM-O.
+  bool use_implicit_transition = true;   ///< false -> LHMM-T.
+  bool use_shortcuts = true;             ///< false -> LHMM-S.
+  int num_shortcuts = 1;                 ///< K of Eq. (20).
+  int k = 30;                            ///< Candidates per point (V-A2).
+
+  /// Candidate scoring pool: spatially nearest segments, capped by radius,
+  /// extended by the point's (and neighbors') co-occurrence roads.
+  int pool_nearest = 100;
+  double pool_radius = 2600.0;
+  /// Disable to restrict the pool to the spatial neighborhood only (design
+  /// ablation; loses the ability to place outlier points via history).
+  bool extend_pool_with_co = true;
+
+  /// Physical velocity constraint [8] applied inside the learned transition:
+  /// a move whose route cannot be driven within the sample gap at this speed
+  /// (m/s, plus slack meters) gets probability 0. Part of the "intuitive
+  /// physical constraints" the HMM framework keeps (Section I). Set
+  /// max_speed <= 0 to disable (design ablation).
+  double max_speed = 28.0;
+  double speed_slack = 200.0;
+
+  // --- Training ---
+  int obs_steps = 220;          ///< Encoder + implicit-observation steps.
+  int trans_steps = 150;        ///< Implicit-transition steps.
+  int fusion_steps = 600;       ///< Fine-tuning steps for each fusion head.
+  float fusion_lr = 5e-3f;      ///< The tiny fusion MLPs need a hotter rate.
+  int batch_trajectories = 6;   ///< Trajectories per step.
+  int negatives_per_positive = 3;  ///< Undersampling ratio (Section IV-D).
+  float label_smoothing = 0.1f;
+  float lr = 1e-3f;
+  float weight_decay = 1e-4f;
+  uint64_t seed = 1234;
+  bool verbose = false;  ///< Log training-loss progress.
+};
+
+/// A trained LHMM model: the multi-relational graph, the encoder, both
+/// probability learners, the cached final node embeddings, and the explicit
+/// feature normalizations. Produced by TrainLhmm() (trainer.h), consumed by
+/// LhmmMatcher (lhmm_matcher.h).
+struct LhmmModel {
+  LhmmConfig config;
+  std::unique_ptr<MultiRelationalGraph> graph;
+  std::unique_ptr<HetGraphEncoder> encoder;
+  std::unique_ptr<ObservationLearner> obs;
+  std::unique_ptr<TransitionLearner> trans;
+
+  /// Final node embeddings (|V| x dim), cached after training.
+  nn::Matrix embeddings;
+
+  // Explicit-feature normalizations (Eq. 8 / Eq. 12).
+  FeatureNorm obs_dist_norm;
+  FeatureNorm obs_cofreq_norm;
+  FeatureNorm trans_len_norm;
+  FeatureNorm trans_turn_norm;
+
+  /// Embedding row of a tower (1 x dim); zero row for kInvalidTower.
+  nn::Matrix TowerRow(traj::TowerId tower) const;
+
+  /// Embedding row of a road segment (1 x dim).
+  nn::Matrix SegmentRow(network::SegmentId seg) const;
+
+  /// Embedding rows of all points of a trajectory (n x dim), keyed by the
+  /// points' serving towers.
+  nn::Matrix PointRows(const traj::Trajectory& t) const;
+
+  /// All trainable parameters in a stable order (for save/load).
+  std::vector<nn::Tensor> AllParams() const;
+
+  /// The `k` towers most similar to `tower` in the learned embedding space
+  /// (cosine similarity), excluding itself. Embedding-space analysis: towers
+  /// that serve overlapping road areas land close together.
+  std::vector<std::pair<traj::TowerId, double>> NearestTowers(traj::TowerId tower,
+                                                              int k) const;
+
+  /// The `k` road segments most similar to `seg` in the embedding space.
+  std::vector<std::pair<network::SegmentId, double>> NearestSegments(
+      network::SegmentId seg, int k) const;
+
+  /// Serializes parameters + feature norms; the graph is rebuilt from data.
+  core::Status Save(const std::string& path) const;
+  core::Status Load(const std::string& path);
+};
+
+}  // namespace lhmm::lhmm
+
+#endif  // LHMM_LHMM_MODEL_H_

@@ -1,0 +1,180 @@
+#include "lhmm/mr_graph.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace lhmm::lhmm {
+
+MultiRelationalGraph::MultiRelationalGraph(int num_towers, int num_segments)
+    : num_towers_(num_towers), num_segments_(num_segments) {
+  edges_.resize(kNumRelations);
+  co_total_per_tower_.assign(num_towers, 0.0);
+  co_by_tower_.resize(num_towers);
+  cache_.resize(kNumRelations);
+}
+
+void MultiRelationalGraph::InvalidateCache() {
+  for (auto& c : cache_) c.reset();
+  union_cache_.reset();
+}
+
+void MultiRelationalGraph::AddCoOccurrence(traj::TowerId tower,
+                                           network::SegmentId seg, double count) {
+  CHECK_GE(tower, 0);
+  CHECK_LT(tower, num_towers_);
+  CHECK_GE(seg, 0);
+  CHECK_LT(seg, num_segments_);
+  const int a = NodeOfTower(tower);
+  const int b = NodeOfSegment(seg);
+  auto& bucket = edges_[static_cast<int>(Relation::kCoOccurrence)][Key(a, b)];
+  bucket += count;
+  co_total_per_tower_[tower] += count;
+  // Maintain the per-tower segment list (linear scan; CO degrees are small).
+  auto& list = co_by_tower_[tower];
+  bool found = false;
+  for (auto& [s, w] : list) {
+    if (s == seg) {
+      w += count;
+      found = true;
+      break;
+    }
+  }
+  if (!found) list.push_back({seg, count});
+  InvalidateCache();
+}
+
+void MultiRelationalGraph::AddSequentiality(traj::TowerId a, traj::TowerId b,
+                                            double count) {
+  if (a == b) return;
+  CHECK_GE(a, 0);
+  CHECK_LT(a, num_towers_);
+  CHECK_GE(b, 0);
+  CHECK_LT(b, num_towers_);
+  const int na = NodeOfTower(std::min(a, b));
+  const int nb = NodeOfTower(std::max(a, b));
+  edges_[static_cast<int>(Relation::kSequentiality)][Key(na, nb)] += count;
+  InvalidateCache();
+}
+
+void MultiRelationalGraph::AddTopology(network::SegmentId a, network::SegmentId b) {
+  if (a == b) return;
+  const int na = NodeOfSegment(std::min(a, b));
+  const int nb = NodeOfSegment(std::max(a, b));
+  edges_[static_cast<int>(Relation::kTopology)][Key(na, nb)] += 1.0;
+  InvalidateCache();
+}
+
+double MultiRelationalGraph::CoFrequency(traj::TowerId tower,
+                                         network::SegmentId seg) const {
+  if (tower < 0 || tower >= num_towers_) return 0.0;
+  if (co_total_per_tower_[tower] <= 0.0) return 0.0;
+  for (const auto& [s, w] : co_by_tower_[tower]) {
+    if (s == seg) return w / co_total_per_tower_[tower];
+  }
+  return 0.0;
+}
+
+std::vector<network::SegmentId> MultiRelationalGraph::CoSegments(
+    traj::TowerId tower) const {
+  std::vector<network::SegmentId> out;
+  if (tower < 0 || tower >= num_towers_) return out;
+  out.reserve(co_by_tower_[tower].size());
+  for (const auto& [s, w] : co_by_tower_[tower]) out.push_back(s);
+  return out;
+}
+
+std::shared_ptr<const nn::SparseRows> MultiRelationalGraph::MessageMatrix(
+    Relation rel) const {
+  const int r = static_cast<int>(rel);
+  if (cache_[r]) return cache_[r];
+  auto rows = std::make_shared<nn::SparseRows>();
+  rows->rows.resize(num_nodes());
+  // Collect undirected neighbors, then normalize by group size (Eq. 4).
+  std::vector<std::vector<int>> nbrs(num_nodes());
+  for (const auto& [key, weight] : edges_[r]) {
+    const int a = static_cast<int>(key >> 32);
+    const int b = static_cast<int>(key & 0xffffffffu);
+    nbrs[a].push_back(b);
+    nbrs[b].push_back(a);
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nbrs[i].empty()) continue;
+    const float norm = 1.0f / static_cast<float>(nbrs[i].size());
+    rows->rows[i].reserve(nbrs[i].size());
+    for (int j : nbrs[i]) rows->rows[i].push_back({j, norm});
+  }
+  cache_[r] = rows;
+  return rows;
+}
+
+std::shared_ptr<const nn::SparseRows> MultiRelationalGraph::UnionMessageMatrix()
+    const {
+  if (union_cache_) return union_cache_;
+  auto rows = std::make_shared<nn::SparseRows>();
+  rows->rows.resize(num_nodes());
+  std::vector<std::vector<int>> nbrs(num_nodes());
+  for (const auto& rel_edges : edges_) {
+    for (const auto& [key, weight] : rel_edges) {
+      const int a = static_cast<int>(key >> 32);
+      const int b = static_cast<int>(key & 0xffffffffu);
+      nbrs[a].push_back(b);
+      nbrs[b].push_back(a);
+    }
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nbrs[i].empty()) continue;
+    const float norm = 1.0f / static_cast<float>(nbrs[i].size());
+    for (int j : nbrs[i]) rows->rows[i].push_back({j, norm});
+  }
+  union_cache_ = rows;
+  return union_cache_;
+}
+
+MultiRelationalGraph BuildGraph(const network::RoadNetwork& net, int num_towers,
+                                const std::vector<traj::MatchedTrajectory>& train,
+                                const std::vector<traj::Trajectory>& preprocessed) {
+  CHECK_EQ(train.size(), preprocessed.size());
+  MultiRelationalGraph g(num_towers, net.num_segments());
+
+  // TP: road topology.
+  for (const network::RoadSegment& seg : net.segments()) {
+    for (network::SegmentId next : net.NextSegments(seg.id)) {
+      g.AddTopology(seg.id, next);
+    }
+  }
+
+  // CO + SQ from training trajectories.
+  for (size_t ti = 0; ti < train.size(); ++ti) {
+    const traj::Trajectory& t = preprocessed[ti];
+    const std::vector<network::SegmentId>& path = train[ti].truth_path;
+    if (t.empty()) continue;
+    // SQ: consecutive serving towers.
+    for (int i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].tower == traj::kInvalidTower ||
+          t[i + 1].tower == traj::kInvalidTower) {
+        continue;
+      }
+      g.AddSequentiality(t[i].tower, t[i + 1].tower);
+    }
+    // CO: each truth road pairs with the closest trajectory point.
+    for (network::SegmentId sid : path) {
+      const geo::Polyline& geom = net.segment(sid).geometry;
+      int best = -1;
+      double best_d = 1e18;
+      for (int i = 0; i < t.size(); ++i) {
+        const double d = geom.Project(t[i].pos).dist;
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      if (best >= 0 && t[best].tower != traj::kInvalidTower) {
+        g.AddCoOccurrence(t[best].tower, sid);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace lhmm::lhmm

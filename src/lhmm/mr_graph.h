@@ -1,0 +1,103 @@
+#ifndef LHMM_LHMM_MR_GRAPH_H_
+#define LHMM_LHMM_MR_GRAPH_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "network/road_network.h"
+#include "nn/ops.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::lhmm {
+
+/// The three relation types of the multi-relational graph (Section IV-B).
+enum class Relation { kCoOccurrence = 0, kSequentiality = 1, kTopology = 2 };
+inline constexpr int kNumRelations = 3;
+
+/// The multi-relational graph G = (V_e, V_ct, E) over cell towers and road
+/// segments. Node ids: towers occupy [0, num_towers), segments occupy
+/// [num_towers, num_towers + num_segments).
+///
+/// Relations:
+///  - CO: tower <-> segment co-occurrence mined from training trajectories
+///    (a truth-path road pairs with the trajectory point closest to it);
+///    edge weights count occurrences and also feed the explicit
+///    co-occurrence-frequency feature of Eq. (8).
+///  - SQ: tower -> tower sequentiality of consecutive trajectory points.
+///  - TP: segment -> segment road-network adjacency.
+///
+/// For message passing each relation is symmetrized (messages flow both
+/// directions), which matches R-GCN practice of adding inverse relations.
+class MultiRelationalGraph {
+ public:
+  MultiRelationalGraph(int num_towers, int num_segments);
+
+  int num_towers() const { return num_towers_; }
+  int num_segments() const { return num_segments_; }
+  int num_nodes() const { return num_towers_ + num_segments_; }
+
+  int NodeOfTower(traj::TowerId tower) const { return tower; }
+  int NodeOfSegment(network::SegmentId seg) const { return num_towers_ + seg; }
+
+  /// Adds (or strengthens) a CO edge between a tower and a segment.
+  void AddCoOccurrence(traj::TowerId tower, network::SegmentId seg, double count = 1);
+
+  /// Adds (or strengthens) an SQ edge between two towers.
+  void AddSequentiality(traj::TowerId a, traj::TowerId b, double count = 1);
+
+  /// Adds a TP edge between two adjacent segments.
+  void AddTopology(network::SegmentId a, network::SegmentId b);
+
+  /// Normalized co-occurrence frequency of (tower, seg): the fraction of the
+  /// tower's co-occurrence mass on this segment. The explicit feature in
+  /// D_O of Eq. (8).
+  double CoFrequency(traj::TowerId tower, network::SegmentId seg) const;
+
+  /// All segments with positive co-occurrence for `tower`, used to extend the
+  /// learned candidate search beyond the spatial neighborhood.
+  std::vector<network::SegmentId> CoSegments(traj::TowerId tower) const;
+
+  /// Mean-normalized (Eq. 4) message-passing adjacency of one relation:
+  /// row i lists (neighbor node, 1/|N_i^rel|). Built lazily and cached;
+  /// invalidated by further Add* calls.
+  std::shared_ptr<const nn::SparseRows> MessageMatrix(Relation rel) const;
+
+  /// Union of all relations' normalized adjacency (for the homogeneous-GCN
+  /// ablation LHMM-H).
+  std::shared_ptr<const nn::SparseRows> UnionMessageMatrix() const;
+
+ private:
+  struct EdgeKeyHash {
+    size_t operator()(uint64_t k) const { return std::hash<uint64_t>()(k); }
+  };
+  static uint64_t Key(int a, int b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
+
+  void InvalidateCache();
+
+  int num_towers_;
+  int num_segments_;
+  /// Per relation: undirected weighted edge multiset keyed by (min,max) node.
+  std::vector<std::unordered_map<uint64_t, double, EdgeKeyHash>> edges_;
+  /// Per-tower total CO mass for normalization.
+  std::vector<double> co_total_per_tower_;
+  /// Per-tower CO segment lists.
+  std::vector<std::vector<std::pair<network::SegmentId, double>>> co_by_tower_;
+  mutable std::vector<std::shared_ptr<const nn::SparseRows>> cache_;
+  mutable std::shared_ptr<const nn::SparseRows> union_cache_;
+};
+
+/// Builds the multi-relational graph from the road network and training data:
+/// CO and SQ from trajectories + truth paths, TP from network adjacency.
+/// Trajectories are used in their preprocessed form (same pipeline as
+/// matching) so tower sequences match what the matcher will see.
+MultiRelationalGraph BuildGraph(const network::RoadNetwork& net, int num_towers,
+                                const std::vector<traj::MatchedTrajectory>& train,
+                                const std::vector<traj::Trajectory>& preprocessed);
+
+}  // namespace lhmm::lhmm
+
+#endif  // LHMM_LHMM_MR_GRAPH_H_

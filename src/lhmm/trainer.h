@@ -1,0 +1,41 @@
+#ifndef LHMM_LHMM_TRAINER_H_
+#define LHMM_LHMM_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "lhmm/model.h"
+#include "network/grid_index.h"
+#include "traj/filters.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::lhmm {
+
+/// Everything the trainer needs. Pointers must outlive the call.
+struct TrainInputs {
+  const network::RoadNetwork* net = nullptr;
+  const network::GridIndex* index = nullptr;
+  int num_towers = 0;
+  const std::vector<traj::MatchedTrajectory>* train = nullptr;
+  traj::FilterConfig filters;
+};
+
+/// Trains a full LHMM model per Section IV's "Training Process":
+///
+///  1. Multi-relational graph construction from the training split.
+///  2. Encoder + implicit point-road correlation: classify (point, road)
+///     pairs as interacted/not, negatives undersampled, label-smoothed
+///     cross-entropy, Adam (end-to-end through the Het-Graph Encoder).
+///  3. Implicit trajectory-road membership: classify roads as on/off the
+///     traveled path against the frozen embeddings.
+///  4. Fine-tune the two fusion heads: the observation head on the same
+///     positive/negative pairs with explicit features, the transition head
+///     on sampled moving paths against their traveled-road ratio.
+///
+/// Returns the trained model with cached final embeddings.
+std::unique_ptr<LhmmModel> TrainLhmm(const TrainInputs& inputs,
+                                     const LhmmConfig& config);
+
+}  // namespace lhmm::lhmm
+
+#endif  // LHMM_LHMM_TRAINER_H_

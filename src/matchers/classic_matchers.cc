@@ -1,0 +1,296 @@
+#include "matchers/classic_matchers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "geo/polyline.h"
+
+namespace lhmm::matchers {
+
+namespace {
+
+using hmm::Candidate;
+using hmm::CandidateSet;
+using hmm::ClassicModelConfig;
+using hmm::ClassicTransitionModel;
+using hmm::GaussianObservationModel;
+
+/// Mean speed implied by traversing `route` between the two samples, m/s;
+/// 0 when the time gap is degenerate.
+double RouteSpeed(const traj::Trajectory& t, int prev_index, int cur_index,
+                  const network::Route& route) {
+  const double dt = t[cur_index].t - t[prev_index].t;
+  if (dt <= 1.0) return 0.0;
+  return route.length / dt;
+}
+
+/// Mean speed limit over the route's segments, m/s.
+double RouteSpeedLimit(const network::RoadNetwork& net, const network::Route& route) {
+  if (route.segments.empty()) return 13.9;
+  double sum = 0.0;
+  for (network::SegmentId sid : route.segments) sum += net.segment(sid).speed_limit;
+  return sum / static_cast<double>(route.segments.size());
+}
+
+/// Total heading change along the route, radians.
+double RouteTurn(const network::RoadNetwork& net, const network::Route& route) {
+  std::vector<geo::Point> pts;
+  for (network::SegmentId sid : route.segments) {
+    const geo::Polyline& geom = net.segment(sid).geometry;
+    if (pts.empty()) pts.push_back(geom.front());
+    pts.push_back(geom.back());
+  }
+  return geo::TotalTurnOfPoints(pts);
+}
+
+/// STM transition: spatial ratio x temporal speed plausibility.
+class StmTransitionModel : public ClassicTransitionModel {
+ public:
+  StmTransitionModel(const network::RoadNetwork* net, const ClassicModelConfig& cfg)
+      : ClassicTransitionModel(cfg), net_(net) {}
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override {
+    if (route == nullptr) return 0.0;
+    // Spatial analysis: route length close to straight-line distance.
+    const double spatial =
+        route->length > 1.0 ? std::min(1.0, straight_dist / route->length) : 1.0;
+    // Temporal analysis: the implied route speed should not exceed limits.
+    const double v = RouteSpeed(t, prev_index, cur_index, *route);
+    const double v_lim = RouteSpeedLimit(*net_, *route);
+    const double temporal = std::exp(-std::max(0.0, v - v_lim) / 5.0);
+    return spatial * temporal;
+  }
+
+ private:
+  const network::RoadNetwork* net_;
+};
+
+/// IFM transition: classic closeness fused with speed-profile consistency
+/// (the route speed should *match* the roads' typical speed, both ways).
+class IfmTransitionModel : public ClassicTransitionModel {
+ public:
+  IfmTransitionModel(const network::RoadNetwork* net, const ClassicModelConfig& cfg)
+      : ClassicTransitionModel(cfg, net), net_(net) {}
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override {
+    const double base = ClassicTransitionModel::Transition(
+        t, prev_index, cur_index, prev, cur, route, straight_dist);
+    if (route == nullptr) return 0.0;
+    const double v = RouteSpeed(t, prev_index, cur_index, *route);
+    if (v <= 0.0) return base;
+    const double v_lim = RouteSpeedLimit(*net_, *route);
+    const double fusion = std::exp(-std::fabs(v - 0.7 * v_lim) / 8.0);
+    return base * (0.5 + 0.5 * fusion);
+  }
+
+ private:
+  const network::RoadNetwork* net_;
+};
+
+/// MCM transition: rewards routes whose segments stay inside the corridor
+/// spanned by the two trajectory points (common sub-sequence tracking).
+class McmTransitionModel : public ClassicTransitionModel {
+ public:
+  McmTransitionModel(const network::RoadNetwork* net, const ClassicModelConfig& cfg)
+      : ClassicTransitionModel(cfg, net), net_(net) {}
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override {
+    const double base = ClassicTransitionModel::Transition(
+        t, prev_index, cur_index, prev, cur, route, straight_dist);
+    if (route == nullptr) return 0.0;
+    const geo::Point& a = t[prev_index].pos;
+    const geo::Point& b = t[cur_index].pos;
+    double mean_off = 0.0;
+    for (network::SegmentId sid : route->segments) {
+      const geo::Polyline& geom = net_->segment(sid).geometry;
+      const geo::Point mid = geom.PointAt(geom.Length() / 2.0);
+      mean_off += geo::DistanceToSegment(mid, a, b);
+    }
+    mean_off /= static_cast<double>(route->segments.size());
+    const double corridor = std::exp(-mean_off / config_.obs_sigma);
+    return base * (0.7 + 0.3 * corridor);
+  }
+
+ private:
+  const network::RoadNetwork* net_;
+};
+
+/// SNet observation: Gaussian distance modulated by direction consistency
+/// between the road bearing and the local trajectory heading.
+class SnetObservationModel : public GaussianObservationModel {
+ public:
+  SnetObservationModel(const network::GridIndex* index,
+                       const ClassicModelConfig& cfg)
+      : GaussianObservationModel(index, cfg) {}
+
+  CandidateSet Candidates(const traj::Trajectory& t, int i, int k) override {
+    CandidateSet cs = GaussianObservationModel::Candidates(t, i, k);
+    const int lo = std::max(0, i - 1);
+    const int hi = std::min(t.size() - 1, i + 1);
+    if (lo == hi) return cs;
+    const double heading = geo::Bearing(t[lo].pos, t[hi].pos);
+    for (Candidate& c : cs) {
+      const geo::Polyline& geom = index_->network()->segment(c.segment).geometry;
+      const double road_bearing = geo::Bearing(geom.front(), geom.back());
+      // Two-way roads exist as twin segments, so compare modulo pi.
+      double diff = geo::AngleDiff(heading, road_bearing);
+      diff = std::min(diff, M_PI - diff);
+      const double dir = 0.5 + 0.5 * std::cos(diff);
+      c.observation *= 0.7 + 0.3 * dir;
+    }
+    std::sort(cs.begin(), cs.end(), [](const Candidate& a, const Candidate& b) {
+      return a.observation > b.observation;
+    });
+    return cs;
+  }
+
+  using GaussianObservationModel::MakeCandidate;
+};
+
+/// SNet transition: classic closeness with a fewer-turns heuristic.
+class SnetTransitionModel : public ClassicTransitionModel {
+ public:
+  SnetTransitionModel(const network::RoadNetwork* net, const ClassicModelConfig& cfg)
+      : ClassicTransitionModel(cfg, net), net_(net) {}
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override {
+    const double base = ClassicTransitionModel::Transition(
+        t, prev_index, cur_index, prev, cur, route, straight_dist);
+    if (route == nullptr) return 0.0;
+    const double turns = RouteTurn(*net_, *route);
+    return base * std::exp(-turns / (2.0 * M_PI));
+  }
+
+ private:
+  const network::RoadNetwork* net_;
+};
+
+/// THMM observation: the cellular-tailored widened Gaussian.
+class ThmmObservationModel : public GaussianObservationModel {
+ public:
+  ThmmObservationModel(const network::GridIndex* index, ClassicModelConfig cfg)
+      : GaussianObservationModel(index, Widen(cfg)) {}
+
+ private:
+  static ClassicModelConfig Widen(ClassicModelConfig cfg) {
+    cfg.obs_sigma *= 1.15;
+    cfg.search_radius *= 1.1;
+    return cfg;
+  }
+};
+
+/// THMM transition: classic closeness with geometric (turn-angle) consistency
+/// between the route and the trajectory's local heading change.
+class ThmmTransitionModel : public ClassicTransitionModel {
+ public:
+  ThmmTransitionModel(const network::RoadNetwork* net, const ClassicModelConfig& cfg)
+      : ClassicTransitionModel(cfg, net), net_(net) {}
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override {
+    const double base = ClassicTransitionModel::Transition(
+        t, prev_index, cur_index, prev, cur, route, straight_dist);
+    if (route == nullptr) return 0.0;
+    double traj_turn = 0.0;
+    if (prev_index >= 1) {
+      traj_turn =
+          geo::AngleDiff(geo::Bearing(t[prev_index - 1].pos, t[prev_index].pos),
+                         geo::Bearing(t[prev_index].pos, t[cur_index].pos));
+    }
+    const double route_turn = RouteTurn(*net_, *route);
+    const double angle = std::exp(-std::fabs(route_turn - traj_turn) / M_PI);
+    return base * (0.7 + 0.3 * angle);
+  }
+
+ private:
+  const network::RoadNetwork* net_;
+};
+
+}  // namespace
+
+StmMatcher::StmMatcher(const network::RoadNetwork* net,
+                       const network::GridIndex* index,
+                       const hmm::ClassicModelConfig& models,
+                       const hmm::EngineConfig& engine)
+    : HmmMatcherBase(net, index, engine) {
+  Init(std::make_unique<GaussianObservationModel>(index, models),
+       std::make_unique<StmTransitionModel>(net, models));
+}
+
+IfmMatcher::IfmMatcher(const network::RoadNetwork* net,
+                       const network::GridIndex* index,
+                       const hmm::ClassicModelConfig& models,
+                       const hmm::EngineConfig& engine)
+    : HmmMatcherBase(net, index, engine) {
+  Init(std::make_unique<GaussianObservationModel>(index, models),
+       std::make_unique<IfmTransitionModel>(net, models));
+}
+
+McmMatcher::McmMatcher(const network::RoadNetwork* net,
+                       const network::GridIndex* index,
+                       const hmm::ClassicModelConfig& models,
+                       const hmm::EngineConfig& engine)
+    : HmmMatcherBase(net, index, engine) {
+  Init(std::make_unique<GaussianObservationModel>(index, models),
+       std::make_unique<McmTransitionModel>(net, models));
+}
+
+SnetMatcher::SnetMatcher(const network::RoadNetwork* net,
+                         const network::GridIndex* index,
+                         const hmm::ClassicModelConfig& models,
+                         const hmm::EngineConfig& engine)
+    : HmmMatcherBase(net, index, engine) {
+  Init(std::make_unique<SnetObservationModel>(index, models),
+       std::make_unique<SnetTransitionModel>(net, models));
+}
+
+ThmmMatcher::ThmmMatcher(const network::RoadNetwork* net,
+                         const network::GridIndex* index,
+                         const hmm::ClassicModelConfig& models,
+                         const hmm::EngineConfig& engine)
+    : HmmMatcherBase(net, index, engine) {
+  Init(std::make_unique<ThmmObservationModel>(index, models),
+       std::make_unique<ThmmTransitionModel>(net, models));
+}
+
+ClstersMatcher::ClstersMatcher(const network::RoadNetwork* net,
+                               const network::GridIndex* index,
+                               const hmm::ClassicModelConfig& models,
+                               const hmm::EngineConfig& engine)
+    : HmmMatcherBase(net, index, engine) {
+  Init(std::make_unique<GaussianObservationModel>(index, models),
+       std::make_unique<ClassicTransitionModel>(models, net));
+}
+
+traj::Trajectory ClstersMatcher::Transform(const traj::Trajectory& t) {
+  // Calibration: time-weighted neighborhood smoothing of positions. Tower
+  // ids are preserved; only the location estimate moves. The wide window
+  // suppresses noise well but rounds genuine corners, which is what keeps
+  // CLSTERS the weakest of the CTMM-tailored group in Table II.
+  traj::Trajectory out = t;
+  const int n = t.size();
+  for (int i = 0; i < n; ++i) {
+    double wsum = 0.0;
+    geo::Point acc{0.0, 0.0};
+    for (int j = std::max(0, i - 3); j <= std::min(n - 1, i + 3); ++j) {
+      const double dt = std::fabs(t[j].t - t[i].t);
+      const double w = std::exp(-dt / 60.0);
+      acc = acc + t[j].pos * w;
+      wsum += w;
+    }
+    out.points[i].pos = acc / wsum;
+  }
+  return out;
+}
+
+}  // namespace lhmm::matchers

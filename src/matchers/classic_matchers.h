@@ -1,0 +1,77 @@
+#ifndef LHMM_MATCHERS_CLASSIC_MATCHERS_H_
+#define LHMM_MATCHERS_CLASSIC_MATCHERS_H_
+
+#include <string>
+
+#include "hmm/classic_models.h"
+#include "matchers/hmm_matcher_base.h"
+
+namespace lhmm::matchers {
+
+/// ST-Matching [8]: Gaussian observation; transition = spatial analysis
+/// (straight-line / route-length ratio) x temporal analysis (route speed vs
+/// speed limits). The `+S` variant (Table III) adds the shortcut pass.
+class StmMatcher : public HmmMatcherBase {
+ public:
+  StmMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+             const hmm::ClassicModelConfig& models, const hmm::EngineConfig& engine);
+  std::string name() const override {
+    return config_.use_shortcuts ? "STM+S" : "STM";
+  }
+};
+
+/// IF-Matching [32]: STM-style scores fused with a moving-speed consistency
+/// term comparing the implied route speed with the roads' speed limits.
+class IfmMatcher : public HmmMatcherBase {
+ public:
+  IfmMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+             const hmm::ClassicModelConfig& models, const hmm::EngineConfig& engine);
+  std::string name() const override { return "IFM"; }
+};
+
+/// MCM [34]: tracks multiple road candidates; the transition rewards routes
+/// that stay inside the corridor between the two trajectory points (the
+/// common-subsequence idea at segment granularity).
+class McmMatcher : public HmmMatcherBase {
+ public:
+  McmMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+             const hmm::ClassicModelConfig& models, const hmm::EngineConfig& engine);
+  std::string name() const override { return "MCM"; }
+};
+
+/// SnapNet [12]: digital-map hints — observation is modulated by direction
+/// consistency with the local trajectory heading, transitions penalize turns.
+/// (Its filter pipeline runs in the shared preprocessing step.)
+class SnetMatcher : public HmmMatcherBase {
+ public:
+  SnetMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+              const hmm::ClassicModelConfig& models, const hmm::EngineConfig& engine);
+  std::string name() const override { return "SNet"; }
+};
+
+/// THMM [42]: a tailored HMM for cellular data — widened observation,
+/// transitions constrained by geometric (turn-angle) consistency between the
+/// route and the trajectory.
+class ThmmMatcher : public HmmMatcherBase {
+ public:
+  ThmmMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+              const hmm::ClassicModelConfig& models, const hmm::EngineConfig& engine);
+  std::string name() const override { return "THMM"; }
+};
+
+/// CLSTERS [41]: a calibration system — trajectory positions are smoothed by
+/// a time-weighted neighborhood mean before a classic HMM match.
+class ClstersMatcher : public HmmMatcherBase {
+ public:
+  ClstersMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+                 const hmm::ClassicModelConfig& models,
+                 const hmm::EngineConfig& engine);
+  std::string name() const override { return "CLSTERS"; }
+
+ protected:
+  traj::Trajectory Transform(const traj::Trajectory& t) override;
+};
+
+}  // namespace lhmm::matchers
+
+#endif  // LHMM_MATCHERS_CLASSIC_MATCHERS_H_

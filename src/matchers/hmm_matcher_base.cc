@@ -1,0 +1,36 @@
+#include "matchers/hmm_matcher_base.h"
+
+#include "core/logging.h"
+
+namespace lhmm::matchers {
+
+HmmMatcherBase::HmmMatcherBase(const network::RoadNetwork* net,
+                               const network::GridIndex* index,
+                               const hmm::EngineConfig& config)
+    : net_(net), index_(index), config_(config) {
+  CHECK(net != nullptr);
+  CHECK(index != nullptr);
+  router_ = std::make_unique<network::SegmentRouter>(net);
+  cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+}
+
+void HmmMatcherBase::Init(std::unique_ptr<hmm::ObservationModel> obs,
+                          std::unique_ptr<hmm::TransitionModel> trans) {
+  obs_ = std::move(obs);
+  trans_ = std::move(trans);
+  engine_ = std::make_unique<hmm::Engine>(net_, cached_router_.get(), obs_.get(),
+                                          trans_.get(), config_);
+}
+
+MatchResult HmmMatcherBase::Match(const traj::Trajectory& cellular) {
+  CHECK(engine_ != nullptr) << "subclass forgot to call Init()";
+  const traj::Trajectory t = Transform(cellular);
+  hmm::EngineResult er = engine_->Match(t);
+  MatchResult out;
+  out.path = std::move(er.path);
+  out.candidates = std::move(er.candidates);
+  out.point_index = std::move(er.point_index);
+  return out;
+}
+
+}  // namespace lhmm::matchers

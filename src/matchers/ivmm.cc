@@ -1,0 +1,166 @@
+#include "matchers/ivmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace lhmm::matchers {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+IvmmMatcher::IvmmMatcher(const network::RoadNetwork* net,
+                         const network::GridIndex* index,
+                         const hmm::ClassicModelConfig& models, int k)
+    : net_(net), index_(index), models_(models), k_(k) {
+  CHECK(net != nullptr);
+  router_ = std::make_unique<network::SegmentRouter>(net);
+  cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+  obs_ = std::make_unique<hmm::GaussianObservationModel>(index, models);
+}
+
+MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
+  MatchResult result;
+  if (t.empty()) return result;
+
+  // Candidate preparation (same as the HMM engine).
+  std::vector<hmm::CandidateSet> cands;
+  std::vector<int> point_index;
+  for (int i = 0; i < t.size(); ++i) {
+    hmm::CandidateSet cs = obs_->Candidates(t, i, k_);
+    if (cs.empty()) continue;
+    cands.push_back(std::move(cs));
+    point_index.push_back(i);
+  }
+  const int m = static_cast<int>(cands.size());
+  if (m == 0) return result;
+
+  // Static score matrices: W[s][j][k2] = P_T * P_O per Eq. (3)/(2).
+  std::vector<double> straight(m, 0.0);
+  std::vector<std::vector<std::vector<double>>> w(m);
+  for (int s = 1; s < m; ++s) {
+    straight[s] = geo::Distance(t[point_index[s - 1]].pos, t[point_index[s]].pos);
+    const double bound = std::min(12000.0, 4.0 * straight[s] + 1500.0);
+    const int prev_n = static_cast<int>(cands[s - 1].size());
+    const int cur_n = static_cast<int>(cands[s].size());
+    w[s].assign(prev_n, std::vector<double>(cur_n, kNegInf));
+    std::vector<network::SegmentId> targets(cur_n);
+    for (int k2 = 0; k2 < cur_n; ++k2) targets[k2] = cands[s][k2].segment;
+    const double dt =
+        t[point_index[s]].t - t[point_index[s - 1]].t;
+    for (int j = 0; j < prev_n; ++j) {
+      const auto routes = cached_router_->RouteMany(cands[s - 1][j].segment,
+                                                    targets, bound);
+      for (int k2 = 0; k2 < cur_n; ++k2) {
+        if (!routes[k2].has_value()) continue;
+        const double diff = std::fabs(straight[s] - routes[k2]->length);
+        double pt = std::exp(-diff / models_.trans_beta);
+        // Velocity heuristic shared by the ST-score family.
+        if (dt > 1.0 && !routes[k2]->segments.empty()) {
+          double limit = 0.0;
+          for (network::SegmentId sid : routes[k2]->segments) {
+            limit += net_->segment(sid).speed_limit;
+          }
+          limit /= static_cast<double>(routes[k2]->segments.size());
+          const double v = routes[k2]->length / dt;
+          pt *= std::exp(-std::max(0.0, v - limit) / 5.0);
+        }
+        w[s][j][k2] = pt * cands[s][k2].observation;
+      }
+    }
+  }
+
+  // Interactive voting: for every (anchor point a, candidate ja), run the DP
+  // with point a pinned to ja; every point's matched candidate on that path
+  // gets a vote weighted by proximity to the anchor.
+  std::vector<std::vector<double>> votes(m);
+  for (int s = 0; s < m; ++s) votes[s].assign(cands[s].size(), 0.0);
+
+  std::vector<std::vector<double>> f(m);
+  std::vector<std::vector<int>> pre(m);
+  for (int a = 0; a < m; ++a) {
+    for (size_t ja = 0; ja < cands[a].size(); ++ja) {
+      // Forward DP with the pin.
+      for (int s = 0; s < m; ++s) {
+        const int n = static_cast<int>(cands[s].size());
+        f[s].assign(n, kNegInf);
+        pre[s].assign(n, -1);
+        if (s == 0) {
+          for (int j = 0; j < n; ++j) {
+            if (a == 0 && j != static_cast<int>(ja)) continue;
+            f[s][j] = cands[s][j].observation;
+          }
+          continue;
+        }
+        for (int k2 = 0; k2 < n; ++k2) {
+          if (s == a && k2 != static_cast<int>(ja)) continue;
+          for (size_t j = 0; j < cands[s - 1].size(); ++j) {
+            if (f[s - 1][j] == kNegInf || w[s][j][k2] == kNegInf) continue;
+            const double score = f[s - 1][j] + w[s][j][k2];
+            if (score > f[s][k2]) {
+              f[s][k2] = score;
+              pre[s][k2] = static_cast<int>(j);
+            }
+          }
+        }
+      }
+      // Backtrack and vote.
+      int best = -1;
+      for (size_t j = 0; j < f[m - 1].size(); ++j) {
+        if (f[m - 1][j] != kNegInf && (best < 0 || f[m - 1][j] > f[m - 1][best])) {
+          best = static_cast<int>(j);
+        }
+      }
+      if (best < 0) continue;
+      std::vector<int> chain(m, -1);
+      chain[m - 1] = best;
+      bool ok = true;
+      for (int s = m - 1; s > 0; --s) {
+        chain[s - 1] = pre[s][chain[s]];
+        if (chain[s - 1] < 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (int s = 0; s < m; ++s) {
+        // Mutual-influence weight decays with distance between points.
+        const double d = geo::Distance(t[point_index[a]].pos, t[point_index[s]].pos);
+        votes[s][chain[s]] += std::exp(-d / 2000.0);
+      }
+    }
+  }
+
+  // Winners and path expansion.
+  std::vector<hmm::Candidate> chain(m);
+  for (int s = 0; s < m; ++s) {
+    int best = 0;
+    for (size_t j = 1; j < votes[s].size(); ++j) {
+      if (votes[s][j] > votes[s][best]) best = static_cast<int>(j);
+    }
+    chain[s] = cands[s][best];
+  }
+  result.path.push_back(chain[0].segment);
+  for (int s = 1; s < m; ++s) {
+    const double bound = std::min(12000.0, 4.0 * straight[s] + 1500.0);
+    const auto route =
+        cached_router_->Route1(chain[s - 1].segment, chain[s].segment, bound);
+    if (route.has_value()) {
+      for (network::SegmentId sid : route->segments) {
+        if (result.path.back() != sid) result.path.push_back(sid);
+      }
+    } else if (result.path.back() != chain[s].segment) {
+      result.path.push_back(chain[s].segment);
+    }
+  }
+  result.candidates = std::move(cands);
+  result.point_index = std::move(point_index);
+  return result;
+}
+
+IvmmMatcher::~IvmmMatcher() = default;
+
+}  // namespace lhmm::matchers

@@ -1,0 +1,41 @@
+#ifndef LHMM_MATCHERS_IVMM_H_
+#define LHMM_MATCHERS_IVMM_H_
+
+#include <memory>
+#include <string>
+
+#include "hmm/classic_models.h"
+#include "matchers/matcher.h"
+#include "network/grid_index.h"
+#include "network/path_cache.h"
+
+namespace lhmm::matchers {
+
+/// IVMM [10]: interactive-voting map matching. Classical ST scores, but the
+/// final assignment of each point is decided by voting: for every point i and
+/// candidate j, a constrained DP is run that forces the path through (i, j);
+/// each point's matched candidate on that path receives a distance-weighted
+/// vote, and the candidate with most votes wins.
+class IvmmMatcher : public MapMatcher {
+ public:
+  IvmmMatcher(const network::RoadNetwork* net, const network::GridIndex* index,
+              const hmm::ClassicModelConfig& models, int k = 45);
+  ~IvmmMatcher() override;
+
+  std::string name() const override { return "IVMM"; }
+  MatchResult Match(const traj::Trajectory& cellular) override;
+  bool ProvidesCandidates() const override { return true; }
+
+ private:
+  const network::RoadNetwork* net_;
+  const network::GridIndex* index_;
+  hmm::ClassicModelConfig models_;
+  int k_;
+  std::unique_ptr<network::SegmentRouter> router_;
+  std::unique_ptr<network::CachedRouter> cached_router_;
+  std::unique_ptr<hmm::GaussianObservationModel> obs_;
+};
+
+}  // namespace lhmm::matchers
+
+#endif  // LHMM_MATCHERS_IVMM_H_

@@ -1,0 +1,44 @@
+#ifndef LHMM_MATCHERS_MATCHER_H_
+#define LHMM_MATCHERS_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "hmm/candidate.h"
+#include "network/road_network.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::matchers {
+
+/// Output of one map-matching call.
+struct MatchResult {
+  /// The matched path P as consecutive road segments (may be empty when the
+  /// trajectory could not be matched at all).
+  std::vector<network::SegmentId> path;
+  /// HMM-family diagnostics: final candidate set per retained point and the
+  /// original trajectory index of each retained point. Empty for matchers
+  /// that do not prepare candidates (seq2seq family).
+  std::vector<hmm::CandidateSet> candidates;
+  std::vector<int> point_index;
+};
+
+/// Common interface of every map matcher in the library: the ten baselines
+/// and LHMM. Input trajectories are expected to be preprocessed (SnapNet
+/// filters + tower dedup) by the caller, matching the paper's pipeline.
+class MapMatcher {
+ public:
+  virtual ~MapMatcher() = default;
+
+  /// Short display name used in benchmark tables ("STM", "DMM", "LHMM", ...).
+  virtual std::string name() const = 0;
+
+  /// Matches one cellular trajectory to a road path.
+  virtual MatchResult Match(const traj::Trajectory& cellular) = 0;
+
+  /// True when MatchResult carries candidate sets (enables Hitting Ratio).
+  virtual bool ProvidesCandidates() const { return false; }
+};
+
+}  // namespace lhmm::matchers
+
+#endif  // LHMM_MATCHERS_MATCHER_H_

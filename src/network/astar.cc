@@ -1,0 +1,76 @@
+#include "network/astar.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace lhmm::network {
+
+AStarRouter::AStarRouter(const RoadNetwork* net) : net_(net) {
+  CHECK(net != nullptr);
+  g_.assign(net->num_nodes(), 0.0);
+  parent_seg_.assign(net->num_nodes(), kInvalidSegment);
+  stamp_.assign(net->num_nodes(), 0);
+  settled_stamp_.assign(net->num_nodes(), 0);
+}
+
+std::optional<Route> AStarRouter::Route1(SegmentId from, SegmentId to,
+                                         double max_length) {
+  if (from == to) return Route{0.0, {from}};
+  ++current_stamp_;
+  last_expanded_ = 0;
+
+  const NodeId source = net_->segment(from).to;
+  const NodeId goal = net_->segment(to).from;
+  const geo::Point goal_pos = net_->node(goal).pos;
+  auto heuristic = [&](NodeId v) {
+    return geo::Distance(net_->node(v).pos, goal_pos);
+  };
+
+  using HeapEntry = std::pair<double, NodeId>;  // (g + h, node)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  g_[source] = 0.0;
+  parent_seg_[source] = kInvalidSegment;
+  stamp_[source] = current_stamp_;
+  heap.push({heuristic(source), source});
+
+  while (!heap.empty()) {
+    const auto [f, v] = heap.top();
+    heap.pop();
+    if (settled_stamp_[v] == current_stamp_) continue;
+    settled_stamp_[v] = current_stamp_;
+    ++last_expanded_;
+    if (v == goal) break;
+    if (f > max_length) return std::nullopt;  // Even the optimistic bound fails.
+    for (SegmentId sid : net_->OutSegments(v)) {
+      const RoadSegment& seg = net_->segment(sid);
+      const double ng = g_[v] + seg.length;
+      if (ng > max_length) continue;
+      if (stamp_[seg.to] != current_stamp_ || ng < g_[seg.to]) {
+        stamp_[seg.to] = current_stamp_;
+        g_[seg.to] = ng;
+        parent_seg_[seg.to] = sid;
+        heap.push({ng + heuristic(seg.to), seg.to});
+      }
+    }
+  }
+  if (settled_stamp_[goal] != current_stamp_) return std::nullopt;
+  if (g_[goal] > max_length) return std::nullopt;
+
+  Route route;
+  route.length = g_[goal];
+  std::vector<SegmentId> mid;
+  NodeId v = goal;
+  while (parent_seg_[v] != kInvalidSegment) {
+    mid.push_back(parent_seg_[v]);
+    v = net_->segment(parent_seg_[v]).from;
+  }
+  std::reverse(mid.begin(), mid.end());
+  route.segments.push_back(from);
+  route.segments.insert(route.segments.end(), mid.begin(), mid.end());
+  route.segments.push_back(to);
+  return route;
+}
+
+}  // namespace lhmm::network

@@ -1,0 +1,46 @@
+#ifndef LHMM_NETWORK_ASTAR_H_
+#define LHMM_NETWORK_ASTAR_H_
+
+#include <optional>
+#include <vector>
+
+#include "network/road_network.h"
+#include "network/shortest_path.h"
+
+namespace lhmm::network {
+
+/// A* router between road segments with the straight-line (Euclidean)
+/// heuristic. Produces exactly the same routes as SegmentRouter (the
+/// heuristic is admissible on a planar network whose segment lengths are at
+/// least the straight-line node distance) but expands far fewer nodes on
+/// point-to-point queries, which makes it the better choice for single-pair
+/// routing (path expansion, shortcut legs); the plain Dijkstra remains better
+/// for the one-to-many candidate-graph queries.
+///
+/// Keeps per-instance scratch buffers; reuse one instance, not thread safe.
+class AStarRouter {
+ public:
+  /// The network must outlive the router.
+  explicit AStarRouter(const RoadNetwork* net);
+
+  /// Shortest route from `from` to `to` with connecting length at most
+  /// `max_length`; nullopt when unreachable within the bound. Route semantics
+  /// match SegmentRouter::Route1 exactly.
+  std::optional<Route> Route1(SegmentId from, SegmentId to, double max_length);
+
+  /// Nodes expanded by the last query (diagnostics / benchmarks).
+  int last_expanded() const { return last_expanded_; }
+
+ private:
+  const RoadNetwork* net_;
+  std::vector<double> g_;
+  std::vector<SegmentId> parent_seg_;
+  std::vector<int> stamp_;
+  std::vector<int> settled_stamp_;
+  int current_stamp_ = 0;
+  int last_expanded_ = 0;
+};
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_ASTAR_H_

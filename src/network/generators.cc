@@ -1,0 +1,132 @@
+#include "network/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace lhmm::network {
+
+namespace {
+
+/// Builds monotone grid-line coordinates covering [-extent/2, extent/2] whose
+/// spacing grows from `core` at the center to `edge` at the boundary.
+std::vector<double> GridLines(double extent, double core, double edge) {
+  std::vector<double> positive = {0.0};
+  double x = 0.0;
+  while (x < extent / 2.0) {
+    const double r = std::min(1.0, x / (extent / 2.0));
+    const double s = core + (edge - core) * std::pow(r, 1.5);
+    x += s;
+    positive.push_back(x);
+  }
+  std::vector<double> lines;
+  for (size_t i = positive.size(); i-- > 1;) lines.push_back(-positive[i]);
+  for (double v : positive) lines.push_back(v);
+  return lines;
+}
+
+}  // namespace
+
+RoadNetwork GenerateCityNetwork(const CityNetworkConfig& config) {
+  CHECK_GT(config.core_spacing, 0.0);
+  CHECK_GE(config.edge_spacing, config.core_spacing);
+  core::Rng rng(config.seed);
+
+  const std::vector<double> xs =
+      GridLines(config.width, config.core_spacing, config.edge_spacing);
+  const std::vector<double> ys =
+      GridLines(config.height, config.core_spacing, config.edge_spacing);
+  const int cols = static_cast<int>(xs.size());
+  const int rows = static_cast<int>(ys.size());
+  const int center_col = cols / 2;
+  const int center_row = rows / 2;
+
+  RoadNetwork net;
+  std::vector<NodeId> grid(static_cast<size_t>(cols) * rows, kInvalidNode);
+  auto at = [&](int c, int r) -> NodeId& {
+    return grid[static_cast<size_t>(r) * cols + c];
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double local_x =
+          c + 1 < cols ? xs[c + 1] - xs[c] : xs[c] - xs[c - 1];
+      const double local_y =
+          r + 1 < rows ? ys[r + 1] - ys[r] : ys[r] - ys[r - 1];
+      const double jx = rng.Uniform(-config.jitter_frac, config.jitter_frac) * local_x;
+      const double jy = rng.Uniform(-config.jitter_frac, config.jitter_frac) * local_y;
+      at(c, r) = net.AddNode({xs[c] + jx, ys[r] + jy});
+    }
+  }
+
+  auto is_arterial_col = [&](int c) {
+    return config.arterial_period > 0 &&
+           std::abs(c - center_col) % config.arterial_period == 0;
+  };
+  auto is_arterial_row = [&](int r) {
+    return config.arterial_period > 0 &&
+           std::abs(r - center_row) % config.arterial_period == 0;
+  };
+
+  auto add_edge = [&](NodeId a, NodeId b, bool arterial) {
+    const double drop = arterial ? config.drop_prob / 3.0 : config.drop_prob;
+    if (rng.Bernoulli(drop)) return;
+    const double speed = arterial ? config.arterial_speed : config.local_speed;
+    const RoadLevel level = arterial ? RoadLevel::kArterial : RoadLevel::kLocal;
+    net.AddTwoWay(a, b, speed, level);
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) add_edge(at(c, r), at(c + 1, r), is_arterial_row(r));
+      if (r + 1 < rows) add_edge(at(c, r), at(c, r + 1), is_arterial_col(c));
+    }
+  }
+
+  // A sprinkle of diagonal connectors in the core makes the topology less
+  // regular, like real inner-city street patterns.
+  const int core_cols = std::max(2, cols / 4);
+  const int core_rows = std::max(2, rows / 4);
+  for (int r = center_row - core_rows; r < center_row + core_rows; ++r) {
+    for (int c = center_col - core_cols; c < center_col + core_cols; ++c) {
+      if (r < 0 || c < 0 || r + 1 >= rows || c + 1 >= cols) continue;
+      if (rng.Bernoulli(0.06)) {
+        net.AddTwoWay(at(c, r), at(c + 1, r + 1), config.local_speed,
+                      RoadLevel::kCollector);
+      }
+    }
+  }
+
+  const std::vector<NodeId> scc = net.LargestStronglyConnectedComponent();
+  RoadNetwork pruned = net.InducedSubnetwork(scc);
+  CHECK_OK(pruned.Validate());
+  return pruned;
+}
+
+RoadNetwork GenerateGridNetwork(int cols, int rows, double spacing,
+                                double speed_limit) {
+  CHECK_GE(cols, 2);
+  CHECK_GE(rows, 2);
+  RoadNetwork net;
+  std::vector<NodeId> grid(static_cast<size_t>(cols) * rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      grid[static_cast<size_t>(r) * cols + c] =
+          net.AddNode({c * spacing, r * spacing});
+    }
+  }
+  auto at = [&](int c, int r) { return grid[static_cast<size_t>(r) * cols + c]; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) net.AddTwoWay(at(c, r), at(c + 1, r), speed_limit,
+                                      RoadLevel::kLocal);
+      if (r + 1 < rows) net.AddTwoWay(at(c, r), at(c, r + 1), speed_limit,
+                                      RoadLevel::kLocal);
+    }
+  }
+  CHECK_OK(net.Validate());
+  return net;
+}
+
+}  // namespace lhmm::network

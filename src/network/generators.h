@@ -1,0 +1,37 @@
+#ifndef LHMM_NETWORK_GENERATORS_H_
+#define LHMM_NETWORK_GENERATORS_H_
+
+#include "core/rng.h"
+#include "network/road_network.h"
+
+namespace lhmm::network {
+
+/// Parameters of the synthetic urban network generator. The generator builds
+/// a jittered grid whose block size grows with distance from the city center
+/// (dense urban core, sparse suburbs), drops a fraction of edges to create
+/// irregular topology, marks periodic rows/columns as arterials, and keeps
+/// only the largest strongly connected component.
+struct CityNetworkConfig {
+  double width = 9000.0;        ///< Extent along x, meters.
+  double height = 7000.0;       ///< Extent along y, meters.
+  double core_spacing = 280.0;  ///< Block size at the center, meters.
+  double edge_spacing = 650.0;  ///< Block size at the outskirts, meters.
+  double jitter_frac = 0.22;    ///< Node jitter as a fraction of local spacing.
+  double drop_prob = 0.12;      ///< Probability of deleting a two-way edge.
+  int arterial_period = 4;      ///< Every n-th grid line is an arterial.
+  double local_speed = 11.0;    ///< Local street speed limit, m/s (~40 km/h).
+  double arterial_speed = 19.5; ///< Arterial speed limit, m/s (~70 km/h).
+  uint64_t seed = 7;
+};
+
+/// Generates a synthetic urban road network per `config`.
+RoadNetwork GenerateCityNetwork(const CityNetworkConfig& config);
+
+/// Generates a plain `cols` x `rows` two-way grid with uniform `spacing`;
+/// used heavily by unit tests where hand-checkable geometry matters.
+RoadNetwork GenerateGridNetwork(int cols, int rows, double spacing,
+                                double speed_limit = 13.9);
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_GENERATORS_H_

@@ -1,0 +1,102 @@
+#include "network/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::network {
+
+GridIndex::GridIndex(const RoadNetwork* net, double cell_size)
+    : net_(net), cell_size_(cell_size) {
+  CHECK(net != nullptr);
+  CHECK_GT(cell_size, 0.0);
+  geo::BBox bounds = net->Bounds();
+  if (bounds.Empty()) {
+    bounds.Extend({0, 0});
+  }
+  bounds.Inflate(cell_size);
+  origin_x_ = bounds.min_x;
+  origin_y_ = bounds.min_y;
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds.Width() / cell_size)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(bounds.Height() / cell_size)));
+  cells_.resize(static_cast<size_t>(cols_) * rows_);
+  for (const RoadSegment& seg : net->segments()) {
+    const geo::BBox& b = seg.geometry.Bounds();
+    const int cx0 = std::clamp(
+        static_cast<int>((b.min_x - origin_x_) / cell_size_), 0, cols_ - 1);
+    const int cx1 = std::clamp(
+        static_cast<int>((b.max_x - origin_x_) / cell_size_), 0, cols_ - 1);
+    const int cy0 = std::clamp(
+        static_cast<int>((b.min_y - origin_y_) / cell_size_), 0, rows_ - 1);
+    const int cy1 = std::clamp(
+        static_cast<int>((b.max_y - origin_y_) / cell_size_), 0, rows_ - 1);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        cells_[static_cast<size_t>(cy) * cols_ + cx].push_back(seg.id);
+      }
+    }
+  }
+  seen_stamp_.assign(net->num_segments(), 0);
+}
+
+int GridIndex::CellOf(double x, double y) const {
+  const int cx = std::clamp(static_cast<int>((x - origin_x_) / cell_size_), 0,
+                            cols_ - 1);
+  const int cy = std::clamp(static_cast<int>((y - origin_y_) / cell_size_), 0,
+                            rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+void GridIndex::CollectInRadius(const geo::Point& p, double radius,
+                                std::vector<SegmentHit>* out) const {
+  ++stamp_;
+  const int cx0 = std::clamp(
+      static_cast<int>((p.x - radius - origin_x_) / cell_size_), 0, cols_ - 1);
+  const int cx1 = std::clamp(
+      static_cast<int>((p.x + radius - origin_x_) / cell_size_), 0, cols_ - 1);
+  const int cy0 = std::clamp(
+      static_cast<int>((p.y - radius - origin_y_) / cell_size_), 0, rows_ - 1);
+  const int cy1 = std::clamp(
+      static_cast<int>((p.y + radius - origin_y_) / cell_size_), 0, rows_ - 1);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (SegmentId id : cells_[static_cast<size_t>(cy) * cols_ + cx]) {
+        if (seen_stamp_[id] == stamp_) continue;
+        seen_stamp_[id] = stamp_;
+        const geo::PolylineProjection proj = net_->segment(id).geometry.Project(p);
+        if (proj.dist <= radius) {
+          out->push_back(SegmentHit{id, proj.dist, proj.point});
+        }
+      }
+    }
+  }
+}
+
+std::vector<SegmentHit> GridIndex::Query(const geo::Point& p, double radius) const {
+  std::vector<SegmentHit> out;
+  CollectInRadius(p, radius, &out);
+  std::sort(out.begin(), out.end(),
+            [](const SegmentHit& a, const SegmentHit& b) { return a.dist < b.dist; });
+  return out;
+}
+
+std::vector<SegmentHit> GridIndex::Nearest(const geo::Point& p, int k) const {
+  double radius = cell_size_;
+  const int total = net_->num_segments();
+  while (true) {
+    std::vector<SegmentHit> out;
+    CollectInRadius(p, radius, &out);
+    if (static_cast<int>(out.size()) >= std::min(k, total) ||
+        radius > 4.0 * cell_size_ * std::max(cols_, rows_)) {
+      std::sort(out.begin(), out.end(), [](const SegmentHit& a, const SegmentHit& b) {
+        return a.dist < b.dist;
+      });
+      if (static_cast<int>(out.size()) > k) out.resize(k);
+      return out;
+    }
+    radius *= 2.0;
+  }
+}
+
+}  // namespace lhmm::network

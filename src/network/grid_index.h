@@ -1,0 +1,60 @@
+#ifndef LHMM_NETWORK_GRID_INDEX_H_
+#define LHMM_NETWORK_GRID_INDEX_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "network/road_network.h"
+
+namespace lhmm::network {
+
+/// A segment id together with its distance from a query point and the closest
+/// point on its geometry.
+struct SegmentHit {
+  SegmentId segment = kInvalidSegment;
+  double dist = 0.0;
+  geo::Point closest;
+};
+
+/// Uniform-grid spatial index over road segment geometries. Candidate
+/// preparation (HMM step 1) issues radius queries here; cells are sized for
+/// cellular search radii (hundreds of meters to kilometers).
+class GridIndex {
+ public:
+  /// Builds the index over all segments of `net`. The network must outlive
+  /// the index. `cell_size` is the grid pitch in meters.
+  explicit GridIndex(const RoadNetwork* net, double cell_size = 250.0);
+
+  /// All segments whose geometry lies within `radius` meters of `p`, sorted
+  /// by ascending distance.
+  std::vector<SegmentHit> Query(const geo::Point& p, double radius) const;
+
+  /// The `k` nearest segments to `p`, expanding the search radius as needed;
+  /// sorted by ascending distance. Returns fewer if the network is smaller.
+  std::vector<SegmentHit> Nearest(const geo::Point& p, int k) const;
+
+  double cell_size() const { return cell_size_; }
+
+  /// The indexed network.
+  const RoadNetwork* network() const { return net_; }
+
+ private:
+  int CellOf(double x, double y) const;
+  void CollectInRadius(const geo::Point& p, double radius,
+                       std::vector<SegmentHit>* out) const;
+
+  const RoadNetwork* net_;
+  double cell_size_;
+  double origin_x_ = 0.0;
+  double origin_y_ = 0.0;
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<std::vector<SegmentId>> cells_;
+  // Scratch stamp used to deduplicate segments spanning multiple cells.
+  mutable std::vector<int> seen_stamp_;
+  mutable int stamp_ = 0;
+};
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_GRID_INDEX_H_

@@ -1,0 +1,137 @@
+#include "network/k_shortest.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "core/logging.h"
+
+namespace lhmm::network {
+
+namespace {
+
+/// Connecting length of a full segment chain (sum of interior segments),
+/// consistent with Route::length semantics.
+double ChainLength(const RoadNetwork& net, const std::vector<SegmentId>& chain) {
+  double total = 0.0;
+  for (size_t i = 1; i + 1 < chain.size(); ++i) {
+    total += net.segment(chain[i]).length;
+  }
+  return total;
+}
+
+}  // namespace
+
+KShortestPaths::KShortestPaths(const RoadNetwork* net) : net_(net) {
+  CHECK(net != nullptr);
+}
+
+std::optional<Route> KShortestPaths::ConstrainedRoute(
+    SegmentId from, SegmentId to, const std::vector<SegmentId>& prefix,
+    const std::vector<bool>& banned, double max_length) {
+  if (from == to) {
+    if (banned[from]) return std::nullopt;
+    return Route{0.0, {from}};
+  }
+  // Node Dijkstra from from.to to to.from skipping banned segments.
+  const int n = net_->num_nodes();
+  std::vector<double> dist(n, 1e18);
+  std::vector<SegmentId> parent(n, kInvalidSegment);
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  const NodeId source = net_->segment(from).to;
+  const NodeId goal = net_->segment(to).from;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v] || d > max_length) continue;
+    if (v == goal) break;
+    for (SegmentId sid : net_->OutSegments(v)) {
+      if (banned[sid]) continue;
+      const RoadSegment& seg = net_->segment(sid);
+      const double nd = d + seg.length;
+      if (nd < dist[seg.to] && nd <= max_length) {
+        dist[seg.to] = nd;
+        parent[seg.to] = sid;
+        heap.push({nd, seg.to});
+      }
+    }
+  }
+  if (dist[goal] > max_length) return std::nullopt;
+  Route route;
+  route.segments.push_back(from);
+  std::vector<SegmentId> mid;
+  NodeId v = goal;
+  while (parent[v] != kInvalidSegment) {
+    mid.push_back(parent[v]);
+    v = net_->segment(parent[v]).from;
+  }
+  if (v != source) return std::nullopt;  // Goal not actually reached.
+  std::reverse(mid.begin(), mid.end());
+  route.segments.insert(route.segments.end(), mid.begin(), mid.end());
+  route.segments.push_back(to);
+  route.length = dist[goal];
+  (void)prefix;
+  return route;
+}
+
+std::vector<Route> KShortestPaths::Find(SegmentId from, SegmentId to, int k,
+                                        double max_length) {
+  CHECK_GE(k, 1);
+  std::vector<Route> result;
+  std::vector<bool> no_bans(net_->num_segments(), false);
+  auto first = ConstrainedRoute(from, to, {}, no_bans, max_length);
+  if (!first.has_value()) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool ordered by length; dedup on the segment chain.
+  auto cmp = [](const Route& a, const Route& b) { return a.length > b.length; };
+  std::priority_queue<Route, std::vector<Route>, decltype(cmp)> candidates(cmp);
+  std::set<std::vector<SegmentId>> seen;
+  seen.insert(result[0].segments);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Route& last = result.back();
+    // Spur from every position of the last accepted path (except the final
+    // target segment).
+    for (size_t i = 0; i + 1 < last.segments.size(); ++i) {
+      const SegmentId spur = last.segments[i];
+      const std::vector<SegmentId> root(last.segments.begin(),
+                                        last.segments.begin() + i);
+      std::vector<bool> banned(net_->num_segments(), false);
+      // Ban the next segment of every accepted path sharing this root.
+      for (const Route& r : result) {
+        if (r.segments.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), r.segments.begin()) &&
+            r.segments[i] == spur) {
+          banned[r.segments[i + 1]] = true;
+        }
+      }
+      // Keep the spur path loopless w.r.t. the root.
+      for (SegmentId sid : root) banned[sid] = true;
+
+      auto spur_route = ConstrainedRoute(spur, to, root, banned, max_length);
+      if (!spur_route.has_value()) continue;
+      std::vector<SegmentId> chain = root;
+      chain.insert(chain.end(), spur_route->segments.begin(),
+                   spur_route->segments.end());
+      if (chain.front() != from) continue;  // Root must begin at the source.
+      if (!IsConnectedPath(*net_, chain)) continue;
+      if (seen.count(chain)) continue;
+      Route total;
+      total.length = ChainLength(*net_, chain);
+      if (total.length > max_length) continue;
+      total.segments = std::move(chain);
+      seen.insert(total.segments);
+      candidates.push(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(candidates.top());
+    candidates.pop();
+  }
+  return result;
+}
+
+}  // namespace lhmm::network

@@ -1,0 +1,35 @@
+#ifndef LHMM_NETWORK_K_SHORTEST_H_
+#define LHMM_NETWORK_K_SHORTEST_H_
+
+#include <vector>
+
+#include "network/road_network.h"
+#include "network/shortest_path.h"
+
+namespace lhmm::network {
+
+/// Yen's algorithm for the K shortest loopless routes between two road
+/// segments. Useful for alternative-route analysis (e.g. ranking plausible
+/// detours for a transition, or auditing how distinctive the shortest path
+/// actually is). Returns up to `k` routes ordered by ascending length; fewer
+/// when the graph does not admit them within `max_length`.
+class KShortestPaths {
+ public:
+  /// The network must outlive this object.
+  explicit KShortestPaths(const RoadNetwork* net);
+
+  std::vector<Route> Find(SegmentId from, SegmentId to, int k, double max_length);
+
+ private:
+  /// Shortest route honoring banned segments and a forced prefix.
+  std::optional<Route> ConstrainedRoute(SegmentId from, SegmentId to,
+                                        const std::vector<SegmentId>& prefix,
+                                        const std::vector<bool>& banned,
+                                        double max_length);
+
+  const RoadNetwork* net_;
+};
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_K_SHORTEST_H_

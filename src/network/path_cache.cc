@@ -1,0 +1,60 @@
+#include "network/path_cache.h"
+
+namespace lhmm::network {
+
+void CachedRouter::WarmAll(const GridIndex& index, double radius) {
+  const RoadNetwork& net = *index.network();
+  std::vector<SegmentId> targets;
+  for (SegmentId from = 0; from < net.num_segments(); ++from) {
+    const geo::Polyline& geom = net.segment(from).geometry;
+    const geo::Point mid = geom.PointAt(geom.Length() / 2.0);
+    targets.clear();
+    for (const SegmentHit& hit : index.Query(mid, radius)) {
+      targets.push_back(hit.segment);
+    }
+    (void)RouteMany(from, targets, radius * 2.0);
+  }
+}
+
+std::optional<Route> CachedRouter::Route1(SegmentId from, SegmentId to,
+                                          double max_length) {
+  std::vector<std::optional<Route>> routes = RouteMany(from, {to}, max_length);
+  return std::move(routes[0]);
+}
+
+std::vector<std::optional<Route>> CachedRouter::RouteMany(
+    SegmentId from, const std::vector<SegmentId>& targets, double max_length) {
+  std::vector<std::optional<Route>> out(targets.size());
+  std::vector<SegmentId> missing;
+  std::vector<size_t> missing_pos;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const auto it = cache_.find(Key(from, targets[i]));
+    if (it != cache_.end() &&
+        (it->second.route.has_value() || it->second.bound >= max_length)) {
+      // A found route is valid for any bound >= its length; a negative entry
+      // is only valid if it was computed with at least this bound.
+      if (it->second.route.has_value() && it->second.route->length > max_length) {
+        // Route exists but exceeds the caller's bound.
+        ++hits_;
+        continue;
+      }
+      out[i] = it->second.route;
+      ++hits_;
+      continue;
+    }
+    missing.push_back(targets[i]);
+    missing_pos.push_back(i);
+  }
+  if (!missing.empty()) {
+    misses_ += static_cast<int64_t>(missing.size());
+    std::vector<std::optional<Route>> fresh =
+        router_->RouteMany(from, missing, max_length);
+    for (size_t j = 0; j < missing.size(); ++j) {
+      cache_[Key(from, missing[j])] = Entry{fresh[j], max_length};
+      out[missing_pos[j]] = std::move(fresh[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lhmm::network

@@ -1,0 +1,63 @@
+#ifndef LHMM_NETWORK_PATH_CACHE_H_
+#define LHMM_NETWORK_PATH_CACHE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "network/grid_index.h"
+#include "network/shortest_path.h"
+
+namespace lhmm::network {
+
+/// Memoizing wrapper around SegmentRouter. The paper notes that HMM matchers
+/// "can use a precomputation table to avoid the bottleneck of repeated
+/// shortest path searches" [11]; this is that table, filled lazily. Negative
+/// results (unreachable within the bound) are cached too.
+class CachedRouter {
+ public:
+  /// The router must outlive this wrapper.
+  explicit CachedRouter(SegmentRouter* router) : router_(router) {}
+
+  /// Shortest route from `from` to `to` bounded by `max_length`. A cached
+  /// entry is reused only if it was computed with a bound at least as large.
+  std::optional<Route> Route1(SegmentId from, SegmentId to, double max_length);
+
+  /// Batched variant mirroring SegmentRouter::RouteMany. Runs at most one
+  /// Dijkstra for all cache misses.
+  std::vector<std::optional<Route>> RouteMany(SegmentId from,
+                                              const std::vector<SegmentId>& targets,
+                                              double max_length);
+
+  /// Precomputes routes from every segment to all segments within `radius`
+  /// meters (the FMM-style precomputation table of [11] the paper mentions:
+  /// "The HMM can use a precomputation table to avoid the bottleneck of
+  /// repeated shortest path searches"). Eager and memory-proportional to
+  /// (segments x neighbors); use for repeated batch matching on one network.
+  void WarmAll(const GridIndex& index, double radius);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  struct Entry {
+    std::optional<Route> route;
+    double bound = 0.0;  ///< max_length used when the entry was computed.
+  };
+
+  static uint64_t Key(SegmentId from, SegmentId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  SegmentRouter* router_;
+  std::unordered_map<uint64_t, Entry> cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_PATH_CACHE_H_

@@ -1,0 +1,110 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::nn {
+
+Tensor SmoothedCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                            float epsilon) {
+  const int r = logits.rows();
+  const int c = logits.cols();
+  CHECK_EQ(static_cast<int>(labels.size()), r);
+  CHECK_GT(r, 0);
+
+  const Matrix probs = SoftmaxRows(logits.value());
+  // Forward: mean of -(sum_k target_k * log p_k).
+  double loss = 0.0;
+  const float off = epsilon / static_cast<float>(c);
+  const float on = 1.0f - epsilon + off;
+  for (int i = 0; i < r; ++i) {
+    const float* prow = probs.Row(i);
+    CHECK_GE(labels[i], 0);
+    CHECK_LT(labels[i], c);
+    for (int j = 0; j < c; ++j) {
+      const float target = (j == labels[i]) ? on : off;
+      if (target > 0.0f) loss -= target * std::log(std::max(prow[j], 1e-12f));
+    }
+  }
+  loss /= r;
+
+  return Tensor::FromOp(
+      Matrix::Full(1, 1, static_cast<float>(loss)), {logits},
+      [probs, labels, on, off, r, c](TensorNode* node) {
+        const float upstream = node->grad(0, 0);
+        Matrix dlogits = probs;
+        for (int i = 0; i < r; ++i) {
+          float* row = dlogits.Row(i);
+          for (int j = 0; j < c; ++j) {
+            const float target = (j == labels[i]) ? on : off;
+            row[j] = (row[j] - target) * upstream / static_cast<float>(r);
+          }
+        }
+        if (node->parents[0]->requires_grad) node->parents[0]->AddGrad(dlogits);
+      });
+}
+
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                    const std::vector<float>& targets,
+                                    float epsilon) {
+  const int r = logits.rows();
+  CHECK_EQ(logits.cols(), 1);
+  CHECK_EQ(static_cast<int>(targets.size()), r);
+  CHECK_GT(r, 0);
+
+  Matrix sig = logits.value();
+  for (int i = 0; i < sig.size(); ++i) {
+    sig.data()[i] = 1.0f / (1.0f + std::exp(-sig.data()[i]));
+  }
+  std::vector<float> smoothed(targets);
+  for (float& t : smoothed) t = t * (1.0f - epsilon) + 0.5f * epsilon;
+
+  double loss = 0.0;
+  for (int i = 0; i < r; ++i) {
+    const float p = std::min(std::max(sig(i, 0), 1e-7f), 1.0f - 1e-7f);
+    loss -= smoothed[i] * std::log(p) + (1.0f - smoothed[i]) * std::log(1.0f - p);
+  }
+  loss /= r;
+
+  return Tensor::FromOp(Matrix::Full(1, 1, static_cast<float>(loss)), {logits},
+                        [sig, smoothed, r](TensorNode* node) {
+                          const float upstream = node->grad(0, 0);
+                          Matrix d(r, 1);
+                          for (int i = 0; i < r; ++i) {
+                            d(i, 0) = (sig(i, 0) - smoothed[i]) * upstream /
+                                      static_cast<float>(r);
+                          }
+                          if (node->parents[0]->requires_grad) {
+                            node->parents[0]->AddGrad(d);
+                          }
+                        });
+}
+
+Tensor MeanSquaredError(const Tensor& pred, const std::vector<float>& targets) {
+  const int r = pred.rows();
+  CHECK_EQ(pred.cols(), 1);
+  CHECK_EQ(static_cast<int>(targets.size()), r);
+  CHECK_GT(r, 0);
+  double loss = 0.0;
+  for (int i = 0; i < r; ++i) {
+    const double d = pred.value()(i, 0) - targets[i];
+    loss += d * d;
+  }
+  loss /= r;
+  return Tensor::FromOp(Matrix::Full(1, 1, static_cast<float>(loss)), {pred},
+                        [targets, r](TensorNode* node) {
+                          const float upstream = node->grad(0, 0);
+                          const Matrix& p = node->parents[0]->value;
+                          Matrix d(r, 1);
+                          for (int i = 0; i < r; ++i) {
+                            d(i, 0) = 2.0f * (p(i, 0) - targets[i]) * upstream /
+                                      static_cast<float>(r);
+                          }
+                          if (node->parents[0]->requires_grad) {
+                            node->parents[0]->AddGrad(d);
+                          }
+                        });
+}
+
+}  // namespace lhmm::nn

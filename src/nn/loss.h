@@ -1,0 +1,29 @@
+#ifndef LHMM_NN_LOSS_H_
+#define LHMM_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace lhmm::nn {
+
+/// Mean softmax cross-entropy over rows of `logits` (R x C) against integer
+/// `labels`, with label smoothing `epsilon` as in Muller et al. [45]: the
+/// target distribution is (1-eps) on the true class and eps/C elsewhere.
+/// The gradient is computed analytically (softmax - smoothed one-hot) / R.
+Tensor SmoothedCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                            float epsilon);
+
+/// Mean binary cross-entropy with logits over an R x 1 tensor against float
+/// targets in [0, 1], with optional label smoothing pulling targets toward
+/// 0.5 by `epsilon`.
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                    const std::vector<float>& targets,
+                                    float epsilon = 0.0f);
+
+/// Mean squared error between an R x 1 tensor and float targets.
+Tensor MeanSquaredError(const Tensor& pred, const std::vector<float>& targets);
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_LOSS_H_

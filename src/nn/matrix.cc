@@ -1,0 +1,160 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::nn {
+
+Matrix Matrix::Xavier(int rows, int cols, core::Rng* rng) {
+  Matrix m(rows, cols);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  return m;
+}
+
+Matrix Matrix::Gaussian(int rows, int cols, float sigma, core::Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal(0.0, sigma));
+  }
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+void Matrix::Accumulate(const Matrix& o) {
+  CHECK(SameShape(o));
+  for (int i = 0; i < size(); ++i) data_[i] += o.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+float Matrix::SquaredNorm() const {
+  float out = 0.0f;
+  for (float v : data_) out += v * v;
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    float* crow = c.Row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.Row(k);
+    const float* brow = b.Row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      float dot = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+Matrix AddMat(const Matrix& a, const Matrix& b) {
+  CHECK(a.SameShape(b));
+  Matrix c = a;
+  c.Accumulate(b);
+  return c;
+}
+
+Matrix SubMat(const Matrix& a, const Matrix& b) {
+  CHECK(a.SameShape(b));
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+  return c;
+}
+
+Matrix MulMat(const Matrix& a, const Matrix& b) {
+  CHECK(a.SameShape(b));
+  Matrix c = a;
+  for (int i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  CHECK_EQ(row.rows(), 1);
+  CHECK_EQ(row.cols(), a.cols());
+  Matrix c = a;
+  for (int i = 0; i < c.rows(); ++i) {
+    float* crow = c.Row(i);
+    for (int j = 0; j < c.cols(); ++j) crow[j] += row(0, j);
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix c(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) c(j, i) = a(i, j);
+  }
+  return c;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix c = a;
+  for (int i = 0; i < c.rows(); ++i) {
+    float* row = c.Row(i);
+    float max_v = row[0];
+    for (int j = 1; j < c.cols(); ++j) max_v = std::max(max_v, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < c.cols(); ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    for (int j = 0; j < c.cols(); ++j) row[j] /= sum;
+  }
+  return c;
+}
+
+Matrix SumRowsOf(const Matrix& a) {
+  Matrix c(1, a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.Row(i);
+    for (int j = 0; j < a.cols(); ++j) c(0, j) += row[j];
+  }
+  return c;
+}
+
+}  // namespace lhmm::nn

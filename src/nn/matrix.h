@@ -1,0 +1,81 @@
+#ifndef LHMM_NN_MATRIX_H_
+#define LHMM_NN_MATRIX_H_
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lhmm::nn {
+
+/// Dense row-major float matrix: the numeric workhorse under the autodiff
+/// tape. Sized for the small models this library trains (hundreds of rows,
+/// dozens of columns), so the kernels are simple loops.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(int rows, int cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Full(int rows, int cols, float v) { return Matrix(rows, cols, v); }
+  /// Xavier/Glorot-uniform initialization.
+  static Matrix Xavier(int rows, int cols, core::Rng* rng);
+  /// Entries drawn i.i.d. from N(0, sigma^2).
+  static Matrix Gaussian(int rows, int cols, float sigma, core::Rng* rng);
+  /// 1 x values.size() row vector.
+  static Matrix RowVector(const std::vector<float>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool SameShape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  float& operator()(int r, int c) { return data_[r * cols_ + c]; }
+  float operator()(int r, int c) const { return data_[r * cols_ + c]; }
+  float* Row(int r) { return data_.data() + r * cols_; }
+  const float* Row(int r) const { return data_.data() + r * cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// In-place element-wise accumulate: *this += o. Shapes must match.
+  void Accumulate(const Matrix& o);
+
+  /// In-place scale: *this *= s.
+  void Scale(float s);
+
+  /// Frobenius-norm squared.
+  float SquaredNorm() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A^T * B (avoids materializing the transpose).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+/// Element-wise sum.
+Matrix AddMat(const Matrix& a, const Matrix& b);
+/// Element-wise difference.
+Matrix SubMat(const Matrix& a, const Matrix& b);
+/// Element-wise (Hadamard) product.
+Matrix MulMat(const Matrix& a, const Matrix& b);
+/// Adds row vector `row` (1 x C) to every row of `a` (R x C).
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+/// Transpose.
+Matrix Transpose(const Matrix& a);
+/// Per-row softmax.
+Matrix SoftmaxRows(const Matrix& a);
+/// Column-wise sum producing a 1 x C row vector.
+Matrix SumRowsOf(const Matrix& a);
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_MATRIX_H_

@@ -1,0 +1,124 @@
+#include "nn/modules.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::nn {
+
+Linear::Linear(int in_dim, int out_dim, core::Rng* rng)
+    : weight_(Matrix::Xavier(in_dim, out_dim, rng), /*requires_grad=*/true),
+      bias_(Matrix::Zeros(1, out_dim), /*requires_grad=*/true) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return AddRowBroadcastT(MatMulT(x, weight_), bias_);
+}
+
+Matrix Linear::Forward(const Matrix& x) const {
+  return AddRowBroadcast(MatMul(x, weight_.value()), bias_.value());
+}
+
+void Linear::CollectParams(std::vector<Tensor>* out) {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+Mlp::Mlp(const std::vector<int>& dims, core::Rng* rng) {
+  CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ReluT(h);
+  }
+  return h;
+}
+
+Matrix Mlp::Forward(const Matrix& x) const {
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      for (int j = 0; j < h.size(); ++j) {
+        if (h.data()[j] < 0.0f) h.data()[j] = 0.0f;
+      }
+    }
+  }
+  return h;
+}
+
+void Mlp::CollectParams(std::vector<Tensor>* out) {
+  for (Linear& layer : layers_) layer.CollectParams(out);
+}
+
+Embedding::Embedding(int count, int dim, core::Rng* rng)
+    : table_(Matrix::Gaussian(count, dim, 0.1f, rng), /*requires_grad=*/true) {}
+
+Tensor Embedding::Forward(const std::vector<int>& indices) const {
+  return RowsT(table_, indices);
+}
+
+void Embedding::CollectParams(std::vector<Tensor>* out) {
+  out->push_back(table_);
+}
+
+AdditiveAttention::AdditiveAttention(int query_dim, int key_dim, int hidden_dim,
+                                     core::Rng* rng)
+    : query_proj_(query_dim, hidden_dim, rng),
+      key_proj_(key_dim, hidden_dim, rng),
+      score_(2 * hidden_dim, 1, rng) {}
+
+Tensor AdditiveAttention::Forward(const Tensor& query, const Tensor& keys,
+                                  const Tensor& values, Tensor* weights_out) const {
+  CHECK_EQ(query.rows(), 1);
+  const int n = keys.rows();
+  const Tensor q = RepeatRowT(query_proj_.Forward(query), n);  // n x h
+  const Tensor k = key_proj_.Forward(keys);                    // n x h
+  const Tensor scores = score_.Forward(TanhT(ConcatColsT(q, k)));  // n x 1
+  const Tensor weights = SoftmaxRowsT(TransposeT(scores));         // 1 x n
+  if (weights_out != nullptr) *weights_out = weights;
+  return MatMulT(weights, values);  // 1 x value-dim
+}
+
+Matrix AdditiveAttention::Forward(const Matrix& query, const Matrix& keys,
+                                  const Matrix& values, Matrix* weights_out) const {
+  return ForwardProjected(query, ProjectKeys(keys), values, weights_out);
+}
+
+Matrix AdditiveAttention::ProjectKeys(const Matrix& keys) const {
+  return key_proj_.Forward(keys);
+}
+
+Matrix AdditiveAttention::ForwardProjected(const Matrix& query,
+                                           const Matrix& projected_keys,
+                                           const Matrix& values,
+                                           Matrix* weights_out) const {
+  CHECK_EQ(query.rows(), 1);
+  const int n = projected_keys.rows();
+  const Matrix qp = query_proj_.Forward(query);  // 1 x h
+  const Matrix& k = projected_keys;
+  Matrix cat(n, qp.cols() + k.cols());
+  for (int i = 0; i < n; ++i) {
+    float* row = cat.Row(i);
+    for (int j = 0; j < qp.cols(); ++j) row[j] = qp(0, j);
+    for (int j = 0; j < k.cols(); ++j) row[qp.cols() + j] = k(i, j);
+  }
+  for (int i = 0; i < cat.size(); ++i) cat.data()[i] = std::tanh(cat.data()[i]);
+  const Matrix scores = score_.Forward(cat);              // n x 1
+  const Matrix weights = SoftmaxRows(Transpose(scores));  // 1 x n
+  if (weights_out != nullptr) *weights_out = weights;
+  return MatMul(weights, values);
+}
+
+void AdditiveAttention::CollectParams(std::vector<Tensor>* out) {
+  query_proj_.CollectParams(out);
+  key_proj_.CollectParams(out);
+  score_.CollectParams(out);
+}
+
+}  // namespace lhmm::nn

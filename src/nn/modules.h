@@ -1,0 +1,124 @@
+#ifndef LHMM_NN_MODULES_H_
+#define LHMM_NN_MODULES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace lhmm::nn {
+
+/// Base class of trainable components. Parameters are Tensors with
+/// requires_grad set; CollectParams exposes them to the optimizer and to
+/// the serializer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends all trainable parameters to `out` in a stable order.
+  virtual void CollectParams(std::vector<Tensor>* out) = 0;
+
+  /// Convenience wrapper around CollectParams.
+  std::vector<Tensor> Params() {
+    std::vector<Tensor> out;
+    CollectParams(&out);
+    return out;
+  }
+};
+
+/// Affine layer y = x W + b with Xavier init.
+class Linear : public Module {
+ public:
+  Linear(int in_dim, int out_dim, core::Rng* rng);
+
+  /// Autodiff forward for training.
+  Tensor Forward(const Tensor& x) const;
+
+  /// Plain-matrix forward for inference (no tape).
+  Matrix Forward(const Matrix& x) const;
+
+  void CollectParams(std::vector<Tensor>* out) override;
+
+  int in_dim() const { return weight_.rows(); }
+  int out_dim() const { return weight_.cols(); }
+
+ private:
+  Tensor weight_;  ///< in_dim x out_dim.
+  Tensor bias_;    ///< 1 x out_dim.
+};
+
+/// Multilayer perceptron: Linear -> ReLU -> ... -> Linear (no activation on
+/// the output layer).
+class Mlp : public Module {
+ public:
+  /// `dims` lists layer widths including input and output, e.g. {96, 64, 1}.
+  Mlp(const std::vector<int>& dims, core::Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+  Matrix Forward(const Matrix& x) const;
+
+  void CollectParams(std::vector<Tensor>* out) override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// Learnable embedding table. Equivalent to the paper's W_init applied to
+/// one-hot vectors: h_i^(0) = W_init^T v_i (Section IV-B).
+class Embedding : public Module {
+ public:
+  Embedding(int count, int dim, core::Rng* rng);
+
+  /// Gathers rows for `indices` on the tape.
+  Tensor Forward(const std::vector<int>& indices) const;
+
+  /// Whole table as a tensor (for full-graph message passing).
+  const Tensor& table() const { return table_; }
+
+  void CollectParams(std::vector<Tensor>* out) override;
+
+  int count() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+
+ private:
+  Tensor table_;
+};
+
+/// Additive (Bahdanau-style) attention matching the paper's Eq. (6)/(9):
+///   score_j = w_v . tanh(W_q q  (+)  W_k k_j),  alpha = softmax(score),
+///   context = sum_j alpha_j v_j.
+class AdditiveAttention : public Module {
+ public:
+  AdditiveAttention(int query_dim, int key_dim, int hidden_dim, core::Rng* rng);
+
+  /// `query` is 1 x query_dim; `keys` is n x key_dim; `values` is n x value
+  /// dim. Returns the 1 x value-dim context vector; if `weights_out` is
+  /// non-null it receives the 1 x n attention weights.
+  Tensor Forward(const Tensor& query, const Tensor& keys, const Tensor& values,
+                 Tensor* weights_out = nullptr) const;
+
+  /// Inference variant on plain matrices.
+  Matrix Forward(const Matrix& query, const Matrix& keys, const Matrix& values,
+                 Matrix* weights_out = nullptr) const;
+
+  /// Precomputes W_k keys for reuse across many queries over the same key
+  /// set (one trajectory's points are attended once per candidate road).
+  Matrix ProjectKeys(const Matrix& keys) const;
+
+  /// Inference forward with keys already projected by ProjectKeys().
+  Matrix ForwardProjected(const Matrix& query, const Matrix& projected_keys,
+                          const Matrix& values, Matrix* weights_out = nullptr) const;
+
+  void CollectParams(std::vector<Tensor>* out) override;
+
+ private:
+  Linear query_proj_;
+  Linear key_proj_;
+  Linear score_;  ///< 2*hidden -> 1.
+};
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_MODULES_H_

@@ -1,0 +1,325 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::nn {
+
+namespace {
+/// Accumulates `g` into parent `i` of `node` if that parent wants gradients.
+void GradInto(TensorNode* node, size_t i, const Matrix& g) {
+  TensorNode* parent = node->parents[i].get();
+  if (parent->requires_grad) parent->AddGrad(g);
+}
+}  // namespace
+
+Tensor MatMulT(const Tensor& a, const Tensor& b) {
+  Matrix out = MatMul(a.value(), b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* node) {
+    const Matrix& dc = node->grad;
+    const Matrix& av = node->parents[0]->value;
+    const Matrix& bv = node->parents[1]->value;
+    GradInto(node, 0, MatMulTransB(dc, bv));  // dA = dC * B^T
+    GradInto(node, 1, MatMulTransA(av, dc));  // dB = A^T * dC
+  });
+}
+
+Tensor AddT(const Tensor& a, const Tensor& b) {
+  Matrix out = AddMat(a.value(), b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* node) {
+    GradInto(node, 0, node->grad);
+    GradInto(node, 1, node->grad);
+  });
+}
+
+Tensor SubT(const Tensor& a, const Tensor& b) {
+  Matrix out = SubMat(a.value(), b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* node) {
+    GradInto(node, 0, node->grad);
+    Matrix neg = node->grad;
+    neg.Scale(-1.0f);
+    GradInto(node, 1, neg);
+  });
+}
+
+Tensor MulT(const Tensor& a, const Tensor& b) {
+  Matrix out = MulMat(a.value(), b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* node) {
+    GradInto(node, 0, MulMat(node->grad, node->parents[1]->value));
+    GradInto(node, 1, MulMat(node->grad, node->parents[0]->value));
+  });
+}
+
+Tensor ScaleT(const Tensor& a, float s) {
+  Matrix out = a.value();
+  out.Scale(s);
+  return Tensor::FromOp(std::move(out), {a}, [s](TensorNode* node) {
+    Matrix g = node->grad;
+    g.Scale(s);
+    GradInto(node, 0, g);
+  });
+}
+
+Tensor AddRowBroadcastT(const Tensor& a, const Tensor& row) {
+  Matrix out = AddRowBroadcast(a.value(), row.value());
+  return Tensor::FromOp(std::move(out), {a, row}, [](TensorNode* node) {
+    GradInto(node, 0, node->grad);
+    GradInto(node, 1, SumRowsOf(node->grad));
+  });
+}
+
+Tensor ConcatColsT(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.value().Row(i);
+    const float* brow = b.value().Row(i);
+    float* orow = out.Row(i);
+    for (int j = 0; j < a.cols(); ++j) orow[j] = arow[j];
+    for (int j = 0; j < b.cols(); ++j) orow[a.cols() + j] = brow[j];
+  }
+  const int ca = a.cols();
+  const int cb = b.cols();
+  return Tensor::FromOp(std::move(out), {a, b}, [ca, cb](TensorNode* node) {
+    const Matrix& dc = node->grad;
+    Matrix da(dc.rows(), ca);
+    Matrix db(dc.rows(), cb);
+    for (int i = 0; i < dc.rows(); ++i) {
+      const float* drow = dc.Row(i);
+      for (int j = 0; j < ca; ++j) da(i, j) = drow[j];
+      for (int j = 0; j < cb; ++j) db(i, j) = drow[ca + j];
+    }
+    GradInto(node, 0, da);
+    GradInto(node, 1, db);
+  });
+}
+
+Tensor RowsT(const Tensor& a, const std::vector<int>& indices) {
+  Matrix out(static_cast<int>(indices.size()), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    CHECK_GE(indices[i], 0);
+    CHECK_LT(indices[i], a.rows());
+    const float* src = a.value().Row(indices[i]);
+    float* dst = out.Row(static_cast<int>(i));
+    for (int j = 0; j < a.cols(); ++j) dst[j] = src[j];
+  }
+  return Tensor::FromOp(std::move(out), {a}, [indices](TensorNode* node) {
+    TensorNode* parent = node->parents[0].get();
+    if (!parent->requires_grad) return;
+    Matrix da = Matrix::Zeros(parent->value.rows(), parent->value.cols());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const float* grow = node->grad.Row(static_cast<int>(i));
+      float* drow = da.Row(indices[i]);
+      for (int j = 0; j < da.cols(); ++j) drow[j] += grow[j];
+    }
+    parent->AddGrad(da);
+  });
+}
+
+Tensor RepeatRowT(const Tensor& a, int n) {
+  CHECK_EQ(a.rows(), 1);
+  Matrix out(n, a.cols());
+  for (int i = 0; i < n; ++i) {
+    const float* src = a.value().Row(0);
+    float* dst = out.Row(i);
+    for (int j = 0; j < a.cols(); ++j) dst[j] = src[j];
+  }
+  return Tensor::FromOp(std::move(out), {a}, [](TensorNode* node) {
+    GradInto(node, 0, SumRowsOf(node->grad));
+  });
+}
+
+Tensor ReluT(const Tensor& a) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  return Tensor::FromOp(std::move(out), {a}, [](TensorNode* node) {
+    const Matrix& in = node->parents[0]->value;
+    Matrix g = node->grad;
+    for (int i = 0; i < g.size(); ++i) {
+      if (in.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+    }
+    GradInto(node, 0, g);
+  });
+}
+
+Tensor TanhT(const Tensor& a) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  return Tensor::FromOp(std::move(out), {a}, [](TensorNode* node) {
+    const Matrix& y = node->value;
+    Matrix g = node->grad;
+    for (int i = 0; i < g.size(); ++i) {
+      g.data()[i] *= 1.0f - y.data()[i] * y.data()[i];
+    }
+    GradInto(node, 0, g);
+  });
+}
+
+Tensor SigmoidT(const Tensor& a) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  return Tensor::FromOp(std::move(out), {a}, [](TensorNode* node) {
+    const Matrix& y = node->value;
+    Matrix g = node->grad;
+    for (int i = 0; i < g.size(); ++i) {
+      g.data()[i] *= y.data()[i] * (1.0f - y.data()[i]);
+    }
+    GradInto(node, 0, g);
+  });
+}
+
+Tensor SoftmaxRowsT(const Tensor& a) {
+  Matrix out = SoftmaxRows(a.value());
+  return Tensor::FromOp(std::move(out), {a}, [](TensorNode* node) {
+    const Matrix& y = node->value;
+    const Matrix& dy = node->grad;
+    Matrix da(y.rows(), y.cols());
+    for (int i = 0; i < y.rows(); ++i) {
+      const float* yrow = y.Row(i);
+      const float* drow = dy.Row(i);
+      float dot = 0.0f;
+      for (int j = 0; j < y.cols(); ++j) dot += yrow[j] * drow[j];
+      float* arow = da.Row(i);
+      for (int j = 0; j < y.cols(); ++j) arow[j] = yrow[j] * (drow[j] - dot);
+    }
+    GradInto(node, 0, da);
+  });
+}
+
+Tensor TransposeT(const Tensor& a) {
+  Matrix out = Transpose(a.value());
+  return Tensor::FromOp(std::move(out), {a}, [](TensorNode* node) {
+    GradInto(node, 0, Transpose(node->grad));
+  });
+}
+
+Tensor SumAllT(const Tensor& a) {
+  float sum = 0.0f;
+  for (int i = 0; i < a.value().size(); ++i) sum += a.value().data()[i];
+  return Tensor::FromOp(Matrix::Full(1, 1, sum), {a}, [](TensorNode* node) {
+    const float g = node->grad(0, 0);
+    const Matrix& in = node->parents[0]->value;
+    GradInto(node, 0, Matrix::Full(in.rows(), in.cols(), g));
+  });
+}
+
+Tensor MeanAllT(const Tensor& a) {
+  const int n = a.value().size();
+  CHECK_GT(n, 0);
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) sum += a.value().data()[i];
+  return Tensor::FromOp(Matrix::Full(1, 1, sum / n), {a}, [n](TensorNode* node) {
+    const float g = node->grad(0, 0) / static_cast<float>(n);
+    const Matrix& in = node->parents[0]->value;
+    GradInto(node, 0, Matrix::Full(in.rows(), in.cols(), g));
+  });
+}
+
+Tensor MeanRowsT(const Tensor& a) {
+  const int r = a.rows();
+  CHECK_GT(r, 0);
+  Matrix out = SumRowsOf(a.value());
+  out.Scale(1.0f / static_cast<float>(r));
+  return Tensor::FromOp(std::move(out), {a}, [r](TensorNode* node) {
+    const Matrix& dy = node->grad;  // 1 x C
+    Matrix da(r, dy.cols());
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < dy.cols(); ++j) {
+        da(i, j) = dy(0, j) / static_cast<float>(r);
+      }
+    }
+    GradInto(node, 0, da);
+  });
+}
+
+Tensor SparseMixT(std::shared_ptr<const SparseRows> s, const Tensor& x) {
+  const int out_rows = static_cast<int>(s->rows.size());
+  const int cols = x.cols();
+  Matrix out(out_rows, cols);
+  for (int i = 0; i < out_rows; ++i) {
+    float* orow = out.Row(i);
+    for (const auto& [src, weight] : s->rows[i]) {
+      const float* xrow = x.value().Row(src);
+      for (int j = 0; j < cols; ++j) orow[j] += weight * xrow[j];
+    }
+  }
+  return Tensor::FromOp(std::move(out), {x}, [s](TensorNode* node) {
+    TensorNode* parent = node->parents[0].get();
+    if (!parent->requires_grad) return;
+    Matrix dx = Matrix::Zeros(parent->value.rows(), parent->value.cols());
+    const Matrix& dy = node->grad;
+    for (size_t i = 0; i < s->rows.size(); ++i) {
+      const float* grow = dy.Row(static_cast<int>(i));
+      for (const auto& [src, weight] : s->rows[i]) {
+        float* drow = dx.Row(src);
+        for (int j = 0; j < dx.cols(); ++j) drow[j] += weight * grow[j];
+      }
+    }
+    parent->AddGrad(dx);
+  });
+}
+
+Tensor ConcatRowsT(const std::vector<Tensor>& parts) {
+  CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int total_rows = 0;
+  for (const Tensor& p : parts) {
+    CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  Matrix out(total_rows, cols);
+  int at = 0;
+  for (const Tensor& p : parts) {
+    for (int i = 0; i < p.rows(); ++i) {
+      const float* src = p.value().Row(i);
+      float* dst = out.Row(at++);
+      for (int j = 0; j < cols; ++j) dst[j] = src[j];
+    }
+  }
+  std::vector<int> row_counts;
+  row_counts.reserve(parts.size());
+  for (const Tensor& p : parts) row_counts.push_back(p.rows());
+  return Tensor::FromOp(std::move(out), parts, [row_counts](TensorNode* node) {
+    const Matrix& dy = node->grad;
+    int at = 0;
+    for (size_t pi = 0; pi < row_counts.size(); ++pi) {
+      TensorNode* parent = node->parents[pi].get();
+      if (!parent->requires_grad) {
+        at += row_counts[pi];
+        continue;
+      }
+      Matrix dp(row_counts[pi], dy.cols());
+      for (int i = 0; i < row_counts[pi]; ++i) {
+        const float* src = dy.Row(at + i);
+        float* dst = dp.Row(i);
+        for (int j = 0; j < dy.cols(); ++j) dst[j] = src[j];
+      }
+      parent->AddGrad(dp);
+      at += row_counts[pi];
+    }
+  });
+}
+
+Tensor DropoutT(const Tensor& a, float p, core::Rng* rng) {
+  CHECK_GE(p, 0.0f);
+  CHECK_LT(p, 1.0f);
+  if (p == 0.0f) return a;
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<Matrix>(a.rows(), a.cols());
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) {
+    const float keep = rng->Bernoulli(p) ? 0.0f : scale;
+    mask->data()[i] = keep;
+    out.data()[i] *= keep;
+  }
+  return Tensor::FromOp(std::move(out), {a}, [mask](TensorNode* node) {
+    GradInto(node, 0, MulMat(node->grad, *mask));
+  });
+}
+
+}  // namespace lhmm::nn

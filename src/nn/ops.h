@@ -1,0 +1,85 @@
+#ifndef LHMM_NN_OPS_H_
+#define LHMM_NN_OPS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/tensor.h"
+
+namespace lhmm::nn {
+
+/// Matrix product a(RxK) * b(KxC).
+Tensor MatMulT(const Tensor& a, const Tensor& b);
+
+/// Element-wise sum of same-shape tensors.
+Tensor AddT(const Tensor& a, const Tensor& b);
+
+/// Element-wise difference.
+Tensor SubT(const Tensor& a, const Tensor& b);
+
+/// Element-wise (Hadamard) product.
+Tensor MulT(const Tensor& a, const Tensor& b);
+
+/// Scalar scale.
+Tensor ScaleT(const Tensor& a, float s);
+
+/// Adds a 1xC row vector to every row of a (bias add).
+Tensor AddRowBroadcastT(const Tensor& a, const Tensor& row);
+
+/// Concatenates along columns: [a | b].
+Tensor ConcatColsT(const Tensor& a, const Tensor& b);
+
+/// Gathers rows of `a` by index (embedding lookup); gradient scatter-adds.
+Tensor RowsT(const Tensor& a, const std::vector<int>& indices);
+
+/// Repeats the 1xC row `a` into an n x C tensor.
+Tensor RepeatRowT(const Tensor& a, int n);
+
+/// Rectified linear unit.
+Tensor ReluT(const Tensor& a);
+
+/// Hyperbolic tangent.
+Tensor TanhT(const Tensor& a);
+
+/// Logistic sigmoid.
+Tensor SigmoidT(const Tensor& a);
+
+/// Row-wise softmax.
+Tensor SoftmaxRowsT(const Tensor& a);
+
+/// Transpose.
+Tensor TransposeT(const Tensor& a);
+
+/// Sum of all entries, a 1x1 tensor.
+Tensor SumAllT(const Tensor& a);
+
+/// Mean of all entries, a 1x1 tensor.
+Tensor MeanAllT(const Tensor& a);
+
+/// Column means: R x C -> 1 x C.
+Tensor MeanRowsT(const Tensor& a);
+
+/// A fixed (non-trainable) sparse row-mixing matrix: output row i is
+/// sum_j weight_ij * input row j. Used for graph message passing, where the
+/// mixing encodes the (normalized) adjacency of one relation.
+struct SparseRows {
+  /// rows[i] lists (source row, weight) pairs contributing to output row i.
+  std::vector<std::vector<std::pair<int, float>>> rows;
+};
+
+/// y = S x where S is the fixed sparse matrix. Gradient flows to x only:
+/// dx = S^T dy.
+Tensor SparseMixT(std::shared_ptr<const SparseRows> s, const Tensor& x);
+
+/// Stacks tensors with equal column counts vertically (along rows).
+Tensor ConcatRowsT(const std::vector<Tensor>& parts);
+
+/// Inverted dropout: zeroes entries with probability `p` and rescales the
+/// survivors by 1/(1-p). Training-time only — skip the op at inference.
+Tensor DropoutT(const Tensor& a, float p, core::Rng* rng);
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_OPS_H_

@@ -1,0 +1,106 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::nn {
+
+Adam::Adam(std::vector<Tensor> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    CHECK(p.defined());
+    CHECK(p.requires_grad());
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().size() == 0) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& g = p.grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      const float gj = g.data()[j];
+      m.data()[j] = config_.beta1 * m.data()[j] + (1.0f - config_.beta1) * gj;
+      v.data()[j] = config_.beta2 * v.data()[j] + (1.0f - config_.beta2) * gj * gj;
+      const float mhat = m.data()[j] / bias1;
+      const float vhat = v.data()[j] / bias2;
+      value.data()[j] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                                       config_.weight_decay * value.data()[j]);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, const SgdConfig& config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    CHECK(p.defined());
+    CHECK(p.requires_grad());
+    velocity_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().size() == 0) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& g = p.grad();
+    Matrix& v = velocity_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      v.data()[j] = config_.momentum * v.data()[j] + g.data()[j];
+      value.data()[j] -= config_.lr * (v.data()[j] +
+                                       config_.weight_decay * value.data()[j]);
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (const Tensor& p : params) {
+    if (p.grad().size() == 0) continue;
+    total += p.grad().SquaredNorm();
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      if (p.grad().size() == 0) continue;
+      // Gradients are mutated in place through the node.
+      const_cast<Matrix&>(p.grad()).Scale(scale);
+    }
+  }
+  return norm;
+}
+
+float CosineLr(float base_lr, float min_lr, int step, int total_steps) {
+  CHECK_GT(total_steps, 0);
+  const float t = std::min(1.0f, static_cast<float>(step) / total_steps);
+  return min_lr + 0.5f * (base_lr - min_lr) * (1.0f + std::cos(t * 3.14159265f));
+}
+
+float StepDecayLr(float base_lr, float gamma, int step, int step_size) {
+  CHECK_GT(step_size, 0);
+  return base_lr * std::pow(gamma, static_cast<float>(step / step_size));
+}
+
+}  // namespace lhmm::nn

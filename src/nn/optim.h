@@ -1,0 +1,82 @@
+#ifndef LHMM_NN_OPTIM_H_
+#define LHMM_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace lhmm::nn {
+
+/// Adam hyperparameters; defaults match the paper's setup (lr 1e-3, weight
+/// decay 1e-4). Weight decay is decoupled (AdamW style).
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 1e-4f;
+};
+
+/// Adam optimizer over a fixed parameter list.
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, const AdamConfig& config);
+
+  /// Applies one update from the accumulated gradients. Parameters whose
+  /// gradient was never touched this step are left unchanged.
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Overrides the learning rate (for schedules).
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ private:
+  std::vector<Tensor> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int t_ = 0;
+};
+
+/// SGD with momentum and decoupled weight decay; the simple baseline
+/// optimizer (useful for optimizer ablations and tests).
+struct SgdConfig {
+  float lr = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> params, const SgdConfig& config);
+
+  void Step();
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ private:
+  std::vector<Tensor> params_;
+  SgdConfig config_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Clips the global L2 norm of all parameter gradients to `max_norm`;
+/// returns the pre-clip norm. Call between Backward() and Step().
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+/// Cosine learning-rate schedule from `base_lr` down to `min_lr` over
+/// `total_steps`; returns the rate for `step`.
+float CosineLr(float base_lr, float min_lr, int step, int total_steps);
+
+/// Step-decay schedule: base_lr * gamma^(step / step_size).
+float StepDecayLr(float base_lr, float gamma, int step, int step_size);
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_OPTIM_H_

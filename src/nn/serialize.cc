@@ -1,0 +1,65 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/strings.h"
+
+namespace lhmm::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x4c484d4d;  // "LHMM"
+}
+
+core::Status SaveParams(const std::string& path, const std::vector<Tensor>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return core::Status::IoError("cannot open " + path);
+  const uint32_t magic = kMagic;
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    const int32_t rows = p.rows();
+    const int32_t cols = p.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(sizeof(float)) * p.value().size());
+  }
+  if (!out.good()) return core::Status::IoError("write failed for " + path);
+  return core::Status::Ok();
+}
+
+core::Status LoadParams(const std::string& path, std::vector<Tensor>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return core::Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || magic != kMagic) {
+    return core::Status::InvalidArgument(path + " is not a parameter file");
+  }
+  if (count != params->size()) {
+    return core::Status::InvalidArgument(
+        core::StrFormat("parameter count mismatch: file has %u, model has %zu",
+                        count, params->size()));
+  }
+  for (Tensor& p : *params) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in.good() || rows != p.rows() || cols != p.cols()) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("shape mismatch: file %dx%d vs model %dx%d", rows, cols,
+                          p.rows(), p.cols()));
+    }
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(float)) * p.value().size());
+    if (!in.good()) return core::Status::IoError("truncated parameter file " + path);
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace lhmm::nn

@@ -1,0 +1,21 @@
+#ifndef LHMM_NN_SERIALIZE_H_
+#define LHMM_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "nn/tensor.h"
+
+namespace lhmm::nn {
+
+/// Writes all parameter values to a binary file (shapes + float payloads).
+core::Status SaveParams(const std::string& path, const std::vector<Tensor>& params);
+
+/// Loads parameter values in place. The file's tensor count and shapes must
+/// match `params` exactly.
+core::Status LoadParams(const std::string& path, std::vector<Tensor>* params);
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_SERIALIZE_H_

@@ -1,0 +1,83 @@
+#include "nn/tensor.h"
+
+#include <unordered_set>
+
+#include "core/logging.h"
+
+namespace lhmm::nn {
+
+void TensorNode::AddGrad(const Matrix& g) {
+  if (grad.size() == 0) {
+    grad = Matrix::Zeros(value.rows(), value.cols());
+  }
+  grad.Accumulate(g);
+}
+
+Tensor::Tensor(Matrix value, bool requires_grad) {
+  node_ = std::make_shared<TensorNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+void Tensor::ZeroGrad() {
+  if (node_->grad.size() != 0) node_->grad.Fill(0.0f);
+}
+
+Tensor Tensor::FromOp(Matrix value, std::vector<Tensor> parents,
+                      std::function<void(TensorNode*)> backward_fn) {
+  Tensor t;
+  t.node_ = std::make_shared<TensorNode>();
+  t.node_->value = std::move(value);
+  bool any_grad = false;
+  for (const Tensor& p : parents) {
+    CHECK(p.defined());
+    any_grad = any_grad || p.node()->requires_grad;
+    t.node_->parents.push_back(p.node());
+  }
+  t.node_->requires_grad = any_grad;
+  if (any_grad) t.node_->backward_fn = std::move(backward_fn);
+  return t;
+}
+
+void Backward(const Tensor& loss) {
+  CHECK(loss.defined());
+  CHECK_EQ(loss.rows(), 1);
+  CHECK_EQ(loss.cols(), 1);
+
+  // Iterative post-order DFS to topologically sort the graph.
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  struct Frame {
+    TensorNode* node;
+    size_t next_parent = 0;
+  };
+  std::vector<Frame> stack;
+  if (loss.node()->requires_grad) {
+    stack.push_back({loss.node().get(), 0});
+    visited.insert(loss.node().get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorNode* parent = frame.node->parents[frame.next_parent].get();
+      ++frame.next_parent;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  loss.node()->AddGrad(Matrix::Full(1, 1, 1.0f));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* node = *it;
+    if (node->backward_fn && node->grad.size() != 0) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+}  // namespace lhmm::nn

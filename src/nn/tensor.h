@@ -1,0 +1,65 @@
+#ifndef LHMM_NN_TENSOR_H_
+#define LHMM_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace lhmm::nn {
+
+class Tensor;
+
+/// A node of the reverse-mode autodiff graph.
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  ///< Lazily sized on first gradient contribution.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Propagates this node's grad into its parents' grads.
+  std::function<void(TensorNode*)> backward_fn;
+
+  /// Accumulates `g` into `grad`, allocating it on first use.
+  void AddGrad(const Matrix& g);
+};
+
+/// A shared handle to a TensorNode. Copying a Tensor aliases the node, like
+/// the usual deep-learning-framework semantics. Build graphs with the free
+/// functions in ops.h, call Backward() on a scalar loss, and read parameter
+/// gradients through grad().
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Leaf tensor wrapping `value`; set `requires_grad` for parameters.
+  explicit Tensor(Matrix value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+
+  /// Resets the stored gradient to zero (keeps the allocation).
+  void ZeroGrad();
+
+  std::shared_ptr<TensorNode> node() const { return node_; }
+
+  /// Internal: creates an interior node. `requires_grad` is inferred from the
+  /// parents.
+  static Tensor FromOp(Matrix value, std::vector<Tensor> parents,
+                       std::function<void(TensorNode*)> backward_fn);
+
+ private:
+  std::shared_ptr<TensorNode> node_;
+};
+
+/// Runs reverse-mode differentiation from scalar tensor `loss` (must be 1x1),
+/// accumulating into the `grad` of every reachable node with requires_grad.
+void Backward(const Tensor& loss);
+
+}  // namespace lhmm::nn
+
+#endif  // LHMM_NN_TENSOR_H_

@@ -1,0 +1,191 @@
+#include "sim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "traj/filters.h"
+
+namespace lhmm::sim {
+
+namespace {
+
+/// True user position at time `t` approximated from the co-recorded GPS
+/// channel (nearest sample in time) — the same proxy the paper's ground-truth
+/// pipeline uses.
+geo::Point GpsPositionAt(const traj::Trajectory& gps, double t) {
+  CHECK(!gps.empty());
+  const auto cmp = [](const traj::TrajPoint& p, double value) { return p.t < value; };
+  const auto it = std::lower_bound(gps.points.begin(), gps.points.end(), t, cmp);
+  if (it == gps.points.begin()) return it->pos;
+  if (it == gps.points.end()) return gps.points.back().pos;
+  const auto prev = it - 1;
+  return (t - prev->t) < (it->t - t) ? prev->pos : it->pos;
+}
+
+}  // namespace
+
+DatasetConfig HangzhouSPreset() {
+  DatasetConfig cfg;
+  cfg.name = "Hangzhou-S";
+  cfg.net.width = 9500.0;
+  cfg.net.height = 7500.0;
+  cfg.net.core_spacing = 205.0;
+  cfg.net.edge_spacing = 580.0;
+  cfg.net.seed = 11;
+  cfg.towers.core_spacing = 420.0;
+  cfg.towers.edge_spacing = 1200.0;
+  cfg.radio.sector_gain_sigma_db = 10.0;
+  cfg.radio.fast_fading_sigma_db = 4.0;
+  cfg.radio.path_loss_exponent = 2.9;
+  cfg.radio.outlier_prob = 0.06;
+  cfg.route.min_length = 2800.0;
+  cfg.route.max_length = 7800.0;
+  cfg.sampling.cell_interval_mean = 16.0;
+  cfg.sampling.cell_interval_sigma = 7.0;
+  cfg.num_train = 1000;
+  cfg.num_val = 100;
+  cfg.num_test = 250;
+  cfg.seed = 20230401;
+  return cfg;
+}
+
+DatasetConfig XiamenSPreset() {
+  DatasetConfig cfg;
+  cfg.name = "Xiamen-S";
+  cfg.net.width = 7800.0;
+  cfg.net.height = 6000.0;
+  cfg.net.core_spacing = 215.0;
+  cfg.net.edge_spacing = 520.0;
+  cfg.net.seed = 23;
+  cfg.towers.core_spacing = 380.0;
+  cfg.towers.edge_spacing = 1050.0;
+  cfg.radio.sector_gain_sigma_db = 9.0;
+  cfg.radio.fast_fading_sigma_db = 3.5;
+  cfg.radio.path_loss_exponent = 3.0;
+  cfg.radio.outlier_prob = 0.05;
+  cfg.route.min_length = 2600.0;
+  cfg.route.max_length = 7000.0;
+  cfg.sampling.cell_interval_mean = 10.0;
+  cfg.sampling.cell_interval_sigma = 4.5;
+  cfg.num_train = 750;
+  cfg.num_val = 80;
+  cfg.num_test = 200;
+  cfg.seed = 20230402;
+  return cfg;
+}
+
+Dataset BuildDataset(const DatasetConfig& config) {
+  Dataset ds;
+  ds.name = config.name;
+  ds.config = config;
+  ds.network = network::GenerateCityNetwork(config.net);
+
+  core::Rng rng(config.seed);
+  core::Rng tower_rng = rng.Fork();
+  ds.towers = PlaceTowers(ds.network.Bounds(), config.towers, &tower_rng);
+
+  core::Rng deploy_rng = rng.Fork();
+  RadioModel radio(&ds.towers, config.radio, &deploy_rng);
+  RouteSampler route_sampler(&ds.network, config.route);
+
+  const int total = config.num_train + config.num_val + config.num_test;
+  std::vector<traj::MatchedTrajectory> all;
+  all.reserve(total);
+  core::Rng traj_rng = rng.Fork();
+  int failures = 0;
+  while (static_cast<int>(all.size()) < total) {
+    std::vector<network::SegmentId> route = route_sampler.SampleRoute(&traj_rng);
+    if (route.empty()) {
+      CHECK_LT(++failures, 1000) << "route sampling keeps failing";
+      continue;
+    }
+    Drive drive(&ds.network, std::move(route), config.sampling.speed_factor_lo,
+                config.sampling.speed_factor_hi, &traj_rng);
+    traj::MatchedTrajectory mt;
+    mt.truth_path = drive.route();
+    mt.gps = SampleGps(drive, config.sampling, &traj_rng);
+    mt.cellular = SampleCellular(drive, radio, ds.towers, config.sampling, &traj_rng);
+    if (mt.cellular.size() < 5) continue;  // Degenerate short trip; resample.
+    all.push_back(std::move(mt));
+  }
+
+  ds.train.assign(all.begin(), all.begin() + config.num_train);
+  ds.val.assign(all.begin() + config.num_train,
+                all.begin() + config.num_train + config.num_val);
+  ds.test.assign(all.begin() + config.num_train + config.num_val, all.end());
+  return ds;
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats s;
+  s.road_segments = network.num_segments();
+  s.intersections = network.num_nodes();
+  s.num_towers = static_cast<int>(towers.size());
+
+  std::vector<const std::vector<traj::MatchedTrajectory>*> splits = {&train, &val,
+                                                                     &test};
+  int num_traj = 0;
+  double interval_sum = 0.0;
+  int64_t interval_count = 0;
+  std::vector<double> hops;
+  std::vector<double> errors;
+  for (const auto* split : splits) {
+    for (const traj::MatchedTrajectory& mt : *split) {
+      ++num_traj;
+      s.cellular_points += mt.cellular.size();
+      s.gps_points += mt.gps.size();
+      // Interval/hop statistics run over the tower-deduplicated sequence:
+      // consecutive same-tower samples have hop distance 0 by construction
+      // (the position is the tower's), which is not what Table I's sampling
+      // distance measures.
+      const traj::Trajectory distinct = traj::DeduplicateTowers(mt.cellular);
+      for (int i = 0; i + 1 < distinct.size(); ++i) {
+        const double gap = distinct[i + 1].t - distinct[i].t;
+        interval_sum += gap;
+        ++interval_count;
+        s.max_cell_interval_s = std::max(s.max_cell_interval_s, gap);
+        hops.push_back(geo::Distance(distinct[i].pos, distinct[i + 1].pos));
+      }
+      for (const traj::TrajPoint& p : mt.cellular.points) {
+        errors.push_back(geo::Distance(p.pos, GpsPositionAt(mt.gps, p.t)));
+      }
+    }
+  }
+  if (num_traj > 0) {
+    s.cellular_points_per_traj = static_cast<double>(s.cellular_points) / num_traj;
+    s.gps_points_per_traj = static_cast<double>(s.gps_points) / num_traj;
+  }
+  if (interval_count > 0) {
+    s.avg_cell_interval_s = interval_sum / static_cast<double>(interval_count);
+  }
+  if (!hops.empty()) {
+    double sum = 0.0;
+    for (double h : hops) sum += h;
+    s.avg_cell_sampling_dist_m = sum / static_cast<double>(hops.size());
+    std::nth_element(hops.begin(), hops.begin() + hops.size() / 2, hops.end());
+    s.median_cell_sampling_dist_m = hops[hops.size() / 2];
+  }
+  if (!errors.empty()) {
+    double sum = 0.0;
+    for (double e : errors) sum += e;
+    s.mean_positioning_error_m = sum / static_cast<double>(errors.size());
+    const size_t p90 = static_cast<size_t>(0.9 * (errors.size() - 1));
+    std::nth_element(errors.begin(), errors.begin() + p90, errors.end());
+    s.p90_positioning_error_m = errors[p90];
+  }
+  return s;
+}
+
+double CentroidRadius(const network::RoadNetwork& net,
+                      const traj::MatchedTrajectory& mt) {
+  CHECK(!mt.gps.empty());
+  geo::Point centroid{0.0, 0.0};
+  for (const traj::TrajPoint& p : mt.gps.points) {
+    centroid = centroid + p.pos;
+  }
+  centroid = centroid / static_cast<double>(mt.gps.size());
+  return geo::Distance(centroid, net.Bounds().Center());
+}
+
+}  // namespace lhmm::sim

@@ -1,0 +1,83 @@
+#ifndef LHMM_SIM_DATASET_H_
+#define LHMM_SIM_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "network/generators.h"
+#include "network/road_network.h"
+#include "sim/radio.h"
+#include "sim/route_sampler.h"
+#include "sim/samplers.h"
+#include "sim/towers.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::sim {
+
+/// Everything needed to build one synthetic city dataset.
+struct DatasetConfig {
+  std::string name = "city";
+  network::CityNetworkConfig net;
+  TowerPlacementConfig towers;
+  RadioConfig radio;
+  RouteConfig route;
+  SamplingConfig sampling;
+  int num_train = 1000;
+  int num_val = 100;
+  int num_test = 250;
+  uint64_t seed = 42;
+};
+
+/// Aggregate statistics in the shape of the paper's Table I.
+struct DatasetStats {
+  int road_segments = 0;
+  int intersections = 0;
+  int num_towers = 0;
+  int64_t cellular_points = 0;
+  int64_t gps_points = 0;
+  double cellular_points_per_traj = 0.0;
+  double gps_points_per_traj = 0.0;
+  double avg_cell_interval_s = 0.0;
+  double max_cell_interval_s = 0.0;
+  double avg_cell_sampling_dist_m = 0.0;
+  double median_cell_sampling_dist_m = 0.0;
+  /// Mean distance between a cellular sample's tower and the user's true
+  /// position at that instant — the dataset's positioning error.
+  double mean_positioning_error_m = 0.0;
+  double p90_positioning_error_m = 0.0;
+};
+
+/// A built dataset: the city, its towers and radio deployment, and matched
+/// trajectories split into train/val/test.
+struct Dataset {
+  std::string name;
+  network::RoadNetwork network;
+  std::vector<Tower> towers;
+  DatasetConfig config;
+  std::vector<traj::MatchedTrajectory> train;
+  std::vector<traj::MatchedTrajectory> val;
+  std::vector<traj::MatchedTrajectory> test;
+
+  DatasetStats ComputeStats() const;
+};
+
+/// Preset mimicking the Hangzhou dataset's regime at ~1/3 spatial scale
+/// (larger city, sparser cellular sampling, longer intervals).
+DatasetConfig HangzhouSPreset();
+
+/// Preset mimicking the Xiamen dataset's regime (smaller city, denser
+/// sampling, shorter intervals).
+DatasetConfig XiamenSPreset();
+
+/// Builds a full dataset from a config: generates the network, places towers,
+/// fixes the radio deployment, and simulates all trajectories.
+Dataset BuildDataset(const DatasetConfig& config);
+
+/// Distance from the centroid of a trajectory's true positions to the city
+/// center, used for the Fig. 7(a) urban/rural bucketing.
+double CentroidRadius(const network::RoadNetwork& net,
+                      const traj::MatchedTrajectory& mt);
+
+}  // namespace lhmm::sim
+
+#endif  // LHMM_SIM_DATASET_H_

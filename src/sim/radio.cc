@@ -1,0 +1,108 @@
+#include "sim/radio.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::sim {
+
+RadioModel::RadioModel(const std::vector<Tower>* towers, const RadioConfig& config,
+                       core::Rng* deploy_rng)
+    : towers_(towers), config_(config) {
+  CHECK(towers != nullptr);
+  CHECK(!towers->empty());
+  sector_gain_db_.resize(towers->size());
+  for (auto& gains : sector_gain_db_) {
+    gains.resize(config_.sectors);
+    for (double& g : gains) {
+      g = deploy_rng->Normal(0.0, config_.sector_gain_sigma_db);
+    }
+  }
+}
+
+int RadioModel::SectorOf(traj::TowerId tower_id, const geo::Point& user) const {
+  const geo::Point& tp = (*towers_)[tower_id].pos;
+  double angle = std::atan2(user.y - tp.y, user.x - tp.x);  // (-pi, pi]
+  if (angle < 0) angle += 2.0 * M_PI;
+  int sector = static_cast<int>(angle / (2.0 * M_PI) * config_.sectors);
+  return std::clamp(sector, 0, config_.sectors - 1);
+}
+
+double RadioModel::MeanSignalDb(traj::TowerId tower_id, const geo::Point& user) const {
+  const geo::Point& tp = (*towers_)[tower_id].pos;
+  const double d = std::max(10.0, geo::Distance(tp, user));
+  return -10.0 * config_.path_loss_exponent * std::log10(d) +
+         sector_gain_db_[tower_id][SectorOf(tower_id, user)];
+}
+
+traj::TowerId RadioModel::Serve(const geo::Point& user, ServeState* state,
+                                core::Rng* rng) const {
+  const traj::TowerId previous = state->previous;
+  // Sticky gross outlier: the phone stays attached to a distant macro tower
+  // for a short run of samples.
+  if (state->outlier_remaining > 0) {
+    --state->outlier_remaining;
+    state->previous = state->outlier_tower;
+    return state->outlier_tower;
+  }
+  if (rng->Bernoulli(config_.outlier_prob)) {
+    std::vector<traj::TowerId> distant;
+    for (const Tower& t : *towers_) {
+      const double d = geo::Distance(t.pos, user);
+      if (d >= config_.outlier_min_dist && d <= config_.outlier_max_dist) {
+        distant.push_back(t.id);
+      }
+    }
+    if (!distant.empty()) {
+      const traj::TowerId pick =
+          distant[rng->UniformInt(static_cast<int>(distant.size()))];
+      state->outlier_tower = pick;
+      // Geometric duration with the configured mean (this sample included).
+      state->outlier_remaining = 0;
+      while (rng->Bernoulli(1.0 - 1.0 / config_.outlier_mean_duration)) {
+        ++state->outlier_remaining;
+      }
+      state->previous = pick;
+      return pick;
+    }
+  }
+
+  traj::TowerId best = traj::kInvalidTower;
+  double best_db = -1e18;
+  for (const Tower& t : *towers_) {
+    if (geo::Distance(t.pos, user) > config_.max_serving_range) continue;
+    const double db =
+        MeanSignalDb(t.id, user) + rng->Normal(0.0, config_.fast_fading_sigma_db);
+    if (db > best_db) {
+      best_db = db;
+      best = t.id;
+    }
+  }
+  if (best == traj::kInvalidTower) {
+    // User is out of range of every tower; fall back to the nearest.
+    double best_d = 1e18;
+    for (const Tower& t : *towers_) {
+      const double d = geo::Distance(t.pos, user);
+      if (d < best_d) {
+        best_d = d;
+        best = t.id;
+      }
+    }
+    state->previous = best;
+    return best;
+  }
+  // Hysteresis: keep the previous server unless the winner clears the margin.
+  if (previous != traj::kInvalidTower && previous != best &&
+      geo::Distance((*towers_)[previous].pos, user) <= config_.max_serving_range) {
+    const double prev_db = MeanSignalDb(previous, user);
+    if (best_db - prev_db < config_.handoff_hysteresis_db) {
+      state->previous = previous;
+      return previous;
+    }
+  }
+  state->previous = best;
+  return best;
+}
+
+}  // namespace lhmm::sim

@@ -1,0 +1,76 @@
+#ifndef LHMM_SIM_RADIO_H_
+#define LHMM_SIM_RADIO_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "sim/towers.h"
+
+namespace lhmm::sim {
+
+/// Parameters of the cellular association model.
+struct RadioConfig {
+  double path_loss_exponent = 3.2;     ///< Log-distance path-loss exponent.
+  /// Per-(tower, sector) antenna/terrain gain spread in dB. This component is
+  /// *fixed per deployment*: the same road is consistently served by the same
+  /// non-nearest tower, which is precisely the structure LHMM's co-occurrence
+  /// learning exploits and distance-only observation models cannot.
+  double sector_gain_sigma_db = 7.0;
+  int sectors = 6;                     ///< Angular sectors per tower.
+  double fast_fading_sigma_db = 2.5;   ///< Per-sample fading noise in dB.
+  double handoff_hysteresis_db = 3.0;  ///< Required margin to switch towers.
+  double max_serving_range = 4000.0;   ///< Towers beyond this never serve, m.
+  /// Probability that a sample is a gross outlier: the phone momentarily
+  /// attaches to a distant macro tower (the paper's "extremely high
+  /// positioning error" points like x2 in Fig. 1).
+  double outlier_prob = 0.05;
+  double outlier_min_dist = 700.0;
+  double outlier_max_dist = 1900.0;
+  /// Expected number of consecutive samples an outlier attachment lasts.
+  /// Macro-tower attachments persist across samples in real traces, which is
+  /// what lets them survive the ping-pong (direction) filter.
+  double outlier_mean_duration = 2.2;
+};
+
+/// Per-trajectory serving state threaded through Serve() calls: the previous
+/// serving tower (for hysteresis) and any in-progress outlier attachment.
+struct ServeState {
+  traj::TowerId previous = traj::kInvalidTower;
+  traj::TowerId outlier_tower = traj::kInvalidTower;
+  int outlier_remaining = 0;
+};
+
+/// Log-distance path-loss + fixed sector gains + fast fading + hysteresis
+/// handoff. Deterministic given (deployment seed, sample stream), so datasets
+/// are reproducible.
+class RadioModel {
+ public:
+  /// Draws the fixed sector gains for every tower from `deploy_rng`. The
+  /// towers vector must outlive the model.
+  RadioModel(const std::vector<Tower>* towers, const RadioConfig& config,
+             core::Rng* deploy_rng);
+
+  /// Received signal strength (dB, up to a constant) from `tower_id` at
+  /// `user`, excluding fast fading.
+  double MeanSignalDb(traj::TowerId tower_id, const geo::Point& user) const;
+
+  /// Serving tower for a user at `user`. `state` carries the previous
+  /// serving tower (hysteresis) and sticky outlier attachments across the
+  /// trajectory; start each trajectory from a default ServeState. `rng`
+  /// drives the per-sample randomness.
+  traj::TowerId Serve(const geo::Point& user, ServeState* state,
+                      core::Rng* rng) const;
+
+  const RadioConfig& config() const { return config_; }
+
+ private:
+  int SectorOf(traj::TowerId tower_id, const geo::Point& user) const;
+
+  const std::vector<Tower>* towers_;
+  RadioConfig config_;
+  std::vector<std::vector<double>> sector_gain_db_;  ///< [tower][sector].
+};
+
+}  // namespace lhmm::sim
+
+#endif  // LHMM_SIM_RADIO_H_

@@ -1,0 +1,89 @@
+#include "sim/route_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace lhmm::sim {
+
+using network::NodeId;
+using network::RoadSegment;
+using network::SegmentId;
+
+RouteSampler::RouteSampler(const network::RoadNetwork* net, const RouteConfig& config)
+    : net_(net), config_(config) {
+  CHECK(net != nullptr);
+  dist_.assign(net->num_nodes(), 0.0);
+  length_.assign(net->num_nodes(), 0.0);
+  parent_.assign(net->num_nodes(), network::kInvalidSegment);
+  stamp_.assign(net->num_nodes(), 0);
+}
+
+NodeId RouteSampler::SampleOrigin(core::Rng* rng) const {
+  const geo::Point center = net_->Bounds().Center();
+  const double half_diag = std::max(
+      1.0, std::hypot(net_->Bounds().Width() / 2.0, net_->Bounds().Height() / 2.0));
+  // Rejection sampling: acceptance decays with radius when central_bias > 0.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId v = rng->UniformInt(net_->num_nodes());
+    const double r = geo::Distance(net_->node(v).pos, center) / half_diag;
+    const double accept = 1.0 - config_.central_bias * r;
+    if (rng->Uniform() < accept) return v;
+  }
+  return rng->UniformInt(net_->num_nodes());
+}
+
+std::vector<SegmentId> RouteSampler::SampleRoute(core::Rng* rng) {
+  const NodeId origin = SampleOrigin(rng);
+  ++current_stamp_;
+
+  // Travel-time Dijkstra under perturbed costs, bounded by max route length.
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  std::vector<bool> settled(net_->num_nodes(), false);
+  dist_[origin] = 0.0;
+  length_[origin] = 0.0;
+  parent_[origin] = network::kInvalidSegment;
+  stamp_[origin] = current_stamp_;
+  heap.push({0.0, origin});
+
+  std::vector<NodeId> in_range;
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    if (length_[v] >= config_.min_length && length_[v] <= config_.max_length) {
+      in_range.push_back(v);
+    }
+    if (length_[v] > config_.max_length) continue;
+    for (SegmentId sid : net_->OutSegments(v)) {
+      const RoadSegment& seg = net_->segment(sid);
+      const double noise = std::exp(rng->Normal(0.0, config_.cost_noise_sigma));
+      const double cost = seg.length / seg.speed_limit * noise;
+      const double nd = d + cost;
+      if (stamp_[seg.to] != current_stamp_ || nd < dist_[seg.to]) {
+        stamp_[seg.to] = current_stamp_;
+        dist_[seg.to] = nd;
+        length_[seg.to] = length_[v] + seg.length;
+        parent_[seg.to] = sid;
+        heap.push({nd, seg.to});
+      }
+    }
+  }
+  if (in_range.empty()) return {};
+
+  const NodeId dest = in_range[rng->UniformInt(static_cast<int>(in_range.size()))];
+  std::vector<SegmentId> route;
+  NodeId v = dest;
+  while (parent_[v] != network::kInvalidSegment) {
+    route.push_back(parent_[v]);
+    v = net_->segment(parent_[v]).from;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+}  // namespace lhmm::sim

@@ -1,0 +1,53 @@
+#ifndef LHMM_SIM_ROUTE_SAMPLER_H_
+#define LHMM_SIM_ROUTE_SAMPLER_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "network/road_network.h"
+
+namespace lhmm::sim {
+
+/// Parameters of ground-truth route generation.
+struct RouteConfig {
+  double min_length = 2500.0;  ///< Minimum route length, meters.
+  double max_length = 7500.0;  ///< Maximum route length, meters.
+  /// Log-normal sigma of per-edge travel-cost perturbation. Zero gives pure
+  /// shortest paths; positive values yield the near-shortest detoured routes
+  /// real drivers take.
+  double cost_noise_sigma = 0.3;
+  /// Bias toward starting trips near the center (population density proxy);
+  /// 0 = uniform over nodes, 1 = strongly central.
+  double central_bias = 0.5;
+};
+
+/// Samples realistic driven routes on a road network: a random origin (biased
+/// toward the center), a travel-time Dijkstra under per-trip perturbed edge
+/// costs, and a random destination among nodes whose route length lands in
+/// the configured range.
+class RouteSampler {
+ public:
+  /// The network must outlive the sampler.
+  RouteSampler(const network::RoadNetwork* net, const RouteConfig& config);
+
+  /// Returns the route as consecutive segment ids, or an empty vector if no
+  /// suitable destination was reachable from the sampled origin (rare; caller
+  /// simply retries).
+  std::vector<network::SegmentId> SampleRoute(core::Rng* rng);
+
+ private:
+  network::NodeId SampleOrigin(core::Rng* rng) const;
+
+  const network::RoadNetwork* net_;
+  RouteConfig config_;
+  // Scratch buffers reused across calls.
+  std::vector<double> dist_;
+  std::vector<double> length_;
+  std::vector<network::SegmentId> parent_;
+  std::vector<int> stamp_;
+  int current_stamp_ = 0;
+};
+
+}  // namespace lhmm::sim
+
+#endif  // LHMM_SIM_ROUTE_SAMPLER_H_

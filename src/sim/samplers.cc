@@ -1,0 +1,86 @@
+#include "sim/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::sim {
+
+Drive::Drive(const network::RoadNetwork* net, std::vector<network::SegmentId> route,
+             double speed_factor_lo, double speed_factor_hi, core::Rng* rng)
+    : net_(net), route_(std::move(route)) {
+  CHECK(net != nullptr);
+  CHECK(!route_.empty());
+  enter_time_.resize(route_.size() + 1);
+  enter_time_[0] = 0.0;
+  for (size_t i = 0; i < route_.size(); ++i) {
+    const network::RoadSegment& seg = net_->segment(route_[i]);
+    const double factor = rng->Uniform(speed_factor_lo, speed_factor_hi);
+    double travel = seg.length / (seg.speed_limit * factor);
+    // Intersection slowdown: a short stochastic pause at segment entry.
+    travel += rng->Uniform(0.0, 4.0);
+    enter_time_[i + 1] = enter_time_[i] + travel;
+  }
+}
+
+geo::Point Drive::PositionAt(double t) const {
+  t = std::clamp(t, 0.0, DurationSeconds());
+  const auto it = std::upper_bound(enter_time_.begin(), enter_time_.end(), t);
+  size_t idx = static_cast<size_t>(it - enter_time_.begin());
+  if (idx > 0) --idx;
+  if (idx >= route_.size()) idx = route_.size() - 1;
+  const network::RoadSegment& seg = net_->segment(route_[idx]);
+  const double span = enter_time_[idx + 1] - enter_time_[idx];
+  const double frac = span > 0.0 ? (t - enter_time_[idx]) / span : 0.0;
+  return seg.geometry.PointAt(frac * seg.length);
+}
+
+network::SegmentId Drive::SegmentAt(double t) const {
+  t = std::clamp(t, 0.0, DurationSeconds());
+  const auto it = std::upper_bound(enter_time_.begin(), enter_time_.end(), t);
+  size_t idx = static_cast<size_t>(it - enter_time_.begin());
+  if (idx > 0) --idx;
+  if (idx >= route_.size()) idx = route_.size() - 1;
+  return route_[idx];
+}
+
+traj::Trajectory SampleGps(const Drive& drive, const SamplingConfig& config,
+                           core::Rng* rng) {
+  traj::Trajectory out;
+  const double duration = drive.DurationSeconds();
+  for (double t = 0.0; t <= duration; t += config.gps_interval) {
+    traj::TrajPoint p;
+    p.t = t;
+    p.pos = drive.PositionAt(t);
+    p.pos.x += rng->Normal(0.0, config.gps_noise_sigma);
+    p.pos.y += rng->Normal(0.0, config.gps_noise_sigma);
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+traj::Trajectory SampleCellular(const Drive& drive, const RadioModel& radio,
+                                const std::vector<Tower>& towers,
+                                const SamplingConfig& config, core::Rng* rng) {
+  traj::Trajectory out;
+  const double duration = drive.DurationSeconds();
+  ServeState state;
+  double t = 0.0;
+  while (t <= duration) {
+    const geo::Point user = drive.PositionAt(t);
+    const traj::TowerId serving = radio.Serve(user, &state, rng);
+    traj::TrajPoint p;
+    p.t = t;
+    p.tower = serving;
+    p.pos = towers[serving].pos;
+    out.points.push_back(p);
+    const double gap = std::max(
+        config.cell_interval_min,
+        rng->Normal(config.cell_interval_mean, config.cell_interval_sigma));
+    t += gap;
+  }
+  return out;
+}
+
+}  // namespace lhmm::sim

@@ -1,0 +1,63 @@
+#ifndef LHMM_SIM_SAMPLERS_H_
+#define LHMM_SIM_SAMPLERS_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "network/road_network.h"
+#include "sim/radio.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::sim {
+
+/// A timed drive along a route: piecewise-constant speed per segment with
+/// per-segment jitter and intersection slowdowns. Supports querying the
+/// vehicle position at any time within the drive.
+class Drive {
+ public:
+  /// Builds the timeline. `speed_factor_lo/hi` scale each segment's speed
+  /// limit; `rng` draws the per-segment factors.
+  Drive(const network::RoadNetwork* net, std::vector<network::SegmentId> route,
+        double speed_factor_lo, double speed_factor_hi, core::Rng* rng);
+
+  double DurationSeconds() const { return enter_time_.back(); }
+  const std::vector<network::SegmentId>& route() const { return route_; }
+
+  /// Vehicle position at `t` seconds after departure (clamped to the drive).
+  geo::Point PositionAt(double t) const;
+
+  /// Segment occupied at time `t`.
+  network::SegmentId SegmentAt(double t) const;
+
+ private:
+  const network::RoadNetwork* net_;
+  std::vector<network::SegmentId> route_;
+  /// enter_time_[i] = entry time of route_[i]; last entry = total duration.
+  std::vector<double> enter_time_;
+};
+
+/// Parameters of the two observation channels.
+struct SamplingConfig {
+  double gps_interval = 5.0;        ///< GPS sampling period, seconds.
+  double gps_noise_sigma = 6.0;     ///< GPS positional noise, meters.
+  double cell_interval_mean = 16.0; ///< Mean cellular sampling period, s.
+  double cell_interval_sigma = 7.0; ///< Spread of the cellular period, s.
+  double cell_interval_min = 4.0;   ///< Lower clamp of the period, s.
+  double speed_factor_lo = 0.55;    ///< Slowest fraction of the speed limit.
+  double speed_factor_hi = 0.95;    ///< Fastest fraction of the speed limit.
+};
+
+/// Samples the GPS channel of a drive: period `gps_interval`, Gaussian noise.
+traj::Trajectory SampleGps(const Drive& drive, const SamplingConfig& config,
+                           core::Rng* rng);
+
+/// Samples the cellular channel of a drive: random inter-sample gaps, serving
+/// tower chosen by the radio model with handoff hysteresis; each sample's
+/// position is the *tower's* position (Definition 2).
+traj::Trajectory SampleCellular(const Drive& drive, const RadioModel& radio,
+                                const std::vector<Tower>& towers,
+                                const SamplingConfig& config, core::Rng* rng);
+
+}  // namespace lhmm::sim
+
+#endif  // LHMM_SIM_SAMPLERS_H_

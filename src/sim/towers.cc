@@ -1,0 +1,50 @@
+#include "sim/towers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::sim {
+
+std::vector<Tower> PlaceTowers(const geo::BBox& area,
+                               const TowerPlacementConfig& config, core::Rng* rng) {
+  CHECK(!area.Empty());
+  CHECK_GT(config.core_spacing, 0.0);
+  const geo::Point center = area.Center();
+  const double half_diag =
+      std::max(1.0, std::hypot(area.Width() / 2.0, area.Height() / 2.0));
+
+  auto local_spacing = [&](const geo::Point& p) {
+    const double r = std::min(1.0, geo::Distance(p, center) / half_diag);
+    return config.core_spacing +
+           (config.edge_spacing - config.core_spacing) * std::pow(r, 1.3);
+  };
+
+  const double area_m2 = area.Width() * area.Height();
+  const int expected =
+      std::max(8, static_cast<int>(area_m2 / (config.core_spacing *
+                                              config.core_spacing * 2.5)));
+  const int attempts = expected * config.max_attempts_factor;
+
+  std::vector<Tower> towers;
+  for (int i = 0; i < attempts; ++i) {
+    geo::Point candidate{rng->Uniform(area.min_x, area.max_x),
+                         rng->Uniform(area.min_y, area.max_y)};
+    const double radius = config.min_separation_frac * local_spacing(candidate);
+    bool blocked = false;
+    for (const Tower& t : towers) {
+      if (geo::DistanceSq(t.pos, candidate) < radius * radius) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    towers.push_back(
+        Tower{static_cast<traj::TowerId>(towers.size()), candidate});
+  }
+  CHECK_GE(towers.size(), 4u) << "degenerate tower placement";
+  return towers;
+}
+
+}  // namespace lhmm::sim

@@ -1,0 +1,36 @@
+#ifndef LHMM_SIM_TOWERS_H_
+#define LHMM_SIM_TOWERS_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::sim {
+
+/// A cell tower with a fixed position (Definition 1).
+struct Tower {
+  traj::TowerId id = traj::kInvalidTower;
+  geo::Point pos;
+};
+
+/// Parameters for tower placement. Towers are densest downtown and sparse at
+/// the outskirts, mirroring real deployments (the paper's Fig. 7(a) analysis
+/// relies on exactly this gradient).
+struct TowerPlacementConfig {
+  double core_spacing = 320.0;  ///< Typical tower separation at the center, m.
+  double edge_spacing = 950.0;  ///< Typical separation at the boundary, m.
+  double min_separation_frac = 0.7;  ///< Dart-throwing rejection radius factor.
+  int max_attempts_factor = 40;      ///< Attempts per expected tower.
+};
+
+/// Places towers over `area` by dart throwing with a radius that grows with
+/// distance from the area center. Ids are dense indices into the result.
+std::vector<Tower> PlaceTowers(const geo::BBox& area,
+                               const TowerPlacementConfig& config, core::Rng* rng);
+
+}  // namespace lhmm::sim
+
+#endif  // LHMM_SIM_TOWERS_H_

@@ -1,0 +1,123 @@
+#include "traj/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace lhmm::traj {
+
+Trajectory SpeedFilter(const Trajectory& in, const FilterConfig& config) {
+  Trajectory out;
+  for (const TrajPoint& p : in.points) {
+    if (out.points.empty()) {
+      out.points.push_back(p);
+      continue;
+    }
+    const TrajPoint& last = out.points.back();
+    const double dt = p.t - last.t;
+    const double dd = geo::Distance(p.pos, last.pos);
+    if (dt <= 0.0) continue;  // Duplicate or out-of-order timestamp.
+    if (dd / dt > config.max_speed) continue;
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+Trajectory AlphaTrimmedMeanFilter(const Trajectory& in, const FilterConfig& config) {
+  const int n = in.size();
+  Trajectory out = in;
+  if (n == 0 || config.trim_window <= 0) return out;
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - config.trim_window);
+    const int hi = std::min(n - 1, i + config.trim_window);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int j = lo; j <= hi; ++j) {
+      xs.push_back(in.points[j].pos.x);
+      ys.push_back(in.points[j].pos.y);
+    }
+    std::sort(xs.begin(), xs.end());
+    std::sort(ys.begin(), ys.end());
+    int trim = config.trim_alpha;
+    // Keep at least one coordinate after trimming both sides.
+    while (static_cast<int>(xs.size()) - 2 * trim < 1) --trim;
+    double sx = 0.0;
+    double sy = 0.0;
+    const int kept = static_cast<int>(xs.size()) - 2 * trim;
+    for (int j = trim; j < static_cast<int>(xs.size()) - trim; ++j) {
+      sx += xs[j];
+      sy += ys[j];
+    }
+    out.points[i].pos = {sx / kept, sy / kept};
+  }
+  return out;
+}
+
+Trajectory DirectionFilter(const Trajectory& in, const FilterConfig& config) {
+  if (in.size() < 3) return in;
+  Trajectory out;
+  out.points.push_back(in.points.front());
+  for (int i = 1; i + 1 < in.size(); ++i) {
+    const geo::Point& prev = out.points.back().pos;
+    const geo::Point& cur = in.points[i].pos;
+    const geo::Point& next = in.points[i + 1].pos;
+    const double hop_in = geo::Distance(prev, cur);
+    const double hop_out = geo::Distance(cur, next);
+    if (hop_in >= config.min_hop_for_direction &&
+        hop_out >= config.min_hop_for_direction) {
+      const double turn =
+          geo::AngleDiff(geo::Bearing(prev, cur), geo::Bearing(cur, next));
+      // A ping-pong outlier jumps far away and straight back; the direct
+      // prev->next hop stays short relative to the detour.
+      const double direct = geo::Distance(prev, next);
+      if (turn > config.max_turn && direct < 0.5 * (hop_in + hop_out)) {
+        continue;  // Drop the outlier.
+      }
+    }
+    out.points.push_back(in.points[i]);
+  }
+  out.points.push_back(in.points.back());
+  return out;
+}
+
+FilterConfig NoopFilterConfig() {
+  FilterConfig cfg;
+  cfg.max_speed = 1e18;
+  cfg.trim_window = 0;
+  cfg.max_turn = 10.0;  // > pi: the direction filter never fires.
+  return cfg;
+}
+
+Trajectory PreprocessCellular(const Trajectory& in, const FilterConfig& config) {
+  Trajectory t = SpeedFilter(in, config);
+  t = AlphaTrimmedMeanFilter(t, config);
+  t = DirectionFilter(t, config);
+  return t;
+}
+
+Trajectory DeduplicateTowers(const Trajectory& in) {
+  Trajectory out;
+  for (const TrajPoint& p : in.points) {
+    if (!out.points.empty() && p.tower != kInvalidTower &&
+        p.tower == out.points.back().tower) {
+      continue;
+    }
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+Trajectory Resample(const Trajectory& in, double rate_per_minute) {
+  CHECK_GT(rate_per_minute, 0.0);
+  const double min_gap = 60.0 / rate_per_minute;
+  Trajectory out;
+  for (const TrajPoint& p : in.points) {
+    if (out.points.empty() || p.t - out.points.back().t >= min_gap - 1e-9) {
+      out.points.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace lhmm::traj

@@ -1,0 +1,66 @@
+#ifndef LHMM_TRAJ_FILTERS_H_
+#define LHMM_TRAJ_FILTERS_H_
+
+#include "traj/trajectory.h"
+
+namespace lhmm::traj {
+
+/// Parameters of the SnapNet-style preprocessing pipeline [12] that the paper
+/// applies to every cellular trajectory before matching: a speed filter, an
+/// alpha-trimmed mean filter, and a direction filter.
+struct FilterConfig {
+  /// Speed filter: samples implying a speed above this (m/s) w.r.t. the last
+  /// accepted sample are dropped. Cellular sampling intervals are short, so
+  /// this threshold really bounds the *displacement per sample* the pipeline
+  /// tolerates — too low and it deletes exactly the high-error points the
+  /// matcher must be robust to (the paper's noisy points survive its
+  /// filters). Default tolerates ~1.7 km of error at a 10 s interval.
+  double max_speed = 170.0;
+  /// Alpha-trimmed mean window half-width (samples on each side). The
+  /// default (1, with trim_alpha 1) is a median-of-three: single-sample
+  /// spikes are suppressed while persistent attachments pass through.
+  int trim_window = 1;
+  /// Alpha-trimmed mean: number of extreme coordinates trimmed per side.
+  int trim_alpha = 1;
+  /// Direction filter: drop a point whose incoming/outgoing headings differ
+  /// by more than this (radians) while the neighbors keep heading, i.e. a
+  /// ping-pong outlier (~150 degrees default).
+  double max_turn = 2.6;
+  /// Direction filter only applies to hops at least this long, meters.
+  double min_hop_for_direction = 150.0;
+};
+
+/// Removes samples that imply physically impossible speeds. The first sample
+/// is always kept.
+Trajectory SpeedFilter(const Trajectory& in, const FilterConfig& config);
+
+/// Alpha-trimmed mean smoother: each position is replaced by the mean of its
+/// window after trimming the most extreme coordinates. Timestamps and tower
+/// ids are preserved (the tower id still names the serving tower; only the
+/// position estimate is smoothed).
+Trajectory AlphaTrimmedMeanFilter(const Trajectory& in, const FilterConfig& config);
+
+/// Drops ping-pong outliers: interior points that force a near-reversal of
+/// direction over long hops (classic cell re-selection noise).
+Trajectory DirectionFilter(const Trajectory& in, const FilterConfig& config);
+
+/// The full SnapNet preprocessing pipeline in the paper's order:
+/// speed -> alpha-trimmed mean -> direction.
+Trajectory PreprocessCellular(const Trajectory& in, const FilterConfig& config);
+
+/// A configuration under which every filter is a no-op (for design-choice
+/// ablations measuring the preprocessing pipeline's contribution).
+FilterConfig NoopFilterConfig();
+
+/// Collapses consecutive samples that share the same serving tower into one
+/// (keeping the first); standard cellular dedup before matching.
+Trajectory DeduplicateTowers(const Trajectory& in);
+
+/// Downsamples to approximately `rate_per_minute` samples per minute by
+/// keeping samples at least 60/rate seconds apart. Used by the Fig. 7(b)
+/// sampling-rate robustness sweep.
+Trajectory Resample(const Trajectory& in, double rate_per_minute);
+
+}  // namespace lhmm::traj
+
+#endif  // LHMM_TRAJ_FILTERS_H_

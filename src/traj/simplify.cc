@@ -1,0 +1,64 @@
+#include "traj/simplify.h"
+
+#include <vector>
+
+#include "core/logging.h"
+#include "geo/segment.h"
+
+namespace lhmm::traj {
+
+namespace {
+
+/// Marks kept indices of points[lo..hi] (inclusive) recursively.
+void DouglasPeucker(const std::vector<TrajPoint>& points, int lo, int hi,
+                    double epsilon, std::vector<char>* keep) {
+  if (hi - lo < 2) return;
+  double worst = -1.0;
+  int split = -1;
+  for (int i = lo + 1; i < hi; ++i) {
+    const double d =
+        geo::DistanceToSegment(points[i].pos, points[lo].pos, points[hi].pos);
+    if (d > worst) {
+      worst = d;
+      split = i;
+    }
+  }
+  if (worst <= epsilon) return;  // Everything inside tolerance: drop interior.
+  (*keep)[split] = 1;
+  DouglasPeucker(points, lo, split, epsilon, keep);
+  DouglasPeucker(points, split, hi, epsilon, keep);
+}
+
+}  // namespace
+
+Trajectory Simplify(const Trajectory& in, double epsilon) {
+  CHECK_GE(epsilon, 0.0);
+  if (in.size() <= 2) return in;
+  std::vector<char> keep(in.size(), 0);
+  keep.front() = 1;
+  keep.back() = 1;
+  DouglasPeucker(in.points, 0, in.size() - 1, epsilon, &keep);
+  Trajectory out;
+  for (int i = 0; i < in.size(); ++i) {
+    if (keep[i]) out.points.push_back(in.points[i]);
+  }
+  return out;
+}
+
+Trajectory ThinByDistance(const Trajectory& in, double min_gap_m) {
+  CHECK_GE(min_gap_m, 0.0);
+  Trajectory out;
+  for (const TrajPoint& p : in.points) {
+    if (out.points.empty() ||
+        geo::Distance(p.pos, out.points.back().pos) >= min_gap_m) {
+      out.points.push_back(p);
+    }
+  }
+  if (!in.points.empty() &&
+      !(out.points.back().t == in.points.back().t)) {
+    out.points.push_back(in.points.back());
+  }
+  return out;
+}
+
+}  // namespace lhmm::traj

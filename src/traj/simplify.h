@@ -1,0 +1,21 @@
+#ifndef LHMM_TRAJ_SIMPLIFY_H_
+#define LHMM_TRAJ_SIMPLIFY_H_
+
+#include "traj/trajectory.h"
+
+namespace lhmm::traj {
+
+/// Douglas-Peucker trajectory simplification: keeps the subset of samples
+/// whose removal would displace the polyline by more than `epsilon` meters.
+/// Timestamps and tower ids of the kept samples are preserved. Useful for
+/// storage/transmission of matched GPS channels and for the trajectory
+/// compression workflows the paper cites as applications.
+Trajectory Simplify(const Trajectory& in, double epsilon);
+
+/// Length-based uniform thinning: keeps samples so consecutive kept samples
+/// are at least `min_gap_m` apart (the spatial analogue of Resample()).
+Trajectory ThinByDistance(const Trajectory& in, double min_gap_m);
+
+}  // namespace lhmm::traj
+
+#endif  // LHMM_TRAJ_SIMPLIFY_H_

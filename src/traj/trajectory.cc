@@ -1,0 +1,78 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+
+namespace lhmm::traj {
+
+double Trajectory::PathLength() const {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    total += geo::Distance(points[i].pos, points[i + 1].pos);
+  }
+  return total;
+}
+
+double Trajectory::MeanSamplingIntervalSeconds() const {
+  if (points.size() < 2) return 0.0;
+  return DurationSeconds() / static_cast<double>(points.size() - 1);
+}
+
+double Trajectory::MaxSamplingIntervalSeconds() const {
+  double max_gap = 0.0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    max_gap = std::max(max_gap, points[i + 1].t - points[i].t);
+  }
+  return max_gap;
+}
+
+double Trajectory::MeanSamplingDistanceMeters() const {
+  if (points.size() < 2) return 0.0;
+  return PathLength() / static_cast<double>(points.size() - 1);
+}
+
+double Trajectory::MedianSamplingDistanceMeters() const {
+  if (points.size() < 2) return 0.0;
+  std::vector<double> hops;
+  hops.reserve(points.size() - 1);
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    hops.push_back(geo::Distance(points[i].pos, points[i + 1].pos));
+  }
+  std::nth_element(hops.begin(), hops.begin() + hops.size() / 2, hops.end());
+  return hops[hops.size() / 2];
+}
+
+geo::Point TruePositionAt(const MatchedTrajectory& mt, double t) {
+  const auto& gps = mt.gps.points;
+  if (gps.empty()) return {};
+  const auto cmp = [](const TrajPoint& p, double value) { return p.t < value; };
+  const auto it = std::lower_bound(gps.begin(), gps.end(), t, cmp);
+  if (it == gps.begin()) return it->pos;
+  if (it == gps.end()) return gps.back().pos;
+  const auto prev = it - 1;
+  return (t - prev->t) < (it->t - t) ? prev->pos : it->pos;
+}
+
+network::SegmentId TruthSegmentAtTime(const MatchedTrajectory& mt,
+                                      const network::RoadNetwork& net, double t) {
+  if (mt.truth_path.empty()) return network::kInvalidSegment;
+  const geo::Point pos = TruePositionAt(mt, t);
+  network::SegmentId best = mt.truth_path.front();
+  double best_d = 1e18;
+  for (network::SegmentId sid : mt.truth_path) {
+    const double d = net.segment(sid).geometry.Project(pos).dist;
+    if (d < best_d) {
+      best_d = d;
+      best = sid;
+    }
+  }
+  return best;
+}
+
+std::vector<geo::Point> Trajectory::Positions() const {
+  std::vector<geo::Point> out;
+  out.reserve(points.size());
+  for (const TrajPoint& p : points) out.push_back(p.pos);
+  return out;
+}
+
+}  // namespace lhmm::traj

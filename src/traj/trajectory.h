@@ -1,0 +1,81 @@
+#ifndef LHMM_TRAJ_TRAJECTORY_H_
+#define LHMM_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "network/road_network.h"
+
+namespace lhmm::traj {
+
+using TowerId = int32_t;
+inline constexpr TowerId kInvalidTower = -1;
+
+/// One time-stamped sample of a trajectory (Definition 2). For cellular
+/// trajectories `pos` is the location of the serving cell tower, which may be
+/// far from the user's actual position; `tower` identifies that tower. For
+/// GPS trajectories `tower` is kInvalidTower.
+struct TrajPoint {
+  geo::Point pos;
+  double t = 0.0;  ///< Seconds since the trajectory start epoch.
+  TowerId tower = kInvalidTower;
+};
+
+/// A sequence of time-stamped samples, ordered by time.
+struct Trajectory {
+  std::vector<TrajPoint> points;
+
+  int size() const { return static_cast<int>(points.size()); }
+  bool empty() const { return points.empty(); }
+  const TrajPoint& operator[](int i) const { return points[i]; }
+
+  /// Duration between the first and last sample, seconds.
+  double DurationSeconds() const {
+    return points.empty() ? 0.0 : points.back().t - points.front().t;
+  }
+
+  /// Sum of straight-line hops between consecutive samples, meters.
+  double PathLength() const;
+
+  /// Mean time gap between consecutive samples, seconds (0 if < 2 points).
+  double MeanSamplingIntervalSeconds() const;
+
+  /// Largest time gap between consecutive samples, seconds (0 if < 2 points).
+  double MaxSamplingIntervalSeconds() const;
+
+  /// Mean straight-line hop between consecutive samples, meters.
+  double MeanSamplingDistanceMeters() const;
+
+  /// Median straight-line hop between consecutive samples, meters.
+  double MedianSamplingDistanceMeters() const;
+
+  /// Raw positions of all samples, in order.
+  std::vector<geo::Point> Positions() const;
+};
+
+/// A cellular trajectory paired with its ground-truth traveled path; the unit
+/// of training and evaluation data. `gps` carries the co-recorded GPS samples
+/// used by dataset statistics (the ground-truth path is derived from them in
+/// the paper's pipeline; our simulator records the driven path directly).
+struct MatchedTrajectory {
+  Trajectory cellular;
+  Trajectory gps;
+  std::vector<network::SegmentId> truth_path;
+};
+
+/// The user's (approximate) true position at time `t`, taken from the
+/// co-recorded GPS channel (nearest sample in time). Training-time only: the
+/// paper's ground truth comes from the same co-recorded GPS.
+geo::Point TruePositionAt(const MatchedTrajectory& mt, double t);
+
+/// The traveled road at time `t`: the truth-path segment closest to the true
+/// position. This is the label generator for the learned observation
+/// probability and the seq2seq baselines — unlike a closest-point heuristic
+/// it stays correct for points with extreme positioning error.
+network::SegmentId TruthSegmentAtTime(const MatchedTrajectory& mt,
+                                      const network::RoadNetwork& net, double t);
+
+}  // namespace lhmm::traj
+
+#endif  // LHMM_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,122 @@
+#include "viz/svg.h"
+
+#include <fstream>
+
+#include "core/logging.h"
+#include "core/strings.h"
+
+namespace lhmm::viz {
+
+SvgScene::SvgScene(const geo::BBox& bounds, double pixel_width) : bounds_(bounds) {
+  CHECK(!bounds.Empty());
+  CHECK_GT(pixel_width, 0.0);
+  scale_ = pixel_width / std::max(1.0, bounds.Width());
+  width_ = pixel_width;
+  height_ = std::max(1.0, bounds.Height()) * scale_;
+}
+
+void SvgScene::DrawNetwork(const network::RoadNetwork& net, const Style& style) {
+  for (const network::RoadSegment& seg : net.segments()) {
+    // Draw each two-way pair once.
+    if (seg.reverse != network::kInvalidSegment && seg.reverse < seg.id) continue;
+    const double width = seg.level == network::RoadLevel::kArterial
+                             ? style.width * 2.0
+                             : style.width;
+    std::string points;
+    for (int i = 0; i < seg.geometry.size(); ++i) {
+      if (i > 0) points += " ";
+      points += core::StrFormat("%.1f,%.1f", X(seg.geometry[i].x),
+                                Y(seg.geometry[i].y));
+    }
+    elements_.push_back(core::StrFormat(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\""
+        " stroke-opacity=\"%.2f\"/>",
+        points.c_str(), style.color.c_str(), width, style.opacity));
+  }
+}
+
+void SvgScene::DrawPath(const network::RoadNetwork& net,
+                        const std::vector<network::SegmentId>& path,
+                        const Style& style) {
+  std::string points;
+  for (network::SegmentId sid : path) {
+    const geo::Polyline& geom = net.segment(sid).geometry;
+    for (int i = 0; i < geom.size(); ++i) {
+      if (!points.empty()) points += " ";
+      points += core::StrFormat("%.1f,%.1f", X(geom[i].x), Y(geom[i].y));
+    }
+  }
+  if (points.empty()) return;
+  elements_.push_back(core::StrFormat(
+      "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\""
+      " stroke-opacity=\"%.2f\" stroke-linejoin=\"round\"/>",
+      points.c_str(), style.color.c_str(), style.width, style.opacity));
+}
+
+void SvgScene::DrawTrajectory(const traj::Trajectory& t, const Style& style,
+                              bool connect) {
+  if (connect && t.size() > 1) {
+    std::string points;
+    for (const auto& p : t.points) {
+      if (!points.empty()) points += " ";
+      points += core::StrFormat("%.1f,%.1f", X(p.pos.x), Y(p.pos.y));
+    }
+    elements_.push_back(core::StrFormat(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\""
+        " stroke-opacity=\"%.2f\" stroke-dasharray=\"6,4\"/>",
+        points.c_str(), style.color.c_str(), style.width * 0.7, style.opacity));
+  }
+  for (const auto& p : t.points) {
+    elements_.push_back(core::StrFormat(
+        "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\""
+        " fill-opacity=\"%.2f\"/>",
+        X(p.pos.x), Y(p.pos.y), style.width * 2.2, style.color.c_str(),
+        style.opacity));
+  }
+}
+
+void SvgScene::DrawMarker(const geo::Point& p, double radius, const Style& style) {
+  elements_.push_back(core::StrFormat(
+      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"none\" stroke=\"%s\""
+      " stroke-width=\"%.1f\" stroke-opacity=\"%.2f\"/>",
+      X(p.x), Y(p.y), radius * scale_, style.color.c_str(), style.width,
+      style.opacity));
+}
+
+void SvgScene::AddLegend(const std::string& label, const Style& style) {
+  legend_.push_back({label, style});
+}
+
+std::string SvgScene::ToString() const {
+  std::string out = core::StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\""
+      " viewBox=\"0 0 %.0f %.0f\">\n"
+      "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+      width_, height_, width_, height_);
+  for (const std::string& el : elements_) {
+    out += el;
+    out += "\n";
+  }
+  for (size_t i = 0; i < legend_.size(); ++i) {
+    const double y = 24.0 + 22.0 * static_cast<double>(i);
+    out += core::StrFormat(
+        "<line x1=\"16\" y1=\"%.0f\" x2=\"44\" y2=\"%.0f\" stroke=\"%s\""
+        " stroke-width=\"4\"/>"
+        "<text x=\"52\" y=\"%.0f\" font-family=\"sans-serif\" font-size=\"14\">"
+        "%s</text>\n",
+        y, y, legend_[i].second.color.c_str(), y + 5.0,
+        legend_[i].first.c_str());
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+core::Status SvgScene::Write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return core::Status::IoError("cannot open " + path);
+  out << ToString();
+  if (!out.good()) return core::Status::IoError("write failed for " + path);
+  return core::Status::Ok();
+}
+
+}  // namespace lhmm::viz

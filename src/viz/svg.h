@@ -1,0 +1,69 @@
+#ifndef LHMM_VIZ_SVG_H_
+#define LHMM_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "geo/bbox.h"
+#include "network/road_network.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::viz {
+
+/// Styling for one drawn layer.
+struct Style {
+  std::string color = "#444444";
+  double width = 1.0;
+  double opacity = 1.0;
+};
+
+/// A minimal SVG scene renderer for map-matching scenes: the road network as
+/// a base layer, then paths, trajectories, and markers. Y is flipped so north
+/// is up. Used by the case-study bench and handy for debugging matchers.
+class SvgScene {
+ public:
+  /// `bounds` is the world-space viewport; `pixel_width` sets the image width
+  /// (height follows the aspect ratio).
+  SvgScene(const geo::BBox& bounds, double pixel_width = 1000.0);
+
+  /// Draws every segment of the network (thin base layer; arterials thicker).
+  void DrawNetwork(const network::RoadNetwork& net, const Style& style);
+
+  /// Draws a road path as a thick polyline overlay.
+  void DrawPath(const network::RoadNetwork& net,
+                const std::vector<network::SegmentId>& path, const Style& style);
+
+  /// Draws trajectory points as circles, optionally connected by a dashed
+  /// line in sample order.
+  void DrawTrajectory(const traj::Trajectory& t, const Style& style,
+                      bool connect = true);
+
+  /// Draws a single marker (e.g. a tower).
+  void DrawMarker(const geo::Point& p, double radius, const Style& style);
+
+  /// Adds a legend entry (rendered top-left).
+  void AddLegend(const std::string& label, const Style& style);
+
+  /// Serializes the SVG document.
+  std::string ToString() const;
+
+  /// Writes the SVG document to a file.
+  core::Status Write(const std::string& path) const;
+
+ private:
+  /// World -> pixel transform.
+  double X(double wx) const { return (wx - bounds_.min_x) * scale_; }
+  double Y(double wy) const { return (bounds_.max_y - wy) * scale_; }
+
+  geo::BBox bounds_;
+  double scale_;
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+  std::vector<std::pair<std::string, Style>> legend_;
+};
+
+}  // namespace lhmm::viz
+
+#endif  // LHMM_VIZ_SVG_H_

@@ -1,0 +1,195 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "core/csv.h"
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/stopwatch.h"
+#include "core/strings.h"
+#include "gtest/gtest.h"
+
+namespace lhmm::core {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  const Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = Status::InvalidArgument("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status Inner() { return Status::Internal("inner"); }
+Status Outer() {
+  LHMM_RETURN_IF_ERROR(Inner());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Outer().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicAndUniform) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, IntRangesAndCategorical) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i) ++counts[rng.Categorical({1.0, 2.0, 0.0})];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 2.0, 0.25);
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(10);
+  Rng fork = a.Fork();
+  // The fork and the parent must produce different streams.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == fork.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / 20000.0, 3.5, 0.1);
+}
+
+TEST(StringsTest, SplitJoinTrim) {
+  const auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, "--"), "x--y--z");
+  EXPECT_EQ(StrTrim("  hi \t"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_TRUE(StartsWith("benchmark", "bench"));
+  EXPECT_FALSE(StartsWith("be", "bench"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringsTest, Parse) {
+  double d = 0.0;
+  EXPECT_TRUE(ParseDouble(" 3.25 ", &d));
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_FALSE(ParseDouble("3.2x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  int i = 0;
+  EXPECT_TRUE(ParseInt("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt("4.2", &i));
+}
+
+TEST(CsvTest, WriteReadRoundTripWithEscapes) {
+  const std::string path = "/tmp/lhmm_csv_test.csv";
+  CsvWriter writer(path);
+  writer.AddRow({"name", "note"});
+  writer.AddRow({"plain", "with,comma"});
+  writer.AddRow({"quote\"inside", "multi word"});
+  ASSERT_TRUE(writer.Flush().ok());
+
+  const auto rows = ReadCsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1][1], "with,comma");
+  EXPECT_EQ((*rows)[2][0], "quote\"inside");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  const auto rows = ReadCsv("/nonexistent/nowhere.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  const double before = watch.ElapsedSeconds();
+  watch.Reset();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(LoggingTest, LevelsFilter) {
+  const LogLevel old = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  LOG_INFO << "suppressed";  // Must not crash; output filtered.
+  SetMinLogLevel(old);
+}
+
+TEST(LoggingTest, CheckMacrosPassOnTrue) {
+  CHECK(true) << "never shown";
+  CHECK_EQ(2 + 2, 4);
+  CHECK_LT(1, 2);
+  CHECK_GE(2.0, 2.0);
+  CHECK_OK(Status::Ok());
+}
+
+TEST(LoggingDeathTest, CheckAborts) {
+  EXPECT_DEATH({ CHECK(false) << "boom"; }, "CHECK failed");
+  EXPECT_DEATH({ CHECK_EQ(1, 2); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace lhmm::core

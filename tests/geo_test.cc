@@ -1,0 +1,150 @@
+#include <cmath>
+
+#include "geo/bbox.h"
+#include "geo/latlon.h"
+#include "geo/point.h"
+#include "geo/polyline.h"
+#include "geo/segment.h"
+#include "gtest/gtest.h"
+
+namespace lhmm::geo {
+namespace {
+
+TEST(PointTest, BasicOps) {
+  const Point a{3.0, 4.0};
+  const Point b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::hypot(2.0, 3.0));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), 3.0 - 4.0);
+  const Point mid = Lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 2.0);
+  EXPECT_DOUBLE_EQ(mid.y, 2.5);
+}
+
+TEST(PointTest, AngleDiffWrapsAround) {
+  EXPECT_NEAR(AngleDiff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(AngleDiff(M_PI - 0.05, -M_PI + 0.05), 0.1, 1e-12);
+  EXPECT_NEAR(AngleDiff(0.0, M_PI), M_PI, 1e-12);
+}
+
+TEST(LatLonTest, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  const LatLon a{30.0, 120.0};
+  const LatLon b{31.0, 120.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111200.0, 500.0);
+}
+
+TEST(LatLonTest, ProjectionRoundTrip) {
+  const LocalProjection proj(LatLon{30.25, 120.17});
+  const LatLon p{30.30, 120.22};
+  const Point xy = proj.Forward(p);
+  const LatLon back = proj.Backward(xy);
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+}
+
+TEST(LatLonTest, ProjectionApproximatesHaversine) {
+  const LocalProjection proj(LatLon{30.0, 120.0});
+  const LatLon a{30.01, 120.02};
+  const LatLon b{30.05, 119.97};
+  const double planar = Distance(proj.Forward(a), proj.Forward(b));
+  const double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar, sphere, sphere * 0.005);
+}
+
+TEST(SegmentTest, ProjectionInteriorAndClamped) {
+  const Point a{0, 0};
+  const Point b{10, 0};
+  const SegmentProjection mid = ProjectOntoSegment({5, 3}, a, b);
+  EXPECT_NEAR(mid.t, 0.5, 1e-12);
+  EXPECT_NEAR(mid.dist, 3.0, 1e-12);
+  const SegmentProjection before = ProjectOntoSegment({-4, 3}, a, b);
+  EXPECT_NEAR(before.t, 0.0, 1e-12);
+  EXPECT_NEAR(before.dist, 5.0, 1e-12);
+  const SegmentProjection after = ProjectOntoSegment({14, 3}, a, b);
+  EXPECT_NEAR(after.t, 1.0, 1e-12);
+  EXPECT_NEAR(after.dist, 5.0, 1e-12);
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  const SegmentProjection p = ProjectOntoSegment({1, 1}, {0, 0}, {0, 0});
+  EXPECT_NEAR(p.dist, std::sqrt(2.0), 1e-12);
+}
+
+TEST(SegmentTest, Intersection) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Touching endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 0}, {1, 0}, {2, 5}));
+}
+
+TEST(PolylineTest, LengthAndPointAt) {
+  const Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(line.Length(), 7.0);
+  const Point p = line.PointAt(3.0);
+  EXPECT_NEAR(p.x, 3.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  const Point q = line.PointAt(5.0);
+  EXPECT_NEAR(q.x, 3.0, 1e-12);
+  EXPECT_NEAR(q.y, 2.0, 1e-12);
+  // Clamping.
+  EXPECT_NEAR(line.PointAt(-1.0).x, 0.0, 1e-12);
+  EXPECT_NEAR(line.PointAt(100.0).y, 4.0, 1e-12);
+}
+
+TEST(PolylineTest, ProjectFindsClosestVertexPair) {
+  const Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  const PolylineProjection p = line.Project({4, 3});
+  EXPECT_EQ(p.segment, 0);
+  EXPECT_NEAR(p.dist, 3.0, 1e-12);
+  EXPECT_NEAR(p.offset, 4.0, 1e-12);
+  const PolylineProjection q = line.Project({12, 9});
+  EXPECT_EQ(q.segment, 1);
+  EXPECT_NEAR(q.dist, 2.0, 1e-12);
+  EXPECT_NEAR(q.offset, 19.0, 1e-12);
+}
+
+TEST(PolylineTest, TotalTurnRightAngle) {
+  const Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_NEAR(line.TotalTurn(), M_PI / 2.0, 1e-12);
+  const Polyline straight({{0, 0}, {5, 0}, {10, 0}});
+  EXPECT_NEAR(straight.TotalTurn(), 0.0, 1e-12);
+}
+
+TEST(BBoxTest, ExtendContainIntersect) {
+  BBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend({0, 0});
+  box.Extend({10, 5});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_TRUE(box.Contains({5, 2}));
+  EXPECT_FALSE(box.Contains({11, 2}));
+  box.Inflate(2.0);
+  EXPECT_TRUE(box.Contains({11, 6}));
+  BBox other;
+  other.Extend({20, 20});
+  other.Extend({30, 30});
+  EXPECT_FALSE(box.Intersects(other));
+  other.Extend({5, 5});
+  EXPECT_TRUE(box.Intersects(other));
+}
+
+class PolylineOffsetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolylineOffsetTest, PointAtOffsetIsOnLineAndConsistent) {
+  const Polyline line({{0, 0}, {100, 0}, {100, 50}, {40, 50}});
+  const double frac = GetParam();
+  const double offset = frac * line.Length();
+  const Point p = line.PointAt(offset);
+  const PolylineProjection proj = line.Project(p);
+  EXPECT_NEAR(proj.dist, 0.0, 1e-9);
+  EXPECT_NEAR(proj.offset, offset, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolylineOffsetTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.33, 0.5, 0.66, 0.75,
+                                           0.9, 1.0));
+
+}  // namespace
+}  // namespace lhmm::geo

@@ -1,0 +1,397 @@
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "hmm/classic_models.h"
+#include "hmm/engine.h"
+#include "hmm/online.h"
+#include "network/generators.h"
+#include "network/grid_index.h"
+#include "network/path_cache.h"
+
+namespace lhmm::hmm {
+namespace {
+
+/// A small harness: grid network, classic models, shared router.
+struct Harness {
+  network::RoadNetwork net;
+  std::unique_ptr<network::GridIndex> index;
+  std::unique_ptr<network::SegmentRouter> router;
+  std::unique_ptr<network::CachedRouter> cached;
+  ClassicModelConfig models;
+  std::unique_ptr<GaussianObservationModel> obs;
+  std::unique_ptr<ClassicTransitionModel> trans;
+
+  explicit Harness(double obs_sigma = 120.0) {
+    net = network::GenerateGridNetwork(8, 8, 200.0);
+    index = std::make_unique<network::GridIndex>(&net, 150.0);
+    router = std::make_unique<network::SegmentRouter>(&net);
+    cached = std::make_unique<network::CachedRouter>(router.get());
+    models.obs_sigma = obs_sigma;
+    models.search_radius = 500.0;
+    obs = std::make_unique<GaussianObservationModel>(index.get(), models);
+    trans = std::make_unique<ClassicTransitionModel>(models, &net);
+  }
+
+  Engine MakeEngine(const EngineConfig& config) {
+    return Engine(&net, cached.get(), obs.get(), trans.get(), config);
+  }
+};
+
+/// Walks along the bottom row of the grid (y=0) left to right.
+traj::Trajectory BottomRowTrajectory(int points, double spacing, double dt) {
+  traj::Trajectory t;
+  for (int i = 0; i < points; ++i) {
+    t.points.push_back({{100.0 + i * spacing, 10.0}, i * dt, i});
+  }
+  return t;
+}
+
+TEST(GaussianObservationTest, ScoresDecreaseWithDistance) {
+  Harness h;
+  EXPECT_GT(h.obs->Score(10.0), h.obs->Score(100.0));
+  EXPECT_GT(h.obs->Score(100.0), h.obs->Score(400.0));
+  EXPECT_NEAR(h.obs->Score(0.0), 1.0, 1e-12);
+}
+
+TEST(GaussianObservationTest, CandidatesSortedAndCapped) {
+  Harness h;
+  const traj::Trajectory t = BottomRowTrajectory(3, 200.0, 15.0);
+  const CandidateSet cs = h.obs->Candidates(t, 0, 5);
+  ASSERT_LE(cs.size(), 5u);
+  ASSERT_GE(cs.size(), 2u);
+  for (size_t i = 1; i < cs.size(); ++i) {
+    EXPECT_GE(cs[i - 1].observation, cs[i].observation);
+  }
+}
+
+TEST(GaussianObservationTest, MakeCandidateMatchesCandidates) {
+  Harness h;
+  const traj::Trajectory t = BottomRowTrajectory(2, 200.0, 15.0);
+  const CandidateSet cs = h.obs->Candidates(t, 0, 3);
+  ASSERT_FALSE(cs.empty());
+  const Candidate rebuilt = h.obs->MakeCandidate(t, 0, cs[0].segment);
+  EXPECT_DOUBLE_EQ(rebuilt.observation, cs[0].observation);
+  EXPECT_DOUBLE_EQ(rebuilt.dist, cs[0].dist);
+}
+
+TEST(EngineTest, MatchesStraightLine) {
+  Harness h;
+  EngineConfig config;
+  config.k = 8;
+  Engine engine = h.MakeEngine(config);
+  const traj::Trajectory t = BottomRowTrajectory(6, 250.0, 20.0);
+  const EngineResult r = engine.Match(t);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_TRUE(network::IsConnectedPath(h.net, r.path));
+  // The matched path must hug the bottom row: every segment within 150 m.
+  for (network::SegmentId sid : r.path) {
+    const geo::Polyline& geom = h.net.segment(sid).geometry;
+    EXPECT_LT(std::min(geom.front().y, geom.back().y), 150.0);
+  }
+  EXPECT_EQ(r.candidates.size(), r.point_index.size());
+  EXPECT_EQ(r.matched.size(), r.candidates.size());
+}
+
+TEST(EngineTest, EmptyAndSingletonTrajectories) {
+  Harness h;
+  EngineConfig config;
+  Engine engine = h.MakeEngine(config);
+  EXPECT_TRUE(engine.Match(traj::Trajectory{}).path.empty());
+  traj::Trajectory one;
+  one.points.push_back({{100, 10}, 0.0, 0});
+  const EngineResult r = engine.Match(one);
+  EXPECT_EQ(r.path.size(), 1u);
+}
+
+TEST(EngineTest, PointOutOfRangeIsDropped) {
+  Harness h;
+  EngineConfig config;
+  config.k = 6;
+  Engine engine = h.MakeEngine(config);
+  traj::Trajectory t = BottomRowTrajectory(5, 250.0, 20.0);
+  t.points[2].pos = {9000.0, 9000.0};  // Far outside any search radius.
+  const EngineResult r = engine.Match(t);
+  EXPECT_EQ(r.point_index.size(), 4u);  // One point dropped.
+  for (int idx : r.point_index) EXPECT_NE(idx, 2);
+  EXPECT_FALSE(r.path.empty());
+}
+
+TEST(EngineTest, ShortcutRescuesOutlierPoint) {
+  Harness h(100.0);
+  EngineConfig config;
+  config.k = 4;  // Small candidate sets so the outlier's set is unqualified.
+  config.use_shortcuts = true;
+  Engine engine = h.MakeEngine(config);
+
+  traj::Trajectory t = BottomRowTrajectory(7, 250.0, 20.0);
+  // Point 3 jumps 600 m north: its 4 nearest segments are all off-path, and
+  // driving there and back within 20 s is impossible.
+  t.points[3].pos.y = 610.0;
+
+  const EngineResult with_shortcut = engine.Match(t);
+  EXPECT_GT(engine.shortcuts_applied(), 0);
+
+  EngineConfig no_shortcut = config;
+  no_shortcut.use_shortcuts = false;
+  Engine plain = h.MakeEngine(no_shortcut);
+  const EngineResult without = plain.Match(t);
+
+  // With the shortcut the path must stay near the bottom row.
+  auto max_y = [&](const std::vector<network::SegmentId>& path) {
+    double best = 0.0;
+    for (network::SegmentId sid : path) {
+      const geo::Polyline& geom = h.net.segment(sid).geometry;
+      best = std::max(best, std::max(geom.front().y, geom.back().y));
+    }
+    return best;
+  };
+  EXPECT_LE(max_y(with_shortcut.path), max_y(without.path));
+  // The shortcut-added candidate is recorded for the skipped point.
+  bool any_shortcut_candidate = false;
+  for (const CandidateSet& cs : with_shortcut.candidates) {
+    for (const Candidate& c : cs) any_shortcut_candidate |= c.from_shortcut;
+  }
+  EXPECT_TRUE(any_shortcut_candidate);
+}
+
+TEST(EngineTest, LargerKNeverShrinksCandidateSets) {
+  Harness h;
+  const traj::Trajectory t = BottomRowTrajectory(4, 250.0, 20.0);
+  EngineConfig small;
+  small.k = 3;
+  EngineConfig big;
+  big.k = 10;
+  Engine a = h.MakeEngine(small);
+  Engine b = h.MakeEngine(big);
+  const EngineResult ra = a.Match(t);
+  const EngineResult rb = b.Match(t);
+  ASSERT_EQ(ra.candidates.size(), rb.candidates.size());
+  for (size_t i = 0; i < ra.candidates.size(); ++i) {
+    EXPECT_LE(ra.candidates[i].size(), rb.candidates[i].size());
+    EXPECT_LE(ra.candidates[i].size(), 3u);
+  }
+}
+
+TEST(OnlineMatcherTest, StreamsAndMatchesStraightLine) {
+  Harness h;
+  OnlineConfig config;
+  config.k = 6;
+  config.lag = 3;
+  OnlineMatcher online(&h.net, h.cached.get(), h.obs.get(), h.trans.get(), config);
+  const traj::Trajectory t = BottomRowTrajectory(10, 250.0, 20.0);
+  std::vector<network::SegmentId> streamed;
+  for (const auto& p : t.points) {
+    const auto emitted = online.Push(p);
+    streamed.insert(streamed.end(), emitted.begin(), emitted.end());
+  }
+  const auto tail = online.Finish();
+  streamed.insert(streamed.end(), tail.begin(), tail.end());
+  ASSERT_FALSE(streamed.empty());
+  EXPECT_EQ(streamed, online.committed());
+  // The committed path hugs the bottom row and is (near-)connected.
+  int breaks = 0;
+  for (size_t i = 1; i < streamed.size(); ++i) {
+    if (!h.net.AreConsecutive(streamed[i - 1], streamed[i])) ++breaks;
+  }
+  EXPECT_LE(breaks, 1);
+  for (network::SegmentId sid : streamed) {
+    const geo::Polyline& geom = h.net.segment(sid).geometry;
+    EXPECT_LT(std::min(geom.front().y, geom.back().y), 150.0);
+  }
+}
+
+TEST(OnlineMatcherTest, CommitsLagBehindInput) {
+  Harness h;
+  OnlineConfig config;
+  config.lag = 4;
+  OnlineMatcher online(&h.net, h.cached.get(), h.obs.get(), h.trans.get(), config);
+  const traj::Trajectory t = BottomRowTrajectory(5, 250.0, 20.0);
+  int pushes_before_first_commit = 0;
+  for (const auto& p : t.points) {
+    ++pushes_before_first_commit;
+    if (!online.Push(p).empty()) break;
+  }
+  // Nothing commits until lag+1 points are buffered.
+  EXPECT_GT(pushes_before_first_commit, config.lag);
+}
+
+TEST(OnlineMatcherTest, ResetClearsState) {
+  Harness h;
+  OnlineConfig config;
+  config.lag = 2;
+  OnlineMatcher online(&h.net, h.cached.get(), h.obs.get(), h.trans.get(), config);
+  const traj::Trajectory t = BottomRowTrajectory(6, 250.0, 20.0);
+  for (const auto& p : t.points) online.Push(p);
+  online.Finish();
+  EXPECT_FALSE(online.committed().empty());
+  online.Reset();
+  EXPECT_TRUE(online.committed().empty());
+  for (const auto& p : t.points) online.Push(p);
+  const auto tail = online.Finish();
+  EXPECT_FALSE(online.committed().empty());
+}
+
+TEST(OnlineMatcherTest, ApproachesOfflineAccuracyWithLag) {
+  Harness h;
+  // Offline reference.
+  EngineConfig engine_config;
+  engine_config.k = 6;
+  Engine engine = h.MakeEngine(engine_config);
+  core::Rng rng(3);
+  traj::Trajectory t;
+  double x = 150.0;
+  for (int i = 0; i < 12; ++i) {
+    t.points.push_back({{x + rng.Normal(0, 60.0), 10.0 + rng.Normal(0, 60.0)},
+                        i * 18.0, i});
+    x += 160.0;
+  }
+  const EngineResult offline = engine.Match(t);
+
+  OnlineConfig config;
+  config.k = 6;
+  config.lag = 6;
+  OnlineMatcher online(&h.net, h.cached.get(), h.obs.get(), h.trans.get(), config);
+  for (const auto& p : t.points) online.Push(p);
+  online.Finish();
+  // Large-lag online should overlap the offline path substantially.
+  std::set<network::SegmentId> off(offline.path.begin(), offline.path.end());
+  int overlap = 0;
+  for (network::SegmentId sid : online.committed()) {
+    if (off.count(sid)) ++overlap;
+  }
+  EXPECT_GT(overlap * 2, static_cast<int>(online.committed().size()));
+}
+
+TEST(OnlineMatcherTest, LagZeroIsGreedyButStillTracks) {
+  Harness h;
+  OnlineConfig config;
+  config.lag = 0;
+  OnlineMatcher online(&h.net, h.cached.get(), h.obs.get(), h.trans.get(), config);
+  const traj::Trajectory t = BottomRowTrajectory(8, 250.0, 20.0);
+  for (const auto& p : t.points) online.Push(p);
+  online.Finish();
+  ASSERT_FALSE(online.committed().empty());
+  // Greedy (no lookahead) may stray, but not more than one block off the
+  // bottom row.
+  for (network::SegmentId sid : online.committed()) {
+    const geo::Polyline& geom = h.net.segment(sid).geometry;
+    EXPECT_LE(std::min(geom.front().y, geom.back().y), 200.0);
+  }
+}
+
+/// Brute-force reference: enumerates every candidate chain and scores it
+/// with Eq. (14); the engine's Viterbi must find the same optimum.
+class ViterbiEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViterbiEquivalenceTest, MatchesBruteForceOptimum) {
+  Harness h;
+  EngineConfig config;
+  config.k = 3;  // Keep the chain space enumerable: 3^m paths.
+  config.use_shortcuts = false;
+  Engine engine = h.MakeEngine(config);
+
+  core::Rng rng(100 + GetParam());
+  traj::Trajectory t;
+  double x = 200.0;
+  double y = 200.0;
+  for (int i = 0; i < 5; ++i) {
+    t.points.push_back({{x + rng.Normal(0, 70.0), y + rng.Normal(0, 70.0)},
+                        i * 20.0, i});
+    x += 200.0;
+    if (i % 2 == 1) y += 150.0;
+  }
+  const EngineResult r = engine.Match(t);
+  ASSERT_EQ(r.candidates.size(), 5u);
+
+  // Re-derive all pairwise weights exactly as the engine does.
+  network::SegmentRouter router(&h.net);
+  const int m = static_cast<int>(r.candidates.size());
+  std::vector<double> straight(m, 0.0);
+  for (int s = 1; s < m; ++s) {
+    straight[s] =
+        geo::Distance(t[r.point_index[s - 1]].pos, t[r.point_index[s]].pos);
+  }
+  auto weight = [&](int s, const Candidate& a, const Candidate& b) {
+    const double bound = std::min(12000.0, 4.0 * straight[s] + 1500.0);
+    const auto route = router.Route1(a.segment, b.segment, bound);
+    const network::Route* rp = route.has_value() ? &route.value() : nullptr;
+    if (rp == nullptr) return -1e18;
+    return h.trans->Transition(t, r.point_index[s - 1], r.point_index[s], a, b,
+                               rp, straight[s]) *
+           b.observation;
+  };
+
+  // Enumerate all chains.
+  double best_score = -1e18;
+  std::vector<int> idx(m, 0);
+  std::vector<int> best_chain;
+  while (true) {
+    double score = r.candidates[0][idx[0]].observation;
+    for (int s = 1; s < m; ++s) {
+      score += weight(s, r.candidates[s - 1][idx[s - 1]], r.candidates[s][idx[s]]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_chain = idx;
+    }
+    int carry = m - 1;
+    while (carry >= 0) {
+      if (++idx[carry] < static_cast<int>(r.candidates[carry].size())) break;
+      idx[carry] = 0;
+      --carry;
+    }
+    if (carry < 0) break;
+  }
+
+  // The engine's chosen chain must achieve the brute-force optimum score.
+  double engine_score = 0.0;
+  {
+    std::vector<int> chosen(m);
+    for (int s = 0; s < m; ++s) {
+      for (size_t j = 0; j < r.candidates[s].size(); ++j) {
+        if (r.candidates[s][j].segment == r.matched[s]) {
+          chosen[s] = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    engine_score = r.candidates[0][chosen[0]].observation;
+    for (int s = 1; s < m; ++s) {
+      engine_score += weight(s, r.candidates[s - 1][chosen[s - 1]],
+                             r.candidates[s][chosen[s]]);
+    }
+  }
+  EXPECT_NEAR(engine_score, best_score, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViterbiEquivalenceTest, ::testing::Range(0, 8));
+
+class EngineKSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineKSweepTest, MatchedPathConnectedForAnyK) {
+  Harness h;
+  EngineConfig config;
+  config.k = GetParam();
+  config.use_shortcuts = true;
+  Engine engine = h.MakeEngine(config);
+  core::Rng rng(GetParam());
+  traj::Trajectory t;
+  double x = 150.0;
+  double y = 50.0;
+  for (int i = 0; i < 8; ++i) {
+    t.points.push_back({{x + rng.Normal(0, 80.0), y + rng.Normal(0, 80.0)},
+                        i * 18.0, i});
+    x += 180.0;
+    if (i % 3 == 2) y += 160.0;
+  }
+  const EngineResult r = engine.Match(t);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_TRUE(network::IsConnectedPath(h.net, r.path));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, EngineKSweepTest, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace lhmm::hmm

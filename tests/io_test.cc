@@ -1,0 +1,265 @@
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "io/dataset_io.h"
+#include "io/network_io.h"
+#include "io/osm_xml.h"
+#include "io/trajectory_io.h"
+#include "network/generators.h"
+#include "sim/dataset.h"
+#include "viz/svg.h"
+
+namespace lhmm::io {
+namespace {
+
+TEST(NetworkIoTest, CsvRoundTrip) {
+  network::CityNetworkConfig cfg;
+  cfg.width = 2500.0;
+  cfg.height = 2000.0;
+  const network::RoadNetwork net = network::GenerateCityNetwork(cfg);
+
+  const std::string prefix = "/tmp/lhmm_net_io_test";
+  ASSERT_TRUE(SaveNetworkCsv(net, prefix).ok());
+  const auto loaded = LoadNetworkCsv(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->num_nodes(), net.num_nodes());
+  ASSERT_EQ(loaded->num_segments(), net.num_segments());
+  for (network::NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_NEAR(loaded->node(v).pos.x, net.node(v).pos.x, 0.01);
+    EXPECT_NEAR(loaded->node(v).pos.y, net.node(v).pos.y, 0.01);
+  }
+  for (network::SegmentId s = 0; s < net.num_segments(); ++s) {
+    EXPECT_EQ(loaded->segment(s).from, net.segment(s).from);
+    EXPECT_EQ(loaded->segment(s).to, net.segment(s).to);
+    EXPECT_EQ(loaded->segment(s).reverse, net.segment(s).reverse);
+    EXPECT_EQ(loaded->segment(s).level, net.segment(s).level);
+    EXPECT_NEAR(loaded->segment(s).length, net.segment(s).length, 0.05);
+  }
+  EXPECT_TRUE(loaded->Validate().ok());
+  std::filesystem::remove(prefix + std::string("_nodes.csv"));
+  std::filesystem::remove(prefix + std::string("_segments.csv"));
+}
+
+TEST(NetworkIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadNetworkCsv("/tmp/definitely_not_there").ok());
+}
+
+TEST(NetworkIoTest, GeoJsonExportContainsAllSegments) {
+  const network::RoadNetwork net = network::GenerateGridNetwork(3, 3, 100.0);
+  const std::string path = "/tmp/lhmm_net_io_test.geojson";
+  ASSERT_TRUE(ExportNetworkGeoJson(net, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("FeatureCollection"), std::string::npos);
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = content.find("LineString", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, static_cast<size_t>(net.num_segments()));
+  std::filesystem::remove(path);
+}
+
+TEST(TrajectoryIoTest, CsvRoundTrip) {
+  sim::DatasetConfig cfg = sim::XiamenSPreset();
+  cfg.num_train = 4;
+  cfg.num_val = 1;
+  cfg.num_test = 1;
+  const sim::Dataset ds = sim::BuildDataset(cfg);
+
+  const std::string path = "/tmp/lhmm_traj_io_test.csv";
+  ASSERT_TRUE(SaveTrajectoriesCsv(ds.train, path).ok());
+  const auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), ds.train.size());
+  for (size_t i = 0; i < ds.train.size(); ++i) {
+    const auto& a = ds.train[i];
+    const auto& b = (*loaded)[i];
+    ASSERT_EQ(a.cellular.size(), b.cellular.size());
+    ASSERT_EQ(a.gps.size(), b.gps.size());
+    EXPECT_EQ(a.truth_path, b.truth_path);
+    for (int p = 0; p < a.cellular.size(); ++p) {
+      EXPECT_EQ(a.cellular[p].tower, b.cellular[p].tower);
+      EXPECT_NEAR(a.cellular[p].pos.x, b.cellular[p].pos.x, 0.01);
+      EXPECT_NEAR(a.cellular[p].t, b.cellular[p].t, 0.01);
+    }
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".paths");
+}
+
+TEST(PathIoTest, RoundTripIncludingEmptyPaths) {
+  const std::vector<std::vector<network::SegmentId>> paths = {
+      {1, 2, 3}, {}, {42}};
+  const std::string path = "/tmp/lhmm_paths_test.txt";
+  ASSERT_TRUE(SavePaths(paths, path).ok());
+  const auto loaded = LoadPaths(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, paths);
+  std::filesystem::remove(path);
+}
+
+namespace {
+/// A 2x2 block of residential streets plus a oneway primary and a footway
+/// (which must be filtered out).
+constexpr char kOsmSample[] = R"(<?xml version="1.0"?>
+<osm version="0.6">
+  <!-- a comment with <way> inside -->
+  <node id="1" lat="30.2500" lon="120.1500"/>
+  <node id="2" lat="30.2500" lon="120.1520"/>
+  <node id="3" lat="30.2520" lon="120.1500"/>
+  <node id="4" lat="30.2520" lon="120.1520"/>
+  <node id="5" lat="30.2540" lon="120.1500"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="101">
+    <nd ref="1"/><nd ref="3"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+    <tag k="maxspeed" v="30"/>
+  </way>
+  <way id="102">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="30 mph"/>
+  </way>
+  <way id="103">
+    <nd ref="3"/><nd ref="5"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <way id="104">
+    <nd ref="1"/><nd ref="999"/>
+    <tag k="highway" v="residential"/>
+  </way>
+</osm>)";
+}  // namespace
+
+TEST(OsmXmlTest, ParsesRoadsAndFiltersNonDrivable) {
+  OsmImportOptions options;
+  options.keep_largest_scc = false;
+  const auto result = ParseOsmXml(kOsmSample, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const network::RoadNetwork& net = result->net;
+  // Ways 100 (two-way: 2 segs), 101 (two edges two-way: 4), 102 (oneway: 1).
+  // 103 filtered (footway), 104 dropped (missing node).
+  EXPECT_EQ(net.num_segments(), 7);
+  EXPECT_EQ(net.num_nodes(), 4);
+  EXPECT_TRUE(net.Validate().ok());
+
+  // maxspeed parsing: way 101 at 30 km/h, way 102 at 30 mph.
+  int with_30kmh = 0;
+  int with_30mph = 0;
+  for (const auto& seg : net.segments()) {
+    if (std::abs(seg.speed_limit - 30.0 / 3.6) < 1e-6) ++with_30kmh;
+    if (std::abs(seg.speed_limit - 30.0 * 0.44704) < 1e-6) ++with_30mph;
+  }
+  EXPECT_EQ(with_30kmh, 4);
+  EXPECT_EQ(with_30mph, 1);
+
+  // Geometry is locally projected: all within ~a few hundred meters.
+  for (network::NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_LT(std::abs(net.node(v).pos.x), 1000.0);
+    EXPECT_LT(std::abs(net.node(v).pos.y), 1000.0);
+  }
+}
+
+TEST(OsmXmlTest, LargestSccPrunesOnewayDeadEnd) {
+  OsmImportOptions options;  // keep_largest_scc = true by default.
+  const auto result = ParseOsmXml(kOsmSample, options);
+  ASSERT_TRUE(result.ok());
+  // The oneway edge 2->4 can still be in the SCC via the two-way detour;
+  // everything kept must be mutually reachable.
+  const auto scc = result->net.LargestStronglyConnectedComponent();
+  EXPECT_EQ(static_cast<int>(scc.size()), result->net.num_nodes());
+}
+
+TEST(OsmXmlTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseOsmXml("<osm><node id=1 lat></osm>").ok());
+  EXPECT_FALSE(ParseOsmXml("<osm></osm>").ok());  // No drivable ways.
+}
+
+TEST(DatasetBundleTest, RoundTripPreservesEverythingAMatcherNeeds) {
+  sim::DatasetConfig cfg = sim::XiamenSPreset();
+  cfg.num_train = 5;
+  cfg.num_val = 1;
+  cfg.num_test = 3;
+  const sim::Dataset ds = sim::BuildDataset(cfg);
+  const std::string prefix = "/tmp/lhmm_bundle_test";
+  ASSERT_TRUE(SaveDatasetBundle(ds, prefix).ok());
+  const auto bundle = LoadDatasetBundle(prefix);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->net.num_segments(), ds.network.num_segments());
+  EXPECT_EQ(bundle->towers.size(), ds.towers.size());
+  ASSERT_EQ(bundle->train.size(), ds.train.size());
+  ASSERT_EQ(bundle->test.size(), ds.test.size());
+  EXPECT_EQ(bundle->train[0].truth_path, ds.train[0].truth_path);
+  EXPECT_TRUE(bundle->net.Validate().ok());
+  for (const char* suffix :
+       {"_nodes.csv", "_segments.csv", "_towers.csv", "_train.csv",
+        "_train.csv.paths", "_test.csv", "_test.csv.paths"}) {
+    std::filesystem::remove(prefix + std::string(suffix));
+  }
+}
+
+TEST(DatasetBundleTest, MissingPiecesFailCleanly) {
+  EXPECT_FALSE(LoadDatasetBundle("/tmp/lhmm_nonexistent_bundle").ok());
+}
+
+TEST(SvgTest, SceneRendersAllLayers) {
+  const network::RoadNetwork net = network::GenerateGridNetwork(3, 3, 100.0);
+  viz::SvgScene scene(net.Bounds(), 400.0);
+  scene.DrawNetwork(net, {.color = "#cccccc", .width = 1.0});
+  scene.DrawPath(net, {0, 1}, {.color = "#2f855a", .width = 3.0});
+  traj::Trajectory t;
+  t.points.push_back({{50, 50}, 0.0, 0});
+  t.points.push_back({{150, 60}, 10.0, 1});
+  scene.DrawTrajectory(t, {.color = "#c53030", .width = 2.0});
+  scene.DrawMarker({100, 100}, 30.0, {.color = "#2b6cb0", .width = 1.5});
+  scene.AddLegend("matched", {.color = "#2f855a"});
+  const std::string svg = scene.ToString();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("circle"), std::string::npos);
+  EXPECT_NE(svg.find("matched"), std::string::npos);
+
+  const std::string path = "/tmp/lhmm_svg_test.svg";
+  ASSERT_TRUE(scene.Write(path).ok());
+  EXPECT_GT(std::filesystem::file_size(path), 200u);
+  std::filesystem::remove(path);
+}
+
+TEST(SvgTest, TwoWayPairsDrawnOnce) {
+  network::RoadNetwork net;
+  const network::NodeId a = net.AddNode({0, 0});
+  const network::NodeId b = net.AddNode({100, 0});
+  net.AddTwoWay(a, b, 13.9, network::RoadLevel::kLocal);
+  viz::SvgScene scene(net.Bounds(), 200.0);
+  scene.DrawNetwork(net, {.color = "#888888", .width = 1.0});
+  const std::string svg = scene.ToString();
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1u);  // The twin pair renders as a single stroke.
+}
+
+TEST(SvgTest, EmptyPathIsNoop) {
+  network::RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({10, 10});
+  net.AddTwoWay(0, 1, 13.9, network::RoadLevel::kLocal);
+  viz::SvgScene scene(net.Bounds(), 100.0);
+  scene.DrawPath(net, {}, {.color = "#000000"});
+  EXPECT_EQ(scene.ToString().find("<polyline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lhmm::io

@@ -1,0 +1,162 @@
+#include <filesystem>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "matchers/classic_matchers.h"
+#include "matchers/ivmm.h"
+#include "matchers/seq2seq.h"
+#include "network/grid_index.h"
+#include "sim/dataset.h"
+#include "traj/filters.h"
+
+namespace lhmm::matchers {
+namespace {
+
+/// Shared tiny dataset for matcher smoke tests.
+class MatchersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetConfig cfg = sim::XiamenSPreset();
+    cfg.num_train = 25;
+    cfg.num_val = 3;
+    cfg.num_test = 6;
+    ds_ = new sim::Dataset(sim::BuildDataset(cfg));
+    index_ = new network::GridIndex(&ds_->network, 300.0);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete ds_;
+    index_ = nullptr;
+    ds_ = nullptr;
+  }
+
+  static traj::Trajectory Cleaned(int i) {
+    traj::FilterConfig filters;
+    return traj::DeduplicateTowers(
+        traj::PreprocessCellular(ds_->test[i].cellular, filters));
+  }
+
+  static sim::Dataset* ds_;
+  static network::GridIndex* index_;
+};
+
+sim::Dataset* MatchersTest::ds_ = nullptr;
+network::GridIndex* MatchersTest::index_ = nullptr;
+
+TEST_F(MatchersTest, AllClassicMatchersProduceValidPaths) {
+  hmm::ClassicModelConfig models;
+  hmm::EngineConfig engine;
+  engine.k = 20;
+  std::vector<std::unique_ptr<MapMatcher>> all;
+  all.push_back(std::make_unique<StmMatcher>(&ds_->network, index_, models, engine));
+  all.push_back(std::make_unique<IfmMatcher>(&ds_->network, index_, models, engine));
+  all.push_back(std::make_unique<McmMatcher>(&ds_->network, index_, models, engine));
+  all.push_back(std::make_unique<SnetMatcher>(&ds_->network, index_, models, engine));
+  all.push_back(std::make_unique<ThmmMatcher>(&ds_->network, index_, models, engine));
+  all.push_back(
+      std::make_unique<ClstersMatcher>(&ds_->network, index_, models, engine));
+  for (auto& matcher : all) {
+    const traj::Trajectory t = Cleaned(0);
+    const MatchResult r = matcher->Match(t);
+    EXPECT_FALSE(r.path.empty()) << matcher->name();
+    EXPECT_TRUE(matcher->ProvidesCandidates()) << matcher->name();
+    EXPECT_FALSE(r.candidates.empty()) << matcher->name();
+    for (network::SegmentId sid : r.path) {
+      ASSERT_GE(sid, 0);
+      ASSERT_LT(sid, ds_->network.num_segments());
+    }
+  }
+}
+
+TEST_F(MatchersTest, StmShortcutVariantName) {
+  hmm::ClassicModelConfig models;
+  hmm::EngineConfig engine;
+  StmMatcher plain(&ds_->network, index_, models, engine);
+  EXPECT_EQ(plain.name(), "STM");
+  engine.use_shortcuts = true;
+  StmMatcher with_s(&ds_->network, index_, models, engine);
+  EXPECT_EQ(with_s.name(), "STM+S");
+}
+
+TEST_F(MatchersTest, IvmmVotesAndMatches) {
+  hmm::ClassicModelConfig models;
+  IvmmMatcher ivmm(&ds_->network, index_, models, 15);
+  const MatchResult r = ivmm.Match(Cleaned(1));
+  EXPECT_FALSE(r.path.empty());
+  EXPECT_EQ(r.candidates.size(), r.point_index.size());
+}
+
+TEST_F(MatchersTest, GruCellStepShapesAndPathsAgree) {
+  core::Rng rng(3);
+  GruCell cell(6, 10, &rng);
+  const nn::Matrix x = nn::Matrix::Gaussian(1, 6, 1.0f, &rng);
+  const nn::Matrix h = nn::Matrix::Gaussian(1, 10, 1.0f, &rng);
+  const nn::Matrix out_m = cell.Step(x, h);
+  const nn::Tensor out_t = cell.Step(nn::Tensor(x), nn::Tensor(h));
+  ASSERT_EQ(out_m.cols(), 10);
+  for (int j = 0; j < 10; ++j) {
+    EXPECT_NEAR(out_m(0, j), out_t.value()(0, j), 1e-5);
+    EXPECT_GE(out_m(0, j), -1.5f);  // GRU output stays bounded-ish.
+    EXPECT_LE(out_m(0, j), 1.5f);
+  }
+}
+
+TEST_F(MatchersTest, Seq2SeqTrainsMatchesAndRoundTrips) {
+  Seq2SeqConfig cfg;
+  cfg.epochs = 1;
+  cfg.embed_dim = 12;
+  cfg.hidden_dim = 16;
+  Seq2SeqMatcher matcher(&ds_->network, index_,
+                         static_cast<int>(ds_->towers.size()), cfg, "S2S");
+  traj::FilterConfig filters;
+  matcher.Train(ds_->train, filters);
+  const traj::Trajectory t = Cleaned(2);
+  const MatchResult r = matcher.Match(t);
+  EXPECT_FALSE(r.path.empty());
+  EXPECT_FALSE(matcher.ProvidesCandidates());
+
+  const std::string path = "/tmp/s2s_test_model.bin";
+  ASSERT_TRUE(matcher.Save(path).ok());
+  Seq2SeqMatcher fresh(&ds_->network, index_,
+                       static_cast<int>(ds_->towers.size()), cfg, "S2S");
+  ASSERT_TRUE(fresh.Load(path).ok());
+  const MatchResult r2 = fresh.Match(t);
+  EXPECT_EQ(r.path, r2.path);  // Loaded weights reproduce the decode.
+  std::filesystem::remove(path);
+}
+
+TEST_F(MatchersTest, BeamSearchDecodesDeterministically) {
+  Seq2SeqConfig cfg;
+  cfg.epochs = 1;
+  cfg.embed_dim = 10;
+  cfg.hidden_dim = 12;
+  cfg.beam_width = 3;
+  Seq2SeqMatcher matcher(&ds_->network, index_,
+                         static_cast<int>(ds_->towers.size()), cfg, "BEAM");
+  traj::FilterConfig filters;
+  matcher.Train(ds_->train, filters);
+  const traj::Trajectory t = Cleaned(3);
+  const MatchResult a = matcher.Match(t);
+  const MatchResult b = matcher.Match(t);
+  EXPECT_FALSE(a.path.empty());
+  EXPECT_EQ(a.path, b.path);  // Decoding is deterministic.
+  for (size_t i = 1; i < a.path.size(); ++i) {
+    // Path expansion keeps the output on the network.
+    ASSERT_GE(a.path[i], 0);
+    ASSERT_LT(a.path[i], ds_->network.num_segments());
+  }
+}
+
+TEST_F(MatchersTest, Seq2SeqFactoriesDiffer) {
+  auto deepmm = MakeDeepMm(&ds_->network, index_,
+                           static_cast<int>(ds_->towers.size()));
+  auto tmm = MakeTransformerMm(&ds_->network, index_,
+                               static_cast<int>(ds_->towers.size()));
+  auto dmm = MakeDmm(&ds_->network, index_, static_cast<int>(ds_->towers.size()));
+  EXPECT_EQ(deepmm->name(), "DeepMM");
+  EXPECT_EQ(tmm->name(), "TransformerMM");
+  EXPECT_EQ(dmm->name(), "DMM");
+}
+
+}  // namespace
+}  // namespace lhmm::matchers

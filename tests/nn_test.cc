@@ -1,0 +1,328 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/loss.h"
+#include "nn/modules.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace lhmm::nn {
+namespace {
+
+/// Numerically checks d(loss)/d(param[idx]) against autodiff for a scalar
+/// loss builder.
+template <typename LossFn>
+void CheckGradient(Tensor param, LossFn make_loss, double tol = 2e-2) {
+  Tensor loss = make_loss();
+  param.ZeroGrad();
+  Backward(loss);
+  const Matrix grad = param.grad();
+  const float eps = 1e-3f;
+  for (int idx = 0; idx < std::min(6, param.value().size()); ++idx) {
+    const float orig = param.value().data()[idx];
+    param.mutable_value().data()[idx] = orig + eps;
+    const float plus = make_loss().value()(0, 0);
+    param.mutable_value().data()[idx] = orig - eps;
+    const float minus = make_loss().value()(0, 0);
+    param.mutable_value().data()[idx] = orig;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(grad.data()[idx], numeric, tol)
+        << "param index " << idx;
+  }
+}
+
+TEST(MatrixTest, MatMulShapesAndValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (int i = 0; i < a.size(); ++i) a.data()[i] = v++;
+  for (int i = 0; i < b.size(); ++i) b.data()[i] = v++;
+  const Matrix c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  EXPECT_FLOAT_EQ(c(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_FLOAT_EQ(c(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  core::Rng rng(1);
+  const Matrix a = Matrix::Gaussian(3, 5, 1.0f, &rng);
+  const Matrix t = Transpose(Transpose(a));
+  for (int i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.data()[i], t.data()[i]);
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOne) {
+  core::Rng rng(2);
+  const Matrix a = Matrix::Gaussian(4, 7, 3.0f, &rng);
+  const Matrix s = SoftmaxRows(a);
+  for (int i = 0; i < s.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < s.cols(); ++j) {
+      sum += s(i, j);
+      EXPECT_GT(s(i, j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(AutodiffTest, MatMulGradient) {
+  core::Rng rng(3);
+  Tensor w(Matrix::Gaussian(4, 3, 0.5f, &rng), true);
+  Tensor x(Matrix::Gaussian(5, 4, 0.5f, &rng), false);
+  CheckGradient(w, [&] { return MeanAllT(MatMulT(x, w)); });
+}
+
+TEST(AutodiffTest, ReluTanhSigmoidGradients) {
+  core::Rng rng(4);
+  Tensor w(Matrix::Gaussian(3, 3, 0.7f, &rng), true);
+  CheckGradient(w, [&] { return MeanAllT(ReluT(w)); });
+  CheckGradient(w, [&] { return MeanAllT(TanhT(w)); });
+  CheckGradient(w, [&] { return MeanAllT(SigmoidT(w)); });
+}
+
+TEST(AutodiffTest, SoftmaxRowsGradient) {
+  core::Rng rng(5);
+  Tensor w(Matrix::Gaussian(2, 4, 0.5f, &rng), true);
+  Tensor coef(Matrix::Gaussian(2, 4, 1.0f, &rng), false);
+  CheckGradient(w, [&] { return MeanAllT(MulT(SoftmaxRowsT(w), coef)); });
+}
+
+TEST(AutodiffTest, ConcatColsAndRowsGradients) {
+  core::Rng rng(6);
+  Tensor a(Matrix::Gaussian(3, 2, 0.5f, &rng), true);
+  Tensor b(Matrix::Gaussian(3, 4, 0.5f, &rng), false);
+  CheckGradient(a, [&] { return MeanAllT(ConcatColsT(a, b)); });
+  Tensor c(Matrix::Gaussian(2, 2, 0.5f, &rng), false);
+  CheckGradient(a, [&] { return MeanAllT(ConcatRowsT({a, c})); });
+}
+
+TEST(AutodiffTest, RowsGatherGradient) {
+  core::Rng rng(7);
+  Tensor table(Matrix::Gaussian(6, 3, 0.5f, &rng), true);
+  CheckGradient(table, [&] { return MeanAllT(RowsT(table, {1, 4, 1})); });
+}
+
+TEST(AutodiffTest, SparseMixGradient) {
+  core::Rng rng(8);
+  auto s = std::make_shared<SparseRows>();
+  s->rows = {{{0, 0.5f}, {1, 0.5f}}, {{2, 1.0f}}, {{0, 0.3f}, {2, 0.7f}}};
+  Tensor x(Matrix::Gaussian(3, 4, 0.5f, &rng), true);
+  CheckGradient(x, [&] { return MeanAllT(SparseMixT(s, x)); });
+}
+
+TEST(AutodiffTest, SharedSubgraphAccumulatesGradient) {
+  // y = mean(w + w) should give gradient 2/N per entry.
+  Tensor w(Matrix::Full(2, 2, 1.0f), true);
+  Tensor loss = MeanAllT(AddT(w, w));
+  Backward(loss);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.grad().data()[i], 2.0 / 4.0, 1e-6);
+}
+
+TEST(LossTest, SmoothedCrossEntropyGradient) {
+  core::Rng rng(9);
+  Tensor logits(Matrix::Gaussian(5, 3, 1.0f, &rng), true);
+  const std::vector<int> labels = {0, 2, 1, 1, 0};
+  CheckGradient(logits,
+                [&] { return SmoothedCrossEntropy(logits, labels, 0.1f); });
+}
+
+TEST(LossTest, BinaryCrossEntropyGradient) {
+  core::Rng rng(10);
+  Tensor logits(Matrix::Gaussian(6, 1, 1.0f, &rng), true);
+  const std::vector<float> targets = {0.0f, 1.0f, 0.3f, 0.8f, 0.5f, 1.0f};
+  CheckGradient(logits, [&] {
+    return BinaryCrossEntropyWithLogits(logits, targets, 0.05f);
+  });
+}
+
+TEST(LossTest, MeanSquaredErrorGradient) {
+  core::Rng rng(11);
+  Tensor pred(Matrix::Gaussian(4, 1, 1.0f, &rng), true);
+  const std::vector<float> targets = {0.1f, -0.2f, 0.5f, 1.2f};
+  CheckGradient(pred, [&] { return MeanSquaredError(pred, targets); });
+}
+
+TEST(TrainingTest, LinearRegressionConverges) {
+  core::Rng rng(12);
+  // y = 2*x0 - 3*x1 + 1, learn with MSE.
+  Linear lin(2, 1, &rng);
+  Adam adam(lin.Params(), AdamConfig{.lr = 0.05f, .weight_decay = 0.0f});
+  for (int step = 0; step < 400; ++step) {
+    Matrix x(16, 2);
+    std::vector<float> y(16);
+    for (int i = 0; i < 16; ++i) {
+      x(i, 0) = static_cast<float>(rng.Normal());
+      x(i, 1) = static_cast<float>(rng.Normal());
+      y[i] = 2.0f * x(i, 0) - 3.0f * x(i, 1) + 1.0f;
+    }
+    Tensor loss = MeanSquaredError(lin.Forward(Tensor(x)), y);
+    adam.ZeroGrad();
+    Backward(loss);
+    adam.Step();
+  }
+  Matrix probe(1, 2);
+  probe(0, 0) = 1.0f;
+  probe(0, 1) = 1.0f;
+  EXPECT_NEAR(lin.Forward(probe)(0, 0), 0.0f, 0.15f);  // 2 - 3 + 1 = 0.
+}
+
+TEST(TrainingTest, BceLearnsPositiveCorrelation) {
+  // Regression test: a single informative feature positively correlated with
+  // the soft target must end with a positive learned response.
+  core::Rng rng(13);
+  Mlp mlp({1, 8, 1}, &rng);
+  Adam adam(mlp.Params(), AdamConfig{.lr = 1e-3f, .weight_decay = 1e-4f});
+  for (int step = 0; step < 300; ++step) {
+    Matrix x(64, 1);
+    std::vector<float> y(64);
+    for (int i = 0; i < 64; ++i) {
+      const float v = static_cast<float>(rng.Uniform());
+      x(i, 0) = v;
+      y[i] = v;  // Target equals the feature: perfectly correlated.
+    }
+    Tensor loss = BinaryCrossEntropyWithLogits(mlp.Forward(Tensor(x)), y, 0.1f);
+    adam.ZeroGrad();
+    Backward(loss);
+    adam.Step();
+  }
+  Matrix lo(1, 1, 0.1f);
+  Matrix hi(1, 1, 0.9f);
+  const float p_lo = 1.0f / (1.0f + std::exp(-mlp.Forward(lo)(0, 0)));
+  const float p_hi = 1.0f / (1.0f + std::exp(-mlp.Forward(hi)(0, 0)));
+  EXPECT_GT(p_hi, p_lo + 0.2f);
+}
+
+TEST(MatrixTest, TransposedMatMulVariantsAgree) {
+  core::Rng rng(31);
+  const Matrix a = Matrix::Gaussian(4, 6, 1.0f, &rng);
+  const Matrix b = Matrix::Gaussian(4, 5, 1.0f, &rng);
+  const Matrix c = Matrix::Gaussian(3, 6, 1.0f, &rng);
+  // A^T * B two ways.
+  const Matrix t1 = MatMulTransA(a, b);
+  const Matrix t2 = MatMul(Transpose(a), b);
+  ASSERT_TRUE(t1.SameShape(t2));
+  for (int i = 0; i < t1.size(); ++i) EXPECT_NEAR(t1.data()[i], t2.data()[i], 1e-5);
+  // A * C^T two ways.
+  const Matrix u1 = MatMulTransB(a, c);
+  const Matrix u2 = MatMul(a, Transpose(c));
+  ASSERT_TRUE(u1.SameShape(u2));
+  for (int i = 0; i < u1.size(); ++i) EXPECT_NEAR(u1.data()[i], u2.data()[i], 1e-5);
+}
+
+TEST(MatrixTest, BroadcastAndColumnSums) {
+  Matrix a(2, 3);
+  for (int i = 0; i < 6; ++i) a.data()[i] = static_cast<float>(i);
+  const Matrix row = Matrix::RowVector({10.0f, 20.0f, 30.0f});
+  const Matrix sum = AddRowBroadcast(a, row);
+  EXPECT_FLOAT_EQ(sum(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(sum(1, 2), 35.0f);
+  const Matrix cols = SumRowsOf(a);
+  EXPECT_FLOAT_EQ(cols(0, 0), 3.0f);   // 0 + 3.
+  EXPECT_FLOAT_EQ(cols(0, 2), 7.0f);   // 2 + 5.
+}
+
+TEST(OptimTest, SgdConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 by SGD.
+  Tensor w(Matrix::Full(1, 4, 5.0f), true);
+  const std::vector<float> target = {1.0f, -2.0f, 0.5f, 3.0f};
+  Sgd sgd({w}, SgdConfig{.lr = 0.05f, .momentum = 0.5f});
+  for (int step = 0; step < 200; ++step) {
+    Tensor diff = w;
+    Tensor loss = MeanSquaredError(TransposeT(w), target);
+    sgd.ZeroGrad();
+    Backward(loss);
+    sgd.Step();
+  }
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(w.value()(0, j), target[j], 0.05f);
+}
+
+TEST(OptimTest, ClipGradNormScalesLargeGradients) {
+  Tensor w(Matrix::Full(1, 3, 1.0f), true);
+  Tensor loss = SumAllT(ScaleT(w, 100.0f));
+  Backward(loss);
+  const float before = ClipGradNorm({w}, 1.0f);
+  EXPECT_GT(before, 100.0f);
+  double norm_sq = w.grad().SquaredNorm();
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-4);
+  // Clipping below the threshold is a no-op.
+  const float again = ClipGradNorm({w}, 10.0f);
+  EXPECT_NEAR(again, 1.0f, 1e-4);
+}
+
+TEST(OptimTest, LrSchedules) {
+  EXPECT_NEAR(CosineLr(1.0f, 0.0f, 0, 100), 1.0f, 1e-6);
+  EXPECT_NEAR(CosineLr(1.0f, 0.0f, 100, 100), 0.0f, 1e-6);
+  EXPECT_NEAR(CosineLr(1.0f, 0.2f, 50, 100), 0.6f, 1e-6);
+  EXPECT_NEAR(StepDecayLr(1.0f, 0.5f, 25, 10), 0.25f, 1e-6);
+}
+
+TEST(OpsTest, DropoutMasksAndRescales) {
+  core::Rng rng(21);
+  Tensor x(Matrix::Full(50, 50, 1.0f), true);
+  const Tensor y = DropoutT(x, 0.4f, &rng);
+  int zeros = 0;
+  double sum = 0.0;
+  for (int i = 0; i < y.value().size(); ++i) {
+    const float v = y.value().data()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5);
+    }
+    sum += v;
+  }
+  // ~40% dropped; expectation preserved.
+  EXPECT_NEAR(static_cast<double>(zeros) / y.value().size(), 0.4, 0.05);
+  EXPECT_NEAR(sum / y.value().size(), 1.0, 0.08);
+  // Gradient flows only through the kept entries.
+  Backward(MeanAllT(y));
+  int grad_zeros = 0;
+  for (int i = 0; i < x.grad().size(); ++i) {
+    if (x.grad().data()[i] == 0.0f) ++grad_zeros;
+  }
+  EXPECT_EQ(grad_zeros, zeros);
+}
+
+TEST(ModulesTest, AttentionTensorAndMatrixPathsAgree) {
+  core::Rng rng(14);
+  AdditiveAttention attn(4, 4, 6, &rng);
+  const Matrix keys = Matrix::Gaussian(5, 4, 0.7f, &rng);
+  const Matrix query = Matrix::Gaussian(1, 4, 0.7f, &rng);
+  const Matrix out_m = attn.Forward(query, keys, keys);
+  const Tensor out_t =
+      attn.Forward(Tensor(query), Tensor(keys), Tensor(keys));
+  ASSERT_EQ(out_m.rows(), 1);
+  ASSERT_EQ(out_m.cols(), 4);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out_m(0, j), out_t.value()(0, j), 1e-5);
+  }
+}
+
+TEST(ModulesTest, AttentionWeightsFormDistribution) {
+  core::Rng rng(15);
+  AdditiveAttention attn(3, 3, 4, &rng);
+  const Matrix keys = Matrix::Gaussian(7, 3, 1.0f, &rng);
+  const Matrix query = Matrix::Gaussian(1, 3, 1.0f, &rng);
+  Matrix weights;
+  attn.Forward(query, keys, keys, &weights);
+  ASSERT_EQ(weights.rows(), 1);
+  ASSERT_EQ(weights.cols(), 7);
+  double sum = 0.0;
+  for (int j = 0; j < 7; ++j) sum += weights(0, j);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(ModulesTest, MlpMatrixAndTensorPathsAgree) {
+  core::Rng rng(16);
+  Mlp mlp({3, 5, 2}, &rng);
+  const Matrix x = Matrix::Gaussian(4, 3, 1.0f, &rng);
+  const Matrix a = mlp.Forward(x);
+  const Tensor b = mlp.Forward(Tensor(x));
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.value().data()[i], 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace lhmm::nn

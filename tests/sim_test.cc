@@ -1,0 +1,242 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "network/generators.h"
+#include "sim/dataset.h"
+#include "sim/radio.h"
+#include "sim/route_sampler.h"
+#include "sim/samplers.h"
+#include "sim/towers.h"
+
+namespace lhmm::sim {
+namespace {
+
+geo::BBox MakeArea(double w, double h) {
+  geo::BBox b;
+  b.Extend({0, 0});
+  b.Extend({w, h});
+  return b;
+}
+
+TEST(TowersTest, PlacementRespectsSeparationAndDensityGradient) {
+  core::Rng rng(1);
+  TowerPlacementConfig cfg;
+  cfg.core_spacing = 300.0;
+  cfg.edge_spacing = 900.0;
+  const geo::BBox area = MakeArea(6000, 6000);
+  const std::vector<Tower> towers = PlaceTowers(area, cfg, &rng);
+  ASSERT_GT(towers.size(), 20u);
+  // Ids are dense indices.
+  for (size_t i = 0; i < towers.size(); ++i) {
+    EXPECT_EQ(towers[i].id, static_cast<traj::TowerId>(i));
+    EXPECT_TRUE(area.Contains(towers[i].pos));
+  }
+  // Minimum separation at the core must hold.
+  const geo::Point center = area.Center();
+  for (size_t i = 0; i < towers.size(); ++i) {
+    for (size_t j = i + 1; j < towers.size(); ++j) {
+      if (geo::Distance(towers[i].pos, center) > 1000.0) continue;
+      if (geo::Distance(towers[j].pos, center) > 1000.0) continue;
+      EXPECT_GT(geo::Distance(towers[i].pos, towers[j].pos),
+                0.5 * cfg.core_spacing);
+    }
+  }
+}
+
+TEST(RadioTest, NearestTowerUsuallyStrongestWithoutShadowing) {
+  core::Rng deploy(2);
+  std::vector<Tower> towers = {{0, {0, 0}}, {1, {1000, 0}}, {2, {0, 1000}}};
+  RadioConfig cfg;
+  cfg.sector_gain_sigma_db = 0.0;  // No shadowing.
+  cfg.fast_fading_sigma_db = 0.0;
+  cfg.outlier_prob = 0.0;
+  RadioModel radio(&towers, cfg, &deploy);
+  core::Rng rng(3);
+  ServeState state;
+  EXPECT_EQ(radio.Serve({100, 50}, &state, &rng), 0);
+  state = ServeState();
+  EXPECT_EQ(radio.Serve({900, 50}, &state, &rng), 1);
+}
+
+TEST(RadioTest, HysteresisKeepsServingTower) {
+  core::Rng deploy(4);
+  std::vector<Tower> towers = {{0, {0, 0}}, {1, {1000, 0}}};
+  RadioConfig cfg;
+  cfg.sector_gain_sigma_db = 0.0;
+  cfg.fast_fading_sigma_db = 0.0;
+  cfg.outlier_prob = 0.0;
+  cfg.handoff_hysteresis_db = 6.0;
+  RadioModel radio(&towers, cfg, &deploy);
+  core::Rng rng(5);
+  ServeState state;
+  // Start near tower 0, drift slightly past the midpoint: hysteresis holds.
+  EXPECT_EQ(radio.Serve({200, 0}, &state, &rng), 0);
+  EXPECT_EQ(radio.Serve({530, 0}, &state, &rng), 0);
+  // Far past the midpoint the margin is exceeded.
+  EXPECT_EQ(radio.Serve({900, 0}, &state, &rng), 1);
+}
+
+TEST(RadioTest, OutliersAreDistantAndSticky) {
+  core::Rng deploy(6);
+  std::vector<Tower> towers;
+  core::Rng place(7);
+  for (int i = 0; i < 60; ++i) {
+    towers.push_back({static_cast<traj::TowerId>(i),
+                      {place.Uniform(0, 6000), place.Uniform(0, 6000)}});
+  }
+  RadioConfig cfg;
+  cfg.outlier_prob = 1.0;  // Force an outlier immediately.
+  cfg.outlier_mean_duration = 3.0;
+  RadioModel radio(&towers, cfg, &deploy);
+  core::Rng rng(8);
+  ServeState state;
+  const geo::Point user{3000, 3000};
+  const traj::TowerId first = radio.Serve(user, &state, &rng);
+  const double d = geo::Distance(towers[first].pos, user);
+  EXPECT_GE(d, cfg.outlier_min_dist);
+  EXPECT_LE(d, cfg.outlier_max_dist);
+  // Stickiness: remaining samples of the attachment reuse the same tower.
+  if (state.outlier_remaining > 0) {
+    EXPECT_EQ(radio.Serve(user, &state, &rng), first);
+  }
+}
+
+TEST(RouteSamplerTest, RoutesAreConnectedAndInLengthRange) {
+  network::CityNetworkConfig net_cfg;
+  net_cfg.width = 5000;
+  net_cfg.height = 4000;
+  network::RoadNetwork net = network::GenerateCityNetwork(net_cfg);
+  RouteConfig cfg;
+  cfg.min_length = 1500;
+  cfg.max_length = 3500;
+  RouteSampler sampler(&net, cfg);
+  core::Rng rng(9);
+  int produced = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto route = sampler.SampleRoute(&rng);
+    if (route.empty()) continue;
+    ++produced;
+    EXPECT_TRUE(network::IsConnectedPath(net, route));
+    const double len = network::PathLength(net, route);
+    EXPECT_GE(len, cfg.min_length * 0.99);
+    EXPECT_LE(len, cfg.max_length * 1.01);
+  }
+  EXPECT_GT(produced, 15);
+}
+
+TEST(DriveTest, PositionsFollowRouteMonotonically) {
+  network::RoadNetwork net = network::GenerateGridNetwork(4, 4, 200.0);
+  core::Rng rng(10);
+  // Straight route along the bottom row.
+  std::vector<network::SegmentId> route;
+  network::NodeId prev = 0;
+  for (int c = 0; c + 1 < 4; ++c) {
+    for (network::SegmentId sid : net.OutSegments(prev)) {
+      const auto& seg = net.segment(sid);
+      if (net.node(seg.to).pos.y == 0.0 && net.node(seg.to).pos.x > 0.0 &&
+          seg.to != prev && net.node(seg.to).pos.x > net.node(prev).pos.x) {
+        route.push_back(sid);
+        prev = seg.to;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(route.size(), 3u);
+  Drive drive(&net, route, 0.6, 0.9, &rng);
+  EXPECT_GT(drive.DurationSeconds(), 0.0);
+  double last_x = -1.0;
+  for (double t = 0.0; t <= drive.DurationSeconds(); t += 5.0) {
+    const geo::Point p = drive.PositionAt(t);
+    EXPECT_GE(p.x, last_x - 1e-9);  // Monotone along the straight route.
+    EXPECT_NEAR(p.y, 0.0, 1e-9);
+    last_x = p.x;
+  }
+  EXPECT_NEAR(drive.PositionAt(drive.DurationSeconds()).x, 600.0, 1e-6);
+}
+
+TEST(SamplersTest, GpsDenserThanCellularAndNoisy) {
+  network::RoadNetwork net = network::GenerateGridNetwork(6, 6, 300.0);
+  core::Rng rng(11);
+  RouteConfig rcfg;
+  rcfg.min_length = 1200;
+  rcfg.max_length = 2500;
+  RouteSampler sampler(&net, rcfg);
+  const auto route = sampler.SampleRoute(&rng);
+  ASSERT_FALSE(route.empty());
+  SamplingConfig scfg;
+  Drive drive(&net, route, scfg.speed_factor_lo, scfg.speed_factor_hi, &rng);
+
+  const traj::Trajectory gps = SampleGps(drive, scfg, &rng);
+  core::Rng tower_rng(12);
+  TowerPlacementConfig tcfg;
+  const std::vector<Tower> towers = PlaceTowers(net.Bounds(), tcfg, &tower_rng);
+  core::Rng deploy(13);
+  RadioModel radio(&towers, RadioConfig{}, &deploy);
+  const traj::Trajectory cell = SampleCellular(drive, radio, towers, scfg, &rng);
+
+  EXPECT_GT(gps.size(), cell.size());
+  // Every cellular point caries a valid tower and the tower's position.
+  for (const auto& p : cell.points) {
+    ASSERT_GE(p.tower, 0);
+    ASSERT_LT(p.tower, static_cast<int>(towers.size()));
+    EXPECT_DOUBLE_EQ(p.pos.x, towers[p.tower].pos.x);
+  }
+}
+
+TEST(DatasetTest, BuildSmallDatasetEndToEnd) {
+  DatasetConfig cfg = XiamenSPreset();
+  cfg.num_train = 12;
+  cfg.num_val = 4;
+  cfg.num_test = 6;
+  const Dataset ds = BuildDataset(cfg);
+  EXPECT_EQ(static_cast<int>(ds.train.size()), 12);
+  EXPECT_EQ(static_cast<int>(ds.val.size()), 4);
+  EXPECT_EQ(static_cast<int>(ds.test.size()), 6);
+  for (const auto& mt : ds.train) {
+    EXPECT_TRUE(network::IsConnectedPath(ds.network, mt.truth_path));
+    EXPECT_GE(mt.cellular.size(), 5);
+    EXPECT_GT(mt.gps.size(), mt.cellular.size());
+  }
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_GT(stats.mean_positioning_error_m, 150.0);
+  EXPECT_LT(stats.mean_positioning_error_m, 1500.0);
+  EXPECT_GT(stats.avg_cell_interval_s, 5.0);
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  DatasetConfig cfg = XiamenSPreset();
+  cfg.num_train = 5;
+  cfg.num_val = 2;
+  cfg.num_test = 3;
+  const Dataset a = BuildDataset(cfg);
+  const Dataset b = BuildDataset(cfg);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(a.train[i].truth_path.size(), b.train[i].truth_path.size());
+    EXPECT_EQ(a.train[i].truth_path, b.train[i].truth_path);
+    ASSERT_EQ(a.train[i].cellular.size(), b.train[i].cellular.size());
+    for (int p = 0; p < a.train[i].cellular.size(); ++p) {
+      EXPECT_EQ(a.train[i].cellular[p].tower, b.train[i].cellular[p].tower);
+    }
+  }
+}
+
+TEST(DatasetTest, CentroidRadiusWithinCity) {
+  DatasetConfig cfg = XiamenSPreset();
+  cfg.num_train = 3;
+  cfg.num_val = 1;
+  cfg.num_test = 2;
+  const Dataset ds = BuildDataset(cfg);
+  const double half_diag = std::hypot(ds.network.Bounds().Width(),
+                                      ds.network.Bounds().Height()) / 2.0;
+  for (const auto& mt : ds.test) {
+    const double r = CentroidRadius(ds.network, mt);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, half_diag);
+  }
+}
+
+}  // namespace
+}  // namespace lhmm::sim

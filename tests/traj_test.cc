@@ -1,0 +1,192 @@
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "traj/filters.h"
+#include "traj/simplify.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::traj {
+namespace {
+
+Trajectory MakeLine(int n, double spacing_m, double interval_s) {
+  Trajectory t;
+  for (int i = 0; i < n; ++i) {
+    TrajPoint p;
+    p.pos = {i * spacing_m, 0.0};
+    p.t = i * interval_s;
+    p.tower = i;  // Distinct towers by default.
+    t.points.push_back(p);
+  }
+  return t;
+}
+
+TEST(TrajectoryTest, Stats) {
+  const Trajectory t = MakeLine(5, 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.DurationSeconds(), 40.0);
+  EXPECT_DOUBLE_EQ(t.PathLength(), 400.0);
+  EXPECT_DOUBLE_EQ(t.MeanSamplingIntervalSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(t.MaxSamplingIntervalSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(t.MeanSamplingDistanceMeters(), 100.0);
+  EXPECT_DOUBLE_EQ(t.MedianSamplingDistanceMeters(), 100.0);
+}
+
+TEST(TrajectoryTest, EmptyAndSingleton) {
+  Trajectory t;
+  EXPECT_DOUBLE_EQ(t.DurationSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(t.PathLength(), 0.0);
+  t.points.push_back({{1, 2}, 5.0, 0});
+  EXPECT_DOUBLE_EQ(t.MeanSamplingIntervalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(t.MedianSamplingDistanceMeters(), 0.0);
+}
+
+TEST(SpeedFilterTest, DropsImpossibleJumps) {
+  Trajectory t = MakeLine(5, 100.0, 10.0);
+  // Insert a 5 km jump at index 2 (implied speed 500 m/s).
+  t.points[2].pos = {5000.0, 0.0};
+  FilterConfig cfg;
+  cfg.max_speed = 170.0;
+  const Trajectory out = SpeedFilter(t, cfg);
+  EXPECT_EQ(out.size(), 4);
+  for (const TrajPoint& p : out.points) {
+    EXPECT_LT(p.pos.x, 4900.0);
+  }
+}
+
+TEST(SpeedFilterTest, DropsNonMonotonicTimestamps) {
+  Trajectory t = MakeLine(4, 100.0, 10.0);
+  t.points[2].t = t.points[1].t;  // Duplicate timestamp.
+  FilterConfig cfg;
+  const Trajectory out = SpeedFilter(t, cfg);
+  EXPECT_EQ(out.size(), 3);
+}
+
+TEST(AlphaTrimmedTest, MedianOfThreeKillsSingleSpike) {
+  Trajectory t = MakeLine(7, 100.0, 10.0);
+  t.points[3].pos = {300.0, 2000.0};  // Lone spike off to the side.
+  FilterConfig cfg;  // Defaults: window 1, alpha 1 -> median of three.
+  const Trajectory out = AlphaTrimmedMeanFilter(t, cfg);
+  EXPECT_NEAR(out.points[3].pos.y, 0.0, 1e-9);
+}
+
+TEST(AlphaTrimmedTest, PersistentAttachmentSurvives) {
+  Trajectory t = MakeLine(8, 100.0, 10.0);
+  t.points[3].pos = {320.0, 1500.0};
+  t.points[4].pos = {330.0, 1500.0};  // Two samples on the same macro tower.
+  FilterConfig cfg;
+  const Trajectory out = AlphaTrimmedMeanFilter(t, cfg);
+  // Median-of-three keeps at least one of the pair at full displacement.
+  EXPECT_GT(std::max(out.points[3].pos.y, out.points[4].pos.y), 1000.0);
+}
+
+TEST(DirectionFilterTest, DropsPingPong) {
+  Trajectory t = MakeLine(6, 200.0, 10.0);
+  // Ping-pong: out 1.5 km sideways and straight back.
+  t.points[3].pos = {600.0, 1500.0};
+  FilterConfig cfg;
+  const Trajectory out = DirectionFilter(t, cfg);
+  EXPECT_EQ(out.size(), 5);
+  for (const TrajPoint& p : out.points) {
+    EXPECT_LT(p.pos.y, 100.0);
+  }
+}
+
+TEST(DirectionFilterTest, KeepsGenuineTurns) {
+  // A right-angle turn with ordinary hop lengths must be preserved.
+  Trajectory t;
+  for (int i = 0; i < 4; ++i) t.points.push_back({{i * 200.0, 0.0}, i * 10.0, i});
+  for (int i = 1; i < 4; ++i) {
+    t.points.push_back({{600.0, i * 200.0}, (3 + i) * 10.0, 4 + i});
+  }
+  FilterConfig cfg;
+  const Trajectory out = DirectionFilter(t, cfg);
+  EXPECT_EQ(out.size(), t.size());
+}
+
+TEST(DeduplicateTest, CollapsesConsecutiveSameTower) {
+  Trajectory t = MakeLine(6, 100.0, 10.0);
+  t.points[2].tower = 1;
+  t.points[3].tower = 1;
+  t.points[1].tower = 1;
+  const Trajectory out = DeduplicateTowers(t);
+  EXPECT_EQ(out.size(), 4);  // 0, 1(first of run), 4, 5.
+  EXPECT_DOUBLE_EQ(out.points[1].t, 10.0);
+}
+
+TEST(ResampleTest, EnforcesMinimumGap) {
+  const Trajectory t = MakeLine(20, 100.0, 10.0);  // 10 s between samples.
+  const Trajectory out = Resample(t, 2.0);         // 2 per minute = 30 s gap.
+  ASSERT_GE(out.size(), 2);
+  for (int i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].t - out[i - 1].t, 30.0 - 1e-9);
+  }
+  // Rate >= original keeps everything.
+  EXPECT_EQ(Resample(t, 6.0).size(), t.size());
+}
+
+class ResampleRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResampleRateTest, GapRespectsRate) {
+  const Trajectory t = MakeLine(60, 80.0, 7.0);
+  const double rate = GetParam();
+  const Trajectory out = Resample(t, rate);
+  for (int i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].t - out[i - 1].t, 60.0 / rate - 1e-9);
+  }
+  EXPECT_GE(out.size(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ResampleRateTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4));
+
+TEST(SimplifyTest, DouglasPeuckerKeepsShapePoints) {
+  Trajectory t;
+  // An L shape with collinear interior points.
+  for (int i = 0; i <= 4; ++i) t.points.push_back({{i * 100.0, 0.0}, i * 10.0, i});
+  for (int i = 1; i <= 4; ++i) {
+    t.points.push_back({{400.0, i * 100.0}, (4 + i) * 10.0, 4 + i});
+  }
+  const Trajectory out = Simplify(t, 1.0);
+  ASSERT_EQ(out.size(), 3);  // Two endpoints + the corner.
+  EXPECT_DOUBLE_EQ(out.points[1].pos.x, 400.0);
+  EXPECT_DOUBLE_EQ(out.points[1].pos.y, 0.0);
+}
+
+TEST(SimplifyTest, EpsilonControlsDetail) {
+  Trajectory t;
+  core::Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    t.points.push_back({{i * 50.0, rng.Normal(0.0, 20.0)}, i * 5.0, i});
+  }
+  const Trajectory coarse = Simplify(t, 100.0);
+  const Trajectory fine = Simplify(t, 5.0);
+  EXPECT_LT(coarse.size(), fine.size());
+  EXPECT_LE(fine.size(), t.size());
+  // Endpoints always preserved.
+  EXPECT_DOUBLE_EQ(coarse.points.front().t, t.points.front().t);
+  EXPECT_DOUBLE_EQ(coarse.points.back().t, t.points.back().t);
+}
+
+TEST(SimplifyTest, ThinByDistanceEnforcesGap) {
+  const Trajectory t = MakeLine(30, 40.0, 5.0);
+  const Trajectory out = ThinByDistance(t, 100.0);
+  for (int i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_GE(geo::Distance(out[i].pos, out[i - 1].pos), 100.0 - 1e-9);
+  }
+  // Last point kept.
+  EXPECT_DOUBLE_EQ(out.points.back().t, t.points.back().t);
+}
+
+TEST(PreprocessTest, PipelineIsStableOnCleanData) {
+  const Trajectory t = MakeLine(10, 150.0, 12.0);
+  FilterConfig cfg;
+  const Trajectory out = PreprocessCellular(t, cfg);
+  EXPECT_EQ(out.size(), t.size());
+  for (int i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i].pos.y, 0.0, 1e-9);
+    EXPECT_EQ(out[i].tower, t[i].tower);
+  }
+}
+
+}  // namespace
+}  // namespace lhmm::traj

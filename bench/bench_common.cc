@@ -1,10 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "core/logging.h"
 #include "core/stopwatch.h"
+#include "core/thread_pool.h"
 
 namespace lhmm::bench {
 
@@ -133,6 +136,75 @@ hmm::EngineConfig BaselineEngineConfig() {
   hmm::EngineConfig cfg;
   cfg.k = 45;
   return cfg;
+}
+
+int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const int n = std::atoi(arg + 10);
+      if (n >= 1) return n;
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n >= 1) return n;
+    }
+  }
+  return core::ThreadPool::DefaultThreadCount();
+}
+
+matchers::MatcherFactory Seq2SeqFactory(
+    const Env& env,
+    std::unique_ptr<matchers::Seq2SeqMatcher> (*maker)(const network::RoadNetwork*,
+                                                       const network::GridIndex*,
+                                                       int, uint64_t),
+    const std::string& tag) {
+  // Train (or load) once so the weight cache exists, then let every worker
+  // clone restore the identical weights from disk.
+  (void)GetSeq2Seq(env, maker, tag);
+  const std::string path = std::string(kCacheDir) + "/" + env.ds.name + "_" + tag +
+                           (FastMode() ? "_fast" : "") + ".model";
+  const network::RoadNetwork* net = env.net();
+  const network::GridIndex* index = env.index.get();
+  const int num_towers = env.num_towers();
+  const std::vector<traj::MatchedTrajectory>* train = &env.ds.train;
+  return [path, maker, net, index, num_towers, train]()
+             -> std::unique_ptr<matchers::MapMatcher> {
+    std::unique_ptr<matchers::Seq2SeqMatcher> clone =
+        maker(net, index, num_towers, 77);
+    if (!clone->Load(path).ok()) {
+      // Weight cache unavailable (e.g. unwritable disk): retrain the clone.
+      // Training is deterministic (fixed seed), so clones stay identical.
+      fprintf(stderr,
+              "[bench] warning: %s: cannot load cached weights; worker clone "
+              "retrains\n",
+              path.c_str());
+      traj::FilterConfig filters;
+      clone->Train(*train, filters);
+    }
+    return clone;
+  };
+}
+
+core::Status WriteTimingsJson(const std::string& path, const std::string& dataset,
+                              int threads,
+                              const std::vector<MatcherTiming>& timings) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return core::Status::IoError("cannot open " + path);
+  }
+  std::fprintf(f, "{\n  \"dataset\": \"%s\",\n  \"threads\": %d,\n  \"matchers\": [\n",
+               dataset.c_str(), threads);
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const MatcherTiming& t = timings[i];
+    std::fprintf(f,
+                 "    {\"matcher\": \"%s\", \"wall_s\": %.4f, \"work_s\": %.4f, "
+                 "\"speedup\": %.2f}%s\n",
+                 t.matcher.c_str(), t.wall_s, t.work_s, t.speedup,
+                 i + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return core::Status::Ok();
 }
 
 }  // namespace lhmm::bench

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "lhmm/lhmm_matcher.h"
 #include "lhmm/trainer.h"
+#include "matchers/batch_matcher.h"
 #include "matchers/classic_matchers.h"
 #include "matchers/ivmm.h"
 #include "matchers/seq2seq.h"
@@ -59,6 +61,37 @@ hmm::ClassicModelConfig CtmmModelConfig();
 
 /// Engine configuration for the classical baselines (k = 45 per V-A2).
 hmm::EngineConfig BaselineEngineConfig();
+
+/// Parses `--threads=N` (or `--threads N`) from argv. Returns
+/// core::ThreadPool::DefaultThreadCount() when absent, so every bench runs
+/// parallel by default and `--threads=1` reproduces the serial path.
+int ThreadsFromArgs(int argc, char** argv);
+
+/// Ensures a trained seq2seq model for `tag` is cached on disk (training it
+/// once if needed) and returns a factory producing independent worker clones
+/// that load the cached weights.
+matchers::MatcherFactory Seq2SeqFactory(
+    const Env& env,
+    std::unique_ptr<matchers::Seq2SeqMatcher> (*maker)(const network::RoadNetwork*,
+                                                       const network::GridIndex*,
+                                                       int, uint64_t),
+    const std::string& tag);
+
+/// Per-matcher wall-clock accounting of one batch evaluation, for the bench
+/// JSON report.
+struct MatcherTiming {
+  std::string matcher;
+  double wall_s = 0.0;  ///< Batch wall-clock.
+  double work_s = 0.0;  ///< Sum of per-trajectory match times (serial cost).
+  double speedup = 0.0; ///< work_s / wall_s.
+};
+
+/// Writes bench_out JSON with the thread count and per-matcher speedups:
+/// {"dataset": ..., "threads": N, "matchers": [{"matcher": ..., "wall_s": ...,
+///  "work_s": ..., "speedup": ...}, ...]}.
+core::Status WriteTimingsJson(const std::string& path, const std::string& dataset,
+                              int threads,
+                              const std::vector<MatcherTiming>& timings);
 
 }  // namespace lhmm::bench
 

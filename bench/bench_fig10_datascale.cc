@@ -44,7 +44,7 @@ std::vector<traj::MatchedTrajectory> CapPerTower(
 }
 
 double EvalCmf(const bench::Env& env, const std::vector<traj::MatchedTrajectory>& train,
-               const std::string& tag, int num_seeds) {
+               const std::string& tag, int num_seeds, int threads) {
   L::TrainInputs inputs;
   inputs.net = env.net();
   inputs.index = env.index.get();
@@ -67,18 +67,33 @@ double EvalCmf(const bench::Env& env, const std::vector<traj::MatchedTrajectory>
     std::shared_ptr<L::LhmmModel> model = L::TrainLhmm(inputs, cfg);
     fprintf(stderr, "[bench] %s seed %d trained on %zu trajectories in %.1f s\n",
             tag.c_str(), seed, train.size(), watch.ElapsedSeconds());
-    L::LhmmMatcher matcher(env.net(), env.index.get(), model);
+    // Evaluation parallelizes across test trajectories: every worker clones a
+    // matcher around the shared (const at inference) model and they all share
+    // one thread-safe route cache.
+    const network::RoadNetwork* net = env.net();
+    const network::GridIndex* index = env.index.get();
+    network::CachedRouter shared_cache(net);
+    matchers::BatchConfig batch_config;
+    batch_config.num_threads = threads;
+    batch_config.shared_router = &shared_cache;
+    matchers::BatchMatcher batch(
+        [net, index, model] {
+          return std::make_unique<L::LhmmMatcher>(net, index, model);
+        },
+        batch_config);
     traj::FilterConfig filters;
     cmf_sum +=
-        eval::EvaluateMatcher(&matcher, env.ds.network, env.ds.test, filters).cmf50;
+        eval::EvaluateMatcherParallel(&batch, env.ds.network, env.ds.test, filters)
+            .cmf50;
   }
   return cmf_sum / kSeeds;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::filesystem::create_directories("bench_out");
+  const int threads = bench::ThreadsFromArgs(argc, argv);
   bench::Env env = bench::MakeEnv("Xiamen-S");
 
   // ---- (a) Per-tower history cap. ----
@@ -89,7 +104,8 @@ int main() {
   for (int cap : {2, 5, 10, 20, 40}) {
     const auto train = CapPerTower(env.ds.train, cap);
     // Two seeds: small per-tower caps are the noisiest settings.
-    const double cmf = EvalCmf(env, train, core::StrFormat("cap=%d", cap), 2);
+    const double cmf =
+        EvalCmf(env, train, core::StrFormat("cap=%d", cap), 2, threads);
     table_a.AddRow({core::StrFormat("%d", cap),
                     core::StrFormat("%zu", train.size()), eval::Fmt(cmf)});
     csv_a.AddRow({core::StrFormat("%d", cap), core::StrFormat("%zu", train.size()),
@@ -108,7 +124,8 @@ int main() {
         env.ds.train.begin(),
         env.ds.train.begin() +
             static_cast<size_t>(frac * static_cast<double>(env.ds.train.size())));
-    const double cmf = EvalCmf(env, train, core::StrFormat("frac=%.3f", frac), 1);
+    const double cmf =
+        EvalCmf(env, train, core::StrFormat("frac=%.3f", frac), 1, threads);
     table_b.AddRow({eval::Fmt(frac, 3), core::StrFormat("%zu", train.size()),
                     eval::Fmt(cmf)});
     csv_b.AddRow({eval::Fmt(frac, 3), core::StrFormat("%zu", train.size()),

@@ -1,7 +1,9 @@
 // Reproduces Table II (overall performance): precision, recall, RMF, CMF50
 // and average matching time for the six GPS-designed baselines, the four
-// CTMM baselines, and LHMM, on both datasets. Also writes
-// bench_out/table2_<dataset>.csv.
+// CTMM baselines, and LHMM, on both datasets. Matching runs through the
+// parallel BatchMatcher (--threads=N, default hardware_concurrency; accuracy
+// metrics are thread-count invariant). Writes bench_out/table2_<dataset>.csv
+// and per-matcher wall-clock speedups to bench_out/table2_<dataset>.json.
 
 #include <filesystem>
 #include <memory>
@@ -17,70 +19,110 @@ namespace L = ::lhmm::lhmm;
 
 namespace {
 
-void RunDataset(const std::string& name) {
+void RunDataset(const std::string& name, int threads) {
   bench::Env env = bench::MakeEnv(name);
   const hmm::ClassicModelConfig gps = bench::GpsModelConfig();
   const hmm::ClassicModelConfig ctmm = bench::CtmmModelConfig();
   const hmm::EngineConfig engine = bench::BaselineEngineConfig();
+  const network::RoadNetwork* net = env.net();
+  const network::GridIndex* index = env.index.get();
 
   struct Row {
     std::string group;
-    std::unique_ptr<matchers::MapMatcher> matcher;
+    matchers::MatcherFactory factory;
   };
   std::vector<Row> rows;
   // --- GPS-designed baselines. ---
-  rows.push_back({"GPS", std::make_unique<matchers::StmMatcher>(
-                             env.net(), env.index.get(), gps, engine)});
-  rows.push_back({"GPS", std::make_unique<matchers::IvmmMatcher>(
-                             env.net(), env.index.get(), gps, engine.k)});
-  rows.push_back({"GPS", std::make_unique<matchers::IfmMatcher>(
-                             env.net(), env.index.get(), gps, engine)});
-  rows.push_back(
-      {"GPS", bench::GetSeq2Seq(env, &matchers::MakeDeepMm, "deepmm")});
-  rows.push_back({"GPS", std::make_unique<matchers::McmMatcher>(
-                             env.net(), env.index.get(), gps, engine)});
-  rows.push_back(
-      {"GPS", bench::GetSeq2Seq(env, &matchers::MakeTransformerMm, "tmm")});
+  rows.push_back({"GPS", [=] {
+                    return std::make_unique<matchers::StmMatcher>(net, index, gps,
+                                                                  engine);
+                  }});
+  rows.push_back({"GPS", [=] {
+                    return std::make_unique<matchers::IvmmMatcher>(net, index, gps,
+                                                                   engine.k);
+                  }});
+  rows.push_back({"GPS", [=] {
+                    return std::make_unique<matchers::IfmMatcher>(net, index, gps,
+                                                                  engine);
+                  }});
+  rows.push_back({"GPS", bench::Seq2SeqFactory(env, &matchers::MakeDeepMm, "deepmm")});
+  rows.push_back({"GPS", [=] {
+                    return std::make_unique<matchers::McmMatcher>(net, index, gps,
+                                                                  engine);
+                  }});
+  rows.push_back({"GPS", bench::Seq2SeqFactory(env, &matchers::MakeTransformerMm, "tmm")});
   // --- CTMM baselines. ---
-  rows.push_back({"CTMM", std::make_unique<matchers::ClstersMatcher>(
-                              env.net(), env.index.get(), ctmm, engine)});
-  rows.push_back({"CTMM", std::make_unique<matchers::SnetMatcher>(
-                              env.net(), env.index.get(), ctmm, engine)});
-  rows.push_back({"CTMM", std::make_unique<matchers::ThmmMatcher>(
-                              env.net(), env.index.get(), ctmm, engine)});
-  rows.push_back({"CTMM", bench::GetSeq2Seq(env, &matchers::MakeDmm, "dmm")});
+  rows.push_back({"CTMM", [=] {
+                    return std::make_unique<matchers::ClstersMatcher>(net, index,
+                                                                      ctmm, engine);
+                  }});
+  rows.push_back({"CTMM", [=] {
+                    return std::make_unique<matchers::SnetMatcher>(net, index, ctmm,
+                                                                   engine);
+                  }});
+  rows.push_back({"CTMM", [=] {
+                    return std::make_unique<matchers::ThmmMatcher>(net, index, ctmm,
+                                                                   engine);
+                  }});
+  rows.push_back({"CTMM", bench::Seq2SeqFactory(env, &matchers::MakeDmm, "dmm")});
   // --- LHMM. ---
   std::shared_ptr<L::LhmmModel> model =
       bench::GetLhmmModel(env, bench::DefaultLhmmConfig(), "lhmm");
-  rows.push_back({"Ours", std::make_unique<L::LhmmMatcher>(
-                              env.net(), env.index.get(), model)});
+  rows.push_back({"Ours", [=] {
+                    return std::make_unique<L::LhmmMatcher>(net, index, model);
+                  }});
 
-  printf("\n=== Table II (%s) ===\n", name.c_str());
+  printf("\n=== Table II (%s, %d thread%s) ===\n", name.c_str(), threads,
+         threads == 1 ? "" : "s");
   traj::FilterConfig filters;
   eval::TextTable table({"group", "matcher", "precision", "recall", "RMF", "CMF50",
-                         "avg time (s)"});
+                         "avg time (s)", "speedup"});
   core::CsvWriter csv("bench_out/table2_" + name + ".csv");
   csv.AddRow({"group", "matcher", "precision", "recall", "rmf", "cmf50",
-              "avg_time_s"});
+              "avg_time_s", "wall_s", "speedup"});
   std::vector<std::vector<eval::TrajectoryEval>> all_records;
   std::vector<std::string> names;
+  std::vector<bench::MatcherTiming> timings;
   for (Row& row : rows) {
-    std::vector<eval::TrajectoryEval> records = eval::EvaluatePerTrajectory(
-        row.matcher.get(), env.ds.network, env.ds.test, filters);
-    const eval::EvalSummary s = eval::Summarize(
-        records, row.matcher->name(), row.matcher->ProvidesCandidates());
+    // One thread-safe route cache per matcher family, shared by its workers,
+    // so shortest paths amortize across threads like they do serially.
+    network::CachedRouter shared_cache(env.net());
+    matchers::BatchConfig batch_config;
+    batch_config.num_threads = threads;
+    batch_config.shared_router = &shared_cache;
+    matchers::BatchMatcher batch(row.factory, batch_config);
+    std::vector<eval::TrajectoryEval> records = eval::EvaluatePerTrajectoryParallel(
+        &batch, env.ds.network, env.ds.test, filters);
+    const eval::EvalSummary s = eval::Summarize(records, batch.name(),
+                                                batch.provides_candidates());
+    bench::MatcherTiming timing;
+    timing.matcher = s.matcher;
+    timing.wall_s = batch.last_stats().wall_s;
+    for (const eval::TrajectoryEval& r : records) timing.work_s += r.time_s;
+    timing.speedup = timing.wall_s > 0.0 ? timing.work_s / timing.wall_s : 0.0;
+    timings.push_back(timing);
     table.AddRow({row.group, s.matcher, eval::Fmt(s.precision),
                   eval::Fmt(s.recall), eval::Fmt(s.rmf), eval::Fmt(s.cmf50),
-                  eval::Fmt(s.avg_time_s, 4)});
+                  eval::Fmt(s.avg_time_s, 4), eval::Fmt(timing.speedup, 2)});
     csv.AddRow({row.group, s.matcher, eval::Fmt(s.precision), eval::Fmt(s.recall),
-                eval::Fmt(s.rmf), eval::Fmt(s.cmf50), eval::Fmt(s.avg_time_s, 4)});
+                eval::Fmt(s.rmf), eval::Fmt(s.cmf50), eval::Fmt(s.avg_time_s, 4),
+                eval::Fmt(timing.wall_s, 4), eval::Fmt(timing.speedup, 2)});
     all_records.push_back(std::move(records));
     names.push_back(s.matcher);
-    fprintf(stderr, "[bench] %s done\n", s.matcher.c_str());
+    fprintf(stderr, "[bench] %s done (%.1fs wall, %.2fx speedup, cache %lld/%lld"
+            " hit/miss)\n",
+            s.matcher.c_str(), timing.wall_s, timing.speedup,
+            static_cast<long long>(shared_cache.hits()),
+            static_cast<long long>(shared_cache.misses()));
   }
   table.Print();
   if (!csv.Flush().ok()) {
     fprintf(stderr, "[bench] warning: could not write CSV\n");
+  }
+  if (!bench::WriteTimingsJson("bench_out/table2_" + name + ".json", name, threads,
+                               timings)
+           .ok()) {
+    fprintf(stderr, "[bench] warning: could not write JSON\n");
   }
 
   // Paired-bootstrap significance of the LHMM improvement (last row) over
@@ -101,10 +143,11 @@ void RunDataset(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::filesystem::create_directories("bench_out");
-  RunDataset("Hangzhou-S");
-  RunDataset("Xiamen-S");
+  const int threads = bench::ThreadsFromArgs(argc, argv);
+  RunDataset("Hangzhou-S", threads);
+  RunDataset("Xiamen-S", threads);
   printf(
       "\nPaper shapes to compare (Table II): CTMM-tailored beat GPS-designed;"
       "\nDMM is the strongest baseline; LHMM wins every metric with the lowest"

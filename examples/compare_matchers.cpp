@@ -1,24 +1,37 @@
 // Compares several classical HMM map-matchers on a synthetic cellular
-// dataset. This example exercises the simulator, the shared HMM engine, and
-// the evaluation metrics without any learned components; see quickstart.cpp
-// for the LHMM workflow.
+// dataset. This example exercises the simulator, the shared HMM engine, the
+// parallel BatchMatcher, and the evaluation metrics without any learned
+// components; see quickstart.cpp for the LHMM workflow.
 //
-// Usage: compare_matchers [num_test_trajectories]
+// Usage: compare_matchers [num_test_trajectories] [--threads=N]
 
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "eval/evaluator.h"
 #include "eval/report.h"
+#include "matchers/batch_matcher.h"
 #include "matchers/classic_matchers.h"
 #include "network/grid_index.h"
+#include "network/path_cache.h"
 #include "sim/dataset.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): example code.
 
 int main(int argc, char** argv) {
-  int num_test = argc > 1 ? std::atoi(argv[1]) : 60;
+  int num_test = 60;
+  int threads = core::ThreadPool::DefaultThreadCount();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::max(1, std::atoi(arg.c_str() + 10));
+    } else {
+      num_test = std::atoi(arg.c_str());
+    }
+  }
 
   // A scaled-down city keeps this example fast; presets in sim/dataset.h give
   // the full benchmark configuration.
@@ -34,36 +47,52 @@ int main(int argc, char** argv) {
          stats.mean_positioning_error_m);
 
   network::GridIndex index(&ds.network, 300.0);
+  const network::RoadNetwork* net = &ds.network;
+  const network::GridIndex* idx = &index;
   hmm::ClassicModelConfig models;
   hmm::EngineConfig engine;
   engine.k = 45;
-
-  std::vector<std::unique_ptr<matchers::MapMatcher>> all;
-  all.push_back(
-      std::make_unique<matchers::StmMatcher>(&ds.network, &index, models, engine));
-  all.push_back(
-      std::make_unique<matchers::McmMatcher>(&ds.network, &index, models, engine));
-  all.push_back(
-      std::make_unique<matchers::ThmmMatcher>(&ds.network, &index, models, engine));
   hmm::EngineConfig with_shortcut = engine;
   with_shortcut.use_shortcuts = true;
-  all.push_back(std::make_unique<matchers::StmMatcher>(&ds.network, &index, models,
-                                                       with_shortcut));
 
+  // Matchers are described by factories: the BatchMatcher clones one instance
+  // per worker thread, so each worker owns its own engine and routing state.
+  std::vector<matchers::MatcherFactory> all;
+  all.push_back([=] {
+    return std::make_unique<matchers::StmMatcher>(net, idx, models, engine);
+  });
+  all.push_back([=] {
+    return std::make_unique<matchers::McmMatcher>(net, idx, models, engine);
+  });
+  all.push_back([=] {
+    return std::make_unique<matchers::ThmmMatcher>(net, idx, models, engine);
+  });
+  all.push_back([=] {
+    return std::make_unique<matchers::StmMatcher>(net, idx, models, with_shortcut);
+  });
+
+  printf("Matching with %d thread%s ...\n", threads, threads == 1 ? "" : "s");
   traj::FilterConfig filters;
-  eval::TextTable table(
-      {"matcher", "precision", "recall", "RMF", "CMF50", "HR", "avg time (s)"});
-  for (auto& matcher : all) {
+  eval::TextTable table({"matcher", "precision", "recall", "RMF", "CMF50", "HR",
+                         "avg time (s)", "speedup"});
+  for (size_t i = 0; i < all.size(); ++i) {
+    // Workers share one thread-safe route cache; results are byte-identical
+    // to a serial run for any thread count.
+    network::CachedRouter shared_cache(net);
+    matchers::BatchConfig batch_config;
+    batch_config.num_threads = threads;
+    batch_config.shared_router = &shared_cache;
+    matchers::BatchMatcher batch(all[i], batch_config);
     const eval::EvalSummary s =
-        eval::EvaluateMatcher(matcher.get(), ds.network, ds.test, filters);
-    table.AddRow({s.matcher, eval::Fmt(s.precision), eval::Fmt(s.recall),
-                  eval::Fmt(s.rmf), eval::Fmt(s.cmf50), eval::Fmt(s.hitting_ratio),
-                  eval::Fmt(s.avg_time_s, 4)});
-    printf("  %s done (%lld shortcut improvements)\n", s.matcher.c_str(),
-           static_cast<long long>(
-               static_cast<matchers::HmmMatcherBase*>(matcher.get())
-                   ->engine()
-                   ->shortcuts_applied()));
+        eval::EvaluateMatcherParallel(&batch, ds.network, ds.test, filters);
+    const matchers::BatchStats& bs = batch.last_stats();
+    table.AddRow({s.matcher + (i + 1 == all.size() ? " (+shortcuts)" : ""),
+                  eval::Fmt(s.precision), eval::Fmt(s.recall), eval::Fmt(s.rmf),
+                  eval::Fmt(s.cmf50), eval::Fmt(s.hitting_ratio),
+                  eval::Fmt(s.avg_time_s, 4), eval::Fmt(bs.Speedup(), 2)});
+    printf("  %s done (%.2f s wall, cache %lld hits / %lld misses)\n",
+           s.matcher.c_str(), bs.wall_s, static_cast<long long>(shared_cache.hits()),
+           static_cast<long long>(shared_cache.misses()));
   }
   printf("\n");
   table.Print();

@@ -1,0 +1,86 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace lhmm::core {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("LHMM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(int num_threads, int64_t n,
+                 const std::function<void(int, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (num_threads < 1) num_threads = 1;
+  if (num_threads == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  ThreadPool pool(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    pool.Submit([w, n, &next, &fn] {
+      for (int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(w, i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace lhmm::core

@@ -1,0 +1,63 @@
+#ifndef LHMM_CORE_THREAD_POOL_H_
+#define LHMM_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lhmm::core {
+
+/// A fixed pool of worker threads over a single shared FIFO queue (no work
+/// stealing). Tasks must not throw. The pool is the substrate of the batch
+/// matching engine and of any future serving layer: construct once, Submit
+/// many tasks, Wait for quiescence, reuse.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Thread safe; may be called from inside a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished (queue empty and all
+  /// workers idle). The pool is reusable afterwards.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Default worker count: the LHMM_THREADS environment variable when set,
+  /// otherwise std::thread::hardware_concurrency() (at least 1).
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Signals workers: task ready / stop.
+  std::condition_variable idle_cv_;  ///< Signals Wait(): pool drained.
+  int64_t in_flight_ = 0;            ///< Queued + currently running tasks.
+  bool stop_ = false;
+};
+
+/// Runs fn(worker_id, index) for every index in [0, n), spread over
+/// `num_threads` workers pulling indices from a shared counter. Each index is
+/// processed exactly once; which worker gets which index is load-dependent,
+/// so fn must only rely on per-worker or per-index state. Blocks until done.
+void ParallelFor(int num_threads, int64_t n,
+                 const std::function<void(int worker_id, int64_t index)>& fn);
+
+}  // namespace lhmm::core
+
+#endif  // LHMM_CORE_THREAD_POOL_H_

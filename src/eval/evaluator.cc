@@ -60,6 +60,41 @@ EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
   return s;
 }
 
+std::vector<TrajectoryEval> EvaluatePerTrajectoryParallel(
+    matchers::BatchMatcher* batch, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, double corridor_radius) {
+  std::vector<TrajectoryEval> out(split.size());
+  const bool has_candidates = batch->provides_candidates();
+  batch->ForEach(
+      static_cast<int64_t>(split.size()),
+      [&](matchers::MapMatcher* matcher, int64_t i) {
+        const traj::MatchedTrajectory& mt = split[i];
+        const traj::Trajectory cleaned = Preprocess(mt.cellular, filter_config);
+        core::Stopwatch watch;
+        const matchers::MatchResult result = matcher->Match(cleaned);
+        TrajectoryEval& rec = out[i];
+        rec.index = static_cast<int>(i);
+        rec.time_s = watch.ElapsedSeconds();
+        rec.metrics =
+            ComputePathMetrics(net, result.path, mt.truth_path, corridor_radius);
+        if (has_candidates) {
+          rec.hitting_ratio = HittingRatio(result.candidates, result.point_index,
+                                           cleaned.size(), mt.truth_path);
+        }
+      });
+  return out;
+}
+
+EvalSummary EvaluateMatcherParallel(
+    matchers::BatchMatcher* batch, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, double corridor_radius) {
+  return Summarize(EvaluatePerTrajectoryParallel(batch, net, split, filter_config,
+                                                 corridor_radius),
+                   batch->name(), batch->provides_candidates());
+}
+
 EvalSummary EvaluateMatcher(matchers::MapMatcher* matcher,
                             const network::RoadNetwork& net,
                             const std::vector<traj::MatchedTrajectory>& split,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "eval/metrics.h"
+#include "matchers/batch_matcher.h"
 #include "matchers/matcher.h"
 #include "traj/filters.h"
 #include "traj/trajectory.h"
@@ -55,6 +56,23 @@ std::vector<TrajectoryEval> EvaluatePerTrajectory(
 /// Macro-averages per-trajectory records into a summary.
 EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
                       const std::string& matcher_name, bool has_hr);
+
+/// Parallel counterpart of EvaluatePerTrajectory: preprocessing, matching and
+/// metric computation for each trajectory run inside `batch`'s worker pool.
+/// Records come back in input order and — because every worker owns a private
+/// matcher clone and the route cache is semantically transparent — are
+/// byte-identical to a serial run for every thread count (per-trajectory
+/// times excepted).
+std::vector<TrajectoryEval> EvaluatePerTrajectoryParallel(
+    matchers::BatchMatcher* batch, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, double corridor_radius = 50.0);
+
+/// Parallel counterpart of EvaluateMatcher.
+EvalSummary EvaluateMatcherParallel(
+    matchers::BatchMatcher* batch, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, double corridor_radius = 50.0);
 
 }  // namespace lhmm::eval
 

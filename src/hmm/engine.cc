@@ -228,11 +228,14 @@ void Engine::ShortcutPass(const traj::Trajectory& t, int s,
       if (leg1p == nullptr || leg2p == nullptr) continue;
       const double f_prime = (*f)[s - 2][j] + w1 + w2;
       if (getenv("LHMM_DEBUG_SC")) {
-        static long long total = 0, wins = 0;
-        ++total;
-        if (f_prime > (*f)[s][k2]) ++wins;
-        if (total % 5000 == 0)
-          fprintf(stderr, "SC total=%lld wins=%lld\n", total, wins);
+        // Per-instance counters: engines run concurrently in batch matching,
+        // so diagnostics must never live in shared statics.
+        ++sc_evaluated_;
+        if (f_prime > (*f)[s][k2]) ++sc_improved_;
+        if (sc_evaluated_ % 5000 == 0)
+          fprintf(stderr, "SC total=%lld wins=%lld\n",
+                  static_cast<long long>(sc_evaluated_),
+                  static_cast<long long>(sc_improved_));
       }
       if (f_prime > (*f)[s][k2]) {
         // Append the projected candidate to C_{s-1} and relink the tables.

@@ -54,7 +54,10 @@ class Engine {
   EngineConfig* mutable_config() { return &config_; }
 
   /// Number of times the shortcut pass improved a candidate's score since
-  /// construction (diagnostics; drives the Fig. 9 analysis).
+  /// construction (diagnostics; drives the Fig. 9 analysis). All diagnostics
+  /// counters are per-engine-instance — engines run concurrently in batch
+  /// matching, so callers aggregate across instances instead of reading a
+  /// shared static.
   int64_t shortcuts_applied() const { return shortcuts_applied_; }
 
   /// The plugged-in models (shared with e.g. an OnlineMatcher).
@@ -86,6 +89,8 @@ class Engine {
   TransitionModel* trans_;
   EngineConfig config_;
   int64_t shortcuts_applied_ = 0;
+  int64_t sc_evaluated_ = 0;  ///< LHMM_DEBUG_SC: shortcut scores evaluated.
+  int64_t sc_improved_ = 0;   ///< LHMM_DEBUG_SC: of those, wins over f[s][k].
 };
 
 }  // namespace lhmm::hmm

@@ -226,6 +226,13 @@ LhmmMatcher::LhmmMatcher(const network::RoadNetwork* net,
 
 LhmmMatcher::~LhmmMatcher() = default;
 
+void LhmmMatcher::UseSharedRouter(network::CachedRouter* shared) {
+  CHECK(shared != nullptr);
+  hmm::EngineConfig engine_config = engine_->config();
+  engine_ = std::make_unique<hmm::Engine>(net_, shared, obs_model_.get(),
+                                          trans_model_.get(), engine_config);
+}
+
 matchers::MatchResult LhmmMatcher::Match(const traj::Trajectory& cellular) {
   hmm::EngineResult er = engine_->Match(cellular);
   matchers::MatchResult out;

@@ -40,6 +40,10 @@ class LhmmMatcher : public matchers::MapMatcher {
   matchers::MatchResult Match(const traj::Trajectory& cellular) override;
   bool ProvidesCandidates() const override { return true; }
 
+  /// Rebuilds the engine on top of `shared`. The model stays shared (its
+  /// inference path is const); only per-trajectory state is private.
+  void UseSharedRouter(network::CachedRouter* shared) override;
+
   hmm::Engine* engine() { return engine_.get(); }
   const LhmmModel& model() const { return *model_; }
 

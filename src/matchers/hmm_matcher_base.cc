@@ -12,14 +12,25 @@ HmmMatcherBase::HmmMatcherBase(const network::RoadNetwork* net,
   CHECK(index != nullptr);
   router_ = std::make_unique<network::SegmentRouter>(net);
   cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+  active_router_ = cached_router_.get();
 }
 
 void HmmMatcherBase::Init(std::unique_ptr<hmm::ObservationModel> obs,
                           std::unique_ptr<hmm::TransitionModel> trans) {
   obs_ = std::move(obs);
   trans_ = std::move(trans);
-  engine_ = std::make_unique<hmm::Engine>(net_, cached_router_.get(), obs_.get(),
+  engine_ = std::make_unique<hmm::Engine>(net_, active_router_, obs_.get(),
                                           trans_.get(), config_);
+}
+
+void HmmMatcherBase::UseSharedRouter(network::CachedRouter* shared) {
+  CHECK(shared != nullptr);
+  active_router_ = shared;
+  if (engine_ != nullptr) {
+    // The engine only holds pointers; rebuilding it swaps the router in.
+    engine_ = std::make_unique<hmm::Engine>(net_, active_router_, obs_.get(),
+                                            trans_.get(), config_);
+  }
 }
 
 MatchResult HmmMatcherBase::Match(const traj::Trajectory& cellular) {

@@ -23,6 +23,10 @@ class HmmMatcherBase : public MapMatcher {
   MatchResult Match(const traj::Trajectory& cellular) override;
   bool ProvidesCandidates() const override { return true; }
 
+  /// Rebuilds the engine on top of `shared`; the private cache is kept
+  /// allocated but no longer consulted.
+  void UseSharedRouter(network::CachedRouter* shared) override;
+
   hmm::Engine* engine() { return engine_.get(); }
 
  protected:
@@ -39,6 +43,7 @@ class HmmMatcherBase : public MapMatcher {
   hmm::EngineConfig config_;
   std::unique_ptr<network::SegmentRouter> router_;
   std::unique_ptr<network::CachedRouter> cached_router_;
+  network::CachedRouter* active_router_ = nullptr;  ///< cached_router_ or shared.
   std::unique_ptr<hmm::ObservationModel> obs_;
   std::unique_ptr<hmm::TransitionModel> trans_;
   std::unique_ptr<hmm::Engine> engine_;

@@ -19,7 +19,13 @@ IvmmMatcher::IvmmMatcher(const network::RoadNetwork* net,
   CHECK(net != nullptr);
   router_ = std::make_unique<network::SegmentRouter>(net);
   cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+  active_router_ = cached_router_.get();
   obs_ = std::make_unique<hmm::GaussianObservationModel>(index, models);
+}
+
+void IvmmMatcher::UseSharedRouter(network::CachedRouter* shared) {
+  CHECK(shared != nullptr);
+  active_router_ = shared;
 }
 
 MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
@@ -52,7 +58,7 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
     const double dt =
         t[point_index[s]].t - t[point_index[s - 1]].t;
     for (int j = 0; j < prev_n; ++j) {
-      const auto routes = cached_router_->RouteMany(cands[s - 1][j].segment,
+      const auto routes = active_router_->RouteMany(cands[s - 1][j].segment,
                                                     targets, bound);
       for (int k2 = 0; k2 < cur_n; ++k2) {
         if (!routes[k2].has_value()) continue;
@@ -147,7 +153,7 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
   for (int s = 1; s < m; ++s) {
     const double bound = std::min(12000.0, 4.0 * straight[s] + 1500.0);
     const auto route =
-        cached_router_->Route1(chain[s - 1].segment, chain[s].segment, bound);
+        active_router_->Route1(chain[s - 1].segment, chain[s].segment, bound);
     if (route.has_value()) {
       for (network::SegmentId sid : route->segments) {
         if (result.path.back() != sid) result.path.push_back(sid);

@@ -25,6 +25,7 @@ class IvmmMatcher : public MapMatcher {
   std::string name() const override { return "IVMM"; }
   MatchResult Match(const traj::Trajectory& cellular) override;
   bool ProvidesCandidates() const override { return true; }
+  void UseSharedRouter(network::CachedRouter* shared) override;
 
  private:
   const network::RoadNetwork* net_;
@@ -33,6 +34,7 @@ class IvmmMatcher : public MapMatcher {
   int k_;
   std::unique_ptr<network::SegmentRouter> router_;
   std::unique_ptr<network::CachedRouter> cached_router_;
+  network::CachedRouter* active_router_ = nullptr;
   std::unique_ptr<hmm::GaussianObservationModel> obs_;
 };
 

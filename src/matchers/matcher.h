@@ -8,6 +8,10 @@
 #include "network/road_network.h"
 #include "traj/trajectory.h"
 
+namespace lhmm::network {
+class CachedRouter;
+}  // namespace lhmm::network
+
 namespace lhmm::matchers {
 
 /// Output of one map-matching call.
@@ -37,6 +41,14 @@ class MapMatcher {
 
   /// True when MatchResult carries candidate sets (enables Hitting Ratio).
   virtual bool ProvidesCandidates() const { return false; }
+
+  /// Routes this matcher's shortest-path queries through `shared` (which must
+  /// outlive the matcher) instead of its private cache. CachedRouter is
+  /// thread safe, so BatchMatcher installs one shared instance into every
+  /// worker clone and route results amortize across threads. Sharing is a
+  /// pure optimization: the cache is semantically transparent, so results are
+  /// unchanged. Default: no-op (matcher keeps its private cache).
+  virtual void UseSharedRouter(network::CachedRouter* shared) {}
 };
 
 }  // namespace lhmm::matchers

@@ -215,6 +215,10 @@ Seq2SeqMatcher::Seq2SeqMatcher(const network::RoadNetwork* net,
 
 Seq2SeqMatcher::~Seq2SeqMatcher() = default;
 
+void Seq2SeqMatcher::UseSharedRouter(network::CachedRouter* shared) {
+  shared_router_ = shared;
+}
+
 void Seq2SeqMatcher::Train(const std::vector<traj::MatchedTrajectory>& train,
                            const traj::FilterConfig& filters) {
   core::Rng rng(config_.seed + 1);
@@ -384,15 +388,19 @@ MatchResult Seq2SeqMatcher::Match(const traj::Trajectory& cellular) {
   if (roads.empty()) return result;
 
   // Connect consecutive predictions with shortest paths.
-  if (router_ == nullptr) {
-    router_ = std::make_unique<network::SegmentRouter>(net_);
-    cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+  network::CachedRouter* routing = shared_router_;
+  if (routing == nullptr) {
+    if (router_ == nullptr) {
+      router_ = std::make_unique<network::SegmentRouter>(net_);
+      cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+    }
+    routing = cached_router_.get();
   }
   result.path.push_back(roads[0]);
   for (size_t i = 1; i < roads.size(); ++i) {
     const double straight =
         geo::Distance(t[static_cast<int>(i) - 1].pos, t[static_cast<int>(i)].pos);
-    const auto route = cached_router_->Route1(
+    const auto route = routing->Route1(
         roads[i - 1], roads[i], std::min(12000.0, 4.0 * straight + 1500.0));
     if (route.has_value()) {
       for (network::SegmentId sid : route->segments) {

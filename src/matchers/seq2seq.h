@@ -83,6 +83,7 @@ class Seq2SeqMatcher : public MapMatcher {
 
   std::string name() const override { return name_; }
   MatchResult Match(const traj::Trajectory& cellular) override;
+  void UseSharedRouter(network::CachedRouter* shared) override;
 
  private:
   struct Impl;
@@ -94,6 +95,7 @@ class Seq2SeqMatcher : public MapMatcher {
   std::unique_ptr<Impl> impl_;
   std::unique_ptr<network::SegmentRouter> router_;
   std::unique_ptr<network::CachedRouter> cached_router_;
+  network::CachedRouter* shared_router_ = nullptr;
 };
 
 /// DeepMM [37]: LSTM-style (GRU) seq2seq with attention.

@@ -37,7 +37,6 @@ GridIndex::GridIndex(const RoadNetwork* net, double cell_size)
       }
     }
   }
-  seen_stamp_.assign(net->num_segments(), 0);
 }
 
 int GridIndex::CellOf(double x, double y) const {
@@ -50,7 +49,6 @@ int GridIndex::CellOf(double x, double y) const {
 
 void GridIndex::CollectInRadius(const geo::Point& p, double radius,
                                 std::vector<SegmentHit>* out) const {
-  ++stamp_;
   const int cx0 = std::clamp(
       static_cast<int>((p.x - radius - origin_x_) / cell_size_), 0, cols_ - 1);
   const int cx1 = std::clamp(
@@ -59,16 +57,24 @@ void GridIndex::CollectInRadius(const geo::Point& p, double radius,
       static_cast<int>((p.y - radius - origin_y_) / cell_size_), 0, rows_ - 1);
   const int cy1 = std::clamp(
       static_cast<int>((p.y + radius - origin_y_) / cell_size_), 0, rows_ - 1);
+  // Gather ids from every overlapped cell and dedupe locally (a segment spans
+  // several cells) before the expensive projections. Query state lives
+  // entirely on this stack frame: one index is shared by all workers of a
+  // parallel batch match, so queries must not touch member scratch.
+  std::vector<SegmentId> ids;
   for (int cy = cy0; cy <= cy1; ++cy) {
     for (int cx = cx0; cx <= cx1; ++cx) {
-      for (SegmentId id : cells_[static_cast<size_t>(cy) * cols_ + cx]) {
-        if (seen_stamp_[id] == stamp_) continue;
-        seen_stamp_[id] = stamp_;
-        const geo::PolylineProjection proj = net_->segment(id).geometry.Project(p);
-        if (proj.dist <= radius) {
-          out->push_back(SegmentHit{id, proj.dist, proj.point});
-        }
-      }
+      const std::vector<SegmentId>& cell =
+          cells_[static_cast<size_t>(cy) * cols_ + cx];
+      ids.insert(ids.end(), cell.begin(), cell.end());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (SegmentId id : ids) {
+    const geo::PolylineProjection proj = net_->segment(id).geometry.Project(p);
+    if (proj.dist <= radius) {
+      out->push_back(SegmentHit{id, proj.dist, proj.point});
     }
   }
 }
@@ -76,8 +82,9 @@ void GridIndex::CollectInRadius(const geo::Point& p, double radius,
 std::vector<SegmentHit> GridIndex::Query(const geo::Point& p, double radius) const {
   std::vector<SegmentHit> out;
   CollectInRadius(p, radius, &out);
-  std::sort(out.begin(), out.end(),
-            [](const SegmentHit& a, const SegmentHit& b) { return a.dist < b.dist; });
+  std::sort(out.begin(), out.end(), [](const SegmentHit& a, const SegmentHit& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.segment < b.segment;
+  });
   return out;
 }
 
@@ -89,9 +96,11 @@ std::vector<SegmentHit> GridIndex::Nearest(const geo::Point& p, int k) const {
     CollectInRadius(p, radius, &out);
     if (static_cast<int>(out.size()) >= std::min(k, total) ||
         radius > 4.0 * cell_size_ * std::max(cols_, rows_)) {
-      std::sort(out.begin(), out.end(), [](const SegmentHit& a, const SegmentHit& b) {
-        return a.dist < b.dist;
-      });
+      std::sort(out.begin(), out.end(),
+                [](const SegmentHit& a, const SegmentHit& b) {
+                  return a.dist != b.dist ? a.dist < b.dist
+                                          : a.segment < b.segment;
+                });
       if (static_cast<int>(out.size()) > k) out.resize(k);
       return out;
     }

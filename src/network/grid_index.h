@@ -19,6 +19,9 @@ struct SegmentHit {
 /// Uniform-grid spatial index over road segment geometries. Candidate
 /// preparation (HMM step 1) issues radius queries here; cells are sized for
 /// cellular search radii (hundreds of meters to kilometers).
+///
+/// Queries are const and keep all state on the stack, so one index can be
+/// shared by every worker of a parallel batch match.
 class GridIndex {
  public:
   /// Builds the index over all segments of `net`. The network must outlive
@@ -50,9 +53,6 @@ class GridIndex {
   int cols_ = 0;
   int rows_ = 0;
   std::vector<std::vector<SegmentId>> cells_;
-  // Scratch stamp used to deduplicate segments spanning multiple cells.
-  mutable std::vector<int> seen_stamp_;
-  mutable int stamp_ = 0;
 };
 
 }  // namespace lhmm::network

@@ -42,6 +42,8 @@ class SegmentRouter {
   /// unreachable. Exposed for tests and the simulator.
   double NodeDistance(NodeId from, NodeId to, double max_length);
 
+  const RoadNetwork* network() const { return net_; }
+
  private:
   void RunDijkstra(NodeId source, const std::vector<NodeId>& target_nodes,
                    double max_length);

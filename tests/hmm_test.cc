@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <unordered_set>
@@ -367,6 +368,167 @@ TEST_P(ViterbiEquivalenceTest, MatchesBruteForceOptimum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ViterbiEquivalenceTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Viterbi DP property test on random small candidate graphs. Mock models
+// assign deterministic pseudo-random weights (hash-based, no shared RNG
+// state), candidates are arbitrary segments scattered over the network, and
+// the property is one-sided: the engine's chosen chain must score at least as
+// high as EVERY brute-force-enumerated chain.
+// ---------------------------------------------------------------------------
+
+/// splitmix64-style deterministic hash -> weight in (0, 1].
+double HashWeight(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t x = a * 0x9E3779B97F4A7C15ull + b * 0xBF58476D1CE4E5B9ull +
+               c * 0x94D049BB133111EBull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return 0.05 + 0.95 * static_cast<double>(x % 100000) / 100000.0;
+}
+
+class MockObservationModel : public ObservationModel {
+ public:
+  MockObservationModel(const network::RoadNetwork* net, uint64_t seed)
+      : net_(net), seed_(seed) {}
+
+  CandidateSet Candidates(const traj::Trajectory& t, int i, int k) override {
+    CandidateSet cs;
+    std::unordered_set<network::SegmentId> used;
+    for (uint64_t j = 0; static_cast<int>(cs.size()) < k && j < 64; ++j) {
+      const auto sid = static_cast<network::SegmentId>(
+          HashWeight(seed_ + 1, static_cast<uint64_t>(i), j) * 1e5);
+      const network::SegmentId seg = sid % net_->num_segments();
+      if (!used.insert(seg).second) continue;
+      cs.push_back(MakeCandidate(t, i, seg));
+    }
+    std::sort(cs.begin(), cs.end(), [](const Candidate& a, const Candidate& b) {
+      return a.observation > b.observation;
+    });
+    return cs;
+  }
+
+  Candidate MakeCandidate(const traj::Trajectory& t, int i,
+                          network::SegmentId segment) override {
+    (void)t;
+    Candidate c;
+    c.segment = segment;
+    c.dist = 0.0;
+    c.closest = net_->segment(segment).geometry.front();
+    c.observation =
+        HashWeight(seed_, static_cast<uint64_t>(i), static_cast<uint64_t>(segment));
+    return c;
+  }
+
+ private:
+  const network::RoadNetwork* net_;
+  uint64_t seed_;
+};
+
+class MockTransitionModel : public TransitionModel {
+ public:
+  explicit MockTransitionModel(uint64_t seed) : seed_(seed) {}
+
+  double Transition(const traj::Trajectory& t, int prev_index, int cur_index,
+                    const Candidate& prev, const Candidate& cur,
+                    const network::Route* route, double straight_dist) override {
+    (void)t;
+    (void)prev_index;
+    (void)straight_dist;
+    if (route == nullptr) return 0.0;
+    return HashWeight(seed_ ^ 0xC0FFEEull,
+                      static_cast<uint64_t>(prev.segment) * 131071ull +
+                          static_cast<uint64_t>(cur.segment),
+                      static_cast<uint64_t>(cur_index));
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+class ViterbiPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViterbiPropertyTest, EngineChainDominatesEveryBruteForceChain) {
+  const uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  // A small dense grid: every candidate pair is reachable well within the
+  // route bound (>= 1500 m), so no chain is pruned by unreachability.
+  network::RoadNetwork net = network::GenerateGridNetwork(4, 4, 100.0);
+  network::CachedRouter cached(&net);
+  MockObservationModel obs(&net, seed);
+  MockTransitionModel trans(seed);
+  EngineConfig config;
+  config.k = 3;
+  config.use_shortcuts = false;
+  Engine engine(&net, &cached, &obs, &trans, config);
+
+  traj::Trajectory t;
+  constexpr int kPoints = 5;
+  for (int i = 0; i < kPoints; ++i) {
+    t.points.push_back({{50.0 + i * 60.0, 50.0}, i * 15.0, i});
+  }
+  const EngineResult r = engine.Match(t);
+  ASSERT_EQ(r.candidates.size(), static_cast<size_t>(kPoints));
+
+  // Score chains exactly as the engine does: additive P_O(c_0) + sum of
+  // P_T * P_O, routes bounded by min(12000, 4 * straight + 1500).
+  network::SegmentRouter router(&net);
+  const int m = static_cast<int>(r.candidates.size());
+  std::vector<double> straight(m, 0.0);
+  for (int s = 1; s < m; ++s) {
+    straight[s] =
+        geo::Distance(t[r.point_index[s - 1]].pos, t[r.point_index[s]].pos);
+  }
+  auto weight = [&](int s, const Candidate& a, const Candidate& b) {
+    const double bound = std::min(12000.0, 4.0 * straight[s] + 1500.0);
+    const auto route = router.Route1(a.segment, b.segment, bound);
+    const network::Route* rp = route.has_value() ? &route.value() : nullptr;
+    if (rp == nullptr) return -1e18;
+    return trans.Transition(t, r.point_index[s - 1], r.point_index[s], a, b, rp,
+                            straight[s]) *
+           b.observation;
+  };
+
+  // The engine's chosen chain, re-scored from r.matched / r.candidates.
+  std::vector<int> chosen(m, -1);
+  for (int s = 0; s < m; ++s) {
+    for (size_t j = 0; j < r.candidates[s].size(); ++j) {
+      if (r.candidates[s][j].segment == r.matched[s]) {
+        chosen[s] = static_cast<int>(j);
+        break;
+      }
+    }
+    ASSERT_GE(chosen[s], 0) << "matched segment missing from candidate set";
+  }
+  double engine_score = r.candidates[0][chosen[0]].observation;
+  for (int s = 1; s < m; ++s) {
+    engine_score +=
+        weight(s, r.candidates[s - 1][chosen[s - 1]], r.candidates[s][chosen[s]]);
+  }
+
+  // Enumerate all chains; the engine must dominate each one.
+  std::vector<int> idx(m, 0);
+  int64_t chains = 0;
+  while (true) {
+    double score = r.candidates[0][idx[0]].observation;
+    for (int s = 1; s < m; ++s) {
+      score += weight(s, r.candidates[s - 1][idx[s - 1]], r.candidates[s][idx[s]]);
+    }
+    EXPECT_GE(engine_score, score - 1e-9);
+    ++chains;
+    int carry = m - 1;
+    while (carry >= 0) {
+      if (++idx[carry] < static_cast<int>(r.candidates[carry].size())) break;
+      idx[carry] = 0;
+      --carry;
+    }
+    if (carry < 0) break;
+  }
+  EXPECT_GT(chains, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViterbiPropertyTest, ::testing::Range(0, 10));
 
 class EngineKSweepTest : public ::testing::TestWithParam<int> {};
 

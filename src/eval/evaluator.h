@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "matchers/batch_matcher.h"
 #include "matchers/matcher.h"
+#include "matchers/stream_engine.h"
 #include "traj/filters.h"
 #include "traj/trajectory.h"
 
@@ -73,6 +74,66 @@ EvalSummary EvaluateMatcherParallel(
     matchers::BatchMatcher* batch, const network::RoadNetwork& net,
     const std::vector<traj::MatchedTrajectory>& split,
     const traj::FilterConfig& filter_config, double corridor_radius = 50.0);
+
+/// Per-trajectory record of one online (fixed-lag streaming) run.
+struct OnlineTrajectoryEval {
+  int index = 0;
+  /// Streamed committed path scored against ground truth.
+  PathMetrics metrics;
+  /// Longest-common-prefix ratio of the streamed path against the offline
+  /// Viterbi reference: how far the online decision agrees with hindsight
+  /// before first diverging. 1.0 = identical paths.
+  double prefix_match = 0.0;
+  /// Mean commit latency in points (== lag in steady state, smaller at end
+  /// of stream where Finish() flushes the window).
+  double commit_latency = 0.0;
+  double time_s = 0.0;  ///< Streaming wall time (excludes the offline reference).
+};
+
+/// Macro-averaged online evaluation of one matcher at one lag.
+struct OnlineEvalSummary {
+  std::string matcher;
+  int lag = 0;
+  int num_trajectories = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double rmf = 0.0;
+  double cmf50 = 0.0;
+  double prefix_match = 0.0;
+  double commit_latency = 0.0;
+  double avg_time_s = 0.0;
+};
+
+/// LCP(streamed, offline) / |offline|; 1.0 when both are empty.
+double PrefixMatchRatio(const std::vector<network::SegmentId>& streamed,
+                        const std::vector<network::SegmentId>& offline);
+
+/// Streams every trajectory of the split through ONE session of `matcher`
+/// (Reset between trajectories — the production reuse path), scoring each
+/// committed path against ground truth and against the session's own offline
+/// Viterbi reference. The matcher must support streaming.
+std::vector<OnlineTrajectoryEval> EvaluateOnline(
+    matchers::MapMatcher* matcher, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config, int lag,
+    double corridor_radius = 50.0);
+
+/// Parallel counterpart: multiplexes the whole split through a StreamEngine,
+/// feeding points round-robin across trajectories so sessions genuinely
+/// interleave. `offline_paths` (optional, parallel to the split) supplies the
+/// offline references for prefix_match; pass nullptr to skip that column.
+/// Per-trajectory time_s is not meaningful under multiplexing and is left 0.
+std::vector<OnlineTrajectoryEval> EvaluateOnlineParallel(
+    matchers::MatcherFactory factory, const network::RoadNetwork& net,
+    const std::vector<traj::MatchedTrajectory>& split,
+    const traj::FilterConfig& filter_config,
+    const matchers::StreamEngineConfig& engine_config,
+    const std::vector<std::vector<network::SegmentId>>* offline_paths = nullptr,
+    double corridor_radius = 50.0);
+
+/// Macro-averages online records into a summary row.
+OnlineEvalSummary SummarizeOnline(const std::vector<OnlineTrajectoryEval>& records,
+                                  const std::string& matcher_name, int lag);
 
 }  // namespace lhmm::eval
 

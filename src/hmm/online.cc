@@ -27,124 +27,115 @@ void OnlineMatcher::Reset() {
   window_.clear();
   has_anchor_ = false;
   committed_.clear();
+  pushed_ = 0;
+  consumed_ = 0;
+}
+
+double OnlineMatcher::RouteBound(double straight_dist) const {
+  return std::min(config_.max_route_bound,
+                  config_.route_bound_alpha * straight_dist +
+                      config_.route_bound_beta);
 }
 
 std::vector<network::SegmentId> OnlineMatcher::Push(const traj::TrajPoint& point) {
   window_.push_back(point);
-  if (static_cast<int>(window_.size()) <= config_.lag) return {};
-  return Advance(/*flush=*/false);
+  ++pushed_;
+  std::vector<network::SegmentId> out;
+  while (static_cast<int>(window_.size()) > config_.lag) {
+    const size_t before = window_.size();
+    const std::vector<network::SegmentId> emitted = Advance(/*flush=*/false);
+    out.insert(out.end(), emitted.begin(), emitted.end());
+    if (window_.size() >= before) break;  // Defensive: Advance made no progress.
+  }
+  return out;
 }
 
 std::vector<network::SegmentId> OnlineMatcher::Finish() {
   std::vector<network::SegmentId> out;
   while (!window_.empty()) {
+    const size_t before = window_.size();
     const std::vector<network::SegmentId> emitted = Advance(/*flush=*/true);
     out.insert(out.end(), emitted.begin(), emitted.end());
-    if (emitted.empty() && !window_.empty()) {
-      // Unmatchable head (no candidates anywhere); drop it to make progress.
+    if (window_.size() >= before) {
+      // Defensive: Advance consumes at least one point on every path, so this
+      // is unreachable; keep termination unconditional regardless.
       window_.pop_front();
+      ++consumed_;
     }
   }
   return out;
 }
 
-std::vector<network::SegmentId> OnlineMatcher::Emit(const Candidate& next,
-                                                    double straight) {
-  std::vector<network::SegmentId> added;
-  if (!has_anchor_) {
-    added.push_back(next.segment);
-  } else {
-    const double bound =
-        std::min(config_.max_route_bound,
-                 config_.route_bound_alpha * straight + config_.route_bound_beta);
-    const auto route = router_->Route1(anchor_.segment, next.segment, bound);
-    if (route.has_value()) {
-      for (network::SegmentId sid : route->segments) {
-        if (committed_.empty() || committed_.back() != sid) added.push_back(sid);
-      }
-    } else if (committed_.empty() || committed_.back() != next.segment) {
-      added.push_back(next.segment);
-    }
-    // Avoid duplicating the anchor segment already present in committed_.
-    if (!added.empty() && !committed_.empty() && added.front() == committed_.back()) {
-      added.erase(added.begin());
-    }
-  }
-  committed_.insert(committed_.end(), added.begin(), added.end());
-  return added;
-}
-
 std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
-  if (window_.empty()) return {};
+  std::vector<network::SegmentId> emitted;
+  if (window_.empty()) return emitted;
 
-  // Build the windowed trajectory (models see the causal window only).
+  // The windowed trajectory the models see. The committed anchor (if any) is
+  // prepended as a pinned first point so transitions out of it are scored
+  // with its real timestamp and position.
   traj::Trajectory t;
-  t.points.assign(window_.begin(), window_.end());
+  const int base = has_anchor_ ? 1 : 0;
+  if (has_anchor_) t.points.push_back(anchor_point_);
+  t.points.insert(t.points.end(), window_.begin(), window_.end());
   obs_->BeginTrajectory(t);
   trans_->BeginTrajectory(t);
 
-  // Candidate sets over the window.
+  // Candidate sets over the window; the anchor contributes its single pinned
+  // candidate. Window points with no candidates in range are skipped, exactly
+  // as the offline Engine drops them.
   std::vector<CandidateSet> cands;
   std::vector<int> point_index;
-  for (int i = 0; i < t.size(); ++i) {
+  if (has_anchor_) {
+    cands.push_back(CandidateSet{anchor_});
+    point_index.push_back(0);
+  }
+  for (int i = base; i < t.size(); ++i) {
     CandidateSet cs = obs_->Candidates(t, i, config_.k);
     if (cs.empty()) continue;
     cands.push_back(std::move(cs));
     point_index.push_back(i);
   }
-  if (cands.empty()) {
+  const int m = static_cast<int>(cands.size());
+  if (m == base) {
     // Nothing matchable in the window; drop the head to make progress.
     window_.pop_front();
-    return {};
+    ++consumed_;
+    return emitted;
   }
-  const int m = static_cast<int>(cands.size());
 
-  // Forward DP. The first scored point additionally pays the transition from
-  // the committed anchor, which pins continuity across commits.
+  // Forward DP, mirroring Engine::Match (shortcuts excluded). The pinned
+  // anchor starts at score 0; its observation is a constant offset that
+  // cannot change the argmax.
+  std::vector<double> straight(m, 0.0);
+  for (int s = 1; s < m; ++s) {
+    straight[s] =
+        geo::Distance(t[point_index[s - 1]].pos, t[point_index[s]].pos);
+  }
   std::vector<std::vector<double>> f(m);
   std::vector<std::vector<int>> pre(m);
-  f[0].assign(cands[0].size(), 0.0);
+  f[0].resize(cands[0].size());
   pre[0].assign(cands[0].size(), -1);
   for (size_t j = 0; j < cands[0].size(); ++j) {
-    double score = cands[0][j].observation;
-    if (has_anchor_) {
-      const double straight =
-          geo::Distance(anchor_point_.pos, t[point_index[0]].pos);
-      const double bound =
-          std::min(config_.max_route_bound,
-                   config_.route_bound_alpha * straight + config_.route_bound_beta);
-      const auto route = router_->Route1(anchor_.segment, cands[0][j].segment, bound);
-      const network::Route* rp = route.has_value() ? &route.value() : nullptr;
-      // prev_index 0 is a stand-in: the anchor point is no longer in `t`, so
-      // models that read timestamps see the window head (conservative).
-      const double pt = trans_->Transition(t, point_index[0], point_index[0],
-                                           anchor_, cands[0][j], rp, straight);
-      score = (rp == nullptr ? kNegInf : pt * cands[0][j].observation);
-    }
-    f[0][j] = score;
+    f[0][j] = has_anchor_ ? 0.0 : cands[0][j].observation;
   }
   for (int s = 1; s < m; ++s) {
-    const double straight =
-        geo::Distance(t[point_index[s - 1]].pos, t[point_index[s]].pos);
-    const double bound =
-        std::min(config_.max_route_bound,
-                 config_.route_bound_alpha * straight + config_.route_bound_beta);
-    f[s].assign(cands[s].size(), kNegInf);
-    pre[s].assign(cands[s].size(), -1);
-    std::vector<network::SegmentId> targets(cands[s].size());
-    for (size_t k2 = 0; k2 < cands[s].size(); ++k2) {
-      targets[k2] = cands[s][k2].segment;
-    }
+    const int cur_n = static_cast<int>(cands[s].size());
+    const double bound = RouteBound(straight[s]);
+    std::vector<network::SegmentId> targets(cur_n);
+    for (int k2 = 0; k2 < cur_n; ++k2) targets[k2] = cands[s][k2].segment;
+    f[s].assign(cur_n, kNegInf);
+    pre[s].assign(cur_n, -1);
     for (size_t j = 0; j < cands[s - 1].size(); ++j) {
-      if (f[s - 1][j] == kNegInf) continue;
-      const auto routes =
+      if (f[s - 1][j] == kNegInf) continue;  // Can never win the max below.
+      const std::vector<std::optional<network::Route>> routes =
           router_->RouteMany(cands[s - 1][j].segment, targets, bound);
-      for (size_t k2 = 0; k2 < cands[s].size(); ++k2) {
-        if (!routes[k2].has_value()) continue;
+      for (int k2 = 0; k2 < cur_n; ++k2) {
+        const network::Route* route =
+            routes[k2].has_value() ? &routes[k2].value() : nullptr;
         const double pt =
             trans_->Transition(t, point_index[s - 1], point_index[s],
-                               cands[s - 1][j], cands[s][k2], &routes[k2].value(),
-                               straight);
+                               cands[s - 1][j], cands[s][k2], route, straight[s]);
+        if (route == nullptr) continue;
         const double score = f[s - 1][j] + pt * cands[s][k2].observation;
         if (score > f[s][k2]) {
           f[s][k2] = score;
@@ -154,16 +145,11 @@ std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
     }
   }
 
-  // Backtrack from the best terminal to find the head's candidate.
+  // Backward pass with the Engine's restart rule: a disconnected step picks
+  // the locally best predecessor and the expansion will bridge (or break) it.
   int best = 0;
   for (size_t j = 1; j < f[m - 1].size(); ++j) {
     if (f[m - 1][j] > f[m - 1][best]) best = static_cast<int>(j);
-  }
-  if (f[m - 1][best] == kNegInf) {
-    // Entire window unreachable from the anchor: drop the anchor pin.
-    has_anchor_ = false;
-    window_.pop_front();
-    return {};
   }
   std::vector<int> chain(m);
   chain[m - 1] = best;
@@ -178,17 +164,44 @@ std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
     chain[s - 1] = p;
   }
 
-  // Commit the head point's candidate and slide the window.
-  const Candidate head = cands[0][chain[0]];
-  const double straight =
-      has_anchor_ ? geo::Distance(anchor_point_.pos, t[point_index[0]].pos) : 0.0;
-  std::vector<network::SegmentId> emitted = Emit(head, straight);
-  anchor_ = head;
-  anchor_point_ = t[point_index[0]];
-  has_anchor_ = true;
-  // Drop everything up to and including the head's original point.
-  for (int drop = 0; drop <= point_index[0]; ++drop) window_.pop_front();
-  (void)flush;
+  // Commit the head — or, on flush, the whole chain. The expansion mirrors
+  // Engine::ExpandPath: route within max(bound, beta), global consecutive
+  // dedup against the committed path, discontinuity fallback.
+  auto append = [&](network::SegmentId sid) {
+    if (!committed_.empty() && committed_.back() == sid) return;
+    committed_.push_back(sid);
+    emitted.push_back(sid);
+  };
+  const int last = flush ? m - 1 : base;
+  for (int s = base; s <= last; ++s) {
+    const Candidate& next = cands[s][chain[s]];
+    if (!has_anchor_) {
+      append(next.segment);
+    } else {
+      const double hop = geo::Distance(anchor_point_.pos, t[point_index[s]].pos);
+      const double bound = std::max(RouteBound(hop), config_.route_bound_beta);
+      const std::optional<network::Route> route =
+          router_->Route1(anchor_.segment, next.segment, bound);
+      if (route.has_value()) {
+        for (network::SegmentId sid : route->segments) append(sid);
+      } else {
+        append(next.segment);
+      }
+    }
+    anchor_ = next;
+    anchor_point_ = t[point_index[s]];
+    has_anchor_ = true;
+  }
+
+  if (flush) {
+    consumed_ += static_cast<int64_t>(window_.size());
+    window_.clear();
+  } else {
+    // Drop everything up to and including the committed head's window slot.
+    const int drop = point_index[base] - base + 1;
+    for (int i = 0; i < drop; ++i) window_.pop_front();
+    consumed_ += drop;
+  }
   return emitted;
 }
 

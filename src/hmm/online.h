@@ -1,6 +1,7 @@
 #ifndef LHMM_HMM_ONLINE_H_
 #define LHMM_HMM_ONLINE_H_
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -25,8 +26,17 @@ struct OnlineConfig {
 /// window, so any matcher family (classical or learned) can run in real
 /// time with a bounded decision delay.
 ///
+/// The committed anchor is re-inserted at the head of every window as a
+/// pinned single-candidate point, so transitions out of it are scored with
+/// the real timestamps and positions (no degenerate dt = 0 stand-in), and
+/// the windowed DP mirrors the offline Engine exactly — including the
+/// restart backtrack across disconnected steps. On Finish() the whole
+/// remaining chain is committed in one DP pass, which makes the streamed
+/// path equal to the offline Viterbi path (Engine with shortcuts disabled)
+/// whenever `lag >= trajectory length`.
+///
 /// Latency/accuracy trade-off: larger lag approaches offline Viterbi
-/// accuracy; lag 0 is greedy nearest-candidate tracking.
+/// accuracy; lag 0 is greedy anchored tracking.
 class OnlineMatcher {
  public:
   /// All pointers must outlive the matcher.
@@ -45,17 +55,28 @@ class OnlineMatcher {
   /// Total committed path so far (everything ever returned, concatenated).
   const std::vector<network::SegmentId>& committed() const { return committed_; }
 
-  /// Resets all streaming state for a new trajectory.
+  /// Resets all streaming state (including the counters) for a new trajectory.
   void Reset();
 
+  /// Points fed via Push() since construction / Reset().
+  int64_t pushed_points() const { return pushed_; }
+
+  /// Points whose decision is final: committed to the path or dropped as
+  /// unmatchable. Consumption is FIFO, so the consumed points are exactly
+  /// the first consumed_points() arrivals; callers derive per-point commit
+  /// latency by diffing this counter around Push()/Finish().
+  int64_t consumed_points() const { return consumed_; }
+
+  /// Points currently buffered and awaiting look-ahead.
+  int pending_points() const { return static_cast<int>(window_.size()); }
+
  private:
-  /// Recomputes the windowed DP and (if the window exceeds the lag) commits
-  /// the oldest point.
+  /// Recomputes the windowed DP and commits the oldest point — or, when
+  /// `flush` is set, the entire chain. Guarantees progress: at least one
+  /// window point is consumed whenever the window is non-empty.
   std::vector<network::SegmentId> Advance(bool flush);
 
-  /// Emits the route from the last committed candidate to `next`, appending
-  /// to committed_ and returning the newly added segments.
-  std::vector<network::SegmentId> Emit(const Candidate& next, double straight);
+  double RouteBound(double straight_dist) const;
 
   const network::RoadNetwork* net_;
   network::CachedRouter* router_;
@@ -69,6 +90,8 @@ class OnlineMatcher {
   bool has_anchor_ = false;
   traj::TrajPoint anchor_point_;
   std::vector<network::SegmentId> committed_;
+  int64_t pushed_ = 0;
+  int64_t consumed_ = 0;
 };
 
 }  // namespace lhmm::hmm

@@ -213,6 +213,7 @@ LhmmMatcher::LhmmMatcher(const network::RoadNetwork* net,
   CHECK(model_ != nullptr);
   router_ = std::make_unique<network::SegmentRouter>(net);
   cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
+  active_router_ = cached_router_.get();
   obs_model_ = std::make_unique<ObsModel>(net_, index_, model_.get(), &state_);
   trans_model_ = std::make_unique<TransModel>(net_, model_.get(), &state_);
   hmm::EngineConfig engine_config;
@@ -228,9 +229,23 @@ LhmmMatcher::~LhmmMatcher() = default;
 
 void LhmmMatcher::UseSharedRouter(network::CachedRouter* shared) {
   CHECK(shared != nullptr);
+  active_router_ = shared;
   hmm::EngineConfig engine_config = engine_->config();
   engine_ = std::make_unique<hmm::Engine>(net_, shared, obs_model_.get(),
                                           trans_model_.get(), engine_config);
+}
+
+std::unique_ptr<matchers::StreamingSession> LhmmMatcher::OpenSession(
+    const matchers::StreamConfig& config) {
+  const hmm::EngineConfig& ec = engine_->config();
+  hmm::OnlineConfig oc;
+  oc.k = ec.k;
+  oc.lag = config.lag;
+  oc.route_bound_alpha = ec.route_bound_alpha;
+  oc.route_bound_beta = ec.route_bound_beta;
+  oc.max_route_bound = ec.max_route_bound;
+  return std::make_unique<matchers::OnlineSession>(
+      net_, active_router_, obs_model_.get(), trans_model_.get(), oc);
 }
 
 matchers::MatchResult LhmmMatcher::Match(const traj::Trajectory& cellular) {

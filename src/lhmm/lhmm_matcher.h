@@ -44,6 +44,15 @@ class LhmmMatcher : public matchers::MapMatcher {
   /// inference path is const); only per-trajectory state is private.
   void UseSharedRouter(network::CachedRouter* shared) override;
 
+  /// Fixed-lag streaming with the learned models. The learned P_O context
+  /// (Eq. 6) attends over the visible window, so mid-stream scores see a
+  /// prefix of the history; at lag >= trajectory length the window is the
+  /// whole trajectory and the streamed path equals offline Viterbi
+  /// (shortcuts disabled).
+  bool SupportsStreaming() const override { return true; }
+  std::unique_ptr<matchers::StreamingSession> OpenSession(
+      const matchers::StreamConfig& config) override;
+
   hmm::Engine* engine() { return engine_.get(); }
   const LhmmModel& model() const { return *model_; }
 
@@ -58,6 +67,7 @@ class LhmmMatcher : public matchers::MapMatcher {
   TrajectoryState state_;
   std::unique_ptr<network::SegmentRouter> router_;
   std::unique_ptr<network::CachedRouter> cached_router_;
+  network::CachedRouter* active_router_ = nullptr;  ///< cached_router_ or shared.
   std::unique_ptr<ObsModel> obs_model_;
   std::unique_ptr<TransModel> trans_model_;
   std::unique_ptr<hmm::Engine> engine_;

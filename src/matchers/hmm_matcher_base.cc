@@ -33,6 +33,19 @@ void HmmMatcherBase::UseSharedRouter(network::CachedRouter* shared) {
   }
 }
 
+std::unique_ptr<StreamingSession> HmmMatcherBase::OpenSession(
+    const StreamConfig& config) {
+  CHECK(obs_ != nullptr) << "subclass forgot to call Init()";
+  hmm::OnlineConfig oc;
+  oc.k = config_.k;
+  oc.lag = config.lag;
+  oc.route_bound_alpha = config_.route_bound_alpha;
+  oc.route_bound_beta = config_.route_bound_beta;
+  oc.max_route_bound = config_.max_route_bound;
+  return std::make_unique<OnlineSession>(net_, active_router_, obs_.get(),
+                                         trans_.get(), oc);
+}
+
 MatchResult HmmMatcherBase::Match(const traj::Trajectory& cellular) {
   CHECK(engine_ != nullptr) << "subclass forgot to call Init()";
   const traj::Trajectory t = Transform(cellular);

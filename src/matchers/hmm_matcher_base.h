@@ -27,6 +27,12 @@ class HmmMatcherBase : public MapMatcher {
   /// allocated but no longer consulted.
   void UseSharedRouter(network::CachedRouter* shared) override;
 
+  /// Fixed-lag streaming with this matcher's models. Note: matchers with a
+  /// Transform() hook (CLSTERS) stream the raw points — calibration needs the
+  /// whole trajectory and does not apply online.
+  bool SupportsStreaming() const override { return true; }
+  std::unique_ptr<StreamingSession> OpenSession(const StreamConfig& config) override;
+
   hmm::Engine* engine() { return engine_.get(); }
 
  protected:

@@ -21,6 +21,20 @@ IvmmMatcher::IvmmMatcher(const network::RoadNetwork* net,
   cached_router_ = std::make_unique<network::CachedRouter>(router_.get());
   active_router_ = cached_router_.get();
   obs_ = std::make_unique<hmm::GaussianObservationModel>(index, models);
+  trans_ = std::make_unique<hmm::ClassicTransitionModel>(models, net);
+}
+
+std::unique_ptr<StreamingSession> IvmmMatcher::OpenSession(
+    const StreamConfig& config) {
+  hmm::OnlineConfig oc;
+  oc.k = k_;
+  oc.lag = config.lag;
+  // Same bounds Match() hardcodes for its route searches.
+  oc.route_bound_alpha = 4.0;
+  oc.route_bound_beta = 1500.0;
+  oc.max_route_bound = 12000.0;
+  return std::make_unique<OnlineSession>(net_, active_router_, obs_.get(),
+                                         trans_.get(), oc);
 }
 
 void IvmmMatcher::UseSharedRouter(network::CachedRouter* shared) {
@@ -44,7 +58,10 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
   const int m = static_cast<int>(cands.size());
   if (m == 0) return result;
 
-  // Static score matrices: W[s][j][k2] = P_T * P_O per Eq. (3)/(2).
+  // Static score matrices: W[s][j][k2] = P_T * P_O per Eq. (3)/(2). The
+  // classic ST transition (Eq. 3 with the velocity heuristic) is the same
+  // model the streaming session runs.
+  trans_->BeginTrajectory(t);
   std::vector<double> straight(m, 0.0);
   std::vector<std::vector<std::vector<double>>> w(m);
   for (int s = 1; s < m; ++s) {
@@ -55,25 +72,15 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
     w[s].assign(prev_n, std::vector<double>(cur_n, kNegInf));
     std::vector<network::SegmentId> targets(cur_n);
     for (int k2 = 0; k2 < cur_n; ++k2) targets[k2] = cands[s][k2].segment;
-    const double dt =
-        t[point_index[s]].t - t[point_index[s - 1]].t;
     for (int j = 0; j < prev_n; ++j) {
       const auto routes = active_router_->RouteMany(cands[s - 1][j].segment,
                                                     targets, bound);
       for (int k2 = 0; k2 < cur_n; ++k2) {
         if (!routes[k2].has_value()) continue;
-        const double diff = std::fabs(straight[s] - routes[k2]->length);
-        double pt = std::exp(-diff / models_.trans_beta);
-        // Velocity heuristic shared by the ST-score family.
-        if (dt > 1.0 && !routes[k2]->segments.empty()) {
-          double limit = 0.0;
-          for (network::SegmentId sid : routes[k2]->segments) {
-            limit += net_->segment(sid).speed_limit;
-          }
-          limit /= static_cast<double>(routes[k2]->segments.size());
-          const double v = routes[k2]->length / dt;
-          pt *= std::exp(-std::max(0.0, v - limit) / 5.0);
-        }
+        const double pt = trans_->Transition(t, point_index[s - 1],
+                                             point_index[s], cands[s - 1][j],
+                                             cands[s][k2], &routes[k2].value(),
+                                             straight[s]);
         w[s][j][k2] = pt * cands[s][k2].observation;
       }
     }

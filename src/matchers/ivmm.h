@@ -27,6 +27,12 @@ class IvmmMatcher : public MapMatcher {
   bool ProvidesCandidates() const override { return true; }
   void UseSharedRouter(network::CachedRouter* shared) override;
 
+  /// Streaming form: IVMM's voting needs the whole trajectory, so its online
+  /// session runs fixed-lag Viterbi over the same ST scores (Gaussian P_O,
+  /// classic P_T) — the DP that voting perturbs.
+  bool SupportsStreaming() const override { return true; }
+  std::unique_ptr<StreamingSession> OpenSession(const StreamConfig& config) override;
+
  private:
   const network::RoadNetwork* net_;
   const network::GridIndex* index_;
@@ -36,6 +42,7 @@ class IvmmMatcher : public MapMatcher {
   std::unique_ptr<network::CachedRouter> cached_router_;
   network::CachedRouter* active_router_ = nullptr;
   std::unique_ptr<hmm::GaussianObservationModel> obs_;
+  std::unique_ptr<hmm::ClassicTransitionModel> trans_;
 };
 
 }  // namespace lhmm::matchers

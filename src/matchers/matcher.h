@@ -1,10 +1,12 @@
 #ifndef LHMM_MATCHERS_MATCHER_H_
 #define LHMM_MATCHERS_MATCHER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hmm/candidate.h"
+#include "matchers/streaming.h"
 #include "network/road_network.h"
 #include "traj/trajectory.h"
 
@@ -49,6 +51,21 @@ class MapMatcher {
   /// pure optimization: the cache is semantically transparent, so results are
   /// unchanged. Default: no-op (matcher keeps its private cache).
   virtual void UseSharedRouter(network::CachedRouter* shared) {}
+
+  /// True when OpenSession() produces live streaming sessions.
+  virtual bool SupportsStreaming() const { return false; }
+
+  /// Opens a fixed-lag streaming session running this matcher's own
+  /// observation/transition models through its active router. The session
+  /// borrows the matcher's models (which hold per-trajectory state), so only
+  /// one session per matcher may be live at a time and Match() must not be
+  /// interleaved with session pushes — StreamEngine clones a matcher per
+  /// session for exactly this reason. Matchers without a streaming form
+  /// (seq2seq family) return nullptr.
+  virtual std::unique_ptr<StreamingSession> OpenSession(
+      const StreamConfig& config) {
+    return nullptr;
+  }
 };
 
 }  // namespace lhmm::matchers

@@ -1,0 +1,145 @@
+#include "matchers/stream_engine.h"
+
+#include <utility>
+
+#include "core/logging.h"
+
+namespace lhmm::matchers {
+
+StreamEngine::StreamEngine(MatcherFactory factory,
+                           const StreamEngineConfig& config)
+    : factory_(std::move(factory)), config_(config) {
+  CHECK(factory_ != nullptr);
+  num_threads_ = config_.num_threads > 0 ? config_.num_threads
+                                         : core::ThreadPool::DefaultThreadCount();
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<core::ThreadPool>(num_threads_);
+  }
+}
+
+StreamEngine::~StreamEngine() {
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+SessionId StreamEngine::Open() {
+  auto s = std::make_unique<Slot>();
+  s->matcher = factory_();
+  CHECK(s->matcher != nullptr);
+  if (config_.shared_router != nullptr) {
+    s->matcher->UseSharedRouter(config_.shared_router);
+  }
+  StreamConfig sc;
+  sc.lag = config_.lag;
+  s->session = s->matcher->OpenSession(sc);
+  CHECK(s->session != nullptr)
+      << s->matcher->name() << " does not support streaming";
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  slots_.push_back(std::move(s));
+  return static_cast<SessionId>(slots_.size()) - 1;
+}
+
+StreamEngine::Slot* StreamEngine::slot(SessionId id) const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  CHECK_GE(id, 0);
+  CHECK_LT(id, static_cast<SessionId>(slots_.size()));
+  return slots_[id].get();
+}
+
+void StreamEngine::Push(SessionId id, const traj::TrajPoint& point) {
+  Slot* s = slot(id);
+  CHECK(!s->closed.load(std::memory_order_acquire))
+      << "Push after Finish on session " << id;
+  Enqueue(s, point);
+}
+
+void StreamEngine::Finish(SessionId id) {
+  Slot* s = slot(id);
+  CHECK(!s->closed.exchange(true, std::memory_order_acq_rel))
+      << "double Finish on session " << id;
+  Enqueue(s, std::nullopt);
+}
+
+void StreamEngine::Process(Slot* s, std::optional<traj::TrajPoint>& event) {
+  if (event.has_value()) {
+    s->session->Push(*event);
+  } else {
+    s->session->Finish();
+    s->finished.store(true, std::memory_order_release);
+  }
+}
+
+void StreamEngine::Enqueue(Slot* s, std::optional<traj::TrajPoint> event) {
+  if (pool_ == nullptr) {
+    Process(s, event);
+    return;
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->inbox.push_back(std::move(event));
+    if (!s->scheduled) {
+      s->scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    pool_->Submit([this, s] { Pump(s); });
+  }
+}
+
+void StreamEngine::Pump(Slot* s) {
+  // Drains the inbox in arrival order. `scheduled` stays true until the
+  // inbox is observed empty under the lock, so no second pump for this slot
+  // can be queued while this one runs — that exclusivity is the per-session
+  // FIFO guarantee.
+  for (;;) {
+    std::deque<std::optional<traj::TrajPoint>> batch;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->inbox.empty()) {
+        s->scheduled = false;
+        return;
+      }
+      batch.swap(s->inbox);
+    }
+    for (std::optional<traj::TrajPoint>& event : batch) {
+      Process(s, event);
+    }
+  }
+}
+
+void StreamEngine::Barrier() {
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+bool StreamEngine::finished(SessionId id) const {
+  return slot(id)->finished.load(std::memory_order_acquire);
+}
+
+const std::vector<network::SegmentId>& StreamEngine::Committed(
+    SessionId id) const {
+  return slot(id)->session->committed();
+}
+
+SessionStats StreamEngine::Stats(SessionId id) const {
+  return slot(id)->session->stats();
+}
+
+SessionStats StreamEngine::TotalStats() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  SessionStats total;
+  for (const std::unique_ptr<Slot>& s : slots_) {
+    const SessionStats one = s->session->stats();
+    total.points_pushed += one.points_pushed;
+    total.points_committed += one.points_committed;
+    total.latency_points_sum += one.latency_points_sum;
+  }
+  return total;
+}
+
+int64_t StreamEngine::num_sessions() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  return static_cast<int64_t>(slots_.size());
+}
+
+}  // namespace lhmm::matchers

@@ -1,0 +1,119 @@
+#ifndef LHMM_MATCHERS_STREAM_ENGINE_H_
+#define LHMM_MATCHERS_STREAM_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "matchers/batch_matcher.h"
+#include "matchers/matcher.h"
+#include "network/path_cache.h"
+
+namespace lhmm::matchers {
+
+struct StreamEngineConfig {
+  /// Worker threads; 0 means core::ThreadPool::DefaultThreadCount(); 1 runs
+  /// every event inline on the caller thread (no pool).
+  int num_threads = 0;
+  /// Fixed lag of every session opened by this engine.
+  int lag = 8;
+  /// Optional thread-safe route cache shared by all sessions (installed into
+  /// each session's matcher clone via MapMatcher::UseSharedRouter), so route
+  /// results amortize across concurrent trajectories. Pre-heating it with
+  /// CachedRouter::WarmAll removes first-query latency spikes.
+  network::CachedRouter* shared_router = nullptr;
+};
+
+/// Handle of one live session; dense, assigned by Open() in call order.
+using SessionId = int64_t;
+
+/// Multiplexes many concurrent fixed-lag streaming sessions over one
+/// core::ThreadPool. Each session gets its own matcher clone from the
+/// factory (sessions borrow their matcher's per-trajectory model state, so
+/// clones are what make concurrency safe — same design as BatchMatcher).
+///
+/// Ordering contract: events of one session are processed in the exact order
+/// they were enqueued (an actor-style inbox with at most one pump task per
+/// session in flight), while different sessions interleave freely across the
+/// pool. Because each session's computation only depends on its own ordered
+/// event stream — and the shared route cache is semantically transparent —
+/// committed outputs are byte-identical for any thread count and any
+/// cross-session arrival interleaving (see tests/stream_test.cc).
+///
+/// Thread safety: Open/Push/Finish/Barrier may be called from one producer
+/// thread (or externally synchronized producers). Committed()/Stats() for a
+/// session are valid once finished(id) is true or after Barrier().
+class StreamEngine {
+ public:
+  explicit StreamEngine(MatcherFactory factory,
+                        const StreamEngineConfig& config = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Creates a new session (matcher clone + fixed-lag session) and returns
+  /// its id. The clone is built on the calling thread.
+  SessionId Open();
+
+  /// Enqueues the next point of session `id`. Invalid after Finish(id).
+  void Push(SessionId id, const traj::TrajPoint& point);
+
+  /// Enqueues end-of-stream for session `id`: pending points flush and the
+  /// session's committed path becomes final. At most once per session.
+  void Finish(SessionId id);
+
+  /// Blocks until every enqueued event has been processed. Producers must be
+  /// quiescent while waiting. The engine remains usable afterwards.
+  void Barrier();
+
+  /// True once Finish(id) has been fully processed.
+  bool finished(SessionId id) const;
+
+  /// The session's committed path. Final after finished(id) / Barrier().
+  const std::vector<network::SegmentId>& Committed(SessionId id) const;
+
+  SessionStats Stats(SessionId id) const;
+
+  /// Sum of all sessions' stats (valid under the same conditions).
+  SessionStats TotalStats() const;
+
+  int64_t num_sessions() const;
+  int num_threads() const { return num_threads_; }
+
+ private:
+  /// One session's actor state. `inbox` holds pending events in arrival
+  /// order (nullopt = end-of-stream); `scheduled` is true while a pump task
+  /// for this slot is queued or running, which is what guarantees per-session
+  /// FIFO processing: there is never more than one.
+  struct Slot {
+    std::mutex mu;
+    std::deque<std::optional<traj::TrajPoint>> inbox;
+    bool scheduled = false;
+    std::atomic<bool> closed{false};    ///< Finish() was enqueued.
+    std::atomic<bool> finished{false};  ///< Finish() was processed.
+    std::unique_ptr<MapMatcher> matcher;
+    std::unique_ptr<StreamingSession> session;
+  };
+
+  Slot* slot(SessionId id) const;
+  void Enqueue(Slot* s, std::optional<traj::TrajPoint> event);
+  void Pump(Slot* s);
+  static void Process(Slot* s, std::optional<traj::TrajPoint>& event);
+
+  MatcherFactory factory_;
+  StreamEngineConfig config_;
+  int num_threads_;
+  std::unique_ptr<core::ThreadPool> pool_;  ///< Null when num_threads_ == 1.
+  mutable std::mutex slots_mu_;             ///< Guards the slots_ container.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace lhmm::matchers
+
+#endif  // LHMM_MATCHERS_STREAM_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "matchers/streaming.h"
+
+namespace lhmm::matchers {
+
+namespace {
+
+hmm::EngineConfig OfflineConfigOf(const hmm::OnlineConfig& config) {
+  hmm::EngineConfig ec;
+  ec.k = config.k;
+  ec.use_shortcuts = false;
+  ec.route_bound_alpha = config.route_bound_alpha;
+  ec.route_bound_beta = config.route_bound_beta;
+  ec.max_route_bound = config.max_route_bound;
+  return ec;
+}
+
+}  // namespace
+
+OnlineSession::OnlineSession(const network::RoadNetwork* net,
+                             network::CachedRouter* router,
+                             hmm::ObservationModel* obs,
+                             hmm::TransitionModel* trans,
+                             const hmm::OnlineConfig& config)
+    : online_(net, router, obs, trans, config),
+      offline_(net, router, obs, trans, OfflineConfigOf(config)) {}
+
+std::vector<network::SegmentId> OnlineSession::Push(const traj::TrajPoint& point) {
+  const int64_t before = online_.consumed_points();
+  std::vector<network::SegmentId> out = online_.Push(point);
+  AccumulateLatency(before);
+  return out;
+}
+
+std::vector<network::SegmentId> OnlineSession::Finish() {
+  const int64_t before = online_.consumed_points();
+  std::vector<network::SegmentId> out = online_.Finish();
+  AccumulateLatency(before);
+  return out;
+}
+
+void OnlineSession::Reset() {
+  online_.Reset();
+  latency_points_sum_ = 0;
+}
+
+SessionStats OnlineSession::stats() const {
+  SessionStats s;
+  s.points_pushed = online_.pushed_points();
+  s.points_committed = online_.consumed_points();
+  s.latency_points_sum = latency_points_sum_;
+  return s;
+}
+
+void OnlineSession::AccumulateLatency(int64_t consumed_before) {
+  // Consumption is FIFO: the points finalized by the last call are exactly
+  // the arrival ordinals [consumed_before, consumed_points()); each waited
+  // until arrival pushed_points() - 1.
+  const int64_t after = online_.consumed_points();
+  const int64_t newest = online_.pushed_points() - 1;
+  for (int64_t c = consumed_before; c < after; ++c) {
+    latency_points_sum_ += newest - c;
+  }
+}
+
+hmm::EngineResult OnlineSession::MatchOffline(const traj::Trajectory& t) {
+  return offline_.Match(t);
+}
+
+}  // namespace lhmm::matchers

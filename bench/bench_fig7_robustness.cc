@@ -1,17 +1,26 @@
 // Reproduces Figure 7 (robustness): (a) accuracy by distance from the city
 // center (5 levels, urban -> rural) and (b) accuracy by cellular sampling
 // rate (0.2 - 1.4 samples/minute), for LHMM, DMM, and STM on Hangzhou-S.
+//
+// Flags: --smoke runs a tiny self-contained fault-injection pass instead
+// (corrupted points -> traj::Sanitize -> matchers over a FaultyRouter at 10%
+// route-failure rate, break counts reported); registered in ctest.
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "core/csv.h"
+#include "core/logging.h"
 #include "core/strings.h"
 #include "eval/evaluator.h"
 #include "eval/report.h"
+#include "network/faulty_router.h"
+#include "sim/corrupt.h"
 #include "traj/filters.h"
+#include "traj/sanitize.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): bench driver.
 namespace L = ::lhmm::lhmm;
@@ -27,9 +36,101 @@ double MeanCmf(matchers::MapMatcher* matcher, const bench::Env& env,
   return s.cmf50;
 }
 
+/// Smoke: end-to-end fault injection on a tiny dataset. Every family must
+/// come back with a non-empty stitched path for every corrupted trajectory
+/// while 10% of route pairs fail — the CHECKs make ctest fail otherwise.
+int RunSmoke() {
+  sim::DatasetConfig cfg = sim::XiamenSPreset();
+  cfg.num_train = 25;
+  cfg.num_val = 3;
+  cfg.num_test = 10;
+  sim::Dataset ds = sim::BuildDataset(cfg);
+  network::RoadNetwork* net = &ds.network;
+  network::GridIndex index(net, 300.0);
+
+  L::LhmmConfig lhmm_cfg;
+  lhmm_cfg.obs_steps = 2;
+  lhmm_cfg.trans_steps = 2;
+  lhmm_cfg.fusion_steps = 5;
+  lhmm_cfg.encoder.dim = 24;
+  L::TrainInputs inputs;
+  inputs.net = net;
+  inputs.index = &index;
+  inputs.num_towers = static_cast<int>(ds.towers.size());
+  inputs.train = &ds.train;
+  std::shared_ptr<L::LhmmModel> model = TrainLhmm(inputs, lhmm_cfg);
+
+  const hmm::ClassicModelConfig classic_models = bench::CtmmModelConfig();
+  hmm::EngineConfig classic_engine = bench::BaselineEngineConfig();
+  classic_engine.k = 12;
+  matchers::StmMatcher stm(net, &index, classic_models, classic_engine);
+  matchers::IvmmMatcher ivmm(net, &index, classic_models, classic_engine.k);
+  L::LhmmMatcher lhmm_matcher(net, &index, model);
+  std::vector<matchers::MapMatcher*> all = {&stm, &ivmm, &lhmm_matcher};
+
+  // One misbehaving routing layer shared by every family.
+  network::FaultConfig fault;
+  fault.route_failure_rate = 0.10;
+  fault.seed = 7;
+  network::FaultyRouter faulty(net, fault);
+  for (matchers::MapMatcher* m : all) m->UseSharedRouter(&faulty);
+
+  // Corrupt every test feed, then sanitize it back to structural soundness.
+  traj::SanitizeConfig sanitize;
+  sanitize.policy = traj::SanitizePolicy::kRepair;
+  sanitize.num_towers = static_cast<int>(ds.towers.size());
+  traj::FilterConfig filters;
+  sim::CorruptionSummary injected;
+  traj::SanitizeReport repaired;
+  std::vector<traj::Trajectory> cleaned;
+  cleaned.reserve(ds.test.size());
+  for (size_t i = 0; i < ds.test.size(); ++i) {
+    const traj::Trajectory bad = sim::CorruptTrajectory(
+        ds.test[i].cellular, sim::UniformCorruption(0.03, 100 + i), &injected);
+    traj::SanitizeReport rep;
+    core::Result<traj::Trajectory> fixed = traj::Sanitize(bad, sanitize, &rep);
+    CHECK_OK(fixed);
+    repaired.dropped += rep.dropped;
+    repaired.repaired += rep.repaired;
+    cleaned.push_back(eval::Preprocess(*fixed, filters));
+  }
+  printf("injected defects: %s; sanitize dropped %d, repaired %d\n",
+         injected.ToString().c_str(), repaired.dropped, repaired.repaired);
+
+  eval::TextTable table({"family", "cmf50", "mean_breaks", "min_path_len"});
+  for (matchers::MapMatcher* m : all) {
+    double cmf = 0.0;
+    int breaks = 0;
+    size_t min_len = SIZE_MAX;
+    for (size_t i = 0; i < cleaned.size(); ++i) {
+      const matchers::MatchResult result = m->Match(cleaned[i]);
+      CHECK(!result.path.empty())
+          << m->name() << " returned an empty path under fault injection";
+      breaks += result.num_breaks;
+      min_len = std::min(min_len, result.path.size());
+      cmf += eval::ComputePathMetrics(*net, result.path, ds.test[i].truth_path)
+                 .cmf;
+    }
+    table.AddRow({m->name(), eval::Fmt(cmf / cleaned.size()),
+                  core::StrFormat("%.1f",
+                                  static_cast<double>(breaks) / cleaned.size()),
+                  core::StrFormat("%zu", min_len)});
+  }
+  table.Print();
+  CHECK_GT(faulty.injected_failures(), 0)
+      << "fault injection never fired; smoke is vacuous";
+  printf("router queries: %lld, injected failures: %lld\n",
+         static_cast<long long>(faulty.queries()),
+         static_cast<long long>(faulty.injected_failures()));
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
   std::filesystem::create_directories("bench_out");
   bench::Env env = bench::MakeEnv("Hangzhou-S");
 

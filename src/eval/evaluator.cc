@@ -30,6 +30,7 @@ std::vector<TrajectoryEval> EvaluatePerTrajectory(
     rec.time_s = watch.ElapsedSeconds();
     rec.metrics =
         ComputePathMetrics(net, result.path, mt.truth_path, corridor_radius);
+    rec.num_breaks = result.num_breaks;
     if (matcher->ProvidesCandidates()) {
       rec.hitting_ratio = HittingRatio(result.candidates, result.point_index,
                                        cleaned.size(), mt.truth_path);
@@ -53,6 +54,7 @@ EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
     s.cmf50 += r.metrics.cmf;
     s.hitting_ratio += r.hitting_ratio;
     s.avg_time_s += r.time_s;
+    s.mean_breaks += r.num_breaks;
   }
   const double n = static_cast<double>(records.size());
   s.precision /= n;
@@ -61,6 +63,7 @@ EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
   s.cmf50 /= n;
   s.hitting_ratio /= n;
   s.avg_time_s /= n;
+  s.mean_breaks /= n;
   return s;
 }
 
@@ -82,6 +85,7 @@ std::vector<TrajectoryEval> EvaluatePerTrajectoryParallel(
         rec.time_s = watch.ElapsedSeconds();
         rec.metrics =
             ComputePathMetrics(net, result.path, mt.truth_path, corridor_radius);
+        rec.num_breaks = result.num_breaks;
         if (has_candidates) {
           rec.hitting_ratio = HittingRatio(result.candidates, result.point_index,
                                            cleaned.size(), mt.truth_path);

@@ -24,6 +24,9 @@ struct EvalSummary {
   double hitting_ratio = 0.0;  ///< Only meaningful when has_hr.
   bool has_hr = false;
   double avg_time_s = 0.0;  ///< Mean wall-clock matching time per trajectory.
+  /// Mean HMM breaks survived per trajectory (MatchResult::num_breaks); 0 on
+  /// healthy input.
+  double mean_breaks = 0.0;
 };
 
 /// Applies the paper's preprocessing to a raw cellular trajectory: SnapNet
@@ -46,6 +49,7 @@ struct TrajectoryEval {
   PathMetrics metrics;
   double hitting_ratio = 0.0;
   double time_s = 0.0;
+  int num_breaks = 0;  ///< HMM breaks the matcher stitched across.
 };
 
 /// Like EvaluateMatcher but returns every per-trajectory record.

@@ -113,6 +113,29 @@ EngineResult Engine::Match(const traj::Trajectory& t) {
       ShortcutPass(t, s, point_index, &cands, w_matrices[s - 1], w_matrices[s], &f,
                    &pre);
     }
+
+    // HMM-break recovery (Newson–Krumm-style split): when no candidate of
+    // step s is reachable from step s-1 — a gap too long for any transition,
+    // or a routing hole/outage — the whole tail of the DP would stay at -inf
+    // and the backward pass would emit garbage. Instead, restart Viterbi
+    // here exactly as at step 0 (score = observation, no predecessor); the
+    // backward pass already treats pre = -1 as a restart, so the trajectory
+    // splits into independently matched sub-paths stitched by ExpandPath.
+    // On break-free input no column is all -inf and nothing changes.
+    bool reachable = false;
+    for (const double v : f[s]) {
+      if (v != kNegInf) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      for (size_t k2 = 0; k2 < cands[s].size(); ++k2) {
+        f[s][k2] = cands[s][k2].observation;
+      }
+      result.breaks.push_back(s);
+      result.gap_seconds += t[point_index[s]].t - t[point_index[s - 1]].t;
+    }
   }
 
   // Backward pass: Eq. (18)-(19).
@@ -142,6 +165,9 @@ EngineResult Engine::Match(const traj::Trajectory& t) {
   result.matched.resize(m);
   for (int s = 0; s < m; ++s) result.matched[s] = chain[s].segment;
   result.path = ExpandPath(chain, straight);
+  const double span = t[point_index[m - 1]].t - t[point_index[0]].t;
+  result.gap_coverage =
+      span > 0.0 ? std::max(0.0, 1.0 - result.gap_seconds / span) : 1.0;
   return result;
 }
 

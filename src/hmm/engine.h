@@ -33,6 +33,17 @@ struct EngineResult {
   std::vector<int> point_index;
   /// Chosen candidate segment per retained point.
   std::vector<network::SegmentId> matched;
+  /// HMM breaks: retained-point positions s (indices into point_index /
+  /// matched) where no candidate was reachable from step s-1 and Viterbi
+  /// restarted (Newson–Krumm-style split-and-stitch). Empty on healthy input.
+  std::vector<int> breaks;
+  /// Trajectory seconds spanned by the break gaps, and the complementary
+  /// fraction of the duration covered by connected sub-paths (1.0 when
+  /// break-free or the duration is zero).
+  double gap_seconds = 0.0;
+  double gap_coverage = 1.0;
+
+  int num_breaks() const { return static_cast<int>(breaks.size()); }
 };
 
 /// The HMM path-finding framework: candidate preparation, candidate graph

@@ -29,6 +29,7 @@ void OnlineMatcher::Reset() {
   committed_.clear();
   pushed_ = 0;
   consumed_ = 0;
+  breaks_ = 0;
 }
 
 double OnlineMatcher::RouteBound(double straight_dist) const {
@@ -143,6 +144,23 @@ std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
         }
       }
     }
+    // HMM-break recovery, mirroring Engine::Match: an unreachable column
+    // restarts the window DP at this point (score = observation, pre = -1)
+    // instead of poisoning the tail with -inf. The committed break is
+    // counted at commit time below — Advance recomputes this DP on every
+    // push, so counting here would tally the same gap once per push.
+    bool reachable = false;
+    for (const double v : f[s]) {
+      if (v != kNegInf) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      for (size_t k2 = 0; k2 < cands[s].size(); ++k2) {
+        f[s][k2] = cands[s][k2].observation;
+      }
+    }
   }
 
   // Backward pass with the Engine's restart rule: a disconnected step picks
@@ -185,6 +203,9 @@ std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
       if (route.has_value()) {
         for (network::SegmentId sid : route->segments) append(sid);
       } else {
+        // Re-anchor across the gap; the stitch is a discontinuity unless the
+        // match stayed on the anchor's segment anyway.
+        if (committed_.empty() || committed_.back() != next.segment) ++breaks_;
         append(next.segment);
       }
     }

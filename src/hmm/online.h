@@ -70,6 +70,12 @@ class OnlineMatcher {
   /// Points currently buffered and awaiting look-ahead.
   int pending_points() const { return static_cast<int>(window_.size()); }
 
+  /// Committed HMM breaks: commits whose connecting route from the previous
+  /// anchor did not exist (the windowed DP restarted across the gap and the
+  /// path was stitched with a discontinuity). The online mirror of
+  /// EngineResult::breaks. 0 on healthy input.
+  int64_t breaks() const { return breaks_; }
+
  private:
   /// Recomputes the windowed DP and commits the oldest point — or, when
   /// `flush` is set, the entire chain. Guarantees progress: at least one
@@ -92,6 +98,7 @@ class OnlineMatcher {
   std::vector<network::SegmentId> committed_;
   int64_t pushed_ = 0;
   int64_t consumed_ = 0;
+  int64_t breaks_ = 0;
 };
 
 }  // namespace lhmm::hmm

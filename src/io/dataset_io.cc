@@ -2,6 +2,7 @@
 
 #include "core/csv.h"
 #include "core/strings.h"
+#include "io/error_context.h"
 #include "io/network_io.h"
 #include "io/trajectory_io.h"
 
@@ -31,8 +32,10 @@ core::Result<DatasetBundle> LoadDatasetBundle(const std::string& prefix) {
   auto test = LoadTrajectoriesCsv(prefix + "_test.csv");
   if (!test.ok()) return test.status();
   b.test = std::move(*test);
-  const auto towers = core::ReadCsv(prefix + "_towers.csv");
+  const std::string towers_file = prefix + "_towers.csv";
+  const auto towers = core::ReadCsv(towers_file);
   if (!towers.ok()) return towers.status();
+  if (towers->empty()) return EmptyFileError(towers_file);
   for (size_t i = 1; i < towers->size(); ++i) {
     const auto& row = (*towers)[i];
     int id = 0;
@@ -40,21 +43,26 @@ core::Result<DatasetBundle> LoadDatasetBundle(const std::string& prefix) {
     double y = 0.0;
     if (row.size() < 3 || !core::ParseInt(row[0], &id) ||
         !core::ParseDouble(row[1], &x) || !core::ParseDouble(row[2], &y)) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("bad tower row %zu in %s_towers.csv", i, prefix.c_str()));
+      return RowError(towers_file, i, "bad tower row");
     }
     b.towers.push_back({id, {x, y}});
   }
   // Sanity: trajectory paths must reference valid segments.
+  const char* split_names[] = {"train", "test"};
+  int split_index = 0;
   for (const auto* split : {&b.train, &b.test}) {
-    for (const auto& mt : *split) {
-      for (network::SegmentId sid : mt.truth_path) {
+    for (size_t ti = 0; ti < split->size(); ++ti) {
+      for (network::SegmentId sid : (*split)[ti].truth_path) {
         if (sid < 0 || sid >= b.net.num_segments()) {
-          return core::Status::InvalidArgument(
-              "truth path references a segment outside the network");
+          return core::Status::InvalidArgument(core::StrFormat(
+              "%s_%s.csv.paths: trajectory %zu references segment %d outside "
+              "the network (%d segments)",
+              prefix.c_str(), split_names[split_index], ti, sid,
+              b.net.num_segments()));
         }
       }
     }
+    ++split_index;
   }
   return b;
 }

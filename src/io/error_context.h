@@ -1,0 +1,37 @@
+#ifndef LHMM_IO_ERROR_CONTEXT_H_
+#define LHMM_IO_ERROR_CONTEXT_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "core/strings.h"
+
+namespace lhmm::io {
+
+/// Formats a loader error pointing at the exact file and line. CSV data row
+/// `row` is physical line row + 1 (line 1 is the header), so the message can
+/// be pasted straight into an editor's goto-line. Every io/ loader reports
+/// corrupt input through these helpers — a truncated or mangled file must
+/// name itself, never fail vaguely or load half a dataset silently.
+inline core::Status RowError(const std::string& file, size_t row,
+                             const std::string& what) {
+  return core::Status::InvalidArgument(
+      core::StrFormat("%s line %zu: %s", file.c_str(), row + 1, what.c_str()));
+}
+
+/// Same, for plain line-oriented (non-CSV) files: `line` is 1-based already.
+inline core::Status LineError(const std::string& file, size_t line,
+                              const std::string& what) {
+  return core::Status::InvalidArgument(
+      core::StrFormat("%s line %zu: %s", file.c_str(), line, what.c_str()));
+}
+
+/// A file that exists but has no header row is truncated, not empty data.
+inline core::Status EmptyFileError(const std::string& file) {
+  return core::Status::InvalidArgument(
+      file + ": empty or truncated (header row missing)");
+}
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_ERROR_CONTEXT_H_

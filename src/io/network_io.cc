@@ -4,6 +4,7 @@
 
 #include "core/csv.h"
 #include "core/strings.h"
+#include "io/error_context.h"
 
 namespace lhmm::io {
 
@@ -66,23 +67,26 @@ core::Status SaveNetworkCsv(const network::RoadNetwork& net,
 }
 
 core::Result<network::RoadNetwork> LoadNetworkCsv(const std::string& prefix) {
-  const auto node_rows = core::ReadCsv(prefix + "_nodes.csv");
+  const std::string nodes_file = prefix + "_nodes.csv";
+  const std::string segs_file = prefix + "_segments.csv";
+  const auto node_rows = core::ReadCsv(nodes_file);
   if (!node_rows.ok()) return node_rows.status();
-  const auto seg_rows = core::ReadCsv(prefix + "_segments.csv");
+  const auto seg_rows = core::ReadCsv(segs_file);
   if (!seg_rows.ok()) return seg_rows.status();
+  if (node_rows->empty()) return EmptyFileError(nodes_file);
+  if (seg_rows->empty()) return EmptyFileError(segs_file);
 
   network::RoadNetwork net;
   for (size_t i = 1; i < node_rows->size(); ++i) {
     const auto& row = (*node_rows)[i];
     if (row.size() < 3) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("nodes row %zu malformed", i));
+      return RowError(nodes_file, i,
+                      core::StrFormat("expected 3 columns, got %zu", row.size()));
     }
     double x = 0.0;
     double y = 0.0;
     if (!core::ParseDouble(row[1], &x) || !core::ParseDouble(row[2], &y)) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("nodes row %zu has bad coordinates", i));
+      return RowError(nodes_file, i, "bad node coordinates");
     }
     net.AddNode({x, y});
   }
@@ -93,8 +97,8 @@ core::Result<network::RoadNetwork> LoadNetworkCsv(const std::string& prefix) {
   for (size_t i = 1; i < seg_rows->size(); ++i) {
     const auto& row = (*seg_rows)[i];
     if (row.size() < 8) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("segments row %zu malformed", i));
+      return RowError(segs_file, i,
+                      core::StrFormat("expected 8 columns, got %zu", row.size()));
     }
     int from = 0;
     int to = 0;
@@ -104,15 +108,16 @@ core::Result<network::RoadNetwork> LoadNetworkCsv(const std::string& prefix) {
     if (!core::ParseInt(row[1], &from) || !core::ParseInt(row[2], &to) ||
         !core::ParseDouble(row[4], &speed) || !core::ParseInt(row[5], &level) ||
         !core::ParseInt(row[6], &reverse)) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("segments row %zu has bad fields", i));
+      return RowError(segs_file, i, "bad segment fields");
     }
     if (from < 0 || from >= net.num_nodes() || to < 0 || to >= net.num_nodes()) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("segments row %zu references unknown nodes", i));
+      return RowError(segs_file, i,
+                      core::StrFormat("references unknown nodes %d -> %d "
+                                      "(network has %d)",
+                                      from, to, net.num_nodes()));
     }
     auto pts = DecodePolyline(row[7]);
-    if (!pts.ok()) return pts.status();
+    if (!pts.ok()) return RowError(segs_file, i, pts.status().message());
     net.AddSegment(from, to, geo::Polyline(std::move(*pts)), speed,
                    static_cast<network::RoadLevel>(level));
     reverse_of.push_back(reverse);
@@ -123,14 +128,14 @@ core::Result<network::RoadNetwork> LoadNetworkCsv(const std::string& prefix) {
     const network::SegmentId rev = reverse_of[i];
     if (rev == network::kInvalidSegment) continue;
     if (rev < 0 || rev >= net.num_segments()) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("segment %zu has bad reverse id %d", i, rev));
+      return RowError(segs_file, i + 1,
+                      core::StrFormat("bad reverse id %d", rev));
     }
     const auto& a = net.segment(static_cast<network::SegmentId>(i));
     const auto& b = net.segment(rev);
     if (a.from != b.to || a.to != b.from) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("segment %zu reverse id %d is not its twin", i, rev));
+      return RowError(segs_file, i + 1,
+                      core::StrFormat("reverse id %d is not its twin", rev));
     }
     net.SetReverse(static_cast<network::SegmentId>(i), rev);
   }

@@ -4,6 +4,7 @@
 
 #include "core/csv.h"
 #include "core/strings.h"
+#include "io/error_context.h"
 
 namespace lhmm::io {
 
@@ -39,12 +40,13 @@ core::Result<std::vector<traj::MatchedTrajectory>> LoadTrajectoriesCsv(
     const std::string& path) {
   const auto rows = core::ReadCsv(path);
   if (!rows.ok()) return rows.status();
+  if (rows->empty()) return EmptyFileError(path);
   std::vector<traj::MatchedTrajectory> out;
   for (size_t i = 1; i < rows->size(); ++i) {
     const auto& row = (*rows)[i];
     if (row.size() < 7) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("trajectory row %zu malformed", i));
+      return RowError(path, i,
+                      core::StrFormat("expected 7 columns, got %zu", row.size()));
     }
     int ti = 0;
     int tower = -1;
@@ -54,12 +56,10 @@ core::Result<std::vector<traj::MatchedTrajectory>> LoadTrajectoriesCsv(
     if (!core::ParseInt(row[0], &ti) || !core::ParseDouble(row[3], &t) ||
         !core::ParseDouble(row[4], &x) || !core::ParseDouble(row[5], &y) ||
         !core::ParseInt(row[6], &tower)) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("trajectory row %zu has bad fields", i));
+      return RowError(path, i, "bad trajectory fields");
     }
     if (ti < 0) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("trajectory row %zu has negative id", i));
+      return RowError(path, i, "negative trajectory id");
     }
     if (static_cast<size_t>(ti) >= out.size()) out.resize(ti + 1);
     traj::TrajPoint p{{x, y}, t, tower};
@@ -68,7 +68,7 @@ core::Result<std::vector<traj::MatchedTrajectory>> LoadTrajectoriesCsv(
     } else if (row[1] == "gps") {
       out[ti].gps.points.push_back(p);
     } else {
-      return core::Status::InvalidArgument("unknown channel " + row[1]);
+      return RowError(path, i, "unknown channel '" + row[1] + "'");
     }
   }
   const auto paths = LoadPaths(path + ".paths");
@@ -99,14 +99,16 @@ core::Result<std::vector<std::vector<network::SegmentId>>> LoadPaths(
   if (!in.is_open()) return core::Status::IoError("cannot open " + path);
   std::vector<std::vector<network::SegmentId>> out;
   std::string line;
+  size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const size_t colon = line.find(':');
     if (colon == std::string::npos) {
-      return core::Status::InvalidArgument("path line missing colon: " + line);
+      return LineError(path, lineno, "missing ':' separator");
     }
     int idx = 0;
     if (!core::ParseInt(line.substr(0, colon), &idx) || idx < 0) {
-      return core::Status::InvalidArgument("bad path index in: " + line);
+      return LineError(path, lineno, "bad path index");
     }
     if (static_cast<size_t>(idx) >= out.size()) out.resize(idx + 1);
     std::vector<network::SegmentId> segs;
@@ -114,7 +116,7 @@ core::Result<std::vector<std::vector<network::SegmentId>>> LoadPaths(
       if (core::StrTrim(tok).empty()) continue;
       int sid = 0;
       if (!core::ParseInt(tok, &sid)) {
-        return core::Status::InvalidArgument("bad segment id in: " + line);
+        return LineError(path, lineno, "bad segment id '" + tok + "'");
       }
       segs.push_back(sid);
     }

@@ -54,6 +54,8 @@ MatchResult HmmMatcherBase::Match(const traj::Trajectory& cellular) {
   out.path = std::move(er.path);
   out.candidates = std::move(er.candidates);
   out.point_index = std::move(er.point_index);
+  out.num_breaks = er.num_breaks();
+  out.gap_coverage = er.gap_coverage;
   return out;
 }
 

@@ -86,6 +86,34 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
     }
   }
 
+  // HMM breaks (same notion as hmm::Engine): a step whose whole transition
+  // matrix is -inf — no candidate of step s is reachable from step s-1.
+  // Every pinned DP below restarts at such columns (score = observation, no
+  // predecessor) instead of aborting, so voting keeps working on both sides
+  // of the gap and the result reports the break count. On healthy input no
+  // column qualifies and the DP is unchanged.
+  std::vector<char> break_col(m, 0);
+  for (int s = 1; s < m; ++s) {
+    bool any = false;
+    for (const auto& row : w[s]) {
+      for (const double v : row) {
+        if (v != kNegInf) {
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+    }
+    if (!any) {
+      break_col[s] = 1;
+      ++result.num_breaks;
+      result.gap_coverage -=
+          (t[point_index[s]].t - t[point_index[s - 1]].t) /
+          std::max(1e-9, t[point_index[m - 1]].t - t[point_index[0]].t);
+    }
+  }
+  result.gap_coverage = std::max(0.0, result.gap_coverage);
+
   // Interactive voting: for every (anchor point a, candidate ja), run the DP
   // with point a pinned to ja; every point's matched candidate on that path
   // gets a vote weighted by proximity to the anchor.
@@ -110,6 +138,11 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
         }
         for (int k2 = 0; k2 < n; ++k2) {
           if (s == a && k2 != static_cast<int>(ja)) continue;
+          if (break_col[s]) {
+            // Restart across the gap, exactly like hmm::Engine.
+            f[s][k2] = cands[s][k2].observation;
+            continue;
+          }
           for (size_t j = 0; j < cands[s - 1].size(); ++j) {
             if (f[s - 1][j] == kNegInf || w[s][j][k2] == kNegInf) continue;
             const double score = f[s - 1][j] + w[s][j][k2];
@@ -132,11 +165,25 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
       chain[m - 1] = best;
       bool ok = true;
       for (int s = m - 1; s > 0; --s) {
-        chain[s - 1] = pre[s][chain[s]];
-        if (chain[s - 1] < 0) {
-          ok = false;
-          break;
+        int p = pre[s][chain[s]];
+        if (p < 0) {
+          if (!break_col[s]) {
+            // Genuine dead end for this pin (not a break column).
+            ok = false;
+            break;
+          }
+          // Restart backtrack: pick the locally best predecessor, mirroring
+          // the Engine's backward pass across a break.
+          for (size_t j = 0; j < f[s - 1].size(); ++j) {
+            if (f[s - 1][j] == kNegInf) continue;
+            if (p < 0 || f[s - 1][j] > f[s - 1][p]) p = static_cast<int>(j);
+          }
+          if (p < 0) {
+            ok = false;
+            break;
+          }
         }
+        chain[s - 1] = p;
       }
       if (!ok) continue;
       for (int s = 0; s < m; ++s) {

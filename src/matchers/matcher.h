@@ -26,6 +26,13 @@ struct MatchResult {
   /// that do not prepare candidates (seq2seq family).
   std::vector<hmm::CandidateSet> candidates;
   std::vector<int> point_index;
+  /// HMM breaks survived while matching: points where no transition from the
+  /// previous step existed and the matcher restarted and stitched
+  /// (EngineResult::breaks semantics). 0 / 1.0 for break-free matches and
+  /// for matchers without the notion (seq2seq family).
+  int num_breaks = 0;
+  /// Fraction of the matched time span covered by connected sub-paths.
+  double gap_coverage = 1.0;
 };
 
 /// Common interface of every map matcher in the library: the ten baselines

@@ -1,5 +1,8 @@
 #include "matchers/stream_engine.h"
 
+#include <cmath>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "core/logging.h"
@@ -10,6 +13,9 @@ StreamEngine::StreamEngine(MatcherFactory factory,
                            const StreamEngineConfig& config)
     : factory_(std::move(factory)), config_(config) {
   CHECK(factory_ != nullptr);
+  CHECK_GE(config_.max_inbox, 0);
+  CHECK_GE(config_.session_ttl, 0);
+  CHECK_GE(config_.max_live_sessions, 0);
   num_threads_ = config_.num_threads > 0 ? config_.num_threads
                                          : core::ThreadPool::DefaultThreadCount();
   if (num_threads_ > 1) {
@@ -22,6 +28,27 @@ StreamEngine::~StreamEngine() {
 }
 
 SessionId StreamEngine::Open() {
+  // Enforce the live-session cap before admitting a new session. The victim
+  // scan runs on the producer thread over producer-side fields, with session
+  // id as the tie-break, so the eviction sequence is a pure function of the
+  // producer's call history — identical for every thread count.
+  if (config_.max_live_sessions > 0) {
+    while (live_ >= config_.max_live_sessions) {
+      Slot* lru = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(slots_mu_);
+        for (const std::unique_ptr<Slot>& s : slots_) {
+          if (s->closed.load(std::memory_order_relaxed)) continue;
+          if (lru == nullptr || s->last_activity < lru->last_activity) {
+            lru = s.get();
+          }
+        }
+      }
+      if (lru == nullptr) break;
+      Evict(lru);
+    }
+  }
+
   auto s = std::make_unique<Slot>();
   s->matcher = factory_();
   CHECK(s->matcher != nullptr);
@@ -33,6 +60,8 @@ SessionId StreamEngine::Open() {
   s->session = s->matcher->OpenSession(sc);
   CHECK(s->session != nullptr)
       << s->matcher->name() << " does not support streaming";
+  s->last_activity = clock_;
+  ++live_;
   std::lock_guard<std::mutex> lock(slots_mu_);
   slots_.push_back(std::move(s));
   return static_cast<SessionId>(slots_.size()) - 1;
@@ -45,37 +74,133 @@ StreamEngine::Slot* StreamEngine::slot(SessionId id) const {
   return slots_[id].get();
 }
 
-void StreamEngine::Push(SessionId id, const traj::TrajPoint& point) {
+core::Status StreamEngine::Push(SessionId id, const traj::TrajPoint& point) {
   Slot* s = slot(id);
-  CHECK(!s->closed.load(std::memory_order_acquire))
-      << "Push after Finish on session " << id;
-  Enqueue(s, point);
+  if (s->poisoned.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    return s->error;
+  }
+  if (s->closed.load(std::memory_order_acquire)) {
+    return core::Status(core::StatusCode::kFailedPrecondition,
+                        "push on closed session " + std::to_string(id));
+  }
+  if (config_.validate_points) {
+    if (!std::isfinite(point.pos.x) || !std::isfinite(point.pos.y) ||
+        !std::isfinite(point.t)) {
+      rejected_pushes_.fetch_add(1, std::memory_order_relaxed);
+      return core::Status(core::StatusCode::kInvalidArgument,
+                          "non-finite point pushed to session " +
+                              std::to_string(id));
+    }
+    if (s->seen_point && point.t < s->last_time) {
+      rejected_pushes_.fetch_add(1, std::memory_order_relaxed);
+      return core::Status(core::StatusCode::kInvalidArgument,
+                          "timestamp moved backwards in session " +
+                              std::to_string(id));
+    }
+  }
+  core::Status status = Enqueue(s, point);
+  if (status.ok()) {
+    s->seen_point = true;
+    s->last_time = point.t;
+    s->last_activity = clock_;
+  }
+  return status;
 }
 
-void StreamEngine::Finish(SessionId id) {
+core::Status StreamEngine::Finish(SessionId id) {
   Slot* s = slot(id);
-  CHECK(!s->closed.exchange(true, std::memory_order_acq_rel))
-      << "double Finish on session " << id;
+  if (s->closed.exchange(true, std::memory_order_acq_rel)) {
+    return core::Status(core::StatusCode::kFailedPrecondition,
+                        "session " + std::to_string(id) + " already closed");
+  }
+  --live_;
+  return Enqueue(s, std::nullopt);
+}
+
+void StreamEngine::Evict(Slot* s) {
+  if (s->closed.exchange(true, std::memory_order_acq_rel)) return;
+  s->evicted.store(true, std::memory_order_release);
+  --live_;
+  ++evicted_sessions_;
   Enqueue(s, std::nullopt);
+}
+
+void StreamEngine::AdvanceClock(int64_t now) {
+  if (now > clock_) clock_ = now;
+  if (config_.session_ttl <= 0) return;
+  std::vector<Slot*> idle;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (const std::unique_ptr<Slot>& s : slots_) {
+      if (s->closed.load(std::memory_order_relaxed)) continue;
+      if (clock_ - s->last_activity >= config_.session_ttl) idle.push_back(s.get());
+    }
+  }
+  for (Slot* s : idle) Evict(s);
 }
 
 void StreamEngine::Process(Slot* s, std::optional<traj::TrajPoint>& event) {
   if (event.has_value()) {
     s->session->Push(*event);
-  } else {
-    s->session->Finish();
-    s->finished.store(true, std::memory_order_release);
+    return;
   }
+  // End of stream: snapshot the final output, then free the session and its
+  // matcher clone so memory tracks live sessions, not total sessions.
+  s->session->Finish();
+  std::vector<network::SegmentId> committed = s->session->committed();
+  const SessionStats stats = s->session->stats();
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->final_committed = std::move(committed);
+    s->final_stats = stats;
+    s->session.reset();
+    s->matcher.reset();
+  }
+  s->finished.store(true, std::memory_order_release);
 }
 
-void StreamEngine::Enqueue(Slot* s, std::optional<traj::TrajPoint> event) {
+void StreamEngine::Poison(Slot* s, const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->error = core::Status(core::StatusCode::kInternal,
+                            "session poisoned: " + what);
+    s->inbox.clear();
+    s->session.reset();
+    s->matcher.reset();
+  }
+  s->poisoned.store(true, std::memory_order_release);
+}
+
+core::Status StreamEngine::Enqueue(Slot* s, std::optional<traj::TrajPoint> event) {
   if (pool_ == nullptr) {
-    Process(s, event);
-    return;
+    if (s->poisoned.load(std::memory_order_acquire)) return core::Status::Ok();
+    try {
+      Process(s, event);
+    } catch (const std::exception& e) {
+      Poison(s, e.what());
+    } catch (...) {
+      Poison(s, "unknown exception");
+    }
+    return core::Status::Ok();
   }
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(s->mu);
+    if (s->poisoned.load(std::memory_order_relaxed)) return core::Status::Ok();
+    if (event.has_value() && config_.max_inbox > 0 &&
+        static_cast<int>(s->inbox.size()) >= config_.max_inbox) {
+      if (config_.backpressure == BackpressurePolicy::kReject) {
+        rejected_pushes_.fetch_add(1, std::memory_order_relaxed);
+        return core::Status(core::StatusCode::kFailedPrecondition,
+                            "session inbox full (" +
+                                std::to_string(s->inbox.size()) + " events)");
+      }
+      // kDropOldest. The session is open (Push checked closed), so the inbox
+      // holds only points — the end-of-stream sentinel can never be dropped.
+      s->inbox.pop_front();
+      dropped_points_.fetch_add(1, std::memory_order_relaxed);
+    }
     s->inbox.push_back(std::move(event));
     if (!s->scheduled) {
       s->scheduled = true;
@@ -85,25 +210,37 @@ void StreamEngine::Enqueue(Slot* s, std::optional<traj::TrajPoint> event) {
   if (schedule) {
     pool_->Submit([this, s] { Pump(s); });
   }
+  return core::Status::Ok();
 }
 
 void StreamEngine::Pump(Slot* s) {
   // Drains the inbox in arrival order. `scheduled` stays true until the
   // inbox is observed empty under the lock, so no second pump for this slot
   // can be queued while this one runs — that exclusivity is the per-session
-  // FIFO guarantee.
+  // FIFO guarantee. An exception from the matcher quarantines the session
+  // (Poison) instead of propagating into the pool.
   for (;;) {
     std::deque<std::optional<traj::TrajPoint>> batch;
     {
       std::lock_guard<std::mutex> lock(s->mu);
-      if (s->inbox.empty()) {
+      if (s->inbox.empty() || s->poisoned.load(std::memory_order_relaxed)) {
+        s->inbox.clear();
         s->scheduled = false;
         return;
       }
       batch.swap(s->inbox);
     }
     for (std::optional<traj::TrajPoint>& event : batch) {
-      Process(s, event);
+      if (s->poisoned.load(std::memory_order_relaxed)) break;
+      try {
+        Process(s, event);
+      } catch (const std::exception& e) {
+        Poison(s, e.what());
+        break;
+      } catch (...) {
+        Poison(s, "unknown exception");
+        break;
+      }
     }
   }
 }
@@ -116,23 +253,51 @@ bool StreamEngine::finished(SessionId id) const {
   return slot(id)->finished.load(std::memory_order_acquire);
 }
 
+SessionState StreamEngine::state(SessionId id) const {
+  Slot* s = slot(id);
+  if (s->poisoned.load(std::memory_order_acquire)) return SessionState::kPoisoned;
+  if (s->finished.load(std::memory_order_acquire)) {
+    return s->evicted.load(std::memory_order_acquire) ? SessionState::kEvicted
+                                                      : SessionState::kFinished;
+  }
+  return SessionState::kLive;
+}
+
+core::Status StreamEngine::SessionError(SessionId id) const {
+  Slot* s = slot(id);
+  if (!s->poisoned.load(std::memory_order_acquire)) return core::Status::Ok();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->error;
+}
+
 const std::vector<network::SegmentId>& StreamEngine::Committed(
     SessionId id) const {
-  return slot(id)->session->committed();
+  Slot* s = slot(id);
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->session != nullptr) return s->session->committed();
+  return s->final_committed;
 }
 
 SessionStats StreamEngine::Stats(SessionId id) const {
-  return slot(id)->session->stats();
+  Slot* s = slot(id);
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->session != nullptr) return s->session->stats();
+  return s->final_stats;
 }
 
 SessionStats StreamEngine::TotalStats() const {
   std::lock_guard<std::mutex> lock(slots_mu_);
   SessionStats total;
   for (const std::unique_ptr<Slot>& s : slots_) {
-    const SessionStats one = s->session->stats();
+    SessionStats one;
+    {
+      std::lock_guard<std::mutex> slot_lock(s->mu);
+      one = s->session != nullptr ? s->session->stats() : s->final_stats;
+    }
     total.points_pushed += one.points_pushed;
     total.points_committed += one.points_committed;
     total.latency_points_sum += one.latency_points_sum;
+    total.breaks += one.breaks;
   }
   return total;
 }

@@ -9,12 +9,19 @@
 #include <optional>
 #include <vector>
 
+#include "core/status.h"
 #include "core/thread_pool.h"
 #include "matchers/batch_matcher.h"
 #include "matchers/matcher.h"
 #include "network/path_cache.h"
 
 namespace lhmm::matchers {
+
+/// What happens to a Push() when a session's inbox is at max_inbox.
+enum class BackpressurePolicy {
+  kReject,     ///< Push returns kFailedPrecondition; the point is not queued.
+  kDropOldest  ///< The oldest queued point is discarded to make room.
+};
 
 struct StreamEngineConfig {
   /// Worker threads; 0 means core::ThreadPool::DefaultThreadCount(); 1 runs
@@ -27,10 +34,34 @@ struct StreamEngineConfig {
   /// results amortize across concurrent trajectories. Pre-heating it with
   /// CachedRouter::WarmAll removes first-query latency spikes.
   network::CachedRouter* shared_router = nullptr;
+  /// Bound on each session's pending-event queue; 0 = unbounded. When a
+  /// producer outruns the pump, `backpressure` decides what gives. The
+  /// end-of-stream sentinel is never rejected or dropped.
+  int max_inbox = 0;
+  BackpressurePolicy backpressure = BackpressurePolicy::kReject;
+  /// Idle-session TTL in logical-clock ticks (see AdvanceClock); a live
+  /// session with no Push for `session_ttl` ticks is evicted (flushed and
+  /// closed as if Finish had been called). 0 disables TTL eviction.
+  int64_t session_ttl = 0;
+  /// Cap on concurrently live sessions; when Open() would exceed it, the
+  /// least-recently-active live session is evicted first. 0 = uncapped.
+  int64_t max_live_sessions = 0;
+  /// Reject obviously broken points at the producer boundary (non-finite
+  /// coordinates/timestamps, timestamps moving backwards within a session)
+  /// with kInvalidArgument instead of feeding them to the matcher.
+  bool validate_points = true;
 };
 
 /// Handle of one live session; dense, assigned by Open() in call order.
 using SessionId = int64_t;
+
+/// Lifecycle of a session, queryable at any time via state().
+enum class SessionState {
+  kLive,      ///< Open and accepting pushes (or still draining its inbox).
+  kFinished,  ///< Finish() processed; Committed()/Stats() are final.
+  kEvicted,   ///< Closed by TTL or the live-session cap; output is final.
+  kPoisoned   ///< A pump error quarantined it; see SessionError().
+};
 
 /// Multiplexes many concurrent fixed-lag streaming sessions over one
 /// core::ThreadPool. Each session gets its own matcher clone from the
@@ -45,9 +76,26 @@ using SessionId = int64_t;
 /// committed outputs are byte-identical for any thread count and any
 /// cross-session arrival interleaving (see tests/stream_test.cc).
 ///
-/// Thread safety: Open/Push/Finish/Barrier may be called from one producer
-/// thread (or externally synchronized producers). Committed()/Stats() for a
-/// session are valid once finished(id) is true or after Barrier().
+/// Serving hardening on top of that contract:
+///  - Bounded inboxes with a backpressure policy, so one slow session cannot
+///    take down the process. Which points get dropped under kDropOldest
+///    depends on pump timing and is NOT deterministic across thread counts.
+///  - A logical clock (AdvanceClock) drives idle-TTL eviction, and Open()
+///    enforces max_live_sessions by evicting the least-recently-active
+///    session. Both decisions are made on the producer thread from producer
+///    state only, so eviction IS deterministic across thread counts.
+///  - Per-session error quarantine: an exception while processing a session's
+///    events poisons that session (its Status is kept, its queue discarded,
+///    its resources freed) and never crashes the pump or other sessions.
+///    Poisoned sessions never report finished(); check state().
+///  - A finished session's matcher and session objects are freed immediately;
+///    the final committed path and stats stay queryable. Memory therefore
+///    scales with live sessions, not with sessions ever opened.
+///
+/// Thread safety: Open/Push/Finish/AdvanceClock/Barrier may be called from
+/// one producer thread (or externally synchronized producers). Committed()/
+/// Stats() for a session are valid once finished(id) is true or after
+/// Barrier().
 class StreamEngine {
  public:
   explicit StreamEngine(MatcherFactory factory,
@@ -58,22 +106,38 @@ class StreamEngine {
   StreamEngine& operator=(const StreamEngine&) = delete;
 
   /// Creates a new session (matcher clone + fixed-lag session) and returns
-  /// its id. The clone is built on the calling thread.
+  /// its id. The clone is built on the calling thread. May first evict the
+  /// least-recently-active live session to honor max_live_sessions.
   SessionId Open();
 
-  /// Enqueues the next point of session `id`. Invalid after Finish(id).
-  void Push(SessionId id, const traj::TrajPoint& point);
+  /// Enqueues the next point of session `id`. Fails (without crashing) with
+  /// kInvalidArgument for a malformed point, kFailedPrecondition for a
+  /// closed/full session, or the stored error for a poisoned one.
+  core::Status Push(SessionId id, const traj::TrajPoint& point);
 
   /// Enqueues end-of-stream for session `id`: pending points flush and the
-  /// session's committed path becomes final. At most once per session.
-  void Finish(SessionId id);
+  /// session's committed path becomes final. Fails with kFailedPrecondition
+  /// if the session is already closed.
+  core::Status Finish(SessionId id);
+
+  /// Advances the engine's logical clock to max(current, now) and evicts
+  /// every live session idle for >= session_ttl ticks. The clock only moves
+  /// when the producer calls this, so eviction is reproducible: it depends
+  /// on the producer's call sequence, never on worker timing.
+  void AdvanceClock(int64_t now);
 
   /// Blocks until every enqueued event has been processed. Producers must be
   /// quiescent while waiting. The engine remains usable afterwards.
   void Barrier();
 
-  /// True once Finish(id) has been fully processed.
+  /// True once Finish(id) (or an eviction) has been fully processed. Stays
+  /// false forever for poisoned sessions — use state() for liveness checks.
   bool finished(SessionId id) const;
+
+  SessionState state(SessionId id) const;
+
+  /// OK unless the session is poisoned, in which case the quarantined error.
+  core::Status SessionError(SessionId id) const;
 
   /// The session's committed path. Final after finished(id) / Barrier().
   const std::vector<network::SegmentId>& Committed(SessionId id) const;
@@ -84,27 +148,54 @@ class StreamEngine {
   SessionStats TotalStats() const;
 
   int64_t num_sessions() const;
+  /// Sessions currently open (not yet finished, evicted, or poisoned-closed).
+  int64_t live_sessions() const { return live_; }
+  int64_t clock() const { return clock_; }
+  int64_t evicted_sessions() const { return evicted_sessions_; }
+  /// Points discarded by kDropOldest backpressure, across all sessions.
+  int64_t dropped_points() const {
+    return dropped_points_.load(std::memory_order_relaxed);
+  }
+  /// Pushes refused at the producer boundary (validation or kReject).
+  int64_t rejected_pushes() const {
+    return rejected_pushes_.load(std::memory_order_relaxed);
+  }
   int num_threads() const { return num_threads_; }
 
  private:
   /// One session's actor state. `inbox` holds pending events in arrival
   /// order (nullopt = end-of-stream); `scheduled` is true while a pump task
   /// for this slot is queued or running, which is what guarantees per-session
-  /// FIFO processing: there is never more than one.
+  /// FIFO processing: there is never more than one. `mu` guards the inbox
+  /// and, once the slot winds down, the handoff of session/matcher into the
+  /// final_* snapshot. The last_* fields are producer-side only.
   struct Slot {
     std::mutex mu;
     std::deque<std::optional<traj::TrajPoint>> inbox;
     bool scheduled = false;
-    std::atomic<bool> closed{false};    ///< Finish() was enqueued.
-    std::atomic<bool> finished{false};  ///< Finish() was processed.
     std::unique_ptr<MapMatcher> matcher;
     std::unique_ptr<StreamingSession> session;
+    std::vector<network::SegmentId> final_committed;
+    SessionStats final_stats;
+    core::Status error;                 ///< Guarded by mu; set when poisoned.
+    std::atomic<bool> closed{false};    ///< Finish()/eviction was enqueued.
+    std::atomic<bool> finished{false};  ///< End-of-stream was processed.
+    std::atomic<bool> evicted{false};   ///< Closed by TTL or the cap.
+    std::atomic<bool> poisoned{false};  ///< Quarantined after an error.
+    int64_t last_activity = 0;  ///< Logical time of Open()/last Push().
+    double last_time = 0.0;     ///< Timestamp of the last accepted point.
+    bool seen_point = false;
   };
 
   Slot* slot(SessionId id) const;
-  void Enqueue(Slot* s, std::optional<traj::TrajPoint> event);
+  core::Status Enqueue(Slot* s, std::optional<traj::TrajPoint> event);
   void Pump(Slot* s);
-  static void Process(Slot* s, std::optional<traj::TrajPoint>& event);
+  void Process(Slot* s, std::optional<traj::TrajPoint>& event);
+  /// Quarantines the slot: stores the error, frees its matcher/session,
+  /// discards queued events. Later events for the slot are ignored.
+  void Poison(Slot* s, const std::string& what);
+  /// Closes a live slot as evicted and enqueues its end-of-stream sentinel.
+  void Evict(Slot* s);
 
   MatcherFactory factory_;
   StreamEngineConfig config_;
@@ -112,6 +203,11 @@ class StreamEngine {
   std::unique_ptr<core::ThreadPool> pool_;  ///< Null when num_threads_ == 1.
   mutable std::mutex slots_mu_;             ///< Guards the slots_ container.
   std::vector<std::unique_ptr<Slot>> slots_;
+  int64_t clock_ = 0;             ///< Producer-side logical time.
+  int64_t live_ = 0;              ///< Producer-side live-session count.
+  int64_t evicted_sessions_ = 0;  ///< Producer-side eviction count.
+  std::atomic<int64_t> dropped_points_{0};
+  std::atomic<int64_t> rejected_pushes_{0};
 };
 
 }  // namespace lhmm::matchers

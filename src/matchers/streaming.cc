@@ -48,6 +48,7 @@ SessionStats OnlineSession::stats() const {
   s.points_pushed = online_.pushed_points();
   s.points_committed = online_.consumed_points();
   s.latency_points_sum = latency_points_sum_;
+  s.breaks = online_.breaks();
   return s;
 }
 

@@ -27,6 +27,9 @@ struct SessionStats {
   int64_t points_pushed = 0;
   int64_t points_committed = 0;
   int64_t latency_points_sum = 0;
+  /// Committed HMM breaks (hmm::OnlineMatcher::breaks()): discontinuities the
+  /// session stitched across because no connecting route existed.
+  int64_t breaks = 0;
 
   double MeanCommitLatency() const {
     return points_committed > 0

@@ -36,15 +36,19 @@ class CachedRouter {
   /// Self-contained variant: all pooled routers are owned.
   explicit CachedRouter(const RoadNetwork* net, int num_shards = kDefaultShards);
 
+  virtual ~CachedRouter() = default;
+
   /// Shortest route from `from` to `to` bounded by `max_length`. A cached
   /// entry is reused only if it was computed with a bound at least as large.
-  std::optional<Route> Route1(SegmentId from, SegmentId to, double max_length);
+  /// Virtual so fault-injection wrappers (network::FaultyRouter) can stand in
+  /// anywhere a CachedRouter* is accepted.
+  virtual std::optional<Route> Route1(SegmentId from, SegmentId to,
+                                      double max_length);
 
   /// Batched variant mirroring SegmentRouter::RouteMany. Runs at most one
   /// Dijkstra for all cache misses.
-  std::vector<std::optional<Route>> RouteMany(SegmentId from,
-                                              const std::vector<SegmentId>& targets,
-                                              double max_length);
+  virtual std::vector<std::optional<Route>> RouteMany(
+      SegmentId from, const std::vector<SegmentId>& targets, double max_length);
 
   /// Precomputes routes from every segment to all segments within `radius`
   /// meters (the FMM-style precomputation table of [11] the paper mentions:

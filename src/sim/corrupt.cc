@@ -1,0 +1,73 @@
+#include "sim/corrupt.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/strings.h"
+
+namespace lhmm::sim {
+
+CorruptionConfig UniformCorruption(double rate, uint64_t seed) {
+  CorruptionConfig c;
+  c.nan_rate = rate;
+  c.duplicate_rate = rate;
+  c.swap_rate = rate;
+  c.jump_rate = rate;
+  c.unknown_tower_rate = rate;
+  c.seed = seed;
+  return c;
+}
+
+std::string CorruptionSummary::ToString() const {
+  return core::StrFormat(
+      "injected %d defects (nan %d, duplicate %d, swap %d, jump %d, "
+      "unknown-tower %d)",
+      total(), nans, duplicates, swaps, jumps, unknown_towers);
+}
+
+traj::Trajectory CorruptTrajectory(const traj::Trajectory& in,
+                                   const CorruptionConfig& config,
+                                   CorruptionSummary* summary) {
+  CorruptionSummary local;
+  CorruptionSummary& s = summary != nullptr ? *summary : local;
+  s = CorruptionSummary{};
+  core::Rng rng(config.seed);
+
+  traj::Trajectory out;
+  out.points.reserve(in.points.size());
+  for (int i = 0; i < in.size(); ++i) {
+    traj::TrajPoint p = in[i];
+    if (rng.Bernoulli(config.jump_rate)) {
+      const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      p.pos.x += config.jump_meters * std::cos(angle);
+      p.pos.y += config.jump_meters * std::sin(angle);
+      ++s.jumps;
+    }
+    if (rng.Bernoulli(config.unknown_tower_rate)) {
+      p.tower = 1000000 + rng.UniformInt(1000000);
+      ++s.unknown_towers;
+    }
+    if (rng.Bernoulli(config.nan_rate)) {
+      (rng.Bernoulli(0.5) ? p.pos.x : p.pos.y) =
+          std::numeric_limits<double>::quiet_NaN();
+      ++s.nans;
+    }
+    out.points.push_back(p);
+    if (rng.Bernoulli(config.duplicate_rate)) {
+      out.points.push_back(p);  // Replayed packet: same fix, same timestamp.
+      ++s.duplicates;
+    }
+  }
+  // Swap pass: reordered delivery flips a point with its successor.
+  for (size_t i = 0; i + 1 < out.points.size(); ++i) {
+    if (rng.Bernoulli(config.swap_rate)) {
+      std::swap(out.points[i], out.points[i + 1]);
+      ++s.swaps;
+      ++i;  // Do not immediately swap the pair back.
+    }
+  }
+  return out;
+}
+
+}  // namespace lhmm::sim

@@ -1,0 +1,52 @@
+#ifndef LHMM_SIM_CORRUPT_H_
+#define LHMM_SIM_CORRUPT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::sim {
+
+/// Per-point corruption rates for the fault-injection harness. Each rate is
+/// the probability that the corresponding defect is applied to a point (a
+/// point can collect several defects). The defect classes mirror what real
+/// cellular feeds do: broken fixes, replayed packets, reordered delivery,
+/// runaway positioning error, and towers the network has never heard of.
+struct CorruptionConfig {
+  double nan_rate = 0.0;            ///< Coordinate becomes NaN.
+  double duplicate_rate = 0.0;      ///< Point is delivered twice (same t).
+  double swap_rate = 0.0;           ///< Point swaps order with its successor.
+  double jump_rate = 0.0;           ///< Position teleports by ~jump_meters.
+  double jump_meters = 20000.0;
+  double unknown_tower_rate = 0.0;  ///< Tower id outside any valid universe.
+  uint64_t seed = 1;
+};
+
+/// A config exercising every defect class at `rate`, seeded.
+CorruptionConfig UniformCorruption(double rate, uint64_t seed);
+
+/// What CorruptTrajectory actually injected.
+struct CorruptionSummary {
+  int nans = 0;
+  int duplicates = 0;
+  int swaps = 0;
+  int jumps = 0;
+  int unknown_towers = 0;
+
+  int total() const { return nans + duplicates + swaps + jumps + unknown_towers; }
+  std::string ToString() const;
+};
+
+/// Returns a corrupted copy of `in`, deterministic in (config.seed, input).
+/// The result intentionally violates the Trajectory invariants (monotone
+/// time, finite coordinates) — feed it through traj::Sanitize or a hardened
+/// entry point; feeding it to a matcher directly is the crash-test.
+traj::Trajectory CorruptTrajectory(const traj::Trajectory& in,
+                                   const CorruptionConfig& config,
+                                   CorruptionSummary* summary = nullptr);
+
+}  // namespace lhmm::sim
+
+#endif  // LHMM_SIM_CORRUPT_H_

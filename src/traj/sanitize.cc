@@ -1,0 +1,155 @@
+#include "traj/sanitize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/strings.h"
+
+namespace lhmm::traj {
+
+namespace {
+
+bool Finite(const TrajPoint& p) {
+  return std::isfinite(p.pos.x) && std::isfinite(p.pos.y) && std::isfinite(p.t);
+}
+
+core::Status RejectAt(int i, const std::string& what) {
+  return core::Status::InvalidArgument(
+      core::StrFormat("point %d: %s", i, what.c_str()));
+}
+
+}  // namespace
+
+const char* SanitizePolicyName(SanitizePolicy policy) {
+  switch (policy) {
+    case SanitizePolicy::kReject:
+      return "reject";
+    case SanitizePolicy::kDropPoint:
+      return "drop-point";
+    case SanitizePolicy::kRepair:
+      return "repair";
+  }
+  return "unknown";
+}
+
+std::string SanitizeReport::ToString() const {
+  return core::StrFormat(
+      "points %d -> %d (nonfinite %d, out-of-order %d, duplicate-time %d, "
+      "unknown-tower %d, off-network %d; dropped %d, repaired %d)",
+      input_points, output_points, nonfinite, out_of_order, duplicate_time,
+      unknown_tower, off_network, dropped, repaired);
+}
+
+core::Result<Trajectory> Sanitize(const Trajectory& in,
+                                  const SanitizeConfig& config,
+                                  SanitizeReport* report) {
+  SanitizeReport local;
+  SanitizeReport& r = report != nullptr ? *report : local;
+  r = SanitizeReport{};
+  r.input_points = in.size();
+  const bool reject = config.policy == SanitizePolicy::kReject;
+  const bool repair = config.policy == SanitizePolicy::kRepair;
+
+  geo::BBox bounds;
+  const bool check_bounds =
+      config.network_bounds.has_value() && !config.network_bounds->Empty();
+  if (check_bounds) {
+    bounds = *config.network_bounds;
+    bounds.Inflate(config.off_network_margin);
+  }
+
+  // Pass 1: per-point checks (finiteness, tower universe, network bounds).
+  Trajectory kept;
+  kept.points.reserve(in.points.size());
+  for (int i = 0; i < in.size(); ++i) {
+    TrajPoint p = in[i];
+    if (!Finite(p)) {
+      ++r.nonfinite;
+      if (reject) return RejectAt(i, "non-finite coordinate or timestamp");
+      ++r.dropped;  // No repair can invent a position; drop in both modes.
+      continue;
+    }
+    if (config.num_towers >= 0 && p.tower != kInvalidTower &&
+        (p.tower < 0 || p.tower >= config.num_towers)) {
+      ++r.unknown_tower;
+      if (reject) {
+        return RejectAt(i, core::StrFormat("unknown tower id %d", p.tower));
+      }
+      if (repair) {
+        // The fix is still a usable position sample; only the tower label is
+        // wrong, so clear it (matchers treat kInvalidTower as tower-less).
+        p.tower = kInvalidTower;
+        ++r.repaired;
+      } else {
+        ++r.dropped;
+        continue;
+      }
+    }
+    if (check_bounds && !bounds.Contains(p.pos)) {
+      ++r.off_network;
+      if (reject) return RejectAt(i, "position outside the network bounds");
+      if (repair) {
+        p.pos.x = std::clamp(p.pos.x, bounds.min_x, bounds.max_x);
+        p.pos.y = std::clamp(p.pos.y, bounds.min_y, bounds.max_y);
+        ++r.repaired;
+      } else {
+        ++r.dropped;
+        continue;
+      }
+    }
+    kept.points.push_back(p);
+  }
+
+  // Pass 2: time order. Repair reorders (stable, so same-timestamp points
+  // keep arrival order); drop discards any point that moves time backwards.
+  int reversals = 0;
+  int first_reversal = -1;
+  for (size_t i = 1; i < kept.points.size(); ++i) {
+    if (kept.points[i].t < kept.points[i - 1].t) {
+      ++reversals;
+      if (first_reversal < 0) first_reversal = static_cast<int>(i);
+    }
+  }
+  if (reversals > 0) {
+    r.out_of_order += reversals;
+    if (reject) return RejectAt(first_reversal, "timestamp moved backwards");
+    if (repair) {
+      std::stable_sort(
+          kept.points.begin(), kept.points.end(),
+          [](const TrajPoint& a, const TrajPoint& b) { return a.t < b.t; });
+      r.repaired += reversals;
+    } else {
+      Trajectory ordered;
+      ordered.points.reserve(kept.points.size());
+      for (const TrajPoint& p : kept.points) {
+        if (!ordered.points.empty() && p.t < ordered.points.back().t) {
+          ++r.dropped;
+          continue;
+        }
+        ordered.points.push_back(p);
+      }
+      kept = std::move(ordered);
+    }
+  }
+
+  // Pass 3: duplicate timestamps. Two fixes at one instant carry no motion
+  // information and break dt-based transition features; keep the first.
+  Trajectory out;
+  out.points.reserve(kept.points.size());
+  for (size_t i = 0; i < kept.points.size(); ++i) {
+    if (!out.points.empty() && kept.points[i].t == out.points.back().t) {
+      ++r.duplicate_time;
+      if (reject) {
+        return RejectAt(static_cast<int>(i), "duplicate timestamp");
+      }
+      ++r.dropped;
+      continue;
+    }
+    out.points.push_back(kept.points[i]);
+  }
+
+  r.output_points = out.size();
+  return out;
+}
+
+}  // namespace lhmm::traj

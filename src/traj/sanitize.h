@@ -1,0 +1,84 @@
+#ifndef LHMM_TRAJ_SANITIZE_H_
+#define LHMM_TRAJ_SANITIZE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/status.h"
+#include "geo/bbox.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::traj {
+
+/// What to do when a trajectory point fails validation.
+enum class SanitizePolicy {
+  /// Fail the whole trajectory: Sanitize returns InvalidArgument naming the
+  /// first offending point. For pipelines that treat bad input as a bug.
+  kReject,
+  /// Remove offending points and keep the rest. The default serving posture:
+  /// a feed with a few broken fixes still matches.
+  kDropPoint,
+  /// Fix what has a well-defined repair (reorder timestamps, clear unknown
+  /// tower ids, clamp runaway coordinates); drop what does not (non-finite
+  /// values, duplicate timestamps).
+  kRepair,
+};
+
+const char* SanitizePolicyName(SanitizePolicy policy);
+
+/// Validation knobs. Checks with no configured reference data are skipped
+/// (no tower universe => no unknown-tower check; no bounds => no off-network
+/// check), so the zero-argument default still catches the always-wrong
+/// classes: non-finite values and broken time order.
+struct SanitizeConfig {
+  SanitizePolicy policy = SanitizePolicy::kDropPoint;
+  /// Tower ids valid on this network are [0, num_towers). kInvalidTower is
+  /// always allowed (GPS samples). Negative disables the check.
+  int num_towers = -1;
+  /// When set, points outside these bounds inflated by `off_network_margin`
+  /// are off-network (a cell fix can legitimately sit well outside the road
+  /// bbox — the margin absorbs the 0.1-3 km positioning error regime).
+  std::optional<geo::BBox> network_bounds;
+  double off_network_margin = 3000.0;
+};
+
+/// Per-trajectory account of what Sanitize saw and did. Issue counters count
+/// detections; `dropped`/`repaired` count the actions taken on them.
+struct SanitizeReport {
+  int input_points = 0;
+  int output_points = 0;
+  int nonfinite = 0;       ///< NaN/inf coordinate or timestamp.
+  int out_of_order = 0;    ///< Timestamp moved backwards.
+  int duplicate_time = 0;  ///< Timestamp equal to the previous kept point's.
+  int unknown_tower = 0;   ///< TowerId outside [0, num_towers).
+  int off_network = 0;     ///< Position outside the inflated network bounds.
+  int dropped = 0;
+  int repaired = 0;
+
+  /// True when the input passed every enabled check untouched.
+  bool clean() const {
+    return nonfinite == 0 && out_of_order == 0 && duplicate_time == 0 &&
+           unknown_tower == 0 && off_network == 0;
+  }
+  int issues() const {
+    return nonfinite + out_of_order + duplicate_time + unknown_tower +
+           off_network;
+  }
+  std::string ToString() const;
+};
+
+/// Validates (and under kDropPoint/kRepair, cleans) one trajectory.
+///
+/// Checks, in order: non-finite coordinates/timestamps, unknown tower ids,
+/// off-network positions, non-monotone timestamps, duplicate timestamps.
+/// Under kReject the first detection fails the call with the point index in
+/// the message; otherwise the returned trajectory is always structurally
+/// sound: finite, strictly increasing timestamps, known (or invalid) towers.
+/// `report` (optional) receives the detection/action counts either way.
+core::Result<Trajectory> Sanitize(const Trajectory& in,
+                                  const SanitizeConfig& config,
+                                  SanitizeReport* report = nullptr);
+
+}  // namespace lhmm::traj
+
+#endif  // LHMM_TRAJ_SANITIZE_H_

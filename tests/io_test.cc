@@ -46,6 +46,89 @@ TEST(NetworkIoTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadNetworkCsv("/tmp/definitely_not_there").ok());
 }
 
+namespace {
+/// Overwrites `path` with `content` (corrupt-file fixture helper).
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+/// Saves a tiny valid network bundle prefix for corruption tests.
+std::string SaveTinyNetwork(const std::string& prefix) {
+  const network::RoadNetwork net = network::GenerateGridNetwork(3, 3, 100.0);
+  EXPECT_TRUE(SaveNetworkCsv(net, prefix).ok());
+  return prefix;
+}
+}  // namespace
+
+TEST(NetworkIoTest, TruncatedSegmentsRowReportsFileAndLine) {
+  const std::string prefix = SaveTinyNetwork("/tmp/lhmm_corrupt_net");
+  // Chop the last row mid-field: a crash halfway through a writer does this.
+  WriteFile(prefix + "_segments.csv",
+            "id,from,to,length,speed_limit,level,reverse,polyline\n"
+            "0,0,1,100.0,13.9\n");
+  const auto loaded = LoadNetworkCsv(prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("_segments.csv line 2"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(prefix + std::string("_nodes.csv"));
+  std::filesystem::remove(prefix + std::string("_segments.csv"));
+}
+
+TEST(NetworkIoTest, EmptyNodesFileReportsTruncation) {
+  const std::string prefix = SaveTinyNetwork("/tmp/lhmm_corrupt_net2");
+  WriteFile(prefix + "_nodes.csv", "");
+  const auto loaded = LoadNetworkCsv(prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("_nodes.csv"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(prefix + std::string("_nodes.csv"));
+  std::filesystem::remove(prefix + std::string("_segments.csv"));
+}
+
+TEST(NetworkIoTest, GarbageCoordinatesNameTheLine) {
+  const std::string prefix = SaveTinyNetwork("/tmp/lhmm_corrupt_net3");
+  WriteFile(prefix + "_nodes.csv",
+            "id,x,y\n"
+            "0,0.0,0.0\n"
+            "1,oops,3.0\n");
+  const auto loaded = LoadNetworkCsv(prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("_nodes.csv line 3"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(prefix + std::string("_nodes.csv"));
+  std::filesystem::remove(prefix + std::string("_segments.csv"));
+}
+
+TEST(TrajectoryIoTest, CorruptRowReportsFileAndLine) {
+  const std::string path = "/tmp/lhmm_corrupt_traj.csv";
+  WriteFile(path,
+            "traj,channel,seq,t,x,y,tower\n"
+            "0,cell,0,1.0,10.0,20.0,3\n"
+            "0,cell,1,not-a-time,11.0,21.0,3\n");
+  WriteFile(path + ".paths", "0:1 2\n");
+  const auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("lhmm_corrupt_traj.csv line 3"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".paths");
+}
+
+TEST(PathIoTest, CorruptPathLineIsNamed) {
+  const std::string path = "/tmp/lhmm_corrupt_paths.txt";
+  WriteFile(path, "0:1 2 3\n1:4 banana 6\n");
+  const auto loaded = LoadPaths(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(path);
+}
+
 TEST(NetworkIoTest, GeoJsonExportContainsAllSegments) {
   const network::RoadNetwork net = network::GenerateGridNetwork(3, 3, 100.0);
   const std::string path = "/tmp/lhmm_net_io_test.geojson";
@@ -209,6 +292,30 @@ TEST(DatasetBundleTest, RoundTripPreservesEverythingAMatcherNeeds) {
 
 TEST(DatasetBundleTest, MissingPiecesFailCleanly) {
   EXPECT_FALSE(LoadDatasetBundle("/tmp/lhmm_nonexistent_bundle").ok());
+}
+
+TEST(DatasetBundleTest, CorruptTowersFileIsNamedWithLine) {
+  sim::DatasetConfig cfg = sim::XiamenSPreset();
+  cfg.num_train = 2;
+  cfg.num_val = 1;
+  cfg.num_test = 1;
+  const sim::Dataset ds = sim::BuildDataset(cfg);
+  const std::string prefix = "/tmp/lhmm_corrupt_bundle";
+  ASSERT_TRUE(SaveDatasetBundle(ds, prefix).ok());
+  {
+    std::ofstream towers(prefix + "_towers.csv");
+    towers << "id,x,y\n0,1.0,2.0\n1,3.0\n";  // Row 2 lost its y column.
+  }
+  const auto bundle = LoadDatasetBundle(prefix);
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_NE(bundle.status().message().find("_towers.csv line 3"),
+            std::string::npos)
+      << bundle.status().ToString();
+  for (const char* suffix :
+       {"_nodes.csv", "_segments.csv", "_towers.csv", "_train.csv",
+        "_train.csv.paths", "_test.csv", "_test.csv.paths"}) {
+    std::filesystem::remove(prefix + std::string(suffix));
+  }
 }
 
 TEST(SvgTest, SceneRendersAllLayers) {

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/csv.h"
+#include "core/stopwatch.h"
 #include "core/strings.h"
 #include "eval/evaluator.h"
 #include "eval/report.h"
@@ -27,7 +28,9 @@
 #include "lhmm/lhmm_matcher.h"
 #include "lhmm/trainer.h"
 #include "network/grid_index.h"
+#include "network/path_cache.h"
 #include "sim/dataset.h"
+#include "traj/sanitize.h"
 #include "viz/svg.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
@@ -135,15 +138,73 @@ int CmdMatch(const std::map<std::string, std::string>& args) {
   if (!load.ok()) return Fail(load);
 
   L::LhmmMatcher matcher(&bundle->net, &index, model);
+
+  // Opt-in cache pre-heating: one shared router, every (segment, neighbor)
+  // pair precomputed, so matching pays no first-query routing latency.
+  network::CachedRouter shared_router(&bundle->net);
+  if (Get(args, "warm-cache", "0") == "1") {
+    double radius = 1500.0;
+    double r = 0.0;
+    if (core::ParseDouble(Get(args, "warm-radius", ""), &r) && r > 0.0) {
+      radius = r;
+    }
+    core::Stopwatch watch;
+    shared_router.WarmAll(index, radius);
+    printf("Warmed route cache: %zu routes within %.0f m in %.2fs\n",
+           shared_router.size(), radius, watch.ElapsedSeconds());
+    matcher.UseSharedRouter(&shared_router);
+  }
+
+  // Opt-in input sanitization (reject | drop | repair) ahead of the
+  // preprocessing filters; --sanitize repair is the recommended posture for
+  // feeds that may carry broken fixes.
+  const std::string sanitize_arg = Get(args, "sanitize");
+  traj::SanitizeConfig sanitize_config;
+  bool sanitize = true;
+  if (sanitize_arg == "reject") {
+    sanitize_config.policy = traj::SanitizePolicy::kReject;
+  } else if (sanitize_arg == "drop") {
+    sanitize_config.policy = traj::SanitizePolicy::kDropPoint;
+  } else if (sanitize_arg == "repair") {
+    sanitize_config.policy = traj::SanitizePolicy::kRepair;
+  } else if (sanitize_arg.empty()) {
+    sanitize = false;
+  } else {
+    fprintf(stderr, "unknown --sanitize policy '%s'\n", sanitize_arg.c_str());
+    return 1;
+  }
+  sanitize_config.num_towers = static_cast<int>(bundle->towers.size());
+  sanitize_config.network_bounds = bundle->net.Bounds();
+
   traj::FilterConfig filters;
+  int total_issues = 0;
+  int total_breaks = 0;
   std::vector<std::vector<network::SegmentId>> matched;
   for (const auto& mt : bundle->test) {
-    const traj::Trajectory t = eval::Preprocess(mt.cellular, filters);
-    matched.push_back(matcher.Match(t).path);
+    traj::Trajectory cellular = mt.cellular;
+    if (sanitize) {
+      traj::SanitizeReport report;
+      auto cleaned = traj::Sanitize(cellular, sanitize_config, &report);
+      if (!cleaned.ok()) return Fail(cleaned.status());
+      total_issues += report.issues();
+      cellular = std::move(*cleaned);
+    }
+    const traj::Trajectory t = eval::Preprocess(cellular, filters);
+    matchers::MatchResult result = matcher.Match(t);
+    total_breaks += result.num_breaks;
+    matched.push_back(std::move(result.path));
   }
   const core::Status status = io::SavePaths(matched, out);
   if (!status.ok()) return Fail(status);
   printf("Matched %zu trajectories -> %s\n", matched.size(), out.c_str());
+  if (sanitize) {
+    printf("Sanitize (%s): %d issue(s) across the split\n",
+           traj::SanitizePolicyName(sanitize_config.policy), total_issues);
+  }
+  if (total_breaks > 0) {
+    printf("Survived %d HMM break(s); gaps were stitched, not dropped\n",
+           total_breaks);
+  }
 
   const std::string render = Get(args, "render");
   if (!render.empty() && !bundle->test.empty()) {
@@ -210,6 +271,8 @@ void Usage() {
           " [--test N] [--seed S]\n"
           "  train    --data PREFIX --model FILE [--verbose 1]\n"
           "  match    --data PREFIX --model FILE --out FILE [--render FILE.svg]\n"
+          "           [--warm-cache 1 [--warm-radius M]]"
+          " [--sanitize reject|drop|repair]\n"
           "  eval     --data PREFIX --paths FILE\n");
 }
 

@@ -90,6 +90,13 @@ int RunSmoke() {
     traj::SanitizeReport rep;
     core::Result<traj::Trajectory> fixed = traj::Sanitize(bad, sanitize, &rep);
     CHECK_OK(fixed);
+    repaired.input_points += rep.input_points;
+    repaired.output_points += rep.output_points;
+    repaired.nonfinite += rep.nonfinite;
+    repaired.out_of_order += rep.out_of_order;
+    repaired.duplicate_time += rep.duplicate_time;
+    repaired.unknown_tower += rep.unknown_tower;
+    repaired.off_network += rep.off_network;
     repaired.dropped += rep.dropped;
     repaired.repaired += rep.repaired;
     cleaned.push_back(eval::Preprocess(*fixed, filters));
@@ -97,26 +104,42 @@ int RunSmoke() {
   printf("injected defects: %s; sanitize dropped %d, repaired %d\n",
          injected.ToString().c_str(), repaired.dropped, repaired.repaired);
 
-  eval::TextTable table({"family", "cmf50", "mean_breaks", "min_path_len"});
+  eval::TextTable table(
+      {"family", "cmf50", "mean_breaks", "gap_s", "gap_cover", "min_path_len"});
+  std::vector<eval::EvalSummary> summaries;
   for (matchers::MapMatcher* m : all) {
-    double cmf = 0.0;
-    int breaks = 0;
+    std::vector<eval::TrajectoryEval> records;
     size_t min_len = SIZE_MAX;
     for (size_t i = 0; i < cleaned.size(); ++i) {
       const matchers::MatchResult result = m->Match(cleaned[i]);
       CHECK(!result.path.empty())
           << m->name() << " returned an empty path under fault injection";
-      breaks += result.num_breaks;
       min_len = std::min(min_len, result.path.size());
-      cmf += eval::ComputePathMetrics(*net, result.path, ds.test[i].truth_path)
-                 .cmf;
+      eval::TrajectoryEval rec;
+      rec.index = static_cast<int>(i);
+      rec.metrics =
+          eval::ComputePathMetrics(*net, result.path, ds.test[i].truth_path);
+      rec.num_breaks = result.num_breaks;
+      rec.gap_seconds = result.gap_seconds;
+      rec.gap_coverage = result.gap_coverage;
+      records.push_back(rec);
     }
-    table.AddRow({m->name(), eval::Fmt(cmf / cleaned.size()),
-                  core::StrFormat("%.1f",
-                                  static_cast<double>(breaks) / cleaned.size()),
+    const eval::EvalSummary s =
+        eval::Summarize(records, m->name(), /*has_hr=*/false);
+    table.AddRow({s.matcher, eval::Fmt(s.cmf50),
+                  core::StrFormat("%.1f", s.mean_breaks),
+                  eval::Fmt(s.mean_gap_seconds, 1),
+                  eval::Fmt(s.mean_gap_coverage),
                   core::StrFormat("%zu", min_len)});
+    summaries.push_back(s);
   }
   table.Print();
+  // The machine-readable artifact: per-family robustness columns (breaks,
+  // gap seconds, gap coverage) plus the full sanitize report.
+  std::filesystem::create_directories("bench_out");
+  CHECK_OK(eval::WriteEvalJson("fig7_smoke", summaries, &repaired,
+                               "bench_out/fig7_smoke.json"));
+  printf("wrote bench_out/fig7_smoke.json\n");
   CHECK_GT(faulty.injected_failures(), 0)
       << "fault injection never fired; smoke is vacuous";
   printf("router queries: %lld, injected failures: %lld\n",

@@ -17,6 +17,18 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  /// Admission control: a rate limiter or quota refused the request; retrying
+  /// after a backoff is the expected client reaction.
+  kResourceExhausted,
+  /// The service (or a session) cannot take the request right now — draining,
+  /// queue full, quarantined. Also retryable, typically with longer backoff.
+  kUnavailable,
+  /// A per-request deadline elapsed before the work completed; results that
+  /// carry this code may still hold a partial committed prefix.
+  kDeadlineExceeded,
+  /// The operation is not supported by this implementation (e.g. a matcher
+  /// family without a streaming session form). Not retryable.
+  kUnimplemented,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -51,6 +63,18 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

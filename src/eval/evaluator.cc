@@ -31,6 +31,8 @@ std::vector<TrajectoryEval> EvaluatePerTrajectory(
     rec.metrics =
         ComputePathMetrics(net, result.path, mt.truth_path, corridor_radius);
     rec.num_breaks = result.num_breaks;
+    rec.gap_seconds = result.gap_seconds;
+    rec.gap_coverage = result.gap_coverage;
     if (matcher->ProvidesCandidates()) {
       rec.hitting_ratio = HittingRatio(result.candidates, result.point_index,
                                        cleaned.size(), mt.truth_path);
@@ -55,6 +57,8 @@ EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
     s.hitting_ratio += r.hitting_ratio;
     s.avg_time_s += r.time_s;
     s.mean_breaks += r.num_breaks;
+    s.mean_gap_seconds += r.gap_seconds;
+    s.mean_gap_coverage += r.gap_coverage;
   }
   const double n = static_cast<double>(records.size());
   s.precision /= n;
@@ -64,6 +68,8 @@ EvalSummary Summarize(const std::vector<TrajectoryEval>& records,
   s.hitting_ratio /= n;
   s.avg_time_s /= n;
   s.mean_breaks /= n;
+  s.mean_gap_seconds /= n;
+  s.mean_gap_coverage /= n;
   return s;
 }
 
@@ -86,6 +92,8 @@ std::vector<TrajectoryEval> EvaluatePerTrajectoryParallel(
         rec.metrics =
             ComputePathMetrics(net, result.path, mt.truth_path, corridor_radius);
         rec.num_breaks = result.num_breaks;
+        rec.gap_seconds = result.gap_seconds;
+        rec.gap_coverage = result.gap_coverage;
         if (has_candidates) {
           rec.hitting_ratio = HittingRatio(result.candidates, result.point_index,
                                            cleaned.size(), mt.truth_path);

@@ -27,6 +27,11 @@ struct EvalSummary {
   /// Mean HMM breaks survived per trajectory (MatchResult::num_breaks); 0 on
   /// healthy input.
   double mean_breaks = 0.0;
+  /// Mean trajectory seconds spanned by break gaps (MatchResult::gap_seconds).
+  double mean_gap_seconds = 0.0;
+  /// Mean fraction of each trajectory's time span covered by unbroken
+  /// matching (MatchResult::gap_coverage); 1.0 on healthy input.
+  double mean_gap_coverage = 0.0;
 };
 
 /// Applies the paper's preprocessing to a raw cellular trajectory: SnapNet
@@ -49,7 +54,9 @@ struct TrajectoryEval {
   PathMetrics metrics;
   double hitting_ratio = 0.0;
   double time_s = 0.0;
-  int num_breaks = 0;  ///< HMM breaks the matcher stitched across.
+  int num_breaks = 0;          ///< HMM breaks the matcher stitched across.
+  double gap_seconds = 0.0;    ///< Seconds spanned by those break gaps.
+  double gap_coverage = 1.0;   ///< Fraction of the time span left unbroken.
 };
 
 /// Like EvaluateMatcher but returns every per-trajectory record.

@@ -44,4 +44,85 @@ std::string Fmt(double value, int digits) {
   return core::StrFormat("%.*f", digits, value);
 }
 
+namespace {
+
+/// Minimal JSON string escaping (matcher names are plain identifiers, but a
+/// stray quote or backslash must not corrupt the artifact).
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string JsonNumber(double value) {
+  // %.10g round-trips every metric we emit and never produces locale commas.
+  return core::StrFormat("%.10g", value);
+}
+
+}  // namespace
+
+std::string EvalJson(const std::string& label,
+                     const std::vector<EvalSummary>& summaries,
+                     const traj::SanitizeReport* sanitize) {
+  std::string out = "{\n";
+  out += "  \"label\": " + JsonString(label) + ",\n";
+  if (sanitize != nullptr) {
+    out += "  \"sanitize\": {\n";
+    out += core::StrFormat(
+        "    \"input_points\": %d,\n    \"output_points\": %d,\n"
+        "    \"nonfinite\": %d,\n    \"out_of_order\": %d,\n"
+        "    \"duplicate_time\": %d,\n    \"unknown_tower\": %d,\n"
+        "    \"off_network\": %d,\n    \"dropped\": %d,\n"
+        "    \"repaired\": %d,\n    \"issues\": %d,\n    \"clean\": %s\n",
+        sanitize->input_points, sanitize->output_points, sanitize->nonfinite,
+        sanitize->out_of_order, sanitize->duplicate_time,
+        sanitize->unknown_tower, sanitize->off_network, sanitize->dropped,
+        sanitize->repaired, sanitize->issues(),
+        sanitize->clean() ? "true" : "false");
+    out += "  },\n";
+  }
+  out += "  \"matchers\": [\n";
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    const EvalSummary& s = summaries[i];
+    out += "    {\n";
+    out += "      \"matcher\": " + JsonString(s.matcher) + ",\n";
+    out += core::StrFormat("      \"num_trajectories\": %d,\n",
+                           s.num_trajectories);
+    out += "      \"precision\": " + JsonNumber(s.precision) + ",\n";
+    out += "      \"recall\": " + JsonNumber(s.recall) + ",\n";
+    out += "      \"rmf\": " + JsonNumber(s.rmf) + ",\n";
+    out += "      \"cmf50\": " + JsonNumber(s.cmf50) + ",\n";
+    if (s.has_hr) {
+      out += "      \"hitting_ratio\": " + JsonNumber(s.hitting_ratio) + ",\n";
+    }
+    out += "      \"avg_time_s\": " + JsonNumber(s.avg_time_s) + ",\n";
+    out += "      \"breaks\": " + JsonNumber(s.mean_breaks) + ",\n";
+    out += "      \"gap_seconds\": " + JsonNumber(s.mean_gap_seconds) + ",\n";
+    out += "      \"gap_coverage\": " + JsonNumber(s.mean_gap_coverage) + "\n";
+    out += i + 1 < summaries.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+core::Status WriteEvalJson(const std::string& label,
+                           const std::vector<EvalSummary>& summaries,
+                           const traj::SanitizeReport* sanitize,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return core::Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string body = EvalJson(label, summaries, sanitize);
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int closed = std::fclose(f);
+  if (written != body.size() || closed != 0) {
+    return core::Status::IoError("short write to " + path);
+  }
+  return core::Status::Ok();
+}
+
 }  // namespace lhmm::eval

@@ -4,6 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
+#include "eval/evaluator.h"
+#include "traj/sanitize.h"
+
 namespace lhmm::eval {
 
 /// A fixed-width text table printer for benchmark output: one header row,
@@ -27,6 +31,21 @@ class TextTable {
 
 /// Formats a double with `digits` decimal places.
 std::string Fmt(double value, int digits = 3);
+
+/// Writes a machine-readable evaluation artifact as JSON: one object per
+/// matcher summary (accuracy, timing, and the robustness columns — breaks,
+/// gap seconds, gap coverage), plus an optional input-sanitization block with
+/// every SanitizeReport counter. `label` names the run (e.g. "fig7_smoke").
+/// Pass sanitize == nullptr when the input was not sanitized.
+core::Status WriteEvalJson(const std::string& label,
+                           const std::vector<EvalSummary>& summaries,
+                           const traj::SanitizeReport* sanitize,
+                           const std::string& path);
+
+/// The JSON body written by WriteEvalJson, for tests and in-memory use.
+std::string EvalJson(const std::string& label,
+                     const std::vector<EvalSummary>& summaries,
+                     const traj::SanitizeReport* sanitize);
 
 }  // namespace lhmm::eval
 

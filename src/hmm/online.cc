@@ -32,6 +32,30 @@ void OnlineMatcher::Reset() {
   breaks_ = 0;
 }
 
+OnlineCheckpoint OnlineMatcher::Checkpoint() const {
+  OnlineCheckpoint cp;
+  cp.has_anchor = has_anchor_;
+  cp.anchor = anchor_;
+  cp.anchor_point = anchor_point_;
+  cp.window.assign(window_.begin(), window_.end());
+  cp.committed = committed_;
+  cp.pushed = pushed_;
+  cp.consumed = consumed_;
+  cp.breaks = breaks_;
+  return cp;
+}
+
+void OnlineMatcher::Restore(const OnlineCheckpoint& cp) {
+  has_anchor_ = cp.has_anchor;
+  anchor_ = cp.anchor;
+  anchor_point_ = cp.anchor_point;
+  window_.assign(cp.window.begin(), cp.window.end());
+  committed_ = cp.committed;
+  pushed_ = cp.pushed;
+  consumed_ = cp.consumed;
+  breaks_ = cp.breaks;
+}
+
 double OnlineMatcher::RouteBound(double straight_dist) const {
   return std::min(config_.max_route_bound,
                   config_.route_bound_alpha * straight_dist +

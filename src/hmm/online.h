@@ -5,6 +5,7 @@
 #include <deque>
 #include <vector>
 
+#include "hmm/candidate.h"
 #include "hmm/models.h"
 #include "network/path_cache.h"
 
@@ -17,6 +18,23 @@ struct OnlineConfig {
   double route_bound_alpha = 4.0;
   double route_bound_beta = 1500.0;
   double max_route_bound = 12000.0;
+};
+
+/// The complete resumable state of an OnlineMatcher, for drain/restore of
+/// live serving sessions. The windowed DP is recomputed from the window on
+/// every Advance, so the anchor candidate, the buffered window, the committed
+/// path (its tail drives consecutive-segment dedup), and the counters are
+/// sufficient: a matcher restored from a checkpoint continues with output
+/// byte-identical to one that was never interrupted.
+struct OnlineCheckpoint {
+  bool has_anchor = false;
+  Candidate anchor;
+  traj::TrajPoint anchor_point;
+  std::vector<traj::TrajPoint> window;
+  std::vector<network::SegmentId> committed;
+  int64_t pushed = 0;
+  int64_t consumed = 0;
+  int64_t breaks = 0;
 };
 
 /// Fixed-lag online map matching: points stream in one at a time; once a
@@ -57,6 +75,14 @@ class OnlineMatcher {
 
   /// Resets all streaming state (including the counters) for a new trajectory.
   void Reset();
+
+  /// Snapshots the resumable state. Valid at any quiescent moment (no Push or
+  /// Finish in flight).
+  OnlineCheckpoint Checkpoint() const;
+
+  /// Replaces all streaming state with `checkpoint`. Subsequent pushes emit
+  /// exactly what the checkpointed matcher would have emitted.
+  void Restore(const OnlineCheckpoint& checkpoint);
 
   /// Points fed via Push() since construction / Reset().
   int64_t pushed_points() const { return pushed_; }

@@ -1,0 +1,198 @@
+#include "io/snapshot_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/strings.h"
+#include "io/error_context.h"
+
+namespace lhmm::io {
+
+namespace {
+constexpr char kMagic[] = "lhmm-snapshot";
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(const std::string& kind, int version) {
+  CHECK(kind.find(' ') == std::string::npos);
+  CHECK_GE(version, 1);
+  buf_ = core::StrFormat("%s %s %d\n", kMagic, kind.c_str(), version);
+}
+
+SnapshotWriter& SnapshotWriter::BeginLine(const std::string& key) {
+  CHECK(!line_open_) << "previous line not ended";
+  CHECK(!key.empty() && key.find(' ') == std::string::npos);
+  buf_ += key;
+  line_open_ = true;
+  return *this;
+}
+
+SnapshotWriter& SnapshotWriter::AddInt(int64_t value) {
+  CHECK(line_open_);
+  buf_ += core::StrFormat(" %lld", static_cast<long long>(value));
+  return *this;
+}
+
+SnapshotWriter& SnapshotWriter::AddDouble(double value) {
+  CHECK(line_open_);
+  buf_ += core::StrFormat(" %.17g", value);
+  return *this;
+}
+
+SnapshotWriter& SnapshotWriter::AddTail(const std::string& text) {
+  CHECK(line_open_);
+  CHECK(text.find('\n') == std::string::npos);
+  buf_ += ' ';
+  buf_ += text;
+  return *this;
+}
+
+void SnapshotWriter::EndLine() {
+  CHECK(line_open_);
+  buf_ += '\n';
+  line_open_ = false;
+}
+
+core::Status SnapshotWriter::WriteFile(const std::string& path) const {
+  CHECK(!line_open_) << "last line not ended";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return core::Status::IoError("cannot write " + tmp);
+    }
+    out << buf_;
+    out.flush();
+    if (!out.good()) {
+      return core::Status::IoError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return core::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return core::Status::Ok();
+}
+
+core::Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                                  const std::string& kind,
+                                                  int max_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return core::Status::IoError("cannot open " + path);
+  }
+  SnapshotReader r;
+  r.source_ = path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    r.lines_.push_back(std::move(line));
+  }
+  if (r.lines_.empty()) {
+    return EmptyFileError(path);
+  }
+  // Header: "lhmm-snapshot <kind> <version>".
+  std::istringstream header(r.lines_[0]);
+  std::string magic, got_kind;
+  int version = 0;
+  if (!(header >> magic >> got_kind >> version) || magic != kMagic) {
+    return LineError(path, 1, "not a snapshot file (bad magic)");
+  }
+  if (got_kind != kind) {
+    return LineError(path, 1,
+                     "snapshot kind is '" + got_kind + "', expected '" + kind + "'");
+  }
+  if (version < 1 || version > max_version) {
+    return LineError(path, 1,
+                     core::StrFormat("unsupported snapshot version %d (max %d)",
+                                     version, max_version));
+  }
+  r.version_ = version;
+  r.index_ = 0;  // NextLine() starts after the header.
+  return r;
+}
+
+bool SnapshotReader::NextLine() {
+  size_t i = started_ ? index_ + 1 : 1;
+  started_ = true;
+  while (i < lines_.size() && lines_[i].empty()) ++i;
+  if (i >= lines_.size()) {
+    index_ = lines_.size();
+    key_.clear();
+    rest_.clear();
+    return false;
+  }
+  index_ = i;
+  const std::string& l = lines_[i];
+  const size_t space = l.find(' ');
+  if (space == std::string::npos) {
+    key_ = l;
+    rest_.clear();
+  } else {
+    key_ = l.substr(0, space);
+    rest_ = l.substr(space + 1);
+  }
+  return true;
+}
+
+core::Status SnapshotReader::Error(const std::string& what) const {
+  return LineError(source_, index_ + 1, what);
+}
+
+core::Result<std::string> SnapshotReader::TakeToken() {
+  if (rest_.empty()) {
+    return Error("truncated line: field missing after '" + key_ + "'");
+  }
+  const size_t space = rest_.find(' ');
+  std::string token;
+  if (space == std::string::npos) {
+    token = std::move(rest_);
+    rest_.clear();
+  } else {
+    token = rest_.substr(0, space);
+    rest_.erase(0, space + 1);
+  }
+  return token;
+}
+
+core::Result<int64_t> SnapshotReader::TakeInt() {
+  core::Result<std::string> token = TakeToken();
+  if (!token.ok()) return token.status();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(token->c_str(), &end, 10);
+  if (errno != 0 || end == token->c_str() || *end != '\0') {
+    return Error("expected an integer, got '" + *token + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+core::Result<double> SnapshotReader::TakeDouble() {
+  core::Result<std::string> token = TakeToken();
+  if (!token.ok()) return token.status();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token->c_str(), &end);
+  if (end == token->c_str() || *end != '\0') {
+    return Error("expected a number, got '" + *token + "'");
+  }
+  return v;
+}
+
+std::string SnapshotReader::TakeTail() {
+  std::string tail = std::move(rest_);
+  rest_.clear();
+  return tail;
+}
+
+core::Status SnapshotReader::ExpectLineEnd() {
+  if (!rest_.empty()) {
+    return Error("trailing garbage: '" + rest_ + "'");
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace lhmm::io

@@ -1,0 +1,92 @@
+#ifndef LHMM_IO_SNAPSHOT_IO_H_
+#define LHMM_IO_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lhmm::io {
+
+/// Writer for the versioned, line-oriented snapshot format used by graceful
+/// drain (srv::MatchServer) and any other state that must survive a process
+/// restart byte-identically:
+///
+///   lhmm-snapshot <kind> <version>
+///   <key> <token> <token> ...
+///   ...
+///
+/// Tokens are space-separated; doubles are written with %.17g so they
+/// round-trip exactly (restored state must continue byte-identical, so "close
+/// enough" floats are not acceptable). A line's final field may be free text
+/// (AddTail) which runs to end of line. The file is written atomically
+/// (temp file + rename), so a crash mid-drain leaves the old snapshot intact.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(const std::string& kind, int version);
+
+  SnapshotWriter& BeginLine(const std::string& key);
+  SnapshotWriter& AddInt(int64_t value);
+  SnapshotWriter& AddDouble(double value);
+  /// Free text running to end of line; must be the line's last field and must
+  /// not contain newlines.
+  SnapshotWriter& AddTail(const std::string& text);
+  void EndLine();
+
+  const std::string& contents() const { return buf_; }
+  core::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string buf_;
+  bool line_open_ = false;
+};
+
+/// Strict reader for the format above. Every parse failure names the exact
+/// file and 1-based line (io::LineError), the same corrupt-input contract as
+/// the CSV loaders: a truncated or hand-mangled snapshot must fail loudly and
+/// precisely, never restore half a server silently.
+class SnapshotReader {
+ public:
+  /// Opens `path`, validating the header's kind and version (versions
+  /// 1..max_version accepted).
+  static core::Result<SnapshotReader> Open(const std::string& path,
+                                           const std::string& kind,
+                                           int max_version);
+
+  int version() const { return version_; }
+
+  /// Advances to the next non-empty line; false at end of file.
+  bool NextLine();
+  /// First token of the current line.
+  const std::string& key() const { return key_; }
+
+  /// Consume the next token of the current line as a typed value.
+  core::Result<int64_t> TakeInt();
+  core::Result<double> TakeDouble();
+  /// Consumes the rest of the line verbatim (possibly empty).
+  std::string TakeTail();
+  /// OK when the current line has no unconsumed tokens left.
+  core::Status ExpectLineEnd();
+
+  /// An error pointing at the current line of the snapshot file.
+  core::Status Error(const std::string& what) const;
+
+ private:
+  SnapshotReader() = default;
+
+  /// The next space-delimited token, or an error when the line is exhausted.
+  core::Result<std::string> TakeToken();
+
+  std::string source_;
+  std::vector<std::string> lines_;
+  size_t index_ = 0;       ///< 0-based physical line of the current line.
+  bool started_ = false;
+  std::string key_;
+  std::string rest_;       ///< Unconsumed remainder of the current line.
+  int version_ = 0;
+};
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_SNAPSHOT_IO_H_

@@ -55,6 +55,7 @@ MatchResult HmmMatcherBase::Match(const traj::Trajectory& cellular) {
   out.candidates = std::move(er.candidates);
   out.point_index = std::move(er.point_index);
   out.num_breaks = er.num_breaks();
+  out.gap_seconds = er.gap_seconds;
   out.gap_coverage = er.gap_coverage;
   return out;
 }

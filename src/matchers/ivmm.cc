@@ -107,6 +107,7 @@ MatchResult IvmmMatcher::Match(const traj::Trajectory& t) {
     if (!any) {
       break_col[s] = 1;
       ++result.num_breaks;
+      result.gap_seconds += t[point_index[s]].t - t[point_index[s - 1]].t;
       result.gap_coverage -=
           (t[point_index[s]].t - t[point_index[s - 1]].t) /
           std::max(1e-9, t[point_index[m - 1]].t - t[point_index[0]].t);

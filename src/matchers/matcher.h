@@ -31,6 +31,9 @@ struct MatchResult {
   /// (EngineResult::breaks semantics). 0 / 1.0 for break-free matches and
   /// for matchers without the notion (seq2seq family).
   int num_breaks = 0;
+  /// Trajectory seconds spanned by the break gaps (EngineResult::gap_seconds);
+  /// 0 for break-free matches and for matchers without the notion.
+  double gap_seconds = 0.0;
   /// Fraction of the matched time span covered by connected sub-paths.
   double gap_coverage = 1.0;
 };
@@ -59,7 +62,9 @@ class MapMatcher {
   /// unchanged. Default: no-op (matcher keeps its private cache).
   virtual void UseSharedRouter(network::CachedRouter* shared) {}
 
-  /// True when OpenSession() produces live streaming sessions.
+  /// True when OpenSession() produces live streaming sessions. This is the
+  /// capability query of the OpenSession contract below: call it before
+  /// opening, exactly as ProvidesCandidates() gates candidate use.
   virtual bool SupportsStreaming() const { return false; }
 
   /// Opens a fixed-lag streaming session running this matcher's own
@@ -67,8 +72,14 @@ class MapMatcher {
   /// borrows the matcher's models (which hold per-trajectory state), so only
   /// one session per matcher may be live at a time and Match() must not be
   /// interleaved with session pushes — StreamEngine clones a matcher per
-  /// session for exactly this reason. Matchers without a streaming form
-  /// (seq2seq family) return nullptr.
+  /// session for exactly this reason.
+  ///
+  /// Unsupported-family contract: OpenSession returns nullptr exactly when
+  /// SupportsStreaming() is false (the seq2seq family — its decoder is not
+  /// windowed). Callers that cannot tolerate nullptr must either check
+  /// SupportsStreaming() first or go through StreamEngine::TryOpen, which
+  /// turns an unsupported family into a typed kUnimplemented Status instead
+  /// of a dereference hazard.
   virtual std::unique_ptr<StreamingSession> OpenSession(
       const StreamConfig& config) {
     return nullptr;

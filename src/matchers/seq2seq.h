@@ -85,6 +85,12 @@ class Seq2SeqMatcher : public MapMatcher {
   MatchResult Match(const traj::Trajectory& cellular) override;
   void UseSharedRouter(network::CachedRouter* shared) override;
 
+  /// Seq2seq is the one family without a streaming form (the decoder is not
+  /// windowed), so it inherits SupportsStreaming() == false and OpenSession()
+  /// == nullptr — the documented unsupported-family contract. Streaming
+  /// callers must gate on SupportsStreaming() or use StreamEngine::TryOpen,
+  /// which maps this family to a typed kUnimplemented error.
+
  private:
   struct Impl;
 

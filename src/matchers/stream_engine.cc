@@ -28,6 +28,31 @@ StreamEngine::~StreamEngine() {
 }
 
 SessionId StreamEngine::Open() {
+  core::Result<SessionId> id = TryOpen();
+  CHECK_OK(id);
+  return *id;
+}
+
+core::Result<SessionId> StreamEngine::TryOpen() {
+  return OpenInternal(factory_, nullptr);
+}
+
+core::Result<SessionId> StreamEngine::TryOpen(const MatcherFactory& factory) {
+  return OpenInternal(factory, nullptr);
+}
+
+core::Result<SessionId> StreamEngine::OpenRestored(
+    const SessionCheckpoint& checkpoint) {
+  return OpenInternal(factory_, &checkpoint);
+}
+
+core::Result<SessionId> StreamEngine::OpenRestored(
+    const SessionCheckpoint& checkpoint, const MatcherFactory& factory) {
+  return OpenInternal(factory, &checkpoint);
+}
+
+core::Result<SessionId> StreamEngine::OpenInternal(
+    const MatcherFactory& factory, const SessionCheckpoint* checkpoint) {
   // Enforce the live-session cap before admitting a new session. The victim
   // scan runs on the producer thread over producer-side fields, with session
   // id as the tie-break, so the eviction sequence is a pure function of the
@@ -50,21 +75,73 @@ SessionId StreamEngine::Open() {
   }
 
   auto s = std::make_unique<Slot>();
-  s->matcher = factory_();
+  s->matcher = factory();
   CHECK(s->matcher != nullptr);
+  if (!s->matcher->SupportsStreaming()) {
+    return core::Status::Unimplemented(
+        s->matcher->name() +
+        " has no streaming session form (SupportsStreaming() is false)");
+  }
   if (config_.shared_router != nullptr) {
     s->matcher->UseSharedRouter(config_.shared_router);
   }
   StreamConfig sc;
   sc.lag = config_.lag;
   s->session = s->matcher->OpenSession(sc);
-  CHECK(s->session != nullptr)
-      << s->matcher->name() << " does not support streaming";
+  if (s->session == nullptr) {
+    // A matcher claiming SupportsStreaming() but returning nullptr violates
+    // the OpenSession contract; report it as unsupported rather than crashing.
+    return core::Status::Unimplemented(s->matcher->name() +
+                                       " OpenSession() returned nullptr");
+  }
+  if (checkpoint != nullptr) {
+    if (!s->session->SupportsCheckpoint()) {
+      return core::Status::Unimplemented(
+          s->matcher->name() + " sessions are not checkpointable");
+    }
+    if (!s->session->Restore(checkpoint->session)) {
+      return core::Status::Internal("checkpoint restore failed for " +
+                                    s->matcher->name());
+    }
+    s->last_time = checkpoint->last_time;
+    s->seen_point = checkpoint->seen_point;
+  }
   s->last_activity = clock_;
   ++live_;
   std::lock_guard<std::mutex> lock(slots_mu_);
   slots_.push_back(std::move(s));
   return static_cast<SessionId>(slots_.size()) - 1;
+}
+
+core::Result<SessionCheckpoint> StreamEngine::CheckpointSession(SessionId id) {
+  Slot* s = slot(id);
+  if (s->poisoned.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    return s->error;
+  }
+  if (s->closed.load(std::memory_order_acquire)) {
+    return core::Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is closed; nothing to checkpoint");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (!s->inbox.empty() || s->scheduled) {
+    return core::Status::FailedPrecondition(
+        "session " + std::to_string(id) +
+        " has queued or in-flight events; call Barrier() before checkpointing");
+  }
+  CHECK(s->session != nullptr);
+  if (!s->session->SupportsCheckpoint()) {
+    return core::Status::Unimplemented("session " + std::to_string(id) +
+                                       " is not checkpointable");
+  }
+  SessionCheckpoint cp;
+  if (!s->session->Checkpoint(&cp.session)) {
+    return core::Status::Internal("checkpoint failed for session " +
+                                  std::to_string(id));
+  }
+  cp.last_time = s->last_time;
+  cp.seen_point = s->seen_point;
+  return cp;
 }
 
 StreamEngine::Slot* StreamEngine::slot(SessionId id) const {
@@ -81,6 +158,11 @@ core::Status StreamEngine::Push(SessionId id, const traj::TrajPoint& point) {
     return s->error;
   }
   if (s->closed.load(std::memory_order_acquire)) {
+    if (s->expired.load(std::memory_order_acquire)) {
+      return core::Status::DeadlineExceeded(
+          "session " + std::to_string(id) +
+          " passed its deadline; Committed() holds the partial prefix");
+    }
     return core::Status(core::StatusCode::kFailedPrecondition,
                         "push on closed session " + std::to_string(id));
   }
@@ -126,23 +208,94 @@ void StreamEngine::Evict(Slot* s) {
   Enqueue(s, std::nullopt);
 }
 
+void StreamEngine::Expire(Slot* s) {
+  if (s->closed.exchange(true, std::memory_order_acq_rel)) return;
+  s->expired.store(true, std::memory_order_release);
+  --live_;
+  ++expired_sessions_;
+  Enqueue(s, std::nullopt);
+}
+
 void StreamEngine::AdvanceClock(int64_t now) {
   if (now > clock_) clock_ = now;
-  if (config_.session_ttl <= 0) return;
   std::vector<Slot*> idle;
+  std::vector<Slot*> overdue;
   {
     std::lock_guard<std::mutex> lock(slots_mu_);
     for (const std::unique_ptr<Slot>& s : slots_) {
       if (s->closed.load(std::memory_order_relaxed)) continue;
-      if (clock_ - s->last_activity >= config_.session_ttl) idle.push_back(s.get());
+      if (config_.session_ttl > 0 &&
+          clock_ - s->last_activity >= config_.session_ttl) {
+        idle.push_back(s.get());
+      } else if (s->deadline_tick > 0 && clock_ >= s->deadline_tick) {
+        overdue.push_back(s.get());
+      }
     }
   }
   for (Slot* s : idle) Evict(s);
+  for (Slot* s : overdue) Expire(s);
+}
+
+core::Status StreamEngine::SetDeadline(SessionId id, int64_t deadline_tick) {
+  Slot* s = slot(id);
+  if (s->poisoned.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    return s->error;
+  }
+  if (s->closed.load(std::memory_order_acquire)) {
+    return core::Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is closed; cannot arm a deadline");
+  }
+  s->deadline_tick = deadline_tick;
+  return core::Status::Ok();
+}
+
+bool StreamEngine::deadline_expired(SessionId id) const {
+  return slot(id)->expired.load(std::memory_order_acquire);
+}
+
+core::Status StreamEngine::Quarantine(SessionId id, const std::string& reason) {
+  Slot* s = slot(id);
+  if (s->poisoned.load(std::memory_order_acquire)) return core::Status::Ok();
+  if (s->finished.load(std::memory_order_acquire)) {
+    return core::Status::FailedPrecondition(
+        "session " + std::to_string(id) + " already finished");
+  }
+  if (!s->closed.exchange(true, std::memory_order_acq_rel)) --live_;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->poisoned.load(std::memory_order_relaxed)) return core::Status::Ok();
+    s->error = core::Status::Unavailable("session " + std::to_string(id) +
+                                         " quarantined: " + reason);
+    s->inbox.clear();
+    s->poisoned.store(true, std::memory_order_release);
+    // A pump task may still be inside this slot's session (that is exactly
+    // the wedged case the watchdog quarantines for), so the session/matcher
+    // pair can only be freed when no task holds them: immediately when no
+    // pump is scheduled, otherwise by the pump's own exit path.
+    if (!s->scheduled) {
+      s->session.reset();
+      s->matcher.reset();
+    }
+  }
+  ++quarantined_sessions_;
+  return core::Status::Ok();
+}
+
+int64_t StreamEngine::processed_events(SessionId id) const {
+  return slot(id)->processed.load(std::memory_order_acquire);
+}
+
+int64_t StreamEngine::inbox_depth(SessionId id) const {
+  Slot* s = slot(id);
+  std::lock_guard<std::mutex> lock(s->mu);
+  return static_cast<int64_t>(s->inbox.size());
 }
 
 void StreamEngine::Process(Slot* s, std::optional<traj::TrajPoint>& event) {
   if (event.has_value()) {
     s->session->Push(*event);
+    s->processed.fetch_add(1, std::memory_order_release);
     return;
   }
   // End of stream: snapshot the final output, then free the session and its
@@ -152,12 +305,20 @@ void StreamEngine::Process(Slot* s, std::optional<traj::TrajPoint>& event) {
   const SessionStats stats = s->session->stats();
   {
     std::lock_guard<std::mutex> lock(s->mu);
+    if (s->poisoned.load(std::memory_order_relaxed)) {
+      // Quarantined while the flush ran; the quarantine wins and owns the
+      // slot's final state. Free the deferred resources and stay poisoned.
+      s->session.reset();
+      s->matcher.reset();
+      return;
+    }
     s->final_committed = std::move(committed);
     s->final_stats = stats;
     s->session.reset();
     s->matcher.reset();
   }
   s->finished.store(true, std::memory_order_release);
+  s->processed.fetch_add(1, std::memory_order_release);
 }
 
 void StreamEngine::Poison(Slot* s, const std::string& what) {
@@ -192,9 +353,11 @@ core::Status StreamEngine::Enqueue(Slot* s, std::optional<traj::TrajPoint> event
         static_cast<int>(s->inbox.size()) >= config_.max_inbox) {
       if (config_.backpressure == BackpressurePolicy::kReject) {
         rejected_pushes_.fetch_add(1, std::memory_order_relaxed);
-        return core::Status(core::StatusCode::kFailedPrecondition,
-                            "session inbox full (" +
-                                std::to_string(s->inbox.size()) + " events)");
+        // kUnavailable: the pump is behind, so the typed answer is "retry
+        // with backoff", not "you broke the contract".
+        return core::Status::Unavailable("session inbox full (" +
+                                         std::to_string(s->inbox.size()) +
+                                         " events)");
       }
       // kDropOldest. The session is open (Push checked closed), so the inbox
       // holds only points — the end-of-stream sentinel can never be dropped.
@@ -226,6 +389,12 @@ void StreamEngine::Pump(Slot* s) {
       if (s->inbox.empty() || s->poisoned.load(std::memory_order_relaxed)) {
         s->inbox.clear();
         s->scheduled = false;
+        if (s->poisoned.load(std::memory_order_relaxed)) {
+          // Deferred cleanup for a quarantine that hit while this pump held
+          // the session (Quarantine cannot free what a task may be using).
+          s->session.reset();
+          s->matcher.reset();
+        }
         return;
       }
       batch.swap(s->inbox);
@@ -257,6 +426,7 @@ SessionState StreamEngine::state(SessionId id) const {
   Slot* s = slot(id);
   if (s->poisoned.load(std::memory_order_acquire)) return SessionState::kPoisoned;
   if (s->finished.load(std::memory_order_acquire)) {
+    if (s->expired.load(std::memory_order_acquire)) return SessionState::kExpired;
     return s->evicted.load(std::memory_order_acquire) ? SessionState::kEvicted
                                                       : SessionState::kFinished;
   }

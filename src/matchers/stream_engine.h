@@ -19,7 +19,7 @@ namespace lhmm::matchers {
 
 /// What happens to a Push() when a session's inbox is at max_inbox.
 enum class BackpressurePolicy {
-  kReject,     ///< Push returns kFailedPrecondition; the point is not queued.
+  kReject,     ///< Push returns kUnavailable; the point is not queued.
   kDropOldest  ///< The oldest queued point is discarded to make room.
 };
 
@@ -60,7 +60,18 @@ enum class SessionState {
   kLive,      ///< Open and accepting pushes (or still draining its inbox).
   kFinished,  ///< Finish() processed; Committed()/Stats() are final.
   kEvicted,   ///< Closed by TTL or the live-session cap; output is final.
-  kPoisoned   ///< A pump error quarantined it; see SessionError().
+  kExpired,   ///< Closed by its deadline; Committed() is the partial prefix.
+  kPoisoned   ///< A pump error or Quarantine() isolated it; see SessionError().
+};
+
+/// Everything needed to resume one live session in another engine (or
+/// process): the session's resumable matching state plus the engine's
+/// producer-side validation state. Produced by CheckpointSession, consumed by
+/// OpenRestored.
+struct SessionCheckpoint {
+  SessionSnapshot session;
+  double last_time = 0.0;  ///< Timestamp of the last accepted point.
+  bool seen_point = false;
 };
 
 /// Multiplexes many concurrent fixed-lag streaming sessions over one
@@ -108,7 +119,30 @@ class StreamEngine {
   /// Creates a new session (matcher clone + fixed-lag session) and returns
   /// its id. The clone is built on the calling thread. May first evict the
   /// least-recently-active live session to honor max_live_sessions.
+  /// Crashes (CHECK) when the factory's family has no streaming form; serving
+  /// front ends should use TryOpen instead.
   SessionId Open();
+
+  /// Like Open(), but an unsupported matcher family (SupportsStreaming()
+  /// false / OpenSession() == nullptr — the seq2seq contract) comes back as a
+  /// typed kUnimplemented Status instead of a crash. The overload taking a
+  /// factory opens the session from that factory instead of the engine's own
+  /// — the degrade ladder of srv::MatchServer uses it to mix matcher tiers
+  /// inside one engine.
+  core::Result<SessionId> TryOpen();
+  core::Result<SessionId> TryOpen(const MatcherFactory& factory);
+
+  /// Snapshots a live, fully drained session (call Barrier() first; a session
+  /// with queued or in-flight events fails with kFailedPrecondition).
+  /// kUnimplemented when the session's family is not checkpointable.
+  core::Result<SessionCheckpoint> CheckpointSession(SessionId id);
+
+  /// Opens a fresh session and restores `checkpoint` into it before any
+  /// event is processed, so its continued committed output is byte-identical
+  /// to the checkpointed session's future. Same typed errors as TryOpen.
+  core::Result<SessionId> OpenRestored(const SessionCheckpoint& checkpoint);
+  core::Result<SessionId> OpenRestored(const SessionCheckpoint& checkpoint,
+                                       const MatcherFactory& factory);
 
   /// Enqueues the next point of session `id`. Fails (without crashing) with
   /// kInvalidArgument for a malformed point, kFailedPrecondition for a
@@ -120,11 +154,38 @@ class StreamEngine {
   /// if the session is already closed.
   core::Status Finish(SessionId id);
 
-  /// Advances the engine's logical clock to max(current, now) and evicts
-  /// every live session idle for >= session_ttl ticks. The clock only moves
-  /// when the producer calls this, so eviction is reproducible: it depends
-  /// on the producer's call sequence, never on worker timing.
+  /// Advances the engine's logical clock to max(current, now), evicts every
+  /// live session idle for >= session_ttl ticks, and expires every live
+  /// session past its deadline (see SetDeadline). The clock only moves when
+  /// the producer calls this, so eviction and expiry are reproducible: they
+  /// depend on the producer's call sequence, never on worker timing.
   void AdvanceClock(int64_t now);
+
+  /// Arms (or with 0 disarms) an absolute logical-clock deadline for a live
+  /// session. When AdvanceClock reaches the deadline the session is closed
+  /// through the normal end-of-stream pump — its pending window flushes and
+  /// Committed() holds the partial prefix — and deadline_expired(id) turns
+  /// true (state() == kExpired once the flush is processed).
+  core::Status SetDeadline(SessionId id, int64_t deadline_tick);
+
+  /// True once the session was closed by its deadline.
+  bool deadline_expired(SessionId id) const;
+
+  /// Isolates a session whose pump appears wedged (srv::Watchdog's lever):
+  /// the session is closed and poisoned with kUnavailable through the same
+  /// SessionError path as a pump exception, its queue is discarded, and its
+  /// resources are freed as soon as no pump task holds them. Fails with
+  /// kFailedPrecondition on an already-finished session; quarantining an
+  /// already-poisoned session is a no-op.
+  core::Status Quarantine(SessionId id, const std::string& reason);
+
+  /// Pump progress heartbeat: events of this session fully processed so far
+  /// (points and the end-of-stream sentinel). Monotonic; a session with a
+  /// non-empty inbox whose count stops moving has a wedged pump.
+  int64_t processed_events(SessionId id) const;
+
+  /// Events currently queued for this session (points + sentinel).
+  int64_t inbox_depth(SessionId id) const;
 
   /// Blocks until every enqueued event has been processed. Producers must be
   /// quiescent while waiting. The engine remains usable afterwards.
@@ -152,6 +213,8 @@ class StreamEngine {
   int64_t live_sessions() const { return live_; }
   int64_t clock() const { return clock_; }
   int64_t evicted_sessions() const { return evicted_sessions_; }
+  int64_t expired_sessions() const { return expired_sessions_; }
+  int64_t quarantined_sessions() const { return quarantined_sessions_; }
   /// Points discarded by kDropOldest backpressure, across all sessions.
   int64_t dropped_points() const {
     return dropped_points_.load(std::memory_order_relaxed);
@@ -181,8 +244,12 @@ class StreamEngine {
     std::atomic<bool> closed{false};    ///< Finish()/eviction was enqueued.
     std::atomic<bool> finished{false};  ///< End-of-stream was processed.
     std::atomic<bool> evicted{false};   ///< Closed by TTL or the cap.
+    std::atomic<bool> expired{false};   ///< Closed by its deadline.
     std::atomic<bool> poisoned{false};  ///< Quarantined after an error.
+    /// Pump heartbeat: events fully processed (watchdog progress signal).
+    std::atomic<int64_t> processed{0};
     int64_t last_activity = 0;  ///< Logical time of Open()/last Push().
+    int64_t deadline_tick = 0;  ///< Absolute deadline; 0 = none. Producer-side.
     double last_time = 0.0;     ///< Timestamp of the last accepted point.
     bool seen_point = false;
   };
@@ -196,6 +263,12 @@ class StreamEngine {
   void Poison(Slot* s, const std::string& what);
   /// Closes a live slot as evicted and enqueues its end-of-stream sentinel.
   void Evict(Slot* s);
+  /// Closes a live slot as deadline-expired; same flush path as Evict.
+  void Expire(Slot* s);
+  /// Shared body of TryOpen/OpenRestored: clones from `factory`, optionally
+  /// restores `checkpoint` before the session can see any event.
+  core::Result<SessionId> OpenInternal(const MatcherFactory& factory,
+                                       const SessionCheckpoint* checkpoint);
 
   MatcherFactory factory_;
   StreamEngineConfig config_;
@@ -206,6 +279,8 @@ class StreamEngine {
   int64_t clock_ = 0;             ///< Producer-side logical time.
   int64_t live_ = 0;              ///< Producer-side live-session count.
   int64_t evicted_sessions_ = 0;  ///< Producer-side eviction count.
+  int64_t expired_sessions_ = 0;  ///< Producer-side deadline-expiry count.
+  int64_t quarantined_sessions_ = 0;  ///< Producer-side Quarantine() count.
   std::atomic<int64_t> dropped_points_{0};
   std::atomic<int64_t> rejected_pushes_{0};
 };

@@ -52,6 +52,18 @@ SessionStats OnlineSession::stats() const {
   return s;
 }
 
+bool OnlineSession::Checkpoint(SessionSnapshot* out) const {
+  out->online = online_.Checkpoint();
+  out->latency_points_sum = latency_points_sum_;
+  return true;
+}
+
+bool OnlineSession::Restore(const SessionSnapshot& snapshot) {
+  online_.Restore(snapshot.online);
+  latency_points_sum_ = snapshot.latency_points_sum;
+  return true;
+}
+
 void OnlineSession::AccumulateLatency(int64_t consumed_before) {
   // Consumption is FIFO: the points finalized by the last call are exactly
   // the arrival ordinals [consumed_before, consumed_points()); each waited

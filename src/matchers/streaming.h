@@ -39,6 +39,15 @@ struct SessionStats {
   }
 };
 
+/// The portable resumable state of one streaming session, produced by
+/// StreamingSession::Checkpoint for graceful drain and consumed by Restore on
+/// a freshly opened session (possibly in another process). A restored session
+/// continues with output byte-identical to the uninterrupted one.
+struct SessionSnapshot {
+  hmm::OnlineCheckpoint online;
+  int64_t latency_points_sum = 0;
+};
+
 /// One live fixed-lag matching session: points of a single trajectory stream
 /// in via Push() and road segments stream out as their matches commit.
 /// Sessions borrow their matcher's models (which hold per-trajectory state),
@@ -62,6 +71,15 @@ class StreamingSession {
   virtual const std::vector<network::SegmentId>& committed() const = 0;
 
   virtual SessionStats stats() const = 0;
+
+  /// Drain/restore support. Checkpoint snapshots the resumable state into
+  /// `out` and returns true; Restore replaces the session's state (call only
+  /// before the first Push of a fresh session). Sessions without a resumable
+  /// form return false from both and SupportsCheckpoint(); callers must treat
+  /// that as "cannot be drained", not as an error.
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual bool Checkpoint(SessionSnapshot* out) const { return false; }
+  virtual bool Restore(const SessionSnapshot& snapshot) { return false; }
 };
 
 /// The standard StreamingSession: an hmm::OnlineMatcher running the opening
@@ -83,6 +101,10 @@ class OnlineSession : public StreamingSession {
     return online_.committed();
   }
   SessionStats stats() const override;
+
+  bool SupportsCheckpoint() const override { return true; }
+  bool Checkpoint(SessionSnapshot* out) const override;
+  bool Restore(const SessionSnapshot& snapshot) override;
 
   /// Offline Viterbi over the same models/router (shortcuts off): the exact
   /// reference the fixed-lag output converges to. Only valid while the

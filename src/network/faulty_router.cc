@@ -34,9 +34,13 @@ bool FaultyRouter::IsFaulted(SegmentId from, SegmentId to) const {
   return Draw(from, to, /*salt=*/0x5fa17ULL) < config_.route_failure_rate;
 }
 
+bool FaultyRouter::IsDelayed(SegmentId from, SegmentId to) const {
+  return config_.latency_rate > 0.0 && config_.latency_micros > 0 &&
+         Draw(from, to, /*salt=*/0xde1a7ULL) < config_.latency_rate;
+}
+
 void FaultyRouter::MaybeDelay(SegmentId from, SegmentId to) {
-  if (config_.latency_rate <= 0.0 || config_.latency_micros <= 0) return;
-  if (Draw(from, to, /*salt=*/0xde1a7ULL) < config_.latency_rate) {
+  if (IsDelayed(from, to)) {
     injected_delays_.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(std::chrono::microseconds(config_.latency_micros));
   }
@@ -61,11 +65,26 @@ std::vector<std::optional<Route>> FaultyRouter::RouteMany(
     SegmentId from, const std::vector<SegmentId>& targets, double max_length) {
   queries_.fetch_add(static_cast<int64_t>(targets.size()),
                      std::memory_order_relaxed);
-  if (!targets.empty()) MaybeDelay(from, targets.front());
+  // Draw the latency decision per (from, target) pair, exactly as Route1
+  // would, so injected_delays() counts pairs — not batches — and does not
+  // depend on how callers group their targets. The sleeps are served as one
+  // aggregate wait per batch; per-pair accounting stays exact.
+  int64_t delayed = 0;
+  for (const SegmentId to : targets) {
+    if (IsDelayed(from, to)) ++delayed;
+  }
+  if (delayed > 0) {
+    injected_delays_.fetch_add(delayed, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.latency_micros * delayed));
+  }
   std::vector<std::optional<Route>> out =
       CachedRouter::RouteMany(from, targets, max_length);
   for (size_t i = 0; i < targets.size(); ++i) {
-    if (out[i].has_value() && IsFaulted(from, targets[i])) {
+    // Count every faulted pair (as Route1 does), whether or not the
+    // underlying query found a route, so the counter is a pure function of
+    // the queried pairs and usable in determinism assertions.
+    if (IsFaulted(from, targets[i])) {
       injected_failures_.fetch_add(1, std::memory_order_relaxed);
       out[i].reset();
     }

@@ -52,6 +52,9 @@ class FaultyRouter : public CachedRouter {
   /// True when queries from -> to are configured to fail.
   bool IsFaulted(SegmentId from, SegmentId to) const;
 
+  /// True when queries from -> to are configured to be delayed.
+  bool IsDelayed(SegmentId from, SegmentId to) const;
+
   /// Total (from, to) lookups answered, failures injected into them, and
   /// latency delays served, since construction.
   int64_t queries() const { return queries_.load(std::memory_order_relaxed); }

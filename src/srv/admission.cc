@@ -1,0 +1,80 @@
+#include "srv/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/logging.h"
+
+namespace lhmm::srv {
+
+TokenBucket::TokenBucket(double rate_per_tick, double burst)
+    : rate_per_tick_(rate_per_tick),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+void TokenBucket::Advance(int64_t now) {
+  if (!enabled() || now <= last_tick_) return;
+  tokens_ = std::min(
+      burst_, tokens_ + rate_per_tick_ * static_cast<double>(now - last_tick_));
+  last_tick_ = now;
+}
+
+bool TokenBucket::TryAcquire() {
+  if (!enabled()) return true;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config),
+      open_bucket_(config.open_rate_per_tick, config.open_burst),
+      push_bucket_(config.push_rate_per_tick, config.push_burst) {
+  CHECK_GE(config_.max_queue_depth, 0);
+  CHECK_GE(config_.max_live_sessions, 0);
+}
+
+void AdmissionController::Advance(int64_t now) {
+  open_bucket_.Advance(now);
+  push_bucket_.Advance(now);
+}
+
+core::Status AdmissionController::AdmitOpen(int64_t live_sessions) {
+  if (config_.max_live_sessions > 0 &&
+      live_sessions >= config_.max_live_sessions) {
+    ++shed_opens_;
+    ++shed_window_;
+    return core::Status::Unavailable(
+        "session limit reached (" + std::to_string(live_sessions) + " live)");
+  }
+  if (!open_bucket_.TryAcquire()) {
+    ++shed_opens_;
+    ++shed_window_;
+    return core::Status::ResourceExhausted("open rate limit exceeded");
+  }
+  return core::Status::Ok();
+}
+
+core::Status AdmissionController::AdmitPush(int64_t queue_depth) {
+  if (config_.max_queue_depth > 0 && queue_depth >= config_.max_queue_depth) {
+    ++shed_pushes_;
+    ++shed_window_;
+    return core::Status::Unavailable(
+        "server overloaded: " + std::to_string(queue_depth) +
+        " events queued");
+  }
+  if (!push_bucket_.TryAcquire()) {
+    ++shed_pushes_;
+    ++shed_window_;
+    return core::Status::ResourceExhausted("push rate limit exceeded");
+  }
+  return core::Status::Ok();
+}
+
+int64_t AdmissionController::TakeShedWindow() {
+  const int64_t w = shed_window_;
+  shed_window_ = 0;
+  return w;
+}
+
+}  // namespace lhmm::srv

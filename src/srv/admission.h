@@ -1,0 +1,92 @@
+#ifndef LHMM_SRV_ADMISSION_H_
+#define LHMM_SRV_ADMISSION_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace lhmm::srv {
+
+/// A token bucket driven by the server's logical clock (never wall time):
+/// `rate_per_tick` tokens refill per tick up to `burst`. Because refills are
+/// a pure function of the producer's Tick sequence and every acquire happens
+/// on the producer thread, admission decisions are deterministic — the same
+/// request sequence against the same tick sequence sheds the same requests at
+/// every thread count.
+class TokenBucket {
+ public:
+  /// rate_per_tick <= 0 disables the limit (TryAcquire always succeeds).
+  TokenBucket(double rate_per_tick, double burst);
+
+  /// Refills for the ticks elapsed since the last Advance. Monotonic: going
+  /// backwards is a no-op.
+  void Advance(int64_t now);
+
+  /// Takes one token if available.
+  bool TryAcquire();
+
+  double tokens() const { return tokens_; }
+  bool enabled() const { return rate_per_tick_ > 0.0; }
+
+ private:
+  double rate_per_tick_;
+  double burst_;
+  double tokens_;
+  int64_t last_tick_ = 0;
+};
+
+/// Admission knobs of srv::MatchServer. Zero disables a limit.
+struct AdmissionConfig {
+  /// Token-bucket rate limit on session opens, per logical tick.
+  double open_rate_per_tick = 0.0;
+  double open_burst = 1.0;
+  /// Token-bucket rate limit on point pushes, per logical tick.
+  double push_rate_per_tick = 0.0;
+  double push_burst = 1.0;
+  /// Load shedding: pushes are refused while the total queued-event depth
+  /// across all live sessions is at or above this. Depth reflects how far the
+  /// worker pumps have fallen behind, so — unlike the token buckets — this
+  /// signal is load-dependent, not deterministic across thread counts; tests
+  /// assert its accounting invariants, not exact shed sequences.
+  int64_t max_queue_depth = 0;
+  /// Session opens are refused (not LRU-evicted — that is the engine cap's
+  /// policy) while this many sessions are live.
+  int64_t max_live_sessions = 0;
+};
+
+/// Front door of the serving stack: decides, before any work is queued,
+/// whether a request is admitted. Every refusal is a typed Status the client
+/// can act on — kResourceExhausted for rate limits (retry after backoff),
+/// kUnavailable for overload shedding (retry after longer backoff) — and is
+/// counted; nothing is ever silently dropped.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Advances both buckets to the server's logical time.
+  void Advance(int64_t now);
+
+  /// Admission check for OpenSession given the current live-session count.
+  core::Status AdmitOpen(int64_t live_sessions);
+
+  /// Admission check for Push given the current total queue depth.
+  core::Status AdmitPush(int64_t queue_depth);
+
+  int64_t shed_opens() const { return shed_opens_; }
+  int64_t shed_pushes() const { return shed_pushes_; }
+  /// Sheds (opens + pushes) since the last TakeShedWindow call; the degrade
+  /// ladder samples pressure through this.
+  int64_t TakeShedWindow();
+
+ private:
+  AdmissionConfig config_;
+  TokenBucket open_bucket_;
+  TokenBucket push_bucket_;
+  int64_t shed_opens_ = 0;
+  int64_t shed_pushes_ = 0;
+  int64_t shed_window_ = 0;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_ADMISSION_H_

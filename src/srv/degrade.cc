@@ -1,0 +1,64 @@
+#include "srv/degrade.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace lhmm::srv {
+
+DegradeLadder::DegradeLadder(int num_tiers, const DegradeConfig& config)
+    : num_tiers_(num_tiers), config_(config) {
+  CHECK_GE(num_tiers, 1);
+  CHECK_GE(config_.downgrade_after, 1);
+  CHECK_GE(config_.recover_after, 1);
+}
+
+bool DegradeLadder::IsOverloaded(const PressureSample& sample) const {
+  if (config_.overload_queue_depth > 0 &&
+      sample.queue_depth >= config_.overload_queue_depth) {
+    return true;
+  }
+  if (config_.overload_shed > 0 && sample.shed >= config_.overload_shed) {
+    return true;
+  }
+  if (config_.overload_route_failures > 0 &&
+      sample.route_failures >= config_.overload_route_failures) {
+    return true;
+  }
+  if (config_.overload_rejected_pushes > 0 &&
+      sample.rejected_pushes >= config_.overload_rejected_pushes) {
+    return true;
+  }
+  return false;
+}
+
+int DegradeLadder::Observe(const PressureSample& sample) {
+  if (IsOverloaded(sample)) {
+    calm_streak_ = 0;
+    ++hot_streak_;
+    if (hot_streak_ >= config_.downgrade_after && tier_ < num_tiers_ - 1) {
+      ++tier_;
+      ++downgrades_;
+      hot_streak_ = 0;
+    }
+  } else {
+    hot_streak_ = 0;
+    ++calm_streak_;
+    if (calm_streak_ >= config_.recover_after && tier_ > 0) {
+      --tier_;
+      ++upgrades_;
+      calm_streak_ = 0;
+    }
+  }
+  return tier_;
+}
+
+void DegradeLadder::ForceTier(int tier) {
+  CHECK_GE(tier, 0);
+  CHECK_LT(tier, num_tiers_);
+  tier_ = tier;
+  hot_streak_ = 0;
+  calm_streak_ = 0;
+}
+
+}  // namespace lhmm::srv

@@ -1,0 +1,69 @@
+#ifndef LHMM_SRV_DEGRADE_H_
+#define LHMM_SRV_DEGRADE_H_
+
+#include <cstdint>
+
+namespace lhmm::srv {
+
+/// One pressure observation, sampled by MatchServer::Tick between two ticks.
+/// All fields are windowed deltas or instantaneous gauges read on the
+/// producer thread.
+struct PressureSample {
+  int64_t queue_depth = 0;      ///< Events queued across live sessions now.
+  int64_t shed = 0;             ///< Admission sheds since the last sample.
+  int64_t route_failures = 0;   ///< Injected/observed route failures since last.
+  int64_t rejected_pushes = 0;  ///< Engine backpressure rejects since last.
+};
+
+/// Thresholds that classify a PressureSample as overloaded, plus the
+/// hysteresis that turns classifications into tier moves.
+struct DegradeConfig {
+  /// A sample is overloaded when any of these trips (0 disables a signal).
+  int64_t overload_queue_depth = 0;
+  int64_t overload_shed = 0;
+  int64_t overload_route_failures = 0;
+  int64_t overload_rejected_pushes = 0;
+  /// Consecutive overloaded samples before stepping one tier down.
+  int downgrade_after = 2;
+  /// Consecutive calm samples before stepping one tier back up.
+  int recover_after = 4;
+};
+
+/// The deterministic degrade ladder: tier 0 is the full-quality matcher
+/// (LHMM) and higher tiers are progressively cheaper fallbacks (IVMM, STM).
+/// Observe() classifies each pressure sample against the thresholds and moves
+/// at most one tier per sample, with hysteresis in both directions so the
+/// ladder cannot flap. The active tier is a pure function of the observed
+/// sample sequence — no wall time, no randomness — so a replayed load trace
+/// reproduces the exact same downgrade/recovery points.
+class DegradeLadder {
+ public:
+  DegradeLadder(int num_tiers, const DegradeConfig& config);
+
+  /// Feeds one sample; returns the active tier after the update.
+  int Observe(const PressureSample& sample);
+
+  int tier() const { return tier_; }
+  int num_tiers() const { return num_tiers_; }
+  int64_t downgrades() const { return downgrades_; }
+  int64_t upgrades() const { return upgrades_; }
+
+  /// True when `sample` trips any enabled overload threshold.
+  bool IsOverloaded(const PressureSample& sample) const;
+
+  /// Forces the tier (drain/restore uses this to resume where it left off).
+  void ForceTier(int tier);
+
+ private:
+  int num_tiers_;
+  DegradeConfig config_;
+  int tier_ = 0;
+  int hot_streak_ = 0;   ///< Consecutive overloaded samples.
+  int calm_streak_ = 0;  ///< Consecutive calm samples.
+  int64_t downgrades_ = 0;
+  int64_t upgrades_ = 0;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_DEGRADE_H_

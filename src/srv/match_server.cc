@@ -1,0 +1,329 @@
+#include "srv/match_server.h"
+
+#include <utility>
+
+#include "core/logging.h"
+#include "srv/snapshot.h"
+
+namespace lhmm::srv {
+
+MatchServer::MatchServer(std::vector<TierSpec> tiers,
+                         const ServerConfig& config)
+    : tiers_(std::move(tiers)),
+      config_(config),
+      admission_(config.admission),
+      ladder_(static_cast<int>(tiers_.size()), config.degrade),
+      watchdog_(config.watchdog) {
+  CHECK(!tiers_.empty());
+  for (const TierSpec& t : tiers_) CHECK(t.factory != nullptr);
+  engine_ = std::make_unique<matchers::StreamEngine>(tiers_[0].factory,
+                                                     config_.engine);
+}
+
+MatchServer::~MatchServer() = default;
+
+const MatchServer::Sess& MatchServer::sess(int64_t id) const {
+  CHECK_GE(id, 0);
+  CHECK_LT(id, static_cast<int64_t>(sessions_.size()));
+  return sessions_[id];
+}
+
+int64_t MatchServer::QueueDepth() const {
+  int64_t depth = 0;
+  for (const Sess& s : sessions_) {
+    if (s.engine_id >= 0 && s.open) depth += engine_->inbox_depth(s.engine_id);
+  }
+  return depth;
+}
+
+core::Result<int64_t> MatchServer::OpenSession() {
+  if (draining_) {
+    return core::Status::Unavailable("server is draining");
+  }
+  LHMM_RETURN_IF_ERROR(admission_.AdmitOpen(engine_->live_sessions()));
+  const int tier = ladder_.tier();
+  core::Result<matchers::SessionId> engine_id =
+      engine_->TryOpen(tiers_[tier].factory);
+  if (!engine_id.ok()) return engine_id.status();
+  if (config_.default_deadline_ticks > 0) {
+    CHECK_OK(engine_->SetDeadline(*engine_id,
+                                  clock_ + config_.default_deadline_ticks));
+  }
+  Sess s;
+  s.engine_id = *engine_id;
+  s.tier = tier;
+  s.open = true;
+  sessions_.push_back(s);
+  ++opens_admitted_;
+  return static_cast<int64_t>(sessions_.size()) - 1;
+}
+
+core::Status MatchServer::Push(int64_t id, const traj::TrajPoint& point) {
+  const Sess& s = sess(id);
+  if (s.missing) {
+    return core::Status::Unavailable("session " + std::to_string(id) +
+                                     " was not restored from the snapshot");
+  }
+  if (draining_) {
+    return core::Status::Unavailable("server is draining");
+  }
+  if (!s.open) {
+    // The engine knows why it closed (deadline, quarantine, finish).
+    core::Status why = SessionStatus(id);
+    if (!why.ok()) return why;
+    return core::Status::FailedPrecondition("session " + std::to_string(id) +
+                                            " is closed");
+  }
+  LHMM_RETURN_IF_ERROR(admission_.AdmitPush(QueueDepth()));
+  core::Status status = engine_->Push(s.engine_id, point);
+  if (status.ok()) ++pushes_admitted_;
+  return status;
+}
+
+core::Status MatchServer::Finish(int64_t id) {
+  sess(id);  // Bounds check.
+  Sess& s = sessions_[id];
+  if (s.missing) {
+    return core::Status::Unavailable("session " + std::to_string(id) +
+                                     " was not restored from the snapshot");
+  }
+  if (!s.open) {
+    return core::Status::FailedPrecondition("session " + std::to_string(id) +
+                                            " is already closed");
+  }
+  s.open = false;
+  return engine_->Finish(s.engine_id);
+}
+
+core::Status MatchServer::SetDeadline(int64_t id, int64_t deadline_tick) {
+  const Sess& s = sess(id);
+  if (s.missing || !s.open) {
+    return core::Status::FailedPrecondition("session " + std::to_string(id) +
+                                            " is not live");
+  }
+  return engine_->SetDeadline(s.engine_id, deadline_tick);
+}
+
+void MatchServer::Tick(int64_t now) {
+  if (now > clock_) clock_ = now;
+  admission_.Advance(clock_);
+  // Deadline expiry and TTL eviction run inside the engine; both are
+  // producer-side and deterministic.
+  engine_->AdvanceClock(clock_);
+
+  // Reconcile the server-side view of sessions the engine closed (expired,
+  // evicted) and feed the watchdog the live pumps' heartbeats.
+  std::vector<Heartbeat> beats;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Sess& s = sessions_[i];
+    if (!s.open || s.engine_id < 0) continue;
+    const matchers::SessionState st = engine_->state(s.engine_id);
+    if (st == matchers::SessionState::kExpired ||
+        st == matchers::SessionState::kEvicted ||
+        st == matchers::SessionState::kPoisoned) {
+      s.open = false;
+      continue;
+    }
+    Heartbeat hb;
+    hb.session = static_cast<int64_t>(i);
+    hb.inbox_depth = engine_->inbox_depth(s.engine_id);
+    hb.processed = engine_->processed_events(s.engine_id);
+    beats.push_back(hb);
+  }
+  for (const int64_t wedged : watchdog_.Observe(clock_, beats)) {
+    Sess& s = sessions_[wedged];
+    const core::Status st = engine_->Quarantine(
+        s.engine_id, "wedged pump: no progress for " +
+                         std::to_string(config_.watchdog.stall_ticks) +
+                         " ticks with queued events");
+    if (st.ok()) s.open = false;
+  }
+
+  // Sample pressure and move the degrade ladder.
+  PressureSample sample;
+  sample.queue_depth = QueueDepth();
+  sample.shed = admission_.TakeShedWindow();
+  if (config_.fault_signal != nullptr) {
+    const int64_t failures = config_.fault_signal->injected_failures();
+    sample.route_failures = failures - last_route_failures_;
+    last_route_failures_ = failures;
+  }
+  const int64_t rejected = engine_->rejected_pushes();
+  sample.rejected_pushes = rejected - last_rejected_pushes_;
+  last_rejected_pushes_ = rejected;
+  ladder_.Observe(sample);
+}
+
+void MatchServer::Barrier() { engine_->Barrier(); }
+
+int64_t MatchServer::num_sessions() const {
+  return static_cast<int64_t>(sessions_.size());
+}
+
+matchers::SessionState MatchServer::state(int64_t id) const {
+  const Sess& s = sess(id);
+  if (s.missing) return matchers::SessionState::kEvicted;
+  return engine_->state(s.engine_id);
+}
+
+bool MatchServer::finished(int64_t id) const {
+  const Sess& s = sess(id);
+  if (s.missing || s.engine_id < 0) return false;
+  return engine_->finished(s.engine_id);
+}
+
+core::Status MatchServer::SessionStatus(int64_t id) const {
+  const Sess& s = sess(id);
+  if (s.missing) {
+    return core::Status::Unavailable("session " + std::to_string(id) +
+                                     " was not restored from the snapshot");
+  }
+  switch (engine_->state(s.engine_id)) {
+    case matchers::SessionState::kLive:
+    case matchers::SessionState::kFinished:
+      return core::Status::Ok();
+    case matchers::SessionState::kExpired:
+      return core::Status::DeadlineExceeded(
+          "session " + std::to_string(id) +
+          " passed its deadline; Committed() holds the partial prefix");
+    case matchers::SessionState::kEvicted:
+      return core::Status::Unavailable("session " + std::to_string(id) +
+                                       " was evicted (idle TTL or cap)");
+    case matchers::SessionState::kPoisoned:
+      return engine_->SessionError(s.engine_id);
+  }
+  return core::Status::Internal("unreachable");
+}
+
+const std::vector<network::SegmentId>& MatchServer::Committed(
+    int64_t id) const {
+  static const std::vector<network::SegmentId> kEmpty;
+  const Sess& s = sess(id);
+  if (s.missing || s.engine_id < 0) return kEmpty;
+  return engine_->Committed(s.engine_id);
+}
+
+matchers::SessionStats MatchServer::Stats(int64_t id) const {
+  const Sess& s = sess(id);
+  if (s.missing || s.engine_id < 0) return {};
+  return engine_->Stats(s.engine_id);
+}
+
+int64_t MatchServer::ProcessedEvents(int64_t id) const {
+  const Sess& s = sess(id);
+  if (s.missing || s.engine_id < 0) return 0;
+  return engine_->processed_events(s.engine_id);
+}
+
+int MatchServer::session_tier(int64_t id) const { return sess(id).tier; }
+
+ServerMetrics MatchServer::metrics() const {
+  ServerMetrics m;
+  m.opens_admitted = opens_admitted_;
+  m.opens_shed = admission_.shed_opens();
+  m.pushes_admitted = pushes_admitted_;
+  m.pushes_shed = admission_.shed_pushes();
+  m.pushes_rejected = engine_->rejected_pushes();
+  m.expired_sessions = engine_->expired_sessions();
+  m.quarantined_sessions = engine_->quarantined_sessions();
+  m.evicted_sessions = engine_->evicted_sessions();
+  m.downgrades = ladder_.downgrades();
+  m.upgrades = ladder_.upgrades();
+  m.active_tier = ladder_.tier();
+  m.live_sessions = engine_->live_sessions();
+  m.queue_depth = QueueDepth();
+  m.clock = clock_;
+  return m;
+}
+
+core::Status MatchServer::Drain(const std::string& path) {
+  draining_ = true;
+  // Flush every inbox so each live session is quiescent and checkpointable.
+  engine_->Barrier();
+
+  ServerSnapshot snap;
+  snap.clock = clock_;
+  snap.tier = ladder_.tier();
+  snap.total_sessions = static_cast<int64_t>(sessions_.size());
+
+  std::vector<int64_t> finish_instead;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Sess& s = sessions_[i];
+    if (!s.open || s.engine_id < 0) continue;
+    if (engine_->state(s.engine_id) != matchers::SessionState::kLive) {
+      s.open = false;
+      continue;
+    }
+    core::Result<matchers::SessionCheckpoint> cp =
+        engine_->CheckpointSession(s.engine_id);
+    if (!cp.ok()) {
+      if (cp.status().code() == core::StatusCode::kUnimplemented) {
+        // Not a resumable family: complete it now so its output is final.
+        finish_instead.push_back(static_cast<int64_t>(i));
+        continue;
+      }
+      return cp.status();
+    }
+    SessionRecord rec;
+    rec.server_id = static_cast<int64_t>(i);
+    rec.tier = s.tier;
+    rec.checkpoint = std::move(cp).value();
+    snap.sessions.push_back(std::move(rec));
+    s.open = false;
+  }
+  for (const int64_t id : finish_instead) {
+    Sess& s = sessions_[id];
+    s.open = false;
+    LHMM_RETURN_IF_ERROR(engine_->Finish(s.engine_id));
+  }
+  if (!finish_instead.empty()) engine_->Barrier();
+
+  return SaveServerSnapshot(snap, path);
+}
+
+core::Result<std::unique_ptr<MatchServer>> MatchServer::Restore(
+    const std::string& path, std::vector<TierSpec> tiers,
+    const ServerConfig& config) {
+  core::Result<ServerSnapshot> snap = LoadServerSnapshot(path);
+  if (!snap.ok()) return snap.status();
+
+  auto server = std::make_unique<MatchServer>(std::move(tiers), config);
+  server->clock_ = snap->clock;
+  server->admission_.Advance(snap->clock);
+  server->engine_->AdvanceClock(snap->clock);
+  if (snap->tier >= static_cast<int>(server->tiers_.size())) {
+    return core::Status::InvalidArgument(
+        path + ": snapshot tier " + std::to_string(snap->tier) +
+        " but only " + std::to_string(server->tiers_.size()) +
+        " tiers configured");
+  }
+  server->ladder_.ForceTier(snap->tier);
+
+  // Ids are dense and preserved: unrestored ids stay addressable but report
+  // kUnavailable, so clients holding stale handles get a typed answer.
+  server->sessions_.assign(static_cast<size_t>(snap->total_sessions), Sess{});
+  for (Sess& s : server->sessions_) s.missing = true;
+
+  for (const SessionRecord& rec : snap->sessions) {
+    if (rec.tier >= static_cast<int>(server->tiers_.size())) {
+      return core::Status::InvalidArgument(
+          path + ": session " + std::to_string(rec.server_id) +
+          " uses tier " + std::to_string(rec.tier) + ", not configured");
+    }
+    core::Result<matchers::SessionId> engine_id = server->engine_->OpenRestored(
+        rec.checkpoint, server->tiers_[rec.tier].factory);
+    if (!engine_id.ok()) return engine_id.status();
+    Sess& s = server->sessions_[rec.server_id];
+    s.engine_id = *engine_id;
+    s.tier = rec.tier;
+    s.open = true;
+    s.missing = false;
+    if (config.default_deadline_ticks > 0) {
+      CHECK_OK(server->engine_->SetDeadline(
+          *engine_id, server->clock_ + config.default_deadline_ticks));
+    }
+  }
+  return server;
+}
+
+}  // namespace lhmm::srv

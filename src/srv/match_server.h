@@ -1,0 +1,200 @@
+#ifndef LHMM_SRV_MATCH_SERVER_H_
+#define LHMM_SRV_MATCH_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "matchers/stream_engine.h"
+#include "network/faulty_router.h"
+#include "srv/admission.h"
+#include "srv/degrade.h"
+#include "srv/watchdog.h"
+
+namespace lhmm::srv {
+
+/// One rung of the degrade ladder: a display name ("LHMM", "IVMM", "STM") and
+/// the factory that clones its matcher. Tier 0 is full quality; higher tiers
+/// are progressively cheaper fallbacks.
+struct TierSpec {
+  std::string name;
+  matchers::MatcherFactory factory;
+};
+
+struct ServerConfig {
+  /// The shared StreamEngine under the server (threads, lag, backpressure,
+  /// TTL). Its shared_router may be a FaultyRouter to inject faults.
+  matchers::StreamEngineConfig engine;
+  AdmissionConfig admission;
+  DegradeConfig degrade;
+  WatchdogConfig watchdog;
+  /// Deadline armed on every session at open, in logical ticks from the
+  /// current clock; 0 = no default deadline. Clients may override per session
+  /// with SetDeadline.
+  int64_t default_deadline_ticks = 0;
+  /// Optional fault-signal source for the degrade ladder: when set, injected
+  /// route failures observed between ticks count as pressure. Usually the
+  /// same FaultyRouter installed as engine.shared_router.
+  network::FaultyRouter* fault_signal = nullptr;
+};
+
+/// Aggregate serving counters, all producer-side.
+struct ServerMetrics {
+  int64_t opens_admitted = 0;
+  int64_t opens_shed = 0;
+  int64_t pushes_admitted = 0;
+  int64_t pushes_shed = 0;      ///< Refused by admission (typed rejects).
+  int64_t pushes_rejected = 0;  ///< Refused by the engine (validation/backpressure).
+  int64_t expired_sessions = 0;
+  int64_t quarantined_sessions = 0;
+  int64_t evicted_sessions = 0;
+  int64_t downgrades = 0;
+  int64_t upgrades = 0;
+  int active_tier = 0;
+  int64_t live_sessions = 0;
+  int64_t queue_depth = 0;
+  int64_t clock = 0;
+};
+
+/// The serving front end over matchers::StreamEngine: what turns the matching
+/// library into something that survives production traffic. Layers, outermost
+/// first:
+///
+///  1. Admission control (srv::AdmissionController) — token-bucket rate
+///     limits and queue-depth load shedding decide *before* any work is
+///     queued. Refusals are typed Statuses (kResourceExhausted /
+///     kUnavailable), never silent drops.
+///  2. Deadlines — every session can carry an absolute logical-clock
+///     deadline; when Tick passes it the session is closed through the
+///     engine's normal flush path, so Committed() still returns the partial
+///     prefix and SessionStatus() reports kDeadlineExceeded.
+///  3. Degrade ladder (srv::DegradeLadder) — under sustained overload or
+///     injected route failures, new sessions are opened with progressively
+///     cheaper matcher tiers (LHMM -> IVMM -> STM) and recover when pressure
+///     clears. The active tier is published via active_tier()/metrics().
+///  4. Watchdog (srv::Watchdog) — wedged session pumps (queued events, no
+///     heartbeat progress) are quarantined through the engine's SessionError
+///     path so the rest of the fleet keeps serving.
+///  5. Drain/restore — Drain() checkpoints every live session to a versioned
+///     snapshot file; Restore() brings up a server that resumes those
+///     sessions with byte-identical continued output.
+///
+/// Threading contract: all methods are producer-side (one thread, or
+/// externally synchronized), exactly like StreamEngine; worker parallelism
+/// lives inside the engine. Every control decision (admission, deadline,
+/// tier, quarantine) is made on the producer thread from producer state, so
+/// token-bucket shedding, expiry, and tier moves are deterministic across
+/// thread counts; only queue-depth shedding is load-dependent (see
+/// AdmissionConfig).
+class MatchServer {
+ public:
+  /// `tiers` must be non-empty; tier 0 is the default (full-quality) tier.
+  MatchServer(std::vector<TierSpec> tiers, const ServerConfig& config);
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Admits and opens a session at the active degrade tier. Typed failures:
+  /// kUnavailable (draining or session limit), kResourceExhausted (rate
+  /// limit), kUnimplemented (the tier's family has no streaming form).
+  core::Result<int64_t> OpenSession();
+
+  /// Admits and enqueues one point. Typed failures: kUnavailable (draining /
+  /// overload), kResourceExhausted (rate limit), kDeadlineExceeded (session
+  /// expired; Committed() holds the partial prefix), kInvalidArgument
+  /// (malformed point), kFailedPrecondition (closed session).
+  core::Status Push(int64_t id, const traj::TrajPoint& point);
+
+  /// Ends a session's stream; its committed path becomes final.
+  core::Status Finish(int64_t id);
+
+  /// Arms (0 disarms) an absolute logical-clock deadline on a live session.
+  core::Status SetDeadline(int64_t id, int64_t deadline_tick);
+
+  /// The server's heartbeat: advances the logical clock, refills admission
+  /// buckets, expires deadlines, runs the watchdog over session heartbeats,
+  /// samples pressure, and moves the degrade ladder. Call at a steady cadence
+  /// (the tick is the server's only notion of time).
+  void Tick(int64_t now);
+
+  /// Blocks until every enqueued event is processed (engine barrier).
+  void Barrier();
+
+  int64_t num_sessions() const;
+  matchers::SessionState state(int64_t id) const;
+  bool finished(int64_t id) const;
+
+  /// The session's serving status: OK for live/finished sessions, otherwise
+  /// the typed reason it stopped (kDeadlineExceeded with partial results,
+  /// kUnavailable for quarantine/eviction/non-restored, or the pump error).
+  core::Status SessionStatus(int64_t id) const;
+
+  const std::vector<network::SegmentId>& Committed(int64_t id) const;
+  matchers::SessionStats Stats(int64_t id) const;
+
+  /// Events the session's pump has fully processed (lock-free; safe to poll
+  /// while the pump runs). 0 for sessions without a live engine slot.
+  int64_t ProcessedEvents(int64_t id) const;
+
+  /// The degrade tier this session was opened at.
+  int session_tier(int64_t id) const;
+  const std::string& tier_name(int tier) const { return tiers_[tier].name; }
+
+  int active_tier() const { return ladder_.tier(); }
+  const std::string& active_tier_name() const {
+    return tiers_[ladder_.tier()].name;
+  }
+  int64_t clock() const { return clock_; }
+  bool draining() const { return draining_; }
+
+  ServerMetrics metrics() const;
+
+  /// Graceful drain: stops admitting (subsequent opens/pushes fail with
+  /// kUnavailable "draining"), flushes every inbox, checkpoints every live
+  /// session, and writes the versioned snapshot to `path` atomically. Live
+  /// sessions whose family cannot checkpoint are finished instead (their
+  /// output is final, not resumable). The server stays queryable afterwards.
+  core::Status Drain(const std::string& path);
+
+  /// Brings up a server from a Drain() snapshot: every checkpointed session
+  /// is reopened at its original tier and resumes with byte-identical
+  /// continued output; session ids are preserved. Ids that were not
+  /// resumable report kUnavailable from SessionStatus().
+  static core::Result<std::unique_ptr<MatchServer>> Restore(
+      const std::string& path, std::vector<TierSpec> tiers,
+      const ServerConfig& config);
+
+ private:
+  struct Sess {
+    matchers::SessionId engine_id = -1;
+    int tier = 0;
+    bool open = false;     ///< Server-side: still accepting pushes.
+    bool missing = false;  ///< Existed pre-drain but was not restored.
+  };
+
+  /// Total queued events across sessions with a live engine slot.
+  int64_t QueueDepth() const;
+  const Sess& sess(int64_t id) const;
+
+  std::vector<TierSpec> tiers_;
+  ServerConfig config_;
+  std::unique_ptr<matchers::StreamEngine> engine_;
+  AdmissionController admission_;
+  DegradeLadder ladder_;
+  Watchdog watchdog_;
+  bool draining_ = false;
+  int64_t clock_ = 0;
+  std::vector<Sess> sessions_;
+  int64_t opens_admitted_ = 0;
+  int64_t pushes_admitted_ = 0;
+  /// Deltas for pressure sampling.
+  int64_t last_route_failures_ = 0;
+  int64_t last_rejected_pushes_ = 0;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_MATCH_SERVER_H_

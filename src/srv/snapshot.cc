@@ -1,0 +1,235 @@
+#include "srv/snapshot.h"
+
+#include <utility>
+
+#include "io/snapshot_io.h"
+
+namespace lhmm::srv {
+
+namespace {
+
+constexpr char kKind[] = "match-server";
+constexpr int kVersion = 1;
+
+void WritePoint(io::SnapshotWriter* w, const traj::TrajPoint& p) {
+  w->AddDouble(p.pos.x).AddDouble(p.pos.y).AddDouble(p.t).AddInt(p.tower);
+}
+
+core::Status ReadPoint(io::SnapshotReader* r, traj::TrajPoint* p) {
+  auto x = r->TakeDouble();
+  if (!x.ok()) return x.status();
+  auto y = r->TakeDouble();
+  if (!y.ok()) return y.status();
+  auto t = r->TakeDouble();
+  if (!t.ok()) return t.status();
+  auto tower = r->TakeInt();
+  if (!tower.ok()) return tower.status();
+  p->pos.x = *x;
+  p->pos.y = *y;
+  p->t = *t;
+  p->tower = static_cast<traj::TowerId>(*tower);
+  return core::Status::Ok();
+}
+
+/// Reads the line `key <int>` that must come next in the record.
+core::Result<int64_t> ReadKeyedInt(io::SnapshotReader* r, const char* key) {
+  if (!r->NextLine() || r->key() != key) {
+    return r->Error(std::string("expected '") + key + "' line");
+  }
+  auto v = r->TakeInt();
+  if (!v.ok()) return v.status();
+  LHMM_RETURN_IF_ERROR(r->ExpectLineEnd());
+  return *v;
+}
+
+core::Status ReadSessionRecord(io::SnapshotReader* r, SessionRecord* rec) {
+  // Current line: session <server_id> <tier> <seen_point> <last_time>
+  auto id = r->TakeInt();
+  if (!id.ok()) return id.status();
+  auto tier = r->TakeInt();
+  if (!tier.ok()) return tier.status();
+  auto seen = r->TakeInt();
+  if (!seen.ok()) return seen.status();
+  auto last_time = r->TakeDouble();
+  if (!last_time.ok()) return last_time.status();
+  LHMM_RETURN_IF_ERROR(r->ExpectLineEnd());
+  rec->server_id = *id;
+  rec->tier = static_cast<int>(*tier);
+  rec->checkpoint.seen_point = *seen != 0;
+  rec->checkpoint.last_time = *last_time;
+
+  matchers::SessionSnapshot& ss = rec->checkpoint.session;
+  hmm::OnlineCheckpoint& oc = ss.online;
+
+  // stats <latency_points_sum> <pushed> <consumed> <breaks>
+  if (!r->NextLine() || r->key() != "stats") {
+    return r->Error("expected 'stats' line");
+  }
+  auto lat = r->TakeInt();
+  if (!lat.ok()) return lat.status();
+  auto pushed = r->TakeInt();
+  if (!pushed.ok()) return pushed.status();
+  auto consumed = r->TakeInt();
+  if (!consumed.ok()) return consumed.status();
+  auto breaks = r->TakeInt();
+  if (!breaks.ok()) return breaks.status();
+  LHMM_RETURN_IF_ERROR(r->ExpectLineEnd());
+  ss.latency_points_sum = *lat;
+  oc.pushed = *pushed;
+  oc.consumed = *consumed;
+  oc.breaks = *breaks;
+
+  // anchor 0 | anchor 1 <segment> <dist> <cx> <cy> <obs> <shortcut> <point>
+  if (!r->NextLine() || r->key() != "anchor") {
+    return r->Error("expected 'anchor' line");
+  }
+  auto has_anchor = r->TakeInt();
+  if (!has_anchor.ok()) return has_anchor.status();
+  oc.has_anchor = *has_anchor != 0;
+  if (oc.has_anchor) {
+    auto seg = r->TakeInt();
+    if (!seg.ok()) return seg.status();
+    auto dist = r->TakeDouble();
+    if (!dist.ok()) return dist.status();
+    auto cx = r->TakeDouble();
+    if (!cx.ok()) return cx.status();
+    auto cy = r->TakeDouble();
+    if (!cy.ok()) return cy.status();
+    auto obs = r->TakeDouble();
+    if (!obs.ok()) return obs.status();
+    auto shortcut = r->TakeInt();
+    if (!shortcut.ok()) return shortcut.status();
+    oc.anchor.segment = static_cast<network::SegmentId>(*seg);
+    oc.anchor.dist = *dist;
+    oc.anchor.closest.x = *cx;
+    oc.anchor.closest.y = *cy;
+    oc.anchor.observation = *obs;
+    oc.anchor.from_shortcut = *shortcut != 0;
+    LHMM_RETURN_IF_ERROR(ReadPoint(r, &oc.anchor_point));
+  }
+  LHMM_RETURN_IF_ERROR(r->ExpectLineEnd());
+
+  // window <n> followed by n "point ..." lines.
+  core::Result<int64_t> window_n = ReadKeyedInt(r, "window");
+  if (!window_n.ok()) return window_n.status();
+  if (*window_n < 0) return r->Error("negative window size");
+  oc.window.resize(static_cast<size_t>(*window_n));
+  for (traj::TrajPoint& p : oc.window) {
+    if (!r->NextLine() || r->key() != "point") {
+      return r->Error("expected 'point' line");
+    }
+    LHMM_RETURN_IF_ERROR(ReadPoint(r, &p));
+    LHMM_RETURN_IF_ERROR(r->ExpectLineEnd());
+  }
+
+  // committed <n> <seg> <seg> ...
+  if (!r->NextLine() || r->key() != "committed") {
+    return r->Error("expected 'committed' line");
+  }
+  auto committed_n = r->TakeInt();
+  if (!committed_n.ok()) return committed_n.status();
+  if (*committed_n < 0) return r->Error("negative committed size");
+  oc.committed.resize(static_cast<size_t>(*committed_n));
+  for (network::SegmentId& sid : oc.committed) {
+    auto v = r->TakeInt();
+    if (!v.ok()) return v.status();
+    sid = static_cast<network::SegmentId>(*v);
+  }
+  return r->ExpectLineEnd();
+}
+
+}  // namespace
+
+core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
+                                const std::string& path) {
+  io::SnapshotWriter w(kKind, kVersion);
+  w.BeginLine("clock").AddInt(snapshot.clock);
+  w.EndLine();
+  w.BeginLine("tier").AddInt(snapshot.tier);
+  w.EndLine();
+  w.BeginLine("total_sessions").AddInt(snapshot.total_sessions);
+  w.EndLine();
+  w.BeginLine("num_live").AddInt(static_cast<int64_t>(snapshot.sessions.size()));
+  w.EndLine();
+  for (const SessionRecord& rec : snapshot.sessions) {
+    const matchers::SessionSnapshot& ss = rec.checkpoint.session;
+    const hmm::OnlineCheckpoint& oc = ss.online;
+    w.BeginLine("session")
+        .AddInt(rec.server_id)
+        .AddInt(rec.tier)
+        .AddInt(rec.checkpoint.seen_point ? 1 : 0)
+        .AddDouble(rec.checkpoint.last_time);
+    w.EndLine();
+    w.BeginLine("stats")
+        .AddInt(ss.latency_points_sum)
+        .AddInt(oc.pushed)
+        .AddInt(oc.consumed)
+        .AddInt(oc.breaks);
+    w.EndLine();
+    w.BeginLine("anchor").AddInt(oc.has_anchor ? 1 : 0);
+    if (oc.has_anchor) {
+      w.AddInt(oc.anchor.segment)
+          .AddDouble(oc.anchor.dist)
+          .AddDouble(oc.anchor.closest.x)
+          .AddDouble(oc.anchor.closest.y)
+          .AddDouble(oc.anchor.observation)
+          .AddInt(oc.anchor.from_shortcut ? 1 : 0);
+      WritePoint(&w, oc.anchor_point);
+    }
+    w.EndLine();
+    w.BeginLine("window").AddInt(static_cast<int64_t>(oc.window.size()));
+    w.EndLine();
+    for (const traj::TrajPoint& p : oc.window) {
+      w.BeginLine("point");
+      WritePoint(&w, p);
+      w.EndLine();
+    }
+    w.BeginLine("committed").AddInt(static_cast<int64_t>(oc.committed.size()));
+    for (const network::SegmentId sid : oc.committed) w.AddInt(sid);
+    w.EndLine();
+  }
+  return w.WriteFile(path);
+}
+
+core::Result<ServerSnapshot> LoadServerSnapshot(const std::string& path) {
+  core::Result<io::SnapshotReader> reader =
+      io::SnapshotReader::Open(path, kKind, kVersion);
+  if (!reader.ok()) return reader.status();
+  io::SnapshotReader& r = *reader;
+
+  ServerSnapshot snap;
+  core::Result<int64_t> clock = ReadKeyedInt(&r, "clock");
+  if (!clock.ok()) return clock.status();
+  snap.clock = *clock;
+  core::Result<int64_t> tier = ReadKeyedInt(&r, "tier");
+  if (!tier.ok()) return tier.status();
+  snap.tier = static_cast<int>(*tier);
+  core::Result<int64_t> total = ReadKeyedInt(&r, "total_sessions");
+  if (!total.ok()) return total.status();
+  if (*total < 0) return r.Error("negative total_sessions");
+  snap.total_sessions = *total;
+  core::Result<int64_t> num_live = ReadKeyedInt(&r, "num_live");
+  if (!num_live.ok()) return num_live.status();
+  if (*num_live < 0) return r.Error("negative num_live");
+
+  snap.sessions.reserve(static_cast<size_t>(*num_live));
+  for (int64_t i = 0; i < *num_live; ++i) {
+    if (!r.NextLine() || r.key() != "session") {
+      return r.Error("expected 'session' line (" + std::to_string(i) + " of " +
+                     std::to_string(*num_live) + " read)");
+    }
+    SessionRecord rec;
+    LHMM_RETURN_IF_ERROR(ReadSessionRecord(&r, &rec));
+    if (rec.server_id < 0 || rec.server_id >= snap.total_sessions) {
+      return r.Error("session id " + std::to_string(rec.server_id) +
+                     " outside the id space");
+    }
+    snap.sessions.push_back(std::move(rec));
+  }
+  if (r.NextLine()) {
+    return r.Error("trailing content after the last session record");
+  }
+  return snap;
+}
+
+}  // namespace lhmm::srv

@@ -1,0 +1,43 @@
+#ifndef LHMM_SRV_SNAPSHOT_H_
+#define LHMM_SRV_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "matchers/stream_engine.h"
+
+namespace lhmm::srv {
+
+/// One drained session as persisted by MatchServer::Drain: the server-side
+/// identity plus everything StreamEngine needs to resume matching
+/// byte-identically (anchor state, uncommitted window, committed prefix — see
+/// matchers::SessionCheckpoint).
+struct SessionRecord {
+  int64_t server_id = 0;
+  int tier = 0;  ///< Degrade tier the session was opened at.
+  matchers::SessionCheckpoint checkpoint;
+};
+
+/// Everything a restarted MatchServer needs to pick up where a drained one
+/// stopped.
+struct ServerSnapshot {
+  int64_t clock = 0;           ///< The server's logical clock at drain time.
+  int tier = 0;                ///< Active degrade tier at drain time.
+  int64_t total_sessions = 0;  ///< Size of the session-id space (ids are dense).
+  std::vector<SessionRecord> sessions;  ///< Live sessions, in id order.
+};
+
+/// Persists `snapshot` to the versioned line-oriented snapshot format
+/// (io::SnapshotWriter; atomic write). Doubles round-trip exactly.
+core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
+                                const std::string& path);
+
+/// Loads a snapshot written by SaveServerSnapshot. Corrupt or truncated input
+/// fails with the file and 1-based line of the problem (io/ error contract).
+core::Result<ServerSnapshot> LoadServerSnapshot(const std::string& path);
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_SNAPSHOT_H_

@@ -1,0 +1,39 @@
+#include "srv/watchdog.h"
+
+namespace lhmm::srv {
+
+std::vector<int64_t> Watchdog::Observe(int64_t now,
+                                       const std::vector<Heartbeat>& beats) {
+  std::vector<int64_t> wedged;
+  if (config_.stall_ticks <= 0) return wedged;
+
+  std::unordered_map<int64_t, Track> next;
+  next.reserve(beats.size());
+  for (const Heartbeat& hb : beats) {
+    auto it = tracks_.find(hb.session);
+    Track track;
+    if (it == tracks_.end() || it->second.processed != hb.processed) {
+      // New session or progress since last tick: restart the stall window.
+      track.processed = hb.processed;
+      track.since = now;
+    } else {
+      track = it->second;
+    }
+    // A stall only counts while work is actually queued: an idle session
+    // with an empty inbox is waiting for its producer, not wedged — and its
+    // window restarts, so a fresh push after a long idle spell cannot trip
+    // the detector instantly.
+    if (hb.inbox_depth == 0) track.since = now;
+    if (hb.inbox_depth > 0 && now - track.since >= config_.stall_ticks) {
+      wedged.push_back(hb.session);
+      ++wedged_total_;
+      // Forget it; the server quarantines it and it stops reporting beats.
+      continue;
+    }
+    next.emplace(hb.session, track);
+  }
+  tracks_ = std::move(next);
+  return wedged;
+}
+
+}  // namespace lhmm::srv

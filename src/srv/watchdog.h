@@ -1,0 +1,54 @@
+#ifndef LHMM_SRV_WATCHDOG_H_
+#define LHMM_SRV_WATCHDOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lhmm::srv {
+
+struct WatchdogConfig {
+  /// Logical ticks a session may hold queued events without its processed
+  /// counter moving before it is declared wedged. 0 disables the watchdog.
+  int64_t stall_ticks = 0;
+};
+
+/// One session's heartbeat, read on the producer thread each Tick.
+struct Heartbeat {
+  int64_t session = 0;    ///< The server's session id.
+  int64_t inbox_depth = 0;
+  int64_t processed = 0;  ///< StreamEngine's monotonic pump-progress counter.
+};
+
+/// Detects wedged session pumps from logical-clock heartbeats: a pump that
+/// holds queued events but makes no processing progress for `stall_ticks`
+/// ticks is wedged (stuck in a pathological route query, a deadlocked model,
+/// an injected hang). The watchdog only *detects* — the server acts on the
+/// verdict by quarantining through StreamEngine::Quarantine, the same typed
+/// SessionError path a pump exception takes, so the rest of the fleet keeps
+/// serving. Detection state is keyed on producer-side counters only, so the
+/// verdict sequence for a given heartbeat sequence is deterministic.
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& config) : config_(config) {}
+
+  /// Feeds this tick's heartbeats; returns the sessions newly judged wedged.
+  /// Sessions absent from `beats` (finished, quarantined) are forgotten.
+  std::vector<int64_t> Observe(int64_t now, const std::vector<Heartbeat>& beats);
+
+  int64_t wedged_total() const { return wedged_total_; }
+
+ private:
+  struct Track {
+    int64_t processed = 0;
+    int64_t since = 0;  ///< Tick when this processed value was first seen.
+  };
+
+  WatchdogConfig config_;
+  std::unordered_map<int64_t, Track> tracks_;
+  int64_t wedged_total_ = 0;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_WATCHDOG_H_

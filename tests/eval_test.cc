@@ -209,6 +209,56 @@ TEST(ReportTest, FmtDigits) {
   EXPECT_EQ(Fmt(2.0, 0), "2");
 }
 
+TEST(ReportTest, SummarizeAggregatesBreakAndGapColumns) {
+  std::vector<TrajectoryEval> records(2);
+  records[0].num_breaks = 1;
+  records[0].gap_seconds = 30.0;
+  records[0].gap_coverage = 0.8;
+  records[1].num_breaks = 3;
+  records[1].gap_seconds = 10.0;
+  records[1].gap_coverage = 1.0;
+  const EvalSummary s = Summarize(records, "STM", /*has_hr=*/false);
+  EXPECT_DOUBLE_EQ(s.mean_breaks, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_gap_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_gap_coverage, 0.9);
+}
+
+TEST(ReportTest, EvalJsonCarriesRobustnessAndSanitizeFields) {
+  EvalSummary s;
+  s.matcher = "LHMM";
+  s.num_trajectories = 4;
+  s.precision = 0.75;
+  s.recall = 0.5;
+  s.rmf = 0.25;
+  s.cmf50 = 0.875;
+  s.has_hr = true;
+  s.hitting_ratio = 0.9375;
+  s.mean_breaks = 1.5;
+  s.mean_gap_seconds = 42.5;
+  s.mean_gap_coverage = 0.96875;
+
+  traj::SanitizeReport rep;
+  rep.input_points = 100;
+  rep.output_points = 97;
+  rep.nonfinite = 2;
+  rep.out_of_order = 1;
+  rep.dropped = 3;
+  rep.repaired = 0;
+
+  const std::string json = EvalJson("fig7_smoke", {s}, &rep);
+  for (const char* needle :
+       {"\"label\": \"fig7_smoke\"", "\"matcher\": \"LHMM\"",
+        "\"breaks\": 1.5", "\"gap_seconds\": 42.5",
+        "\"gap_coverage\": 0.96875", "\"hitting_ratio\": 0.9375",
+        "\"input_points\": 100", "\"nonfinite\": 2", "\"dropped\": 3",
+        "\"issues\": 3", "\"clean\": false"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+  // Without a sanitize report the block is omitted entirely.
+  EXPECT_EQ(EvalJson("x", {s}, nullptr).find("\"sanitize\""),
+            std::string::npos);
+}
+
 TEST(PreprocessTest, AppliesFiltersAndDedup) {
   traj::Trajectory t;
   for (int i = 0; i < 6; ++i) {

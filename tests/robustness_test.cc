@@ -722,7 +722,8 @@ TEST(StreamBackpressureTest, RejectPolicyRefusesPushesOnAFullInbox) {
   }
   for (int k = 4; k <= 6; ++k) {
     const core::Status full = engine.Push(id, P(0, 0, k, k));
-    EXPECT_EQ(full.code(), core::StatusCode::kFailedPrecondition);
+    // kUnavailable is the typed "retry with backoff" answer clients key on.
+    EXPECT_EQ(full.code(), core::StatusCode::kUnavailable);
     EXPECT_NE(full.message().find("inbox full"), std::string::npos);
   }
   EXPECT_EQ(engine.rejected_pushes(), 3);
@@ -866,6 +867,9 @@ TEST_F(StreamHardeningTest, SoakThousandSessionsWithEvictionChurn) {
         break;
       case matchers::SessionState::kLive:
         ++live;
+        break;
+      case matchers::SessionState::kExpired:
+        ADD_FAILURE() << "session " << id << " expired without a deadline";
         break;
       case matchers::SessionState::kPoisoned:
         ADD_FAILURE() << "session " << id << " poisoned: "

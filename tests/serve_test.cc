@@ -1,0 +1,950 @@
+// Tests for the serving front end (srv::MatchServer and its parts): typed
+// admission rejects, deadline expiry with partial prefixes, the deterministic
+// degrade ladder, watchdog quarantine of wedged pumps, and drain/restore with
+// byte-identical continued output. The suite runs the same scripted loads at
+// several thread counts and asserts identical outcomes — the serving layer's
+// control decisions are all producer-side, so parallelism must not change
+// what gets shed, expired, downgraded, or committed.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hmm/classic_models.h"
+#include "io/snapshot_io.h"
+#include "matchers/classic_matchers.h"
+#include "matchers/ivmm.h"
+#include "matchers/stream_engine.h"
+#include "network/faulty_router.h"
+#include "network/generators.h"
+#include "network/grid_index.h"
+#include "srv/admission.h"
+#include "srv/degrade.h"
+#include "srv/match_server.h"
+#include "srv/snapshot.h"
+#include "srv/watchdog.h"
+#include "traj/trajectory.h"
+
+namespace lhmm {
+namespace {
+
+traj::TrajPoint P(double x, double y, double t,
+                  traj::TowerId tower = traj::kInvalidTower) {
+  return {{x, y}, t, tower};
+}
+
+// ---------------------------------------------------------------------------
+// srv::TokenBucket / srv::AdmissionController — producer-side determinism.
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucketTest, RefillsPerTickUpToBurst) {
+  srv::TokenBucket bucket(/*rate_per_tick=*/1.0, /*burst=*/2.0);
+  EXPECT_TRUE(bucket.TryAcquire());  // Starts full.
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+  bucket.Advance(1);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+  // A long gap refills to burst, never beyond it.
+  bucket.Advance(100);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, AdvanceIsMonotonic) {
+  srv::TokenBucket bucket(1.0, 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.TryAcquire());
+  bucket.Advance(2);
+  bucket.Advance(1);  // Going backwards must not refill again.
+  bucket.Advance(2);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, NonPositiveRateDisablesTheLimit) {
+  srv::TokenBucket bucket(0.0, 1.0);
+  EXPECT_FALSE(bucket.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryAcquire());
+}
+
+TEST(AdmissionControllerTest, TypedRejectsAndExactAccounting) {
+  srv::AdmissionConfig config;
+  config.open_rate_per_tick = 1.0;
+  config.open_burst = 2.0;
+  config.max_live_sessions = 3;
+  config.push_rate_per_tick = 2.0;
+  config.push_burst = 2.0;
+  config.max_queue_depth = 10;
+  srv::AdmissionController admission(config);
+
+  // Session cap trips before the rate bucket and is kUnavailable.
+  const core::Status cap = admission.AdmitOpen(/*live_sessions=*/3);
+  EXPECT_EQ(cap.code(), core::StatusCode::kUnavailable);
+  // Rate-limit rejects are kResourceExhausted.
+  EXPECT_TRUE(admission.AdmitOpen(0).ok());
+  EXPECT_TRUE(admission.AdmitOpen(0).ok());
+  const core::Status rate = admission.AdmitOpen(0);
+  EXPECT_EQ(rate.code(), core::StatusCode::kResourceExhausted);
+
+  // Queue-depth shedding is kUnavailable; bucket exhaustion kResourceExhausted.
+  EXPECT_EQ(admission.AdmitPush(/*queue_depth=*/10).code(),
+            core::StatusCode::kUnavailable);
+  EXPECT_TRUE(admission.AdmitPush(0).ok());
+  EXPECT_TRUE(admission.AdmitPush(0).ok());
+  EXPECT_EQ(admission.AdmitPush(0).code(),
+            core::StatusCode::kResourceExhausted);
+
+  // Every refusal is counted — nothing is silently dropped.
+  EXPECT_EQ(admission.shed_opens(), 2);
+  EXPECT_EQ(admission.shed_pushes(), 2);
+  EXPECT_EQ(admission.TakeShedWindow(), 4);
+  EXPECT_EQ(admission.TakeShedWindow(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// srv::DegradeLadder — hysteresis and determinism.
+// ---------------------------------------------------------------------------
+
+srv::PressureSample Overloaded() {
+  srv::PressureSample s;
+  s.route_failures = 100;
+  return s;
+}
+
+TEST(DegradeLadderTest, DowngradesAfterStreakAndRecoversAfterCalm) {
+  srv::DegradeConfig config;
+  config.overload_route_failures = 10;
+  config.downgrade_after = 2;
+  config.recover_after = 3;
+  srv::DegradeLadder ladder(/*num_tiers=*/3, config);
+
+  EXPECT_EQ(ladder.Observe(Overloaded()), 0);  // Streak of 1: no move yet.
+  EXPECT_EQ(ladder.Observe(Overloaded()), 1);  // Streak of 2: down one tier.
+  EXPECT_EQ(ladder.Observe(Overloaded()), 1);  // Streak restarts after a move.
+  EXPECT_EQ(ladder.Observe(Overloaded()), 2);
+  EXPECT_EQ(ladder.Observe(Overloaded()), 2);  // Clamped at the bottom tier.
+  EXPECT_EQ(ladder.downgrades(), 2);
+
+  EXPECT_EQ(ladder.Observe({}), 2);
+  EXPECT_EQ(ladder.Observe({}), 2);
+  EXPECT_EQ(ladder.Observe({}), 1);  // Third calm sample: one step back up.
+  // A single overloaded sample resets the calm streak without moving.
+  EXPECT_EQ(ladder.Observe(Overloaded()), 1);
+  EXPECT_EQ(ladder.Observe({}), 1);
+  EXPECT_EQ(ladder.Observe({}), 1);
+  EXPECT_EQ(ladder.Observe({}), 0);
+  EXPECT_EQ(ladder.Observe({}), 0);  // Clamped at the top tier.
+  EXPECT_EQ(ladder.upgrades(), 2);
+}
+
+TEST(DegradeLadderTest, DisabledThresholdsNeverTrip) {
+  srv::DegradeLadder ladder(2, srv::DegradeConfig{});  // All thresholds 0.
+  srv::PressureSample s;
+  s.queue_depth = 1 << 20;
+  s.shed = 1 << 20;
+  s.route_failures = 1 << 20;
+  s.rejected_pushes = 1 << 20;
+  EXPECT_FALSE(ladder.IsOverloaded(s));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ladder.Observe(s), 0);
+}
+
+// ---------------------------------------------------------------------------
+// srv::Watchdog — wedge detection from logical heartbeats.
+// ---------------------------------------------------------------------------
+
+srv::Heartbeat HB(int64_t session, int64_t inbox, int64_t processed) {
+  srv::Heartbeat hb;
+  hb.session = session;
+  hb.inbox_depth = inbox;
+  hb.processed = processed;
+  return hb;
+}
+
+TEST(WatchdogTest, WedgeNeedsQueuedEventsAndNoProgress) {
+  srv::WatchdogConfig config;
+  config.stall_ticks = 2;
+  srv::Watchdog dog(config);
+
+  // An idle session (empty inbox) never wedges, however long it sits.
+  for (int64_t t = 1; t <= 5; ++t) {
+    EXPECT_TRUE(dog.Observe(t, {HB(0, 0, 0)}).empty());
+  }
+  // Events queue at t=6; the pump makes no progress afterwards. The stall
+  // window is measured from the last tick the pump was known idle (t=5).
+  EXPECT_TRUE(dog.Observe(6, {HB(0, 3, 0)}).empty());
+  const std::vector<int64_t> wedged = dog.Observe(7, {HB(0, 3, 0)});
+  ASSERT_EQ(wedged.size(), 1u);
+  EXPECT_EQ(wedged[0], 0);
+  EXPECT_EQ(dog.wedged_total(), 1);
+}
+
+TEST(WatchdogTest, ProgressRestartsTheStallWindow) {
+  srv::WatchdogConfig config;
+  config.stall_ticks = 2;
+  srv::Watchdog dog(config);
+  EXPECT_TRUE(dog.Observe(1, {HB(0, 4, 0)}).empty());
+  EXPECT_TRUE(dog.Observe(2, {HB(0, 4, 0)}).empty());
+  // One processed event before the verdict tick: the window restarts.
+  EXPECT_TRUE(dog.Observe(3, {HB(0, 3, 1)}).empty());
+  EXPECT_TRUE(dog.Observe(4, {HB(0, 3, 1)}).empty());
+  EXPECT_EQ(dog.Observe(5, {HB(0, 3, 1)}).size(), 1u);
+}
+
+TEST(WatchdogTest, AbsentSessionsAreForgotten) {
+  srv::WatchdogConfig config;
+  config.stall_ticks = 1;
+  srv::Watchdog dog(config);
+  EXPECT_TRUE(dog.Observe(1, {HB(7, 2, 0)}).empty());
+  // Session 7 disappears (finished) and reappears later: the old stall
+  // window must not carry over.
+  EXPECT_TRUE(dog.Observe(2, {}).empty());
+  EXPECT_TRUE(dog.Observe(3, {HB(7, 2, 0)}).empty());
+  EXPECT_EQ(dog.Observe(4, {HB(7, 2, 0)}).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MatchServer end-to-end, on a grid network with real matcher tiers.
+// ---------------------------------------------------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new network::RoadNetwork(network::GenerateGridNetwork(8, 8, 200.0));
+    index_ = new network::GridIndex(net_, 150.0);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete net_;
+    index_ = nullptr;
+    net_ = nullptr;
+  }
+
+  static hmm::ClassicModelConfig Models() {
+    hmm::ClassicModelConfig models;
+    models.obs_sigma = 120.0;
+    models.search_radius = 500.0;
+    return models;
+  }
+
+  static matchers::MatcherFactory IvmmFactory() {
+    const network::RoadNetwork* net = net_;
+    const network::GridIndex* index = index_;
+    return [net, index] {
+      return std::make_unique<matchers::IvmmMatcher>(net, index, Models(),
+                                                     /*k=*/10);
+    };
+  }
+
+  static matchers::MatcherFactory StmFactory() {
+    const network::RoadNetwork* net = net_;
+    const network::GridIndex* index = index_;
+    hmm::EngineConfig engine;
+    engine.k = 8;
+    return [net, index, engine] {
+      return std::make_unique<matchers::StmMatcher>(net, index, Models(),
+                                                    engine);
+    };
+  }
+
+  static std::vector<srv::TierSpec> Tiers() {
+    return {{"IVMM", IvmmFactory()}, {"STM", StmFactory()}};
+  }
+
+  /// Walks left-to-right along grid row `row` (rows are 200 m apart).
+  static traj::Trajectory Walk(int points, int row = 0, double t0 = 0.0) {
+    traj::Trajectory t;
+    for (int i = 0; i < points; ++i) {
+      t.points.push_back(
+          P(100.0 + i * 250.0, 10.0 + row * 200.0, t0 + i * 20.0,
+            static_cast<traj::TowerId>(i)));
+    }
+    return t;
+  }
+
+  static std::string TmpPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  static network::RoadNetwork* net_;
+  static network::GridIndex* index_;
+};
+
+network::RoadNetwork* ServeTest::net_ = nullptr;
+network::GridIndex* ServeTest::index_ = nullptr;
+
+TEST_F(ServeTest, OpenRateLimitShedsDeterministicallyAcrossThreadCounts) {
+  // 2 tokens of burst, 1 per tick: the shed pattern is a pure function of the
+  // open/tick script, so every thread count must produce it exactly.
+  std::vector<std::vector<core::StatusCode>> outcomes;
+  for (const int threads : {1, 2, 4}) {
+    srv::ServerConfig config;
+    config.engine.num_threads = threads;
+    config.engine.lag = 2;
+    config.admission.open_rate_per_tick = 1.0;
+    config.admission.open_burst = 2.0;
+    srv::MatchServer server(Tiers(), config);
+
+    std::vector<core::StatusCode> seq;
+    for (int tick = 1; tick <= 3; ++tick) {
+      for (int i = 0; i < 3; ++i) {
+        const core::Result<int64_t> id = server.OpenSession();
+        seq.push_back(id.ok() ? core::StatusCode::kOk : id.status().code());
+      }
+      server.Tick(tick);
+    }
+    const srv::ServerMetrics m = server.metrics();
+    // Accounting invariant: every attempt is either admitted or shed.
+    EXPECT_EQ(m.opens_admitted + m.opens_shed, 9) << "threads=" << threads;
+    EXPECT_EQ(m.opens_shed, 5);
+    outcomes.push_back(std::move(seq));
+  }
+  // First window: burst of 2 admits, third attempt shed. Later windows: one
+  // refill token each.
+  const std::vector<core::StatusCode> want = {
+      core::StatusCode::kOk, core::StatusCode::kOk,
+      core::StatusCode::kResourceExhausted,
+      core::StatusCode::kOk, core::StatusCode::kResourceExhausted,
+      core::StatusCode::kResourceExhausted,
+      core::StatusCode::kOk, core::StatusCode::kResourceExhausted,
+      core::StatusCode::kResourceExhausted};
+  for (const auto& seq : outcomes) EXPECT_EQ(seq, want);
+}
+
+TEST_F(ServeTest, SessionCapRejectsWithUnavailable) {
+  srv::ServerConfig config;
+  config.engine.num_threads = 2;
+  config.admission.max_live_sessions = 2;
+  srv::MatchServer server(Tiers(), config);
+  ASSERT_TRUE(server.OpenSession().ok());
+  ASSERT_TRUE(server.OpenSession().ok());
+  const core::Result<int64_t> third = server.OpenSession();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), core::StatusCode::kUnavailable);
+  // Finishing a session frees a slot once the engine closes it.
+  ASSERT_TRUE(server.Finish(0).ok());
+  server.Barrier();
+  EXPECT_TRUE(server.OpenSession().ok());
+}
+
+TEST_F(ServeTest, PushRateLimitIsTypedAndCounted) {
+  srv::ServerConfig config;
+  config.engine.num_threads = 1;
+  config.engine.lag = 2;
+  config.admission.push_rate_per_tick = 2.0;
+  config.admission.push_burst = 3.0;
+  srv::MatchServer server(Tiers(), config);
+  const core::Result<int64_t> id = server.OpenSession();
+  ASSERT_TRUE(id.ok());
+
+  const traj::Trajectory t = Walk(8);
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 5; ++i) {
+    const core::Status status = server.Push(*id, t[i]);
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(status.code(), core::StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 3);  // The burst.
+  EXPECT_EQ(shed, 2);
+  const srv::ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.pushes_admitted, admitted);
+  EXPECT_EQ(m.pushes_shed, shed);
+  // Refill after a tick admits exactly two more.
+  server.Tick(1);
+  EXPECT_TRUE(server.Push(*id, t[5]).ok());
+  EXPECT_TRUE(server.Push(*id, t[6]).ok());
+  EXPECT_EQ(server.Push(*id, t[7]).code(),
+            core::StatusCode::kResourceExhausted);
+}
+
+TEST_F(ServeTest, DeadlineExpiryKeepsThePartialPrefix) {
+  // The reference: the same five points pushed and finished normally.
+  std::vector<network::SegmentId> want;
+  {
+    srv::ServerConfig config;
+    config.engine.num_threads = 1;
+    config.engine.lag = 2;
+    srv::MatchServer server(Tiers(), config);
+    const core::Result<int64_t> id = server.OpenSession();
+    ASSERT_TRUE(id.ok());
+    const traj::Trajectory t = Walk(5);
+    for (int i = 0; i < t.size(); ++i) ASSERT_TRUE(server.Push(*id, t[i]).ok());
+    ASSERT_TRUE(server.Finish(*id).ok());
+    server.Barrier();
+    want = server.Committed(*id);
+    ASSERT_FALSE(want.empty());
+  }
+
+  for (const int threads : {1, 4}) {
+    srv::ServerConfig config;
+    config.engine.num_threads = threads;
+    config.engine.lag = 2;
+    srv::MatchServer server(Tiers(), config);
+    const core::Result<int64_t> id = server.OpenSession();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(server.SetDeadline(*id, 10).ok());
+
+    const traj::Trajectory t = Walk(5);
+    for (int i = 0; i < t.size(); ++i) ASSERT_TRUE(server.Push(*id, t[i]).ok());
+    server.Barrier();  // Quiesce so expiry flushes a settled stream.
+    server.Tick(10);   // The deadline tick: the session expires.
+    server.Barrier();
+
+    EXPECT_EQ(server.state(*id), matchers::SessionState::kExpired);
+    const core::Status status = server.SessionStatus(*id);
+    EXPECT_EQ(status.code(), core::StatusCode::kDeadlineExceeded);
+    // The partial prefix survives — identical to a clean finish of the same
+    // points, at every thread count.
+    EXPECT_EQ(server.Committed(*id), want) << "threads=" << threads;
+    // Pushing into the expired session is a typed error, not a silent drop.
+    EXPECT_EQ(server.Push(*id, P(2000, 10, 500, 9)).code(),
+              core::StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(server.metrics().expired_sessions, 1);
+  }
+}
+
+TEST_F(ServeTest, DefaultDeadlineArmsEverySession) {
+  srv::ServerConfig config;
+  config.engine.num_threads = 1;
+  config.engine.lag = 2;
+  config.default_deadline_ticks = 5;
+  srv::MatchServer server(Tiers(), config);
+  const core::Result<int64_t> id = server.OpenSession();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Push(*id, P(100, 10, 0, 0)).ok());
+  server.Barrier();
+  server.Tick(4);
+  EXPECT_EQ(server.state(*id), matchers::SessionState::kLive);
+  server.Tick(5);
+  EXPECT_EQ(server.state(*id), matchers::SessionState::kExpired);
+  EXPECT_EQ(server.SessionStatus(*id).code(),
+            core::StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeTest, DegradeLadderDowngradesAndRecoversDeterministically) {
+  // Scripted load against an injected-fault router. Barrier-before-Tick makes
+  // the per-window route-failure delta a pure function of the pushed points,
+  // so the tier trace must be identical at every thread count.
+  std::vector<std::vector<int>> traces;
+  for (const int threads : {1, 4}) {
+    network::FaultConfig faults;
+    faults.route_failure_rate = 0.8;
+    faults.seed = 77;
+    network::FaultyRouter router(net_, faults);
+
+    srv::ServerConfig config;
+    config.engine.num_threads = threads;
+    config.engine.lag = 2;
+    config.engine.shared_router = &router;
+    config.fault_signal = &router;
+    config.degrade.overload_route_failures = 4;
+    config.degrade.downgrade_after = 2;
+    config.degrade.recover_after = 3;
+    srv::MatchServer server(Tiers(), config);
+
+    EXPECT_EQ(server.active_tier_name(), "IVMM");
+    const core::Result<int64_t> id = server.OpenSession();
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(server.session_tier(*id), 0);
+
+    std::vector<int> trace;
+    const traj::Trajectory t = Walk(12);
+    int next = 0;
+    // Four loaded ticks (three points each), then four calm ticks.
+    for (int tick = 1; tick <= 8; ++tick) {
+      for (int i = 0; i < 3 && next < t.size(); ++i, ++next) {
+        ASSERT_TRUE(server.Push(*id, t[next]).ok());
+      }
+      server.Barrier();
+      server.Tick(tick);
+      trace.push_back(server.active_tier());
+    }
+    traces.push_back(trace);
+
+    const srv::ServerMetrics m = server.metrics();
+    EXPECT_GE(m.downgrades, 1) << "threads=" << threads;
+    EXPECT_GE(m.upgrades, 1) << "threads=" << threads;
+    EXPECT_EQ(m.active_tier, 0) << "threads=" << threads;
+
+    // While degraded, new sessions open at the cheaper tier.
+    const int degraded_at = static_cast<int>(
+        std::find(trace.begin(), trace.end(), 1) - trace.begin());
+    ASSERT_LT(degraded_at, static_cast<int>(trace.size()));
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  // The trace actually moved: down to STM under faults, back to IVMM calm.
+  EXPECT_NE(std::find(traces[0].begin(), traces[0].end(), 1),
+            traces[0].end());
+  EXPECT_EQ(traces[0].back(), 0);
+}
+
+TEST_F(ServeTest, DegradedServerOpensSessionsAtTheCheaperTier) {
+  // Admission sheds are themselves a pressure signal: a shed-heavy window
+  // pushes the ladder down, and sessions opened while degraded carry the
+  // cheaper tier.
+  srv::ServerConfig config2;
+  config2.engine.num_threads = 2;
+  config2.degrade.overload_shed = 1;
+  config2.degrade.downgrade_after = 1;
+  config2.admission.open_rate_per_tick = 0.5;
+  config2.admission.open_burst = 1.0;
+  srv::MatchServer degraded(Tiers(), config2);
+  ASSERT_TRUE(degraded.OpenSession().ok());
+  ASSERT_FALSE(degraded.OpenSession().ok());  // Shed: pressure this window.
+  degraded.Tick(1);
+  EXPECT_EQ(degraded.active_tier(), 1);
+  EXPECT_EQ(degraded.active_tier_name(), "STM");
+  degraded.Tick(2);  // Bucket refills; no shed this window.
+  const core::Result<int64_t> id = degraded.OpenSession();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(degraded.session_tier(*id), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog quarantine through the server, using a blocking Gate session.
+// ---------------------------------------------------------------------------
+
+// A StreamingSession that blocks inside Push until released, so tests can
+// wedge one pump deterministically (same idiom as robustness_test.cc).
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool open = false;
+
+  void Enter() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      entered = true;
+    }
+    cv.notify_all();
+  }
+  void WaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class GateSession : public matchers::StreamingSession {
+ public:
+  explicit GateSession(Gate* gate) : gate_(gate) {}
+  std::vector<network::SegmentId> Push(const traj::TrajPoint& point) override {
+    gate_->Enter();
+    {
+      std::unique_lock<std::mutex> lock(gate_->mu);
+      gate_->cv.wait(lock, [&] { return gate_->open; });
+    }
+    committed_.push_back(static_cast<network::SegmentId>(point.tower));
+    ++stats_.points_pushed;
+    ++stats_.points_committed;
+    return {committed_.back()};
+  }
+  std::vector<network::SegmentId> Finish() override { return {}; }
+  void Reset() override {
+    committed_.clear();
+    stats_ = {};
+  }
+  const std::vector<network::SegmentId>& committed() const override {
+    return committed_;
+  }
+  matchers::SessionStats stats() const override { return stats_; }
+
+ private:
+  Gate* gate_;
+  std::vector<network::SegmentId> committed_;
+  matchers::SessionStats stats_;
+};
+
+class GateMatcher : public matchers::MapMatcher {
+ public:
+  explicit GateMatcher(Gate* gate) : gate_(gate) {}
+  std::string name() const override { return "gate"; }
+  matchers::MatchResult Match(const traj::Trajectory&) override { return {}; }
+  bool SupportsStreaming() const override { return true; }
+  std::unique_ptr<matchers::StreamingSession> OpenSession(
+      const matchers::StreamConfig&) override {
+    return std::make_unique<GateSession>(gate_);
+  }
+
+ private:
+  Gate* gate_;
+};
+
+TEST_F(ServeTest, WatchdogQuarantinesAWedgedPumpAndTheFleetKeepsServing) {
+  // Session 0 gets a gate that stays shut (the wedge); session 1 gets a gate
+  // that is already open, so its pump flows normally.
+  Gate wedge;
+  Gate flowing;
+  flowing.Release();
+  int opened = 0;
+  const matchers::MatcherFactory factory = [&]() {
+    Gate* gate = (opened++ == 0) ? &wedge : &flowing;
+    return std::make_unique<GateMatcher>(gate);
+  };
+
+  srv::ServerConfig config;
+  config.engine.num_threads = 2;
+  config.watchdog.stall_ticks = 2;
+  srv::MatchServer server({{"GATE", factory}}, config);
+
+  const core::Result<int64_t> stuck = server.OpenSession();
+  const core::Result<int64_t> healthy = server.OpenSession();
+  ASSERT_TRUE(stuck.ok());
+  ASSERT_TRUE(healthy.ok());
+
+  // The wedged pump grabs the first point and blocks; two more queue behind.
+  ASSERT_TRUE(server.Push(*stuck, P(0, 0, 0, 0)).ok());
+  wedge.WaitEntered();
+  ASSERT_TRUE(server.Push(*stuck, P(0, 0, 10, 1)).ok());
+  ASSERT_TRUE(server.Push(*stuck, P(0, 0, 20, 2)).ok());
+
+  // The healthy session keeps making progress the whole time. Wait until its
+  // pump has actually consumed the point before advancing the clock: the
+  // watchdog judges progress by heartbeats, so on an overloaded machine an
+  // unscheduled-but-healthy pump would be indistinguishable from a wedge.
+  ASSERT_TRUE(server.Push(*healthy, P(0, 0, 0, 5)).ok());
+  while (server.ProcessedEvents(*healthy) < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  server.Tick(1);
+  server.Tick(2);
+  EXPECT_EQ(server.state(*stuck), matchers::SessionState::kLive);
+  server.Tick(3);  // Stalled for stall_ticks with queued events: quarantined.
+
+  EXPECT_EQ(server.state(*stuck), matchers::SessionState::kPoisoned);
+  const core::Status status = server.SessionStatus(*stuck);
+  EXPECT_EQ(status.code(), core::StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("wedged pump"), std::string::npos);
+  EXPECT_EQ(server.metrics().quarantined_sessions, 1);
+
+  // Release the blocked pump so it can unwind into the quarantine cleanup.
+  wedge.Release();
+  ASSERT_TRUE(server.Push(*healthy, P(0, 0, 10, 6)).ok());
+  ASSERT_TRUE(server.Finish(*healthy).ok());
+  server.Barrier();
+  EXPECT_EQ(server.state(*healthy), matchers::SessionState::kFinished);
+  EXPECT_EQ(server.Committed(*healthy),
+            (std::vector<network::SegmentId>{5, 6}));
+  // Pushes into the quarantined session surface the stored typed error.
+  EXPECT_EQ(server.Push(*stuck, P(0, 0, 30, 3)).code(),
+            core::StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Unsupported-family contract: typed kUnimplemented, never a crash.
+// ---------------------------------------------------------------------------
+
+// A matcher family with no streaming form at all (SupportsStreaming false).
+class BatchOnlyMatcher : public matchers::MapMatcher {
+ public:
+  std::string name() const override { return "batch-only"; }
+  matchers::MatchResult Match(const traj::Trajectory&) override { return {}; }
+};
+
+// A family that claims streaming but returns nullptr from OpenSession — the
+// documented "unsupported configuration" contract (seq2seq's behavior).
+class NullSessionMatcher : public matchers::MapMatcher {
+ public:
+  std::string name() const override { return "null-session"; }
+  matchers::MatchResult Match(const traj::Trajectory&) override { return {}; }
+  bool SupportsStreaming() const override { return true; }
+  std::unique_ptr<matchers::StreamingSession> OpenSession(
+      const matchers::StreamConfig&) override {
+    return nullptr;
+  }
+};
+
+TEST_F(ServeTest, NonStreamingTierIsATypedUnimplementedReject) {
+  srv::ServerConfig config;
+  config.engine.num_threads = 1;
+  srv::MatchServer server(
+      {{"BATCH", [] { return std::make_unique<BatchOnlyMatcher>(); }}},
+      config);
+  const core::Result<int64_t> id = server.OpenSession();
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), core::StatusCode::kUnimplemented);
+  EXPECT_EQ(server.num_sessions(), 0);
+
+  srv::MatchServer null_server(
+      {{"NULL", [] { return std::make_unique<NullSessionMatcher>(); }}},
+      config);
+  const core::Result<int64_t> null_id = null_server.OpenSession();
+  ASSERT_FALSE(null_id.ok());
+  EXPECT_EQ(null_id.status().code(), core::StatusCode::kUnimplemented);
+}
+
+// ---------------------------------------------------------------------------
+// Drain / restore.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, DrainRestoreResumesByteIdenticalAcrossThreadCounts) {
+  for (const int threads : {1, 8}) {
+    // Reference: the full trajectories served without interruption.
+    const traj::Trajectory a = Walk(12, /*row=*/0);
+    const traj::Trajectory b = Walk(9, /*row=*/2);
+    std::vector<network::SegmentId> want_a;
+    std::vector<network::SegmentId> want_b;
+    {
+      srv::ServerConfig config;
+      config.engine.num_threads = threads;
+      config.engine.lag = 3;
+      srv::MatchServer server(Tiers(), config);
+      const core::Result<int64_t> ia = server.OpenSession();
+      const core::Result<int64_t> ib = server.OpenSession();
+      ASSERT_TRUE(ia.ok());
+      ASSERT_TRUE(ib.ok());
+      for (int i = 0; i < a.size(); ++i) ASSERT_TRUE(server.Push(*ia, a[i]).ok());
+      for (int i = 0; i < b.size(); ++i) ASSERT_TRUE(server.Push(*ib, b[i]).ok());
+      ASSERT_TRUE(server.Finish(*ia).ok());
+      ASSERT_TRUE(server.Finish(*ib).ok());
+      server.Barrier();
+      want_a = server.Committed(*ia);
+      want_b = server.Committed(*ib);
+      ASSERT_FALSE(want_a.empty());
+      ASSERT_FALSE(want_b.empty());
+    }
+
+    // Interrupted run: drain mid-stream, restore, continue.
+    const std::string path =
+        TmpPath("drain_" + std::to_string(threads) + ".snap");
+    srv::ServerConfig config;
+    config.engine.num_threads = threads;
+    config.engine.lag = 3;
+    {
+      srv::MatchServer server(Tiers(), config);
+      const core::Result<int64_t> ia = server.OpenSession();
+      const core::Result<int64_t> ib = server.OpenSession();
+      ASSERT_TRUE(ia.ok());
+      ASSERT_TRUE(ib.ok());
+      for (int i = 0; i < 7; ++i) ASSERT_TRUE(server.Push(*ia, a[i]).ok());
+      for (int i = 0; i < 4; ++i) ASSERT_TRUE(server.Push(*ib, b[i]).ok());
+      server.Tick(5);
+      ASSERT_TRUE(server.Drain(path).ok());
+      // A drained server refuses new work with a typed answer but stays
+      // queryable.
+      EXPECT_TRUE(server.draining());
+      EXPECT_EQ(server.OpenSession().status().code(),
+                core::StatusCode::kUnavailable);
+      EXPECT_EQ(server.Push(*ia, a[7]).code(), core::StatusCode::kUnavailable);
+    }
+
+    core::Result<std::unique_ptr<srv::MatchServer>> restored =
+        srv::MatchServer::Restore(path, Tiers(), config);
+    ASSERT_TRUE(restored.ok()) << restored.status().message();
+    srv::MatchServer& server = **restored;
+    EXPECT_EQ(server.clock(), 5);
+    EXPECT_EQ(server.num_sessions(), 2);
+    EXPECT_EQ(server.session_tier(0), 0);
+
+    for (int i = 7; i < a.size(); ++i) ASSERT_TRUE(server.Push(0, a[i]).ok());
+    for (int i = 4; i < b.size(); ++i) ASSERT_TRUE(server.Push(1, b[i]).ok());
+    ASSERT_TRUE(server.Finish(0).ok());
+    ASSERT_TRUE(server.Finish(1).ok());
+    server.Barrier();
+
+    // The drain/restore seam is invisible in the output: byte-identical to
+    // the uninterrupted run, at every thread count.
+    EXPECT_EQ(server.Committed(0), want_a) << "threads=" << threads;
+    EXPECT_EQ(server.Committed(1), want_b) << "threads=" << threads;
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(ServeTest, DrainRestorePreservesTierAndRejectsUnrestoredIds) {
+  const std::string path = TmpPath("drain_tier.snap");
+  srv::ServerConfig config;
+  config.engine.num_threads = 2;
+  config.engine.lag = 2;
+  config.degrade.overload_shed = 1;
+  config.degrade.downgrade_after = 1;
+  config.admission.open_rate_per_tick = 0.25;
+  config.admission.open_burst = 2.0;
+  {
+    srv::MatchServer server(Tiers(), config);
+    const core::Result<int64_t> first = server.OpenSession();   // Tier 0.
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(server.OpenSession().ok());                      // Tier 0.
+    ASSERT_FALSE(server.OpenSession().ok());  // Shed -> pressure -> downgrade.
+    server.Tick(1);
+    ASSERT_EQ(server.active_tier(), 1);
+    // Session 0 finishes before the drain: it is not in the snapshot.
+    ASSERT_TRUE(server.Push(*first, P(100, 10, 0, 0)).ok());
+    ASSERT_TRUE(server.Finish(*first).ok());
+    server.Barrier();
+    // Session 1 stays live with a couple of queued-then-flushed points.
+    ASSERT_TRUE(server.Push(1, P(100, 410, 0, 0)).ok());
+    ASSERT_TRUE(server.Push(1, P(350, 410, 20, 1)).ok());
+    ASSERT_TRUE(server.Drain(path).ok());
+  }
+
+  core::Result<std::unique_ptr<srv::MatchServer>> restored =
+      srv::MatchServer::Restore(path, Tiers(), config);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  srv::MatchServer& server = **restored;
+  // The degrade tier survives the restart.
+  EXPECT_EQ(server.active_tier(), 1);
+  EXPECT_EQ(server.active_tier_name(), "STM");
+  // Both ids are still addressable; the finished one was not restored and
+  // answers with a typed kUnavailable, never a crash or a silent empty.
+  EXPECT_EQ(server.num_sessions(), 2);
+  EXPECT_EQ(server.SessionStatus(0).code(), core::StatusCode::kUnavailable);
+  EXPECT_EQ(server.Push(0, P(0, 0, 0, 0)).code(),
+            core::StatusCode::kUnavailable);
+  EXPECT_TRUE(server.SessionStatus(1).ok());
+  ASSERT_TRUE(server.Push(1, P(600, 410, 40, 2)).ok());
+  ASSERT_TRUE(server.Finish(1).ok());
+  server.Barrier();
+  EXPECT_FALSE(server.Committed(1).empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, DrainFinishesNonCheckpointableFamiliesInsteadOfFailing) {
+  Gate gate;
+  gate.Release();  // Never blocks; GateSession has no checkpoint support.
+  srv::ServerConfig config;
+  config.engine.num_threads = 2;
+  srv::MatchServer server(
+      {{"GATE", [&gate] { return std::make_unique<GateMatcher>(&gate); }}},
+      config);
+  const core::Result<int64_t> id = server.OpenSession();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Push(*id, P(0, 0, 0, 3)).ok());
+
+  const std::string path = TmpPath("drain_gate.snap");
+  ASSERT_TRUE(server.Drain(path).ok());
+  // The session was finished in place: its output is final and the snapshot
+  // carries no live sessions.
+  EXPECT_EQ(server.state(*id), matchers::SessionState::kFinished);
+  EXPECT_EQ(server.Committed(*id), (std::vector<network::SegmentId>{3}));
+
+  const core::Result<srv::ServerSnapshot> snap =
+      srv::LoadServerSnapshot(path);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->total_sessions, 1);
+  EXPECT_TRUE(snap->sessions.empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format: exact round-trips and loud, located corruption errors.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ServerSnapshotRoundTripsExactly) {
+  srv::ServerSnapshot snap;
+  snap.clock = 42;
+  snap.tier = 1;
+  snap.total_sessions = 3;
+  srv::SessionRecord rec;
+  rec.server_id = 2;
+  rec.tier = 1;
+  rec.checkpoint.last_time = 0.1 + 0.2;  // Needs %.17g to round-trip.
+  rec.checkpoint.seen_point = true;
+  rec.checkpoint.session.latency_points_sum = 7;
+  auto& online = rec.checkpoint.session.online;
+  online.has_anchor = true;
+  online.anchor.segment = 11;
+  online.anchor.dist = 123.456789012345678;
+  online.anchor.closest = {1.0 / 3.0, 2.0 / 3.0};
+  online.anchor.observation = -17.25;
+  online.anchor.from_shortcut = true;
+  online.anchor_point = P(1.0 / 3.0, 2.0 / 3.0, 0.3, 4);
+  online.window = {P(-1.5, 2.25, 0.30000000000000004, 1)};
+  online.committed = {5, 6, 7};
+  online.pushed = 4;
+  online.consumed = 3;
+  online.breaks = 1;
+  snap.sessions.push_back(rec);
+
+  const std::string path = TmpPath("roundtrip.snap");
+  ASSERT_TRUE(srv::SaveServerSnapshot(snap, path).ok());
+  const core::Result<srv::ServerSnapshot> loaded =
+      srv::LoadServerSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  EXPECT_EQ(loaded->clock, 42);
+  EXPECT_EQ(loaded->tier, 1);
+  EXPECT_EQ(loaded->total_sessions, 3);
+  ASSERT_EQ(loaded->sessions.size(), 1u);
+  const srv::SessionRecord& got = loaded->sessions[0];
+  EXPECT_EQ(got.server_id, 2);
+  EXPECT_EQ(got.tier, 1);
+  EXPECT_EQ(got.checkpoint.last_time, rec.checkpoint.last_time);
+  EXPECT_TRUE(got.checkpoint.seen_point);
+  EXPECT_EQ(got.checkpoint.session.latency_points_sum, 7);
+  const auto& got_online = got.checkpoint.session.online;
+  EXPECT_TRUE(got_online.has_anchor);
+  EXPECT_EQ(got_online.anchor.segment, 11);
+  EXPECT_EQ(got_online.anchor.dist, online.anchor.dist);
+  EXPECT_EQ(got_online.anchor.closest.x, online.anchor.closest.x);
+  EXPECT_EQ(got_online.anchor.observation, online.anchor.observation);
+  EXPECT_TRUE(got_online.anchor.from_shortcut);
+  EXPECT_EQ(got_online.anchor_point.pos.x, online.anchor_point.pos.x);
+  ASSERT_EQ(got_online.window.size(), 1u);
+  EXPECT_EQ(got_online.window[0].t, online.window[0].t);
+  EXPECT_EQ(got_online.window[0].tower, 1);
+  EXPECT_EQ(got_online.committed, online.committed);
+  EXPECT_EQ(got_online.pushed, 4);
+  EXPECT_EQ(got_online.breaks, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, CorruptSnapshotsFailWithFileAndLineContext) {
+  const std::string path = TmpPath("corrupt.snap");
+  const auto write = [&](const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  };
+  const auto expect_error = [&](const std::string& needle) {
+    const core::Result<srv::ServerSnapshot> r = srv::LoadServerSnapshot(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find(path), std::string::npos)
+        << r.status().message();
+    EXPECT_NE(r.status().message().find(needle), std::string::npos)
+        << r.status().message();
+  };
+
+  write("not-a-snapshot\n");
+  expect_error("line 1");
+  write("lhmm-snapshot wrong-kind 1\n");
+  expect_error("line 1");
+  write("lhmm-snapshot match-server 99\nclock 0\n");
+  expect_error("line 1");  // Future version: refuse, do not guess.
+  write("lhmm-snapshot match-server 1\nclock zero\n");
+  expect_error("line 2");
+  write("lhmm-snapshot match-server 1\nclock 0\ntier 0\ntotal_sessions 1\n");
+  expect_error("expected 'num_live'");  // Truncated mid-header.
+  write(
+      "lhmm-snapshot match-server 1\nclock 0\ntier 0\ntotal_sessions 1\n"
+      "num_live 1\nsession 0 0 1 12.5\nstats 0 1\n");
+  expect_error("line 7");  // The stats line is short two fields.
+  write(
+      "lhmm-snapshot match-server 1\nclock 0\ntier 0\ntotal_sessions 0\n"
+      "num_live 0\nsession trailing garbage\n");
+  expect_error("line 6");  // Content after the declared sessions.
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lhmm

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Golden-output test for the lhmm_cli pipeline:
+#
+#   simulate -> train (micro) -> match --sanitize repair --warm-cache 1 -> eval
+#
+# Asserts three things end to end:
+#   1. every stage exits 0 and prints its expected status lines (sanitize
+#      report, warm-cache report, eval metric table);
+#   2. matching is deterministic — two identical match runs produce
+#      byte-identical path files;
+#   3. corrupt input fails loudly with the io/ error contract: the message
+#      names the exact file and 1-based line of the problem.
+#
+# Driven by ctest with LHMM_CLI pointing at the built binary.
+set -u
+
+CLI="${LHMM_CLI:?LHMM_CLI must point at the lhmm_cli binary}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  shift
+  for f in "$@"; do
+    echo "--- $f ---" >&2
+    cat "$f" >&2
+  done
+  exit 1
+}
+
+require() {  # require <pattern> <file> <label>
+  grep -q "$1" "$2" || fail "$3: expected /$1/ in output" "$2"
+}
+
+# --- 1. Simulate a tiny deterministic dataset. -----------------------------
+"$CLI" simulate --preset Xiamen-S --out "$TMP/ds" --train 10 --test 3 --seed 7 \
+  > "$TMP/simulate.out" 2>&1 || fail "simulate exited nonzero" "$TMP/simulate.out"
+require "Wrote dataset bundle" "$TMP/simulate.out" simulate
+
+# --- 2. Micro-train an LHMM model. -----------------------------------------
+"$CLI" train --data "$TMP/ds" --model "$TMP/model.bin" \
+  --obs-steps 2 --trans-steps 2 --fusion-steps 5 --encoder-dim 24 \
+  > "$TMP/train.out" 2>&1 || fail "train exited nonzero" "$TMP/train.out"
+require "Model written to" "$TMP/train.out" train
+[ -s "$TMP/model.bin" ] || fail "model file is missing or empty"
+[ -s "$TMP/model.bin.aux" ] || fail "model aux file is missing or empty"
+
+# --- 3. Match with sanitization and a pre-warmed route cache. --------------
+match() {  # match <out-file> <log-file>
+  "$CLI" match --data "$TMP/ds" --model "$TMP/model.bin" --encoder-dim 24 \
+    --out "$1" --sanitize repair --warm-cache 1 --warm-radius 800 \
+    > "$2" 2>&1
+}
+match "$TMP/matched_a.paths" "$TMP/match_a.out" \
+  || fail "match exited nonzero" "$TMP/match_a.out"
+require "Warmed route cache:" "$TMP/match_a.out" match
+require "Sanitize (repair):" "$TMP/match_a.out" match
+require "Matched 3 trajectories" "$TMP/match_a.out" match
+
+# The matched output is the golden artifact: a second identical run must
+# reproduce it byte for byte.
+match "$TMP/matched_b.paths" "$TMP/match_b.out" \
+  || fail "second match exited nonzero" "$TMP/match_b.out"
+cmp -s "$TMP/matched_a.paths" "$TMP/matched_b.paths" \
+  || fail "match output is not deterministic" \
+          "$TMP/matched_a.paths" "$TMP/matched_b.paths"
+
+# Structural check on the path file itself: one "i:" record per test
+# trajectory, each with at least one segment.
+[ "$(wc -l < "$TMP/matched_a.paths")" -eq 3 ] \
+  || fail "expected 3 path records" "$TMP/matched_a.paths"
+grep -qv ':' "$TMP/matched_a.paths" && fail "malformed path record" "$TMP/matched_a.paths"
+
+# --- 4. Eval prints the metric table. --------------------------------------
+"$CLI" eval --data "$TMP/ds" --paths "$TMP/matched_a.paths" \
+  > "$TMP/eval.out" 2>&1 || fail "eval exited nonzero" "$TMP/eval.out"
+for metric in precision recall RMF CMF50; do
+  require "$metric" "$TMP/eval.out" eval
+done
+
+# --- 5. Corrupt input: the io/ layer names the file and the line. ----------
+printf 'this line has no colon separator\n' > "$TMP/corrupt.paths"
+if "$CLI" eval --data "$TMP/ds" --paths "$TMP/corrupt.paths" \
+    > "$TMP/corrupt1.out" 2>&1; then
+  fail "eval accepted a corrupt paths file" "$TMP/corrupt1.out"
+fi
+require "corrupt.paths line 1" "$TMP/corrupt1.out" corrupt-input
+require "missing ':'" "$TMP/corrupt1.out" corrupt-input
+
+printf '0:4 8 15\n1:16 twenty-three 42\n' > "$TMP/corrupt2.paths"
+if "$CLI" eval --data "$TMP/ds" --paths "$TMP/corrupt2.paths" \
+    > "$TMP/corrupt2.out" 2>&1; then
+  fail "eval accepted a paths file with a bad segment id" "$TMP/corrupt2.out"
+fi
+require "corrupt2.paths line 2" "$TMP/corrupt2.out" corrupt-input
+
+echo "cli_golden_test: OK"

@@ -103,6 +103,13 @@ int CmdTrain(const std::map<std::string, std::string>& args) {
   inputs.train = &bundle->train;
   L::LhmmConfig cfg;
   cfg.verbose = Get(args, "verbose", "0") == "1";
+  // Micro-training knobs, mainly for smoke runs and golden tests; a model
+  // trained with a non-default --encoder-dim must be matched with the same.
+  int v = 0;
+  if (core::ParseInt(Get(args, "obs-steps", ""), &v)) cfg.obs_steps = v;
+  if (core::ParseInt(Get(args, "trans-steps", ""), &v)) cfg.trans_steps = v;
+  if (core::ParseInt(Get(args, "fusion-steps", ""), &v)) cfg.fusion_steps = v;
+  if (core::ParseInt(Get(args, "encoder-dim", ""), &v)) cfg.encoder.dim = v;
   printf("Training LHMM on %zu trajectories...\n", bundle->train.size());
   std::shared_ptr<L::LhmmModel> model = L::TrainLhmm(inputs, cfg);
   const core::Status status = model->Save(model_path);
@@ -132,6 +139,8 @@ int CmdMatch(const std::map<std::string, std::string>& args) {
   cfg.obs_steps = 0;
   cfg.trans_steps = 0;
   cfg.fusion_steps = 0;
+  int dim = 0;
+  if (core::ParseInt(Get(args, "encoder-dim", ""), &dim)) cfg.encoder.dim = dim;
   std::shared_ptr<L::LhmmModel> model = L::TrainLhmm(inputs, cfg);
   model->config = L::LhmmConfig{};
   const core::Status load = model->Load(model_path);
@@ -270,8 +279,10 @@ void Usage() {
           "  simulate --preset Hangzhou-S|Xiamen-S --out PREFIX [--train N]"
           " [--test N] [--seed S]\n"
           "  train    --data PREFIX --model FILE [--verbose 1]\n"
+          "           [--obs-steps N] [--trans-steps N] [--fusion-steps N]"
+          " [--encoder-dim D]\n"
           "  match    --data PREFIX --model FILE --out FILE [--render FILE.svg]\n"
-          "           [--warm-cache 1 [--warm-radius M]]"
+          "           [--encoder-dim D] [--warm-cache 1 [--warm-radius M]]"
           " [--sanitize reject|drop|repair]\n"
           "  eval     --data PREFIX --paths FILE\n");
 }

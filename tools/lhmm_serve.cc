@@ -1,0 +1,348 @@
+// lhmm_serve — the serving front end as a process: srv::MatchServer behind a
+// line protocol on stdin, with graceful drain on SIGTERM. One line in, one
+// line out, so it scripts from a shell, a test harness, or a socket relay:
+//
+//   open                          -> ok open <id> tier=<name>
+//   push <id> <x> <y> <t> <tower> -> ok push <id> committed=<total>
+//   finish <id>                   -> ok finish <id>
+//   deadline <id> <tick>          -> ok deadline <id>
+//   tick <now>                    -> ok tick <clock> tier=<name>
+//   await                         -> ok await            (engine barrier)
+//   committed <id>                -> ok committed <id> <n> <seg...>
+//   status <id>                   -> ok status <id> <state> <code>
+//   stats                         -> ok stats <key=value ...>
+//   drain <path>                  -> ok drain <path>     (stops admission)
+//   quit
+//
+// Every refusal is a typed "err <Code> <message>" line — admission sheds,
+// deadline expiry, quarantine — so clients can implement retry policies
+// without parsing prose. SIGTERM (or EOF with --snapshot set) drains every
+// live session to the snapshot file; a later run with --restore <file>
+// resumes those sessions byte-identically.
+//
+// The road network is a generated grid (--grid-rows/--grid-cols/--spacing)
+// or a dataset bundle (--data <prefix>). Tiers: with --data and --model, the
+// full paper ladder LHMM -> IVMM -> STM; otherwise IVMM -> STM.
+
+#include <csignal>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/strings.h"
+#include "hmm/classic_models.h"
+#include "io/dataset_io.h"
+#include "lhmm/lhmm_matcher.h"
+#include "lhmm/trainer.h"
+#include "matchers/classic_matchers.h"
+#include "matchers/ivmm.h"
+#include "network/faulty_router.h"
+#include "network/generators.h"
+#include "network/grid_index.h"
+#include "srv/match_server.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
+namespace L = ::lhmm::lhmm;
+
+namespace {
+
+volatile std::sig_atomic_t g_terminate = 0;
+void OnTerminate(int) { g_terminate = 1; }
+
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> out;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    out[key] = argv[i + 1];
+  }
+  return out;
+}
+
+std::string Get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback = "") {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+int GetInt(const std::map<std::string, std::string>& args,
+           const std::string& key, int fallback) {
+  int v = 0;
+  return core::ParseInt(Get(args, key), &v) ? v : fallback;
+}
+
+double GetDouble(const std::map<std::string, std::string>& args,
+                 const std::string& key, double fallback) {
+  double v = 0.0;
+  return core::ParseDouble(Get(args, key), &v) ? v : fallback;
+}
+
+void Err(const core::Status& s) {
+  printf("err %s %s\n", core::StatusCodeName(s.code()), s.message().c_str());
+}
+
+const char* StateName(matchers::SessionState s) {
+  switch (s) {
+    case matchers::SessionState::kLive: return "live";
+    case matchers::SessionState::kFinished: return "finished";
+    case matchers::SessionState::kEvicted: return "evicted";
+    case matchers::SessionState::kExpired: return "expired";
+    case matchers::SessionState::kPoisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+
+  // --- The world: a network, an index, and a (possibly faulty) router. ---
+  network::RoadNetwork net;
+  std::vector<geo::Point> towers;
+  io::DatasetBundle bundle;
+  std::shared_ptr<L::LhmmModel> model;
+  const std::string data = Get(args, "data");
+  if (!data.empty()) {
+    auto loaded = io::LoadDatasetBundle(data);
+    if (!loaded.ok()) {
+      fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    bundle = std::move(loaded).value();
+    net = std::move(bundle.net);
+  } else {
+    net = network::GenerateGridNetwork(GetInt(args, "grid-rows", 10),
+                                       GetInt(args, "grid-cols", 10),
+                                       GetDouble(args, "spacing", 200.0));
+  }
+  network::GridIndex index(&net, 300.0);
+  network::FaultConfig faults;
+  faults.route_failure_rate = GetDouble(args, "route-failure-rate", 0.0);
+  faults.latency_rate = GetDouble(args, "latency-rate", 0.0);
+  faults.seed = static_cast<uint64_t>(GetInt(args, "seed", 1));
+  network::SegmentRouter router(&net);
+  network::FaultyRouter faulty(&router, faults);
+
+  // --- The degrade ladder. ---
+  std::vector<srv::TierSpec> tiers;
+  const std::string model_path = Get(args, "model");
+  if (!data.empty() && !model_path.empty()) {
+    L::TrainInputs inputs;
+    inputs.net = &net;
+    inputs.index = &index;
+    inputs.num_towers = static_cast<int>(bundle.towers.size());
+    inputs.train = &bundle.train;
+    L::LhmmConfig cfg;
+    cfg.obs_steps = 0;
+    cfg.trans_steps = 0;
+    cfg.fusion_steps = 0;
+    model = L::TrainLhmm(inputs, cfg);
+    model->config = L::LhmmConfig{};
+    const core::Status load = model->Load(model_path);
+    if (!load.ok()) {
+      fprintf(stderr, "error: %s\n", load.ToString().c_str());
+      return 1;
+    }
+    const network::RoadNetwork* n = &net;
+    const network::GridIndex* idx = &index;
+    tiers.push_back({"LHMM", [n, idx, model] {
+                       return std::make_unique<L::LhmmMatcher>(n, idx, model);
+                     }});
+  }
+  {
+    const network::RoadNetwork* n = &net;
+    const network::GridIndex* idx = &index;
+    hmm::ClassicModelConfig models;
+    tiers.push_back({"IVMM", [n, idx, models] {
+                       return std::make_unique<matchers::IvmmMatcher>(n, idx,
+                                                                      models, 10);
+                     }});
+    hmm::EngineConfig stm_engine;
+    stm_engine.k = 8;
+    tiers.push_back({"STM", [n, idx, models, stm_engine] {
+                       return std::make_unique<matchers::StmMatcher>(
+                           n, idx, models, stm_engine);
+                     }});
+  }
+
+  // --- The server. ---
+  srv::ServerConfig config;
+  config.engine.num_threads = GetInt(args, "threads", 4);
+  config.engine.lag = GetInt(args, "lag", 8);
+  config.engine.shared_router = &faulty;
+  config.engine.max_inbox = GetInt(args, "max-inbox", 256);
+  config.engine.session_ttl = GetInt(args, "ttl", 0);
+  config.admission.open_rate_per_tick = GetDouble(args, "open-rate", 0.0);
+  config.admission.open_burst = GetDouble(args, "open-burst", 8.0);
+  config.admission.push_rate_per_tick = GetDouble(args, "push-rate", 0.0);
+  config.admission.push_burst = GetDouble(args, "push-burst", 64.0);
+  config.admission.max_queue_depth = GetInt(args, "max-queue", 0);
+  config.admission.max_live_sessions = GetInt(args, "max-sessions", 0);
+  config.degrade.overload_queue_depth = GetInt(args, "overload-queue", 0);
+  config.degrade.overload_shed = GetInt(args, "overload-shed", 0);
+  config.degrade.overload_route_failures =
+      GetInt(args, "overload-route-failures", 0);
+  config.degrade.downgrade_after = GetInt(args, "downgrade-after", 2);
+  config.degrade.recover_after = GetInt(args, "recover-after", 4);
+  config.watchdog.stall_ticks = GetInt(args, "stall-ticks", 0);
+  config.default_deadline_ticks = GetInt(args, "deadline-ticks", 0);
+  config.fault_signal = &faulty;
+
+  std::unique_ptr<srv::MatchServer> server;
+  const std::string restore = Get(args, "restore");
+  if (!restore.empty()) {
+    auto restored = srv::MatchServer::Restore(restore, tiers, config);
+    if (!restored.ok()) {
+      fprintf(stderr, "error: %s\n", restored.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(restored).value();
+    fprintf(stderr, "restored %" PRId64 " sessions from %s\n",
+            server->num_sessions(), restore.c_str());
+  } else {
+    server = std::make_unique<srv::MatchServer>(tiers, config);
+  }
+
+  // SIGTERM/SIGINT begin a graceful drain instead of killing mid-flight
+  // sessions. No SA_RESTART: the blocking stdin read returns so the loop can
+  // see the flag.
+  struct sigaction sa = {};
+  sa.sa_handler = OnTerminate;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  const std::string snapshot = Get(args, "snapshot");
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  fprintf(stderr, "lhmm_serve: %zu tiers, tier0=%s; ready\n", tiers.size(),
+          server->active_tier_name().c_str());
+
+  std::string line;
+  bool quit = false;
+  while (!quit && !g_terminate && std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit") {
+      quit = true;
+    } else if (cmd == "open") {
+      core::Result<int64_t> id = server->OpenSession();
+      if (!id.ok()) {
+        Err(id.status());
+      } else {
+        printf("ok open %" PRId64 " tier=%s\n", *id,
+               server->tier_name(server->session_tier(*id)).c_str());
+      }
+    } else if (cmd == "push") {
+      int64_t id;
+      traj::TrajPoint p;
+      long tower;
+      if (!(in >> id >> p.pos.x >> p.pos.y >> p.t >> tower)) {
+        Err(core::Status::InvalidArgument("usage: push <id> <x> <y> <t> <tower>"));
+        continue;
+      }
+      p.tower = static_cast<traj::TowerId>(tower);
+      const core::Status st = server->Push(id, p);
+      if (!st.ok()) {
+        Err(st);
+      } else {
+        printf("ok push %" PRId64 "\n", id);
+      }
+    } else if (cmd == "finish") {
+      int64_t id;
+      if (!(in >> id)) {
+        Err(core::Status::InvalidArgument("usage: finish <id>"));
+        continue;
+      }
+      const core::Status st = server->Finish(id);
+      st.ok() ? static_cast<void>(printf("ok finish %" PRId64 "\n", id)) : Err(st);
+    } else if (cmd == "deadline") {
+      int64_t id, tick;
+      if (!(in >> id >> tick)) {
+        Err(core::Status::InvalidArgument("usage: deadline <id> <tick>"));
+        continue;
+      }
+      const core::Status st = server->SetDeadline(id, tick);
+      st.ok() ? static_cast<void>(printf("ok deadline %" PRId64 "\n", id)) : Err(st);
+    } else if (cmd == "tick") {
+      int64_t now;
+      if (!(in >> now)) {
+        Err(core::Status::InvalidArgument("usage: tick <now>"));
+        continue;
+      }
+      server->Tick(now);
+      printf("ok tick %" PRId64 " tier=%s\n", server->clock(),
+             server->active_tier_name().c_str());
+    } else if (cmd == "await") {
+      server->Barrier();
+      printf("ok await\n");
+    } else if (cmd == "committed") {
+      int64_t id;
+      if (!(in >> id)) {
+        Err(core::Status::InvalidArgument("usage: committed <id>"));
+        continue;
+      }
+      if (id < 0 || id >= server->num_sessions()) {
+        Err(core::Status::NotFound("no session " + std::to_string(id)));
+        continue;
+      }
+      const std::vector<network::SegmentId>& path = server->Committed(id);
+      printf("ok committed %" PRId64 " %zu", id, path.size());
+      for (const network::SegmentId s : path) printf(" %d", s);
+      printf("\n");
+    } else if (cmd == "status") {
+      int64_t id;
+      if (!(in >> id)) {
+        Err(core::Status::InvalidArgument("usage: status <id>"));
+        continue;
+      }
+      if (id < 0 || id >= server->num_sessions()) {
+        Err(core::Status::NotFound("no session " + std::to_string(id)));
+        continue;
+      }
+      const core::Status st = server->SessionStatus(id);
+      printf("ok status %" PRId64 " %s %s\n", id, StateName(server->state(id)),
+             core::StatusCodeName(st.code()));
+    } else if (cmd == "stats") {
+      const srv::ServerMetrics m = server->metrics();
+      printf("ok stats clock=%" PRId64 " tier=%s live=%" PRId64
+             " queue=%" PRId64 " opens=%" PRId64 "/%" PRId64
+             " pushes=%" PRId64 "/%" PRId64 " expired=%" PRId64
+             " quarantined=%" PRId64 " evicted=%" PRId64 " downgrades=%" PRId64
+             " upgrades=%" PRId64 "\n",
+             m.clock, server->active_tier_name().c_str(), m.live_sessions,
+             m.queue_depth, m.opens_admitted, m.opens_shed, m.pushes_admitted,
+             m.pushes_shed, m.expired_sessions, m.quarantined_sessions,
+             m.evicted_sessions, m.downgrades, m.upgrades);
+    } else if (cmd == "drain") {
+      std::string path;
+      if (!(in >> path)) {
+        Err(core::Status::InvalidArgument("usage: drain <path>"));
+        continue;
+      }
+      const core::Status st = server->Drain(path);
+      st.ok() ? static_cast<void>(printf("ok drain %s\n", path.c_str())) : Err(st);
+    } else {
+      Err(core::Status::InvalidArgument("unknown command '" + cmd + "'"));
+    }
+  }
+
+  // Graceful shutdown: drain to --snapshot when terminated (or on EOF) with
+  // live sessions still open.
+  if (!snapshot.empty() && !server->draining()) {
+    const core::Status st = server->Drain(snapshot);
+    if (!st.ok()) {
+      fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    fprintf(stderr, "drained to %s\n", snapshot.c_str());
+  }
+  server->Barrier();
+  return 0;
+}

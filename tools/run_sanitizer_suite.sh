@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the full sanitizer battery: the ThreadSanitizer pass (data races,
+# deadlocks) followed by the AddressSanitizer pass (bad accesses, lifetime
+# bugs). Each pass keeps its own build tree, so reruns are incremental.
+# Usage: tools/run_sanitizer_suite.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+echo "=== 1/2 ThreadSanitizer ==="
+./run_tsan_tests.sh "$@"
+
+echo "=== 2/2 AddressSanitizer ==="
+./run_asan_tests.sh "$@"
+
+echo "Sanitizer suite complete: TSan and ASan both clean."

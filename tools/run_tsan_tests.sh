@@ -13,7 +13,7 @@ BUILD_DIR=build-tsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test network_test hmm_test
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test network_test hmm_test lhmm_loadgen
 
 # TSan halts with a non-zero exit on the first data race, so a plain run is
 # the assertion. batch_test covers the thread pool, the sharded route cache
@@ -22,12 +22,18 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # robustness_test covers the hardened serving paths — backpressure against a
 # blocked pump, cap/TTL eviction racing workers, poison quarantine, the
 # 1000-session eviction-churn soak, and fault-injected batch matching;
-# network_test and hmm_test cover the serial users of the same code paths.
+# serve_test covers the MatchServer front end — admission, deadlines, the
+# degrade ladder, watchdog quarantine of a blocked pump, and drain/restore —
+# and lhmm_loadgen --smoke drives the whole serving stack with a concurrent
+# fault-injecting client fleet; network_test and hmm_test cover the serial
+# users of the same code paths.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
 ./tests/robustness_test
+./tests/serve_test
 ./tests/network_test
 ./tests/hmm_test
+./tools/lhmm_loadgen --smoke 1
 
 echo "TSan pass complete: no data races reported."

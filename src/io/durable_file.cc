@@ -1,0 +1,97 @@
+#include "io/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lhmm::io {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Writes all of `data` to `fd`, retrying short writes and EINTR.
+core::Status WriteAll(int fd, const std::string& data,
+                      const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::IoError(Errno("write to " + path + " failed"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace
+
+core::Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return core::Status::IoError(Errno("cannot open " + path + " for fsync"));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return core::Status::IoError(Errno("fsync of " + path + " failed"));
+  }
+  return core::Status::Ok();
+}
+
+core::Status FsyncParentDir(const std::string& path) {
+  return FsyncPath(ParentDir(path));
+}
+
+core::Status AtomicWriteFile(const std::string& path,
+                             const std::string& contents, bool durable) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return core::Status::IoError(Errno("cannot write " + tmp));
+  }
+  core::Status write = WriteAll(fd, contents, tmp);
+  if (write.ok() && durable && ::fsync(fd) != 0) {
+    write = core::Status::IoError(Errno("fsync of " + tmp + " failed"));
+  }
+  ::close(fd);
+  if (!write.ok()) {
+    ::unlink(tmp.c_str());
+    return write;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const core::Status st =
+        core::Status::IoError(Errno("cannot rename " + tmp + " to " + path));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (durable) {
+    LHMM_RETURN_IF_ERROR(FsyncParentDir(path));
+  }
+  return core::Status::Ok();
+}
+
+core::Status AppendToFile(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return core::Status::IoError(Errno("cannot append to " + path));
+  }
+  const core::Status write = WriteAll(fd, data, path);
+  ::close(fd);
+  return write;
+}
+
+}  // namespace lhmm::io

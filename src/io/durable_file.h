@@ -1,0 +1,36 @@
+#ifndef LHMM_IO_DURABLE_FILE_H_
+#define LHMM_IO_DURABLE_FILE_H_
+
+#include <string>
+
+#include "core/status.h"
+
+namespace lhmm::io {
+
+/// Flushes a file's contents to stable storage (fsync). The distinction
+/// between "written" and "durable" is the whole point of the durability
+/// layer: a write that only reached the page cache is lost on power failure.
+core::Status FsyncPath(const std::string& path);
+
+/// Flushes the *directory entry* of `path` (fsync on its parent directory),
+/// which is what makes a rename or a newly created file itself survive a
+/// crash. A rename that was not followed by a directory fsync can vanish.
+core::Status FsyncParentDir(const std::string& path);
+
+/// Writes `contents` to `path` atomically: write to `path + ".tmp"`, flush,
+/// optionally fsync, rename over `path`, then fsync the directory. Readers
+/// therefore always see either the complete old file or the complete new one
+/// — never a torn mixture — and a crash at any point leaves the previous
+/// file intact. `durable` controls the fsync calls (tests that don't care
+/// about power loss can skip them for speed).
+core::Status AtomicWriteFile(const std::string& path,
+                             const std::string& contents, bool durable = true);
+
+/// Appends `data` to `path` (creating it if absent) and reports the write
+/// through a Status instead of silently shortening. Used by the journal's
+/// group-commit path; fsync is the caller's decision via FsyncPath.
+core::Status AppendToFile(const std::string& path, const std::string& data);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_DURABLE_FILE_H_

@@ -26,6 +26,15 @@ inline core::Status LineError(const std::string& file, size_t line,
       core::StrFormat("%s line %zu: %s", file.c_str(), line, what.c_str()));
 }
 
+/// Same, for binary files where the natural coordinate is a byte offset
+/// (journal segments): names the file and the exact offset of the problem.
+inline core::Status OffsetError(const std::string& file, int64_t offset,
+                                const std::string& what) {
+  return core::Status::InvalidArgument(
+      core::StrFormat("%s offset %lld: %s", file.c_str(),
+                      static_cast<long long>(offset), what.c_str()));
+}
+
 /// A file that exists but has no header row is truncated, not empty data.
 inline core::Status EmptyFileError(const std::string& file) {
   return core::Status::InvalidArgument(

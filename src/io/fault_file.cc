@@ -1,0 +1,118 @@
+#include "io/fault_file.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lhmm::io {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Resolves a possibly-negative offset against the file size.
+core::Result<int64_t> ResolveOffset(const std::string& path, int64_t offset) {
+  core::Result<int64_t> size = FileSize(path);
+  if (!size.ok()) return size.status();
+  const int64_t resolved = offset < 0 ? *size + offset : offset;
+  if (resolved < 0 || resolved >= *size) {
+    return core::Status::InvalidArgument(
+        path + ": offset " + std::to_string(offset) + " outside the file (" +
+        std::to_string(*size) + " bytes)");
+  }
+  return resolved;
+}
+
+}  // namespace
+
+core::Result<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return core::Status::IoError(Errno("cannot stat " + path));
+  }
+  return static_cast<int64_t>(st.st_size);
+}
+
+core::Status ShortenFileTo(const std::string& path, int64_t size) {
+  core::Result<int64_t> current = FileSize(path);
+  if (!current.ok()) return current.status();
+  if (size < 0 || size > *current) {
+    return core::Status::InvalidArgument(
+        path + ": cannot shorten " + std::to_string(*current) + " bytes to " +
+        std::to_string(size));
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return core::Status::IoError(Errno("cannot truncate " + path));
+  }
+  return core::Status::Ok();
+}
+
+core::Status TornTail(const std::string& path, int64_t bytes) {
+  if (bytes < 0) {
+    return core::Status::InvalidArgument("negative torn-tail size");
+  }
+  core::Result<int64_t> size = FileSize(path);
+  if (!size.ok()) return size.status();
+  return ShortenFileTo(path, std::max<int64_t>(0, *size - bytes));
+}
+
+core::Status FlipBit(const std::string& path, int64_t offset, int bit) {
+  if (bit < 0 || bit > 7) {
+    return core::Status::InvalidArgument("bit index must be 0..7");
+  }
+  core::Result<int64_t> at = ResolveOffset(path, offset);
+  if (!at.ok()) return at.status();
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return core::Status::IoError(Errno("cannot open " + path));
+  }
+  unsigned char byte = 0;
+  core::Status status;
+  if (std::fseek(f, static_cast<long>(*at), SEEK_SET) != 0 ||
+      std::fread(&byte, 1, 1, f) != 1) {
+    status = core::Status::IoError("cannot read " + path + " at offset " +
+                                   std::to_string(*at));
+  } else {
+    byte = static_cast<unsigned char>(byte ^ (1u << bit));
+    if (std::fseek(f, static_cast<long>(*at), SEEK_SET) != 0 ||
+        std::fwrite(&byte, 1, 1, f) != 1) {
+      status = core::Status::IoError("cannot write " + path + " at offset " +
+                                     std::to_string(*at));
+    }
+  }
+  std::fclose(f);
+  return status;
+}
+
+core::Status InjectGarbage(const std::string& path, int64_t offset,
+                           const std::string& garbage) {
+  if (garbage.empty()) return core::Status::Ok();
+  core::Result<int64_t> at = ResolveOffset(path, offset);
+  if (!at.ok()) return at.status();
+  core::Result<int64_t> size = FileSize(path);
+  if (!size.ok()) return size.status();
+  if (*at + static_cast<int64_t>(garbage.size()) > *size) {
+    return core::Status::InvalidArgument(
+        path + ": garbage would run past end of file");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return core::Status::IoError(Errno("cannot open " + path));
+  }
+  core::Status status;
+  if (std::fseek(f, static_cast<long>(*at), SEEK_SET) != 0 ||
+      std::fwrite(garbage.data(), 1, garbage.size(), f) != garbage.size()) {
+    status = core::Status::IoError("cannot write " + path + " at offset " +
+                                   std::to_string(*at));
+  }
+  std::fclose(f);
+  return status;
+}
+
+}  // namespace lhmm::io

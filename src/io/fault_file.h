@@ -1,0 +1,46 @@
+#ifndef LHMM_IO_FAULT_FILE_H_
+#define LHMM_IO_FAULT_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace lhmm::io {
+
+/// File-level fault injectors for crash-durability testing. Each one mutates
+/// an existing file the way a real failure mode would, so recovery code can
+/// be exercised against the storage faults it claims to survive:
+///
+///  - TornTail:      a write that was cut off by a crash (kill -9, power
+///                   loss) before all bytes reached the file.
+///  - ShortenFileTo: the same, expressed as an absolute size.
+///  - FlipBit:       silent media corruption — one bit flipped in place.
+///  - InjectGarbage: a misdirected or overlapped write — bytes overwritten
+///                   mid-file with unrelated data.
+///
+/// These run post-hoc over closed files (the process under test is killed
+/// first), which reproduces exactly what the recovery path sees on restart.
+
+/// Truncates the last `bytes` bytes of `path` (clamped at zero length).
+core::Status TornTail(const std::string& path, int64_t bytes);
+
+/// Truncates `path` to exactly `size` bytes; fails if the file is shorter.
+core::Status ShortenFileTo(const std::string& path, int64_t size);
+
+/// Flips bit `bit` (0..7) of the byte at `offset`. Negative `offset` counts
+/// from the end of the file (-1 is the last byte).
+core::Status FlipBit(const std::string& path, int64_t offset, int bit = 0);
+
+/// Overwrites the bytes at `offset` with `garbage` (no size change; fails if
+/// the write would run past end of file). Negative `offset` counts from the
+/// end of the file.
+core::Status InjectGarbage(const std::string& path, int64_t offset,
+                           const std::string& garbage);
+
+/// Size of `path` in bytes, for computing injection offsets.
+core::Result<int64_t> FileSize(const std::string& path);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_FAULT_FILE_H_

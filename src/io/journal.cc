@@ -1,0 +1,412 @@
+#include "io/journal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/strings.h"
+#include "io/durable_file.h"
+#include "io/error_context.h"
+
+namespace lhmm::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'H', 'M', 'M', 'W', 'A', 'L', '1'};
+constexpr int64_t kHeaderBytes = 16;  ///< 8-byte magic + u64le first_index.
+constexpr int64_t kFrameBytes = 8;    ///< u32le length + u32le crc.
+/// Records larger than this cannot have been written by us; a length field
+/// that claims more is framing corruption, not a big record.
+constexpr int64_t kMaxRecordBytes = 16 << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+/// Frames one record (length + crc + payload) onto `out`.
+void FrameRecord(std::string* out, const std::string& payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+std::string SegmentHeader(int64_t first_index) {
+  std::string h(kMagic, sizeof(kMagic));
+  PutU64(&h, static_cast<uint64_t>(first_index));
+  return h;
+}
+
+core::Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return core::Status::IoError("cannot open " + path);
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return core::Status::IoError("cannot read " + path);
+  }
+  return contents;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord: return "record";
+    case FsyncPolicy::kEveryTick: return "tick";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
+bool ParseFsyncPolicy(const std::string& text, FsyncPolicy* out) {
+  if (text == "record") {
+    *out = FsyncPolicy::kEveryRecord;
+  } else if (text == "tick") {
+    *out = FsyncPolicy::kEveryTick;
+  } else if (text == "none") {
+    *out = FsyncPolicy::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string JournalSegmentPath(const std::string& dir, int64_t seq) {
+  return core::StrFormat("%s/wal-%08lld.seg", dir.c_str(),
+                         static_cast<long long>(seq));
+}
+
+core::Result<JournalScan> ScanJournal(const std::string& dir,
+                                      bool keep_payloads) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return core::Status::IoError("journal directory " + dir +
+                                 " does not exist");
+  }
+
+  JournalScan scan;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!core::StartsWith(name, "wal-") || name.size() != 16 ||
+        name.substr(12) != ".seg") {
+      continue;
+    }
+    int seq = 0;
+    if (!core::ParseInt(name.substr(4, 8), &seq)) continue;
+    SegmentInfo info;
+    info.path = entry.path().string();
+    info.seq = seq;
+    scan.segments.push_back(std::move(info));
+  }
+  if (ec) {
+    return core::Status::IoError("cannot list journal directory " + dir);
+  }
+  std::sort(scan.segments.begin(), scan.segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.seq < b.seq;
+            });
+
+  for (size_t i = 0; i < scan.segments.size(); ++i) {
+    SegmentInfo& seg = scan.segments[i];
+    const bool last = i + 1 == scan.segments.size();
+    core::Result<std::string> data = ReadWholeFile(seg.path);
+    if (!data.ok()) return data.status();
+    seg.file_bytes = static_cast<int64_t>(data->size());
+
+    if (seg.file_bytes < kHeaderBytes) {
+      // Not even a full header. On the final segment that is a crash between
+      // segment creation and the header write — a clean (empty) end of log.
+      if (last) {
+        scan.torn_tail = true;
+        seg.first_index = scan.next_index;
+        break;
+      }
+      scan.clean = false;
+      scan.corruption = OffsetError(
+          seg.path, seg.file_bytes,
+          seg.file_bytes == 0 ? "empty segment (zero bytes, header missing)"
+                              : "truncated segment header");
+      break;
+    }
+    if (std::memcmp(data->data(), kMagic, sizeof(kMagic)) != 0) {
+      scan.clean = false;
+      scan.corruption = OffsetError(seg.path, 0, "bad segment magic");
+      break;
+    }
+    seg.first_index = static_cast<int64_t>(GetU64(data->data() + 8));
+    if (i == 0) {
+      // The oldest surviving segment defines where the log starts (earlier
+      // segments may have been compacted away).
+      scan.next_index = seg.first_index;
+    } else if (seg.first_index != scan.next_index) {
+      scan.clean = false;
+      scan.corruption = OffsetError(
+          seg.path, 8,
+          core::StrFormat("segment starts at record %lld, expected %lld "
+                          "(records are not contiguous)",
+                          static_cast<long long>(seg.first_index),
+                          static_cast<long long>(scan.next_index)));
+      break;
+    }
+    seg.valid_bytes = kHeaderBytes;
+
+    int64_t off = kHeaderBytes;
+    bool stop = false;
+    while (off < seg.file_bytes) {
+      if (seg.file_bytes - off < kFrameBytes) {
+        if (last) {
+          scan.torn_tail = true;
+        } else {
+          scan.clean = false;
+          scan.corruption =
+              OffsetError(seg.path, off, "truncated record header");
+        }
+        stop = true;
+        break;
+      }
+      const int64_t len = static_cast<int64_t>(GetU32(data->data() + off));
+      const uint32_t want_crc = GetU32(data->data() + off + 4);
+      if (len > kMaxRecordBytes) {
+        scan.clean = false;
+        scan.corruption = OffsetError(
+            seg.path, off,
+            core::StrFormat("implausible record length %lld",
+                            static_cast<long long>(len)));
+        stop = true;
+        break;
+      }
+      if (off + kFrameBytes + len > seg.file_bytes) {
+        // The record runs past end of file: a torn write if this is the tail
+        // of the log, framing corruption anywhere else.
+        if (last) {
+          scan.torn_tail = true;
+        } else {
+          scan.clean = false;
+          scan.corruption = OffsetError(
+              seg.path, off, "record runs past end of a non-final segment");
+        }
+        stop = true;
+        break;
+      }
+      const char* payload = data->data() + off + kFrameBytes;
+      const uint32_t got_crc =
+          Crc32(payload, static_cast<size_t>(len));
+      if (got_crc != want_crc) {
+        // A complete frame whose bytes do not match their checksum is real
+        // corruption (bitflip, overlapped write), even at the tail.
+        scan.clean = false;
+        scan.corruption = OffsetError(
+            seg.path, off,
+            core::StrFormat("record CRC mismatch (stored %08x, computed %08x)",
+                            want_crc, got_crc));
+        stop = true;
+        break;
+      }
+      if (keep_payloads) {
+        JournalRecord rec;
+        rec.index = scan.next_index;
+        rec.payload.assign(payload, static_cast<size_t>(len));
+        scan.records.push_back(std::move(rec));
+      }
+      ++seg.record_count;
+      ++scan.next_index;
+      off += kFrameBytes + len;
+      seg.valid_bytes = off;
+    }
+    if (stop) break;
+  }
+  return scan;
+}
+
+JournalWriter::~JournalWriter() = default;
+
+core::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& dir, const JournalOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return core::Status::IoError("cannot create journal directory " + dir);
+  }
+
+  core::Result<JournalScan> scan = ScanJournal(dir, /*keep_payloads=*/false);
+  if (!scan.ok()) return scan.status();
+
+  std::unique_ptr<JournalWriter> w(new JournalWriter());
+  w->dir_ = dir;
+  w->options_ = options;
+  w->next_index_ = scan->next_index;
+  w->last_committed_index_ = scan->next_index - 1;
+
+  // Repair: the log must end exactly on a record boundary before appending.
+  // A torn tail is truncated away; a corrupt segment is truncated at its
+  // last valid record and every later segment (beyond the corruption
+  // horizon, unreachable by replay) is deleted.
+  bool saw_problem = false;
+  for (const SegmentInfo& seg : scan->segments) {
+    if (saw_problem) {
+      if (::unlink(seg.path.c_str()) != 0) {
+        return core::Status::IoError("cannot delete journal segment " +
+                                     seg.path);
+      }
+      continue;
+    }
+    SegmentInfo live = seg;
+    if (seg.valid_bytes < seg.file_bytes || seg.valid_bytes < kHeaderBytes) {
+      saw_problem = true;
+      if (seg.valid_bytes < kHeaderBytes) {
+        // Headerless stub: delete it; a fresh segment takes its place below.
+        if (::unlink(seg.path.c_str()) != 0) {
+          return core::Status::IoError("cannot delete journal segment " +
+                                       seg.path);
+        }
+        continue;
+      }
+      LHMM_RETURN_IF_ERROR(ShortenTo(seg.path, seg.valid_bytes));
+      live.file_bytes = seg.valid_bytes;
+    }
+    w->segments_.push_back(live);
+  }
+
+  if (w->segments_.empty()) {
+    const int64_t seq =
+        scan->segments.empty() ? 1 : scan->segments.back().seq + 1;
+    LHMM_RETURN_IF_ERROR(w->CreateSegment(seq, w->next_index_));
+  }
+  return w;
+}
+
+core::Status JournalWriter::CreateSegment(int64_t seq, int64_t first_index) {
+  SegmentInfo seg;
+  seg.path = JournalSegmentPath(dir_, seq);
+  seg.seq = seq;
+  seg.first_index = first_index;
+  seg.valid_bytes = kHeaderBytes;
+  seg.file_bytes = kHeaderBytes;
+  LHMM_RETURN_IF_ERROR(AppendToFile(seg.path, SegmentHeader(first_index)));
+  if (options_.fsync != FsyncPolicy::kNone) {
+    LHMM_RETURN_IF_ERROR(FsyncPath(seg.path));
+    LHMM_RETURN_IF_ERROR(FsyncParentDir(seg.path));
+  }
+  segments_.push_back(std::move(seg));
+  return core::Status::Ok();
+}
+
+core::Status JournalWriter::ShortenTo(const std::string& path, int64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return core::Status::IoError("cannot truncate journal segment " + path);
+  }
+  return core::Status::Ok();
+}
+
+core::Result<int64_t> JournalWriter::Append(const std::string& payload) {
+  const int64_t index = next_index_++;
+  FrameRecord(&buffer_, payload);
+  ++buffered_records_;
+  if (options_.fsync == FsyncPolicy::kEveryRecord) {
+    LHMM_RETURN_IF_ERROR(Commit());
+  }
+  return index;
+}
+
+core::Status JournalWriter::Commit() {
+  if (buffered_records_ == 0) return core::Status::Ok();
+  CHECK(!segments_.empty());
+  if (segments_.back().file_bytes >= options_.segment_bytes) {
+    LHMM_RETURN_IF_ERROR(Rotate());
+  }
+  SegmentInfo& seg = segments_.back();
+  LHMM_RETURN_IF_ERROR(AppendToFile(seg.path, buffer_));
+  if (options_.fsync != FsyncPolicy::kNone) {
+    LHMM_RETURN_IF_ERROR(FsyncPath(seg.path));
+  }
+  seg.file_bytes += static_cast<int64_t>(buffer_.size());
+  seg.valid_bytes = seg.file_bytes;
+  seg.record_count += buffered_records_;
+  buffer_.clear();
+  buffered_records_ = 0;
+  last_committed_index_ = next_index_ - 1;
+  return core::Status::Ok();
+}
+
+core::Status JournalWriter::Rotate() {
+  // Buffered records (if any) belong to the new segment.
+  const int64_t first = next_index_ - buffered_records_;
+  const int64_t seq = segments_.back().seq + 1;
+  return CreateSegment(seq, first);
+}
+
+core::Status JournalWriter::CompactThrough(int64_t covered_index) {
+  // If even the active tail is fully covered, rotate it away first so the
+  // generic whole-segment rule below can reclaim it.
+  if (!segments_.empty() && buffered_records_ == 0 &&
+      segments_.back().record_count > 0 &&
+      next_index_ - 1 <= covered_index) {
+    LHMM_RETURN_IF_ERROR(Rotate());
+  }
+  bool deleted = false;
+  while (segments_.size() > 1 &&
+         segments_[1].first_index - 1 <= covered_index) {
+    if (::unlink(segments_.front().path.c_str()) != 0) {
+      return core::Status::IoError("cannot delete journal segment " +
+                                   segments_.front().path);
+    }
+    segments_.erase(segments_.begin());
+    deleted = true;
+  }
+  if (deleted && options_.fsync != FsyncPolicy::kNone) {
+    LHMM_RETURN_IF_ERROR(FsyncPath(dir_));
+  }
+  return core::Status::Ok();
+}
+
+int64_t JournalWriter::total_bytes() const {
+  int64_t total = 0;
+  for (const SegmentInfo& seg : segments_) total += seg.file_bytes;
+  return total;
+}
+
+}  // namespace lhmm::io

@@ -1,0 +1,165 @@
+#ifndef LHMM_IO_JOURNAL_H_
+#define LHMM_IO_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lhmm::io {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `n` bytes. Exposed so tests
+/// and tools can frame or deliberately mis-frame journal records.
+uint32_t Crc32(const void* data, size_t n);
+
+/// When the journal forces buffered records to stable storage.
+enum class FsyncPolicy {
+  /// fsync after every record: an acknowledged event is never lost, at the
+  /// cost of one fsync per event. The only policy under which recovery is
+  /// guaranteed to cover every acknowledged write.
+  kEveryRecord,
+  /// fsync once per Commit() (the server calls Commit on its tick heartbeat):
+  /// group commit. A crash loses at most the events since the last tick —
+  /// clients observe this as "acknowledged but rolled back" and must resume
+  /// from the server's reported progress.
+  kEveryTick,
+  /// Never fsync (the OS flushes when it likes). Fastest; a crash may lose
+  /// everything still in the page cache. For benchmarks and tests only.
+  kNone
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+/// Parses "record"/"tick"/"none"; false on anything else.
+bool ParseFsyncPolicy(const std::string& text, FsyncPolicy* out);
+
+struct JournalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEveryTick;
+  /// Rotate to a new segment file once the current one reaches this size.
+  int64_t segment_bytes = 4 << 20;
+};
+
+/// One decoded journal record: its 1-based position in the global record
+/// sequence plus the opaque payload the writer appended.
+struct JournalRecord {
+  int64_t index = 0;
+  std::string payload;
+};
+
+/// One segment file of the journal as found on disk, in sequence order.
+struct SegmentInfo {
+  std::string path;
+  int64_t seq = 0;          ///< Number embedded in the file name (sorted by).
+  int64_t first_index = 0;  ///< Global index of the segment's first record.
+  int64_t record_count = 0; ///< Valid records decoded from this segment.
+  int64_t valid_bytes = 0;  ///< Bytes up to the end of the last valid record.
+  int64_t file_bytes = 0;   ///< Actual file size (>= valid_bytes if torn).
+};
+
+/// Everything ScanJournal learned about a journal directory. A torn tail on
+/// the *final* segment is the expected signature of a crash mid-write and is
+/// treated as a clean end of the log (`clean` stays true, `torn_tail` set).
+/// Anything else that stops the scan early — a bad CRC, an impossible length,
+/// garbage between records, a short or empty non-final segment — is mid-file
+/// corruption: `clean` is false and `corruption` names the exact file and
+/// byte offset. Records decoded before the stop point are always returned;
+/// recovery replays that valid prefix and falls back instead of aborting.
+struct JournalScan {
+  std::vector<SegmentInfo> segments;
+  std::vector<JournalRecord> records;  ///< Empty when keep_payloads false.
+  int64_t next_index = 1;  ///< Index the next appended record would get.
+  bool torn_tail = false;  ///< Final segment ended mid-record (clean EOF).
+  bool clean = true;       ///< False when mid-file corruption stopped the scan.
+  core::Status corruption; ///< kOk, or the file+offset of the corruption.
+};
+
+/// Scans every journal segment in `dir` (files named wal-<seq>.seg), decoding
+/// and CRC-checking each record. With `keep_payloads` false only the framing
+/// is validated (cheap existence/health check). A missing or unreadable
+/// directory is a hard error; corrupt content is reported via the
+/// JournalScan fields as described above, never by failing the call.
+core::Result<JournalScan> ScanJournal(const std::string& dir,
+                                      bool keep_payloads = true);
+
+/// Append-only, CRC32-framed, length-prefixed write-ahead log over numbered
+/// segment files in one directory:
+///
+///   wal-00000001.seg: [8-byte magic "LHMMWAL1"][u64le first_index]
+///                     [u32le len][u32le crc32(payload)][payload] ...
+///   wal-00000002.seg: ...
+///
+/// Records are buffered in memory and written by Commit() as one group
+/// (group commit); FsyncPolicy::kEveryRecord commits inside Append instead.
+/// Segments rotate at `segment_bytes` and CompactThrough deletes segments
+/// wholly covered by a durable snapshot. Open() re-scans the directory,
+/// truncates a torn tail (or a corrupt suffix) so the log ends on a record
+/// boundary, and continues appending where the valid log ended — exactly the
+/// repair a restarted server needs after kill -9.
+///
+/// Not thread-safe: the producer thread that owns the server owns the
+/// journal, same single-producer contract as srv::MatchServer.
+class JournalWriter {
+ public:
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens (creating `dir` if needed) and repairs the journal as described
+  /// above. Fails only on real I/O errors, never on torn/corrupt content.
+  static core::Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& dir, const JournalOptions& options);
+
+  /// Buffers one record and assigns it the next global index (returned).
+  /// Under kEveryRecord the record is committed (written + fsynced) before
+  /// Append returns; under the other policies it becomes durable at the next
+  /// Commit().
+  core::Result<int64_t> Append(const std::string& payload);
+
+  /// Writes all buffered records to the current segment (rotating first if
+  /// over the size threshold) and fsyncs per policy. The group-commit
+  /// heartbeat: the server calls this once per tick.
+  core::Status Commit();
+
+  /// Deletes every segment whose records are all <= `covered_index` (they
+  /// are fully covered by a durable snapshot). The active tail segment is
+  /// first rotated away when it too is fully covered, so a long-lived server
+  /// with periodic checkpoints keeps a bounded journal.
+  core::Status CompactThrough(int64_t covered_index);
+
+  const std::string& dir() const { return dir_; }
+  /// Index the next Append will assign.
+  int64_t next_index() const { return next_index_; }
+  /// Highest record index written and flushed per the fsync policy.
+  int64_t last_committed_index() const { return last_committed_index_; }
+  int segment_count() const { return static_cast<int>(segments_.size()); }
+  /// Bytes across all live segment files, including buffered-but-uncommitted
+  /// records' bytes once they are written.
+  int64_t total_bytes() const;
+
+ private:
+  JournalWriter() = default;
+
+  /// Closes the current segment and starts wal-<seq+1>.seg at next_index_.
+  core::Status Rotate();
+  /// Creates wal-<seq>.seg with a header claiming `first_index`.
+  core::Status CreateSegment(int64_t seq, int64_t first_index);
+  /// Truncates a segment file to `size` bytes (tail repair on Open).
+  static core::Status ShortenTo(const std::string& path, int64_t size);
+
+  std::string dir_;
+  JournalOptions options_;
+  std::vector<SegmentInfo> segments_;  ///< Live segments, oldest first.
+  std::string buffer_;                 ///< Framed records awaiting Commit.
+  int64_t buffered_records_ = 0;
+  int64_t next_index_ = 1;
+  int64_t last_committed_index_ = 0;
+};
+
+/// Formats the path of segment `seq` inside `dir` (wal-<seq 8-digit>.seg).
+std::string JournalSegmentPath(const std::string& dir, int64_t seq);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_JOURNAL_H_

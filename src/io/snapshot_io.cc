@@ -9,6 +9,7 @@
 
 #include "core/logging.h"
 #include "core/strings.h"
+#include "io/durable_file.h"
 #include "io/error_context.h"
 
 namespace lhmm::io {
@@ -57,24 +58,12 @@ void SnapshotWriter::EndLine() {
   line_open_ = false;
 }
 
-core::Status SnapshotWriter::WriteFile(const std::string& path) const {
+core::Status SnapshotWriter::WriteFile(const std::string& path,
+                                       bool durable) const {
   CHECK(!line_open_) << "last line not ended";
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return core::Status::IoError("cannot write " + tmp);
-    }
-    out << buf_;
-    out.flush();
-    if (!out.good()) {
-      return core::Status::IoError("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return core::Status::IoError("cannot rename " + tmp + " to " + path);
-  }
-  return core::Status::Ok();
+  // write-temp -> fsync -> rename -> fsync(dir): a crash at any point leaves
+  // either the previous snapshot or the complete new one, never a torn file.
+  return AtomicWriteFile(path, buf_, durable);
 }
 
 core::Result<SnapshotReader> SnapshotReader::Open(const std::string& path,

@@ -21,7 +21,8 @@ namespace lhmm::io {
 /// round-trip exactly (restored state must continue byte-identical, so "close
 /// enough" floats are not acceptable). A line's final field may be free text
 /// (AddTail) which runs to end of line. The file is written atomically
-/// (temp file + rename), so a crash mid-drain leaves the old snapshot intact.
+/// (write temp, fsync, rename, fsync the directory), so a crash mid-write —
+/// graceful drain or checkpoint alike — leaves the previous snapshot intact.
 class SnapshotWriter {
  public:
   SnapshotWriter(const std::string& kind, int version);
@@ -35,7 +36,9 @@ class SnapshotWriter {
   void EndLine();
 
   const std::string& contents() const { return buf_; }
-  core::Status WriteFile(const std::string& path) const;
+  /// Atomic write as described above; `durable` false skips the fsyncs for
+  /// callers that don't need power-loss safety (fast tests, scratch output).
+  core::Status WriteFile(const std::string& path, bool durable = true) const;
 
  private:
   std::string buf_;

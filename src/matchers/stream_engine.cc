@@ -190,6 +190,23 @@ core::Status StreamEngine::Push(SessionId id, const traj::TrajPoint& point) {
   return status;
 }
 
+core::Status StreamEngine::PushBlocking(SessionId id,
+                                        const traj::TrajPoint& point) {
+  for (;;) {
+    core::Status status = Push(id, point);
+    // Only inbox backpressure is worth waiting out; a poisoned session may
+    // also carry kUnavailable (quarantine), so check state, not just code.
+    if (status.code() != core::StatusCode::kUnavailable ||
+        state(id) == SessionState::kPoisoned) {
+      return status;
+    }
+    // After the barrier every inbox is empty, so the retry cannot be full
+    // again (the loop runs at most twice unless other producers interleave,
+    // which the producer-side contract forbids).
+    Barrier();
+  }
+}
+
 core::Status StreamEngine::Finish(SessionId id) {
   Slot* s = slot(id);
   if (s->closed.exchange(true, std::memory_order_acq_rel)) {
@@ -252,6 +269,10 @@ core::Status StreamEngine::SetDeadline(SessionId id, int64_t deadline_tick) {
 
 bool StreamEngine::deadline_expired(SessionId id) const {
   return slot(id)->expired.load(std::memory_order_acquire);
+}
+
+int64_t StreamEngine::deadline_tick(SessionId id) const {
+  return slot(id)->deadline_tick;
 }
 
 core::Status StreamEngine::Quarantine(SessionId id, const std::string& reason) {

@@ -149,6 +149,14 @@ class StreamEngine {
   /// closed/full session, or the stored error for a poisoned one.
   core::Status Push(SessionId id, const traj::TrajPoint& point);
 
+  /// Push() that waits out inbox backpressure instead of rejecting: on
+  /// kUnavailable (inbox full) it drains the engine with Barrier() and
+  /// retries, so the point is either accepted or fails for a real reason
+  /// (closed, expired, poisoned, invalid). Crash-recovery replay uses this —
+  /// a journaled point was accepted once, so replay must accept it too
+  /// regardless of pump timing. Producer-side, like Push.
+  core::Status PushBlocking(SessionId id, const traj::TrajPoint& point);
+
   /// Enqueues end-of-stream for session `id`: pending points flush and the
   /// session's committed path becomes final. Fails with kFailedPrecondition
   /// if the session is already closed.
@@ -170,6 +178,11 @@ class StreamEngine {
 
   /// True once the session was closed by its deadline.
   bool deadline_expired(SessionId id) const;
+
+  /// The absolute deadline currently armed on the session (0 = none).
+  /// Producer-side, like SetDeadline; checkpointing persists this so a
+  /// restored session expires at the original tick, not a re-derived one.
+  int64_t deadline_tick(SessionId id) const;
 
   /// Isolates a session whose pump appears wedged (srv::Watchdog's lever):
   /// the session is closed and poisoned with kUnavailable through the same

@@ -1,0 +1,118 @@
+#include "srv/journal_events.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "core/strings.h"
+
+namespace lhmm::srv {
+
+namespace {
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+core::Status Malformed(const std::string& payload) {
+  return core::Status::InvalidArgument("malformed journal event: '" + payload +
+                                       "'");
+}
+
+bool ParseI64(const std::string& tok, int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end == tok.c_str() || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseF64(const std::string& tok, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatOpenEvent(int64_t id, int tier) {
+  return core::StrFormat("open %lld %d", static_cast<long long>(id), tier);
+}
+
+std::string FormatPushEvent(int64_t id, const traj::TrajPoint& point) {
+  return core::StrFormat("push %lld %.17g %.17g %.17g %lld",
+                         static_cast<long long>(id), point.pos.x, point.pos.y,
+                         point.t, static_cast<long long>(point.tower));
+}
+
+std::string FormatFinishEvent(int64_t id) {
+  return core::StrFormat("finish %lld", static_cast<long long>(id));
+}
+
+std::string FormatDeadlineEvent(int64_t id, int64_t deadline_tick) {
+  return core::StrFormat("deadline %lld %lld", static_cast<long long>(id),
+                         static_cast<long long>(deadline_tick));
+}
+
+std::string FormatTickEvent(int64_t now) {
+  return core::StrFormat("tick %lld", static_cast<long long>(now));
+}
+
+core::Result<JournalEvent> ParseJournalEvent(const std::string& payload) {
+  const std::vector<std::string> tok = SplitTokens(payload);
+  if (tok.empty()) return Malformed(payload);
+  JournalEvent ev;
+  if (tok[0] == "open") {
+    ev.kind = JournalEvent::Kind::kOpen;
+    int64_t tier = 0;
+    if (tok.size() != 3 || !ParseI64(tok[1], &ev.id) ||
+        !ParseI64(tok[2], &tier)) {
+      return Malformed(payload);
+    }
+    ev.tier = static_cast<int>(tier);
+    return ev;
+  }
+  if (tok[0] == "push") {
+    ev.kind = JournalEvent::Kind::kPush;
+    int64_t tower = 0;
+    if (tok.size() != 6 || !ParseI64(tok[1], &ev.id) ||
+        !ParseF64(tok[2], &ev.point.pos.x) ||
+        !ParseF64(tok[3], &ev.point.pos.y) || !ParseF64(tok[4], &ev.point.t) ||
+        !ParseI64(tok[5], &tower)) {
+      return Malformed(payload);
+    }
+    ev.point.tower = static_cast<traj::TowerId>(tower);
+    return ev;
+  }
+  if (tok[0] == "finish") {
+    ev.kind = JournalEvent::Kind::kFinish;
+    if (tok.size() != 2 || !ParseI64(tok[1], &ev.id)) return Malformed(payload);
+    return ev;
+  }
+  if (tok[0] == "deadline") {
+    ev.kind = JournalEvent::Kind::kDeadline;
+    if (tok.size() != 3 || !ParseI64(tok[1], &ev.id) ||
+        !ParseI64(tok[2], &ev.tick)) {
+      return Malformed(payload);
+    }
+    return ev;
+  }
+  if (tok[0] == "tick") {
+    ev.kind = JournalEvent::Kind::kTick;
+    if (tok.size() != 2 || !ParseI64(tok[1], &ev.tick)) {
+      return Malformed(payload);
+    }
+    return ev;
+  }
+  return Malformed(payload);
+}
+
+}  // namespace lhmm::srv

@@ -1,0 +1,47 @@
+#ifndef LHMM_SRV_JOURNAL_EVENTS_H_
+#define LHMM_SRV_JOURNAL_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "traj/trajectory.h"
+
+namespace lhmm::srv {
+
+/// The journal record payloads a durable MatchServer appends — one text line
+/// per externally visible event, written by the Format* helpers and decoded
+/// by ParseJournalEvent during crash recovery:
+///
+///   open <id> <tier>              session admitted at a degrade tier
+///   push <id> <x> <y> <t> <tower> point accepted (doubles as %.17g)
+///   finish <id>                   end-of-stream accepted
+///   deadline <id> <tick>          explicit absolute deadline armed (0 disarms)
+///   tick <now>                    server heartbeat (advances the clock)
+///
+/// The tier is journaled with the open (not re-derived at replay) because the
+/// degrade ladder moves on load pressure, which a replay does not reproduce.
+/// Doubles use %.17g so a replayed point is bit-identical to the accepted one.
+struct JournalEvent {
+  enum class Kind { kOpen, kPush, kFinish, kDeadline, kTick };
+  Kind kind = Kind::kTick;
+  int64_t id = 0;           ///< Session id (open/push/finish/deadline).
+  int tier = 0;             ///< Degrade tier (open).
+  traj::TrajPoint point;    ///< The accepted point (push).
+  int64_t tick = 0;         ///< Absolute deadline (deadline) or clock (tick).
+};
+
+std::string FormatOpenEvent(int64_t id, int tier);
+std::string FormatPushEvent(int64_t id, const traj::TrajPoint& point);
+std::string FormatFinishEvent(int64_t id);
+std::string FormatDeadlineEvent(int64_t id, int64_t deadline_tick);
+std::string FormatTickEvent(int64_t now);
+
+/// Decodes one journal payload. A payload that does not parse is corruption
+/// that slipped past the journal's CRC framing (or a version skew) and comes
+/// back as kInvalidArgument naming the payload.
+core::Result<JournalEvent> ParseJournalEvent(const std::string& payload);
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_JOURNAL_EVENTS_H_

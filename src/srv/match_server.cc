@@ -1,8 +1,13 @@
 #include "srv/match_server.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <utility>
 
 #include "core/logging.h"
+#include "core/strings.h"
+#include "srv/journal_events.h"
 #include "srv/snapshot.h"
 
 namespace lhmm::srv {
@@ -55,7 +60,9 @@ core::Result<int64_t> MatchServer::OpenSession() {
   s.open = true;
   sessions_.push_back(s);
   ++opens_admitted_;
-  return static_cast<int64_t>(sessions_.size()) - 1;
+  const int64_t id = static_cast<int64_t>(sessions_.size()) - 1;
+  LHMM_RETURN_IF_ERROR(JournalAppend(FormatOpenEvent(id, tier)));
+  return id;
 }
 
 core::Status MatchServer::Push(int64_t id, const traj::TrajPoint& point) {
@@ -76,7 +83,12 @@ core::Status MatchServer::Push(int64_t id, const traj::TrajPoint& point) {
   }
   LHMM_RETURN_IF_ERROR(admission_.AdmitPush(QueueDepth()));
   core::Status status = engine_->Push(s.engine_id, point);
-  if (status.ok()) ++pushes_admitted_;
+  if (status.ok()) {
+    ++pushes_admitted_;
+    // Journal after the engine accepted it: backpressure rejects are
+    // load-dependent, so only accepted points may enter the replayed history.
+    LHMM_RETURN_IF_ERROR(JournalAppend(FormatPushEvent(id, point)));
+  }
   return status;
 }
 
@@ -92,7 +104,8 @@ core::Status MatchServer::Finish(int64_t id) {
                                             " is already closed");
   }
   s.open = false;
-  return engine_->Finish(s.engine_id);
+  LHMM_RETURN_IF_ERROR(engine_->Finish(s.engine_id));
+  return JournalAppend(FormatFinishEvent(id));
 }
 
 core::Status MatchServer::SetDeadline(int64_t id, int64_t deadline_tick) {
@@ -101,7 +114,8 @@ core::Status MatchServer::SetDeadline(int64_t id, int64_t deadline_tick) {
     return core::Status::FailedPrecondition("session " + std::to_string(id) +
                                             " is not live");
   }
-  return engine_->SetDeadline(s.engine_id, deadline_tick);
+  LHMM_RETURN_IF_ERROR(engine_->SetDeadline(s.engine_id, deadline_tick));
+  return JournalAppend(FormatDeadlineEvent(id, deadline_tick));
 }
 
 void MatchServer::Tick(int64_t now) {
@@ -152,6 +166,17 @@ void MatchServer::Tick(int64_t now) {
   sample.rejected_pushes = rejected - last_rejected_pushes_;
   last_rejected_pushes_ = rejected;
   ladder_.Observe(sample);
+
+  // The tick is the group-commit heartbeat: journal the clock move, then
+  // flush everything buffered since the last tick per the fsync policy.
+  if (journal_ != nullptr) {
+    core::Status js = JournalAppend(FormatTickEvent(clock_));
+    if (js.ok()) {
+      js = journal_->Commit();
+      if (!js.ok()) ++journal_errors_;
+    }
+    if (js.ok()) last_durable_tick_ = clock_;
+  }
 }
 
 void MatchServer::Barrier() { engine_->Barrier(); }
@@ -233,24 +258,22 @@ ServerMetrics MatchServer::metrics() const {
   m.live_sessions = engine_->live_sessions();
   m.queue_depth = QueueDepth();
   m.clock = clock_;
+  m.sessions_not_durable = sessions_not_durable_;
   return m;
 }
 
-core::Status MatchServer::Drain(const std::string& path) {
-  draining_ = true;
-  // Flush every inbox so each live session is quiescent and checkpointable.
-  engine_->Barrier();
-
+core::Result<ServerSnapshot> MatchServer::CaptureSnapshot(
+    std::vector<int64_t>* unsupported) {
   ServerSnapshot snap;
   snap.clock = clock_;
   snap.tier = ladder_.tier();
   snap.total_sessions = static_cast<int64_t>(sessions_.size());
 
-  std::vector<int64_t> finish_instead;
   for (size_t i = 0; i < sessions_.size(); ++i) {
     Sess& s = sessions_[i];
     if (!s.open || s.engine_id < 0) continue;
     if (engine_->state(s.engine_id) != matchers::SessionState::kLive) {
+      // Reconcile: the engine closed it (deadline, eviction, quarantine).
       s.open = false;
       continue;
     }
@@ -258,8 +281,7 @@ core::Status MatchServer::Drain(const std::string& path) {
         engine_->CheckpointSession(s.engine_id);
     if (!cp.ok()) {
       if (cp.status().code() == core::StatusCode::kUnimplemented) {
-        // Not a resumable family: complete it now so its output is final.
-        finish_instead.push_back(static_cast<int64_t>(i));
+        unsupported->push_back(static_cast<int64_t>(i));
         continue;
       }
       return cp.status();
@@ -267,18 +289,33 @@ core::Status MatchServer::Drain(const std::string& path) {
     SessionRecord rec;
     rec.server_id = static_cast<int64_t>(i);
     rec.tier = s.tier;
+    rec.deadline_tick = engine_->deadline_tick(s.engine_id);
     rec.checkpoint = std::move(cp).value();
     snap.sessions.push_back(std::move(rec));
-    s.open = false;
+  }
+  return snap;
+}
+
+core::Status MatchServer::Drain(const std::string& path) {
+  draining_ = true;
+  // Flush every inbox so each live session is quiescent and checkpointable.
+  engine_->Barrier();
+
+  std::vector<int64_t> finish_instead;
+  core::Result<ServerSnapshot> snap = CaptureSnapshot(&finish_instead);
+  if (!snap.ok()) return snap.status();
+  for (const SessionRecord& rec : snap->sessions) {
+    sessions_[rec.server_id].open = false;
   }
   for (const int64_t id : finish_instead) {
+    // Not a resumable family: complete it now so its output is final.
     Sess& s = sessions_[id];
     s.open = false;
     LHMM_RETURN_IF_ERROR(engine_->Finish(s.engine_id));
   }
   if (!finish_instead.empty()) engine_->Barrier();
 
-  return SaveServerSnapshot(snap, path);
+  return SaveServerSnapshot(*snap, path);
 }
 
 core::Result<std::unique_ptr<MatchServer>> MatchServer::Restore(
@@ -286,28 +323,33 @@ core::Result<std::unique_ptr<MatchServer>> MatchServer::Restore(
     const ServerConfig& config) {
   core::Result<ServerSnapshot> snap = LoadServerSnapshot(path);
   if (!snap.ok()) return snap.status();
+  return FromSnapshot(*snap, std::move(tiers), config, path);
+}
 
+core::Result<std::unique_ptr<MatchServer>> MatchServer::FromSnapshot(
+    const ServerSnapshot& snap, std::vector<TierSpec> tiers,
+    const ServerConfig& config, const std::string& origin) {
   auto server = std::make_unique<MatchServer>(std::move(tiers), config);
-  server->clock_ = snap->clock;
-  server->admission_.Advance(snap->clock);
-  server->engine_->AdvanceClock(snap->clock);
-  if (snap->tier >= static_cast<int>(server->tiers_.size())) {
+  server->clock_ = snap.clock;
+  server->admission_.Advance(snap.clock);
+  server->engine_->AdvanceClock(snap.clock);
+  if (snap.tier >= static_cast<int>(server->tiers_.size())) {
     return core::Status::InvalidArgument(
-        path + ": snapshot tier " + std::to_string(snap->tier) +
+        origin + ": snapshot tier " + std::to_string(snap.tier) +
         " but only " + std::to_string(server->tiers_.size()) +
         " tiers configured");
   }
-  server->ladder_.ForceTier(snap->tier);
+  server->ladder_.ForceTier(snap.tier);
 
   // Ids are dense and preserved: unrestored ids stay addressable but report
   // kUnavailable, so clients holding stale handles get a typed answer.
-  server->sessions_.assign(static_cast<size_t>(snap->total_sessions), Sess{});
+  server->sessions_.assign(static_cast<size_t>(snap.total_sessions), Sess{});
   for (Sess& s : server->sessions_) s.missing = true;
 
-  for (const SessionRecord& rec : snap->sessions) {
+  for (const SessionRecord& rec : snap.sessions) {
     if (rec.tier >= static_cast<int>(server->tiers_.size())) {
       return core::Status::InvalidArgument(
-          path + ": session " + std::to_string(rec.server_id) +
+          origin + ": session " + std::to_string(rec.server_id) +
           " uses tier " + std::to_string(rec.tier) + ", not configured");
     }
     core::Result<matchers::SessionId> engine_id = server->engine_->OpenRestored(
@@ -318,12 +360,245 @@ core::Result<std::unique_ptr<MatchServer>> MatchServer::Restore(
     s.tier = rec.tier;
     s.open = true;
     s.missing = false;
-    if (config.default_deadline_ticks > 0) {
+    if (rec.deadline_tick >= 0) {
+      // v2: the exact deadline the session had, so it expires at the
+      // original tick — required for byte-identical crash recovery.
+      if (rec.deadline_tick > 0) {
+        CHECK_OK(server->engine_->SetDeadline(*engine_id, rec.deadline_tick));
+      }
+    } else if (config.default_deadline_ticks > 0) {
+      // v1 snapshots predate the field: re-arm the default (legacy behavior).
       CHECK_OK(server->engine_->SetDeadline(
           *engine_id, server->clock_ + config.default_deadline_ticks));
     }
   }
   return server;
+}
+
+core::Status MatchServer::EnableDurability(const DurabilityConfig& config) {
+  if (journal_ != nullptr) {
+    return core::Status::FailedPrecondition("durability already enabled");
+  }
+  if (config.dir.empty()) {
+    return core::Status::InvalidArgument("durability dir is empty");
+  }
+  if (config.keep_snapshots < 1) {
+    return core::Status::InvalidArgument("keep_snapshots must be >= 1");
+  }
+  core::Result<std::unique_ptr<io::JournalWriter>> journal =
+      io::JournalWriter::Open(config.dir, config.journal);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::move(*journal);
+  durability_ = config;
+  const std::vector<int> gens = ListSnapshotGenerations(config.dir);
+  snapshot_gen_ = gens.empty() ? 0 : gens.back();
+  return core::Status::Ok();
+}
+
+core::Status MatchServer::JournalAppend(const std::string& line) {
+  if (journal_ == nullptr) return core::Status::Ok();
+  core::Result<int64_t> index = journal_->Append(line);
+  if (!index.ok()) {
+    ++journal_errors_;
+    return core::Status(index.status().code(),
+                        "event applied but not journaled: " +
+                            index.status().message());
+  }
+  return core::Status::Ok();
+}
+
+DurabilityStatus MatchServer::durability_status() const {
+  DurabilityStatus d;
+  if (journal_ == nullptr) return d;
+  d.enabled = true;
+  d.journal_segments = journal_->segment_count();
+  d.journal_bytes = journal_->total_bytes();
+  d.last_durable_index = journal_->last_committed_index();
+  d.last_durable_tick = last_durable_tick_;
+  d.snapshot_generation = snapshot_gen_;
+  d.journal_errors = journal_errors_;
+  return d;
+}
+
+core::Status MatchServer::Checkpoint() {
+  if (journal_ == nullptr) {
+    return core::Status::FailedPrecondition(
+        "durability not enabled (EnableDurability)");
+  }
+  // Flush the journal first so journal_pos below is on disk, then quiesce the
+  // engine so every live session is checkpointable.
+  LHMM_RETURN_IF_ERROR(journal_->Commit());
+  engine_->Barrier();
+
+  std::vector<int64_t> unsupported;
+  core::Result<ServerSnapshot> snap = CaptureSnapshot(&unsupported);
+  if (!snap.ok()) return snap.status();
+  sessions_not_durable_ = static_cast<int64_t>(unsupported.size());
+  snap->journal_pos = journal_->next_index() - 1;
+
+  const int gen = snapshot_gen_ + 1;
+  LHMM_RETURN_IF_ERROR(
+      SaveServerSnapshot(*snap, SnapshotGenPath(durability_.dir, gen)));
+  snapshot_gen_ = gen;
+  last_durable_tick_ = clock_;
+  PruneSnapshots();
+
+  // Compact only the journal prefix covered by EVERY kept generation, not
+  // just the newest: recovery falls back to an older snapshot when the newest
+  // is corrupt, and that fallback needs its own journal suffix intact.
+  int64_t covered = snap->journal_pos;
+  for (const int g : ListSnapshotGenerations(durability_.dir)) {
+    if (g == gen) continue;
+    core::Result<ServerSnapshot> old = LoadServerSnapshot(
+        SnapshotGenPath(durability_.dir, g));
+    // A kept generation that no longer loads can't be a fallback; it doesn't
+    // hold any journal back.
+    if (old.ok()) covered = std::min(covered, old->journal_pos);
+  }
+  return journal_->CompactThrough(covered);
+}
+
+void MatchServer::PruneSnapshots() {
+  namespace fs = std::filesystem;
+  for (const int gen : ListSnapshotGenerations(durability_.dir)) {
+    if (gen <= snapshot_gen_ - durability_.keep_snapshots) {
+      std::error_code ec;
+      fs::remove(SnapshotGenPath(durability_.dir, gen), ec);
+    }
+  }
+}
+
+core::Status MatchServer::ReplayOpen(int64_t id, int tier) {
+  if (tier < 0 || tier >= static_cast<int>(tiers_.size())) {
+    return core::Status::InvalidArgument(
+        "journaled open uses tier " + std::to_string(tier) + ", but only " +
+        std::to_string(tiers_.size()) + " tiers configured");
+  }
+  if (id != static_cast<int64_t>(sessions_.size())) {
+    return core::Status::Internal(
+        "journaled open has id " + std::to_string(id) + " but replay is at " +
+        std::to_string(sessions_.size()) +
+        " (journal does not continue this snapshot)");
+  }
+  core::Result<matchers::SessionId> engine_id =
+      engine_->TryOpen(tiers_[tier].factory);
+  if (!engine_id.ok()) return engine_id.status();
+  if (config_.default_deadline_ticks > 0) {
+    // Replayed ticks put clock_ at the value the original open saw, so the
+    // default deadline lands on the original tick.
+    CHECK_OK(engine_->SetDeadline(*engine_id,
+                                  clock_ + config_.default_deadline_ticks));
+  }
+  Sess s;
+  s.engine_id = *engine_id;
+  s.tier = tier;
+  s.open = true;
+  sessions_.push_back(s);
+  ++opens_admitted_;
+  return core::Status::Ok();
+}
+
+core::Status MatchServer::ReplayPush(int64_t id, const traj::TrajPoint& point) {
+  if (id < 0 || id >= static_cast<int64_t>(sessions_.size())) {
+    return core::Status::InvalidArgument("journaled push names session " +
+                                         std::to_string(id) +
+                                         ", outside the id space");
+  }
+  const Sess& s = sessions_[id];
+  if (s.missing || s.engine_id < 0) {
+    return core::Status::Unavailable("session " + std::to_string(id) +
+                                     " was not restored (not checkpointable)");
+  }
+  if (!s.open) {
+    return core::Status::FailedPrecondition("session " + std::to_string(id) +
+                                            " closed earlier in replay");
+  }
+  return engine_->PushBlocking(s.engine_id, point);
+}
+
+core::Status MatchServer::ReplayFinish(int64_t id) {
+  if (id < 0 || id >= static_cast<int64_t>(sessions_.size())) {
+    return core::Status::InvalidArgument("journaled finish names session " +
+                                         std::to_string(id) +
+                                         ", outside the id space");
+  }
+  Sess& s = sessions_[id];
+  if (s.missing || s.engine_id < 0) {
+    return core::Status::Unavailable("session " + std::to_string(id) +
+                                     " was not restored (not checkpointable)");
+  }
+  if (!s.open) {
+    return core::Status::FailedPrecondition("session " + std::to_string(id) +
+                                            " closed earlier in replay");
+  }
+  s.open = false;
+  return engine_->Finish(s.engine_id);
+}
+
+core::Status MatchServer::ReplaySetDeadline(int64_t id, int64_t deadline_tick) {
+  if (id < 0 || id >= static_cast<int64_t>(sessions_.size())) {
+    return core::Status::InvalidArgument("journaled deadline names session " +
+                                         std::to_string(id) +
+                                         ", outside the id space");
+  }
+  const Sess& s = sessions_[id];
+  if (s.missing || s.engine_id < 0) {
+    return core::Status::Unavailable("session " + std::to_string(id) +
+                                     " was not restored (not checkpointable)");
+  }
+  if (!s.open) {
+    return core::Status::FailedPrecondition("session " + std::to_string(id) +
+                                            " closed earlier in replay");
+  }
+  return engine_->SetDeadline(s.engine_id, deadline_tick);
+}
+
+void MatchServer::ReplayTick(int64_t now) {
+  if (now > clock_) clock_ = now;
+  admission_.Advance(clock_);
+  // Deadline expiry and TTL eviction are producer-side and deterministic, so
+  // replaying them reproduces the original closures exactly. The watchdog and
+  // degrade ladder are deliberately NOT run: both react to load/timing the
+  // replay does not reproduce, and neither affects committed output (the
+  // ladder only changes future opens, whose tier the journal records).
+  engine_->AdvanceClock(clock_);
+  for (Sess& s : sessions_) {
+    if (!s.open || s.engine_id < 0) continue;
+    const matchers::SessionState st = engine_->state(s.engine_id);
+    if (st == matchers::SessionState::kExpired ||
+        st == matchers::SessionState::kEvicted ||
+        st == matchers::SessionState::kPoisoned) {
+      s.open = false;
+    }
+  }
+}
+
+std::string SnapshotGenPath(const std::string& dir, int gen) {
+  return dir + "/" + core::StrFormat("snapshot-%06d.snap", gen);
+}
+
+std::vector<int> ListSnapshotGenerations(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<int> gens;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return gens;
+  for (const fs::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    // snapshot-NNNNNN.snap, exactly; .tmp in-progress files never match.
+    if (name.size() != 20 || name.rfind("snapshot-", 0) != 0 ||
+        name.compare(15, 5, ".snap") != 0) {
+      continue;
+    }
+    bool digits = true;
+    for (int i = 9; i < 15; ++i) {
+      if (name[i] < '0' || name[i] > '9') digits = false;
+    }
+    if (!digits) continue;
+    gens.push_back(std::atoi(name.substr(9, 6).c_str()));
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
 }
 
 }  // namespace lhmm::srv

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/journal.h"
 #include "matchers/stream_engine.h"
 #include "network/faulty_router.h"
 #include "srv/admission.h"
 #include "srv/degrade.h"
+#include "srv/snapshot.h"
 #include "srv/watchdog.h"
 
 namespace lhmm::srv {
@@ -21,6 +23,18 @@ namespace lhmm::srv {
 struct TierSpec {
   std::string name;
   matchers::MatcherFactory factory;
+};
+
+/// Where and how a server persists itself for crash recovery: one directory
+/// holding the write-ahead journal segments (wal-*.seg) and rotated snapshot
+/// generations (snapshot-*.snap).
+struct DurabilityConfig {
+  std::string dir;
+  io::JournalOptions journal;
+  /// Snapshot generations kept after a checkpoint (>= 1). Older generations
+  /// are deleted; recovery falls back from a corrupt newest generation to the
+  /// next one, so keeping 2+ is what makes a torn/corrupt snapshot survivable.
+  int keep_snapshots = 2;
 };
 
 struct ServerConfig {
@@ -56,6 +70,28 @@ struct ServerMetrics {
   int64_t live_sessions = 0;
   int64_t queue_depth = 0;
   int64_t clock = 0;
+  /// Live sessions skipped by the last Checkpoint() because their matcher
+  /// family is not checkpointable (they keep serving but are not crash-durable).
+  int64_t sessions_not_durable = 0;
+};
+
+/// Durability state a durable server publishes (the `status` verb of
+/// lhmm_serve reports these). All zero when durability is disabled.
+struct DurabilityStatus {
+  bool enabled = false;
+  int64_t journal_segments = 0;
+  int64_t journal_bytes = 0;
+  /// Highest journal record index written and flushed per the fsync policy.
+  int64_t last_durable_index = 0;
+  /// Clock value of the last tick record flushed to the journal (under
+  /// FsyncPolicy::kNone this means "handed to the OS", not on stable storage).
+  int64_t last_durable_tick = 0;
+  /// Newest snapshot generation written by Checkpoint(); 0 before the first.
+  int snapshot_generation = 0;
+  /// Events applied but not journaled because the journal write failed, plus
+  /// tick-commit failures. Non-zero means recovery may not cover everything
+  /// the server acknowledged — alert on it.
+  int64_t journal_errors = 0;
 };
 
 /// The serving front end over matchers::StreamEngine: what turns the matching
@@ -80,6 +116,14 @@ struct ServerMetrics {
 ///  5. Drain/restore — Drain() checkpoints every live session to a versioned
 ///     snapshot file; Restore() brings up a server that resumes those
 ///     sessions with byte-identical continued output.
+///  6. Crash durability (EnableDurability) — every externally visible event
+///     (open/push/finish/deadline/tick) is appended to an io::JournalWriter
+///     after it is applied, and Checkpoint() writes rotated snapshot
+///     generations then compacts the journal behind them. srv::Recover()
+///     rebuilds a kill -9'd server from newest-valid-snapshot + journal
+///     suffix; because replay applies a prefix of the original event order,
+///     the recovered committed output is byte-identical to an uninterrupted
+///     run (see src/srv/recovery.h for the full argument and caveats).
 ///
 /// Threading contract: all methods are producer-side (one thread, or
 /// externally synchronized), exactly like StreamEngine; worker parallelism
@@ -167,6 +211,45 @@ class MatchServer {
       const std::string& path, std::vector<TierSpec> tiers,
       const ServerConfig& config);
 
+  /// Restore() from an already-loaded snapshot (srv::Recover loads it with
+  /// generation fallback before calling this). `origin` names the snapshot's
+  /// source file for error messages.
+  static core::Result<std::unique_ptr<MatchServer>> FromSnapshot(
+      const ServerSnapshot& snap, std::vector<TierSpec> tiers,
+      const ServerConfig& config, const std::string& origin);
+
+  /// Turns on crash durability: opens (and repairs, after a crash) the
+  /// write-ahead journal in `config.dir` and starts journaling every
+  /// externally visible event. Precondition: any records already in the
+  /// journal are already applied to this server — true for a fresh directory
+  /// and for a server built by srv::Recover(), which replays them first.
+  /// Calling it on some other populated directory double-applies history.
+  core::Status EnableDurability(const DurabilityConfig& config);
+
+  bool durable() const { return journal_ != nullptr; }
+  DurabilityStatus durability_status() const;
+
+  /// Live checkpoint (durable servers only): flushes the journal, barriers
+  /// the engine, snapshots every live checkpointable session WITHOUT closing
+  /// anything, writes the next snapshot generation atomically, prunes
+  /// generations beyond keep_snapshots, and compacts journal segments the new
+  /// snapshot covers. Sessions whose family cannot checkpoint keep serving
+  /// but are not crash-durable (counted in metrics().sessions_not_durable).
+  core::Status Checkpoint();
+
+  /// Replay entry points used by srv::Recover() to re-apply journaled events
+  /// after a crash. They bypass admission, the degrade ladder, and default
+  /// deadlines armed from the current clock (the journal already recorded the
+  /// admitted outcome: the open's tier, the deadline's absolute tick), never
+  /// journal, and wait out inbox backpressure — a journaled event was
+  /// accepted once, so replay must accept it too. ReplayOpen checks that ids
+  /// come back dense in recorded order (kInternal otherwise).
+  core::Status ReplayOpen(int64_t id, int tier);
+  core::Status ReplayPush(int64_t id, const traj::TrajPoint& point);
+  core::Status ReplayFinish(int64_t id);
+  core::Status ReplaySetDeadline(int64_t id, int64_t deadline_tick);
+  void ReplayTick(int64_t now);
+
  private:
   struct Sess {
     matchers::SessionId engine_id = -1;
@@ -178,6 +261,18 @@ class MatchServer {
   /// Total queued events across sessions with a live engine slot.
   int64_t QueueDepth() const;
   const Sess& sess(int64_t id) const;
+
+  /// Captures clock/tier/id-space plus a checkpoint of every live session
+  /// (engine must be quiescent — callers barrier first). Non-destructive.
+  /// Sessions whose family cannot checkpoint go to `unsupported` instead.
+  core::Result<ServerSnapshot> CaptureSnapshot(
+      std::vector<int64_t>* unsupported);
+  /// Appends one event line to the journal when durability is on; the event
+  /// has already been applied, so a journal failure is surfaced to the caller
+  /// as "applied but not journaled" while the server stays live.
+  core::Status JournalAppend(const std::string& line);
+  /// Deletes snapshot generations older than the newest keep_snapshots.
+  void PruneSnapshots();
 
   std::vector<TierSpec> tiers_;
   ServerConfig config_;
@@ -193,7 +288,22 @@ class MatchServer {
   /// Deltas for pressure sampling.
   int64_t last_route_failures_ = 0;
   int64_t last_rejected_pushes_ = 0;
+  /// Crash durability (null/zero until EnableDurability).
+  std::unique_ptr<io::JournalWriter> journal_;
+  DurabilityConfig durability_;
+  int64_t last_durable_tick_ = 0;
+  int snapshot_gen_ = 0;
+  int64_t sessions_not_durable_ = 0;
+  int64_t journal_errors_ = 0;
 };
+
+/// Path of snapshot generation `gen` inside the durability directory
+/// (snapshot-<gen 6-digit>.snap).
+std::string SnapshotGenPath(const std::string& dir, int gen);
+
+/// Snapshot generations present in `dir`, ascending. In-progress ".tmp"
+/// files and anything else are ignored.
+std::vector<int> ListSnapshotGenerations(const std::string& dir);
 
 }  // namespace lhmm::srv
 

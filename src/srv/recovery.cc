@@ -1,0 +1,160 @@
+#include "srv/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "io/journal.h"
+#include "srv/journal_events.h"
+#include "srv/snapshot.h"
+
+namespace lhmm::srv {
+
+namespace {
+
+/// Replays every scanned record with index > snap.journal_pos into `server`.
+/// Fails only on inconsistencies that invalidate the snapshot candidate (a
+/// gap between the snapshot's coverage and the surviving journal, an open
+/// whose id does not line up); per-event skips are counted, not fatal.
+core::Status ReplayJournal(const io::JournalScan& scan,
+                           const ServerSnapshot& snap, MatchServer* server,
+                           RecoveryReport* report) {
+  const int64_t replay_start = snap.journal_pos + 1;
+  if (!scan.records.empty() && scan.records.back().index >= replay_start &&
+      scan.records.front().index > replay_start) {
+    // The journal's surviving records start past what this snapshot covers:
+    // the records in between were compacted away on behalf of a newer
+    // snapshot, so this candidate cannot reproduce them.
+    return core::Status::FailedPrecondition(
+        "journal starts at record " +
+        std::to_string(scan.records.front().index) +
+        " but the snapshot only covers through " +
+        std::to_string(snap.journal_pos));
+  }
+  for (const io::JournalRecord& rec : scan.records) {
+    if (rec.index < replay_start) continue;
+    core::Result<JournalEvent> ev = ParseJournalEvent(rec.payload);
+    if (!ev.ok()) {
+      // The payload CRC matched but the line does not parse (version skew or
+      // a writer bug). Stop at the valid prefix, like framing corruption.
+      if (report->journal_corruption.empty()) {
+        report->journal_corruption =
+            "record " + std::to_string(rec.index) + ": " +
+            ev.status().message();
+      }
+      break;
+    }
+    ++report->journal_replayed;
+    core::Status st;
+    switch (ev->kind) {
+      case JournalEvent::Kind::kOpen:
+        st = server->ReplayOpen(ev->id, ev->tier);
+        // An open that does not line up means snapshot and journal disagree
+        // about history — reject the candidate, don't serve wrong state.
+        if (!st.ok()) return st;
+        break;
+      case JournalEvent::Kind::kPush:
+        st = server->ReplayPush(ev->id, ev->point);
+        if (!st.ok()) ++report->replay_skipped;
+        break;
+      case JournalEvent::Kind::kFinish:
+        st = server->ReplayFinish(ev->id);
+        if (!st.ok()) ++report->replay_skipped;
+        break;
+      case JournalEvent::Kind::kDeadline:
+        st = server->ReplaySetDeadline(ev->id, ev->tick);
+        if (!st.ok()) ++report->replay_skipped;
+        break;
+      case JournalEvent::Kind::kTick:
+        server->ReplayTick(ev->tick);
+        break;
+    }
+  }
+  server->Barrier();
+  return core::Status::Ok();
+}
+
+}  // namespace
+
+core::Result<std::unique_ptr<MatchServer>> Recover(
+    std::vector<TierSpec> tiers, const ServerConfig& config,
+    const DurabilityConfig& durability, RecoveryReport* report) {
+  RecoveryReport local;
+  if (report == nullptr) report = &local;
+  *report = RecoveryReport{};
+  if (durability.dir.empty()) {
+    return core::Status::InvalidArgument("durability dir is empty");
+  }
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(durability.dir, ec);
+    if (ec) {
+      return core::Status::IoError("cannot create " + durability.dir + ": " +
+                                   ec.message());
+    }
+  }
+
+  core::Result<io::JournalScan> scan = io::ScanJournal(durability.dir, true);
+  if (!scan.ok()) return scan.status();
+  report->journal_records = static_cast<int64_t>(scan->records.size());
+  report->journal_torn_tail = scan->torn_tail;
+  if (!scan->clean) report->journal_corruption = scan->corruption.message();
+
+  // Candidate snapshots, newest generation first; a fresh (empty) snapshot is
+  // the final fallback, valid only when the journal still starts at record 1.
+  std::vector<int> gens = ListSnapshotGenerations(durability.dir);
+  std::sort(gens.begin(), gens.end(), std::greater<int>());
+
+  std::unique_ptr<MatchServer> server;
+  for (size_t i = 0; i <= gens.size(); ++i) {
+    const bool fresh = i == gens.size();
+    const int gen = fresh ? 0 : gens[i];
+    const std::string path =
+        fresh ? "" : SnapshotGenPath(durability.dir, gen);
+    ServerSnapshot snap;  // The fresh fallback: empty server, journal_pos 0.
+    if (!fresh) {
+      core::Result<ServerSnapshot> loaded = LoadServerSnapshot(path);
+      if (!loaded.ok()) {
+        report->snapshots_skipped.push_back(loaded.status().message());
+        continue;
+      }
+      snap = std::move(loaded).value();
+    }
+    const int64_t replayed_before = report->journal_replayed;
+    const int64_t skipped_before = report->replay_skipped;
+    core::Result<std::unique_ptr<MatchServer>> candidate =
+        MatchServer::FromSnapshot(snap, tiers, config,
+                                  fresh ? "(fresh)" : path);
+    core::Status st = candidate.ok()
+                          ? ReplayJournal(*scan, snap, candidate->get(), report)
+                          : candidate.status();
+    if (!st.ok()) {
+      report->journal_replayed = replayed_before;
+      report->replay_skipped = skipped_before;
+      report->snapshots_skipped.push_back(
+          (fresh ? std::string("(fresh)") : path) + ": " + st.message());
+      continue;
+    }
+    report->snapshot_path = path;
+    report->snapshot_generation = gen;
+    server = std::move(candidate).value();
+    break;
+  }
+  if (server == nullptr) {
+    std::string why;
+    for (const std::string& s : report->snapshots_skipped) {
+      why += "\n  " + s;
+    }
+    return core::Status::IoError("no usable snapshot generation in " +
+                                 durability.dir + ":" + why);
+  }
+
+  // Re-arm durability (repairing the journal's torn/corrupt tail on disk) and
+  // checkpoint immediately: the next crash replays from here, and new journal
+  // records can never be mistaken for the pre-repair history they replace.
+  LHMM_RETURN_IF_ERROR(server->EnableDurability(durability));
+  LHMM_RETURN_IF_ERROR(server->Checkpoint());
+  return server;
+}
+
+}  // namespace lhmm::srv

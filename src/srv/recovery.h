@@ -1,0 +1,69 @@
+#ifndef LHMM_SRV_RECOVERY_H_
+#define LHMM_SRV_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "srv/match_server.h"
+
+namespace lhmm::srv {
+
+/// What Recover() found and did, for operator logs and tests.
+struct RecoveryReport {
+  /// Snapshot the server was rebuilt from; empty when it started fresh.
+  std::string snapshot_path;
+  int snapshot_generation = 0;
+  /// Newer generations that were skipped (corrupt, or their journal suffix
+  /// was gone), newest first, with the reason for each.
+  std::vector<std::string> snapshots_skipped;
+  int64_t journal_records = 0;   ///< Valid records the journal scan decoded.
+  int64_t journal_replayed = 0;  ///< Records past the snapshot's journal_pos.
+  /// Replayed events that no longer had a live target (their session was not
+  /// checkpointable, or closed earlier in replay). Not an error: those
+  /// sessions simply are not crash-durable.
+  int64_t replay_skipped = 0;
+  bool journal_torn_tail = false;  ///< Final segment ended mid-record.
+  /// Mid-file journal corruption (file + byte offset); empty when clean.
+  /// Recovery replayed the valid prefix before it.
+  std::string journal_corruption;
+};
+
+/// Rebuilds a crash-durable MatchServer from `durability.dir` after a crash
+/// (or cold start — an empty/missing directory yields a fresh server):
+///
+///  1. Load the newest snapshot generation that parses; fall back generation
+///     by generation when one is corrupt or its journal suffix is missing.
+///  2. Scan the write-ahead journal; a torn tail is a clean crash signature,
+///     mid-file corruption truncates replay to the valid prefix (reported,
+///     never fatal).
+///  3. Replay every journaled event past the snapshot's journal_pos through
+///     the Replay* entry points (admission bypassed, recorded tiers and
+///     deadlines honored, inbox backpressure waited out).
+///  4. Re-enable durability (repairing the journal tail on disk) and write a
+///     fresh checkpoint, so the next crash replays from here and journal
+///     record indices can never collide with pre-crash history.
+///
+/// Because replay applies a strict prefix of the original event order, and
+/// committed output is deterministic in that order (the StreamEngine
+/// contract), the recovered server's committed output and session states are
+/// byte-identical to an uninterrupted run over the same events — for any
+/// worker thread count. Events past the durable prefix are simply absent;
+/// clients resume from Stats(id).points_pushed, exactly as they would after a
+/// rolled-back group commit.
+///
+/// Caveats: timing-driven closures (watchdog quarantine, kDropOldest
+/// backpressure) are not replay-deterministic — durable configs should avoid
+/// them. After a journal corruption, falling back more than one generation
+/// can be inexact (the journal cannot distinguish pre- from post-repair
+/// record indices); the recovery-time checkpoint makes that window one
+/// double-fault wide.
+core::Result<std::unique_ptr<MatchServer>> Recover(
+    std::vector<TierSpec> tiers, const ServerConfig& config,
+    const DurabilityConfig& durability, RecoveryReport* report = nullptr);
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_RECOVERY_H_

@@ -9,7 +9,6 @@ namespace lhmm::srv {
 namespace {
 
 constexpr char kKind[] = "match-server";
-constexpr int kVersion = 1;
 
 void WritePoint(io::SnapshotWriter* w, const traj::TrajPoint& p) {
   w->AddDouble(p.pos.x).AddDouble(p.pos.y).AddDouble(p.t).AddInt(p.tower);
@@ -44,6 +43,7 @@ core::Result<int64_t> ReadKeyedInt(io::SnapshotReader* r, const char* key) {
 
 core::Status ReadSessionRecord(io::SnapshotReader* r, SessionRecord* rec) {
   // Current line: session <server_id> <tier> <seen_point> <last_time>
+  // and, from v2 on, a trailing <deadline_tick>.
   auto id = r->TakeInt();
   if (!id.ok()) return id.status();
   auto tier = r->TakeInt();
@@ -52,6 +52,12 @@ core::Status ReadSessionRecord(io::SnapshotReader* r, SessionRecord* rec) {
   if (!seen.ok()) return seen.status();
   auto last_time = r->TakeDouble();
   if (!last_time.ok()) return last_time.status();
+  if (r->version() >= 2) {
+    auto deadline = r->TakeInt();
+    if (!deadline.ok()) return deadline.status();
+    if (*deadline < 0) return r->Error("negative deadline_tick");
+    rec->deadline_tick = *deadline;
+  }
   LHMM_RETURN_IF_ERROR(r->ExpectLineEnd());
   rec->server_id = *id;
   rec->tier = static_cast<int>(*tier);
@@ -142,12 +148,14 @@ core::Status ReadSessionRecord(io::SnapshotReader* r, SessionRecord* rec) {
 
 core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
                                 const std::string& path) {
-  io::SnapshotWriter w(kKind, kVersion);
+  io::SnapshotWriter w(kKind, kServerSnapshotVersion);
   w.BeginLine("clock").AddInt(snapshot.clock);
   w.EndLine();
   w.BeginLine("tier").AddInt(snapshot.tier);
   w.EndLine();
   w.BeginLine("total_sessions").AddInt(snapshot.total_sessions);
+  w.EndLine();
+  w.BeginLine("journal_pos").AddInt(snapshot.journal_pos);
   w.EndLine();
   w.BeginLine("num_live").AddInt(static_cast<int64_t>(snapshot.sessions.size()));
   w.EndLine();
@@ -158,7 +166,8 @@ core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
         .AddInt(rec.server_id)
         .AddInt(rec.tier)
         .AddInt(rec.checkpoint.seen_point ? 1 : 0)
-        .AddDouble(rec.checkpoint.last_time);
+        .AddDouble(rec.checkpoint.last_time)
+        .AddInt(rec.deadline_tick < 0 ? 0 : rec.deadline_tick);
     w.EndLine();
     w.BeginLine("stats")
         .AddInt(ss.latency_points_sum)
@@ -193,7 +202,7 @@ core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
 
 core::Result<ServerSnapshot> LoadServerSnapshot(const std::string& path) {
   core::Result<io::SnapshotReader> reader =
-      io::SnapshotReader::Open(path, kKind, kVersion);
+      io::SnapshotReader::Open(path, kKind, kServerSnapshotVersion);
   if (!reader.ok()) return reader.status();
   io::SnapshotReader& r = *reader;
 
@@ -208,6 +217,13 @@ core::Result<ServerSnapshot> LoadServerSnapshot(const std::string& path) {
   if (!total.ok()) return total.status();
   if (*total < 0) return r.Error("negative total_sessions");
   snap.total_sessions = *total;
+  if (r.version() >= 2) {
+    // v1 (pre-journal drain snapshots) has no journal_pos; it stays 0.
+    core::Result<int64_t> journal_pos = ReadKeyedInt(&r, "journal_pos");
+    if (!journal_pos.ok()) return journal_pos.status();
+    if (*journal_pos < 0) return r.Error("negative journal_pos");
+    snap.journal_pos = *journal_pos;
+  }
   core::Result<int64_t> num_live = ReadKeyedInt(&r, "num_live");
   if (!num_live.ok()) return num_live.status();
   if (*num_live < 0) return r.Error("negative num_live");

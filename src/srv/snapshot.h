@@ -17,20 +17,35 @@ namespace lhmm::srv {
 struct SessionRecord {
   int64_t server_id = 0;
   int tier = 0;  ///< Degrade tier the session was opened at.
+  /// Absolute logical-clock deadline armed on the session (v2+). 0 = none;
+  /// -1 = unknown (a v1 snapshot predates this field) — restore re-arms the
+  /// server's default deadline instead, the pre-v2 behavior.
+  int64_t deadline_tick = -1;
   matchers::SessionCheckpoint checkpoint;
 };
 
-/// Everything a restarted MatchServer needs to pick up where a drained one
-/// stopped.
+/// Everything a restarted MatchServer needs to pick up where a drained (or
+/// checkpointed-then-killed) one stopped.
 struct ServerSnapshot {
   int64_t clock = 0;           ///< The server's logical clock at drain time.
   int tier = 0;                ///< Active degrade tier at drain time.
   int64_t total_sessions = 0;  ///< Size of the session-id space (ids are dense).
+  /// Highest journal record index whose effects this snapshot already
+  /// contains (v2+). Crash recovery replays only records after it; journal
+  /// segments at or below it are safe to compact away. 0 = snapshot covers
+  /// no journal (a v1 drain snapshot, or journaling disabled).
+  int64_t journal_pos = 0;
   std::vector<SessionRecord> sessions;  ///< Live sessions, in id order.
 };
 
+/// The snapshot format version SaveServerSnapshot writes. v2 added
+/// journal_pos and the per-session deadline_tick; LoadServerSnapshot still
+/// reads v1 files (journal_pos = 0, deadline_tick = -1) and rejects unknown
+/// future versions with a typed error.
+inline constexpr int kServerSnapshotVersion = 2;
+
 /// Persists `snapshot` to the versioned line-oriented snapshot format
-/// (io::SnapshotWriter; atomic write). Doubles round-trip exactly.
+/// (io::SnapshotWriter; atomic durable write). Doubles round-trip exactly.
 core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
                                 const std::string& path);
 

@@ -18,18 +18,39 @@
 // Exit status is nonzero when an accounting invariant breaks (a shed request
 // not matched by a typed reject, a session stuck non-terminal — i.e. a
 // silent drop or a deadlock) so the binary doubles as an end-to-end check.
+//
+// Crash gauntlet (--crash-at): drives a REAL lhmm_serve subprocess over its
+// line protocol, SIGKILLs it after the k-th acknowledged push for each k in
+// the comma-separated list, optionally mangles the journal the way a dying
+// disk would (--crash-fault none|torn|bitflip|cycle), restarts the server on
+// the same --durable directory, resumes every session from the server's
+// reported pushed= progress, and diffs the final committed output against an
+// uninterrupted oracle run of the same binary. Byte-identical or exit 1.
+//
+//   lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+//                --serve-bin build/tools/lhmm_serve --threads 8
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/rng.h"
 #include "core/strings.h"
 #include "hmm/classic_models.h"
+#include "io/fault_file.h"
+#include "io/journal.h"
 #include "matchers/classic_matchers.h"
 #include "matchers/ivmm.h"
 #include "network/faulty_router.h"
@@ -114,10 +135,390 @@ struct Tally {
   int64_t gave_up = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Crash gauntlet: SIGKILL a real lhmm_serve mid-stream, recover, diff.
+// ---------------------------------------------------------------------------
+
+/// A spawned lhmm_serve with a pipe pair for its line protocol. The child's
+/// stderr is inherited so recovery reports land in the harness log.
+struct ServeProc {
+  pid_t pid = -1;
+  FILE* to = nullptr;    ///< Our write end of the child's stdin.
+  FILE* from = nullptr;  ///< Our read end of the child's stdout.
+
+  bool Start(const std::vector<std::string>& argv_strs) {
+    int in_pipe[2];
+    int out_pipe[2];
+    if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0) {
+      perror("pipe");
+      return false;
+    }
+    pid = fork();
+    if (pid < 0) {
+      perror("fork");
+      return false;
+    }
+    if (pid == 0) {
+      dup2(in_pipe[0], 0);
+      dup2(out_pipe[1], 1);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      std::vector<char*> argv;
+      argv.reserve(argv_strs.size() + 1);
+      for (const std::string& a : argv_strs) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      perror("execv");
+      _exit(127);
+    }
+    close(in_pipe[0]);
+    close(out_pipe[1]);
+    to = fdopen(in_pipe[1], "w");
+    from = fdopen(out_pipe[0], "r");
+    return to != nullptr && from != nullptr;
+  }
+
+  /// One protocol round trip: send a line, read the one-line response
+  /// (without its trailing newline). Empty string means the child is gone.
+  std::string Cmd(const std::string& line) {
+    fprintf(to, "%s\n", line.c_str());
+    fflush(to);
+    char* buf = nullptr;
+    size_t cap = 0;
+    const ssize_t n = getline(&buf, &cap, from);
+    std::string out;
+    if (n > 0) out.assign(buf, buf[n - 1] == '\n' ? n - 1 : n);
+    free(buf);
+    return out;
+  }
+
+  void Kill9() {
+    if (pid > 0) kill(pid, SIGKILL);
+  }
+
+  /// Closes the pipes and reaps the child; returns its raw wait status.
+  int Wait() {
+    if (to != nullptr) fclose(to);
+    if (from != nullptr) fclose(from);
+    to = nullptr;
+    from = nullptr;
+    int status = 0;
+    if (pid > 0) waitpid(pid, &status, 0);
+    pid = -1;
+    return status;
+  }
+
+  /// Graceful shutdown; true when the child exited 0 (its shutdown
+  /// checkpoint, if durable, succeeded).
+  bool Quit() {
+    fprintf(to, "quit\n");
+    fflush(to);
+    const int status = Wait();
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+};
+
+/// The p-th push line of session `c`: a walk across grid row c, kept inside
+/// lhmm_serve's default 10x10/200m network so every point has candidates.
+/// Pure function of (c, p, points), so the oracle run, the crashed run, and
+/// the resumed run all emit byte-identical event text.
+std::string PushLine(int c, int p, int points) {
+  const double x = 10.0 + (1780.0 / (points - 1)) * p;
+  const double y = 200.0 * (c % 10) + 10.0;
+  return core::StrFormat("push %d %.17g %.17g %.17g %d", c, x, y, 15.0 * p, p);
+}
+
+struct DriveResult {
+  bool ok = false;       ///< Protocol ran as expected (including the kill).
+  bool crashed = false;  ///< The SIGKILL fired at the requested push count.
+  std::vector<std::string> committed;  ///< "ok committed ..." lines, by id.
+};
+
+/// Opens `sessions` sessions, checkpoints (durable mode — so the id mapping
+/// is snapshot-covered and fault injection can only hurt pushes), then
+/// streams all points round-robin with a tick per round. With crash_after
+/// >= 0, SIGKILLs the server right after that many acknowledged pushes;
+/// otherwise runs to finish/await/committed.
+DriveResult Drive(ServeProc* sp, int sessions, int points, int crash_after,
+                  bool durable) {
+  DriveResult r;
+  auto fail = [&r](const std::string& what, const std::string& got) {
+    fprintf(stderr, "crash-gauntlet: expected %s, got '%s'\n", what.c_str(),
+            got.c_str());
+    return r;
+  };
+  for (int c = 0; c < sessions; ++c) {
+    const std::string resp = sp->Cmd("open");
+    long long id = -1;
+    if (sscanf(resp.c_str(), "ok open %lld", &id) != 1 || id != c) {
+      return fail("ok open " + std::to_string(c), resp);
+    }
+  }
+  std::string resp = sp->Cmd("tick 1");
+  if (resp.rfind("ok tick", 0) != 0) return fail("ok tick", resp);
+  if (durable) {
+    resp = sp->Cmd("checkpoint");
+    if (resp.rfind("ok checkpoint", 0) != 0) return fail("ok checkpoint", resp);
+  }
+  int acked = 0;
+  int64_t tick = 1;
+  for (int p = 0; p < points; ++p) {
+    for (int c = 0; c < sessions; ++c) {
+      resp = sp->Cmd(PushLine(c, p, points));
+      if (resp.rfind("ok push", 0) != 0) return fail("ok push", resp);
+      if (++acked == crash_after) {
+        sp->Kill9();
+        sp->Wait();
+        r.ok = true;
+        r.crashed = true;
+        return r;
+      }
+    }
+    resp = sp->Cmd(core::StrFormat("tick %" PRId64, ++tick));
+    if (resp.rfind("ok tick", 0) != 0) return fail("ok tick", resp);
+  }
+  for (int c = 0; c < sessions; ++c) {
+    resp = sp->Cmd(core::StrFormat("finish %d", c));
+    if (resp.rfind("ok finish", 0) != 0) return fail("ok finish", resp);
+  }
+  resp = sp->Cmd("await");
+  if (resp != "ok await") return fail("ok await", resp);
+  for (int c = 0; c < sessions; ++c) {
+    resp = sp->Cmd(core::StrFormat("committed %d", c));
+    if (resp.rfind("ok committed", 0) != 0) return fail("ok committed", resp);
+    r.committed.push_back(resp);
+  }
+  r.ok = true;
+  return r;
+}
+
+/// Resumes a recovered server: reads each session's durable pushed= progress,
+/// replays the remainder of its trajectory, finishes everything, and collects
+/// the committed lines. Exactly what a well-behaved client does after a
+/// server crash rolls its stream back to the fsynced prefix.
+bool Resume(ServeProc* sp, int sessions, int points,
+            std::vector<std::string>* committed, int64_t* resumed_pushes) {
+  auto fail = [](const std::string& what, const std::string& got) {
+    fprintf(stderr, "crash-gauntlet: resume expected %s, got '%s'\n",
+            what.c_str(), got.c_str());
+    return false;
+  };
+  std::string resp = sp->Cmd("status");
+  const char* clk = strstr(resp.c_str(), "clock=");
+  if (resp.rfind("ok status", 0) != 0 || clk == nullptr) {
+    return fail("ok status clock=...", resp);
+  }
+  int64_t tick = atoll(clk + 6);
+  std::vector<int> next(static_cast<size_t>(sessions), 0);
+  for (int c = 0; c < sessions; ++c) {
+    resp = sp->Cmd(core::StrFormat("status %d", c));
+    const char* pushed = strstr(resp.c_str(), "pushed=");
+    if (resp.rfind("ok status", 0) != 0 || pushed == nullptr) {
+      return fail("ok status ... pushed=", resp);
+    }
+    next[c] = atoi(pushed + 7);
+    if (next[c] < 0 || next[c] > points) {
+      return fail("pushed in [0," + std::to_string(points) + "]", resp);
+    }
+  }
+  for (int c = 0; c < sessions; ++c) {
+    for (int p = next[c]; p < points; ++p) {
+      resp = sp->Cmd(PushLine(c, p, points));
+      if (resp.rfind("ok push", 0) != 0) return fail("ok push", resp);
+      ++*resumed_pushes;
+      if (p % 8 == 7) sp->Cmd(core::StrFormat("tick %" PRId64, ++tick));
+    }
+  }
+  sp->Cmd(core::StrFormat("tick %" PRId64, ++tick));
+  for (int c = 0; c < sessions; ++c) {
+    resp = sp->Cmd(core::StrFormat("finish %d", c));
+    if (resp.rfind("ok finish", 0) != 0) return fail("ok finish", resp);
+  }
+  resp = sp->Cmd("await");
+  if (resp != "ok await") return fail("ok await", resp);
+  for (int c = 0; c < sessions; ++c) {
+    resp = sp->Cmd(core::StrFormat("committed %d", c));
+    if (resp.rfind("ok committed", 0) != 0) return fail("ok committed", resp);
+    committed->push_back(resp);
+  }
+  return true;
+}
+
+/// Mangles the tail of the journal's final segment the way a dying disk
+/// would. "torn" shaves 7 bytes (lands mid-frame: a torn tail the scanner
+/// treats as a clean crash); "bitflip" flips a bit near the end (a complete
+/// frame whose CRC no longer matches: mid-file corruption the recovery
+/// truncates at). Either way the acked-but-mangled suffix rolls back and the
+/// client re-pushes it, so the final output must still match the oracle.
+bool InjectFault(const std::string& dir, const std::string& kind) {
+  if (kind == "none") return true;
+  core::Result<io::JournalScan> scan = io::ScanJournal(dir, false);
+  if (!scan.ok() || scan->segments.empty()) {
+    fprintf(stderr, "crash-gauntlet: no journal segment to mangle in %s\n",
+            dir.c_str());
+    return false;
+  }
+  const std::string path = scan->segments.back().path;
+  core::Result<int64_t> size = io::FileSize(path);
+  if (!size.ok()) return false;
+  core::Status st;
+  if (kind == "torn") {
+    if (*size <= 23) return true;  // Header-only segment: nothing to tear.
+    st = io::TornTail(path, 7);
+  } else if (kind == "bitflip") {
+    if (*size <= 25) return true;
+    st = io::FlipBit(path, *size - 9, 3);
+  } else {
+    fprintf(stderr, "crash-gauntlet: unknown fault '%s'\n", kind.c_str());
+    return false;
+  }
+  if (!st.ok()) {
+    fprintf(stderr, "crash-gauntlet: fault injection failed: %s\n",
+            st.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/lhmm-crash-XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// The kill -9 gauntlet: one uninterrupted oracle run, then one crash-and-
+/// recover run per --crash-at point, each diffed byte-for-byte against the
+/// oracle's committed output.
+int RunCrashGauntlet(const std::map<std::string, std::string>& args) {
+  const std::string serve_bin = Get(args, "serve-bin", "");
+  if (serve_bin.empty()) {
+    fprintf(stderr, "crash-gauntlet: --crash-at requires --serve-bin\n");
+    return 2;
+  }
+  const int sessions = GetInt(args, "sessions", 6);
+  const int points = GetInt(args, "points", 30);
+  const int threads = GetInt(args, "threads", 4);
+  const std::string fault_mode = Get(args, "crash-fault", "cycle");
+  std::vector<int> crash_at;
+  {
+    std::stringstream ss(Get(args, "crash-at", ""));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) crash_at.push_back(atoi(tok.c_str()));
+    }
+  }
+  if (crash_at.empty()) {
+    fprintf(stderr, "crash-gauntlet: --crash-at needs at least one point\n");
+    return 2;
+  }
+  for (const int k : crash_at) {
+    if (k < 1 || k > sessions * points) {
+      fprintf(stderr,
+              "crash-gauntlet: crash point %d outside the workload's %d "
+              "pushes\n",
+              k, sessions * points);
+      return 2;
+    }
+  }
+  const std::string threads_str = std::to_string(threads);
+
+  printf("crash-gauntlet: %d sessions x %d points, %d threads, %zu crash "
+         "points, fault=%s\n",
+         sessions, points, threads, crash_at.size(), fault_mode.c_str());
+
+  // The oracle: same binary, same workload, never interrupted, no journal.
+  std::vector<std::string> oracle;
+  {
+    ServeProc sp;
+    if (!sp.Start({serve_bin, "--threads", threads_str})) return 1;
+    DriveResult r = Drive(&sp, sessions, points, /*crash_after=*/-1,
+                          /*durable=*/false);
+    sp.Quit();
+    if (!r.ok) return 1;
+    oracle = std::move(r.committed);
+  }
+  printf("crash-gauntlet: oracle run complete (%zu committed lines)\n",
+         oracle.size());
+
+  const char* kCycle[] = {"none", "torn", "bitflip"};
+  int failures = 0;
+  for (size_t i = 0; i < crash_at.size(); ++i) {
+    const int k = crash_at[i];
+    const std::string fault =
+        fault_mode == "cycle" ? kCycle[i % 3] : fault_mode;
+    const std::string dir = MakeTempDir();
+    if (dir.empty()) {
+      perror("mkdtemp");
+      return 1;
+    }
+    const std::vector<std::string> serve_args = {
+        serve_bin, "--threads", threads_str, "--durable", dir,
+        "--fsync",  "record"};
+
+    ServeProc victim;
+    if (!victim.Start(serve_args)) return 1;
+    DriveResult d = Drive(&victim, sessions, points, k, /*durable=*/true);
+    if (!d.ok || !d.crashed) {
+      fprintf(stderr, "crash-gauntlet: crash-at=%d never fired\n", k);
+      ++failures;
+      continue;
+    }
+    if (!InjectFault(dir, fault)) {
+      ++failures;
+      continue;
+    }
+
+    ServeProc revived;
+    if (!revived.Start(serve_args)) return 1;
+    std::vector<std::string> committed;
+    int64_t resumed = 0;
+    const bool resumed_ok =
+        Resume(&revived, sessions, points, &committed, &resumed);
+    const bool clean_exit = revived.Quit();
+    if (!resumed_ok || !clean_exit) {
+      fprintf(stderr, "crash-gauntlet: crash-at=%d fault=%s recovery failed\n",
+              k, fault.c_str());
+      ++failures;
+      continue;
+    }
+    int diffs = 0;
+    for (int c = 0; c < sessions; ++c) {
+      if (committed[c] != oracle[c]) {
+        ++diffs;
+        fprintf(stderr,
+                "crash-gauntlet: crash-at=%d fault=%s session %d diverged\n"
+                "  oracle:    %s\n  recovered: %s\n",
+                k, fault.c_str(), c, oracle[c].c_str(), committed[c].c_str());
+      }
+    }
+    if (diffs > 0) {
+      ++failures;
+    } else {
+      printf("crash-gauntlet: crash-at=%-4d fault=%-7s OK (%" PRId64
+             " pushes resumed, committed output byte-identical)\n",
+             k, fault.c_str(), resumed);
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+  if (failures > 0) {
+    fprintf(stderr, "crash-gauntlet: %d of %zu crash points FAILED\n",
+            failures, crash_at.size());
+    return 1;
+  }
+  printf("crash-gauntlet: OK (%zu crash points survived)\n", crash_at.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = ParseArgs(argc, argv);
+  if (args.count("crash-at") != 0) return RunCrashGauntlet(args);
   const bool smoke = GetInt(args, "smoke", 0) != 0;
 
   const int sessions = GetInt(args, "sessions", smoke ? 24 : 120);

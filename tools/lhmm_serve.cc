@@ -9,8 +9,12 @@
 //   tick <now>                    -> ok tick <clock> tier=<name>
 //   await                         -> ok await            (engine barrier)
 //   committed <id>                -> ok committed <id> <n> <seg...>
-//   status <id>                   -> ok status <id> <state> <code>
+//   status <id>                   -> ok status <id> <state> <code> pushed=<n>
+//   status                        -> ok status <key=value ...>  (server-level:
+//                                    journal segments/bytes, last durable
+//                                    tick, snapshot generation)
 //   stats                         -> ok stats <key=value ...>
+//   checkpoint                    -> ok checkpoint gen=<n>  (durable mode)
 //   drain <path>                  -> ok drain <path>     (stops admission)
 //   quit
 //
@@ -19,6 +23,16 @@
 // without parsing prose. SIGTERM (or EOF with --snapshot set) drains every
 // live session to the snapshot file; a later run with --restore <file>
 // resumes those sessions byte-identically.
+//
+// Crash durability: --durable <dir> recovers the server from the directory's
+// newest valid snapshot plus write-ahead journal suffix (srv::Recover), then
+// journals every accepted event there. --fsync record|tick|none picks the
+// group-commit policy, --segment-bytes the journal rotation size,
+// --keep-snapshots the generations kept, and --checkpoint-every N writes a
+// snapshot and compacts the journal every N ticks (0 = only on demand via
+// the checkpoint verb and at shutdown). kill -9 at any point loses at most
+// the events past the last fsync; a restart with the same --durable dir
+// replays the rest byte-identically.
 //
 // The road network is a generated grid (--grid-rows/--grid-cols/--spacing)
 // or a dataset bundle (--data <prefix>). Tiers: with --data and --model, the
@@ -46,6 +60,7 @@
 #include "network/generators.h"
 #include "network/grid_index.h"
 #include "srv/match_server.h"
+#include "srv/recovery.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
 namespace L = ::lhmm::lhmm;
@@ -195,9 +210,44 @@ int main(int argc, char** argv) {
   config.default_deadline_ticks = GetInt(args, "deadline-ticks", 0);
   config.fault_signal = &faulty;
 
+  srv::DurabilityConfig durable;
+  durable.dir = Get(args, "durable");
+  if (!io::ParseFsyncPolicy(Get(args, "fsync", "tick"),
+                            &durable.journal.fsync)) {
+    fprintf(stderr, "error: --fsync must be record, tick, or none\n");
+    return 1;
+  }
+  durable.journal.segment_bytes = GetInt(args, "segment-bytes", 4 << 20);
+  durable.keep_snapshots = GetInt(args, "keep-snapshots", 2);
+  const int checkpoint_every = GetInt(args, "checkpoint-every", 0);
+
   std::unique_ptr<srv::MatchServer> server;
   const std::string restore = Get(args, "restore");
-  if (!restore.empty()) {
+  if (!durable.dir.empty()) {
+    srv::RecoveryReport report;
+    auto recovered = srv::Recover(tiers, config, durable, &report);
+    if (!recovered.ok()) {
+      fprintf(stderr, "error: %s\n", recovered.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(recovered).value();
+    fprintf(stderr,
+            "recovered from %s (gen %d): %" PRId64 " of %" PRId64
+            " journal records replayed, %" PRId64 " skipped%s%s\n",
+            report.snapshot_path.empty() ? "(fresh)"
+                                         : report.snapshot_path.c_str(),
+            report.snapshot_generation, report.journal_replayed,
+            report.journal_records, report.replay_skipped,
+            report.journal_torn_tail ? ", torn tail repaired" : "",
+            report.journal_corruption.empty() ? "" : ", corruption truncated");
+    if (!report.journal_corruption.empty()) {
+      fprintf(stderr, "journal corruption: %s\n",
+              report.journal_corruption.c_str());
+    }
+    for (const std::string& skipped : report.snapshots_skipped) {
+      fprintf(stderr, "snapshot skipped: %s\n", skipped.c_str());
+    }
+  } else if (!restore.empty()) {
     auto restored = srv::MatchServer::Restore(restore, tiers, config);
     if (!restored.ok()) {
       fprintf(stderr, "error: %s\n", restored.status().ToString().c_str());
@@ -277,6 +327,13 @@ int main(int argc, char** argv) {
         continue;
       }
       server->Tick(now);
+      if (server->durable() && checkpoint_every > 0 &&
+          server->clock() % checkpoint_every == 0) {
+        const core::Status st = server->Checkpoint();
+        if (!st.ok()) {
+          fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+        }
+      }
       printf("ok tick %" PRId64 " tier=%s\n", server->clock(),
              server->active_tier_name().c_str());
     } else if (cmd == "await") {
@@ -299,16 +356,29 @@ int main(int argc, char** argv) {
     } else if (cmd == "status") {
       int64_t id;
       if (!(in >> id)) {
-        Err(core::Status::InvalidArgument("usage: status <id>"));
+        // No id: server-level status, durability included. The crash harness
+        // and operators read the journal/snapshot fields from here.
+        const srv::DurabilityStatus d = server->durability_status();
+        printf("ok status clock=%" PRId64 " tier=%s durable=%d"
+               " journal_segments=%" PRId64 " journal_bytes=%" PRId64
+               " last_durable_index=%" PRId64 " last_durable_tick=%" PRId64
+               " snapshot_gen=%d journal_errors=%" PRId64 "\n",
+               server->clock(), server->active_tier_name().c_str(),
+               d.enabled ? 1 : 0, d.journal_segments, d.journal_bytes,
+               d.last_durable_index, d.last_durable_tick,
+               d.snapshot_generation, d.journal_errors);
         continue;
       }
       if (id < 0 || id >= server->num_sessions()) {
         Err(core::Status::NotFound("no session " + std::to_string(id)));
         continue;
       }
+      // pushed= lets a client resume a session after a crash: recovery rolls
+      // back to the durable prefix, and this is where it ends.
       const core::Status st = server->SessionStatus(id);
-      printf("ok status %" PRId64 " %s %s\n", id, StateName(server->state(id)),
-             core::StatusCodeName(st.code()));
+      printf("ok status %" PRId64 " %s %s pushed=%" PRId64 "\n", id,
+             StateName(server->state(id)), core::StatusCodeName(st.code()),
+             server->Stats(id).points_pushed);
     } else if (cmd == "stats") {
       const srv::ServerMetrics m = server->metrics();
       printf("ok stats clock=%" PRId64 " tier=%s live=%" PRId64
@@ -320,6 +390,14 @@ int main(int argc, char** argv) {
              m.queue_depth, m.opens_admitted, m.opens_shed, m.pushes_admitted,
              m.pushes_shed, m.expired_sessions, m.quarantined_sessions,
              m.evicted_sessions, m.downgrades, m.upgrades);
+    } else if (cmd == "checkpoint") {
+      const core::Status st = server->Checkpoint();
+      if (!st.ok()) {
+        Err(st);
+      } else {
+        printf("ok checkpoint gen=%d\n",
+               server->durability_status().snapshot_generation);
+      }
     } else if (cmd == "drain") {
       std::string path;
       if (!(in >> path)) {
@@ -333,8 +411,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Graceful shutdown: drain to --snapshot when terminated (or on EOF) with
-  // live sessions still open.
+  // Graceful shutdown. Durable mode checkpoints in place (the durable dir IS
+  // the snapshot); otherwise drain to --snapshot when one was given.
+  if (server->durable()) {
+    const core::Status st = server->Checkpoint();
+    if (!st.ok()) {
+      fprintf(stderr, "shutdown checkpoint failed: %s\n",
+              st.ToString().c_str());
+      return 1;
+    }
+    fprintf(stderr, "checkpointed to %s (gen %d)\n", durable.dir.c_str(),
+            server->durability_status().snapshot_generation);
+  }
   if (!snapshot.empty() && !server->draining()) {
     const core::Status st = server->Drain(snapshot);
     if (!st.ok()) {

@@ -14,7 +14,7 @@ BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=address
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test io_test network_test hmm_test lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test io_test network_test hmm_test lhmm_serve lhmm_loadgen
 
 # ASan aborts with a non-zero exit on the first bad access, so a plain run is
 # the assertion. The suite leans on the paths where lifetimes are trickiest:
@@ -27,9 +27,12 @@ cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
 ./tests/robustness_test
 ./tests/serve_test
+./tests/durability_test
 ./tests/io_test
 ./tests/network_test
 ./tests/hmm_test
 ./tools/lhmm_loadgen --smoke 1
+./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+  --serve-bin ./tools/lhmm_serve --threads 8
 
 echo "ASan pass complete: no memory errors reported."

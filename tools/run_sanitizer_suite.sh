@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Runs the full sanitizer battery: the ThreadSanitizer pass (data races,
-# deadlocks) followed by the AddressSanitizer pass (bad accesses, lifetime
-# bugs). Each pass keeps its own build tree, so reruns are incremental.
+# deadlocks), the AddressSanitizer pass (bad accesses, lifetime bugs), and
+# the UndefinedBehaviorSanitizer pass (overflow, misalignment, bad casts —
+# the failure modes of byte-level journal framing and fault injection).
+# Each pass keeps its own build tree, so reruns are incremental.
 # Usage: tools/run_sanitizer_suite.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
-echo "=== 1/2 ThreadSanitizer ==="
+echo "=== 1/3 ThreadSanitizer ==="
 ./run_tsan_tests.sh "$@"
 
-echo "=== 2/2 AddressSanitizer ==="
+echo "=== 2/3 AddressSanitizer ==="
 ./run_asan_tests.sh "$@"
 
-echo "Sanitizer suite complete: TSan and ASan both clean."
+echo "=== 3/3 UndefinedBehaviorSanitizer ==="
+./run_ubsan_tests.sh "$@"
+
+echo "Sanitizer suite complete: TSan, ASan, and UBSan all clean."

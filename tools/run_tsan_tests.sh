@@ -13,7 +13,7 @@ BUILD_DIR=build-tsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test network_test hmm_test lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test network_test hmm_test lhmm_serve lhmm_loadgen
 
 # TSan halts with a non-zero exit on the first data race, so a plain run is
 # the assertion. batch_test covers the thread pool, the sharded route cache
@@ -25,15 +25,21 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # serve_test covers the MatchServer front end — admission, deadlines, the
 # degrade ladder, watchdog quarantine of a blocked pump, and drain/restore —
 # and lhmm_loadgen --smoke drives the whole serving stack with a concurrent
-# fault-injecting client fleet; network_test and hmm_test cover the serial
+# fault-injecting client fleet; durability_test replays journals through the
+# engine at 1 and 8 threads (recovery's PushBlocking waits out worker-side
+# backpressure); the crash gauntlet kill -9s a TSan-instrumented lhmm_serve
+# mid-stream and recovers it; network_test and hmm_test cover the serial
 # users of the same code paths.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
 ./tests/robustness_test
 ./tests/serve_test
+./tests/durability_test
 ./tests/network_test
 ./tests/hmm_test
 ./tools/lhmm_loadgen --smoke 1
+./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+  --serve-bin ./tools/lhmm_serve --threads 8
 
 echo "TSan pass complete: no data races reported."

@@ -1,17 +1,38 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels under the
 // map-matching pipeline: spatial index queries, bounded Dijkstra, the HMM
 // engine end to end, attention/MLP inference, and Het-Graph encoder forward.
+//
+// Besides the default google-benchmark mode, `--json PATH --suite
+// routing|viterbi [--smoke]` runs a fixed perf suite and writes a flat
+// key/value JSON snapshot for tools/bench_diff — the perf-regression
+// harness. The routing suite measures the HMM column and path-expansion
+// routing workloads on a Hangzhou-S-scale network, cold Dijkstra vs the
+// contraction-hierarchy backend; the viterbi suite measures the SoA column
+// kernel vs the scalar reference and the engine end to end. `--smoke`
+// shrinks query counts (same network, same per-query metrics) so the suite
+// runs in ctest time.
 
 #include <benchmark/benchmark.h>
 
 #include "core/strings.h"
 
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "core/rng.h"
+#include "core/stopwatch.h"
 #include "hmm/classic_models.h"
 #include "hmm/engine.h"
+#include "hmm/viterbi_kernel.h"
 #include "lhmm/het_encoder.h"
 #include "lhmm/mr_graph.h"
+#include "network/ch_router.h"
+#include "network/contraction.h"
 #include "network/generators.h"
 #include "network/grid_index.h"
 #include "network/path_cache.h"
@@ -158,7 +179,345 @@ void BM_HetEncoderForward(benchmark::State& state) {
 }
 BENCHMARK(BM_HetEncoderForward)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// JSON perf-suite mode (the tools/bench_diff regression harness).
+// ---------------------------------------------------------------------------
+
+struct KV {
+  std::string key;
+  double value;
+};
+
+/// Writes a flat {"key": value, ...} JSON object — the only shape
+/// tools/bench_diff parses.
+bool WriteFlatJson(const std::string& path, const std::vector<KV>& kvs) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < kvs.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6g%s\n", kvs[i].key.c_str(), kvs[i].value,
+                 i + 1 < kvs.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Fixed integer spin, timed: a machine-speed yardstick stored next to every
+/// wall metric so bench_diff can normalize away host differences before
+/// comparing against a committed baseline.
+double CalibrateUs() {
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    core::Stopwatch watch;
+    uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 2000000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    benchmark::DoNotOptimize(x);
+    best = std::min(best, watch.ElapsedSeconds() * 1e6);
+  }
+  return best;
+}
+
+int Sanitized() {
+#if defined(LHMM_SANITIZED) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+  return 1;
+#else
+  return 0;
+#endif
+}
+
+/// The routing suite: the two routing workloads the matching pipeline
+/// actually issues, on a Hangzhou-S-scale city network.
+///
+///  - "column": the HMM column pattern — for each of ~8 predecessor
+///    candidates, RouteMany against the next point's ~45 candidate targets
+///    under the Eq.-derived bound (one shared target set per column, which
+///    is what the CH corridor reuse amortizes);
+///  - "expand": ExpandPath's point-to-point Route1 calls at the 12 km cap,
+///    where the CH forward join tightens or refutes the search.
+///
+/// Both run cold (no CachedRouter): this isolates the backend, and cold
+/// misses are exactly where the backend choice matters in production.
+int RunRoutingSuite(const std::string& json_path, bool smoke) {
+  sim::DatasetConfig cfg = sim::HangzhouSPreset();
+  network::RoadNetwork net = network::GenerateCityNetwork(cfg.net);
+  network::GridIndex index(&net, 300.0);
+  const geo::BBox b = net.Bounds();
+  core::Rng rng(42);
+
+  const int num_columns = smoke ? 6 : 40;
+  const int num_expands = smoke ? 12 : 80;
+  const int reps = smoke ? 2 : 3;
+
+  struct Column {
+    std::vector<network::SegmentId> froms;
+    std::vector<network::SegmentId> targets;
+    double bound = 0.0;
+  };
+  std::vector<Column> columns;
+  while (static_cast<int>(columns.size()) < num_columns) {
+    const geo::Point a{rng.Uniform(b.min_x, b.max_x),
+                       rng.Uniform(b.min_y, b.max_y)};
+    const double angle = rng.Uniform(0.0, 6.28318530717958648);
+    const double hop = rng.Uniform(120.0, 900.0);
+    const geo::Point p2{a.x + std::cos(angle) * hop,
+                        a.y + std::sin(angle) * hop};
+    const auto ha = index.Query(a, 500.0);
+    const auto hb = index.Query(p2, 500.0);
+    if (ha.size() < 8 || hb.size() < 16) continue;
+    Column c;
+    for (size_t i = 0; i < ha.size() && c.froms.size() < 8; ++i) {
+      c.froms.push_back(ha[i].segment);
+    }
+    for (size_t i = 0; i < hb.size() && c.targets.size() < 45; ++i) {
+      c.targets.push_back(hb[i].segment);
+    }
+    c.bound = std::min(12000.0, 4.0 * hop + 1500.0);
+    columns.push_back(std::move(c));
+  }
+  struct Pair {
+    network::SegmentId from = 0;
+    network::SegmentId to = 0;
+  };
+  std::vector<Pair> expands(num_expands);
+  const int n = net.num_segments();
+  for (Pair& p : expands) {
+    p.from = rng.UniformInt(n);
+    p.to = rng.UniformInt(n);
+  }
+
+  core::Stopwatch build_watch;
+  const network::CHGraph ch = network::CHGraph::Build(net);
+  const double preprocess_ms = build_watch.ElapsedSeconds() * 1e3;
+
+  // Fingerprint of the answers (count + total length), to assert both
+  // backends agree before trusting the timings.
+  struct Tally {
+    int64_t found = 0;
+    double length = 0.0;
+  };
+  const auto run_columns = [&columns](network::SegmentRouter& r, Tally* tally) {
+    for (const Column& c : columns) {
+      for (const network::SegmentId from : c.froms) {
+        const auto routes = r.RouteMany(from, c.targets, c.bound);
+        if (tally != nullptr) {
+          for (const auto& route : routes) {
+            if (route.has_value()) {
+              ++tally->found;
+              tally->length += route->length;
+            }
+          }
+        }
+        benchmark::DoNotOptimize(routes.size());
+      }
+    }
+  };
+  const auto run_expands = [&expands](network::SegmentRouter& r, Tally* tally) {
+    for (const Pair& p : expands) {
+      const auto route = r.Route1(p.from, p.to, 12000.0);
+      if (tally != nullptr && route.has_value()) {
+        ++tally->found;
+        tally->length += route->length;
+      }
+      benchmark::DoNotOptimize(route.has_value());
+    }
+  };
+
+  network::SegmentRouter dijkstra(&net);
+  network::CHRouter ch_router(&net, &ch);
+  Tally t_dij_col, t_ch_col, t_dij_exp, t_ch_exp;
+  run_columns(dijkstra, &t_dij_col);
+  run_columns(ch_router, &t_ch_col);
+  run_expands(dijkstra, &t_dij_exp);
+  run_expands(ch_router, &t_ch_exp);
+  if (t_dij_col.found != t_ch_col.found || t_dij_exp.found != t_ch_exp.found ||
+      t_dij_col.length != t_ch_col.length ||
+      t_dij_exp.length != t_ch_exp.length) {
+    std::fprintf(stderr,
+                 "error: backend disagreement (dijkstra %lld/%.3f + %lld/%.3f"
+                 " vs ch %lld/%.3f + %lld/%.3f) — timings are meaningless\n",
+                 static_cast<long long>(t_dij_col.found), t_dij_col.length,
+                 static_cast<long long>(t_dij_exp.found), t_dij_exp.length,
+                 static_cast<long long>(t_ch_col.found), t_ch_col.length,
+                 static_cast<long long>(t_ch_exp.found), t_ch_exp.length);
+    return 3;
+  }
+
+  const auto time_best = [&](const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      core::Stopwatch watch;
+      fn();
+      best = std::min(best, watch.ElapsedSeconds() * 1e6);
+    }
+    return best;
+  };
+  int64_t column_calls = 0;
+  for (const Column& c : columns) {
+    column_calls += static_cast<int64_t>(c.froms.size());
+  }
+  const double dij_col_us =
+      time_best([&] { run_columns(dijkstra, nullptr); });
+  const double ch_col_us =
+      time_best([&] { run_columns(ch_router, nullptr); });
+  const double dij_exp_us =
+      time_best([&] { run_expands(dijkstra, nullptr); });
+  const double ch_exp_us = time_best([&] { run_expands(ch_router, nullptr); });
+
+  const double calib_us = CalibrateUs();
+  std::vector<KV> kvs;
+  kvs.push_back({"sanitized", static_cast<double>(Sanitized())});
+  kvs.push_back({"calib_us", calib_us});
+  kvs.push_back({"network_segments", static_cast<double>(n)});
+  kvs.push_back({"ch_shortcuts", static_cast<double>(ch.num_shortcuts)});
+  kvs.push_back({"ch_preprocess_ms", preprocess_ms});
+  kvs.push_back({"column_dijkstra_us",
+                 dij_col_us / static_cast<double>(column_calls)});
+  kvs.push_back({"column_ch_us", ch_col_us / static_cast<double>(column_calls)});
+  kvs.push_back({"column_speedup", dij_col_us / ch_col_us});
+  kvs.push_back({"route_query_dijkstra_us",
+                 dij_exp_us / static_cast<double>(num_expands)});
+  kvs.push_back(
+      {"route_query_ch_us", ch_exp_us / static_cast<double>(num_expands)});
+  kvs.push_back({"route_query_speedup", dij_exp_us / ch_exp_us});
+  kvs.push_back(
+      {"overall_speedup", (dij_col_us + dij_exp_us) / (ch_col_us + ch_exp_us)});
+  if (!WriteFlatJson(json_path, kvs)) return 2;
+  std::printf(
+      "routing suite -> %s\n  column %.1f us -> %.1f us (%.2fx), route query"
+      " %.1f us -> %.1f us (%.2fx), overall %.2fx\n  CH: %lld shortcuts,"
+      " %.0f ms preprocess, %d segments\n",
+      json_path.c_str(), dij_col_us / column_calls, ch_col_us / column_calls,
+      dij_col_us / ch_col_us, dij_exp_us / num_expands, ch_exp_us / num_expands,
+      dij_exp_us / ch_exp_us, (dij_col_us + dij_exp_us) / (ch_col_us + ch_exp_us),
+      static_cast<long long>(ch.num_shortcuts), preprocess_ms, n);
+  return 0;
+}
+
+/// The viterbi suite: the SoA column kernel against the scalar reference on
+/// an engine-shaped matrix (k = 45), and the HMM engine end to end.
+int RunViterbiSuite(const std::string& json_path, bool smoke) {
+  const int kernel_iters = smoke ? 2000 : 20000;
+  const int reps = smoke ? 2 : 3;
+
+  constexpr int kRows = 45, kCols = 45;
+  hmm::WeightMatrix w;
+  w.Reset(kRows, kCols);
+  core::Rng rng(7);
+  std::vector<double> f_prev(kRows);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  for (int j = 0; j < kRows; ++j) {
+    f_prev[j] = rng.Uniform() < 0.15 ? kNegInf : rng.Uniform(-8.0, 0.0);
+    for (int k = 0; k < kCols; ++k) {
+      w.Set(j, k, rng.Uniform(-6.0, 0.0), rng.Uniform() < 0.7);
+    }
+  }
+  std::vector<double> f_cur(kCols);
+  std::vector<int> pre(kCols);
+  const auto time_kernel = [&](void (*kernel)(const hmm::WeightMatrix&,
+                                              const double*, double*, int*)) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      core::Stopwatch watch;
+      for (int i = 0; i < kernel_iters; ++i) {
+        kernel(w, f_prev.data(), f_cur.data(), pre.data());
+        benchmark::DoNotOptimize(f_cur.data());
+      }
+      best = std::min(best, watch.ElapsedSeconds() * 1e6);
+    }
+    return best / kernel_iters;
+  };
+  const double ref_us = time_kernel(&hmm::ViterbiColumnReference);
+  const double soa_us = time_kernel(&hmm::ViterbiColumnSoA);
+
+  // Engine end to end (k = 45, cold cache per rep) on the shared micro env.
+  MicroEnv& env = Env();
+  hmm::ClassicModelConfig models;
+  hmm::EngineConfig config;
+  config.k = 45;
+  hmm::GaussianObservationModel obs(env.index.get(), models);
+  hmm::ClassicTransitionModel trans(models, &env.ds.network);
+  traj::FilterConfig filters;
+  std::vector<traj::Trajectory> cleaned;
+  const int num_trajs = smoke ? 4 : static_cast<int>(env.ds.test.size());
+  for (int i = 0; i < num_trajs; ++i) {
+    cleaned.push_back(traj::DeduplicateTowers(
+        traj::PreprocessCellular(env.ds.test[i].cellular, filters)));
+  }
+  double best_match_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    network::CachedRouter cached(&env.ds.network);  // Cold every rep.
+    hmm::Engine engine(&env.ds.network, &cached, &obs, &trans, config);
+    core::Stopwatch watch;
+    for (const traj::Trajectory& t : cleaned) {
+      benchmark::DoNotOptimize(engine.Match(t));
+    }
+    best_match_ms =
+        std::min(best_match_ms, watch.ElapsedSeconds() * 1e3 / cleaned.size());
+  }
+
+  const double calib_us = CalibrateUs();
+  std::vector<KV> kvs;
+  kvs.push_back({"sanitized", static_cast<double>(Sanitized())});
+  kvs.push_back({"calib_us", calib_us});
+  kvs.push_back({"column_ref_us", ref_us});
+  kvs.push_back({"column_soa_us", soa_us});
+  kvs.push_back({"column_speedup", ref_us / soa_us});
+  kvs.push_back({"engine_match_ms", best_match_ms});
+  if (!WriteFlatJson(json_path, kvs)) return 2;
+  std::printf(
+      "viterbi suite -> %s\n  column ref %.3f us, soa %.3f us (%.2fx);"
+      " engine match %.2f ms/traj\n",
+      json_path.c_str(), ref_us, soa_us, ref_us / soa_us, best_match_ms);
+  return 0;
+}
+
 }  // namespace
+
+/// Named entry point for the suite mode (the suite functions live in the
+/// anonymous namespace above; this is the one symbol main can reach).
+int RunSuiteMain(const std::string& suite, const std::string& json_path,
+                 bool smoke) {
+  if (suite == "routing") return RunRoutingSuite(json_path, smoke);
+  if (suite == "viterbi") return RunViterbiSuite(json_path, smoke);
+  std::fprintf(stderr, "error: --json needs --suite routing|viterbi\n");
+  return 2;
+}
+
 }  // namespace lhmm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path, suite;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      suite = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return lhmm::RunSuiteMain(suite, json_path, smoke);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "core/logging.h"
 #include <cstdio>
@@ -71,27 +72,32 @@ EngineResult Engine::Match(const traj::Trajectory& t) {
     f[0][j] = cands[0][j].observation;  // Algorithm 1 line 5.
   }
 
-  // w_matrices[s][j][k2]: transition weight W(c_{s-1}^j -> c_s^k2) over the
-  // *original* (pre-shortcut) candidate sets; Eq. (20) consumes these.
-  std::vector<std::vector<std::vector<double>>> w_matrices(m);
-
+  // Transition weights W(c_{s-1}^j -> c_s^k2) over the *original*
+  // (pre-shortcut) candidate sets; Eq. (20) consumes these. Algorithm 2 at
+  // step s only ever reads the matrices of steps s-1 and s, so two flat
+  // arenas rotate instead of keeping the whole per-step history: O(k^2)
+  // resident weights instead of O(m * k^2), reused across columns.
   for (int s = 1; s < m; ++s) {
     const int prev_n = static_cast<int>(cands[s - 1].size());
     const int cur_n = static_cast<int>(cands[s].size());
     const double bound = RouteBound(straight[s]);
 
-    std::vector<network::SegmentId> cur_segments(cur_n);
-    for (int k2 = 0; k2 < cur_n; ++k2) cur_segments[k2] = cands[s][k2].segment;
+    cur_segments_.resize(cur_n);
+    for (int k2 = 0; k2 < cur_n; ++k2) cur_segments_[k2] = cands[s][k2].segment;
 
     f[s].assign(cur_n, kNegInf);
     pre[s].assign(cur_n, -1);
-    auto& w = w_matrices[s];
-    w.assign(prev_n, std::vector<double>(cur_n, 0.0));
+    std::swap(w_prev_, w_cur_);
+    w_cur_.Reset(prev_n, cur_n);
 
+    // Phase 1: fill the weight arena (one RouteMany per predecessor over the
+    // shared target list — the column shape CHRouter's corridor reuse keys
+    // on). Model calls happen in the same (j, k2) order as the fused loop
+    // they replace, so stateful models observe an identical call sequence.
     for (int j = 0; j < prev_n; ++j) {
       const Candidate& prev = cands[s - 1][j];
       const std::vector<std::optional<network::Route>> routes =
-          router_->RouteMany(prev.segment, cur_segments, bound);
+          router_->RouteMany(prev.segment, cur_segments_, bound);
       for (int k2 = 0; k2 < cur_n; ++k2) {
         const Candidate& cur = cands[s][k2];
         const network::Route* route =
@@ -99,19 +105,14 @@ EngineResult Engine::Match(const traj::Trajectory& t) {
         const double pt = trans_->Transition(t, point_index[s - 1], point_index[s],
                                              prev, cur, route, straight[s]);
         const double weight = pt * cur.observation;  // Eq. (13).
-        w[j][k2] = weight;
-        if (route == nullptr) continue;  // Unreachable move.
-        const double score = f[s - 1][j] + weight;  // Eq. (16).
-        if (score > f[s][k2]) {
-          f[s][k2] = score;
-          pre[s][k2] = j;  // Eq. (17).
-        }
+        w_cur_.Set(j, k2, weight, route != nullptr);
       }
     }
+    // Phase 2: the batched column update, Eq. (16)-(17) in one tight pass.
+    ViterbiColumnSoA(w_cur_, f[s - 1].data(), f[s].data(), pre[s].data());
 
     if (config_.use_shortcuts && s >= 2) {
-      ShortcutPass(t, s, point_index, &cands, w_matrices[s - 1], w_matrices[s], &f,
-                   &pre);
+      ShortcutPass(t, s, point_index, &cands, w_prev_, w_cur_, &f, &pre);
     }
 
     // HMM-break recovery (Newson–Krumm-style split): when no candidate of
@@ -174,15 +175,13 @@ EngineResult Engine::Match(const traj::Trajectory& t) {
 void Engine::ShortcutPass(const traj::Trajectory& t, int s,
                           const std::vector<int>& point_index,
                           std::vector<CandidateSet>* cands,
-                          const std::vector<std::vector<double>>& w_prev,
-                          const std::vector<std::vector<double>>& w_cur,
+                          const WeightMatrix& w_prev, const WeightMatrix& w_cur,
                           std::vector<std::vector<double>>* f,
                           std::vector<std::vector<int>>* pre) {
   // Original candidate counts: w matrices were built over these.
-  const int njj = static_cast<int>(w_prev.size());        // |C_{s-2}| original.
-  const int nl = w_prev.empty() ? 0
-                                : static_cast<int>(w_prev[0].size());  // |C_{s-1}|.
-  const int nk = static_cast<int>(w_cur.empty() ? 0 : w_cur[0].size());
+  const int njj = w_prev.rows;  // |C_{s-2}| original.
+  const int nl = w_prev.cols;   // |C_{s-1}| original.
+  const int nk = w_cur.cols;
   if (njj == 0 || nl == 0 || nk == 0) return;
 
   const double straight_02 =
@@ -207,7 +206,7 @@ void Engine::ShortcutPass(const traj::Trajectory& t, int s,
     for (int j = 0; j < njj; ++j) {
       double best = kNegInf;
       for (int l = 0; l < nl; ++l) {
-        best = std::max(best, w_prev[j][l] + w_cur[l][k2]);
+        best = std::max(best, w_prev.At(j, l) + w_cur.At(l, k2));
       }
       scored.push_back({(*f)[s - 2][j] + best, j});
     }

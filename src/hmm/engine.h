@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "hmm/models.h"
+#include "hmm/viterbi_kernel.h"
 #include "network/path_cache.h"
 #include "network/road_network.h"
 
@@ -85,8 +86,7 @@ class Engine {
   void ShortcutPass(const traj::Trajectory& t, int s,
                     const std::vector<int>& point_index,
                     std::vector<CandidateSet>* cands,
-                    const std::vector<std::vector<double>>& w_prev,
-                    const std::vector<std::vector<double>>& w_cur,
+                    const WeightMatrix& w_prev, const WeightMatrix& w_cur,
                     std::vector<std::vector<double>>* f,
                     std::vector<std::vector<int>>* pre);
 
@@ -99,6 +99,10 @@ class Engine {
   ObservationModel* obs_;
   TransitionModel* trans_;
   EngineConfig config_;
+  /// Rotating flat weight arenas (step s-1 and s) and the per-column target
+  /// list, reused across columns and trajectories.
+  WeightMatrix w_prev_, w_cur_;
+  std::vector<network::SegmentId> cur_segments_;
   int64_t shortcuts_applied_ = 0;
   int64_t sc_evaluated_ = 0;  ///< LHMM_DEBUG_SC: shortcut scores evaluated.
   int64_t sc_improved_ = 0;   ///< LHMM_DEBUG_SC: of those, wins over f[s][k].

@@ -144,13 +144,19 @@ std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
     f[0][j] = has_anchor_ ? 0.0 : cands[0][j].observation;
   }
   for (int s = 1; s < m; ++s) {
+    const int prev_n = static_cast<int>(cands[s - 1].size());
     const int cur_n = static_cast<int>(cands[s].size());
     const double bound = RouteBound(straight[s]);
     std::vector<network::SegmentId> targets(cur_n);
     for (int k2 = 0; k2 < cur_n; ++k2) targets[k2] = cands[s][k2].segment;
     f[s].assign(cur_n, kNegInf);
     pre[s].assign(cur_n, -1);
-    for (size_t j = 0; j < cands[s - 1].size(); ++j) {
+    // Same flat-arena fill + batched column update as Engine::Match. Rows
+    // whose f is already -inf are skipped before the route query (the skip
+    // is exact: all their scores would be -inf), which the SoA kernel
+    // re-applies internally for the update itself.
+    w_scratch_.Reset(prev_n, cur_n);
+    for (int j = 0; j < prev_n; ++j) {
       if (f[s - 1][j] == kNegInf) continue;  // Can never win the max below.
       const std::vector<std::optional<network::Route>> routes =
           router_->RouteMany(cands[s - 1][j].segment, targets, bound);
@@ -160,14 +166,10 @@ std::vector<network::SegmentId> OnlineMatcher::Advance(bool flush) {
         const double pt =
             trans_->Transition(t, point_index[s - 1], point_index[s],
                                cands[s - 1][j], cands[s][k2], route, straight[s]);
-        if (route == nullptr) continue;
-        const double score = f[s - 1][j] + pt * cands[s][k2].observation;
-        if (score > f[s][k2]) {
-          f[s][k2] = score;
-          pre[s][k2] = static_cast<int>(j);
-        }
+        w_scratch_.Set(j, k2, pt * cands[s][k2].observation, route != nullptr);
       }
     }
+    ViterbiColumnSoA(w_scratch_, f[s - 1].data(), f[s].data(), pre[s].data());
     // HMM-break recovery, mirroring Engine::Match: an unreachable column
     // restarts the window DP at this point (score = observation, pre = -1)
     // instead of poisoning the tail with -inf. The committed break is

@@ -7,6 +7,7 @@
 
 #include "hmm/candidate.h"
 #include "hmm/models.h"
+#include "hmm/viterbi_kernel.h"
 #include "network/path_cache.h"
 
 namespace lhmm::hmm {
@@ -122,6 +123,8 @@ class OnlineMatcher {
   bool has_anchor_ = false;
   traj::TrajPoint anchor_point_;
   std::vector<network::SegmentId> committed_;
+  /// Per-column weight arena, reused across Advance calls.
+  WeightMatrix w_scratch_;
   int64_t pushed_ = 0;
   int64_t consumed_ = 0;
   int64_t breaks_ = 0;

@@ -1,0 +1,52 @@
+#include "hmm/viterbi_kernel.h"
+
+#include <limits>
+
+namespace lhmm::hmm {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+void ViterbiColumnSoA(const WeightMatrix& w, const double* f_prev,
+                      double* f_cur, int* pre_cur) {
+  const int rows = w.rows, cols = w.cols;
+  for (int k = 0; k < cols; ++k) {
+    f_cur[k] = kNegInf;
+    pre_cur[k] = -1;
+  }
+  const double* row_w = w.w.data();
+  const uint8_t* row_reach = w.reach.data();
+  for (int j = 0; j < rows; ++j, row_w += cols, row_reach += cols) {
+    const double fj = f_prev[j];
+    if (fj == kNegInf) continue;  // All its scores are -inf: cannot win.
+    for (int k = 0; k < cols; ++k) {
+      if (!row_reach[k]) continue;
+      const double score = fj + row_w[k];
+      if (score > f_cur[k]) {
+        f_cur[k] = score;
+        pre_cur[k] = j;
+      }
+    }
+  }
+}
+
+void ViterbiColumnReference(const WeightMatrix& w, const double* f_prev,
+                            double* f_cur, int* pre_cur) {
+  for (int k = 0; k < w.cols; ++k) {
+    f_cur[k] = kNegInf;
+    pre_cur[k] = -1;
+  }
+  for (int j = 0; j < w.rows; ++j) {
+    for (int k = 0; k < w.cols; ++k) {
+      if (!w.Reachable(j, k)) continue;  // Unreachable move.
+      const double score = f_prev[j] + w.At(j, k);  // Eq. (16).
+      if (score > f_cur[k]) {
+        f_cur[k] = score;
+        pre_cur[k] = j;  // Eq. (17).
+      }
+    }
+  }
+}
+
+}  // namespace lhmm::hmm

@@ -1,0 +1,187 @@
+#include "io/ch_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/strings.h"
+#include "io/durable_file.h"
+#include "io/error_context.h"
+#include "io/journal.h"
+
+namespace lhmm::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'H', 'M', 'M', 'C', 'H', '0', '1'};
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+template <typename T>
+void AppendVec(std::string* out, const std::vector<T>& v) {
+  if (!v.empty()) AppendRaw(out, v.data(), v.size() * sizeof(T));
+}
+
+/// Sequential reader over the loaded bytes, tracking the offset for error
+/// reporting.
+class Cursor {
+ public:
+  Cursor(const std::string& path, const std::string& bytes)
+      : path_(path), bytes_(bytes) {}
+
+  int64_t offset() const { return static_cast<int64_t>(pos_); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  template <typename T>
+  core::Status ReadPod(T* out, const char* what) {
+    return ReadRaw(out, sizeof(T), what);
+  }
+
+  template <typename T>
+  core::Status ReadVec(std::vector<T>* out, size_t count, const char* what) {
+    out->resize(count);
+    if (count == 0) return core::Status::Ok();
+    return ReadRaw(out->data(), count * sizeof(T), what);
+  }
+
+  core::Status ReadRaw(void* out, size_t n, const char* what) {
+    if (remaining() < n) {
+      return OffsetError(
+          path_, offset(),
+          core::StrFormat("truncated: need %zu bytes for %s, %zu left", n,
+                          what, remaining()));
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return core::Status::Ok();
+  }
+
+ private:
+  const std::string& path_;
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path) {
+  std::string payload;  // Everything after the magic, covered by the CRC.
+  AppendPod(&payload, ch.fingerprint);
+  AppendPod(&payload, ch.num_nodes);
+  AppendPod(&payload, ch.num_shortcuts);
+  AppendPod(&payload, ch.num_up_edges());
+  AppendPod(&payload, ch.num_down_edges());
+  AppendVec(&payload, ch.rank);
+  AppendVec(&payload, ch.up_begin);
+  AppendVec(&payload, ch.up_head);
+  AppendVec(&payload, ch.up_weight);
+  AppendVec(&payload, ch.down_begin);
+  AppendVec(&payload, ch.down_tail);
+  AppendVec(&payload, ch.down_weight);
+
+  std::string file;
+  file.reserve(sizeof(kMagic) + payload.size() + sizeof(uint32_t));
+  AppendRaw(&file, kMagic, sizeof(kMagic));
+  file += payload;
+  AppendPod(&file, Crc32(payload.data(), payload.size()));
+  return AtomicWriteFile(path, file);
+}
+
+core::Result<network::CHGraph> LoadCHGraph(const std::string& path,
+                                           const network::RoadNetwork* expect) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return core::Status::NotFound(path + ": cannot open");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  Cursor cur(path, bytes);
+  char magic[sizeof(kMagic)];
+  core::Status s = cur.ReadRaw(magic, sizeof(magic), "magic");
+  if (!s.ok()) return s;
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return OffsetError(path, 0, "bad magic (not an LHMM CH file?)");
+  }
+  // Verify the checksum before trusting any field: the payload spans from
+  // after the magic to just before the 4-byte trailer.
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t)) {
+    return OffsetError(path, cur.offset(), "truncated: CRC trailer missing");
+  }
+  const size_t payload_size = bytes.size() - sizeof(kMagic) - sizeof(uint32_t);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + sizeof(kMagic) + payload_size,
+              sizeof(stored_crc));
+  const uint32_t actual_crc =
+      Crc32(bytes.data() + sizeof(kMagic), payload_size);
+  if (stored_crc != actual_crc) {
+    return OffsetError(
+        path, static_cast<int64_t>(sizeof(kMagic) + payload_size),
+        core::StrFormat("CRC mismatch: stored %08x, computed %08x",
+                        stored_crc, actual_crc));
+  }
+
+  network::CHGraph ch;
+  int64_t up_edges = 0, down_edges = 0;
+  if (!(s = cur.ReadPod(&ch.fingerprint, "fingerprint")).ok()) return s;
+  if (!(s = cur.ReadPod(&ch.num_nodes, "num_nodes")).ok()) return s;
+  if (!(s = cur.ReadPod(&ch.num_shortcuts, "num_shortcuts")).ok()) return s;
+  if (!(s = cur.ReadPod(&up_edges, "up edge count")).ok()) return s;
+  if (!(s = cur.ReadPod(&down_edges, "down edge count")).ok()) return s;
+  if (ch.num_nodes < 0) {
+    return OffsetError(path, cur.offset(), "negative num_nodes");
+  }
+  // Counts are bounded by the payload size before any resize, so a corrupt
+  // header cannot drive a huge allocation.
+  const int64_t max_plausible =
+      static_cast<int64_t>(payload_size / sizeof(int32_t)) + 1;
+  if (up_edges < 0 || down_edges < 0 || up_edges > max_plausible ||
+      down_edges > max_plausible ||
+      static_cast<int64_t>(ch.num_nodes) > max_plausible) {
+    return OffsetError(path, cur.offset(), "implausible edge/node counts");
+  }
+  const size_t n = static_cast<size_t>(ch.num_nodes);
+  if (!(s = cur.ReadVec(&ch.rank, n, "rank")).ok()) return s;
+  if (!(s = cur.ReadVec(&ch.up_begin, n + 1, "up_begin")).ok()) return s;
+  if (!(s = cur.ReadVec(&ch.up_head, up_edges, "up_head")).ok()) return s;
+  if (!(s = cur.ReadVec(&ch.up_weight, up_edges, "up_weight")).ok()) return s;
+  if (!(s = cur.ReadVec(&ch.down_begin, n + 1, "down_begin")).ok()) return s;
+  if (!(s = cur.ReadVec(&ch.down_tail, down_edges, "down_tail")).ok()) {
+    return s;
+  }
+  if (!(s = cur.ReadVec(&ch.down_weight, down_edges, "down_weight")).ok()) {
+    return s;
+  }
+  if (cur.remaining() != sizeof(uint32_t)) {
+    return OffsetError(
+        path, cur.offset(),
+        core::StrFormat("trailing garbage: %zu bytes after payload",
+                        cur.remaining() - sizeof(uint32_t)));
+  }
+  const std::string invalid = ch.Validate();
+  if (!invalid.empty()) {
+    return OffsetError(path, static_cast<int64_t>(sizeof(kMagic)),
+                       "invalid hierarchy: " + invalid);
+  }
+  if (expect != nullptr) {
+    const uint64_t want = network::CHGraph::NetworkFingerprint(*expect);
+    if (ch.fingerprint != want) {
+      return core::Status::FailedPrecondition(core::StrFormat(
+          "%s: hierarchy was preprocessed for a different network "
+          "(fingerprint %016llx, expected %016llx)",
+          path.c_str(), static_cast<unsigned long long>(ch.fingerprint),
+          static_cast<unsigned long long>(want)));
+    }
+  }
+  ch.Finish();
+  return ch;
+}
+
+}  // namespace lhmm::io

@@ -1,0 +1,34 @@
+#ifndef LHMM_IO_CH_IO_H_
+#define LHMM_IO_CH_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "network/contraction.h"
+#include "network/road_network.h"
+
+namespace lhmm::io {
+
+/// On-disk persistence for preprocessed contraction hierarchies, so servers
+/// skip the contraction pass at startup (`lhmm_cli ch-build` once, then
+/// `lhmm_serve --router=ch --ch-file=...`).
+///
+/// Format (little-endian, single file):
+///   magic "LHMMCH01" | u64 network fingerprint | i32 num_nodes |
+///   i64 num_shortcuts | i64 up edge count | i64 down edge count |
+///   rank[i32 x n] | up_begin[i32 x n+1] | up_head[i32] | up_weight[f64] |
+///   down_begin[i32 x n+1] | down_tail[i32] | down_weight[f64] |
+///   u32 CRC-32 of everything after the magic.
+///
+/// Loading rejects wrong magic, truncation, trailing garbage, CRC mismatch,
+/// and structurally invalid payloads with typed errors naming the file and
+/// byte offset (io/error_context.h conventions); when `expect` is given, a
+/// hierarchy built for a different network is refused up front.
+core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path);
+
+core::Result<network::CHGraph> LoadCHGraph(
+    const std::string& path, const network::RoadNetwork* expect = nullptr);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_CH_IO_H_

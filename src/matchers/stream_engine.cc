@@ -16,6 +16,14 @@ StreamEngine::StreamEngine(MatcherFactory factory,
   CHECK_GE(config_.max_inbox, 0);
   CHECK_GE(config_.session_ttl, 0);
   CHECK_GE(config_.max_live_sessions, 0);
+  if (config_.shared_router == nullptr &&
+      config_.router_backend == network::RouterBackend::kCH) {
+    CHECK(config_.ch_network != nullptr && config_.ch_graph != nullptr)
+        << "RouterBackend::kCH requires ch_network and ch_graph";
+    owned_router_ = std::make_unique<network::CachedRouter>(config_.ch_network,
+                                                            config_.ch_graph);
+    config_.shared_router = owned_router_.get();
+  }
   num_threads_ = config_.num_threads > 0 ? config_.num_threads
                                          : core::ThreadPool::DefaultThreadCount();
   if (num_threads_ > 1) {

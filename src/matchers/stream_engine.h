@@ -32,8 +32,17 @@ struct StreamEngineConfig {
   /// Optional thread-safe route cache shared by all sessions (installed into
   /// each session's matcher clone via MapMatcher::UseSharedRouter), so route
   /// results amortize across concurrent trajectories. Pre-heating it with
-  /// CachedRouter::WarmAll removes first-query latency spikes.
+  /// CachedRouter::WarmAll removes first-query latency spikes. Takes
+  /// precedence over `router_backend` when set.
   network::CachedRouter* shared_router = nullptr;
+  /// Routing backend when the engine owns its shared router: with kCH (and
+  /// `shared_router` null) the engine builds a CachedRouter whose misses run
+  /// corridor-pruned CH queries over `ch_graph` — byte-identical results,
+  /// faster cold misses. Requires `ch_network`/`ch_graph` (both outliving
+  /// the engine). See BatchConfig for the batch-side twin of this knob.
+  network::RouterBackend router_backend = network::RouterBackend::kDijkstra;
+  const network::RoadNetwork* ch_network = nullptr;
+  const network::CHGraph* ch_graph = nullptr;
   /// Bound on each session's pending-event queue; 0 = unbounded. When a
   /// producer outruns the pump, `backpressure` decides what gives. The
   /// end-of-stream sentinel is never rejected or dropped.
@@ -285,6 +294,9 @@ class StreamEngine {
 
   MatcherFactory factory_;
   StreamEngineConfig config_;
+  /// Backing CachedRouter when config_.router_backend == kCH and the caller
+  /// did not supply shared_router; config_.shared_router aliases it.
+  std::unique_ptr<network::CachedRouter> owned_router_;
   int num_threads_;
   std::unique_ptr<core::ThreadPool> pool_;  ///< Null when num_threads_ == 1.
   mutable std::mutex slots_mu_;             ///< Guards the slots_ container.

@@ -1,0 +1,259 @@
+#include "network/ch_router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace lhmm::network {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Corridor slack: must dominate the floating-point drift between a
+// distance accumulated through shortcut sums and the same distance
+// accumulated edge by edge. Road-scale doubles carry ~1e-10 m of drift per
+// kilometer; a millimeter-scale absolute term plus a 1e-9 relative term is
+// orders of magnitude above that, while widening the corridor by a
+// physically meaningless amount.
+constexpr double kRelSlack = 1e-9;
+constexpr double kAbsSlack = 1e-2;
+
+double CutoffFor(double bound) { return bound * (1.0 + kRelSlack) + kAbsSlack; }
+
+}  // namespace
+
+bool ParseRouterBackend(const std::string& text, RouterBackend* out) {
+  if (text == "dijkstra") {
+    *out = RouterBackend::kDijkstra;
+    return true;
+  }
+  if (text == "ch") {
+    *out = RouterBackend::kCH;
+    return true;
+  }
+  return false;
+}
+
+const char* RouterBackendName(RouterBackend backend) {
+  switch (backend) {
+    case RouterBackend::kDijkstra:
+      return "dijkstra";
+    case RouterBackend::kCH:
+      return "ch";
+  }
+  return "unknown";
+}
+
+CHRouter::CHRouter(const RoadNetwork* net, const CHGraph* ch)
+    : SegmentRouter(net), ch_(ch) {
+  CHECK(ch != nullptr);
+  CHECK(ch->num_nodes == net->num_nodes());
+  CHECK(ch->fingerprint == CHGraph::NetworkFingerprint(*net));
+  CHECK(!ch->nodes_by_rank_desc.empty() || ch->num_nodes == 0);
+  const size_t n = static_cast<size_t>(ch->num_nodes);
+  bt_.assign(n, kInf);
+  bt_stamp_.assign(n, 0);
+  visit_stamp_.assign(n, 0);
+  reach_.assign(n, kInf);
+  reach_stamp_.assign(n, 0);
+}
+
+void CHRouter::BackwardUpwardSearch(const std::vector<NodeId>& goals,
+                                    double cutoff) {
+  ++bt_stamp_cur_;
+  // Phase 1: cursor DFS over the goal set's combined upward closure
+  // (down-CSR edges traversed tail-ward strictly increase rank, so it is a
+  // DAG and the reverse post-order of the DFS forest is a topological
+  // order). Heap-free on purpose: both phases are tight linear array scans.
+  ++visit_stamp_cur_;
+  order_.clear();
+  dfs_frames_.clear();
+  for (NodeId g : goals) {
+    if (visit_stamp_[g] == visit_stamp_cur_) continue;
+    visit_stamp_[g] = visit_stamp_cur_;
+    dfs_frames_.push_back({g, ch_->down_begin[g]});
+    while (!dfs_frames_.empty()) {
+      DfsFrame f = dfs_frames_.back();
+      const int32_t end = ch_->down_begin[f.u + 1];
+      bool pushed = false;
+      while (f.i < end) {
+        const NodeId t = ch_->down_tail[f.i];
+        ++f.i;
+        if (visit_stamp_[t] != visit_stamp_cur_) {
+          visit_stamp_[t] = visit_stamp_cur_;
+          dfs_frames_.back() = f;
+          dfs_frames_.push_back({t, ch_->down_begin[t]});
+          pushed = true;
+          break;
+        }
+      }
+      if (pushed) continue;
+      order_.push_back(f.u);
+      dfs_frames_.pop_back();
+    }
+  }
+  // Phase 2: one multi-source push-relaxation pass in reverse post-order
+  // computes bt(v) = exact distance to the *nearest* goal for every closure
+  // node whose distance fits the cutoff (edges relax head -> tail, i.e.
+  // along the topological order, so each label is final when read).
+  for (NodeId v : order_) {
+    bt_[v] = kInf;
+    bt_stamp_[v] = bt_stamp_cur_;
+  }
+  for (NodeId g : goals) bt_[g] = 0.0;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const NodeId v = *it;
+    const double d = bt_[v];
+    if (d == kInf) continue;
+    for (int32_t i = ch_->down_begin[v]; i < ch_->down_begin[v + 1]; ++i) {
+      const NodeId u = ch_->down_tail[i];
+      const double nd = d + ch_->down_weight[i];
+      if (nd <= cutoff && nd < bt_[u]) bt_[u] = nd;
+    }
+  }
+}
+
+double CHRouter::ReachOf(NodeId v) {
+  if (reach_stamp_[v] == reach_stamp_cur_) return reach_[v];
+  // Iterative post-order DFS with per-frame edge cursors: every upward edge
+  // in the evaluated closure is walked a bounded number of times per
+  // corridor, independent of how many queries share the memo. No duplicate
+  // frames are possible: a frame's ancestors all have strictly lower rank
+  // than its unmemoized children.
+  reach_frames_.clear();
+  reach_frames_.push_back(
+      {v, ch_->up_begin[v],
+       (bt_stamp_[v] == bt_stamp_cur_) ? bt_[v] : kInf});
+  while (!reach_frames_.empty()) {
+    ReachFrame f = reach_frames_.back();
+    const int32_t end = ch_->up_begin[f.u + 1];
+    bool pushed = false;
+    while (f.i < end) {
+      const NodeId x = ch_->up_head[f.i];
+      if (reach_stamp_[x] == reach_stamp_cur_) {
+        const double via = ch_->up_weight[f.i] + reach_[x];
+        if (via < f.r) f.r = via;
+        ++f.i;
+      } else {
+        // Suspend at this edge; the child's memo resolves it on resume.
+        reach_frames_.back() = f;
+        reach_frames_.push_back(
+            {x, ch_->up_begin[x],
+             (bt_stamp_[x] == bt_stamp_cur_) ? bt_[x] : kInf});
+        pushed = true;
+        break;
+      }
+    }
+    if (pushed) continue;
+    reach_[f.u] = f.r;
+    reach_stamp_[f.u] = reach_stamp_cur_;
+    reach_frames_.pop_back();
+  }
+  return reach_[v];
+}
+
+void CHRouter::EnsureCorridor(const std::vector<NodeId>& goals,
+                              double cutoff) {
+  if (corridor_valid_ && corridor_cutoff_ == cutoff &&
+      corridor_goals_ == goals) {
+    ++corridor_reuses_;
+    return;
+  }
+  BackwardUpwardSearch(goals, cutoff);
+  // Invalidate the reach memo. Reach values are cutoff-independent raw
+  // minima, so every query sharing the corridor shares the memo even when
+  // its own tightened cutoff differs.
+  ++reach_stamp_cur_;
+  if (goals.size() > 1) {
+    // Multi-goal corridors (HMM columns: many sources share one goal set)
+    // fill the memo eagerly — one relaxation pass in descending rank order
+    // (up-edge heads outrank tails, so every upstream label is final when
+    // read) costs O(V + E_up) once per corridor and turns every prune
+    // check of every query into two array reads. Single-goal corridors
+    // stay lazy: their pruned searches touch a thin tube around one route,
+    // far smaller than the graph.
+    for (NodeId v : ch_->nodes_by_rank_desc) {
+      double r = (bt_stamp_[v] == bt_stamp_cur_) ? bt_[v] : kInf;
+      for (int32_t i = ch_->up_begin[v]; i < ch_->up_begin[v + 1]; ++i) {
+        const double via = ch_->up_weight[i] + reach_[ch_->up_head[i]];
+        if (via < r) r = via;
+      }
+      reach_[v] = r;
+      reach_stamp_[v] = reach_stamp_cur_;
+    }
+  }
+  corridor_goals_ = goals;
+  corridor_cutoff_ = cutoff;
+  corridor_valid_ = true;
+  ++corridor_builds_;
+}
+
+std::optional<Route> CHRouter::Route1(SegmentId from, SegmentId to,
+                                      double max_length) {
+  std::vector<std::optional<Route>> routes = RouteMany(from, {to}, max_length);
+  return std::move(routes[0]);
+}
+
+std::vector<std::optional<Route>> CHRouter::RouteMany(
+    SegmentId from, const std::vector<SegmentId>& targets, double max_length) {
+  // Corridor goals cover every target, *including* a self-target the base
+  // search would skip: a superset of the real goal set only shrinks reach
+  // labels (less aggressive pruning), so it stays sound — and keeping the
+  // goal set independent of `from` lets every predecessor in an HMM column
+  // share one corridor instead of rebuilding it per source segment.
+  bool any_non_self = false;
+  goals_scratch_.clear();
+  for (SegmentId t : targets) {
+    if (t != from) any_non_self = true;
+    goals_scratch_.push_back(network()->segment(t).from);
+  }
+  if (!any_non_self) {
+    // Only self-targets: the base runs no search either.
+    return RouteManyImpl(from, targets, max_length, nullptr);
+  }
+  std::sort(goals_scratch_.begin(), goals_scratch_.end());
+  goals_scratch_.erase(
+      std::unique(goals_scratch_.begin(), goals_scratch_.end()),
+      goals_scratch_.end());
+
+  const double cutoff = CutoffFor(max_length);
+  const NodeId source = network()->segment(from).to;
+  EnsureCorridor(goals_scratch_, cutoff);
+  // reach(source) = the CH distance from the source to the *nearest* goal.
+  const double est = ReachOf(source);
+  if (est > cutoff) {
+    // No goal has an up-then-down connection within bound + slack, so the
+    // exact search could not settle any of them — return the same
+    // all-nullopt answer it would compute, minus the search. Self-targets
+    // resolve without a search, exactly as the base does.
+    std::vector<std::optional<Route>> out(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (targets[i] == from) out[i] = Route{0.0, {from}};
+    }
+    return out;
+  }
+  // With a single goal, `est` estimates *the* answer (upper bound always,
+  // exact up to fp drift when in bound — the Route1 path-expansion
+  // pattern probes with bounds far above the answer), so the pruned
+  // search can tighten from bound-scale to answer-scale. With several
+  // goals the nearest-goal distance bounds nothing about the others.
+  const double tight = goals_scratch_.size() == 1
+                           ? std::min(cutoff, CutoffFor(est))
+                           : cutoff;
+  const RoutePrune prune = MakePrune(tight);
+  return RouteManyImpl(from, targets, max_length, &prune);
+}
+
+double CHRouter::NodeDistance(NodeId from, NodeId to, double max_length) {
+  if (from == to) return 0.0;
+  const double cutoff = CutoffFor(max_length);
+  goals_scratch_.assign(1, to);
+  EnsureCorridor(goals_scratch_, cutoff);
+  const double est = ReachOf(from);
+  if (est > cutoff) return -1.0;
+  const RoutePrune prune = MakePrune(std::min(cutoff, CutoffFor(est)));
+  return NodeDistanceImpl(from, to, max_length, &prune);
+}
+
+}  // namespace lhmm::network

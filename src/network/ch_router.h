@@ -1,0 +1,159 @@
+#ifndef LHMM_NETWORK_CH_ROUTER_H_
+#define LHMM_NETWORK_CH_ROUTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "network/contraction.h"
+#include "network/shortest_path.h"
+
+namespace lhmm::network {
+
+/// Selects the shortest-path backend behind the matcher stack. `kDijkstra`
+/// is the plain bounded SegmentRouter (no preprocessing); `kCH` routes
+/// through a prebuilt contraction hierarchy (CHGraph + CHRouter) for the
+/// same results at a fraction of the per-query search cost.
+enum class RouterBackend {
+  kDijkstra,
+  kCH,
+};
+
+/// Parses "dijkstra" / "ch" (case-sensitive); returns false on anything else.
+bool ParseRouterBackend(const std::string& text, RouterBackend* out);
+const char* RouterBackendName(RouterBackend backend);
+
+/// Contraction-hierarchy-accelerated router, bit-identical to SegmentRouter.
+///
+/// Design: rather than answering queries from the hierarchy directly (whose
+/// shortcut-sum distances differ from Dijkstra's prefix sums in the last
+/// ulps, and whose unpacked paths need not match Dijkstra's tie-breaks),
+/// the hierarchy is used as a *corridor oracle*:
+///
+///  * A single multi-source backward pass over the downward CSR (heap-free:
+///    down-edges traversed tail-ward strictly increase rank, so the cone is
+///    a DAG and one cursor-DFS + reverse-post-order relaxation finishes it)
+///    labels the goal set's upward closure with bt(v) = dist from v down to
+///    the nearest goal, exact up to fp drift whenever that distance fits
+///    the corridor cutoff.
+///  * The exact bounded Dijkstra of SegmentRouter then runs with a
+///    RoutePrune that skips any node v whose dist-so-far + reach(v)
+///    exceeds the cutoff, where reach(v) ~= dist(v -> nearest goal) is
+///    evaluated lazily: reach(v) = min(bt(v), min over upward edges
+///    (v -> x) of w + reach(x)) is a recurrence over the upward DAG,
+///    memoized per corridor, so only nodes the pruned search actually
+///    touches (plus their upward cones) ever compute a label — there is no
+///    per-query pass over the full node set. reach(source) > cutoff
+///    refutes the whole query (every goal provably out of bound) without
+///    touching the base graph at all.
+///  * Single-goal queries (Route1 / NodeDistance — the path-expansion and
+///    break-recovery pattern, which probes with bounds far above the
+///    typical answer) first run a classic bidirectional CH search with
+///    mu-pruning to estimate the true distance, then *tighten* the cutoff
+///    from the caller's bound (up to 12 km) to that estimate plus slack.
+///    Both the corridor build and the pruned search then work at
+///    answer-scale instead of bound-scale.
+///
+/// The slack (relative 1e-9 + absolute 1e-2 m) dominates the floating-point
+/// associativity drift between shortcut sums and edge-by-edge sums, so the
+/// pruned search provably settles a superset of every node that can appear
+/// on (or tie-break) a returned route; results — lengths, segment chains,
+/// and nullopt-ness — are produced by the identical SegmentRouter code on
+/// that subgraph and therefore match the unpruned search byte for byte
+/// (enforced by tests/ch_test.cc across randomized networks).
+///
+/// Consecutive RouteMany calls with the same target set and bound (the HMM
+/// column pattern: one call per predecessor candidate against one shared
+/// candidate set) reuse the corridor labels and the reach memo, amortizing
+/// step 1 across the whole column.
+///
+/// Not thread safe (same contract as SegmentRouter); CachedRouter pools
+/// instances per concurrent query.
+class CHRouter : public SegmentRouter {
+ public:
+  /// Both the network and the hierarchy must outlive the router, and `ch`
+  /// must have been built from (or validated against) `net` — CHECK-enforced
+  /// via the fingerprint.
+  CHRouter(const RoadNetwork* net, const CHGraph* ch);
+
+  std::optional<Route> Route1(SegmentId from, SegmentId to,
+                              double max_length) override;
+  std::vector<std::optional<Route>> RouteMany(
+      SegmentId from, const std::vector<SegmentId>& targets,
+      double max_length) override;
+  double NodeDistance(NodeId from, NodeId to, double max_length) override;
+
+  const CHGraph* ch() const { return ch_; }
+
+  /// Diagnostics: corridors built from scratch vs reused across consecutive
+  /// same-target-set queries.
+  int64_t corridor_builds() const { return corridor_builds_; }
+  int64_t corridor_reuses() const { return corridor_reuses_; }
+
+ private:
+  /// One multi-source backward pass over the downward CSR (traversed
+  /// tail-ward, so ranks increase): labels the goal set's upward closure
+  /// with bt(v) = distance to the nearest goal, exact up to fp drift for
+  /// every node whose distance fits under `cutoff`. Heap-free: the closure
+  /// is a DAG in rank order, so a cursor DFS emits a topological order and
+  /// one relaxation pass finishes it.
+  void BackwardUpwardSearch(const std::vector<NodeId>& goals, double cutoff);
+
+  RoutePrune MakePrune(double cutoff) {
+    return RoutePrune{reach_.data(), reach_stamp_.data(), reach_stamp_cur_,
+                      cutoff, &CHRouter::MaterializeReach, this};
+  }
+  static double MaterializeReach(void* ctx, NodeId v) {
+    return static_cast<CHRouter*>(ctx)->ReachOf(v);
+  }
+
+  /// Lazy memoized reach label: reach(v) = min(bt(v), min over upward edges
+  /// (v -> x) of w + reach(x)), evaluated with an explicit stack over the
+  /// upward DAG (heads strictly outrank tails, so it terminates).
+  double ReachOf(NodeId v);
+
+  /// Ensures backward cones + collapsed bt labels for `goals` (sorted,
+  /// deduped) at `cutoff`, reusing the previous corridor (including its
+  /// reach memo) when the key matches.
+  void EnsureCorridor(const std::vector<NodeId>& goals, double cutoff);
+
+  const CHGraph* ch_;
+
+  // Collapsed backward labels (distance to nearest goal), stamp-versioned.
+  std::vector<double> bt_;
+  std::vector<int> bt_stamp_;
+  int bt_stamp_cur_ = 0;
+  // Cursor-DFS scratch for the corridor build (visited marks + stack).
+  std::vector<int> visit_stamp_;
+  int visit_stamp_cur_ = 0;
+  struct DfsFrame {
+    NodeId u;
+    int32_t i;  // Cursor into the CSR being walked.
+  };
+  std::vector<DfsFrame> dfs_frames_;
+  std::vector<NodeId> order_;
+  // Reach (corridor) memo.
+  std::vector<double> reach_;
+  std::vector<int> reach_stamp_;
+  int reach_stamp_cur_ = 0;
+  struct ReachFrame {
+    NodeId u;
+    int32_t i;  // Cursor into the upward CSR.
+    double r;   // Running minimum.
+  };
+  std::vector<ReachFrame> reach_frames_;
+
+  // Corridor-reuse key.
+  std::vector<NodeId> corridor_goals_;
+  double corridor_cutoff_ = -1.0;
+  bool corridor_valid_ = false;
+
+  std::vector<NodeId> goals_scratch_;
+  int64_t corridor_builds_ = 0;
+  int64_t corridor_reuses_ = 0;
+};
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_CH_ROUTER_H_

@@ -1,0 +1,424 @@
+#include "network/contraction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/strings.h"
+
+namespace lhmm::network {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t MixHash(uint64_t h, uint64_t x) {
+  // splitmix64 finalizer folded into a running hash.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return (h * 0x100000001b3ull) ^ x;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+struct AdjEdge {
+  NodeId node = 0;
+  double w = 0.0;
+};
+
+/// The working state of one preprocessing pass. The dynamic graph starts as
+/// the parallel-collapsed node graph of the network and accumulates shortcuts
+/// as nodes contract; contracted nodes stay in the adjacency lists and are
+/// skipped by flag (cheap at road-network degrees).
+class Contractor {
+ public:
+  Contractor(const RoadNetwork& net, const CHConfig& config)
+      : net_(net), config_(config), n_(net.num_nodes()) {
+    out_.resize(n_);
+    in_.resize(n_);
+    contracted_.assign(n_, 0);
+    deleted_neighbors_.assign(n_, 0);
+    dist_.assign(n_, kInf);
+    stamp_.assign(n_, 0);
+    for (SegmentId sid = 0; sid < net.num_segments(); ++sid) {
+      const RoadSegment& seg = net.segment(sid);
+      if (seg.from == seg.to) continue;  // Self-loops never shorten a path.
+      AddEdge(seg.from, seg.to, seg.length, /*shortcut=*/false);
+    }
+  }
+
+  CHGraph Run() {
+    std::vector<int32_t> rank(n_, 0);
+    using QueueEntry = std::pair<int64_t, NodeId>;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    for (NodeId v = 0; v < n_; ++v) queue.push({Priority(v), v});
+    int32_t next_rank = 0;
+    while (!queue.empty()) {
+      const auto [prio, v] = queue.top();
+      queue.pop();
+      if (contracted_[v]) continue;
+      // Lazy update: the stored key may be stale; recompute and only contract
+      // while still no worse than the next candidate (ties contract, keeping
+      // the order deterministic via the node-id tie-break in QueueEntry).
+      const int64_t fresh = Priority(v);
+      if (!queue.empty() && fresh > queue.top().first) {
+        queue.push({fresh, v});
+        continue;
+      }
+      Contract(v);
+      rank[v] = next_rank++;
+      contracted_[v] = 1;
+      // Refresh neighbor keys eagerly; together with the lazy check above
+      // this keeps ordering quality without a decrease-key structure.
+      for (const AdjEdge& e : in_[v]) {
+        if (!contracted_[e.node]) {
+          ++deleted_neighbors_[e.node];
+          queue.push({Priority(e.node), e.node});
+        }
+      }
+      for (const AdjEdge& e : out_[v]) {
+        if (!contracted_[e.node] && !HasInNeighbor(v, e.node)) {
+          ++deleted_neighbors_[e.node];
+          queue.push({Priority(e.node), e.node});
+        }
+      }
+    }
+    CHECK(next_rank == n_);
+    return Assemble(std::move(rank));
+  }
+
+ private:
+  struct MasterEdge {
+    double w = 0.0;
+    bool shortcut = false;
+  };
+
+  static uint64_t EdgeKey(NodeId u, NodeId v) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+           static_cast<uint32_t>(v);
+  }
+
+  bool HasInNeighbor(NodeId v, NodeId candidate) const {
+    for (const AdjEdge& e : in_[v]) {
+      if (e.node == candidate) return true;
+    }
+    return false;
+  }
+
+  void AddEdge(NodeId u, NodeId v, double w, bool shortcut) {
+    bool found = false;
+    for (AdjEdge& e : out_[u]) {
+      if (e.node == v) {
+        if (w < e.w) e.w = w;
+        found = true;
+        break;
+      }
+    }
+    if (!found) out_[u].push_back({v, w});
+    found = false;
+    for (AdjEdge& e : in_[v]) {
+      if (e.node == u) {
+        if (w < e.w) e.w = w;
+        found = true;
+        break;
+      }
+    }
+    if (!found) in_[v].push_back({u, w});
+
+    const auto [it, inserted] =
+        edges_.emplace(EdgeKey(u, v), MasterEdge{w, shortcut});
+    if (!inserted && w < it->second.w) it->second.w = w;
+  }
+
+  /// Bounded Dijkstra from `source` over uncontracted nodes, excluding
+  /// `excluded`, pruned at `bound` and capped at `witness_settle_limit`
+  /// settles. Any label it leaves behind is the length of a real path, so a
+  /// truncated search can only fail to find witnesses (adding redundant
+  /// shortcuts), never invent one.
+  void WitnessSearch(NodeId source, NodeId excluded, double bound) {
+    ++cur_stamp_;
+    using HeapEntry = std::pair<double, NodeId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+        heap;
+    dist_[source] = 0.0;
+    stamp_[source] = cur_stamp_;
+    heap.push({0.0, source});
+    int settled = 0;
+    while (!heap.empty() && settled < config_.witness_settle_limit) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > bound) break;
+      if (stamp_[v] != cur_stamp_ || d > dist_[v]) continue;  // Stale entry.
+      ++settled;
+      for (const AdjEdge& e : out_[v]) {
+        if (contracted_[e.node] || e.node == excluded) continue;
+        const double nd = d + e.w;
+        if (nd > bound) continue;
+        if (stamp_[e.node] != cur_stamp_ || nd < dist_[e.node]) {
+          stamp_[e.node] = cur_stamp_;
+          dist_[e.node] = nd;
+          heap.push({nd, e.node});
+        }
+      }
+    }
+  }
+
+  /// Counts the shortcuts contracting `v` would insert right now.
+  int SimulateContraction(NodeId v) {
+    int shortcuts = 0;
+    for (const AdjEdge& ein : in_[v]) {
+      const NodeId u = ein.node;
+      if (contracted_[u] || u == v) continue;
+      double max_out = -1.0;
+      for (const AdjEdge& eout : out_[v]) {
+        if (contracted_[eout.node] || eout.node == u || eout.node == v) {
+          continue;
+        }
+        max_out = std::max(max_out, eout.w);
+      }
+      if (max_out < 0.0) continue;
+      WitnessSearch(u, v, ein.w + max_out);
+      for (const AdjEdge& eout : out_[v]) {
+        const NodeId x = eout.node;
+        if (contracted_[x] || x == u || x == v) continue;
+        const double via = ein.w + eout.w;
+        if (stamp_[x] == cur_stamp_ && dist_[x] <= via) continue;
+        ++shortcuts;
+      }
+    }
+    return shortcuts;
+  }
+
+  int64_t Priority(NodeId v) {
+    int degree = 0;
+    for (const AdjEdge& e : in_[v]) {
+      if (!contracted_[e.node]) ++degree;
+    }
+    for (const AdjEdge& e : out_[v]) {
+      if (!contracted_[e.node]) ++degree;
+    }
+    const int shortcuts = SimulateContraction(v);
+    // Classic edge-difference plus contracted-neighbors term; small integer
+    // weights keep the key exact and the ordering platform-independent.
+    return 2 * static_cast<int64_t>(shortcuts - degree) +
+           deleted_neighbors_[v];
+  }
+
+  void Contract(NodeId v) {
+    for (const AdjEdge& ein : in_[v]) {
+      const NodeId u = ein.node;
+      if (contracted_[u] || u == v) continue;
+      double max_out = -1.0;
+      for (const AdjEdge& eout : out_[v]) {
+        if (contracted_[eout.node] || eout.node == u || eout.node == v) {
+          continue;
+        }
+        max_out = std::max(max_out, eout.w);
+      }
+      if (max_out < 0.0) continue;
+      WitnessSearch(u, v, ein.w + max_out);
+      for (const AdjEdge& eout : out_[v]) {
+        const NodeId x = eout.node;
+        if (contracted_[x] || x == u || x == v) continue;
+        const double via = ein.w + eout.w;
+        if (stamp_[x] == cur_stamp_ && dist_[x] <= via) continue;
+        AddEdge(u, x, via, /*shortcut=*/true);
+      }
+    }
+  }
+
+  CHGraph Assemble(std::vector<int32_t> rank) {
+    CHGraph g;
+    g.num_nodes = n_;
+    g.fingerprint = CHGraph::NetworkFingerprint(net_);
+    g.rank = std::move(rank);
+
+    // Bucket the master edge set into the two CSR halves. Hash-map iteration
+    // order must not leak into the layout, so edges are materialized and
+    // sorted before filling.
+    struct FlatEdge {
+      NodeId u, v;
+      double w;
+      bool shortcut;
+    };
+    std::vector<FlatEdge> flat;
+    flat.reserve(edges_.size());
+    for (const auto& [key, e] : edges_) {
+      flat.push_back({static_cast<NodeId>(key >> 32),
+                      static_cast<NodeId>(key & 0xffffffffu), e.w,
+                      e.shortcut});
+    }
+    std::sort(flat.begin(), flat.end(), [](const FlatEdge& a,
+                                           const FlatEdge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+
+    std::vector<int32_t> up_count(n_ + 1, 0), down_count(n_ + 1, 0);
+    for (const FlatEdge& e : flat) {
+      if (e.shortcut) ++g.num_shortcuts;
+      if (g.rank[e.v] > g.rank[e.u]) {
+        ++up_count[e.u + 1];
+      } else {
+        ++down_count[e.v + 1];
+      }
+    }
+    for (int i = 0; i < n_; ++i) {
+      up_count[i + 1] += up_count[i];
+      down_count[i + 1] += down_count[i];
+    }
+    g.up_begin = up_count;
+    g.down_begin = down_count;
+    g.up_head.resize(g.up_begin[n_]);
+    g.up_weight.resize(g.up_head.size());
+    g.down_tail.resize(g.down_begin[n_]);
+    g.down_weight.resize(g.down_tail.size());
+    std::vector<int32_t> up_fill = g.up_begin, down_fill = g.down_begin;
+    for (const FlatEdge& e : flat) {
+      if (g.rank[e.v] > g.rank[e.u]) {
+        const int32_t i = up_fill[e.u]++;
+        g.up_head[i] = e.v;
+        g.up_weight[i] = e.w;
+      } else {
+        const int32_t i = down_fill[e.v]++;
+        g.down_tail[i] = e.u;
+        g.down_weight[i] = e.w;
+      }
+    }
+    // `flat` is sorted by (u, v): up buckets come out sorted by head. Down
+    // buckets are keyed by v, filled in u order — re-sort each bucket so the
+    // layout is canonical regardless of fill order.
+    for (NodeId v = 0; v < n_; ++v) {
+      const int32_t begin = g.down_begin[v], end = g.down_begin[v + 1];
+      std::vector<std::pair<NodeId, double>> bucket;
+      bucket.reserve(end - begin);
+      for (int32_t i = begin; i < end; ++i) {
+        bucket.push_back({g.down_tail[i], g.down_weight[i]});
+      }
+      std::sort(bucket.begin(), bucket.end());
+      for (int32_t i = begin; i < end; ++i) {
+        g.down_tail[i] = bucket[i - begin].first;
+        g.down_weight[i] = bucket[i - begin].second;
+      }
+    }
+    g.Finish();
+    return g;
+  }
+
+  const RoadNetwork& net_;
+  const CHConfig config_;
+  const int n_;
+  std::vector<std::vector<AdjEdge>> out_, in_;
+  std::vector<char> contracted_;
+  std::vector<int> deleted_neighbors_;
+  std::unordered_map<uint64_t, MasterEdge> edges_;
+  // Witness-search scratch, stamp-versioned like SegmentRouter's.
+  std::vector<double> dist_;
+  std::vector<int> stamp_;
+  int cur_stamp_ = 0;
+};
+
+}  // namespace
+
+CHGraph CHGraph::Build(const RoadNetwork& net, const CHConfig& config) {
+  CHECK(config.witness_settle_limit > 0);
+  Contractor contractor(net, config);
+  return contractor.Run();
+}
+
+uint64_t CHGraph::NetworkFingerprint(const RoadNetwork& net) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = MixHash(h, static_cast<uint64_t>(net.num_nodes()));
+  h = MixHash(h, static_cast<uint64_t>(net.num_segments()));
+  for (SegmentId sid = 0; sid < net.num_segments(); ++sid) {
+    const RoadSegment& seg = net.segment(sid);
+    h = MixHash(h, static_cast<uint64_t>(static_cast<uint32_t>(seg.from)));
+    h = MixHash(h, static_cast<uint64_t>(static_cast<uint32_t>(seg.to)));
+    h = MixHash(h, DoubleBits(seg.length));
+  }
+  return h;
+}
+
+std::string CHGraph::Validate() const {
+  if (num_nodes < 0) return "negative num_nodes";
+  const size_t n = static_cast<size_t>(num_nodes);
+  if (rank.size() != n) {
+    return core::StrFormat("rank size %zu != num_nodes %zu", rank.size(), n);
+  }
+  std::vector<char> seen(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    if (rank[v] < 0 || static_cast<size_t>(rank[v]) >= n || seen[rank[v]]) {
+      return core::StrFormat("rank[%zu]=%d is not part of a permutation", v,
+                             static_cast<int>(rank[v]));
+    }
+    seen[rank[v]] = 1;
+  }
+  const auto check_csr = [&](const std::vector<int32_t>& begin,
+                             const std::vector<NodeId>& other,
+                             const std::vector<double>& weight,
+                             const char* what) -> std::string {
+    if (begin.size() != n + 1) {
+      return core::StrFormat("%s begin size %zu != num_nodes + 1", what,
+                             begin.size());
+    }
+    if (!begin.empty() && begin[0] != 0) {
+      return core::StrFormat("%s begin[0] != 0", what);
+    }
+    if (other.size() != weight.size() ||
+        (begin.size() == n + 1 &&
+         static_cast<size_t>(begin[n]) != other.size())) {
+      return core::StrFormat("%s arrays disagree on edge count", what);
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (begin[v] > begin[v + 1]) {
+        return core::StrFormat("%s begin not monotone at node %zu", what, v);
+      }
+      for (int32_t i = begin[v]; i < begin[v + 1]; ++i) {
+        const NodeId o = other[i];
+        if (o < 0 || static_cast<size_t>(o) >= n) {
+          return core::StrFormat("%s edge %d endpoint %d out of range", what,
+                                 static_cast<int>(i), static_cast<int>(o));
+        }
+        // Both halves point at the higher-ranked endpoint from the lower one.
+        if (rank[o] <= rank[v]) {
+          return core::StrFormat("%s edge %d violates rank ordering", what,
+                                 static_cast<int>(i));
+        }
+        if (!std::isfinite(weight[i]) || weight[i] < 0.0) {
+          return core::StrFormat("%s edge %d has invalid weight", what,
+                                 static_cast<int>(i));
+        }
+      }
+    }
+    return "";
+  };
+  std::string err = check_csr(up_begin, up_head, up_weight, "up");
+  if (!err.empty()) return err;
+  err = check_csr(down_begin, down_tail, down_weight, "down");
+  if (!err.empty()) return err;
+  if (num_shortcuts < 0) return "negative num_shortcuts";
+  return "";
+}
+
+void CHGraph::Finish() {
+  nodes_by_rank_desc.assign(static_cast<size_t>(num_nodes), 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    nodes_by_rank_desc[static_cast<size_t>(num_nodes) - 1 -
+                       static_cast<size_t>(rank[v])] = v;
+  }
+}
+
+}  // namespace lhmm::network

@@ -1,0 +1,91 @@
+#ifndef LHMM_NETWORK_CONTRACTION_H_
+#define LHMM_NETWORK_CONTRACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/road_network.h"
+
+namespace lhmm::network {
+
+/// Knobs for the contraction-hierarchy preprocessing pass.
+struct CHConfig {
+  /// A witness search settles at most this many nodes before giving up and
+  /// conservatively inserting the shortcut. Truncation can only add redundant
+  /// shortcuts, never lose a shortest path, so correctness is independent of
+  /// the limit.
+  int witness_settle_limit = 400;
+};
+
+/// Preprocessed contraction hierarchy over a road network's node graph
+/// (OSRM-style: every node gets a rank, contracting a node inserts shortcut
+/// edges between its neighbors unless a witness path is at least as short).
+/// Parallel segments between the same node pair collapse to their minimum
+/// length: the hierarchy answers *distance* queries only; exact segment
+/// chains always come from the road network itself (see CHRouter).
+///
+/// The edge set is split into two CSR halves by rank:
+///  - `up_*`:   out-edges v -> up_head[i] with rank[up_head[i]] > rank[v];
+///  - `down_*`: in-edges down_tail[i] -> v with rank[down_tail[i]] > rank[v];
+/// together they cover every original (collapsed) edge plus every shortcut.
+/// By the standard CH property, for any reachable pair (a, b) some shortest
+/// a->b path is an up-then-down path over these halves.
+///
+/// Construction is fully deterministic (lazy edge-difference ordering with
+/// node-id tie-breaks), so the same network always yields the same hierarchy
+/// and the on-disk form (io/ch_io.h) is reproducible.
+struct CHGraph {
+  int32_t num_nodes = 0;
+  int64_t num_shortcuts = 0;
+  /// Fingerprint of the source network; guards against loading a hierarchy
+  /// preprocessed for a different graph.
+  uint64_t fingerprint = 0;
+
+  /// Node -> contraction rank, a permutation of [0, num_nodes): higher rank
+  /// means contracted later (more "important").
+  std::vector<int32_t> rank;
+
+  /// Upward half, CSR by tail node: for node v, entries
+  /// [up_begin[v], up_begin[v + 1]) are edges v -> up_head[i] of length
+  /// up_weight[i], each head ranked above v. Sorted by head id per node.
+  std::vector<int32_t> up_begin;
+  std::vector<NodeId> up_head;
+  std::vector<double> up_weight;
+
+  /// Downward half, CSR by *head* node: for node v, entries
+  /// [down_begin[v], down_begin[v + 1]) are edges down_tail[i] -> v of length
+  /// down_weight[i], each tail ranked above v. Sorted by tail id per node.
+  std::vector<int32_t> down_begin;
+  std::vector<NodeId> down_tail;
+  std::vector<double> down_weight;
+
+  /// Derived (not persisted): all nodes sorted by descending rank, the sweep
+  /// order used by CHRouter. Rebuilt by Finish().
+  std::vector<NodeId> nodes_by_rank_desc;
+
+  /// Runs the preprocessing pass. O(n log n)-ish on road-like graphs; cost is
+  /// paid once per network (or once ever, via io::SaveCHGraph).
+  static CHGraph Build(const RoadNetwork& net, const CHConfig& config = {});
+
+  /// Deterministic fingerprint of the network topology + lengths.
+  static uint64_t NetworkFingerprint(const RoadNetwork& net);
+
+  /// Validates structural invariants (rank permutation, CSR monotonicity,
+  /// heads/tails in range, finite non-negative weights, rank ordering per
+  /// edge). Returns an empty string when sound, else a description of the
+  /// first violation. Used by the loader before trusting untrusted bytes.
+  std::string Validate() const;
+
+  /// Rebuilds derived members after Build or a successful load.
+  void Finish();
+
+  int64_t num_up_edges() const { return static_cast<int64_t>(up_head.size()); }
+  int64_t num_down_edges() const {
+    return static_cast<int64_t>(down_tail.size());
+  }
+};
+
+}  // namespace lhmm::network
+
+#endif  // LHMM_NETWORK_CONTRACTION_H_

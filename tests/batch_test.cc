@@ -15,6 +15,8 @@
 #include "matchers/batch_matcher.h"
 #include "matchers/classic_matchers.h"
 #include "matchers/ivmm.h"
+#include "network/ch_router.h"
+#include "network/contraction.h"
 #include "network/generators.h"
 #include "network/grid_index.h"
 #include "network/path_cache.h"
@@ -201,11 +203,14 @@ class BatchDeterminismTest : public ::testing::Test {
     inputs.num_towers = static_cast<int>(ds_->towers.size());
     inputs.train = &ds_->train;
     model_ = new std::shared_ptr<lhmm::LhmmModel>(TrainLhmm(inputs, lhmm_cfg));
+    ch_ = new network::CHGraph(network::CHGraph::Build(ds_->network));
   }
   static void TearDownTestSuite() {
+    delete ch_;
     delete model_;
     delete index_;
     delete ds_;
+    ch_ = nullptr;
     model_ = nullptr;
     index_ = nullptr;
     ds_ = nullptr;
@@ -236,53 +241,127 @@ class BatchDeterminismTest : public ::testing::Test {
     return out;
   }
 
-  /// The determinism contract, checked bit-for-bit: identical matched paths,
-  /// identical candidate sets, identical metric doubles (== on doubles is
-  /// deliberate — "equivalent" is not enough).
+  /// Bit-for-bit output comparison: identical matched paths, identical
+  /// candidate sets, identical metric doubles (== on doubles is deliberate —
+  /// "equivalent" is not enough).
+  static void ExpectSameOutput(const BatchOutput& a, const BatchOutput& b,
+                               const std::string& label) {
+    ASSERT_EQ(a.results.size(), b.results.size()) << label;
+    for (size_t i = 0; i < a.results.size(); ++i) {
+      const matchers::MatchResult& ra = a.results[i];
+      const matchers::MatchResult& rb = b.results[i];
+      EXPECT_EQ(ra.path, rb.path) << label << " trajectory " << i;
+      EXPECT_EQ(ra.point_index, rb.point_index) << label << " trajectory " << i;
+      ASSERT_EQ(ra.candidates.size(), rb.candidates.size())
+          << label << " trajectory " << i;
+      for (size_t s = 0; s < ra.candidates.size(); ++s) {
+        ASSERT_EQ(ra.candidates[s].size(), rb.candidates[s].size()) << label;
+        for (size_t c = 0; c < ra.candidates[s].size(); ++c) {
+          EXPECT_EQ(ra.candidates[s][c].segment, rb.candidates[s][c].segment)
+              << label;
+          EXPECT_EQ(ra.candidates[s][c].observation,
+                    rb.candidates[s][c].observation)
+              << label;
+        }
+      }
+    }
+    ASSERT_EQ(a.records.size(), b.records.size()) << label;
+    for (size_t i = 0; i < a.records.size(); ++i) {
+      const eval::TrajectoryEval& ea = a.records[i];
+      const eval::TrajectoryEval& eb = b.records[i];
+      EXPECT_EQ(ea.index, eb.index) << label;
+      EXPECT_EQ(ea.metrics.precision, eb.metrics.precision)
+          << label << " trajectory " << i;
+      EXPECT_EQ(ea.metrics.recall, eb.metrics.recall)
+          << label << " trajectory " << i;
+      EXPECT_EQ(ea.metrics.rmf, eb.metrics.rmf) << label << " trajectory " << i;
+      EXPECT_EQ(ea.metrics.cmf, eb.metrics.cmf) << label << " trajectory " << i;
+      EXPECT_EQ(ea.hitting_ratio, eb.hitting_ratio)
+          << label << " trajectory " << i;
+    }
+  }
+
+  /// The thread-count determinism contract: serial vs 4 threads.
   static void ExpectByteIdentical(const matchers::MatcherFactory& factory) {
     const BatchOutput serial = Run(factory, 1);
     const BatchOutput parallel = Run(factory, 4);
     EXPECT_EQ(serial.stats.num_threads, 1);
     EXPECT_EQ(parallel.stats.num_threads, 4);
     EXPECT_EQ(parallel.stats.items, static_cast<int64_t>(ds_->test.size()));
-
-    ASSERT_EQ(serial.results.size(), parallel.results.size());
-    for (size_t i = 0; i < serial.results.size(); ++i) {
-      const matchers::MatchResult& a = serial.results[i];
-      const matchers::MatchResult& b = parallel.results[i];
-      EXPECT_EQ(a.path, b.path) << "trajectory " << i;
-      EXPECT_EQ(a.point_index, b.point_index) << "trajectory " << i;
-      ASSERT_EQ(a.candidates.size(), b.candidates.size()) << "trajectory " << i;
-      for (size_t s = 0; s < a.candidates.size(); ++s) {
-        ASSERT_EQ(a.candidates[s].size(), b.candidates[s].size());
-        for (size_t c = 0; c < a.candidates[s].size(); ++c) {
-          EXPECT_EQ(a.candidates[s][c].segment, b.candidates[s][c].segment);
-          EXPECT_EQ(a.candidates[s][c].observation,
-                    b.candidates[s][c].observation);
-        }
-      }
-    }
-    ASSERT_EQ(serial.records.size(), parallel.records.size());
-    for (size_t i = 0; i < serial.records.size(); ++i) {
-      const eval::TrajectoryEval& a = serial.records[i];
-      const eval::TrajectoryEval& b = parallel.records[i];
-      EXPECT_EQ(a.index, b.index);
-      EXPECT_EQ(a.metrics.precision, b.metrics.precision) << "trajectory " << i;
-      EXPECT_EQ(a.metrics.recall, b.metrics.recall) << "trajectory " << i;
-      EXPECT_EQ(a.metrics.rmf, b.metrics.rmf) << "trajectory " << i;
-      EXPECT_EQ(a.metrics.cmf, b.metrics.cmf) << "trajectory " << i;
-      EXPECT_EQ(a.hitting_ratio, b.hitting_ratio) << "trajectory " << i;
-    }
+    ExpectSameOutput(serial, parallel, "threads 1 vs 4");
   }
+
+  /// One batch run against a specific routing setup.
+  static BatchOutput RunBackend(const matchers::MatcherFactory& factory,
+                                int threads, network::RouterBackend backend,
+                                bool warm) {
+    traj::FilterConfig filters;
+    matchers::BatchConfig config;
+    config.num_threads = threads;
+    network::CachedRouter shared_cache =
+        backend == network::RouterBackend::kCH
+            ? network::CachedRouter(&ds_->network, ch_)
+            : network::CachedRouter(&ds_->network);
+    if (threads == kOwnedRouterThreads &&
+        backend == network::RouterBackend::kCH && !warm) {
+      // Exercise the BatchConfig router_backend path (the matcher builds and
+      // owns its CH-backed cache) instead of handing it a shared_router.
+      config.router_backend = backend;
+      config.ch_network = &ds_->network;
+      config.ch_graph = ch_;
+    } else {
+      if (warm) shared_cache.WarmAll(*index_, 1500.0);
+      config.shared_router = &shared_cache;
+    }
+    matchers::BatchMatcher batch(factory, config);
+    BatchOutput out;
+    out.records = eval::EvaluatePerTrajectoryParallel(&batch, ds_->network,
+                                                      ds_->test, filters);
+    std::vector<traj::Trajectory> cleaned;
+    for (const auto& mt : ds_->test) {
+      cleaned.push_back(eval::Preprocess(mt.cellular, filters));
+    }
+    out.results = batch.MatchAll(cleaned);
+    out.stats = batch.last_stats();
+    return out;
+  }
+
+  /// The routing-backend equivalence contract: every (backend, threads,
+  /// cache-temperature) combination produces byte-identical output. The cold
+  /// runs are the strong half — every route query actually executes (CH on
+  /// one side, plain Dijkstra on the other) instead of being served from a
+  /// pre-warmed table.
+  static void ExpectBackendsByteIdentical(
+      const matchers::MatcherFactory& factory) {
+    const BatchOutput oracle =
+        RunBackend(factory, 1, network::RouterBackend::kDijkstra, false);
+    ExpectSameOutput(
+        oracle, RunBackend(factory, 1, network::RouterBackend::kCH, false),
+        "ch cold 1 thread");
+    ExpectSameOutput(
+        oracle, RunBackend(factory, 8, network::RouterBackend::kCH, false),
+        "ch cold 8 threads (owned router)");
+    ExpectSameOutput(
+        oracle,
+        RunBackend(factory, 8, network::RouterBackend::kDijkstra, true),
+        "dijkstra warm 8 threads");
+    ExpectSameOutput(
+        oracle, RunBackend(factory, 8, network::RouterBackend::kCH, true),
+        "ch warm 8 threads");
+  }
+
+  static constexpr int kOwnedRouterThreads = 8;
 
   static sim::Dataset* ds_;
   static network::GridIndex* index_;
   static std::shared_ptr<lhmm::LhmmModel>* model_;
+  static network::CHGraph* ch_;
 };
 
 sim::Dataset* BatchDeterminismTest::ds_ = nullptr;
 network::GridIndex* BatchDeterminismTest::index_ = nullptr;
 std::shared_ptr<lhmm::LhmmModel>* BatchDeterminismTest::model_ = nullptr;
+network::CHGraph* BatchDeterminismTest::ch_ = nullptr;
 
 TEST_F(BatchDeterminismTest, ClassicHmmWithShortcuts) {
   const network::RoadNetwork* net = &ds_->network;
@@ -310,6 +389,44 @@ TEST_F(BatchDeterminismTest, Lhmm) {
   const network::GridIndex* index = index_;
   std::shared_ptr<lhmm::LhmmModel> model = *model_;
   ExpectByteIdentical([=] {
+    return std::make_unique<lhmm::LhmmMatcher>(net, index, model);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Routing-backend equivalence: the full matching pipeline (preprocessing,
+// candidates, Viterbi, shortcut pass, path expansion, metrics) produces
+// byte-identical output whether route queries run plain bounded Dijkstra or
+// the corridor-pruned contraction hierarchy — cold and warm, serial and
+// 8-way parallel.
+// ---------------------------------------------------------------------------
+
+TEST_F(BatchDeterminismTest, ChBackendByteIdenticalClassicHmmWithShortcuts) {
+  const network::RoadNetwork* net = &ds_->network;
+  const network::GridIndex* index = index_;
+  hmm::ClassicModelConfig models;
+  hmm::EngineConfig engine;
+  engine.k = 12;
+  engine.use_shortcuts = true;
+  ExpectBackendsByteIdentical([=] {
+    return std::make_unique<matchers::StmMatcher>(net, index, models, engine);
+  });
+}
+
+TEST_F(BatchDeterminismTest, ChBackendByteIdenticalIvmm) {
+  const network::RoadNetwork* net = &ds_->network;
+  const network::GridIndex* index = index_;
+  hmm::ClassicModelConfig models;
+  ExpectBackendsByteIdentical([=] {
+    return std::make_unique<matchers::IvmmMatcher>(net, index, models, 10);
+  });
+}
+
+TEST_F(BatchDeterminismTest, ChBackendByteIdenticalLhmm) {
+  const network::RoadNetwork* net = &ds_->network;
+  const network::GridIndex* index = index_;
+  std::shared_ptr<lhmm::LhmmModel> model = *model_;
+  ExpectBackendsByteIdentical([=] {
     return std::make_unique<lhmm::LhmmMatcher>(net, index, model);
   });
 }

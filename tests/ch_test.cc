@@ -1,0 +1,383 @@
+// Differential and persistence tests for the contraction-hierarchy routing
+// backend. The CH contract is not "approximately as good as Dijkstra" but
+// *bit-identical*: every length, every segment chain (including tie-breaks),
+// and every nullopt must match SegmentRouter exactly, because matched output
+// downstream is compared byte-for-byte across backends. These tests enforce
+// that across ~200 randomized synthetic networks, tie-heavy uniform grids,
+// and handcrafted edge cases, then cover the on-disk form: round-trip
+// fidelity and typed rejection of truncated/corrupted files.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "io/ch_io.h"
+#include "io/fault_file.h"
+#include "network/ch_router.h"
+#include "network/contraction.h"
+#include "network/generators.h"
+#include "network/path_cache.h"
+#include "network/road_network.h"
+#include "network/shortest_path.h"
+
+namespace lhmm::network {
+namespace {
+
+/// Exact equality, including tie-broken chains. Lengths must match as
+/// doubles (no tolerance): both backends run the identical summation.
+void ExpectSameRoute(const std::optional<Route>& want,
+                     const std::optional<Route>& got, const std::string& ctx) {
+  ASSERT_EQ(want.has_value(), got.has_value()) << ctx;
+  if (!want.has_value()) return;
+  EXPECT_EQ(want->length, got->length) << ctx;
+  ASSERT_EQ(want->segments, got->segments) << ctx;
+}
+
+/// Runs a randomized query battery over one network, comparing CHRouter
+/// against SegmentRouter: RouteMany with duplicate/self targets, Route1,
+/// bounds tightened to exactly the route length and to just under it, and
+/// node-to-node distances.
+void RunDifferential(const RoadNetwork& net, uint64_t seed, int num_queries) {
+  if (net.num_segments() == 0) return;
+  const CHGraph ch = CHGraph::Build(net);
+  SegmentRouter dijkstra(&net);
+  CHRouter accelerated(&net, &ch);
+  core::Rng rng(seed);
+
+  for (int q = 0; q < num_queries; ++q) {
+    const SegmentId from = rng.UniformInt(net.num_segments());
+    const int num_targets = 1 + rng.UniformInt(50);
+    std::vector<SegmentId> targets;
+    targets.reserve(num_targets);
+    for (int t = 0; t < num_targets; ++t) {
+      if (rng.Bernoulli(0.05)) {
+        targets.push_back(from);  // Self target.
+      } else if (!targets.empty() && rng.Bernoulli(0.1)) {
+        targets.push_back(targets[rng.UniformInt(
+            static_cast<int>(targets.size()))]);  // Duplicate target.
+      } else {
+        targets.push_back(rng.UniformInt(net.num_segments()));
+      }
+    }
+    const double bound = rng.Uniform(150.0, 6000.0);
+    const std::vector<std::optional<Route>> want =
+        dijkstra.RouteMany(from, targets, bound);
+    const std::vector<std::optional<Route>> got =
+        accelerated.RouteMany(from, targets, bound);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ExpectSameRoute(want[i], got[i],
+                      "RouteMany q=" + std::to_string(q) +
+                          " i=" + std::to_string(i));
+      if (!want[i].has_value() || targets[i] == from) continue;
+      // Tight bounds around an exact route length are where a sloppy
+      // corridor would diverge first: exactly at the length the route must
+      // survive, just below it both backends must drop to nullopt together.
+      const double len = want[i]->length;
+      ExpectSameRoute(dijkstra.Route1(from, targets[i], len),
+                      accelerated.Route1(from, targets[i], len),
+                      "tight bound q=" + std::to_string(q));
+      const double below = std::nextafter(len, 0.0);
+      ExpectSameRoute(dijkstra.Route1(from, targets[i], below),
+                      accelerated.Route1(from, targets[i], below),
+                      "under bound q=" + std::to_string(q));
+    }
+    const NodeId a = rng.UniformInt(net.num_nodes());
+    const NodeId b = rng.UniformInt(net.num_nodes());
+    EXPECT_EQ(dijkstra.NodeDistance(a, b, bound),
+              accelerated.NodeDistance(a, b, bound))
+        << "NodeDistance q=" << q;
+  }
+}
+
+TEST(CHDifferentialTest, RandomizedCityNetworks) {
+  // ~200 random synthetic city networks spanning tiny-and-dense to
+  // mid-sized-and-sparse, each hit with a randomized query battery.
+  core::Rng meta(20260807);
+  for (int i = 0; i < 200; ++i) {
+    CityNetworkConfig cfg;
+    cfg.width = meta.Uniform(900.0, 3200.0);
+    cfg.height = meta.Uniform(900.0, 2800.0);
+    cfg.core_spacing = meta.Uniform(140.0, 280.0);
+    cfg.edge_spacing = cfg.core_spacing + meta.Uniform(0.0, 350.0);
+    cfg.jitter_frac = meta.Uniform(0.0, 0.3);
+    cfg.drop_prob = meta.Uniform(0.0, 0.25);
+    cfg.seed = 1000 + i;
+    const RoadNetwork net = GenerateCityNetwork(cfg);
+    SCOPED_TRACE("network " + std::to_string(i) + " nodes=" +
+                 std::to_string(net.num_nodes()));
+    RunDifferential(net, /*seed=*/40000 + i, /*num_queries=*/8);
+  }
+}
+
+TEST(CHDifferentialTest, UniformGridExactTies) {
+  // A perfectly uniform grid is the tie-break acid test: nearly every pair
+  // has many equal-length routes and every length is an exact multiple of
+  // the spacing, so any deviation in parent selection shows up as a
+  // different (equally short) chain. Must match exactly anyway.
+  const RoadNetwork net = GenerateGridNetwork(10, 10, 200.0);
+  RunDifferential(net, /*seed=*/7, /*num_queries=*/60);
+  const CHGraph ch = CHGraph::Build(net);
+  SegmentRouter dijkstra(&net);
+  CHRouter accelerated(&net, &ch);
+  // Dense sweep with bounds sitting exactly on tie values.
+  for (SegmentId from = 0; from < net.num_segments(); from += 17) {
+    std::vector<SegmentId> targets;
+    for (SegmentId to = 0; to < net.num_segments(); to += 11) {
+      targets.push_back(to);
+    }
+    for (const double bound : {200.0, 600.0, 1400.0, 4000.0}) {
+      const auto want = dijkstra.RouteMany(from, targets, bound);
+      const auto got = accelerated.RouteMany(from, targets, bound);
+      for (size_t i = 0; i < want.size(); ++i) {
+        ExpectSameRoute(want[i], got[i],
+                        "grid from=" + std::to_string(from) +
+                            " bound=" + std::to_string(bound));
+      }
+    }
+  }
+}
+
+TEST(CHDifferentialTest, HandcraftedEdgeCases) {
+  // One-way ring: everything reachable one way round, never the other.
+  RoadNetwork ring;
+  const NodeId a = ring.AddNode({0, 0});
+  const NodeId b = ring.AddNode({100, 0});
+  const NodeId c = ring.AddNode({100, 100});
+  const NodeId d = ring.AddNode({0, 100});
+  ring.AddSegment(a, b, 10.0, RoadLevel::kLocal);
+  ring.AddSegment(b, c, 10.0, RoadLevel::kLocal);
+  ring.AddSegment(c, d, 10.0, RoadLevel::kLocal);
+  ring.AddSegment(d, a, 10.0, RoadLevel::kLocal);
+  const CHGraph ch = CHGraph::Build(ring);
+  SegmentRouter dijkstra(&ring);
+  CHRouter accelerated(&ring, &ch);
+
+  for (SegmentId from = 0; from < ring.num_segments(); ++from) {
+    for (SegmentId to = 0; to < ring.num_segments(); ++to) {
+      for (const double bound : {0.0, 99.0, 100.0, 150.0, 400.0, 1e6}) {
+        ExpectSameRoute(dijkstra.Route1(from, to, bound),
+                        accelerated.Route1(from, to, bound),
+                        "ring " + std::to_string(from) + "->" +
+                            std::to_string(to) + " bound=" +
+                            std::to_string(bound));
+      }
+    }
+  }
+  // Self route: zero length, single-segment chain, even under a zero bound.
+  const std::optional<Route> self = accelerated.Route1(2, 2, 0.0);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->length, 0.0);
+  EXPECT_EQ(self->segments, std::vector<SegmentId>({2}));
+  // Adjacent segments connect with zero connecting length.
+  const std::optional<Route> adjacent = accelerated.Route1(0, 1, 0.0);
+  ASSERT_TRUE(adjacent.has_value());
+  EXPECT_EQ(adjacent->length, 0.0);
+  EXPECT_EQ(adjacent->segments, std::vector<SegmentId>({0, 1}));
+
+  // Two disconnected components: cross-component queries are nullopt from
+  // both backends, and contraction on a disconnected graph is well-formed.
+  RoadNetwork split;
+  const NodeId p = split.AddNode({0, 0});
+  const NodeId q = split.AddNode({50, 0});
+  const NodeId r = split.AddNode({5000, 0});
+  const NodeId s = split.AddNode({5050, 0});
+  split.AddTwoWay(p, q, 10.0, RoadLevel::kLocal);
+  split.AddTwoWay(r, s, 10.0, RoadLevel::kLocal);
+  const CHGraph ch2 = CHGraph::Build(split);
+  SegmentRouter d2(&split);
+  CHRouter a2(&split, &ch2);
+  for (SegmentId from = 0; from < split.num_segments(); ++from) {
+    for (SegmentId to = 0; to < split.num_segments(); ++to) {
+      ExpectSameRoute(d2.Route1(from, to, 1e9), a2.Route1(from, to, 1e9),
+                      "split " + std::to_string(from) + "->" +
+                          std::to_string(to));
+    }
+  }
+  EXPECT_FALSE(a2.Route1(0, 2, 1e9).has_value());
+
+  // Parallel edges between one node pair: the hierarchy collapses them to
+  // the minimum internally, results still come from the real graph.
+  RoadNetwork parallel;
+  const NodeId u = parallel.AddNode({0, 0});
+  const NodeId v = parallel.AddNode({100, 0});
+  const NodeId w = parallel.AddNode({200, 0});
+  parallel.AddSegment(u, v, 10.0, RoadLevel::kLocal);
+  parallel.AddSegment(u, v, 10.0, RoadLevel::kArterial);  // Longer twin.
+  parallel.AddSegment(v, w, 10.0, RoadLevel::kLocal);
+  parallel.AddSegment(w, u, 10.0, RoadLevel::kLocal);
+  const CHGraph ch3 = CHGraph::Build(parallel);
+  SegmentRouter d3(&parallel);
+  CHRouter a3(&parallel, &ch3);
+  for (SegmentId from = 0; from < parallel.num_segments(); ++from) {
+    for (SegmentId to = 0; to < parallel.num_segments(); ++to) {
+      ExpectSameRoute(d3.Route1(from, to, 1e9), a3.Route1(from, to, 1e9),
+                      "parallel " + std::to_string(from) + "->" +
+                          std::to_string(to));
+    }
+  }
+}
+
+TEST(CHRouterTest, CorridorReuseAcrossColumnPattern) {
+  const RoadNetwork net = GenerateGridNetwork(8, 8, 150.0);
+  const CHGraph ch = CHGraph::Build(net);
+  CHRouter router(&net, &ch);
+  const std::vector<SegmentId> targets = {3, 9, 27, 51, 60};
+  std::vector<std::optional<Route>> first =
+      router.RouteMany(5, targets, 2000.0);
+  EXPECT_EQ(router.corridor_builds(), 1);
+  // Same target set + bound from a different source: the HMM column shape.
+  std::vector<std::optional<Route>> second =
+      router.RouteMany(14, targets, 2000.0);
+  EXPECT_EQ(router.corridor_builds(), 1);
+  EXPECT_EQ(router.corridor_reuses(), 1);
+  // Changing the bound invalidates the corridor.
+  (void)router.RouteMany(14, targets, 2500.0);
+  EXPECT_EQ(router.corridor_builds(), 2);
+}
+
+TEST(CHRouterTest, WorksBehindCachedRouter) {
+  const RoadNetwork net = GenerateGridNetwork(9, 7, 180.0);
+  const CHGraph ch = CHGraph::Build(net);
+  CachedRouter dijkstra_cache(&net);
+  CachedRouter ch_cache(&net, &ch);
+  core::Rng rng(99);
+  for (int q = 0; q < 200; ++q) {
+    const SegmentId from = rng.UniformInt(net.num_segments());
+    const SegmentId to = rng.UniformInt(net.num_segments());
+    const double bound = rng.Uniform(100.0, 2500.0);
+    ExpectSameRoute(dijkstra_cache.Route1(from, to, bound),
+                    ch_cache.Route1(from, to, bound),
+                    "cached q=" + std::to_string(q));
+  }
+  EXPECT_GT(ch_cache.misses(), 0);
+}
+
+class CHPersistenceTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "ch_io_" + name;
+  }
+};
+
+TEST_F(CHPersistenceTest, RoundTripPreservesEverything) {
+  CityNetworkConfig cfg;
+  cfg.width = 2500.0;
+  cfg.height = 2000.0;
+  cfg.seed = 321;
+  const RoadNetwork net = GenerateCityNetwork(cfg);
+  const CHGraph built = CHGraph::Build(net);
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(io::SaveCHGraph(built, path).ok());
+
+  core::Result<CHGraph> loaded = io::LoadCHGraph(path, &net);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes, built.num_nodes);
+  EXPECT_EQ(loaded->num_shortcuts, built.num_shortcuts);
+  EXPECT_EQ(loaded->fingerprint, built.fingerprint);
+  EXPECT_EQ(loaded->rank, built.rank);
+  EXPECT_EQ(loaded->up_begin, built.up_begin);
+  EXPECT_EQ(loaded->up_head, built.up_head);
+  EXPECT_EQ(loaded->up_weight, built.up_weight);
+  EXPECT_EQ(loaded->down_begin, built.down_begin);
+  EXPECT_EQ(loaded->down_tail, built.down_tail);
+  EXPECT_EQ(loaded->down_weight, built.down_weight);
+  EXPECT_EQ(loaded->nodes_by_rank_desc, built.nodes_by_rank_desc);
+
+  // A router over the loaded hierarchy answers identically to Dijkstra.
+  SegmentRouter dijkstra(&net);
+  CHRouter accelerated(&net, &*loaded);
+  core::Rng rng(17);
+  for (int q = 0; q < 50; ++q) {
+    const SegmentId from = rng.UniformInt(net.num_segments());
+    const SegmentId to = rng.UniformInt(net.num_segments());
+    const double bound = rng.Uniform(200.0, 4000.0);
+    ExpectSameRoute(dijkstra.Route1(from, to, bound),
+                    accelerated.Route1(from, to, bound),
+                    "loaded q=" + std::to_string(q));
+  }
+}
+
+TEST_F(CHPersistenceTest, RejectsWrongNetwork) {
+  const RoadNetwork net = GenerateGridNetwork(6, 6, 100.0);
+  const RoadNetwork other = GenerateGridNetwork(6, 6, 120.0);
+  const std::string path = TempPath("wrong_net.bin");
+  ASSERT_TRUE(io::SaveCHGraph(CHGraph::Build(net), path).ok());
+  core::Result<CHGraph> loaded = io::LoadCHGraph(path, &other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("different network"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(CHPersistenceTest, RejectsCorruptionWithTypedOffsetErrors) {
+  const RoadNetwork net = GenerateGridNetwork(7, 5, 140.0);
+  const std::string golden = TempPath("golden.bin");
+  ASSERT_TRUE(io::SaveCHGraph(CHGraph::Build(net), golden).ok());
+  core::Result<int64_t> size = io::FileSize(golden);
+  ASSERT_TRUE(size.ok());
+  ASSERT_GT(*size, 64);
+
+  struct Corruption {
+    const char* name;
+    std::function<core::Status(const std::string&)> inject;
+  };
+  const std::string overwrite(24, '\x5a');
+  const std::vector<Corruption> cases = {
+      {"torn tail",
+       [](const std::string& p) { return io::TornTail(p, 5); }},
+      {"torn tail crc only",
+       [](const std::string& p) { return io::TornTail(p, 2); }},
+      {"header only",
+       [](const std::string& p) { return io::ShortenFileTo(p, 12); }},
+      {"empty file",
+       [](const std::string& p) { return io::ShortenFileTo(p, 0); }},
+      {"bit flip in header",
+       [](const std::string& p) { return io::FlipBit(p, 10, 3); }},
+      {"bit flip mid payload",
+       [size](const std::string& p) { return io::FlipBit(p, *size / 2, 6); }},
+      {"bit flip in crc",
+       [](const std::string& p) { return io::FlipBit(p, -2, 1); }},
+      {"garbage mid payload",
+       [&overwrite](const std::string& p) {
+         return io::InjectGarbage(p, 40, overwrite);
+       }},
+      {"bad magic",
+       [](const std::string& p) {
+         return io::InjectGarbage(p, 0, std::string("NOTACHDB"));
+       }},
+  };
+  for (const Corruption& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string path = TempPath("corrupt.bin");
+    // Fresh copy per case.
+    {
+      std::ifstream in(golden, std::ios::binary);
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << in.rdbuf();
+    }
+    ASSERT_TRUE(c.inject(path).ok());
+    core::Result<CHGraph> loaded = io::LoadCHGraph(path, &net);
+    ASSERT_FALSE(loaded.ok());
+    // Every corruption error names the file; structural ones carry offsets.
+    EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
+TEST_F(CHPersistenceTest, MissingFileIsNotFound) {
+  core::Result<CHGraph> loaded =
+      io::LoadCHGraph(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lhmm::network

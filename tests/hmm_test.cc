@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <unordered_set>
 
@@ -554,6 +555,132 @@ TEST_P(EngineKSweepTest, MatchedPathConnectedForAnyK) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, EngineKSweepTest, ::testing::Values(1, 2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// SoA Viterbi column kernel vs the scalar reference.
+// ---------------------------------------------------------------------------
+
+constexpr double kKernelNegInf = -std::numeric_limits<double>::infinity();
+
+/// Checks the SoA kernel against the reference on one matrix + f_prev,
+/// requiring exact equality of scores *and* predecessors (the kernels must be
+/// bit-compatible, not merely numerically close).
+void ExpectKernelsAgree(const WeightMatrix& w, const std::vector<double>& f_prev) {
+  std::vector<double> f_soa(w.cols, 123.0), f_ref(w.cols, 456.0);
+  std::vector<int> pre_soa(w.cols, 7), pre_ref(w.cols, 9);
+  ViterbiColumnSoA(w, f_prev.data(), f_soa.data(), pre_soa.data());
+  ViterbiColumnReference(w, f_prev.data(), f_ref.data(), pre_ref.data());
+  for (int k = 0; k < w.cols; ++k) {
+    // Exact comparison on purpose: identical evaluation order must yield
+    // identical doubles. (EXPECT_EQ on -inf == -inf is fine.)
+    EXPECT_EQ(f_soa[k], f_ref[k]) << "k=" << k;
+    EXPECT_EQ(pre_soa[k], pre_ref[k]) << "k=" << k;
+  }
+}
+
+class SoAKernelPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoAKernelPropertyTest, MatchesScalarReferenceOnRandomColumns) {
+  core::Rng rng(9000 + GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const int rows = rng.UniformInt(1, 24);
+    const int cols = rng.UniformInt(1, 24);
+    WeightMatrix w;
+    w.Reset(rows, cols);
+    for (int j = 0; j < rows; ++j) {
+      for (int k = 0; k < cols; ++k) {
+        // Mix of reachable / unreachable pairs; weights include zeros,
+        // negatives, and exact duplicates (Set still records a weight for
+        // unreachable pairs, as the engine does for the shortcut pass).
+        const bool reachable = rng.Uniform() < 0.7;
+        double weight = rng.Uniform(-5.0, 5.0);
+        if (rng.Uniform() < 0.2) weight = 0.0;
+        if (rng.Uniform() < 0.1) weight = 1.25;  // Force score ties.
+        w.Set(j, k, weight, reachable);
+      }
+    }
+    std::vector<double> f_prev(rows);
+    for (int j = 0; j < rows; ++j) {
+      // -inf rows exercise the SoA kernel's row-skip fast path.
+      f_prev[j] = rng.Uniform() < 0.25 ? kKernelNegInf : rng.Uniform(-10.0, 10.0);
+    }
+    ExpectKernelsAgree(w, f_prev);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoAKernelPropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(SoAKernelTest, AllNegInfPreviousColumnYieldsBreakColumn) {
+  // The PR-3 break-recovery path feeds the kernel a fully -inf f_prev (no
+  // candidate at s-1 was reachable). Every output must be -inf / -1 so the
+  // engine's break detection fires.
+  WeightMatrix w;
+  w.Reset(4, 6);
+  core::Rng rng(77);
+  for (int j = 0; j < 4; ++j) {
+    for (int k = 0; k < 6; ++k) w.Set(j, k, rng.Uniform(-2.0, 2.0), true);
+  }
+  const std::vector<double> f_prev(4, kKernelNegInf);
+  std::vector<double> f_cur(6, 0.0);
+  std::vector<int> pre(6, 0);
+  ViterbiColumnSoA(w, f_prev.data(), f_cur.data(), pre.data());
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(f_cur[k], kKernelNegInf);
+    EXPECT_EQ(pre[k], -1);
+  }
+  ExpectKernelsAgree(w, f_prev);
+}
+
+TEST(SoAKernelTest, AllUnreachableMatrixYieldsBreakColumn) {
+  // A column where no (j, k) pair has a route: the engine's break recovery
+  // must see -inf everywhere even though finite weights are stored.
+  WeightMatrix w;
+  w.Reset(3, 5);
+  for (int j = 0; j < 3; ++j) {
+    for (int k = 0; k < 5; ++k) w.Set(j, k, 1.0 + j + k, false);
+  }
+  const std::vector<double> f_prev = {0.5, kKernelNegInf, 2.0};
+  std::vector<double> f_cur(5, 9.0);
+  std::vector<int> pre(5, 9);
+  ViterbiColumnSoA(w, f_prev.data(), f_cur.data(), pre.data());
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(f_cur[k], kKernelNegInf);
+    EXPECT_EQ(pre[k], -1);
+  }
+  ExpectKernelsAgree(w, f_prev);
+}
+
+TEST(SoAKernelTest, TiesKeepFirstMaximizer) {
+  // Two rows produce the exact same score for every column; the strict `>`
+  // must keep the lower row index, in both kernels.
+  WeightMatrix w;
+  w.Reset(3, 4);
+  for (int k = 0; k < 4; ++k) {
+    w.Set(0, k, 1.0, true);
+    w.Set(1, k, 1.0, true);
+    w.Set(2, k, 0.5, true);
+  }
+  const std::vector<double> f_prev = {2.0, 2.0, 2.5};
+  std::vector<double> f_cur(4);
+  std::vector<int> pre(4);
+  ViterbiColumnSoA(w, f_prev.data(), f_cur.data(), pre.data());
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(f_cur[k], 3.0);
+    EXPECT_EQ(pre[k], 0) << "tie must resolve to the first maximizer";
+  }
+  ExpectKernelsAgree(w, f_prev);
+}
+
+TEST(SoAKernelTest, SingleRowSingleColumn) {
+  WeightMatrix w;
+  w.Reset(1, 1);
+  w.Set(0, 0, -3.5, true);
+  ExpectKernelsAgree(w, {1.5});
+  w.Set(0, 0, -3.5, false);
+  ExpectKernelsAgree(w, {1.5});
+  ExpectKernelsAgree(w, {kKernelNegInf});
+}
 
 }  // namespace
 }  // namespace lhmm::hmm

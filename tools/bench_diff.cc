@@ -1,0 +1,176 @@
+// bench_diff: compares a current benchmark JSON against a committed
+// baseline (both written by `bench_micro --json <path> --suite <name>`)
+// and fails on regressions, so speedups are *tracked*, not re-asserted
+// from scratch on every machine.
+//
+//   bench_diff <baseline.json> <current.json> [--tol 0.25]
+//
+// Comparison rules, by key suffix:
+//   *_speedup            higher is better; regression when
+//                        current < baseline * (1 - tol). Speedups are
+//                        ratios of two runs on the same machine, so they
+//                        transfer across machines.
+//   *_us, *_ms           wall-clock; lower is better. Normalized by the
+//                        ratio of the two files' `calib_us` (a fixed spin
+//                        loop timed at emit, measuring machine speed)
+//                        before checking current > baseline * (1 + tol).
+//   everything else      informational only (workload shape, counters).
+//
+// If either file was produced by a sanitizer build (`"sanitized": 1`),
+// all timing comparisons are skipped and the diff passes vacuously:
+// sanitizer slowdowns are not performance regressions.
+//
+// Exit codes: 0 pass, 1 regression, 2 usage/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  std::string key;
+  double value = 0.0;
+};
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Parses the flat one-level JSON bench_micro writes: one `"key": number`
+// pair per line. Not a general JSON parser on purpose — anything this
+// cannot read is a malformed bench file and should fail loudly.
+bool ParseFlatJson(const char* path, std::vector<Entry>* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const char* q1 = std::strchr(line, '"');
+    if (q1 == nullptr) continue;  // Braces and blank lines.
+    const char* q2 = std::strchr(q1 + 1, '"');
+    const char* colon = q2 != nullptr ? std::strchr(q2, ':') : nullptr;
+    if (colon == nullptr) {
+      std::fprintf(stderr, "bench_diff: malformed line in %s: %s", path, line);
+      std::fclose(f);
+      return false;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(colon + 1, &end);
+    if (end == colon + 1) {
+      std::fprintf(stderr, "bench_diff: non-numeric value in %s: %s", path,
+                   line);
+      std::fclose(f);
+      return false;
+    }
+    out->push_back({std::string(q1 + 1, q2), value});
+  }
+  std::fclose(f);
+  if (out->empty()) {
+    std::fprintf(stderr, "bench_diff: no entries in %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+double Lookup(const std::vector<Entry>& entries, const char* key,
+              double fallback) {
+  for (const Entry& e : entries) {
+    if (e.key == key) return e.value;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* cur_path = nullptr;
+  double tol = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      tol = std::strtod(argv[++i], &end);
+      if (end == argv[i] || tol < 0.0) {
+        std::fprintf(stderr, "bench_diff: bad --tol %s\n", argv[i]);
+        return 2;
+      }
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cur_path == nullptr) {
+      cur_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_diff <baseline.json> <current.json>"
+                   " [--tol 0.25]\n");
+      return 2;
+    }
+  }
+  if (base_path == nullptr || cur_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json>"
+                 " [--tol 0.25]\n");
+    return 2;
+  }
+
+  std::vector<Entry> base, cur;
+  if (!ParseFlatJson(base_path, &base) || !ParseFlatJson(cur_path, &cur)) {
+    return 2;
+  }
+
+  if (Lookup(base, "sanitized", 0.0) != 0.0 ||
+      Lookup(cur, "sanitized", 0.0) != 0.0) {
+    std::printf(
+        "bench_diff: sanitizer build detected — timing comparison skipped\n");
+    return 0;
+  }
+
+  // Wall-clock normalization: calib_us grows on slower machines, so scale
+  // current wall metrics by baseline_calib / current_calib to compare as
+  // if both ran on the baseline machine.
+  const double base_calib = Lookup(base, "calib_us", 0.0);
+  const double cur_calib = Lookup(cur, "calib_us", 0.0);
+  const double wall_scale =
+      (base_calib > 0.0 && cur_calib > 0.0) ? base_calib / cur_calib : 1.0;
+
+  int regressions = 0;
+  int compared = 0;
+  for (const Entry& b : base) {
+    if (b.key == "calib_us" || b.key == "sanitized") continue;
+    const bool speedup = EndsWith(b.key, "_speedup");
+    const bool wall = EndsWith(b.key, "_us") || EndsWith(b.key, "_ms");
+    if (!speedup && !wall) continue;
+    const double c = Lookup(cur, b.key.c_str(), -1.0);
+    if (c < 0.0) {
+      std::fprintf(stderr, "bench_diff: %s missing from %s\n", b.key.c_str(),
+                   cur_path);
+      return 2;
+    }
+    ++compared;
+    if (speedup) {
+      const bool bad = c < b.value * (1.0 - tol);
+      std::printf("  %-28s %8.3f -> %8.3f  %s\n", b.key.c_str(), b.value, c,
+                  bad ? "REGRESSED" : "ok");
+      regressions += bad ? 1 : 0;
+    } else {
+      const double scaled = c * wall_scale;
+      const bool bad = scaled > b.value * (1.0 + tol);
+      std::printf("  %-28s %8.3f -> %8.3f (scaled %.3f)  %s\n", b.key.c_str(),
+                  b.value, c, scaled, bad ? "REGRESSED" : "ok");
+      regressions += bad ? 1 : 0;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_diff: nothing comparable in %s\n", base_path);
+    return 2;
+  }
+  std::printf("bench_diff: %d metric(s), %d regression(s), tol %.0f%%\n",
+              compared, regressions, tol * 100.0);
+  return regressions > 0 ? 1 : 0;
+}

@@ -14,13 +14,14 @@ BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=address
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test io_test network_test hmm_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test io_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
 
 # ASan aborts with a non-zero exit on the first bad access, so a plain run is
 # the assertion. The suite leans on the paths where lifetimes are trickiest:
 # the StreamEngine's deferred session teardown (quarantine/eviction racing a
 # blocked pump), MatchServer drain/restore (checkpointed sessions re-created
-# from disk), io_test's parsers over corrupt input, and the loadgen fleet
+# from disk), io_test's parsers over corrupt input, ch_test's CH build/persistence
+# (including deliberately corrupted hierarchy files), and the loadgen fleet
 # exercising the whole serving stack concurrently.
 export ASAN_OPTIONS="halt_on_error=1:detect_stack_use_after_return=1"
 cd "${BUILD_DIR}"
@@ -31,6 +32,7 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
 ./tests/io_test
 ./tests/network_test
 ./tests/hmm_test
+./tests/ch_test
 ./tools/lhmm_loadgen --smoke 1
 ./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
   --serve-bin ./tools/lhmm_serve --threads 8

@@ -13,7 +13,7 @@ BUILD_DIR=build-tsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test network_test hmm_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
 
 # TSan halts with a non-zero exit on the first data race, so a plain run is
 # the assertion. batch_test covers the thread pool, the sharded route cache
@@ -29,7 +29,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # engine at 1 and 8 threads (recovery's PushBlocking waits out worker-side
 # backpressure); the crash gauntlet kill -9s a TSan-instrumented lhmm_serve
 # mid-stream and recovers it; network_test and hmm_test cover the serial
-# users of the same code paths.
+# users of the same code paths; ch_test exercises the contraction-hierarchy
+# router (shared across threads behind CachedRouter) and BatchDeterminism's
+# ChBackend tests run it cold under 8-way parallel matching.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
@@ -38,6 +40,7 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
 ./tests/durability_test
 ./tests/network_test
 ./tests/hmm_test
+./tests/ch_test
 ./tools/lhmm_loadgen --smoke 1
 ./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
   --serve-bin ./tools/lhmm_serve --threads 8

@@ -1,0 +1,152 @@
+#include "srv/frame.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/strings.h"
+
+namespace lhmm::srv {
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out->push_back(kFrameMagic);
+  out->push_back(kFrameVersion);
+  out->push_back(static_cast<char>(len & 0xff));
+  out->push_back(static_cast<char>((len >> 8) & 0xff));
+  out->push_back(static_cast<char>((len >> 16) & 0xff));
+  out->push_back(static_cast<char>((len >> 24) & 0xff));
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &out);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+core::Status FrameDecoder::Feed(const void* data, size_t n,
+                                std::vector<std::string>* out) {
+  if (!error_.ok()) return error_;
+  buf_.append(static_cast<const char*>(data), n);
+  // Validate header bytes as soon as they arrive — a garbage stream is
+  // rejected on its first byte, not after a length's worth of buffering.
+  for (;;) {
+    if (!buf_.empty() && buf_[0] != kFrameMagic) {
+      error_ = core::Status::InvalidArgument(core::StrFormat(
+          "bad frame magic 0x%02x (want 0x%02x)",
+          static_cast<unsigned char>(buf_[0]),
+          static_cast<unsigned char>(kFrameMagic)));
+      return error_;
+    }
+    if (buf_.size() >= 2 && buf_[1] != kFrameVersion) {
+      error_ = core::Status::InvalidArgument(core::StrFormat(
+          "unsupported frame version 0x%02x (want 0x%02x)",
+          static_cast<unsigned char>(buf_[1]),
+          static_cast<unsigned char>(kFrameVersion)));
+      return error_;
+    }
+    if (buf_.size() < kFrameHeaderBytes) return core::Status::Ok();
+    const uint32_t len =
+        static_cast<uint32_t>(static_cast<unsigned char>(buf_[2])) |
+        static_cast<uint32_t>(static_cast<unsigned char>(buf_[3])) << 8 |
+        static_cast<uint32_t>(static_cast<unsigned char>(buf_[4])) << 16 |
+        static_cast<uint32_t>(static_cast<unsigned char>(buf_[5])) << 24;
+    if (len > max_frame_bytes_) {
+      error_ = core::Status::InvalidArgument(core::StrFormat(
+          "frame length %u exceeds limit %zu", len, max_frame_bytes_));
+      return error_;
+    }
+    if (buf_.size() < kFrameHeaderBytes + len) return core::Status::Ok();
+    out->emplace_back(buf_, kFrameHeaderBytes, len);
+    buf_.erase(0, kFrameHeaderBytes + len);
+  }
+}
+
+core::Status FrameDecoder::End() const {
+  if (!error_.ok()) return error_;
+  if (buf_.empty()) return core::Status::Ok();
+  return core::Status::InvalidArgument(core::StrFormat(
+      "truncated frame: stream ended with %zu byte(s) of a partial %s",
+      buf_.size(), buf_.size() < kFrameHeaderBytes ? "header" : "payload"));
+}
+
+core::Status WriteFrame(int fd, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return core::Status::Unavailable("connection closed by peer");
+      }
+      return core::Status::IoError(
+          core::StrFormat("send: %s", strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return core::Status::Ok();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns the count actually read (short only at
+/// EOF) or a negative errno-style failure surfaced as a Status by callers.
+core::Result<size_t> ReadFull(int fd, char* out, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = read(fd, out + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::IoError(
+          core::StrFormat("read: %s", strerror(errno)));
+    }
+    if (r == 0) break;  // EOF.
+    off += static_cast<size_t>(r);
+  }
+  return off;
+}
+
+}  // namespace
+
+core::Result<std::string> ReadFrame(int fd, size_t max_frame_bytes) {
+  char header[kFrameHeaderBytes];
+  core::Result<size_t> got = ReadFull(fd, header, sizeof(header));
+  if (!got.ok()) return got.status();
+  if (*got == 0) return core::Status::Unavailable("connection closed");
+  if (*got < sizeof(header)) {
+    return core::Status::IoError(core::StrFormat(
+        "connection cut mid-frame (%zu of %zu header bytes)", *got,
+        sizeof(header)));
+  }
+  // Run the header through the shared decoder so client- and server-side
+  // validation agree byte for byte.
+  FrameDecoder decoder(max_frame_bytes);
+  std::vector<std::string> frames;
+  LHMM_RETURN_IF_ERROR(decoder.Feed(header, sizeof(header), &frames));
+  if (!frames.empty()) return std::move(frames[0]);  // Zero-length payload.
+  const uint32_t len =
+      static_cast<uint32_t>(static_cast<unsigned char>(header[2])) |
+      static_cast<uint32_t>(static_cast<unsigned char>(header[3])) << 8 |
+      static_cast<uint32_t>(static_cast<unsigned char>(header[4])) << 16 |
+      static_cast<uint32_t>(static_cast<unsigned char>(header[5])) << 24;
+  std::string payload(len, '\0');
+  got = ReadFull(fd, payload.data(), payload.size());
+  if (!got.ok()) return got.status();
+  if (*got < payload.size()) {
+    return core::Status::IoError(core::StrFormat(
+        "connection cut mid-frame (%zu of %zu payload bytes)", *got,
+        payload.size()));
+  }
+  return payload;
+}
+
+}  // namespace lhmm::srv

@@ -1,0 +1,84 @@
+#ifndef LHMM_SRV_FRAME_H_
+#define LHMM_SRV_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lhmm::srv {
+
+/// Wire framing for the lhmm_serve TCP transport. One frame carries one
+/// protocol line (request or response), without its trailing newline:
+///
+///   byte 0      magic 'L'
+///   byte 1      version 0x01
+///   bytes 2..5  payload length, uint32 little-endian
+///   bytes 6..   payload (opaque bytes; the serve protocol puts a verb line
+///               here, but the codec itself never inspects them)
+///
+/// The codec is incremental and byte-boundary agnostic: FrameDecoder::Feed
+/// accepts arbitrary chunks (a single byte, half a header, three frames plus
+/// a partial fourth) and emits exactly the payload sequence that was encoded.
+/// Every malformed input is a typed error, never a silent resync: a bad magic
+/// or version byte and an over-limit length each poison the decoder with
+/// kInvalidArgument, because a byte stream is unrecoverable once framing is
+/// lost — the owning connection must be dropped.
+inline constexpr char kFrameMagic = 'L';
+inline constexpr char kFrameVersion = 0x01;
+inline constexpr size_t kFrameHeaderBytes = 6;
+/// Default payload-size limit; a length field above the decoder's limit is
+/// rejected before any payload is buffered, so a garbage header cannot make
+/// the decoder allocate unbounded memory.
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Appends the framed encoding of `payload` to `*out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// The framed encoding of `payload` as a fresh string.
+std::string EncodeFrame(std::string_view payload);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Consumes `n` bytes and appends every payload completed by them to
+  /// `*out`. Returns kInvalidArgument (and poisons the decoder) on a bad
+  /// magic byte, an unsupported version, or a length above the limit; once
+  /// poisoned every further Feed returns the same error.
+  core::Status Feed(const void* data, size_t n, std::vector<std::string>* out);
+
+  /// End-of-stream check: OK at a frame boundary, kInvalidArgument when the
+  /// stream ended inside a header or payload (a truncated frame).
+  core::Status End() const;
+
+  /// True when the decoder sits exactly at a frame boundary (no partial
+  /// header or payload buffered).
+  bool idle() const { return buf_.empty() && !poisoned(); }
+  bool poisoned() const { return !error_.ok(); }
+  /// Bytes of the in-progress frame buffered so far.
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  core::Status error_;
+};
+
+/// Blocking client-side helpers over a connected stream socket. Both retry
+/// EINTR and handle partial transfers; WriteFrame sends with MSG_NOSIGNAL so
+/// a dead peer is a typed kUnavailable, not a SIGPIPE.
+core::Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one full frame. Typed failures: kUnavailable when the peer closed
+/// cleanly at a frame boundary, kIoError on a read error or a connection cut
+/// mid-frame, kInvalidArgument on malformed framing.
+core::Result<std::string> ReadFrame(
+    int fd, size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_FRAME_H_

@@ -303,7 +303,24 @@ core::Status MatchServer::Drain(const std::string& path) {
 
   std::vector<int64_t> finish_instead;
   core::Result<ServerSnapshot> snap = CaptureSnapshot(&finish_instead);
-  if (!snap.ok()) return snap.status();
+  if (!snap.ok()) {
+    draining_ = false;
+    return snap.status();
+  }
+  // Write the snapshot BEFORE committing any session-state change: a drain
+  // that cannot complete (unwritable path, full disk) must leave the server
+  // serving, not wedged in a draining state with its sessions closed and no
+  // snapshot on disk. Concretely, lhmm_serve's EOF/SIGTERM shutdown skips
+  // its own --snapshot drain when draining() is already true — before this
+  // ordering, a failed `drain` verb made that skip silently lose every live
+  // session. Now drain-vs-EOF is deterministic: a successful drain verb wins
+  // (shutdown skips), a failed one leaves the server live so shutdown
+  // completes the drain itself.
+  const core::Status saved = SaveServerSnapshot(*snap, path);
+  if (!saved.ok()) {
+    draining_ = false;
+    return saved;
+  }
   for (const SessionRecord& rec : snap->sessions) {
     sessions_[rec.server_id].open = false;
   }
@@ -315,7 +332,7 @@ core::Status MatchServer::Drain(const std::string& path) {
   }
   if (!finish_instead.empty()) engine_->Barrier();
 
-  return SaveServerSnapshot(*snap, path);
+  return core::Status::Ok();
 }
 
 core::Result<std::unique_ptr<MatchServer>> MatchServer::Restore(

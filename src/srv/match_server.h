@@ -201,6 +201,9 @@ class MatchServer {
   /// session, and writes the versioned snapshot to `path` atomically. Live
   /// sessions whose family cannot checkpoint are finished instead (their
   /// output is final, not resumable). The server stays queryable afterwards.
+  /// On failure no state changes: the server resumes serving (draining()
+  /// stays false, every session stays open), so the caller can retry with a
+  /// writable path or fall through to its shutdown drain.
   core::Status Drain(const std::string& path);
 
   /// Brings up a server from a Drain() snapshot: every checkpointed session

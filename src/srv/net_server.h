@@ -1,0 +1,158 @@
+#ifndef LHMM_SRV_NET_SERVER_H_
+#define LHMM_SRV_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "srv/frame.h"
+#include "srv/match_server.h"
+
+namespace lhmm::srv {
+
+/// Knobs shared by every transport that dispatches protocol lines.
+struct CommandOptions {
+  /// Durable servers: write a snapshot + compact the journal every N ticks
+  /// (0 = only via the checkpoint verb and at shutdown).
+  int checkpoint_every = 0;
+};
+
+/// Dispatches one line of the serve protocol (the verbs documented atop
+/// tools/lhmm_serve.cc) against a MatchServer and renders the one-line
+/// response. The stdin loop and the TCP transport both run every verb through
+/// this class, so the two paths answer byte-identically by construction —
+/// the socket tests then prove it end to end.
+///
+/// Threading contract: producer-side, exactly like MatchServer.
+class CommandProcessor {
+ public:
+  explicit CommandProcessor(MatchServer* server,
+                            const CommandOptions& options = {});
+
+  /// Handles `line` and writes the response (no trailing newline) to
+  /// `*response`. Returns false when the line produces no response: blank
+  /// lines, '#' comments, and the quit verb (which sets *quit instead).
+  /// Refusals are typed "err <Code> <message>" responses, never a dropped
+  /// request.
+  bool Process(const std::string& line, std::string* response, bool* quit);
+
+ private:
+  MatchServer* server_;
+  CommandOptions options_;
+};
+
+/// Configuration of the TCP front end.
+struct NetServerConfig {
+  /// Numeric listen address; "0.0.0.0" binds every interface.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; NetServer::port() reports the bound one.
+  int port = 0;
+  int backlog = 128;
+  /// Request frames above this are rejected with a typed err frame and the
+  /// connection is closed (framing is unrecoverable past a bad header).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection write-queue backpressure: while a connection's unsent
+  /// response bytes exceed this (a slow or stopped reader), further requests
+  /// from it are answered with "err ResourceExhausted ..." instead of being
+  /// processed — the same typed-reject contract as srv::Admission, one layer
+  /// out. Queue growth stays bounded by the client's own send rate because a
+  /// shed request costs one small err frame and no server work.
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Connections with no complete request for this many logical ticks are
+  /// reaped (half-open peers, idle keepalives). Rides the server's existing
+  /// idle-TTL clock: only `tick` verbs advance time. 0 = never reap.
+  int64_t conn_idle_ttl = 0;
+  /// Poll timeout: the cadence at which the loop re-checks its stop flag
+  /// when no socket is ready.
+  int poll_interval_ms = 100;
+  /// Test hook: SO_SNDBUF for accepted sockets (0 = kernel default). Small
+  /// values make write-queue backpressure reachable with little traffic.
+  int so_sndbuf = 0;
+};
+
+/// Counters published by NetServer. Written only by the Run loop; read them
+/// after Run returns (tests join the serving thread first).
+struct NetMetrics {
+  int64_t accepted = 0;
+  int64_t closed = 0;            ///< All closes, any reason.
+  int64_t frames_in = 0;         ///< Complete request frames decoded.
+  int64_t frames_out = 0;        ///< Response frames queued (incl. rejects).
+  int64_t frames_shed = 0;       ///< Typed write-queue backpressure rejects.
+  int64_t codec_errors = 0;      ///< Connections dropped for bad framing.
+  int64_t reaped_idle = 0;       ///< Connections reaped by the idle TTL.
+  int64_t peer_disconnects = 0;  ///< Peer closed/reset, incl. mid-frame.
+};
+
+/// The TCP transport of the serving stack: a poll-driven accept loop
+/// multiplexing every connection on the producer thread. One request frame in
+/// → one response frame out, in order, per connection; all verbs funnel
+/// through CommandProcessor into the single MatchServer, so the producer-side
+/// determinism contract is untouched — worker parallelism stays inside the
+/// StreamEngine.
+///
+/// Lifecycle: Listen() binds, Run() serves until the stop flag goes true
+/// (lhmm_serve's SIGTERM/SIGINT handler sets it) or a client sends the quit
+/// verb; either way the loop stops accepting, flushes every queued response,
+/// closes all connections, and returns — the caller then runs the usual
+/// checkpoint/drain shutdown. Abrupt peer disconnects (including mid-frame)
+/// free the connection without disturbing any other; sessions are server
+/// state, not connection state, so a reconnecting client can resume by id.
+class NetServer {
+ public:
+  NetServer(MatchServer* server, const CommandOptions& cmd_options,
+            const NetServerConfig& config);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and listens on config.host:config.port. After OK, port() is the
+  /// bound port (resolving an ephemeral 0).
+  core::Status Listen();
+  int port() const { return port_; }
+
+  /// Serves until `stop` goes true or a quit verb arrives. Requires a prior
+  /// successful Listen().
+  core::Status Run(const std::atomic<bool>& stop);
+
+  /// Valid once Run has returned.
+  const NetMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string out;       ///< Encoded response frames not yet written.
+    size_t out_off = 0;    ///< Prefix of `out` already written.
+    int64_t last_active = 0;  ///< Clock at the last complete request.
+    bool closing = false;  ///< Flush remaining output, then close.
+
+    explicit Conn(size_t max_frame) : decoder(max_frame) {}
+    size_t pending() const { return out.size() - out_off; }
+  };
+
+  void Accept();
+  /// Reads and dispatches everything available on `conn`; returns false when
+  /// the connection must be dropped now (peer gone).
+  bool HandleReadable(Conn* conn, bool* quit);
+  /// Writes as much queued output as the socket takes; returns false when the
+  /// connection is finished (flushed a closing conn, or the peer is gone).
+  bool FlushWrites(Conn* conn);
+  void QueueResponse(Conn* conn, std::string_view response);
+  void CloseConn(Conn* conn);
+
+  MatchServer* server_;
+  CommandProcessor processor_;
+  NetServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  NetMetrics metrics_;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_NET_SERVER_H_

@@ -29,11 +29,32 @@
 //
 //   lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
 //                --serve-bin build/tools/lhmm_serve --threads 8
+//
+// With --transport socket the same gauntlet drives lhmm_serve over its TCP
+// frame protocol (--listen 127.0.0.1:0 --port-file, length-prefixed frames)
+// instead of stdin pipes — same verbs, same kill points, same byte-identity
+// requirement, so the socket transport earns exactly the durability story the
+// stdin path already has.
+//
+// Net smoke (--net-smoke 1): spawns lhmm_serve on a loopback listener and
+// drives it with a fleet of REAL concurrent TCP connections (--connections,
+// default 256) — every connection established before the first timed request,
+// each running an open/push*/finish session over frames — then reports
+// p50/p99/p999 round-trip latency. Any protocol failure, typed reject, or
+// lost response is a nonzero exit, so CI runs it as a socket soak test.
+//
+//   lhmm_loadgen --net-smoke 1 --connections 256 \
+//                --serve-bin build/tools/lhmm_serve --threads 4
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
@@ -42,8 +63,10 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rng.h"
@@ -56,6 +79,7 @@
 #include "network/faulty_router.h"
 #include "network/generators.h"
 #include "network/grid_index.h"
+#include "srv/frame.h"
 #include "srv/match_server.h"
 #include "traj/trajectory.h"
 
@@ -139,12 +163,36 @@ struct Tally {
 // Crash gauntlet: SIGKILL a real lhmm_serve mid-stream, recover, diff.
 // ---------------------------------------------------------------------------
 
-/// A spawned lhmm_serve with a pipe pair for its line protocol. The child's
-/// stderr is inherited so recovery reports land in the harness log.
+/// Blocking loopback connect with retry: 256 simultaneous dials can overflow
+/// the listener's accept backlog, so a refused/failed attempt backs off and
+/// tries again instead of failing the run.
+int DialLoopback(int port, int attempts = 200) {
+  for (int i = 0; i < attempts; ++i) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    close(fd);
+    usleep(2000);
+  }
+  return -1;
+}
+
+/// A spawned lhmm_serve with a pipe pair for its line protocol (the default)
+/// or a loopback socket speaking the frame protocol (StartSocket). The
+/// child's stderr is inherited so recovery reports land in the harness log.
 struct ServeProc {
   pid_t pid = -1;
   FILE* to = nullptr;    ///< Our write end of the child's stdin.
   FILE* from = nullptr;  ///< Our read end of the child's stdout.
+  int sock = -1;         ///< Frame-protocol connection; -1 = pipe transport.
+  int port = 0;          ///< Bound port in socket mode.
+  std::string port_file;
 
   bool Start(const std::vector<std::string>& argv_strs) {
     int in_pipe[2];
@@ -182,9 +230,78 @@ struct ServeProc {
     return to != nullptr && from != nullptr;
   }
 
-  /// One protocol round trip: send a line, read the one-line response
-  /// (without its trailing newline). Empty string means the child is gone.
+  /// Socket transport: spawns the server with --listen 127.0.0.1:0 and a
+  /// --port-file, waits for the atomically-published port, and connects one
+  /// frame-protocol client. Cmd() then speaks frames over this socket.
+  bool StartSocket(std::vector<std::string> argv_strs) {
+    char tmpl[] = "/tmp/lhmm-port-XXXXXX";
+    const int tfd = mkstemp(tmpl);
+    if (tfd < 0) {
+      perror("mkstemp");
+      return false;
+    }
+    close(tfd);
+    unlink(tmpl);  // The child publishes it fresh via rename.
+    port_file = tmpl;
+    const std::vector<std::string> extra = {"--listen", "127.0.0.1:0",
+                                            "--port-file", port_file};
+    argv_strs.insert(argv_strs.end(), extra.begin(), extra.end());
+    pid = fork();
+    if (pid < 0) {
+      perror("fork");
+      return false;
+    }
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(argv_strs.size() + 1);
+      for (const std::string& a : argv_strs) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      perror("execv");
+      _exit(127);
+    }
+    // Poll for the published port (rename makes a partial read impossible).
+    for (int i = 0; i < 5000; ++i) {
+      FILE* f = fopen(port_file.c_str(), "r");
+      if (f != nullptr) {
+        const int got = fscanf(f, "%d", &port);
+        fclose(f);
+        if (got == 1 && port > 0) break;
+      }
+      int status = 0;
+      if (waitpid(pid, &status, WNOHANG) == pid) {
+        fprintf(stderr, "socket transport: server died before publishing "
+                        "its port\n");
+        pid = -1;
+        return false;
+      }
+      usleep(2000);
+    }
+    if (port <= 0) {
+      fprintf(stderr, "socket transport: no port published in %s\n",
+              port_file.c_str());
+      return false;
+    }
+    sock = DialLoopback(port);
+    if (sock < 0) {
+      fprintf(stderr, "socket transport: cannot connect to 127.0.0.1:%d\n",
+              port);
+      return false;
+    }
+    return true;
+  }
+
+  /// One protocol round trip — a line over the pipes or a frame over the
+  /// socket, whichever transport this ServeProc runs. Empty string means the
+  /// child is gone.
   std::string Cmd(const std::string& line) {
+    if (sock >= 0) {
+      if (!srv::WriteFrame(sock, line).ok()) return "";
+      core::Result<std::string> resp = srv::ReadFrame(sock);
+      return resp.ok() ? *resp : "";
+    }
     fprintf(to, "%s\n", line.c_str());
     fflush(to);
     char* buf = nullptr;
@@ -200,12 +317,16 @@ struct ServeProc {
     if (pid > 0) kill(pid, SIGKILL);
   }
 
-  /// Closes the pipes and reaps the child; returns its raw wait status.
+  /// Closes the transport and reaps the child; returns its raw wait status.
   int Wait() {
     if (to != nullptr) fclose(to);
     if (from != nullptr) fclose(from);
     to = nullptr;
     from = nullptr;
+    if (sock >= 0) close(sock);
+    sock = -1;
+    if (!port_file.empty()) unlink(port_file.c_str());
+    port_file.clear();
     int status = 0;
     if (pid > 0) waitpid(pid, &status, 0);
     pid = -1;
@@ -215,8 +336,12 @@ struct ServeProc {
   /// Graceful shutdown; true when the child exited 0 (its shutdown
   /// checkpoint, if durable, succeeded).
   bool Quit() {
-    fprintf(to, "quit\n");
-    fflush(to);
+    if (sock >= 0) {
+      (void)srv::WriteFrame(sock, "quit");  // No response frame by design.
+    } else {
+      fprintf(to, "quit\n");
+      fflush(to);
+    }
     const int status = Wait();
     return WIFEXITED(status) && WEXITSTATUS(status) == 0;
   }
@@ -403,6 +528,19 @@ int RunCrashGauntlet(const std::map<std::string, std::string>& args) {
   const int points = GetInt(args, "points", 30);
   const int threads = GetInt(args, "threads", 4);
   const std::string fault_mode = Get(args, "crash-fault", "cycle");
+  const std::string transport = Get(args, "transport", "stdin");
+  if (transport != "stdin" && transport != "socket") {
+    fprintf(stderr, "crash-gauntlet: --transport must be stdin or socket\n");
+    return 2;
+  }
+  const bool over_socket = transport == "socket";
+  // Same gauntlet, either transport: the dispatcher is shared, so the socket
+  // path must survive every kill point the stdin path survives, with
+  // byte-identical committed output.
+  const auto start = [over_socket](ServeProc* sp,
+                                   std::vector<std::string> argv) {
+    return over_socket ? sp->StartSocket(std::move(argv)) : sp->Start(argv);
+  };
   std::vector<int> crash_at;
   {
     std::stringstream ss(Get(args, "crash-at", ""));
@@ -427,14 +565,15 @@ int RunCrashGauntlet(const std::map<std::string, std::string>& args) {
   const std::string threads_str = std::to_string(threads);
 
   printf("crash-gauntlet: %d sessions x %d points, %d threads, %zu crash "
-         "points, fault=%s\n",
-         sessions, points, threads, crash_at.size(), fault_mode.c_str());
+         "points, fault=%s, transport=%s\n",
+         sessions, points, threads, crash_at.size(), fault_mode.c_str(),
+         transport.c_str());
 
   // The oracle: same binary, same workload, never interrupted, no journal.
   std::vector<std::string> oracle;
   {
     ServeProc sp;
-    if (!sp.Start({serve_bin, "--threads", threads_str})) return 1;
+    if (!start(&sp, {serve_bin, "--threads", threads_str})) return 1;
     DriveResult r = Drive(&sp, sessions, points, /*crash_after=*/-1,
                           /*durable=*/false);
     sp.Quit();
@@ -460,7 +599,7 @@ int RunCrashGauntlet(const std::map<std::string, std::string>& args) {
         "--fsync",  "record"};
 
     ServeProc victim;
-    if (!victim.Start(serve_args)) return 1;
+    if (!start(&victim, serve_args)) return 1;
     DriveResult d = Drive(&victim, sessions, points, k, /*durable=*/true);
     if (!d.ok || !d.crashed) {
       fprintf(stderr, "crash-gauntlet: crash-at=%d never fired\n", k);
@@ -473,7 +612,7 @@ int RunCrashGauntlet(const std::map<std::string, std::string>& args) {
     }
 
     ServeProc revived;
-    if (!revived.Start(serve_args)) return 1;
+    if (!start(&revived, serve_args)) return 1;
     std::vector<std::string> committed;
     int64_t resumed = 0;
     const bool resumed_ok =
@@ -514,10 +653,139 @@ int RunCrashGauntlet(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Net smoke: a concurrent loopback fleet with latency percentiles.
+// ---------------------------------------------------------------------------
+
+/// Spawns lhmm_serve on a loopback listener and drives it with `connections`
+/// REAL concurrent TCP connections. Every connection is established before
+/// the first timed request (a start barrier), then each runs one
+/// open/push*/finish session over the frame protocol, timing every round
+/// trip. Reports p50/p99/p999; any protocol failure or lost response exits
+/// nonzero.
+int RunNetSmoke(const std::map<std::string, std::string>& args) {
+  const std::string serve_bin = Get(args, "serve-bin", "");
+  if (serve_bin.empty()) {
+    fprintf(stderr, "net-smoke: --net-smoke requires --serve-bin\n");
+    return 2;
+  }
+  const int connections = GetInt(args, "connections", 256);
+  const int pushes = std::max(2, GetInt(args, "pushes", 8));
+  const int threads = GetInt(args, "threads", 4);
+
+  ServeProc sp;
+  if (!sp.StartSocket({serve_bin, "--threads", std::to_string(threads)})) {
+    return 1;
+  }
+  printf("net-smoke: %d connections x %d pushes, %d server threads, "
+         "port %d\n",
+         connections, pushes, threads, sp.port);
+
+  std::atomic<int> connected{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> go{false};
+  std::mutex mu;
+  std::vector<double> lat_us;  // Round-trip latencies, microseconds.
+  lat_us.reserve(static_cast<size_t>(connections) * (pushes + 2));
+
+  std::vector<std::thread> fleet;
+  fleet.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    fleet.emplace_back([&, c] {
+      const int fd = DialLoopback(sp.port);
+      ++connected;
+      if (fd < 0) {
+        ++failures;
+        return;
+      }
+      // Barrier: requests start only once the WHOLE fleet is connected, so
+      // the percentiles below are measured with `connections` live sockets.
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+      std::vector<double> local;
+      local.reserve(pushes + 2);
+      const auto trip = [fd, &local](const std::string& line) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string out;
+        if (srv::WriteFrame(fd, line).ok()) {
+          core::Result<std::string> resp = srv::ReadFrame(fd);
+          if (resp.ok()) out = *std::move(resp);
+        }
+        local.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+        return out;
+      };
+
+      bool ok = true;
+      long long id = -1;
+      if (sscanf(trip("open").c_str(), "ok open %lld", &id) != 1) ok = false;
+      for (int p = 0; ok && p < pushes; ++p) {
+        ok = trip(PushLine(static_cast<int>(id), p, pushes))
+                 .rfind("ok push", 0) == 0;
+      }
+      if (ok) {
+        ok = trip(core::StrFormat("finish %lld", id)).rfind("ok finish", 0) ==
+             0;
+      }
+      close(fd);
+      if (!ok) ++failures;
+      std::lock_guard<std::mutex> lock(mu);
+      lat_us.insert(lat_us.end(), local.begin(), local.end());
+    });
+  }
+  while (connected.load() < connections) std::this_thread::yield();
+  const auto t_start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : fleet) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t_start)
+                             .count();
+
+  // Settle the engine through the control connection, then shut down clean.
+  const bool awaited = sp.Cmd("await") == "ok await";
+  const bool clean_exit = sp.Quit();
+
+  const size_t expected =
+      static_cast<size_t>(connections) * (static_cast<size_t>(pushes) + 2);
+  std::sort(lat_us.begin(), lat_us.end());
+  if (!lat_us.empty()) {
+    const auto pct = [&lat_us](double q) {
+      const size_t i = static_cast<size_t>(q * lat_us.size());
+      return lat_us[std::min(i, lat_us.size() - 1)];
+    };
+    printf("net-smoke: %zu round trips in %.0f ms, p50=%.0fus p99=%.0fus "
+           "p999=%.0fus max=%.0fus\n",
+           lat_us.size(), wall_ms, pct(0.50), pct(0.99), pct(0.999),
+           lat_us.back());
+  }
+
+  int rc = 0;
+  if (failures.load() != 0) {
+    fprintf(stderr, "net-smoke: %d connections FAILED their session\n",
+            failures.load());
+    rc = 1;
+  }
+  if (lat_us.size() != expected) {
+    fprintf(stderr, "net-smoke: expected %zu responses, timed %zu — "
+                    "requests were lost\n",
+            expected, lat_us.size());
+    rc = 1;
+  }
+  if (!awaited || !clean_exit) {
+    fprintf(stderr, "net-smoke: shutdown failed (await=%d clean_exit=%d)\n",
+            awaited, clean_exit);
+    rc = 1;
+  }
+  if (rc == 0) printf("net-smoke: OK\n");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = ParseArgs(argc, argv);
+  if (GetInt(args, "net-smoke", 0) != 0) return RunNetSmoke(args);
   if (args.count("crash-at") != 0) return RunCrashGauntlet(args);
   const bool smoke = GetInt(args, "smoke", 0) != 0;
 

@@ -1,9 +1,10 @@
 // lhmm_serve — the serving front end as a process: srv::MatchServer behind a
-// line protocol on stdin, with graceful drain on SIGTERM. One line in, one
-// line out, so it scripts from a shell, a test harness, or a socket relay:
+// line protocol on stdin (the default), or behind a real TCP listener with
+// --listen HOST:PORT, with graceful drain on SIGTERM. One line in, one line
+// out, so it scripts from a shell, a test harness, or a socket client:
 //
 //   open                          -> ok open <id> tier=<name>
-//   push <id> <x> <y> <t> <tower> -> ok push <id> committed=<total>
+//   push <id> <x> <y> <t> <tower> -> ok push <id>
 //   finish <id>                   -> ok finish <id>
 //   deadline <id> <tick>          -> ok deadline <id>
 //   tick <now>                    -> ok tick <clock> tier=<name>
@@ -34,10 +35,21 @@
 // the events past the last fsync; a restart with the same --durable dir
 // replays the rest byte-identically.
 //
+// TCP transport: --listen HOST:PORT serves the same verbs over per-connection
+// length-prefixed frames (src/srv/frame.h documents the wire format) through
+// a poll-driven accept loop — one request frame in, one response frame out,
+// in order, per connection. Slow readers get typed kResourceExhausted rejects
+// once their write queue fills (--max-write-queue bytes), half-open peers are
+// reaped after --conn-ttl idle logical ticks, and SIGTERM/SIGINT stops
+// accepting, flushes every queued response, then runs the same
+// checkpoint/snapshot shutdown as stdin mode. --port-file PATH publishes the
+// bound port (useful with --listen 127.0.0.1:0) for test harnesses.
+//
 // The road network is a generated grid (--grid-rows/--grid-cols/--spacing)
 // or a dataset bundle (--data <prefix>). Tiers: with --data and --model, the
 // full paper ladder LHMM -> IVMM -> STM; otherwise IVMM -> STM.
 
+#include <atomic>
 #include <csignal>
 #include <cinttypes>
 #include <cstdio>
@@ -45,7 +57,6 @@
 #include <iostream>
 #include <map>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,6 +74,7 @@
 #include "network/generators.h"
 #include "network/grid_index.h"
 #include "srv/match_server.h"
+#include "srv/net_server.h"
 #include "srv/recovery.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
@@ -71,7 +83,11 @@ namespace L = ::lhmm::lhmm;
 namespace {
 
 volatile std::sig_atomic_t g_terminate = 0;
-void OnTerminate(int) { g_terminate = 1; }
+std::atomic<bool> g_stop{false};  // Lock-free: safe to set from the handler.
+void OnTerminate(int) {
+  g_terminate = 1;
+  g_stop.store(true, std::memory_order_relaxed);
+}
 
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
   std::map<std::string, std::string> out;
@@ -101,19 +117,25 @@ double GetDouble(const std::map<std::string, std::string>& args,
   return core::ParseDouble(Get(args, key), &v) ? v : fallback;
 }
 
-void Err(const core::Status& s) {
-  printf("err %s %s\n", core::StatusCodeName(s.code()), s.message().c_str());
+/// Splits "HOST:PORT" on the last colon. Returns false on a malformed spec.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = spec.substr(0, colon);
+  if (*host == "localhost") *host = "127.0.0.1";
+  return core::ParseInt(spec.substr(colon + 1), port) && *port >= 0 &&
+         *port <= 65535;
 }
 
-const char* StateName(matchers::SessionState s) {
-  switch (s) {
-    case matchers::SessionState::kLive: return "live";
-    case matchers::SessionState::kFinished: return "finished";
-    case matchers::SessionState::kEvicted: return "evicted";
-    case matchers::SessionState::kExpired: return "expired";
-    case matchers::SessionState::kPoisoned: return "poisoned";
-  }
-  return "unknown";
+/// Publishes the bound port for test harnesses (--port-file): written to a
+/// temp file then renamed, so a waiting reader never sees a partial write.
+bool WritePortFile(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  fprintf(f, "%d\n", port);
+  fclose(f);
+  return rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 }  // namespace
@@ -321,141 +343,61 @@ int main(int argc, char** argv) {
   fprintf(stderr, "lhmm_serve: %zu tiers, tier0=%s; ready\n", tiers.size(),
           server->active_tier_name().c_str());
 
-  std::string line;
-  bool quit = false;
-  while (!quit && !g_terminate && std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string cmd;
-    if (!(in >> cmd) || cmd[0] == '#') continue;
-    if (cmd == "quit") {
-      quit = true;
-    } else if (cmd == "open") {
-      core::Result<int64_t> id = server->OpenSession();
-      if (!id.ok()) {
-        Err(id.status());
-      } else {
-        printf("ok open %" PRId64 " tier=%s\n", *id,
-               server->tier_name(server->session_tier(*id)).c_str());
+  // Both transports dispatch through the same CommandProcessor, so the TCP
+  // path answers byte-identically to the stdin path by construction.
+  srv::CommandOptions cmd_options;
+  cmd_options.checkpoint_every = checkpoint_every;
+
+  const std::string listen = Get(args, "listen");
+  if (!listen.empty()) {
+    // --- TCP mode: length-prefixed frames over a poll-driven accept loop. ---
+    srv::NetServerConfig net;
+    if (!ParseHostPort(listen, &net.host, &net.port)) {
+      fprintf(stderr, "error: --listen wants HOST:PORT, got '%s'\n",
+              listen.c_str());
+      return 1;
+    }
+    net.conn_idle_ttl = GetInt(args, "conn-ttl", 0);
+    net.max_write_queue_bytes =
+        static_cast<size_t>(GetInt(args, "max-write-queue", 4 << 20));
+    srv::NetServer net_server(server.get(), cmd_options, net);
+    const core::Status bound = net_server.Listen();
+    if (!bound.ok()) {
+      fprintf(stderr, "error: %s\n", bound.ToString().c_str());
+      return 1;
+    }
+    const std::string port_file = Get(args, "port-file");
+    if (!port_file.empty() &&
+        !WritePortFile(port_file, net_server.port())) {
+      fprintf(stderr, "error: cannot write --port-file %s\n",
+              port_file.c_str());
+      return 1;
+    }
+    fprintf(stderr, "listening on %s:%d\n", net.host.c_str(),
+            net_server.port());
+    const core::Status ran = net_server.Run(g_stop);
+    if (!ran.ok()) {
+      fprintf(stderr, "error: %s\n", ran.ToString().c_str());
+      return 1;
+    }
+    const srv::NetMetrics nm = net_server.metrics();
+    fprintf(stderr,
+            "net: accepted=%" PRId64 " closed=%" PRId64 " frames_in=%" PRId64
+            " frames_out=%" PRId64 " shed=%" PRId64 " codec_errors=%" PRId64
+            " reaped_idle=%" PRId64 " disconnects=%" PRId64 "\n",
+            nm.accepted, nm.closed, nm.frames_in, nm.frames_out,
+            nm.frames_shed, nm.codec_errors, nm.reaped_idle,
+            nm.peer_disconnects);
+  } else {
+    // --- stdin mode (the default): one line in, one line out. ---
+    srv::CommandProcessor processor(server.get(), cmd_options);
+    std::string line;
+    std::string response;
+    bool quit = false;
+    while (!quit && !g_terminate && std::getline(std::cin, line)) {
+      if (processor.Process(line, &response, &quit)) {
+        printf("%s\n", response.c_str());
       }
-    } else if (cmd == "push") {
-      int64_t id;
-      traj::TrajPoint p;
-      long tower;
-      if (!(in >> id >> p.pos.x >> p.pos.y >> p.t >> tower)) {
-        Err(core::Status::InvalidArgument("usage: push <id> <x> <y> <t> <tower>"));
-        continue;
-      }
-      p.tower = static_cast<traj::TowerId>(tower);
-      const core::Status st = server->Push(id, p);
-      if (!st.ok()) {
-        Err(st);
-      } else {
-        printf("ok push %" PRId64 "\n", id);
-      }
-    } else if (cmd == "finish") {
-      int64_t id;
-      if (!(in >> id)) {
-        Err(core::Status::InvalidArgument("usage: finish <id>"));
-        continue;
-      }
-      const core::Status st = server->Finish(id);
-      st.ok() ? static_cast<void>(printf("ok finish %" PRId64 "\n", id)) : Err(st);
-    } else if (cmd == "deadline") {
-      int64_t id, tick;
-      if (!(in >> id >> tick)) {
-        Err(core::Status::InvalidArgument("usage: deadline <id> <tick>"));
-        continue;
-      }
-      const core::Status st = server->SetDeadline(id, tick);
-      st.ok() ? static_cast<void>(printf("ok deadline %" PRId64 "\n", id)) : Err(st);
-    } else if (cmd == "tick") {
-      int64_t now;
-      if (!(in >> now)) {
-        Err(core::Status::InvalidArgument("usage: tick <now>"));
-        continue;
-      }
-      server->Tick(now);
-      if (server->durable() && checkpoint_every > 0 &&
-          server->clock() % checkpoint_every == 0) {
-        const core::Status st = server->Checkpoint();
-        if (!st.ok()) {
-          fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
-        }
-      }
-      printf("ok tick %" PRId64 " tier=%s\n", server->clock(),
-             server->active_tier_name().c_str());
-    } else if (cmd == "await") {
-      server->Barrier();
-      printf("ok await\n");
-    } else if (cmd == "committed") {
-      int64_t id;
-      if (!(in >> id)) {
-        Err(core::Status::InvalidArgument("usage: committed <id>"));
-        continue;
-      }
-      if (id < 0 || id >= server->num_sessions()) {
-        Err(core::Status::NotFound("no session " + std::to_string(id)));
-        continue;
-      }
-      const std::vector<network::SegmentId>& path = server->Committed(id);
-      printf("ok committed %" PRId64 " %zu", id, path.size());
-      for (const network::SegmentId s : path) printf(" %d", s);
-      printf("\n");
-    } else if (cmd == "status") {
-      int64_t id;
-      if (!(in >> id)) {
-        // No id: server-level status, durability included. The crash harness
-        // and operators read the journal/snapshot fields from here.
-        const srv::DurabilityStatus d = server->durability_status();
-        printf("ok status clock=%" PRId64 " tier=%s durable=%d"
-               " journal_segments=%" PRId64 " journal_bytes=%" PRId64
-               " last_durable_index=%" PRId64 " last_durable_tick=%" PRId64
-               " snapshot_gen=%d journal_errors=%" PRId64 "\n",
-               server->clock(), server->active_tier_name().c_str(),
-               d.enabled ? 1 : 0, d.journal_segments, d.journal_bytes,
-               d.last_durable_index, d.last_durable_tick,
-               d.snapshot_generation, d.journal_errors);
-        continue;
-      }
-      if (id < 0 || id >= server->num_sessions()) {
-        Err(core::Status::NotFound("no session " + std::to_string(id)));
-        continue;
-      }
-      // pushed= lets a client resume a session after a crash: recovery rolls
-      // back to the durable prefix, and this is where it ends.
-      const core::Status st = server->SessionStatus(id);
-      printf("ok status %" PRId64 " %s %s pushed=%" PRId64 "\n", id,
-             StateName(server->state(id)), core::StatusCodeName(st.code()),
-             server->Stats(id).points_pushed);
-    } else if (cmd == "stats") {
-      const srv::ServerMetrics m = server->metrics();
-      printf("ok stats clock=%" PRId64 " tier=%s live=%" PRId64
-             " queue=%" PRId64 " opens=%" PRId64 "/%" PRId64
-             " pushes=%" PRId64 "/%" PRId64 " expired=%" PRId64
-             " quarantined=%" PRId64 " evicted=%" PRId64 " downgrades=%" PRId64
-             " upgrades=%" PRId64 "\n",
-             m.clock, server->active_tier_name().c_str(), m.live_sessions,
-             m.queue_depth, m.opens_admitted, m.opens_shed, m.pushes_admitted,
-             m.pushes_shed, m.expired_sessions, m.quarantined_sessions,
-             m.evicted_sessions, m.downgrades, m.upgrades);
-    } else if (cmd == "checkpoint") {
-      const core::Status st = server->Checkpoint();
-      if (!st.ok()) {
-        Err(st);
-      } else {
-        printf("ok checkpoint gen=%d\n",
-               server->durability_status().snapshot_generation);
-      }
-    } else if (cmd == "drain") {
-      std::string path;
-      if (!(in >> path)) {
-        Err(core::Status::InvalidArgument("usage: drain <path>"));
-        continue;
-      }
-      const core::Status st = server->Drain(path);
-      st.ok() ? static_cast<void>(printf("ok drain %s\n", path.c_str())) : Err(st);
-    } else {
-      Err(core::Status::InvalidArgument("unknown command '" + cmd + "'"));
     }
   }
 

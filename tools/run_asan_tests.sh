@@ -14,7 +14,7 @@ BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=address
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test io_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test durability_test io_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
 
 # ASan aborts with a non-zero exit on the first bad access, so a plain run is
 # the assertion. The suite leans on the paths where lifetimes are trickiest:
@@ -22,12 +22,16 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # blocked pump), MatchServer drain/restore (checkpointed sessions re-created
 # from disk), io_test's parsers over corrupt input, ch_test's CH build/persistence
 # (including deliberately corrupted hierarchy files), and the loadgen fleet
-# exercising the whole serving stack concurrently.
+# exercising the whole serving stack concurrently — over stdin pipes and
+# over the TCP frame transport (frame_test, net_server_test, the socket
+# crash gauntlet, and a 64-connection net smoke).
 export ASAN_OPTIONS="halt_on_error=1:detect_stack_use_after_return=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
 ./tests/robustness_test
 ./tests/serve_test
+./tests/frame_test
+./tests/net_server_test
 ./tests/durability_test
 ./tests/io_test
 ./tests/network_test
@@ -36,5 +40,9 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
 ./tools/lhmm_loadgen --smoke 1
 ./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
   --serve-bin ./tools/lhmm_serve --threads 8
+./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+  --transport socket --serve-bin ./tools/lhmm_serve --threads 8
+./tools/lhmm_loadgen --net-smoke 1 --connections 64 \
+  --serve-bin ./tools/lhmm_serve --threads 4
 
 echo "ASan pass complete: no memory errors reported."

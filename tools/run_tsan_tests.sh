@@ -13,7 +13,7 @@ BUILD_DIR=build-tsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test durability_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test durability_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
 
 # TSan halts with a non-zero exit on the first data race, so a plain run is
 # the assertion. batch_test covers the thread pool, the sharded route cache
@@ -31,12 +31,18 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # mid-stream and recovers it; network_test and hmm_test cover the serial
 # users of the same code paths; ch_test exercises the contraction-hierarchy
 # router (shared across threads behind CachedRouter) and BatchDeterminism's
-# ChBackend tests run it cold under 8-way parallel matching.
+# ChBackend tests run it cold under 8-way parallel matching; frame_test
+# and net_server_test cover the TCP transport — the poll loop serving
+# real loopback sockets from concurrent client threads — and the socket
+# crash gauntlet plus a 64-connection net smoke drive lhmm_serve's
+# listener end-to-end.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
 ./tests/robustness_test
 ./tests/serve_test
+./tests/frame_test
+./tests/net_server_test
 ./tests/durability_test
 ./tests/network_test
 ./tests/hmm_test
@@ -44,5 +50,9 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
 ./tools/lhmm_loadgen --smoke 1
 ./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
   --serve-bin ./tools/lhmm_serve --threads 8
+./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+  --transport socket --serve-bin ./tools/lhmm_serve --threads 8
+./tools/lhmm_loadgen --net-smoke 1 --connections 64 \
+  --serve-bin ./tools/lhmm_serve --threads 4
 
 echo "TSan pass complete: no data races reported."

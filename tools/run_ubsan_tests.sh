@@ -14,7 +14,7 @@ BUILD_DIR=build-ubsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=undefined
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test frame_test net_server_test ch_test lhmm_serve lhmm_loadgen
 
 # -fno-sanitize-recover=all makes the first UB finding abort, so a plain run
 # is the assertion. The suite leans on the paths where UB is likeliest: the
@@ -24,7 +24,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test du
 # (hmm_test), the contraction hierarchy's CSR assembly, corridor
 # arithmetic, and fault-injected on-disk format (ch_test), and the serving
 # front end end-to-end — including the kill -9
-# crash gauntlet against a UBSan-instrumented lhmm_serve.
+# crash gauntlet against a UBSan-instrumented lhmm_serve, over stdin and
+# over the TCP frame transport (frame_test's byte-level codec fuzzing is
+# exactly where length-arithmetic UB would hide).
 export UBSAN_OPTIONS="print_stacktrace=1"
 cd "${BUILD_DIR}"
 ./tests/core_test
@@ -32,8 +34,14 @@ cd "${BUILD_DIR}"
 ./tests/io_test
 ./tests/durability_test
 ./tests/serve_test
+./tests/frame_test
+./tests/net_server_test
 ./tests/ch_test
 ./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+  --serve-bin ./tools/lhmm_serve --threads 4
+./tools/lhmm_loadgen --crash-at 5,23,57 --crash-fault cycle \
+  --transport socket --serve-bin ./tools/lhmm_serve --threads 4
+./tools/lhmm_loadgen --net-smoke 1 --connections 64 \
   --serve-bin ./tools/lhmm_serve --threads 4
 
 echo "UBSan pass complete: no undefined behavior reported."

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -53,7 +54,9 @@ core::Status SetNonBlocking(int fd) {
 
 CommandProcessor::CommandProcessor(MatchServer* server,
                                    const CommandOptions& options)
-    : server_(server), options_(options) {}
+    : server_(server),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {}
 
 bool CommandProcessor::Process(const std::string& line, std::string* response,
                                bool* quit) {
@@ -194,6 +197,31 @@ bool CommandProcessor::Process(const std::string& line, std::string* response,
         static_cast<long long>(server_->Stats(id).points_pushed));
     return true;
   }
+  if (cmd == "health") {
+    // Liveness probe for supervisors: tier (where on the degrade ladder the
+    // server is), logical clock, and durability generation. Everything comes
+    // from the shared MatchServer, so stdin and socket transports answer
+    // byte-identically — srv::Supervisor keys on the "ok health " prefix.
+    const DurabilityStatus d = server_->durability_status();
+    *response = core::StrFormat(
+        "ok health tier=%s clock=%lld durable=%d gen=%d live=%lld",
+        server_->active_tier_name().c_str(),
+        static_cast<long long>(server_->clock()), d.enabled ? 1 : 0,
+        d.snapshot_generation,
+        static_cast<long long>(server_->metrics().live_sessions));
+    return true;
+  }
+  if (cmd == "pid") {
+    // Lets supervisors and scripts address the worker process behind either
+    // transport; uptime is integer seconds since this processor was built.
+    const long long uptime =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    *response = core::StrFormat("ok pid %d uptime=%lld",
+                                static_cast<int>(getpid()), uptime);
+    return true;
+  }
   if (cmd == "stats") {
     const ServerMetrics m = server_->metrics();
     *response = core::StrFormat(
@@ -261,6 +289,17 @@ core::Status NetServer::Listen() {
   }
   const int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (config_.reuse_port) {
+#ifdef SO_REUSEPORT
+    if (setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+        0) {
+      return core::Status::IoError(
+          core::StrFormat("setsockopt(SO_REUSEPORT): %s", strerror(errno)));
+    }
+#else
+    return core::Status::Unimplemented("SO_REUSEPORT not available");
+#endif
+  }
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(config_.port));

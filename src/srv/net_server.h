@@ -2,6 +2,7 @@
 #define LHMM_SRV_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -42,6 +43,9 @@ class CommandProcessor {
  private:
   MatchServer* server_;
   CommandOptions options_;
+  /// Process start proxy for the pid verb's uptime= field; per-processor so
+  /// both transports of one process report from the same epoch second.
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Configuration of the TCP front end.
@@ -71,6 +75,11 @@ struct NetServerConfig {
   /// Test hook: SO_SNDBUF for accepted sockets (0 = kernel default). Small
   /// values make write-queue backpressure reachable with little traffic.
   int so_sndbuf = 0;
+  /// SO_REUSEPORT on the listener: N lhmm_serve processes can bind the same
+  /// port and let the kernel spread incoming connections across the fleet
+  /// (lhmm_fleet --reuseport). Per-worker ports via --port-file remain the
+  /// fallback where a client must address one specific worker.
+  bool reuse_port = false;
 };
 
 /// Counters published by NetServer. Written only by the Run loop; read them

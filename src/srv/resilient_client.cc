@@ -1,0 +1,124 @@
+#include "srv/resilient_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/strings.h"
+#include "srv/frame.h"
+
+namespace lhmm::srv {
+
+ResilientClient::ResilientClient(ResilientClientConfig config)
+    : config_(std::move(config)) {}
+
+ResilientClient::~ResilientClient() { CloseConn(); }
+
+void ResilientClient::CloseConn() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+core::Status ResilientClient::DialOnce() {
+  FILE* f = fopen(config_.port_file.c_str(), "r");
+  if (f == nullptr) {
+    return core::Status::Unavailable(
+        core::StrFormat("port file %s not published",
+                        config_.port_file.c_str()));
+  }
+  int port = 0;
+  const int got = fscanf(f, "%d", &port);
+  fclose(f);
+  if (got != 1 || port <= 0) {
+    return core::Status::Unavailable(
+        core::StrFormat("port file %s unreadable", config_.port_file.c_str()));
+  }
+  // CLOEXEC: fleet harnesses fork workers; a client fd leaking into a worker
+  // would hold its peer's connection open past the peer's death.
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return core::Status::IoError("socket() failed");
+  timeval tv = {};
+  tv.tv_sec = config_.io_timeout_ms / 1000;
+  tv.tv_usec = (config_.io_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return core::Status::Unavailable(
+        core::StrFormat("connect 127.0.0.1:%d failed", port));
+  }
+  fd_ = fd;
+  port_ = port;
+  ++dials_;
+  if (dials_ > 1) ++reconnects_;
+  return core::Status::Ok();
+}
+
+core::Status ResilientClient::Connect() {
+  if (fd_ >= 0) return core::Status::Ok();
+  core::Status last = core::Status::Unavailable("no dial attempted");
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      int64_t delay = config_.backoff_base_ms;
+      for (int i = 1; i < attempt && delay < config_.backoff_cap_ms; ++i) {
+        delay *= 2;
+      }
+      usleep(static_cast<useconds_t>(
+          std::min<int64_t>(delay, config_.backoff_cap_ms) * 1000));
+    }
+    last = DialOnce();
+    if (last.ok()) return last;
+  }
+  return core::Status::Unavailable(core::StrFormat(
+      "gave up after %d dial attempts: %s", config_.max_attempts,
+      std::string(last.message()).c_str()));
+}
+
+core::Result<std::string> ResilientClient::TryCmd(std::string_view line) {
+  if (fd_ < 0) {
+    return core::Result<std::string>(
+        core::Status::FailedPrecondition("not connected"));
+  }
+  core::Status ws = WriteFrame(fd_, line);
+  if (!ws.ok()) {
+    CloseConn();
+    return core::Result<std::string>(std::move(ws));
+  }
+  core::Result<std::string> resp = ReadFrame(fd_);
+  if (!resp.ok()) CloseConn();
+  return resp;
+}
+
+core::Result<std::string> ResilientClient::Cmd(std::string_view line) {
+  core::Status last = core::Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    core::Status cs = Connect();
+    if (!cs.ok()) {
+      last = std::move(cs);
+      break;  // Connect() already spent the dial budget.
+    }
+    core::Result<std::string> resp = TryCmd(line);
+    if (resp.ok()) return resp;
+    last = resp.status();
+    // TryCmd closed the connection; the next loop iteration redials (and
+    // re-reads the port file, picking up a restarted worker's new port).
+  }
+  return core::Result<std::string>(core::Status::Unavailable(core::StrFormat(
+      "retry budget exhausted for '%.*s': %s",
+      static_cast<int>(std::min<size_t>(line.size(), 32)), line.data(),
+      std::string(last.message()).c_str())));
+}
+
+}  // namespace lhmm::srv

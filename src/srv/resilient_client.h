@@ -1,0 +1,87 @@
+#ifndef LHMM_SRV_RESILIENT_CLIENT_H_
+#define LHMM_SRV_RESILIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace lhmm::srv {
+
+struct ResilientClientConfig {
+  /// Path of the worker's atomic --port-file. Re-read on every reconnect:
+  /// a restarted worker listens on a fresh ephemeral port, and the port file
+  /// is the one address that survives the restart.
+  std::string port_file;
+  /// Connection attempts per Connect() / per Cmd() retry loop before the
+  /// typed give-up.
+  int max_attempts = 10;
+  /// Backoff before reconnect attempt k: min(base << k, cap) milliseconds.
+  int backoff_base_ms = 10;
+  int backoff_cap_ms = 400;
+  /// SO_RCVTIMEO/SO_SNDTIMEO on the connection: a wedged (but accepting)
+  /// worker surfaces as a typed kIoError instead of a hang.
+  int io_timeout_ms = 2000;
+};
+
+/// A frame-protocol client that survives worker restarts. The failover
+/// contract mirrors the durability contract on the server side:
+///
+///  - Cmd() is for idempotent verbs (status, committed, health, tick …): on
+///    any transport failure it reconnects — re-reading the port file, with
+///    bounded exponential backoff — and retries the whole round trip, up to
+///    max_attempts, then gives up with a typed kUnavailable.
+///  - TryCmd() is one attempt on the current connection, no retry. It exists
+///    for non-idempotent verbs (push): when the connection dies between write
+///    and read, the client cannot know whether the worker acked — the caller
+///    must resolve the ambiguity itself via `status <id>` (`pushed=`) after
+///    reconnecting, exactly like the crash-gauntlet resume path.
+///
+/// Single-threaded: one client per driving thread.
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilientClientConfig config);
+  ~ResilientClient();
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Ensures a live connection, dialing (with backoff) if needed. Typed
+  /// kUnavailable when the retry budget runs out.
+  core::Status Connect();
+
+  /// One request/response round trip on the current connection; no implicit
+  /// reconnect, no retry. Any failure closes the connection so the next
+  /// Connect() dials fresh.
+  core::Result<std::string> TryCmd(std::string_view line);
+
+  /// Round trip with reconnect + bounded retry. Only for idempotent verbs.
+  core::Result<std::string> Cmd(std::string_view line);
+
+  bool connected() const { return fd_ >= 0; }
+  void CloseConn();
+
+  /// Raw connection fd (test hook: the fleet gauntlet writes a deliberately
+  /// partial frame here before SIGKILLing the peer); -1 when not connected.
+  int fd() const { return fd_; }
+
+  /// Successful dials after the first (how often failover actually happened).
+  int64_t reconnects() const { return reconnects_; }
+  /// Port of the current/last connection; 0 before the first dial.
+  int port() const { return port_; }
+
+ private:
+  /// One dial attempt: read port file, connect, set timeouts.
+  core::Status DialOnce();
+
+  ResilientClientConfig config_;
+  int fd_ = -1;
+  int port_ = 0;
+  int64_t dials_ = 0;
+  int64_t reconnects_ = 0;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_RESILIENT_CLIENT_H_

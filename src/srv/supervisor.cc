@@ -1,0 +1,371 @@
+#include "srv/supervisor.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/strings.h"
+#include "srv/frame.h"
+
+namespace lhmm::srv {
+
+namespace {
+
+/// SplitMix64-style avalanche over (seed, key, attempt): a pure function, so
+/// the jitter stream replays exactly for a given config while still spreading
+/// distinct workers apart.
+uint64_t JitterHash(uint64_t seed, uint64_t key, uint64_t attempt) {
+  uint64_t x = seed ^ (key * 0x9e3779b97f4a7c15ULL) ^
+               (attempt * 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+int64_t BackoffDelay(const BackoffConfig& config, int64_t key, int attempt) {
+  int64_t delay = std::max<int64_t>(config.base_ticks, 1);
+  const int64_t cap = std::max(config.cap_ticks, delay);
+  // Doubling by loop instead of `base << attempt`: a long crash streak must
+  // saturate at the cap, not shift into undefined behavior.
+  for (int i = 0; i < attempt && delay < cap; ++i) delay *= 2;
+  delay = std::min(delay, cap);
+  const int64_t span = delay / 2;
+  if (span <= 0) return delay;
+  const uint64_t h = JitterHash(config.jitter_seed,
+                                static_cast<uint64_t>(key),
+                                static_cast<uint64_t>(attempt));
+  return delay + static_cast<int64_t>(h % static_cast<uint64_t>(span + 1));
+}
+
+bool CrashLoopBreaker::RecordCrash(int64_t now) {
+  if (config_.window_ticks <= 0) return false;
+  crash_ticks_.push_back(now);
+  // Strict sliding window: a crash at exactly now - window_ticks has aged out.
+  while (!crash_ticks_.empty() &&
+         crash_ticks_.front() <= now - config_.window_ticks) {
+    crash_ticks_.pop_front();
+  }
+  if (static_cast<int>(crash_ticks_.size()) >= config_.max_crashes) {
+    tripped_ = true;
+  }
+  return tripped_;
+}
+
+int CrashLoopBreaker::CrashesInWindow(int64_t now) const {
+  int n = 0;
+  for (const int64_t t : crash_ticks_) {
+    if (t > now - config_.window_ticks) ++n;
+  }
+  return n;
+}
+
+void CrashLoopBreaker::Reset() {
+  crash_ticks_.clear();
+  tripped_ = false;
+}
+
+const char* WorkerStateName(WorkerState s) {
+  switch (s) {
+    case WorkerState::kIdle: return "idle";
+    case WorkerState::kRunning: return "running";
+    case WorkerState::kBackoff: return "backoff";
+    case WorkerState::kParked: return "parked";
+    case WorkerState::kExited: return "exited";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+Supervisor::Supervisor(std::vector<WorkerSpec> specs,
+                       const SupervisorConfig& config)
+    : config_(config) {
+  workers_.reserve(specs.size());
+  for (WorkerSpec& spec : specs) {
+    Worker w{std::move(spec), WorkerStatus{}, CrashLoopBreaker(config.breaker)};
+    workers_.push_back(std::move(w));
+  }
+}
+
+Supervisor::~Supervisor() {
+  for (Worker& w : workers_) {
+    if (w.status.pid > 0) {
+      kill(w.status.pid, SIGKILL);
+      waitpid(w.status.pid, nullptr, 0);
+      w.status.pid = -1;
+    }
+  }
+}
+
+bool Supervisor::Spawn(Worker* w, int64_t now) {
+  // A stale port file would make health probes (and clients) dial a dead
+  // incarnation; the worker re-publishes it atomically once it listens.
+  if (!w->spec.port_file.empty()) unlink(w->spec.port_file.c_str());
+  w->port = 0;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    fprintf(stderr, "supervisor: fork(%s): %s\n", w->spec.name.c_str(),
+            strerror(errno));
+    return false;
+  }
+  if (pid == 0) {
+#ifdef __linux__
+    // Tie the worker's life to the supervisor: a kill -9'd fleet never leaks
+    // orphan servers holding ports and journal directories.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+    const int devnull = open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      dup2(devnull, 0);
+      close(devnull);
+    }
+    std::vector<char*> argv;
+    argv.reserve(w->spec.argv.size() + 1);
+    for (const std::string& a : w->spec.argv) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    fprintf(stderr, "supervisor: execv(%s): %s\n", argv[0], strerror(errno));
+    _exit(127);
+  }
+  w->status.pid = pid;
+  w->status.state = WorkerState::kRunning;
+  w->status.started_at = now;
+  w->status.health_miss_streak = 0;
+  w->last_probe_at = now;
+  return true;
+}
+
+core::Status Supervisor::StartAll(int64_t now) {
+  int failed = 0;
+  for (Worker& w : workers_) {
+    if (w.status.state != WorkerState::kIdle) continue;
+    if (!Spawn(&w, now)) ++failed;
+  }
+  if (failed > 0) {
+    return core::Status::Internal(
+        core::StrFormat("%d of %zu workers failed to spawn", failed,
+                        workers_.size()));
+  }
+  return core::Status::Ok();
+}
+
+void Supervisor::HandleExit(Worker* w, int wait_status, int64_t now) {
+  w->status.pid = -1;
+  const bool clean = WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0;
+  if (clean || draining_) {
+    // During drain an abnormal exit still counts as a crash for the books,
+    // but nothing restarts: the fleet is going down.
+    if (clean) {
+      ++w->status.clean_exits;
+    } else {
+      ++w->status.crashes;
+    }
+    w->status.state = WorkerState::kExited;
+    return;
+  }
+  ++w->status.crashes;
+  // A crash after a quiet window starts a fresh backoff ladder; a crash
+  // inside the window climbs it.
+  if (w->breaker.CrashesInWindow(now) == 0) w->status.attempt = 0;
+  if (w->breaker.RecordCrash(now)) {
+    w->status.state = WorkerState::kParked;
+    fprintf(stderr,
+            "supervisor: worker %s crash-looped (%" PRId64
+            " crashes) — parked, fleet serving degraded\n",
+            w->spec.name.c_str(), w->status.crashes);
+    return;
+  }
+  const int64_t delay =
+      BackoffDelay(config_.backoff,
+                   static_cast<int64_t>(w - workers_.data()),
+                   w->status.attempt);
+  ++w->status.attempt;
+  w->status.state = WorkerState::kBackoff;
+  w->status.restart_at = now + delay;
+  if (WIFSIGNALED(wait_status)) {
+    fprintf(stderr,
+            "supervisor: worker %s killed by signal %d; restart in %" PRId64
+            " ticks (attempt %d)\n",
+            w->spec.name.c_str(), WTERMSIG(wait_status), delay,
+            w->status.attempt);
+  } else {
+    fprintf(stderr,
+            "supervisor: worker %s exited %d; restart in %" PRId64
+            " ticks (attempt %d)\n",
+            w->spec.name.c_str(), WEXITSTATUS(wait_status), delay,
+            w->status.attempt);
+  }
+}
+
+bool Supervisor::Probe(Worker* w) {
+  if (w->spec.port_file.empty()) return true;
+  if (w->port <= 0) {
+    FILE* f = fopen(w->spec.port_file.c_str(), "r");
+    if (f == nullptr) return false;  // Not published (yet): a miss.
+    int port = 0;
+    const int got = fscanf(f, "%d", &port);
+    fclose(f);
+    if (got != 1 || port <= 0) return false;
+    w->port = port;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  timeval tv = {};
+  tv.tv_sec = config_.health_timeout_ms / 1000;
+  tv.tv_usec = (config_.health_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(w->port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  bool healthy = false;
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+      WriteFrame(fd, "health").ok()) {
+    core::Result<std::string> resp = ReadFrame(fd);
+    healthy = resp.ok() && core::StartsWith(*resp, "ok health ");
+  }
+  close(fd);
+  return healthy;
+}
+
+void Supervisor::Poll(int64_t now) {
+  for (Worker& w : workers_) {
+    // 1. Reap: the exit is detected here (SIGCHLD only wakes the caller's
+    // sleep; WNOHANG keeps the supervision loop non-blocking).
+    if (w.status.pid > 0) {
+      int wait_status = 0;
+      const pid_t got = waitpid(w.status.pid, &wait_status, WNOHANG);
+      if (got == w.status.pid) {
+        HandleExit(&w, wait_status, now);
+      } else if (got < 0 && errno == ECHILD) {
+        // Someone reaped it out from under us; treat as a crash of unknown
+        // cause so supervision still recovers the worker.
+        HandleExit(&w, /*wait_status=*/127 << 8, now);
+      }
+    }
+    // 2. Due restarts.
+    if (w.status.state == WorkerState::kBackoff && now >= w.status.restart_at &&
+        !draining_) {
+      if (Spawn(&w, now)) {
+        ++w.status.restarts;
+        fprintf(stderr, "supervisor: worker %s restarted (pid %d)\n",
+                w.spec.name.c_str(), static_cast<int>(w.status.pid));
+      } else {
+        // Spawn failure is a crash at `now`: backoff again (or park).
+        HandleExit(&w, /*wait_status=*/127 << 8, now);
+      }
+    }
+    // 3. Health probes: a wedged worker (live pid, no protocol answer) is
+    // SIGKILLed; the kill is reaped as a crash on a later Poll, which routes
+    // it through the same backoff/breaker path as any other failure.
+    if (config_.health_interval_ticks > 0 && !draining_ &&
+        w.status.state == WorkerState::kRunning &&
+        now - w.status.started_at >= config_.health_grace_ticks &&
+        now - w.last_probe_at >= config_.health_interval_ticks) {
+      w.last_probe_at = now;
+      if (Probe(&w)) {
+        w.status.health_miss_streak = 0;
+      } else if (++w.status.health_miss_streak >= config_.health_misses) {
+        fprintf(stderr,
+                "supervisor: worker %s failed %d health probes — SIGKILL\n",
+                w.spec.name.c_str(), w.status.health_miss_streak);
+        ++w.status.health_kills;
+        w.status.health_miss_streak = 0;
+        kill(w.status.pid, SIGKILL);
+      }
+    }
+  }
+}
+
+void Supervisor::Drain() {
+  draining_ = true;
+  for (Worker& w : workers_) {
+    if (w.status.pid > 0) kill(w.status.pid, SIGTERM);
+    if (w.status.state == WorkerState::kBackoff) {
+      w.status.state = WorkerState::kExited;  // Cancel the pending restart.
+    }
+  }
+}
+
+int Supervisor::WaitAll(int grace_ms) {
+  const int kStepUs = 5000;
+  int waited_ms = 0;
+  for (;;) {
+    bool any_running = false;
+    for (Worker& w : workers_) {
+      if (w.status.pid <= 0) continue;
+      int wait_status = 0;
+      const pid_t got = waitpid(w.status.pid, &wait_status, WNOHANG);
+      if (got == w.status.pid || (got < 0 && errno == ECHILD)) {
+        HandleExit(&w, got == w.status.pid ? wait_status : 0, waited_ms);
+      } else {
+        any_running = true;
+      }
+    }
+    if (!any_running) return 0;
+    if (waited_ms >= grace_ms) break;
+    usleep(kStepUs);
+    waited_ms += kStepUs / 1000;
+  }
+  int killed = 0;
+  for (Worker& w : workers_) {
+    if (w.status.pid <= 0) continue;
+    kill(w.status.pid, SIGKILL);
+    int wait_status = 0;
+    waitpid(w.status.pid, &wait_status, 0);
+    HandleExit(&w, wait_status, waited_ms);
+    ++killed;
+  }
+  return killed;
+}
+
+SupervisorMetrics Supervisor::metrics() const {
+  SupervisorMetrics m;
+  for (const Worker& w : workers_) {
+    m.restarts += w.status.restarts;
+    m.crashes += w.status.crashes;
+    m.clean_exits += w.status.clean_exits;
+    m.health_kills += w.status.health_kills;
+    if (w.status.state == WorkerState::kParked) ++m.parked;
+    if (w.status.state == WorkerState::kRunning) ++m.running;
+  }
+  return m;
+}
+
+bool Supervisor::AllSettled() const {
+  for (const Worker& w : workers_) {
+    if (w.status.state == WorkerState::kRunning ||
+        w.status.state == WorkerState::kBackoff) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lhmm::srv

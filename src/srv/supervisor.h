@@ -1,0 +1,209 @@
+#ifndef LHMM_SRV_SUPERVISOR_H_
+#define LHMM_SRV_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lhmm::srv {
+
+/// Restart backoff for a crashed worker, in logical ticks.
+struct BackoffConfig {
+  /// Delay before the first restart; doubles per consecutive crash.
+  int64_t base_ticks = 2;
+  /// Ceiling on the pre-jitter delay.
+  int64_t cap_ticks = 64;
+  /// Seed of the deterministic jitter stream (see BackoffDelay).
+  uint64_t jitter_seed = 0x5eedULL;
+};
+
+/// The delay before restart attempt `attempt` (0-based) of worker `key`:
+/// min(base_ticks << attempt, cap_ticks) plus a jitter in [0, delay/2].
+/// The jitter is a pure hash of (jitter_seed, key, attempt) — no wall clock,
+/// no shared RNG state — so a given config replays the exact same schedule,
+/// while distinct workers desynchronize instead of thundering back together.
+int64_t BackoffDelay(const BackoffConfig& config, int64_t key, int attempt);
+
+/// Crash-loop circuit breaker thresholds.
+struct BreakerConfig {
+  /// Crashes within window_ticks that trip the breaker (park the worker).
+  int max_crashes = 5;
+  /// Sliding window, in logical ticks. 0 disables the breaker entirely.
+  int64_t window_ticks = 0;
+};
+
+/// Sliding-window crash counter: the breaker trips when the recorded crash is
+/// the max_crashes-th within the last window_ticks. Pure logical-clock
+/// arithmetic — the verdict sequence for a given (tick, crash) sequence is
+/// deterministic, which is what tests/supervisor_test.cc pins down.
+class CrashLoopBreaker {
+ public:
+  explicit CrashLoopBreaker(const BreakerConfig& config) : config_(config) {}
+
+  /// Records a crash observed at `now`; returns true when the breaker trips
+  /// with this crash (and latches — see tripped()).
+  bool RecordCrash(int64_t now);
+
+  /// Crashes still inside the window ending at `now` (without recording one).
+  int CrashesInWindow(int64_t now) const;
+
+  bool tripped() const { return tripped_; }
+  void Reset();
+
+ private:
+  BreakerConfig config_;
+  std::deque<int64_t> crash_ticks_;
+  bool tripped_ = false;
+};
+
+/// One supervised process: the argv to exec and, optionally, where it
+/// publishes its port (the atomic --port-file handshake) so the supervisor
+/// can health-probe it over the socket transport.
+struct WorkerSpec {
+  std::string name;
+  std::vector<std::string> argv;  ///< argv[0] is the binary path.
+  /// When non-empty: unlinked before every (re)spawn and re-read for health
+  /// probes, so a probe can never dial a dead incarnation's port.
+  std::string port_file;
+};
+
+struct SupervisorConfig {
+  BackoffConfig backoff;
+  BreakerConfig breaker;
+  /// Ticks between health probes per worker; 0 disables probing. Probing
+  /// requires the worker's WorkerSpec.port_file.
+  int64_t health_interval_ticks = 0;
+  /// No probes for this many ticks after a (re)spawn — recovery replay and
+  /// listener setup are not wedges.
+  int64_t health_grace_ticks = 0;
+  /// Consecutive failed probes before the worker is declared wedged and
+  /// SIGKILLed (the exit is then handled like any crash: restart via backoff,
+  /// crashes feed the breaker).
+  int health_misses = 3;
+  /// Socket send/receive timeout of one probe round trip, in milliseconds
+  /// (wall time — the probe talks to a real socket).
+  int health_timeout_ms = 500;
+};
+
+enum class WorkerState {
+  kIdle,     ///< Not yet started.
+  kRunning,  ///< Live (as far as waitpid has said).
+  kBackoff,  ///< Crashed; restart scheduled at restart_at.
+  kParked,   ///< Crash-loop breaker tripped; no further restarts.
+  kExited,   ///< Exited clean (or was drained); no restart.
+};
+
+const char* WorkerStateName(WorkerState s);
+
+struct WorkerStatus {
+  WorkerState state = WorkerState::kIdle;
+  pid_t pid = -1;          ///< Current incarnation; -1 when not running.
+  int64_t started_at = 0;  ///< Tick of the last (re)spawn.
+  int64_t restart_at = 0;  ///< Due tick while in kBackoff.
+  int attempt = 0;         ///< Consecutive-crash restart attempt counter.
+  int health_miss_streak = 0;
+  int64_t restarts = 0;     ///< Successful re-spawns after a crash.
+  int64_t crashes = 0;      ///< Abnormal exits (nonzero status or signal).
+  int64_t clean_exits = 0;  ///< Zero-status exits.
+  int64_t health_kills = 0; ///< SIGKILLs issued for failed probes.
+};
+
+/// Fleet-level counters (sums over workers, plus parked count).
+struct SupervisorMetrics {
+  int64_t restarts = 0;
+  int64_t crashes = 0;
+  int64_t clean_exits = 0;
+  int64_t health_kills = 0;
+  int64_t parked = 0;
+  int64_t running = 0;
+};
+
+/// The self-healing process supervisor behind tools/lhmm_fleet: fork/execs
+/// each WorkerSpec, detects exits with waitpid(WNOHANG), distinguishes clean
+/// shutdown (exit 0: no restart) from crashes (nonzero exit or a signal:
+/// restart through deterministic exponential backoff + jitter), and parks a
+/// crash-looping worker once CrashLoopBreaker trips — the rest of the fleet
+/// keeps serving degraded. With health probing enabled it also dials each
+/// worker's published port, sends the `health` verb over the frame protocol,
+/// and SIGKILL-restarts a worker that stops answering — the PR-4 watchdog
+/// idea extended across process boundaries. Restarted durable workers come
+/// back through srv::Recover because their argv carries --durable: the
+/// supervisor restarts processes, the journal restores their state.
+///
+/// Time is an injectable logical clock: the caller feeds `now` into Poll()
+/// at whatever cadence it likes (lhmm_fleet maps wall milliseconds to ticks;
+/// the fleet gauntlet drives it from its own loop). Only the health-probe
+/// socket round trip touches wall time, bounded by health_timeout_ms.
+///
+/// Threading contract: all methods are called from one supervision thread.
+/// Workers are tied to their spawning thread with PR_SET_PDEATHSIG(SIGKILL)
+/// so a kill -9'd harness never leaks server processes — which also means
+/// the thread that calls StartAll/Poll must outlive the workers: run Drain()
+/// and WaitAll() (or the destructor) before that thread exits.
+class Supervisor {
+ public:
+  Supervisor(std::vector<WorkerSpec> specs, const SupervisorConfig& config);
+  /// SIGKILLs and reaps anything still running (tests and crashed harnesses
+  /// must not leak worker processes).
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every worker. Partial failure is surfaced but the successfully
+  /// spawned workers keep running (Poll supervises them either way).
+  core::Status StartAll(int64_t now);
+
+  /// The supervision heartbeat: reaps exits, classifies clean-vs-crash,
+  /// schedules and performs due restarts, and runs due health probes.
+  void Poll(int64_t now);
+
+  /// Whole-fleet graceful drain: SIGTERM to every running worker and cancel
+  /// pending restarts. Subsequent exits never restart (they count as clean
+  /// exits when status is 0, crashes otherwise).
+  void Drain();
+
+  /// Blocks until every worker has exited or `grace_ms` elapsed, then
+  /// SIGKILLs and reaps stragglers. Returns the number of stragglers killed.
+  int WaitAll(int grace_ms);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const WorkerStatus& status(int i) const { return workers_[i].status; }
+  const WorkerSpec& spec(int i) const { return workers_[i].spec; }
+  pid_t pid(int i) const { return workers_[i].status.pid; }
+  /// Last port read from the worker's port file; 0 when unknown.
+  int port(int i) const { return workers_[i].port; }
+
+  SupervisorMetrics metrics() const;
+
+  /// True when no worker is running or scheduled to run.
+  bool AllSettled() const;
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    WorkerStatus status;
+    CrashLoopBreaker breaker;
+    int port = 0;               ///< Cached from spec.port_file.
+    int64_t last_probe_at = 0;  ///< Tick of the last health probe.
+  };
+
+  bool Spawn(Worker* w, int64_t now);
+  /// Handles a reaped exit status for `w` at tick `now`.
+  void HandleExit(Worker* w, int wait_status, int64_t now);
+  /// One health round trip; true = the worker answered "ok health ...".
+  bool Probe(Worker* w);
+
+  std::vector<Worker> workers_;
+  SupervisorConfig config_;
+  bool draining_ = false;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_SUPERVISOR_H_

@@ -5,6 +5,9 @@
 // so every failure mode here must be a typed Status — a silent resync or a
 // quiet truncation at this layer would corrupt the verb stream above it.
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <random>
@@ -242,6 +245,25 @@ TEST(FrameCodecTest, FuzzTruncationIsAlwaysTypedOrClean) {
     EXPECT_EQ(decoder.End().ok(), at_boundary) << "cut=" << cut;
     EXPECT_EQ(decoder.idle(), at_boundary) << "cut=" << cut;
   }
+}
+
+// SIGPIPE regression: WriteFrame to a peer that already closed must come back
+// as a typed kUnavailable, not a process-killing SIGPIPE. This test binary
+// does not ignore SIGPIPE, so if WriteFrame's send() ever drops MSG_NOSIGNAL
+// the kernel terminates the test right here.
+TEST(FrameCodecTest, WriteFrameToClosedPeerIsTypedUnavailableNotSigpipe) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_EQ(close(sv[1]), 0);
+  // The first write may land in the (now-orphaned) buffer; keep writing until
+  // the kernel reports the pipe broken. It must do so within a few frames.
+  core::Status st = core::Status::Ok();
+  for (int i = 0; i < 64 && st.ok(); ++i) {
+    st = srv::WriteFrame(sv[0], std::string(4096, 'x'));
+  }
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::StatusCode::kUnavailable) << st.ToString();
+  close(sv[0]);
 }
 
 }  // namespace

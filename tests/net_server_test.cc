@@ -478,6 +478,122 @@ TEST_F(NetServeTest, QuitVerbStopsTheLoopAndClosesEveryConnection) {
 }
 
 // ---------------------------------------------------------------------------
+// Liveness verbs: identical bytes on the stdin and socket transports.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetServeTest, HealthAndPidVerbsIdenticalAcrossTransports) {
+  // The supervisor's health probe and a human on stdin must see the same
+  // report: both transports run the same CommandProcessor, and this pins it.
+  srv::MatchServer server(Tiers(), Config(1));
+  srv::CommandProcessor proc(&server, {});
+  std::string stdin_health;
+  std::string stdin_pid;
+  bool quit = false;
+  ASSERT_TRUE(proc.Process("health", &stdin_health, &quit));
+  ASSERT_TRUE(proc.Process("pid", &stdin_pid, &quit));
+  EXPECT_EQ(stdin_health, "ok health tier=IVMM clock=0 durable=0 gen=0 live=0");
+  EXPECT_EQ(stdin_pid,
+            core::StrFormat("ok pid %d uptime=0", static_cast<int>(getpid())));
+
+  RunningServer rs;
+  rs.Start(Tiers(), Config(1), srv::NetServerConfig{});
+  ASSERT_TRUE(rs.net != nullptr);
+  NetClient c;
+  ASSERT_TRUE(c.Connect(rs.net->port()));
+  EXPECT_EQ(c.Cmd("health"), stdin_health);
+  EXPECT_EQ(c.Cmd("pid"), stdin_pid);
+
+  // The report is live state, not a constant: drive both transports through
+  // the same verb stream and they must still agree byte-for-byte.
+  std::string resp;
+  ASSERT_TRUE(proc.Process("open", &resp, &quit));
+  ASSERT_TRUE(proc.Process("tick 3", &resp, &quit));
+  ASSERT_TRUE(proc.Process("health", &stdin_health, &quit));
+  EXPECT_EQ(stdin_health, "ok health tier=IVMM clock=3 durable=0 gen=0 live=1");
+  ASSERT_TRUE(core::StartsWith(c.Cmd("open"), "ok open "));
+  ASSERT_TRUE(core::StartsWith(c.Cmd("tick 3"), "ok tick "));
+  EXPECT_EQ(c.Cmd("health"), stdin_health);
+
+  c.Close();
+  rs.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// SIGPIPE hardening: writes to a half-closed socket must not kill the server.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetServeTest, WritesToHalfClosedSocketDoNotKillTheServer) {
+  // This test binary does NOT ignore SIGPIPE, deliberately: if any server
+  // send() lacked MSG_NOSIGNAL, the kernel would SIGPIPE this process dead
+  // right here. Queue a burst of requests, slam the socket shut without
+  // reading a byte (the close RSTs the inbound responses), and let the server
+  // write into the wreckage.
+  RunningServer rs;
+  rs.Start(Tiers(), Config(2), srv::NetServerConfig{});
+  ASSERT_TRUE(rs.net != nullptr);
+
+  for (int round = 0; round < 4; ++round) {
+    NetClient doomed;
+    ASSERT_TRUE(doomed.Connect(rs.net->port(), /*rcvbuf=*/4096));
+    ASSERT_TRUE(core::StartsWith(doomed.Cmd("stats"), "ok stats "));
+    for (int i = 0; i < 200; ++i) {
+      if (!doomed.Send("stats")) break;  // Queue responses, never read them.
+    }
+    doomed.Close();
+  }
+
+  // Still alive and serving: a full session on a fresh connection.
+  NetClient fresh;
+  ASSERT_TRUE(fresh.Connect(rs.net->port()));
+  const std::string opened = fresh.Cmd("open");
+  long long id = -1;
+  ASSERT_EQ(sscanf(opened.c_str(), "ok open %lld", &id), 1) << opened;
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_EQ(fresh.Cmd(PushCmd(id, 3, p)),
+              core::StrFormat("ok push %lld", id));
+  }
+  ASSERT_EQ(fresh.Cmd(core::StrFormat("finish %lld", id)),
+            core::StrFormat("ok finish %lld", id));
+  fresh.Close();
+
+  const srv::NetMetrics m = rs.Stop();
+  EXPECT_EQ(m.closed, m.accepted);
+}
+
+// ---------------------------------------------------------------------------
+// SO_REUSEPORT: the fleet's shared-port mode.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetServeTest, ReusePortLetsTwoServersShareOnePort) {
+#ifdef SO_REUSEPORT
+  srv::MatchServer s1(Tiers(), Config(1));
+  srv::NetServerConfig c1;
+  c1.reuse_port = true;
+  srv::NetServer n1(&s1, {}, c1);
+  ASSERT_TRUE(n1.Listen().ok());
+
+  // Second listener on the very same port: admitted with reuse_port...
+  srv::MatchServer s2(Tiers(), Config(1));
+  srv::NetServerConfig c2;
+  c2.reuse_port = true;
+  c2.port = n1.port();
+  srv::NetServer n2(&s2, {}, c2);
+  EXPECT_TRUE(n2.Listen().ok());
+  EXPECT_EQ(n2.port(), n1.port());
+
+  // ...and refused without it (both earlier binds carried SO_REUSEPORT, so
+  // the non-reuse bind is the one the kernel rejects).
+  srv::MatchServer s3(Tiers(), Config(1));
+  srv::NetServerConfig c3;
+  c3.port = n1.port();
+  srv::NetServer n3(&s3, {}, c3);
+  EXPECT_FALSE(n3.Listen().ok());
+#else
+  GTEST_SKIP() << "SO_REUSEPORT not available on this platform";
+#endif
+}
+
+// ---------------------------------------------------------------------------
 // Regression (surfaced by the socket gauntlet): EOF-vs-drain ordering.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,326 @@
+// Tests for srv::Supervisor and its pure policy pieces.
+//
+// The backoff and breaker tests are entirely deterministic: BackoffDelay is a
+// pure function of (config, key, attempt) and CrashLoopBreaker is pure
+// logical-tick arithmetic, so every schedule asserted here replays exactly —
+// no wall-clock sleeps, no tolerance windows. The process-level tests spawn
+// real /bin/sh children (clean exit, crash loop, drain, leak check); they
+// poll wall time for the child to die, but every supervision decision —
+// restart_at, attempt counters, parking — is still asserted on the injectable
+// logical clock.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "srv/supervisor.h"
+
+namespace lhmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BackoffDelay: deterministic exponential backoff + jitter.
+// ---------------------------------------------------------------------------
+
+TEST(BackoffDelayTest, FollowsDoublingScheduleWithBoundedJitter) {
+  srv::BackoffConfig cfg;  // base 2, cap 64.
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    int64_t expected = 2;
+    for (int i = 0; i < attempt && expected < 64; ++i) expected *= 2;
+    expected = std::min<int64_t>(expected, 64);
+    const int64_t d = srv::BackoffDelay(cfg, /*key=*/0, attempt);
+    EXPECT_GE(d, expected) << "attempt " << attempt;
+    EXPECT_LE(d, expected + expected / 2) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffDelayTest, ScheduleReplaysExactly) {
+  srv::BackoffConfig cfg;
+  std::vector<int64_t> first;
+  std::vector<int64_t> second;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    first.push_back(srv::BackoffDelay(cfg, 7, attempt));
+  }
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    second.push_back(srv::BackoffDelay(cfg, 7, attempt));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(BackoffDelayTest, HugeAttemptSaturatesAtCapWithoutOverflow) {
+  srv::BackoffConfig cfg;
+  cfg.base_ticks = 3;
+  cfg.cap_ticks = 100;
+  // attempt 1000 would be 3 << 1000 if implemented with a shift; the loop
+  // implementation must saturate at the cap instead.
+  const int64_t d = srv::BackoffDelay(cfg, 0, 1000);
+  EXPECT_GE(d, 100);
+  EXPECT_LE(d, 150);
+}
+
+TEST(BackoffDelayTest, DistinctWorkersDesynchronize) {
+  srv::BackoffConfig cfg;
+  // Two workers crashing in lockstep must not restart in lockstep: across a
+  // few attempts their jittered delays diverge somewhere.
+  bool differed = false;
+  for (int attempt = 0; attempt < 8 && !differed; ++attempt) {
+    differed = srv::BackoffDelay(cfg, 1, attempt) !=
+               srv::BackoffDelay(cfg, 2, attempt);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(BackoffDelayTest, SeedChangesTheJitterStream) {
+  srv::BackoffConfig a;
+  srv::BackoffConfig b;
+  b.jitter_seed = a.jitter_seed + 1;
+  bool differed = false;
+  for (int attempt = 0; attempt < 8 && !differed; ++attempt) {
+    differed =
+        srv::BackoffDelay(a, 0, attempt) != srv::BackoffDelay(b, 0, attempt);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(BackoffDelayTest, DegenerateBaseStillPositive) {
+  srv::BackoffConfig cfg;
+  cfg.base_ticks = 0;  // Misconfiguration must not yield a zero-tick loop.
+  cfg.cap_ticks = 0;
+  EXPECT_GE(srv::BackoffDelay(cfg, 0, 0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// CrashLoopBreaker: sliding-window arithmetic on logical ticks.
+// ---------------------------------------------------------------------------
+
+TEST(CrashLoopBreakerTest, TripsOnMaxCrashesInsideWindow) {
+  srv::CrashLoopBreaker b({/*max_crashes=*/3, /*window_ticks=*/100});
+  EXPECT_FALSE(b.RecordCrash(10));
+  EXPECT_FALSE(b.RecordCrash(50));
+  EXPECT_EQ(b.CrashesInWindow(50), 2);
+  EXPECT_TRUE(b.RecordCrash(60));  // Third within [.., 60]: trip.
+  EXPECT_TRUE(b.tripped());
+}
+
+TEST(CrashLoopBreakerTest, SlowCrashesAgeOutAndNeverTrip) {
+  srv::CrashLoopBreaker b({/*max_crashes=*/3, /*window_ticks=*/100});
+  // One crash every 60 ticks: at each record only the previous one is still
+  // inside the window, so the count never reaches 3.
+  for (int64_t t = 0; t <= 600; t += 60) {
+    EXPECT_FALSE(b.RecordCrash(t)) << "tick " << t;
+  }
+  EXPECT_FALSE(b.tripped());
+}
+
+TEST(CrashLoopBreakerTest, WindowBoundaryIsStrict) {
+  srv::CrashLoopBreaker b({/*max_crashes=*/2, /*window_ticks=*/100});
+  EXPECT_FALSE(b.RecordCrash(0));
+  // A crash at exactly now - window has aged out: count restarts at 1.
+  EXPECT_EQ(b.CrashesInWindow(100), 0);
+  EXPECT_FALSE(b.RecordCrash(100));
+  EXPECT_FALSE(b.tripped());
+  // One tick earlier and both are in the window: trip.
+  srv::CrashLoopBreaker c({/*max_crashes=*/2, /*window_ticks=*/100});
+  EXPECT_FALSE(c.RecordCrash(0));
+  EXPECT_TRUE(c.RecordCrash(99));
+}
+
+TEST(CrashLoopBreakerTest, TripLatchesUntilReset) {
+  srv::CrashLoopBreaker b({/*max_crashes=*/2, /*window_ticks=*/10});
+  EXPECT_FALSE(b.RecordCrash(0));
+  EXPECT_TRUE(b.RecordCrash(1));
+  // Long after the window has emptied, the verdict stands (a parked worker
+  // does not quietly un-park itself).
+  EXPECT_EQ(b.CrashesInWindow(1000), 0);
+  EXPECT_TRUE(b.tripped());
+  b.Reset();
+  EXPECT_FALSE(b.tripped());
+  EXPECT_EQ(b.CrashesInWindow(1000), 0);
+}
+
+TEST(CrashLoopBreakerTest, ZeroWindowDisablesEntirely) {
+  srv::CrashLoopBreaker b({/*max_crashes=*/1, /*window_ticks=*/0});
+  for (int64_t t = 0; t < 50; ++t) {
+    EXPECT_FALSE(b.RecordCrash(t));
+  }
+  EXPECT_FALSE(b.tripped());
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor over real processes.
+// ---------------------------------------------------------------------------
+
+srv::WorkerSpec ShellSpec(const std::string& name, const std::string& script) {
+  srv::WorkerSpec spec;
+  spec.name = name;
+  spec.argv = {"/bin/sh", "-c", script};
+  return spec;
+}
+
+/// Polls wall time (the child has to actually die) while holding the logical
+/// clock at `now`, so the supervision decision under test stays deterministic.
+template <typename Pred>
+bool PollUntil(srv::Supervisor* sup, int64_t now, const Pred& pred,
+               int max_ms = 5000) {
+  for (int waited = 0; waited < max_ms; waited += 2) {
+    sup->Poll(now);
+    if (pred()) return true;
+    usleep(2000);
+  }
+  return pred();
+}
+
+TEST(SupervisorTest, CleanExitStaysDownAndCountsClean) {
+  srv::Supervisor sup({ShellSpec("ok", "exit 0")}, srv::SupervisorConfig{});
+  ASSERT_TRUE(sup.StartAll(0).ok());
+  EXPECT_EQ(sup.status(0).state, srv::WorkerState::kRunning);
+  ASSERT_TRUE(PollUntil(&sup, 1, [&] {
+    return sup.status(0).state != srv::WorkerState::kRunning;
+  }));
+  EXPECT_EQ(sup.status(0).state, srv::WorkerState::kExited);
+  EXPECT_EQ(sup.status(0).clean_exits, 1);
+  EXPECT_EQ(sup.status(0).crashes, 0);
+  EXPECT_EQ(sup.status(0).restarts, 0);
+  EXPECT_TRUE(sup.AllSettled());
+}
+
+TEST(SupervisorTest, CrashSchedulesTheExactBackoffTickThenRestarts) {
+  srv::SupervisorConfig cfg;
+  cfg.backoff.base_ticks = 4;
+  cfg.backoff.cap_ticks = 64;
+  // The attempt counter climbs only while the breaker window still holds the
+  // previous crash (a quiet period resets the ladder), so give the window
+  // room without letting the breaker park anything.
+  cfg.breaker.max_crashes = 100;
+  cfg.breaker.window_ticks = 1 << 20;
+  srv::Supervisor sup({ShellSpec("bad", "exit 3")}, cfg);
+  ASSERT_TRUE(sup.StartAll(0).ok());
+
+  // Hold the clock at 5 until the crash is reaped: the restart must then be
+  // scheduled at exactly 5 + BackoffDelay(attempt 0) — the deterministic
+  // schedule, asserted without any timing tolerance.
+  ASSERT_TRUE(PollUntil(&sup, 5, [&] {
+    return sup.status(0).state == srv::WorkerState::kBackoff;
+  }));
+  EXPECT_EQ(sup.status(0).crashes, 1);
+  EXPECT_EQ(sup.status(0).attempt, 1);
+  const int64_t due = 5 + srv::BackoffDelay(cfg.backoff, 0, 0);
+  EXPECT_EQ(sup.status(0).restart_at, due);
+
+  // One tick early: nothing happens. At the due tick: respawn.
+  sup.Poll(due - 1);
+  EXPECT_EQ(sup.status(0).state, srv::WorkerState::kBackoff);
+  sup.Poll(due);
+  EXPECT_EQ(sup.status(0).state, srv::WorkerState::kRunning);
+  EXPECT_EQ(sup.status(0).restarts, 1);
+
+  // Second crash inside the (disabled-breaker) run climbs the ladder:
+  // attempt 1, scheduled from the reap tick.
+  ASSERT_TRUE(PollUntil(&sup, due + 1, [&] {
+    return sup.status(0).state == srv::WorkerState::kBackoff;
+  }));
+  EXPECT_EQ(sup.status(0).attempt, 2);
+  EXPECT_EQ(sup.status(0).restart_at,
+            due + 1 + srv::BackoffDelay(cfg.backoff, 0, 1));
+}
+
+TEST(SupervisorTest, CrashLoopTripsBreakerAndParksWorker) {
+  srv::SupervisorConfig cfg;
+  cfg.backoff.base_ticks = 1;
+  cfg.backoff.cap_ticks = 2;
+  cfg.breaker.max_crashes = 3;
+  cfg.breaker.window_ticks = 1 << 20;
+  // Two workers: the crash-looper parks, the long-runner keeps serving — the
+  // degraded-fleet contract.
+  srv::Supervisor sup({ShellSpec("looper", "exit 7"),
+                       ShellSpec("steady", "exec sleep 30")},
+                      cfg);
+  ASSERT_TRUE(sup.StartAll(0).ok());
+  int64_t now = 0;
+  ASSERT_TRUE(PollUntil(&sup, 0, [&] {
+    // Advance the clock so due restarts actually fire.
+    sup.Poll(++now);
+    return sup.status(0).state == srv::WorkerState::kParked;
+  }, /*max_ms=*/10000));
+  EXPECT_EQ(sup.status(0).crashes, 3);
+  EXPECT_EQ(sup.status(0).restarts, 2);  // Third crash parks instead.
+  EXPECT_EQ(sup.status(1).state, srv::WorkerState::kRunning);
+  const srv::SupervisorMetrics m = sup.metrics();
+  EXPECT_EQ(m.parked, 1);
+  EXPECT_EQ(m.running, 1);
+  EXPECT_FALSE(sup.AllSettled());  // The steady worker still runs.
+}
+
+TEST(SupervisorTest, ExecFailureIsACrashNotAHang) {
+  srv::SupervisorConfig cfg;
+  cfg.backoff.base_ticks = 1;
+  cfg.backoff.cap_ticks = 1;
+  cfg.breaker.max_crashes = 2;
+  cfg.breaker.window_ticks = 1 << 20;
+  srv::WorkerSpec spec;
+  spec.name = "noexec";
+  spec.argv = {"/nonexistent/binary/path"};
+  srv::Supervisor sup({spec}, cfg);
+  ASSERT_TRUE(sup.StartAll(0).ok());  // fork succeeds; execv fails in child.
+  int64_t now = 0;
+  ASSERT_TRUE(PollUntil(&sup, 0, [&] {
+    sup.Poll(++now);
+    return sup.status(0).state == srv::WorkerState::kParked;
+  }));
+  EXPECT_EQ(sup.status(0).crashes, 2);
+}
+
+TEST(SupervisorTest, DrainStopsRestartsAndWaitAllReapsEverything) {
+  srv::SupervisorConfig cfg;
+  srv::Supervisor sup({ShellSpec("a", "exec sleep 30"), ShellSpec("b", "exec sleep 30")},
+                      cfg);
+  ASSERT_TRUE(sup.StartAll(0).ok());
+  sup.Poll(1);
+  ASSERT_EQ(sup.status(0).state, srv::WorkerState::kRunning);
+  ASSERT_EQ(sup.status(1).state, srv::WorkerState::kRunning);
+
+  // SIGTERM fan-out; /bin/sh dies on SIGTERM, well inside the grace.
+  sup.Drain();
+  EXPECT_EQ(sup.WaitAll(/*grace_ms=*/5000), 0);
+  EXPECT_EQ(sup.status(0).state, srv::WorkerState::kExited);
+  EXPECT_EQ(sup.status(1).state, srv::WorkerState::kExited);
+  EXPECT_EQ(sup.status(0).restarts, 0);  // Drained exits never restart.
+  EXPECT_TRUE(sup.AllSettled());
+}
+
+TEST(SupervisorTest, WaitAllSigkillsStragglersAfterGrace) {
+  // A worker that ignores SIGTERM ("trap '' TERM") must be SIGKILLed once the
+  // drain grace runs out — the fleet never hangs on a stubborn worker.
+  srv::Supervisor sup({ShellSpec("stubborn", "trap '' TERM; exec sleep 30")},
+                      srv::SupervisorConfig{});
+  ASSERT_TRUE(sup.StartAll(0).ok());
+  sup.Poll(1);
+  usleep(100 * 1000);  // Let sh install its trap before the SIGTERM arrives.
+  sup.Drain();
+  EXPECT_EQ(sup.WaitAll(/*grace_ms=*/300), 1);
+  EXPECT_EQ(sup.status(0).state, srv::WorkerState::kExited);
+  EXPECT_TRUE(sup.AllSettled());
+}
+
+TEST(SupervisorTest, DestructorNeverLeaksWorkers) {
+  pid_t pid = -1;
+  {
+    srv::Supervisor sup({ShellSpec("leaky", "exec sleep 30")},
+                        srv::SupervisorConfig{});
+    ASSERT_TRUE(sup.StartAll(0).ok());
+    pid = sup.pid(0);
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(kill(pid, 0), 0);  // Alive while supervised.
+  }
+  // The destructor SIGKILLed and reaped it: it is no longer our child.
+  EXPECT_EQ(waitpid(pid, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+}  // namespace
+}  // namespace lhmm

@@ -1,0 +1,199 @@
+// lhmm_fleet — the self-healing multi-process front end: fork/execs N
+// lhmm_serve workers behind srv::Supervisor and keeps them alive.
+//
+//   lhmm_fleet --serve-bin build/tools/lhmm_serve --workers 4 \
+//              --dir /tmp/fleet --durable 1 --port 7777
+//
+// Topology: with --port P every worker binds the SAME port via SO_REUSEPORT
+// and the kernel spreads incoming connections across the fleet; without it
+// each worker takes an ephemeral port and publishes it through the atomic
+// --port-file handshake (dir/w<k>/port) for clients that address workers
+// individually (srv::ResilientClient). Either way each worker owns a private
+// journal/snapshot directory (dir/w<k>), so a crashed worker restarts into a
+// srv::Recover replay of exactly its own sessions.
+//
+// Supervision: exits are reaped with waitpid; a clean exit (status 0) stays
+// down, a crash restarts after deterministic exponential backoff + jitter
+// (--backoff-base-ms/--backoff-cap-ms), and --breaker-crashes M within
+// --breaker-window-ms trips the per-worker crash-loop breaker — the worker is
+// parked and the rest of the fleet keeps serving degraded. With
+// --health-interval-ms the supervisor also dials each worker's published port
+// and sends the `health` verb; --health-misses consecutive silent probes get
+// the wedged worker SIGKILLed and restarted. SIGTERM/SIGINT fan out SIGTERM
+// to every worker for a whole-fleet graceful drain (each worker runs its
+// usual checkpoint shutdown), waiting --drain-grace-ms before SIGKILLing
+// stragglers.
+//
+// One logical tick = one millisecond of wall time, so every *-ms flag maps
+// directly onto the supervisor's injectable clock.
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/strings.h"
+#include "srv/supervisor.h"
+
+using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
+
+namespace {
+
+volatile std::sig_atomic_t g_terminate = 0;
+void OnTerminate(int) { g_terminate = 1; }
+void OnChild(int) {}  // Wake the sleep so exits are reaped promptly.
+
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> out;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    out[key] = argv[i + 1];
+  }
+  return out;
+}
+
+std::string Get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback = "") {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+int GetInt(const std::map<std::string, std::string>& args,
+           const std::string& key, int fallback) {
+  int v = 0;
+  return core::ParseInt(Get(args, key), &v) ? v : fallback;
+}
+
+int64_t NowMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);  // Health probes write to real sockets.
+  const auto args = ParseArgs(argc, argv);
+  const std::string serve_bin = Get(args, "serve-bin");
+  if (serve_bin.empty()) {
+    fprintf(stderr, "usage: lhmm_fleet --serve-bin PATH [--workers N]"
+                    " [--dir BASE] [--port P] [--threads T] [--durable 1]\n");
+    return 2;
+  }
+  const int workers = GetInt(args, "workers", 4);
+  const std::string base = Get(args, "dir", "/tmp/lhmm-fleet");
+  const int shared_port = GetInt(args, "port", 0);
+  const std::string threads = std::to_string(GetInt(args, "threads", 4));
+  const bool durable = GetInt(args, "durable", 0) != 0;
+  const std::string fsync_policy = Get(args, "fsync", "record");
+  const int drain_grace_ms = GetInt(args, "drain-grace-ms", 10000);
+
+  mkdir(base.c_str(), 0755);
+  std::vector<srv::WorkerSpec> specs;
+  for (int w = 0; w < workers; ++w) {
+    const std::string dir = base + "/w" + std::to_string(w);
+    mkdir(dir.c_str(), 0755);
+    srv::WorkerSpec spec;
+    spec.name = "w" + std::to_string(w);
+    spec.port_file = dir + "/port";
+    spec.argv = {serve_bin, "--threads", threads,
+                 "--port-file", spec.port_file,
+                 "--pid-file", dir + "/pid"};
+    if (shared_port > 0) {
+      spec.argv.push_back("--listen");
+      spec.argv.push_back(core::StrFormat("0.0.0.0:%d", shared_port));
+      spec.argv.push_back("--reuseport");
+      spec.argv.push_back("1");
+    } else {
+      spec.argv.push_back("--listen");
+      spec.argv.push_back("127.0.0.1:0");
+    }
+    if (durable) {
+      spec.argv.push_back("--durable");
+      spec.argv.push_back(dir);
+      spec.argv.push_back("--fsync");
+      spec.argv.push_back(fsync_policy);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  srv::SupervisorConfig config;
+  config.backoff.base_ticks = GetInt(args, "backoff-base-ms", 100);
+  config.backoff.cap_ticks = GetInt(args, "backoff-cap-ms", 5000);
+  config.breaker.max_crashes = GetInt(args, "breaker-crashes", 5);
+  config.breaker.window_ticks = GetInt(args, "breaker-window-ms", 60000);
+  config.health_interval_ticks = GetInt(args, "health-interval-ms", 1000);
+  config.health_grace_ticks = GetInt(args, "health-grace-ms", 3000);
+  config.health_misses = GetInt(args, "health-misses", 3);
+  config.health_timeout_ms = GetInt(args, "health-timeout-ms", 500);
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnTerminate;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sc = {};
+  sc.sa_handler = OnChild;
+  sigaction(SIGCHLD, &sc, nullptr);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  srv::Supervisor sup(std::move(specs), config);
+  const core::Status started = sup.StartAll(NowMs(t0));
+  if (!started.ok()) {
+    fprintf(stderr, "lhmm_fleet: %s\n", started.ToString().c_str());
+  }
+  fprintf(stderr, "lhmm_fleet: %d workers under %s (%s)\n", workers,
+          serve_bin.c_str(),
+          shared_port > 0
+              ? core::StrFormat("SO_REUSEPORT :%d", shared_port).c_str()
+              : "per-worker ports");
+
+  int64_t last_report = 0;
+  while (g_terminate == 0) {
+    sup.Poll(NowMs(t0));
+    if (sup.AllSettled()) break;  // Everything parked or exited clean.
+    const int64_t now = NowMs(t0);
+    if (now - last_report >= 5000) {
+      last_report = now;
+      const srv::SupervisorMetrics m = sup.metrics();
+      fprintf(stderr,
+              "lhmm_fleet: running=%" PRId64 " parked=%" PRId64
+              " restarts=%" PRId64 " crashes=%" PRId64 " health_kills=%" PRId64
+              "\n",
+              m.running, m.parked, m.restarts, m.crashes, m.health_kills);
+    }
+    usleep(50 * 1000);  // SIGCHLD/SIGTERM interrupt this early.
+  }
+
+  if (g_terminate != 0) {
+    fprintf(stderr, "lhmm_fleet: draining (SIGTERM fan-out)\n");
+    sup.Drain();
+  }
+  const int stragglers = sup.WaitAll(drain_grace_ms);
+  const srv::SupervisorMetrics m = sup.metrics();
+  for (int i = 0; i < sup.num_workers(); ++i) {
+    const srv::WorkerStatus& st = sup.status(i);
+    fprintf(stderr,
+            "lhmm_fleet: %-8s %-8s restarts=%" PRId64 " crashes=%" PRId64
+            " clean_exits=%" PRId64 " health_kills=%" PRId64 "\n",
+            sup.spec(i).name.c_str(), srv::WorkerStateName(st.state),
+            st.restarts, st.crashes, st.clean_exits, st.health_kills);
+  }
+  if (stragglers > 0) {
+    fprintf(stderr, "lhmm_fleet: %d stragglers SIGKILLed after %dms grace\n",
+            stragglers, drain_grace_ms);
+  }
+  // A requested drain succeeds if nothing had to be SIGKILLed; an on-its-own
+  // settle succeeds only if no worker ended parked (crash-looped).
+  if (g_terminate != 0) return stragglers == 0 ? 0 : 1;
+  return m.parked == 0 ? 0 : 1;
+}

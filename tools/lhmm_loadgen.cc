@@ -45,10 +45,26 @@
 //
 //   lhmm_loadgen --net-smoke 1 --connections 256 \
 //                --serve-bin build/tools/lhmm_serve --threads 4
+//
+// Fleet gauntlet (--fleet-gauntlet 1): runs a real multi-process fleet —
+// N durable lhmm_serve workers plus one deliberately crash-looping worker —
+// under srv::Supervisor, drives every worker concurrently through
+// srv::ResilientClient while killing each one at least once under load
+// (SIGKILL, a SIGKILL with a partial frame in flight, and a SIGSTOP wedge
+// that only the supervisor's health probes can detect), and asserts: zero
+// acknowledged-response loss (the durable pushed= watermark never falls
+// below what the client saw acked), final committed output byte-identical
+// to an uninterrupted single-process oracle, the crash-loop breaker parking
+// the bad worker while the rest keep serving, and a clean whole-fleet
+// SIGTERM drain.
+//
+//   lhmm_loadgen --fleet-gauntlet 1 --workers 4 \
+//                --serve-bin build/tools/lhmm_serve --threads 8
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -61,6 +77,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -81,6 +98,8 @@
 #include "network/grid_index.h"
 #include "srv/frame.h"
 #include "srv/match_server.h"
+#include "srv/resilient_client.h"
+#include "srv/supervisor.h"
 #include "traj/trajectory.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
@@ -781,10 +800,428 @@ int RunNetSmoke(const std::map<std::string, std::string>& args) {
   return rc;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet gauntlet: a supervised multi-process fleet under kill fire.
+// ---------------------------------------------------------------------------
+
+enum class KillKind {
+  kSigkill,   ///< Plain SIGKILL between round trips.
+  kMidFrame,  ///< Half a frame header on the wire, THEN SIGKILL.
+  kWedge,     ///< SIGSTOP: alive to waitpid, silent to health probes.
+};
+
+/// Drives one worker's full workload through srv::ResilientClient, killing
+/// the worker once `milestone` pushes have been acknowledged, recovering, and
+/// finishing the run. Returns false on any protocol/invariant failure —
+/// including the gauntlet's core invariant: after a reconnect the worker's
+/// durable pushed= watermark must cover every push this client saw acked.
+bool DriveFleetWorker(int w, const std::string& port_file, int sessions,
+                      int points, int milestone, KillKind kind,
+                      const std::function<pid_t()>& get_pid,
+                      const std::vector<std::string>& oracle) {
+  srv::ResilientClientConfig cc;
+  cc.port_file = port_file;
+  cc.max_attempts = 40;
+  cc.backoff_base_ms = 10;
+  cc.backoff_cap_ms = 250;
+  cc.io_timeout_ms = 2000;
+  srv::ResilientClient rc(cc);
+  auto fail = [w](const std::string& what, const std::string& got) {
+    fprintf(stderr, "fleet-gauntlet: w%d expected %s, got '%s'\n", w,
+            what.c_str(), got.c_str());
+    return false;
+  };
+
+  // Per-session durable progress as this client knows it: next[c] points are
+  // acked. The zero-ack-loss invariant is checked against it on recovery.
+  std::vector<int> next(static_cast<size_t>(sessions), 0);
+  int64_t tick_no = 0;
+  int total_acked = 0;
+  bool killed = false;
+  bool need_recover = false;
+
+  auto maybe_kill = [&] {
+    if (killed || total_acked < milestone) return;
+    killed = true;
+    const pid_t pid = get_pid();
+    if (pid <= 0) return;
+    switch (kind) {
+      case KillKind::kMidFrame: {
+        // The worker dies holding a partial frame from us: its decoder state
+        // and our connection are both garbage, only the journal survives.
+        const char partial[3] = {srv::kFrameMagic, srv::kFrameVersion, 0x10};
+        if (rc.fd() >= 0) send(rc.fd(), partial, sizeof(partial), MSG_NOSIGNAL);
+        kill(pid, SIGKILL);
+        rc.CloseConn();
+        need_recover = true;
+        break;
+      }
+      case KillKind::kWedge:
+        // No exit for waitpid to see; only a health probe finds this one.
+        kill(pid, SIGSTOP);
+        break;
+      case KillKind::kSigkill:
+        kill(pid, SIGKILL);
+        break;
+    }
+    fprintf(stderr, "fleet-gauntlet: w%d killed (kind=%d) at %d acked\n", w,
+            static_cast<int>(kind), total_acked);
+  };
+
+  /// Reconnects (re-reading the port file — the restarted worker has a new
+  /// port) and resyncs next[] from the recovered server's pushed= watermarks.
+  auto recover = [&]() -> bool {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(90);
+    while (std::chrono::steady_clock::now() < deadline) {
+      rc.CloseConn();
+      if (!rc.Connect().ok()) continue;  // Connect paces its own backoff.
+      core::Result<std::string> r = rc.TryCmd("status");
+      const char* clk = r.ok() ? strstr(r->c_str(), "clock=") : nullptr;
+      if (clk == nullptr || !core::StartsWith(*r, "ok status")) continue;
+      const int64_t server_clock = atoll(clk + 6);
+      std::vector<int> pushed(static_cast<size_t>(sessions), -1);
+      bool all = true;
+      for (int c = 0; c < sessions && all; ++c) {
+        core::Result<std::string> rs =
+            rc.TryCmd(core::StrFormat("status %d", c));
+        const char* pu = rs.ok() ? strstr(rs->c_str(), "pushed=") : nullptr;
+        if (pu == nullptr) {
+          all = false;
+        } else {
+          pushed[c] = atoi(pu + 7);
+        }
+      }
+      if (!all) continue;
+      for (int c = 0; c < sessions; ++c) {
+        if (pushed[c] < next[c]) {
+          // An acked push did not survive the crash: the exact loss class
+          // this gauntlet exists to rule out (--fsync record makes every
+          // acked push durable before the ack).
+          fprintf(stderr,
+                  "fleet-gauntlet: w%d ACK LOSS session %d: client saw %d "
+                  "acked, recovered watermark %d\n",
+                  w, c, next[c], pushed[c]);
+          return false;
+        }
+        // The watermark may exceed our count: a push acked by the server
+        // whose response died with the connection. Resume past it.
+        next[c] = std::min(pushed[c], points);
+      }
+      tick_no = std::max(tick_no, server_clock);
+      return true;
+    }
+    fprintf(stderr, "fleet-gauntlet: w%d recovery deadline exceeded\n", w);
+    return false;
+  };
+
+  // --- Phase 0 (kill-free): wait for the worker, open dense ids. ---
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    bool ready = false;
+    while (!ready && std::chrono::steady_clock::now() < deadline) {
+      if (rc.Connect().ok()) {
+        core::Result<std::string> r = rc.TryCmd("health");
+        ready = r.ok() && core::StartsWith(*r, "ok health ");
+      }
+      if (!ready) usleep(20 * 1000);
+    }
+    if (!ready) return fail("ok health (worker up)", "startup timeout");
+  }
+  for (int c = 0; c < sessions; ++c) {
+    core::Result<std::string> r = rc.TryCmd("open");
+    long long id = -1;
+    if (!r.ok() || sscanf(r->c_str(), "ok open %lld", &id) != 1 || id != c) {
+      return fail("ok open " + std::to_string(c),
+                  r.ok() ? *r : r.status().ToString());
+    }
+  }
+  {
+    core::Result<std::string> r = rc.TryCmd(core::StrFormat("tick %" PRId64,
+                                                            ++tick_no));
+    if (!r.ok() || !core::StartsWith(*r, "ok tick")) {
+      return fail("ok tick", r.ok() ? *r : r.status().ToString());
+    }
+    // Checkpoint so the id mapping is snapshot-covered before the kill.
+    r = rc.TryCmd("checkpoint");
+    if (!r.ok() || !core::StartsWith(*r, "ok checkpoint")) {
+      return fail("ok checkpoint", r.ok() ? *r : r.status().ToString());
+    }
+  }
+
+  // --- Phase 1: stream everything; the kill lands mid-phase. ---
+  for (int rounds = 0; rounds < 200; ++rounds) {
+    if (need_recover) {
+      if (!recover()) return false;
+      need_recover = false;
+    }
+    bool done = true;
+    for (int c = 0; c < sessions; ++c) done = done && next[c] >= points;
+    if (done) break;
+    int since_tick = 0;
+    for (int c = 0; c < sessions && !need_recover; ++c) {
+      for (int p = next[c]; p < points && !need_recover; ++p) {
+        core::Result<std::string> r = rc.TryCmd(PushLine(c, p, points));
+        if (r.ok() && core::StartsWith(*r, "ok push")) {
+          next[c] = p + 1;
+          ++total_acked;
+          maybe_kill();
+          if (!need_recover && ++since_tick % 8 == 0) {
+            core::Result<std::string> rt =
+                rc.TryCmd(core::StrFormat("tick %" PRId64, ++tick_no));
+            if (!rt.ok()) need_recover = true;
+          }
+        } else if (r.ok()) {
+          return fail("ok push", *r);  // A typed reject is a real failure.
+        } else {
+          need_recover = true;  // Transport death: reconnect and resync.
+        }
+      }
+    }
+  }
+  for (int c = 0; c < sessions; ++c) {
+    if (next[c] < points) return fail("all points pushed", "rounds exhausted");
+  }
+  if (!killed) return fail("kill to fire before the workload ran out", "");
+
+  // --- Phase 2: finish + committed (kill already fired; transport errors
+  // here still recover, and a finish whose ack died with the connection is
+  // detected via the session state). ---
+  for (int c = 0; c < sessions; ++c) {
+    for (int tries = 0;; ++tries) {
+      if (tries > 4) return fail("ok finish", "retries exhausted");
+      core::Result<std::string> r =
+          rc.TryCmd(core::StrFormat("finish %d", c));
+      if (r.ok() && core::StartsWith(*r, "ok finish")) break;
+      if (!r.ok()) {
+        if (!recover()) return false;
+        continue;
+      }
+      core::Result<std::string> rs =
+          rc.TryCmd(core::StrFormat("status %d", c));
+      if (rs.ok() && rs->find(" finished ") != std::string::npos) break;
+      return fail("ok finish", *r);
+    }
+  }
+  for (int tries = 0;; ++tries) {
+    if (tries > 4) return fail("ok await", "retries exhausted");
+    core::Result<std::string> r = rc.TryCmd("await");
+    if (r.ok() && *r == "ok await") break;
+    if (!r.ok() && !recover()) return false;
+  }
+  for (int c = 0; c < sessions; ++c) {
+    core::Result<std::string> r =
+        rc.TryCmd(core::StrFormat("committed %d", c));
+    if (!r.ok() || !core::StartsWith(*r, "ok committed")) {
+      return fail("ok committed", r.ok() ? *r : r.status().ToString());
+    }
+    if (*r != oracle[c]) {
+      fprintf(stderr,
+              "fleet-gauntlet: w%d session %d diverged from oracle\n"
+              "  oracle:    %s\n  recovered: %s\n",
+              w, c, oracle[c].c_str(), r->c_str());
+      return false;
+    }
+  }
+  fprintf(stderr,
+          "fleet-gauntlet: w%d OK (%d acked, %" PRId64
+          " reconnects, committed byte-identical)\n",
+          w, total_acked, rc.reconnects());
+  return true;
+}
+
+/// The fleet gauntlet: oracle run, then a supervised 4+1 fleet under
+/// concurrent kill fire, then assertions + graceful drain.
+int RunFleetGauntlet(const std::map<std::string, std::string>& args) {
+  const std::string serve_bin = Get(args, "serve-bin", "");
+  if (serve_bin.empty()) {
+    fprintf(stderr, "fleet-gauntlet: --fleet-gauntlet requires --serve-bin\n");
+    return 2;
+  }
+  const int workers = std::max(1, GetInt(args, "workers", 4));
+  const int sessions = GetInt(args, "sessions", 4);
+  const int points = GetInt(args, "points", 24);
+  const int threads = GetInt(args, "threads", 4);
+  const std::string threads_str = std::to_string(threads);
+  const int total = sessions * points;
+
+  printf("fleet-gauntlet: %d workers + 1 crash-looper, %d sessions x %d "
+         "points each, %d engine threads\n",
+         workers, sessions, points, threads);
+
+  // The oracle: one uninterrupted single-process run of the same workload.
+  std::vector<std::string> oracle;
+  {
+    ServeProc sp;
+    if (!sp.Start({serve_bin, "--threads", threads_str})) return 1;
+    DriveResult r = Drive(&sp, sessions, points, /*crash_after=*/-1,
+                          /*durable=*/false);
+    sp.Quit();
+    if (!r.ok) return 1;
+    oracle = std::move(r.committed);
+  }
+  printf("fleet-gauntlet: oracle run complete (%zu committed lines)\n",
+         oracle.size());
+
+  const std::string base = MakeTempDir();
+  if (base.empty()) {
+    perror("mkdtemp");
+    return 1;
+  }
+  std::vector<srv::WorkerSpec> specs;
+  for (int w = 0; w < workers; ++w) {
+    const std::string dir = base + "/w" + std::to_string(w);
+    mkdir(dir.c_str(), 0755);
+    srv::WorkerSpec spec;
+    spec.name = "w" + std::to_string(w);
+    spec.port_file = dir + "/port";
+    spec.argv = {serve_bin,    "--threads", threads_str,
+                 "--durable",  dir,         "--fsync",
+                 "record",     "--listen",  "127.0.0.1:0",
+                 "--port-file", spec.port_file,
+                 "--pid-file", dir + "/pid"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    // The crash-looper: a malformed --listen makes lhmm_serve exit 1
+    // immediately, every time — exactly the workload the breaker exists for.
+    srv::WorkerSpec spec;
+    spec.name = "looper";
+    spec.argv = {serve_bin, "--listen", "bogus"};
+    specs.push_back(std::move(spec));
+  }
+  const int looper = workers;
+
+  srv::SupervisorConfig scfg;
+  scfg.backoff.base_ticks = 2;  // 1 tick = 10ms below.
+  scfg.backoff.cap_ticks = 32;
+  scfg.breaker.max_crashes = 4;
+  scfg.breaker.window_ticks = 1 << 20;  // Any 4 crashes of this run trip it.
+  scfg.health_interval_ticks = 10;
+  scfg.health_grace_ticks = 100;
+  scfg.health_misses = 2;
+  scfg.health_timeout_ms = 200;
+
+  // The supervisor is driven from a dedicated supervision thread; client
+  // threads touch it only under this mutex (to read a pid to kill).
+  std::mutex mu;
+  srv::Supervisor sup(std::move(specs), scfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto tick = [t0] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
+               .count() /
+           10;
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const core::Status st = sup.StartAll(tick());
+    if (!st.ok()) {
+      fprintf(stderr, "fleet-gauntlet: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::thread supervision([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        sup.Poll(tick());
+      }
+      usleep(5 * 1000);
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    clients.emplace_back([&, w] {
+      // Every worker dies once, each by a different mechanism; milestones
+      // are staggered through the middle third of the workload so every
+      // kill lands with sessions mid-stream.
+      const KillKind kind =
+          w == 0 ? KillKind::kMidFrame
+                 : (w == workers - 1 && workers > 1 ? KillKind::kWedge
+                                                    : KillKind::kSigkill);
+      const int milestone = total / 3 + (w * total) / (3 * workers);
+      const auto get_pid = [&mu, &sup, w]() -> pid_t {
+        std::lock_guard<std::mutex> lock(mu);
+        return sup.pid(w);
+      };
+      if (!DriveFleetWorker(w, base + "/w" + std::to_string(w) + "/port",
+                            sessions, points, milestone, kind, get_pid,
+                            oracle)) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Fleet-level assertions: breaker parked the looper while everyone else
+  // kept serving; every real worker actually died and came back. Then the
+  // whole-fleet graceful drain (SIGTERM fan-out, workers checkpoint + exit
+  // 0). All of it runs under the mutex with the supervision thread still
+  // alive: restarted workers are PDEATHSIG-tied to the thread that spawned
+  // them, so joining it first would SIGKILL the fleet mid-drain.
+  int rc = failures.load() == 0 ? 0 : 1;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (sup.status(looper).state != srv::WorkerState::kParked) {
+      fprintf(stderr, "fleet-gauntlet: crash-looper NOT parked (state=%s)\n",
+              srv::WorkerStateName(sup.status(looper).state));
+      rc = 1;
+    }
+    for (int w = 0; w < workers; ++w) {
+      const srv::WorkerStatus& st = sup.status(w);
+      if (st.restarts < 1) {
+        fprintf(stderr, "fleet-gauntlet: w%d was never killed+restarted\n", w);
+        rc = 1;
+      }
+    }
+    if (workers > 1 && sup.status(workers - 1).health_kills < 1) {
+      fprintf(stderr,
+              "fleet-gauntlet: wedged worker was not health-killed "
+              "(health probes never fired)\n");
+      rc = 1;
+    }
+    sup.Drain();
+    const int stragglers = sup.WaitAll(15000);
+    if (stragglers != 0) {
+      fprintf(stderr, "fleet-gauntlet: %d workers did not drain in time\n",
+              stragglers);
+      rc = 1;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  supervision.join();
+  for (int w = 0; w < workers; ++w) {
+    if (sup.status(w).clean_exits < 1) {
+      fprintf(stderr, "fleet-gauntlet: w%d did not exit clean on drain\n", w);
+      rc = 1;
+    }
+  }
+  const srv::SupervisorMetrics m = sup.metrics();
+  printf("fleet-gauntlet: restarts=%" PRId64 " crashes=%" PRId64
+         " clean_exits=%" PRId64 " health_kills=%" PRId64 " parked=%" PRId64
+         "\n",
+         m.restarts, m.crashes, m.clean_exits, m.health_kills, m.parked);
+  if (rc == 0) {
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+    printf("fleet-gauntlet: OK\n");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A worker dying mid-conversation must never SIGPIPE the harness.
+  std::signal(SIGPIPE, SIG_IGN);
   const auto args = ParseArgs(argc, argv);
+  if (GetInt(args, "fleet-gauntlet", 0) != 0) return RunFleetGauntlet(args);
   if (GetInt(args, "net-smoke", 0) != 0) return RunNetSmoke(args);
   if (args.count("crash-at") != 0) return RunCrashGauntlet(args);
   const bool smoke = GetInt(args, "smoke", 0) != 0;

@@ -15,6 +15,9 @@
 //                                    journal segments/bytes, last durable
 //                                    tick, snapshot generation)
 //   stats                         -> ok stats <key=value ...>
+//   health                        -> ok health tier=<name> clock=<n>
+//                                    durable=<0|1> gen=<n> live=<n>
+//   pid                           -> ok pid <pid> uptime=<secs>
 //   checkpoint                    -> ok checkpoint gen=<n>  (durable mode)
 //   drain <path>                  -> ok drain <path>     (stops admission)
 //   quit
@@ -43,11 +46,16 @@
 // reaped after --conn-ttl idle logical ticks, and SIGTERM/SIGINT stops
 // accepting, flushes every queued response, then runs the same
 // checkpoint/snapshot shutdown as stdin mode. --port-file PATH publishes the
-// bound port (useful with --listen 127.0.0.1:0) for test harnesses.
+// bound port (useful with --listen 127.0.0.1:0) for test harnesses and for
+// srv::Supervisor health probes; --pid-file PATH publishes the process id the
+// same atomic-rename way; --reuseport 1 binds with SO_REUSEPORT so N workers
+// under lhmm_fleet can share one port.
 //
 // The road network is a generated grid (--grid-rows/--grid-cols/--spacing)
 // or a dataset bundle (--data <prefix>). Tiers: with --data and --model, the
 // full paper ladder LHMM -> IVMM -> STM; otherwise IVMM -> STM.
+
+#include <unistd.h>
 
 #include <atomic>
 #include <csignal>
@@ -127,13 +135,13 @@ bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
          *port <= 65535;
 }
 
-/// Publishes the bound port for test harnesses (--port-file): written to a
-/// temp file then renamed, so a waiting reader never sees a partial write.
-bool WritePortFile(const std::string& path, int port) {
+/// Publishes one integer (--port-file, --pid-file): written to a temp file
+/// then renamed, so a waiting reader never sees a partial write.
+bool WriteNumberFile(const std::string& path, long long value) {
   const std::string tmp = path + ".tmp";
   FILE* f = fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
-  fprintf(f, "%d\n", port);
+  fprintf(f, "%lld\n", value);
   fclose(f);
   return rename(tmp.c_str(), path.c_str()) == 0;
 }
@@ -141,7 +149,19 @@ bool WritePortFile(const std::string& path, int port) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client vanishing mid-write must surface as a typed EPIPE, never kill
+  // the worker (MSG_NOSIGNAL covers the frame path; this covers stdio).
+  std::signal(SIGPIPE, SIG_IGN);
   const auto args = ParseArgs(argc, argv);
+
+  // Published before the (possibly slow) recovery/CH build so a supervisor
+  // can address the worker without racing startup.
+  const std::string pid_file = Get(args, "pid-file");
+  if (!pid_file.empty() &&
+      !WriteNumberFile(pid_file, static_cast<long long>(getpid()))) {
+    fprintf(stderr, "error: cannot write --pid-file %s\n", pid_file.c_str());
+    return 1;
+  }
 
   // --- The world: a network, an index, and a (possibly faulty) router. ---
   network::RoadNetwork net;
@@ -360,6 +380,7 @@ int main(int argc, char** argv) {
     net.conn_idle_ttl = GetInt(args, "conn-ttl", 0);
     net.max_write_queue_bytes =
         static_cast<size_t>(GetInt(args, "max-write-queue", 4 << 20));
+    net.reuse_port = GetInt(args, "reuseport", 0) != 0;
     srv::NetServer net_server(server.get(), cmd_options, net);
     const core::Status bound = net_server.Listen();
     if (!bound.ok()) {
@@ -368,7 +389,7 @@ int main(int argc, char** argv) {
     }
     const std::string port_file = Get(args, "port-file");
     if (!port_file.empty() &&
-        !WritePortFile(port_file, net_server.port())) {
+        !WriteNumberFile(port_file, net_server.port())) {
       fprintf(stderr, "error: cannot write --port-file %s\n",
               port_file.c_str());
       return 1;

@@ -14,7 +14,7 @@ BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=address
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test durability_test io_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test io_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
 
 # ASan aborts with a non-zero exit on the first bad access, so a plain run is
 # the assertion. The suite leans on the paths where lifetimes are trickiest:
@@ -24,7 +24,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # (including deliberately corrupted hierarchy files), and the loadgen fleet
 # exercising the whole serving stack concurrently — over stdin pipes and
 # over the TCP frame transport (frame_test, net_server_test, the socket
-# crash gauntlet, and a 64-connection net smoke).
+# crash gauntlet, and a 64-connection net smoke). supervisor_test and the
+# fleet gauntlet cover srv::Supervisor's fork/exec/reap lifecycle and the
+# ResilientClient's reconnect buffers under repeated worker SIGKILLs.
 export ASAN_OPTIONS="halt_on_error=1:detect_stack_use_after_return=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
@@ -44,5 +46,8 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
   --transport socket --serve-bin ./tools/lhmm_serve --threads 8
 ./tools/lhmm_loadgen --net-smoke 1 --connections 64 \
   --serve-bin ./tools/lhmm_serve --threads 4
+./tests/supervisor_test
+./tools/lhmm_loadgen --fleet-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "ASan pass complete: no memory errors reported."

@@ -14,7 +14,7 @@ BUILD_DIR=build-ubsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=undefined
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test frame_test net_server_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test frame_test net_server_test supervisor_test ch_test lhmm_serve lhmm_loadgen
 
 # -fno-sanitize-recover=all makes the first UB finding abort, so a plain run
 # is the assertion. The suite leans on the paths where UB is likeliest: the
@@ -26,7 +26,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test du
 # front end end-to-end — including the kill -9
 # crash gauntlet against a UBSan-instrumented lhmm_serve, over stdin and
 # over the TCP frame transport (frame_test's byte-level codec fuzzing is
-# exactly where length-arithmetic UB would hide).
+# exactly where length-arithmetic UB would hide). supervisor_test pins the
+# backoff doubling loop (the `base << attempt` shift-overflow trap) and the
+# breaker's window arithmetic; the fleet gauntlet runs the whole
+# supervision stack instrumented.
 export UBSAN_OPTIONS="print_stacktrace=1"
 cd "${BUILD_DIR}"
 ./tests/core_test
@@ -43,5 +46,8 @@ cd "${BUILD_DIR}"
   --transport socket --serve-bin ./tools/lhmm_serve --threads 4
 ./tools/lhmm_loadgen --net-smoke 1 --connections 64 \
   --serve-bin ./tools/lhmm_serve --threads 4
+./tests/supervisor_test
+./tools/lhmm_loadgen --fleet-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "UBSan pass complete: no undefined behavior reported."

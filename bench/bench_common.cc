@@ -158,30 +158,14 @@ matchers::MatcherFactory Seq2SeqFactory(
                                                        const network::GridIndex*,
                                                        int, uint64_t),
     const std::string& tag) {
-  // Train (or load) once so the weight cache exists, then let every worker
-  // clone restore the identical weights from disk.
-  (void)GetSeq2Seq(env, maker, tag);
-  const std::string path = std::string(kCacheDir) + "/" + env.ds.name + "_" + tag +
-                           (FastMode() ? "_fast" : "") + ".model";
-  const network::RoadNetwork* net = env.net();
-  const network::GridIndex* index = env.index.get();
-  const int num_towers = env.num_towers();
-  const std::vector<traj::MatchedTrajectory>* train = &env.ds.train;
-  return [path, maker, net, index, num_towers, train]()
-             -> std::unique_ptr<matchers::MapMatcher> {
-    std::unique_ptr<matchers::Seq2SeqMatcher> clone =
-        maker(net, index, num_towers, 77);
-    if (!clone->Load(path).ok()) {
-      // Weight cache unavailable (e.g. unwritable disk): retrain the clone.
-      // Training is deterministic (fixed seed), so clones stay identical.
-      fprintf(stderr,
-              "[bench] warning: %s: cannot load cached weights; worker clone "
-              "retrains\n",
-              path.c_str());
-      traj::FilterConfig filters;
-      clone->Train(*train, filters);
-    }
-    return clone;
+  // Train (or load) exactly one prototype, then hand every worker clone a
+  // shared read-only view of its weights: the inference path never writes
+  // them, so N clones cost one copy of the model instead of N disk reloads
+  // (or N retrains) that used to run per clone.
+  std::shared_ptr<matchers::Seq2SeqMatcher> prototype =
+      GetSeq2Seq(env, maker, tag);
+  return [prototype]() -> std::unique_ptr<matchers::MapMatcher> {
+    return prototype->SharedClone();
   };
 }
 

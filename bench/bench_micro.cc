@@ -3,12 +3,15 @@
 // engine end to end, attention/MLP inference, and Het-Graph encoder forward.
 //
 // Besides the default google-benchmark mode, `--json PATH --suite
-// routing|viterbi [--smoke]` runs a fixed perf suite and writes a flat
+// routing|viterbi|store [--smoke]` runs a fixed perf suite and writes a flat
 // key/value JSON snapshot for tools/bench_diff — the perf-regression
 // harness. The routing suite measures the HMM column and path-expansion
 // routing workloads on a Hangzhou-S-scale network, cold Dijkstra vs the
 // contraction-hierarchy backend; the viterbi suite measures the SoA column
-// kernel vs the scalar reference and the engine end to end. `--smoke`
+// kernel vs the scalar reference and the engine end to end; the store suite
+// measures the mmap data plane — store build, open+validate (the full CRC
+// sweep a swap candidate pays), and materializing assets from the mapping vs
+// rebuilding them from scratch the way an owned-mode worker must. `--smoke`
 // shrinks query counts (same network, same per-query metrics) so the suite
 // runs in ctest time.
 
@@ -18,10 +21,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/rng.h"
@@ -39,6 +44,8 @@
 #include "network/shortest_path.h"
 #include "nn/modules.h"
 #include "sim/dataset.h"
+#include "store/mapped_store.h"
+#include "store/store_writer.h"
 #include "traj/filters.h"
 
 namespace lhmm {
@@ -480,6 +487,134 @@ int RunViterbiSuite(const std::string& json_path, bool smoke) {
   return 0;
 }
 
+/// The store suite: the versioned mmap data plane's three costs on a
+/// Hangzhou-S-scale network —
+///
+///  - "build": encoding every section and atomically writing the store
+///    (what `lhmm_store build` pays once per rollout);
+///  - "open+validate": mmap plus the full header/TOC/per-section CRC sweep
+///    (what every worker pays per open, and every swap candidate per swap);
+///  - "materialize": road network, grid index, and CH from the mapping,
+///    against rebuilding the same assets from scratch the way an owned-mode
+///    worker must on every start.
+///
+/// The build/rebuild costs are one-shot (same network in smoke and full
+/// mode), so smoke only trims timing reps, never the workload shape.
+int RunStoreSuite(const std::string& json_path, bool smoke) {
+  const int reps = smoke ? 2 : 5;
+  sim::DatasetConfig cfg = sim::HangzhouSPreset();
+  network::RoadNetwork net = network::GenerateCityNetwork(cfg.net);
+
+  // The owned-mode baseline: what every worker rebuilds without a store.
+  core::Stopwatch index_watch;
+  network::GridIndex index(&net, 300.0);
+  const double owned_index_ms = index_watch.ElapsedSeconds() * 1e3;
+  core::Stopwatch ch_watch;
+  const network::CHGraph ch = network::CHGraph::Build(net);
+  const double owned_ch_ms = ch_watch.ElapsedSeconds() * 1e3;
+  const uint64_t fp = network::CHGraph::NetworkFingerprint(net);
+
+  char tmpl[] = "/tmp/lhmm-bench-store-XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "error: mkdtemp failed\n");
+    return 2;
+  }
+  const std::string path = std::string(dir) + "/store-1.lds";
+
+  // Sub-millisecond operations (open, loads) are timed over a batch of
+  // iterations per rep so the committed baseline is not noise-dominated;
+  // the build (which fsyncs) runs once per rep.
+  const auto time_best = [&](int iters, const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      core::Stopwatch watch;
+      for (int i = 0; i < iters; ++i) fn();
+      best = std::min(best, watch.ElapsedSeconds() * 1e3 / iters);
+    }
+    return best;
+  };
+  const int load_iters = smoke ? 8 : 16;
+
+  // Build: encode all four sections + the atomic temp/rename/fsync write.
+  bool build_failed = false;
+  const double build_ms = time_best(1, [&] {
+    store::StoreWriter w;
+    w.AddSection(store::kSectionNetwork, store::EncodeNetwork(net));
+    w.AddSection(store::kSectionGrid, store::EncodeGridIndex(index));
+    w.AddSection(store::kSectionCH, store::EncodeCHGraph(ch));
+    w.AddSection(store::kSectionMeta,
+                 store::EncodeMeta({{"source", "bench"}}));
+    if (!w.Write(path, fp, 1).ok()) build_failed = true;
+  });
+  if (build_failed) {
+    std::fprintf(stderr, "error: store build failed\n");
+    return 2;
+  }
+
+  // Open + validate: the full CRC sweep, per open.
+  bool open_failed = false;
+  const double open_validate_ms = time_best(load_iters, [&] {
+    auto store = store::MappedStore::Open(path, fp);
+    if (!store.ok()) open_failed = true;
+    benchmark::DoNotOptimize(store.ok());
+  });
+  if (open_failed) {
+    std::fprintf(stderr, "error: store open failed\n");
+    return 2;
+  }
+
+  // Materialize from one long-lived mapping (the serving pattern).
+  auto store = store::MappedStore::Open(path, fp);
+  const int64_t store_bytes = (*store)->bytes();
+  network::RoadNetwork loaded_net;
+  const double load_network_ms = time_best(load_iters, [&] {
+    auto loaded = (*store)->LoadNetwork();
+    if (loaded.ok()) loaded_net = std::move(*loaded);
+    benchmark::DoNotOptimize(loaded_net.num_segments());
+  });
+  const double load_grid_ms = time_best(load_iters, [&] {
+    auto loaded = (*store)->LoadGridIndex(&loaded_net);
+    benchmark::DoNotOptimize(loaded.ok());
+  });
+  const double load_ch_ms = time_best(load_iters, [&] {
+    auto loaded = (*store)->LoadCHGraph();
+    benchmark::DoNotOptimize(loaded.ok());
+  });
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  const double mapped_total_ms =
+      open_validate_ms + load_network_ms + load_grid_ms + load_ch_ms;
+  const double owned_total_ms = owned_index_ms + owned_ch_ms;
+
+  const double calib_us = CalibrateUs();
+  std::vector<KV> kvs;
+  kvs.push_back({"sanitized", static_cast<double>(Sanitized())});
+  kvs.push_back({"calib_us", calib_us});
+  kvs.push_back({"network_segments",
+                 static_cast<double>(net.num_segments())});
+  kvs.push_back({"store_bytes", static_cast<double>(store_bytes)});
+  kvs.push_back({"store_build_ms", build_ms});
+  kvs.push_back({"open_validate_ms", open_validate_ms});
+  kvs.push_back({"load_network_ms", load_network_ms});
+  kvs.push_back({"load_grid_ms", load_grid_ms});
+  kvs.push_back({"load_ch_ms", load_ch_ms});
+  kvs.push_back({"mapped_startup_ms", mapped_total_ms});
+  kvs.push_back({"owned_startup_ms", owned_total_ms});
+  kvs.push_back({"startup_speedup", owned_total_ms / mapped_total_ms});
+  if (!WriteFlatJson(json_path, kvs)) return 2;
+  std::printf(
+      "store suite -> %s\n  build %.1f ms, open+validate %.2f ms, materialize"
+      " net %.1f + grid %.1f + ch %.1f ms\n  startup %.1f ms mapped vs %.1f ms"
+      " owned rebuild (%.1fx), %lld bytes, %d segments\n",
+      json_path.c_str(), build_ms, open_validate_ms, load_network_ms,
+      load_grid_ms, load_ch_ms, mapped_total_ms, owned_total_ms,
+      owned_total_ms / mapped_total_ms, static_cast<long long>(store_bytes),
+      net.num_segments());
+  return 0;
+}
+
 }  // namespace
 
 /// Named entry point for the suite mode (the suite functions live in the
@@ -488,7 +623,8 @@ int RunSuiteMain(const std::string& suite, const std::string& json_path,
                  bool smoke) {
   if (suite == "routing") return RunRoutingSuite(json_path, smoke);
   if (suite == "viterbi") return RunViterbiSuite(json_path, smoke);
-  std::fprintf(stderr, "error: --json needs --suite routing|viterbi\n");
+  if (suite == "store") return RunStoreSuite(json_path, smoke);
+  std::fprintf(stderr, "error: --json needs --suite routing|viterbi|store\n");
   return 2;
 }
 

@@ -210,7 +210,7 @@ Seq2SeqMatcher::Seq2SeqMatcher(const network::RoadNetwork* net,
   CHECK(net != nullptr);
   CHECK(index != nullptr);
   core::Rng rng(config.seed);
-  impl_ = std::make_unique<Impl>(num_towers, net->num_segments(), config, &rng);
+  impl_ = std::make_shared<Impl>(num_towers, net->num_segments(), config, &rng);
 }
 
 Seq2SeqMatcher::~Seq2SeqMatcher() = default;
@@ -299,6 +299,20 @@ core::Status Seq2SeqMatcher::Save(const std::string& path) const {
 core::Status Seq2SeqMatcher::Load(const std::string& path) {
   std::vector<nn::Tensor> params = impl_->Params();
   return nn::LoadParams(path, &params);
+}
+
+std::unique_ptr<Seq2SeqMatcher> Seq2SeqMatcher::SharedClone() const {
+  auto clone = std::unique_ptr<Seq2SeqMatcher>(new Seq2SeqMatcher());
+  clone->net_ = net_;
+  clone->index_ = index_;
+  clone->config_ = config_;
+  clone->name_ = name_;
+  clone->impl_ = impl_;
+  return clone;
+}
+
+std::vector<nn::Tensor> Seq2SeqMatcher::Params() const {
+  return impl_->Params();
 }
 
 MatchResult Seq2SeqMatcher::Match(const traj::Trajectory& cellular) {

@@ -81,6 +81,17 @@ class Seq2SeqMatcher : public MapMatcher {
   core::Status Save(const std::string& path) const;
   core::Status Load(const std::string& path);
 
+  /// A matcher that shares this one's weights. The Impl is refcounted and
+  /// read-only on the inference path, so MatcherFactory clones built this way
+  /// hold one physical copy of the parameters no matter the pool width
+  /// (instead of re-reading a weight file per worker); router caches remain
+  /// per-clone. The source matcher must not be Train()ed while clones match.
+  std::unique_ptr<Seq2SeqMatcher> SharedClone() const;
+
+  /// All parameter tensors, aliasing the live weights in Save()/Load() order
+  /// (consumed by the store section encoders).
+  std::vector<nn::Tensor> Params() const;
+
   std::string name() const override { return name_; }
   MatchResult Match(const traj::Trajectory& cellular) override;
   void UseSharedRouter(network::CachedRouter* shared) override;
@@ -94,11 +105,13 @@ class Seq2SeqMatcher : public MapMatcher {
  private:
   struct Impl;
 
-  const network::RoadNetwork* net_;
-  const network::GridIndex* index_;
+  Seq2SeqMatcher() = default;  ///< Shell for SharedClone.
+
+  const network::RoadNetwork* net_ = nullptr;
+  const network::GridIndex* index_ = nullptr;
   Seq2SeqConfig config_;
   std::string name_;
-  std::unique_ptr<Impl> impl_;
+  std::shared_ptr<Impl> impl_;
   std::unique_ptr<network::SegmentRouter> router_;
   std::unique_ptr<network::CachedRouter> cached_router_;
   network::CachedRouter* shared_router_ = nullptr;

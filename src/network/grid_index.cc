@@ -39,6 +39,50 @@ GridIndex::GridIndex(const RoadNetwork* net, double cell_size)
   }
 }
 
+GridIndex::GridIndex(const RoadNetwork* net, const GridSnapshot& snap)
+    : net_(net),
+      cell_size_(snap.cell_size),
+      origin_x_(snap.origin_x),
+      origin_y_(snap.origin_y),
+      cols_(snap.cols),
+      rows_(snap.rows) {
+  CHECK(net != nullptr);
+  CHECK_GT(snap.cell_size, 0.0);
+  CHECK_GE(snap.cols, 1);
+  CHECK_GE(snap.rows, 1);
+  const size_t num_cells = static_cast<size_t>(cols_) * rows_;
+  CHECK_EQ(snap.cell_begin.size(), num_cells + 1);
+  CHECK_EQ(snap.cell_begin.front(), 0);
+  CHECK_EQ(snap.cell_begin.back(), static_cast<int64_t>(snap.ids.size()));
+  cells_.resize(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    const int64_t begin = snap.cell_begin[c];
+    const int64_t end = snap.cell_begin[c + 1];
+    CHECK_LE(begin, end);
+    cells_[c].assign(snap.ids.begin() + begin, snap.ids.begin() + end);
+    for (SegmentId id : cells_[c]) {
+      CHECK_GE(id, 0);
+      CHECK_LT(id, net->num_segments());
+    }
+  }
+}
+
+GridSnapshot GridIndex::Snapshot() const {
+  GridSnapshot snap;
+  snap.cell_size = cell_size_;
+  snap.origin_x = origin_x_;
+  snap.origin_y = origin_y_;
+  snap.cols = cols_;
+  snap.rows = rows_;
+  snap.cell_begin.reserve(cells_.size() + 1);
+  snap.cell_begin.push_back(0);
+  for (const std::vector<SegmentId>& cell : cells_) {
+    snap.ids.insert(snap.ids.end(), cell.begin(), cell.end());
+    snap.cell_begin.push_back(static_cast<int64_t>(snap.ids.size()));
+  }
+  return snap;
+}
+
 int GridIndex::CellOf(double x, double y) const {
   const int cx = std::clamp(static_cast<int>((x - origin_x_) / cell_size_), 0,
                             cols_ - 1);

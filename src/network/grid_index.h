@@ -16,6 +16,22 @@ struct SegmentHit {
   geo::Point closest;
 };
 
+/// Flattened cell buckets of a GridIndex, for persistence (the mmap store's
+/// GRID section). The snapshot pins the cell geometry exactly — origin, pitch,
+/// grid shape, and per-cell id lists — so an index restored from it answers
+/// every query byte-identically to the one that was built from the network.
+struct GridSnapshot {
+  double cell_size = 0.0;
+  double origin_x = 0.0;
+  double origin_y = 0.0;
+  int cols = 0;
+  int rows = 0;
+  /// cols*rows + 1 prefix offsets into `ids`; cell c holds
+  /// ids[cell_begin[c] .. cell_begin[c+1]).
+  std::vector<int64_t> cell_begin;
+  std::vector<SegmentId> ids;
+};
+
 /// Uniform-grid spatial index over road segment geometries. Candidate
 /// preparation (HMM step 1) issues radius queries here; cells are sized for
 /// cellular search radii (hundreds of meters to kilometers).
@@ -27,6 +43,15 @@ class GridIndex {
   /// Builds the index over all segments of `net`. The network must outlive
   /// the index. `cell_size` is the grid pitch in meters.
   explicit GridIndex(const RoadNetwork* net, double cell_size = 250.0);
+
+  /// Restores an index from a snapshot without re-scanning segment geometry.
+  /// The snapshot must describe `net` (ids in range, consistent prefix sums);
+  /// violations are fatal programming errors — callers restoring from
+  /// untrusted bytes validate sizes/ranges first (store::MappedStore does).
+  GridIndex(const RoadNetwork* net, const GridSnapshot& snap);
+
+  /// Flattens the cell buckets for persistence.
+  GridSnapshot Snapshot() const;
 
   /// All segments whose geometry lies within `radius` meters of `p`, sorted
   /// by ascending distance.

@@ -1,7 +1,9 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "core/strings.h"
 
@@ -9,23 +11,79 @@ namespace lhmm::nn {
 
 namespace {
 constexpr uint32_t kMagic = 0x4c484d4d;  // "LHMM"
-}
 
-core::Status SaveParams(const std::string& path, const std::vector<Tensor>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return core::Status::IoError("cannot open " + path);
-  const uint32_t magic = kMagic;
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(reinterpret_cast<const char*>(data), n);
+}
+}  // namespace
+
+void SerializeParams(const std::vector<Tensor>& params, std::string* out) {
   const uint32_t count = static_cast<uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  AppendRaw(out, &count, sizeof(count));
   for (const Tensor& p : params) {
     const int32_t rows = p.rows();
     const int32_t cols = p.cols();
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    out.write(reinterpret_cast<const char*>(p.value().data()),
-              static_cast<std::streamsize>(sizeof(float)) * p.value().size());
+    AppendRaw(out, &rows, sizeof(rows));
+    AppendRaw(out, &cols, sizeof(cols));
+    AppendRaw(out, p.value().data(), sizeof(float) * p.value().size());
   }
+}
+
+core::Status DeserializeParams(const void* data, size_t size,
+                               const std::string& origin,
+                               std::vector<Tensor>* params) {
+  const char* base = reinterpret_cast<const char*>(data);
+  size_t off = 0;
+  auto read = [&](void* dst, size_t n) {
+    if (off + n > size) return false;
+    std::memcpy(dst, base + off, n);
+    off += n;
+    return true;
+  };
+  uint32_t count = 0;
+  if (!read(&count, sizeof(count))) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "%s offset %zu: truncated parameter blob", origin.c_str(), off));
+  }
+  if (count != params->size()) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "%s: parameter count mismatch: blob has %u, model has %zu",
+        origin.c_str(), count, params->size()));
+  }
+  for (Tensor& p : *params) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    const size_t shape_off = off;
+    if (!read(&rows, sizeof(rows)) || !read(&cols, sizeof(cols))) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "%s offset %zu: truncated parameter blob", origin.c_str(), off));
+    }
+    if (rows != p.rows() || cols != p.cols()) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "%s offset %zu: shape mismatch: blob %dx%d vs model %dx%d",
+          origin.c_str(), shape_off, rows, cols, p.rows(), p.cols()));
+    }
+    if (!read(p.mutable_value().data(), sizeof(float) * p.value().size())) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "%s offset %zu: truncated parameter blob", origin.c_str(), off));
+    }
+  }
+  if (off != size) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "%s offset %zu: %zu trailing bytes after parameters", origin.c_str(),
+        off, size - off));
+  }
+  return core::Status::Ok();
+}
+
+core::Status SaveParams(const std::string& path, const std::vector<Tensor>& params) {
+  std::string blob;
+  const uint32_t magic = kMagic;
+  AppendRaw(&blob, &magic, sizeof(magic));
+  SerializeParams(params, &blob);
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return core::Status::IoError("cannot open " + path);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
   if (!out.good()) return core::Status::IoError("write failed for " + path);
   return core::Status::Ok();
 }
@@ -33,33 +91,18 @@ core::Status SaveParams(const std::string& path, const std::vector<Tensor>& para
 core::Status LoadParams(const std::string& path, std::vector<Tensor>* params) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return core::Status::IoError("cannot open " + path);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
   uint32_t magic = 0;
-  uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in.good() || magic != kMagic) {
+  if (blob.size() < sizeof(magic)) {
     return core::Status::InvalidArgument(path + " is not a parameter file");
   }
-  if (count != params->size()) {
-    return core::Status::InvalidArgument(
-        core::StrFormat("parameter count mismatch: file has %u, model has %zu",
-                        count, params->size()));
+  std::memcpy(&magic, blob.data(), sizeof(magic));
+  if (magic != kMagic) {
+    return core::Status::InvalidArgument(path + " is not a parameter file");
   }
-  for (Tensor& p : *params) {
-    int32_t rows = 0;
-    int32_t cols = 0;
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    if (!in.good() || rows != p.rows() || cols != p.cols()) {
-      return core::Status::InvalidArgument(
-          core::StrFormat("shape mismatch: file %dx%d vs model %dx%d", rows, cols,
-                          p.rows(), p.cols()));
-    }
-    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
-            static_cast<std::streamsize>(sizeof(float)) * p.value().size());
-    if (!in.good()) return core::Status::IoError("truncated parameter file " + path);
-  }
-  return core::Status::Ok();
+  return DeserializeParams(blob.data() + sizeof(magic),
+                           blob.size() - sizeof(magic), path, params);
 }
 
 }  // namespace lhmm::nn

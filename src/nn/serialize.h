@@ -16,6 +16,19 @@ core::Status SaveParams(const std::string& path, const std::vector<Tensor>& para
 /// match `params` exactly.
 core::Status LoadParams(const std::string& path, std::vector<Tensor>* params);
 
+/// Appends the in-memory form of a parameter set to `out`: u32 count, then
+/// per tensor i32 rows, i32 cols, float payload. SaveParams is exactly a
+/// magic word plus this blob; the mmap store embeds the blob directly so a
+/// weight section and a weight file validate through one decoder.
+void SerializeParams(const std::vector<Tensor>& params, std::string* out);
+
+/// Applies a SerializeParams blob (read in place from `data`, no intermediate
+/// copy) onto `params`. Count and shapes must match exactly; errors are typed
+/// with `origin` and the byte offset of the mismatch.
+core::Status DeserializeParams(const void* data, size_t size,
+                               const std::string& origin,
+                               std::vector<Tensor>* params);
+
 }  // namespace lhmm::nn
 
 #endif  // LHMM_NN_SERIALIZE_H_

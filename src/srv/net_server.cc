@@ -169,18 +169,27 @@ bool CommandProcessor::Process(const std::string& line, std::string* response,
       // No id: server-level status, durability included. The crash harness
       // and operators read the journal/snapshot fields from here.
       const DurabilityStatus d = server_->durability_status();
+      // store_* reports the data plane: which store generation this worker
+      // maps (mapped mode) or -1 with mode=owned when every asset is a
+      // private heap copy. lhmm_fleet reads these to surface generation skew.
+      const store::StoreStatus ss =
+          options_.store ? options_.store->Status() : store::StoreStatus{-1, -1, 0};
       *response = core::StrFormat(
           "ok status clock=%lld tier=%s durable=%d"
           " journal_segments=%lld journal_bytes=%lld"
           " last_durable_index=%lld last_durable_tick=%lld"
-          " snapshot_gen=%d journal_errors=%lld",
+          " snapshot_gen=%d journal_errors=%lld"
+          " store_gen=%lld store_bytes=%lld store_mode=%s",
           static_cast<long long>(server_->clock()),
           server_->active_tier_name().c_str(), d.enabled ? 1 : 0,
           static_cast<long long>(d.journal_segments),
           static_cast<long long>(d.journal_bytes),
           static_cast<long long>(d.last_durable_index),
           static_cast<long long>(d.last_durable_tick), d.snapshot_generation,
-          static_cast<long long>(d.journal_errors));
+          static_cast<long long>(d.journal_errors),
+          static_cast<long long>(ss.generation),
+          static_cast<long long>(ss.bytes),
+          options_.store ? "mapped" : "owned");
       return true;
     }
     if (id < 0 || id >= server_->num_sessions()) {
@@ -209,6 +218,13 @@ bool CommandProcessor::Process(const std::string& line, std::string* response,
         static_cast<long long>(server_->clock()), d.enabled ? 1 : 0,
         d.snapshot_generation,
         static_cast<long long>(server_->metrics().live_sessions));
+    // Only mapped-mode workers carry the field; the response is otherwise
+    // unchanged so existing probes (and their exact-match tests) still hold.
+    if (options_.store != nullptr) {
+      response->append(core::StrFormat(
+          " store=%lld",
+          static_cast<long long>(options_.store->Status().generation)));
+    }
     return true;
   }
   if (cmd == "pid") {
@@ -249,6 +265,47 @@ bool CommandProcessor::Process(const std::string& line, std::string* response,
                           "ok checkpoint gen=%d",
                           server_->durability_status().snapshot_generation)
                     : ErrLine(st);
+    return true;
+  }
+  if (cmd == "swap") {
+    // Hot model swap: flip to store generation <gen>. The manager validates
+    // the candidate fully (header, CRCs, fingerprint against the live
+    // network) before anything changes, so a reject leaves the serving
+    // generation untouched — the typed error names the file and byte offset.
+    long long gen = -1;
+    if (!(in >> gen)) {
+      *response = ErrLine(core::Status::InvalidArgument("usage: swap <gen>"));
+      return true;
+    }
+    if (options_.store == nullptr) {
+      *response = ErrLine(core::Status::FailedPrecondition(
+          "no store attached (start with --store)"));
+      return true;
+    }
+    const core::Result<store::StoreStatus> r = options_.store->Swap(gen);
+    *response = r.ok()
+                    ? core::StrFormat(
+                          "ok swap gen=%lld prev=%lld bytes=%lld",
+                          static_cast<long long>(r->generation),
+                          static_cast<long long>(r->previous_generation),
+                          static_cast<long long>(r->bytes))
+                    : ErrLine(r.status());
+    return true;
+  }
+  if (cmd == "rollback") {
+    if (options_.store == nullptr) {
+      *response = ErrLine(core::Status::FailedPrecondition(
+          "no store attached (start with --store)"));
+      return true;
+    }
+    const core::Result<store::StoreStatus> r = options_.store->Rollback();
+    *response = r.ok()
+                    ? core::StrFormat(
+                          "ok rollback gen=%lld prev=%lld bytes=%lld",
+                          static_cast<long long>(r->generation),
+                          static_cast<long long>(r->previous_generation),
+                          static_cast<long long>(r->bytes))
+                    : ErrLine(r.status());
     return true;
   }
   if (cmd == "drain") {

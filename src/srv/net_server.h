@@ -11,6 +11,7 @@
 #include "core/status.h"
 #include "srv/frame.h"
 #include "srv/match_server.h"
+#include "store/control.h"
 
 namespace lhmm::srv {
 
@@ -19,6 +20,11 @@ struct CommandOptions {
   /// Durable servers: write a snapshot + compact the journal every N ticks
   /// (0 = only via the checkpoint verb and at shutdown).
   int checkpoint_every = 0;
+  /// Attached versioned asset store, when the server runs in mapped mode
+  /// (lhmm_serve --store). Enables the swap/rollback verbs and the store_*
+  /// status fields; nullptr = owned mode (those verbs reject typed). The
+  /// pointer is borrowed and must outlive the processor.
+  store::StoreControl* store = nullptr;
 };
 
 /// Dispatches one line of the serve protocol (the verbs documented atop

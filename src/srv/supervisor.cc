@@ -249,9 +249,32 @@ bool Supervisor::Probe(Worker* w) {
       WriteFrame(fd, "health").ok()) {
     core::Result<std::string> resp = ReadFrame(fd);
     healthy = resp.ok() && core::StartsWith(*resp, "ok health ");
+    if (healthy) {
+      // Mapped-mode workers append " store=<gen>"; cache it for the fleet
+      // status table (generation skew mid-rollout must be visible).
+      const size_t pos = resp->find(" store=");
+      if (pos != std::string::npos) {
+        w->status.store_gen = atoll(resp->c_str() + pos + 7);
+      }
+    }
   }
   close(fd);
   return healthy;
+}
+
+int64_t ReadRssKb(pid_t pid) {
+  if (pid <= 0) return -1;
+  char path[64];
+  snprintf(path, sizeof(path), "/proc/%d/statm", static_cast<int>(pid));
+  FILE* f = fopen(path, "r");
+  if (f == nullptr) return -1;
+  long long size_pages = 0;
+  long long rss_pages = 0;
+  const int got = fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  fclose(f);
+  if (got != 2) return -1;
+  const long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+  return static_cast<int64_t>(rss_pages) * page_kb;
 }
 
 void Supervisor::Poll(int64_t now) {

@@ -111,7 +111,16 @@ struct WorkerStatus {
   int64_t crashes = 0;      ///< Abnormal exits (nonzero status or signal).
   int64_t clean_exits = 0;  ///< Zero-status exits.
   int64_t health_kills = 0; ///< SIGKILLs issued for failed probes.
+  /// Store generation from the worker's last successful health probe
+  /// (`store=` field); -1 until seen or when the worker runs owned-mode.
+  /// lhmm_fleet's status table surfaces this so generation skew across a
+  /// fleet mid-rollout is visible at a glance.
+  int64_t store_gen = -1;
 };
+
+/// Resident set size of `pid` in KiB from /proc/<pid>/statm; -1 when the
+/// process is gone or /proc is unavailable.
+int64_t ReadRssKb(pid_t pid);
 
 /// Fleet-level counters (sums over workers, plus parked count).
 struct SupervisorMetrics {

@@ -1,0 +1,40 @@
+#ifndef LHMM_STORE_CONTROL_H_
+#define LHMM_STORE_CONTROL_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace lhmm::store {
+
+/// What the serving plane reports about its attached store (the `status`,
+/// `swap`, and `rollback` verbs format exactly these fields).
+struct StoreStatus {
+  int64_t generation = 0;           ///< Generation currently serving.
+  int64_t previous_generation = -1; ///< Rollback target; -1 when none kept.
+  int64_t bytes = 0;                ///< Mapped store file size.
+};
+
+/// The narrow control surface srv:: needs from the store: report, swap,
+/// roll back. Header-only pure interface so lhmm_srv can expose the verbs
+/// without linking lhmm_store (the tool that owns both wires them together).
+/// Implemented by store::GenerationManager.
+class StoreControl {
+ public:
+  virtual ~StoreControl() = default;
+
+  virtual StoreStatus Status() const = 0;
+
+  /// Fully validates generation `generation` and flips to it; on any
+  /// validation failure returns the typed error and keeps serving the old
+  /// generation untouched.
+  virtual core::Result<StoreStatus> Swap(int64_t generation) = 0;
+
+  /// Re-publishes the previous kept generation. Typed kFailedPrecondition
+  /// when there is none.
+  virtual core::Result<StoreStatus> Rollback() = 0;
+};
+
+}  // namespace lhmm::store
+
+#endif  // LHMM_STORE_CONTROL_H_

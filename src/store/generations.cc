@@ -1,0 +1,129 @@
+#include "store/generations.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/strings.h"
+#include "io/durable_file.h"
+
+namespace lhmm::store {
+
+std::string GenerationDir(const std::string& root, int64_t gen) {
+  return core::StrFormat("%s/gen-%06lld", root.c_str(),
+                         static_cast<long long>(gen));
+}
+
+std::string StorePath(const std::string& root, int64_t gen) {
+  return core::StrFormat("%s/store-%lld.lds", GenerationDir(root, gen).c_str(),
+                         static_cast<long long>(gen));
+}
+
+core::Result<int64_t> ReadCurrent(const std::string& root) {
+  std::ifstream in(root + "/CURRENT");
+  if (!in.is_open()) {
+    return core::Status::NotFound(root + "/CURRENT: no generation published");
+  }
+  long long gen = -1;
+  in >> gen;
+  if (in.fail() || gen < 0) {
+    return core::Status::InvalidArgument(root +
+                                         "/CURRENT: unreadable generation");
+  }
+  return static_cast<int64_t>(gen);
+}
+
+core::Status PublishCurrent(const std::string& root, int64_t gen) {
+  return io::AtomicWriteFile(
+      root + "/CURRENT",
+      core::StrFormat("%lld\n", static_cast<long long>(gen)));
+}
+
+std::vector<int64_t> ListGenerations(const std::string& root) {
+  std::vector<int64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    long long gen = -1;
+    const std::string name = entry.path().filename().string();
+    if (std::sscanf(name.c_str(), "gen-%lld", &gen) != 1 || gen < 0) continue;
+    std::error_code exists_ec;
+    if (std::filesystem::exists(StorePath(root, gen), exists_ec)) {
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+GenerationManager::GenerationManager(std::string root,
+                                     uint64_t expect_fingerprint)
+    : root_(std::move(root)), expect_fingerprint_(expect_fingerprint) {}
+
+core::Result<std::unique_ptr<GenerationManager>> GenerationManager::Open(
+    const std::string& root, uint64_t expect_fingerprint) {
+  core::Result<int64_t> gen = ReadCurrent(root);
+  if (!gen.ok()) return gen.status();
+  core::Result<std::shared_ptr<MappedStore>> store =
+      MappedStore::Open(StorePath(root, *gen), expect_fingerprint);
+  if (!store.ok()) return store.status();
+  // With no caller expectation, pin the fingerprint of the generation we
+  // opened: even then a later swap can never cross to a different network.
+  const uint64_t pinned =
+      expect_fingerprint != 0 ? expect_fingerprint : (*store)->fingerprint();
+  std::unique_ptr<GenerationManager> mgr(
+      new GenerationManager(root, pinned));
+  mgr->current_ = std::make_shared<const LoadedGeneration>(
+      LoadedGeneration{*gen, std::move(*store)});
+  return mgr;
+}
+
+GenerationHandle GenerationManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+StoreStatus GenerationManager::StatusLocked() const {
+  StoreStatus s;
+  s.generation = current_->generation;
+  s.previous_generation = previous_gen_;
+  s.bytes = current_->store->bytes();
+  return s;
+}
+
+StoreStatus GenerationManager::Status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatusLocked();
+}
+
+core::Result<StoreStatus> GenerationManager::Swap(int64_t generation) {
+  // Validate the candidate completely before taking the lock or touching any
+  // serving state: a reject leaves the old generation byte-for-byte as it
+  // was, still mapped, still serving.
+  core::Result<std::shared_ptr<MappedStore>> store =
+      MappedStore::Open(StorePath(root_, generation), expect_fingerprint_);
+  if (!store.ok()) return store.status();
+  LHMM_RETURN_IF_ERROR(PublishCurrent(root_, generation));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_->generation != generation) {
+    previous_gen_ = current_->generation;
+    current_ = std::make_shared<const LoadedGeneration>(
+        LoadedGeneration{generation, std::move(*store)});
+  }
+  return StatusLocked();
+}
+
+core::Result<StoreStatus> GenerationManager::Rollback() {
+  int64_t target = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = previous_gen_;
+  }
+  if (target < 0) {
+    return core::Status::FailedPrecondition(
+        root_ + ": no previous generation kept to roll back to");
+  }
+  return Swap(target);
+}
+
+}  // namespace lhmm::store

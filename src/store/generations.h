@@ -1,0 +1,89 @@
+#ifndef LHMM_STORE_GENERATIONS_H_
+#define LHMM_STORE_GENERATIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "store/control.h"
+#include "store/mapped_store.h"
+
+namespace lhmm::store {
+
+/// Directory layout of a versioned store root:
+///
+///   <root>/gen-000001/store-1.lds
+///   <root>/gen-000002/store-2.lds
+///   <root>/CURRENT            <- text file naming the published generation
+///
+/// CURRENT is replaced with io::AtomicWriteFile (tmp + rename + dir fsync),
+/// so a reader — or a worker restarted mid-rollout — always sees a complete
+/// pointer to a fully written generation, never a torn in-between.
+std::string GenerationDir(const std::string& root, int64_t gen);
+std::string StorePath(const std::string& root, int64_t gen);
+
+/// Published generation from <root>/CURRENT; typed NotFound when the root has
+/// never published.
+core::Result<int64_t> ReadCurrent(const std::string& root);
+
+/// Atomically points CURRENT at `gen` (which must already be fully built —
+/// publish is the commit point of a build).
+core::Status PublishCurrent(const std::string& root, int64_t gen);
+
+/// All gen-<N> directories under `root` that contain a store file, ascending.
+std::vector<int64_t> ListGenerations(const std::string& root);
+
+/// One opened generation. Sessions pin the mapping by holding the handle:
+/// the shared_ptr is the RCU read lock, and the MappedStore (and its mmap)
+/// is released exactly when the last holder lets go — never under a live
+/// reader, never later.
+struct LoadedGeneration {
+  int64_t generation = 0;
+  std::shared_ptr<MappedStore> store;
+};
+using GenerationHandle = std::shared_ptr<const LoadedGeneration>;
+
+/// Serving-side generation state machine: opens the published generation,
+/// hands out pinned handles, and implements the swap/rollback protocol.
+///
+/// Swap(gen) is all-or-nothing: the candidate file is mapped and *fully*
+/// validated (header, CRCs, and fingerprint against the live network) before
+/// anything changes; only then is CURRENT re-published and the serving handle
+/// flipped. In-flight sessions keep matching on the generation they pinned at
+/// open; new sessions pick up the new one. A failed validation returns the
+/// typed file+offset error and the old generation keeps serving untouched.
+class GenerationManager : public StoreControl {
+ public:
+  /// Opens the generation CURRENT points at. `expect_fingerprint` (nonzero)
+  /// is the live network's fingerprint; every open and every swap candidate
+  /// is checked against it. 0 pins the opened generation's own fingerprint
+  /// instead, so even a caller with no expectation can never swap across
+  /// networks.
+  static core::Result<std::unique_ptr<GenerationManager>> Open(
+      const std::string& root, uint64_t expect_fingerprint = 0);
+
+  /// The currently serving generation, pinned.
+  GenerationHandle Current() const;
+
+  StoreStatus Status() const override;
+  core::Result<StoreStatus> Swap(int64_t generation) override;
+  core::Result<StoreStatus> Rollback() override;
+
+ private:
+  GenerationManager(std::string root, uint64_t expect_fingerprint);
+
+  StoreStatus StatusLocked() const;
+
+  const std::string root_;
+  const uint64_t expect_fingerprint_;
+  mutable std::mutex mu_;
+  GenerationHandle current_;
+  int64_t previous_gen_ = -1;
+};
+
+}  // namespace lhmm::store
+
+#endif  // LHMM_STORE_GENERATIONS_H_

@@ -1,0 +1,51 @@
+#ifndef LHMM_STORE_PINNED_MATCHER_H_
+#define LHMM_STORE_PINNED_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "matchers/matcher.h"
+#include "store/generations.h"
+
+namespace lhmm::store {
+
+/// A matcher clone pinned to one store generation. MatcherFactory wrappers in
+/// store mode produce these: the handle keeps the generation's mapping alive
+/// for the whole life of the clone (and of any streaming session it opens,
+/// since StreamEngine keeps the clone for the session's life), so a swap
+/// never unmaps bytes a live Viterbi column is still reading. When the last
+/// pinned clone of an old generation is destroyed, the handle drops and the
+/// old mapping is released — RCU with shared_ptr as the read lock.
+class PinnedMatcher : public matchers::MapMatcher {
+ public:
+  PinnedMatcher(GenerationHandle generation,
+                std::unique_ptr<matchers::MapMatcher> inner)
+      : generation_(std::move(generation)), inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  matchers::MatchResult Match(const traj::Trajectory& cellular) override {
+    return inner_->Match(cellular);
+  }
+  bool ProvidesCandidates() const override {
+    return inner_->ProvidesCandidates();
+  }
+  void UseSharedRouter(network::CachedRouter* shared) override {
+    inner_->UseSharedRouter(shared);
+  }
+  bool SupportsStreaming() const override { return inner_->SupportsStreaming(); }
+  std::unique_ptr<matchers::StreamingSession> OpenSession(
+      const matchers::StreamConfig& config) override {
+    return inner_->OpenSession(config);
+  }
+
+  const GenerationHandle& generation() const { return generation_; }
+
+ private:
+  GenerationHandle generation_;
+  std::unique_ptr<matchers::MapMatcher> inner_;
+};
+
+}  // namespace lhmm::store
+
+#endif  // LHMM_STORE_PINNED_MATCHER_H_

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression smoke gate: re-measures both bench_micro suites in --smoke
+# Perf-regression smoke gate: re-measures the bench_micro suites in --smoke
 # mode and diffs them against the committed baselines at the repo root.
 #
 # The committed baselines come from the *full* suites, so the tolerance here
@@ -22,8 +22,10 @@ trap 'rm -rf "$tmp"' EXIT
 
 "$BENCH_MICRO" --json "$tmp/routing.json" --suite routing --smoke
 "$BENCH_MICRO" --json "$tmp/viterbi.json" --suite viterbi --smoke
+"$BENCH_MICRO" --json "$tmp/store.json" --suite store --smoke
 
 "$BENCH_DIFF" "$REPO_ROOT/BENCH_routing.json" "$tmp/routing.json" --tol "$TOL"
 "$BENCH_DIFF" "$REPO_ROOT/BENCH_viterbi.json" "$tmp/viterbi.json" --tol "$TOL"
+"$BENCH_DIFF" "$REPO_ROOT/BENCH_store.json" "$tmp/store.json" --tol "$TOL"
 
 echo "bench_regression_smoke: OK"

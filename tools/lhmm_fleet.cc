@@ -97,6 +97,10 @@ int main(int argc, char** argv) {
   const bool durable = GetInt(args, "durable", 0) != 0;
   const std::string fsync_policy = Get(args, "fsync", "record");
   const int drain_grace_ms = GetInt(args, "drain-grace-ms", 10000);
+  // Shared data plane: every worker maps the same versioned store root, so
+  // fleet memory stops scaling with the worker count and `swap`/`rollback`
+  // fan out as plain verbs to each worker's port.
+  const std::string store_root = Get(args, "store");
 
   mkdir(base.c_str(), 0755);
   std::vector<srv::WorkerSpec> specs;
@@ -123,6 +127,10 @@ int main(int argc, char** argv) {
       spec.argv.push_back(dir);
       spec.argv.push_back("--fsync");
       spec.argv.push_back(fsync_policy);
+    }
+    if (!store_root.empty()) {
+      spec.argv.push_back("--store");
+      spec.argv.push_back(store_root);
     }
     specs.push_back(std::move(spec));
   }
@@ -170,6 +178,16 @@ int main(int argc, char** argv) {
               " restarts=%" PRId64 " crashes=%" PRId64 " health_kills=%" PRId64
               "\n",
               m.running, m.parked, m.restarts, m.crashes, m.health_kills);
+      // Per-worker data-plane view: store generation (from health probes) and
+      // RSS. Mid-rollout, a fleet with generation skew shows it right here.
+      for (int i = 0; i < sup.num_workers(); ++i) {
+        const srv::WorkerStatus& st = sup.status(i);
+        fprintf(stderr,
+                "lhmm_fleet:   %-8s %-8s store_gen=%" PRId64 " rss_kb=%" PRId64
+                "\n",
+                sup.spec(i).name.c_str(), srv::WorkerStateName(st.state),
+                st.store_gen, srv::ReadRssKb(sup.pid(i)));
+      }
     }
     usleep(50 * 1000);  // SIGCHLD/SIGTERM interrupt this early.
   }
@@ -184,9 +202,11 @@ int main(int argc, char** argv) {
     const srv::WorkerStatus& st = sup.status(i);
     fprintf(stderr,
             "lhmm_fleet: %-8s %-8s restarts=%" PRId64 " crashes=%" PRId64
-            " clean_exits=%" PRId64 " health_kills=%" PRId64 "\n",
+            " clean_exits=%" PRId64 " health_kills=%" PRId64
+            " store_gen=%" PRId64 "\n",
             sup.spec(i).name.c_str(), srv::WorkerStateName(st.state),
-            st.restarts, st.crashes, st.clean_exits, st.health_kills);
+            st.restarts, st.crashes, st.clean_exits, st.health_kills,
+            st.store_gen);
   }
   if (stragglers > 0) {
     fprintf(stderr, "lhmm_fleet: %d stragglers SIGKILLed after %dms grace\n",

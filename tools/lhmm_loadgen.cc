@@ -60,6 +60,19 @@
 //
 //   lhmm_loadgen --fleet-gauntlet 1 --workers 4 \
 //                --serve-bin build/tools/lhmm_serve --threads 8
+//
+// Swap gauntlet (--swap-gauntlet 1): a 4-worker fleet all mapping ONE shared
+// versioned store (--store) serves continuous srv::ResilientClient load while
+// a new store generation is built on disk, hot-swapped in (`swap 2` fanned to
+// every worker), attacked with five corrupt swap candidates (torn tail, bit
+// flip, garbage header, future format version, wrong-network fingerprint —
+// each must be a typed file+offset reject that leaves the serving generation
+// untouched), and finally rolled back. Requires zero acknowledged-response
+// loss and committed output byte-identical to an uninterrupted owned-mode
+// oracle — the store-backed data plane must be invisible to results.
+//
+//   lhmm_loadgen --swap-gauntlet 1 --workers 4 \
+//                --serve-bin build/tools/lhmm_serve --threads 8
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -93,6 +106,7 @@
 #include "io/journal.h"
 #include "matchers/classic_matchers.h"
 #include "matchers/ivmm.h"
+#include "network/contraction.h"
 #include "network/faulty_router.h"
 #include "network/generators.h"
 #include "network/grid_index.h"
@@ -100,6 +114,9 @@
 #include "srv/match_server.h"
 #include "srv/resilient_client.h"
 #include "srv/supervisor.h"
+#include "store/format.h"
+#include "store/generations.h"
+#include "store/store_writer.h"
 #include "traj/trajectory.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
@@ -1215,12 +1232,523 @@ int RunFleetGauntlet(const std::map<std::string, std::string>& args) {
   return rc;
 }
 
+// ---------------------------------------------------------------------------
+// Swap gauntlet: hot model swap + crash-safe rollback under continuous load.
+// ---------------------------------------------------------------------------
+
+/// Builds one store generation under `root` the way `lhmm_store build` does —
+/// grid network, grid index, contraction hierarchy, META — and returns its
+/// path ("" on failure). The default 10x10/200m grid is the exact world
+/// lhmm_serve builds in owned mode, so PushLine's workload has candidates and
+/// the owned-mode oracle is comparable byte for byte.
+std::string BuildStoreGen(const std::string& root, int64_t gen, int rows,
+                          int cols, double spacing) {
+  network::RoadNetwork net = network::GenerateGridNetwork(rows, cols, spacing);
+  network::GridIndex index(&net, 300.0);
+  network::CHGraph ch = network::CHGraph::Build(net);
+  store::StoreWriter w;
+  w.AddSection(store::kSectionNetwork, store::EncodeNetwork(net));
+  w.AddSection(store::kSectionGrid, store::EncodeGridIndex(index));
+  w.AddSection(store::kSectionCH, store::EncodeCHGraph(ch));
+  w.AddSection(store::kSectionMeta,
+               store::EncodeMeta({{"source", "swap-gauntlet"}}));
+  mkdir(root.c_str(), 0755);
+  mkdir(store::GenerationDir(root, gen).c_str(), 0755);
+  const std::string path = store::StorePath(root, gen);
+  const core::Status st =
+      w.Write(path, network::CHGraph::NetworkFingerprint(net),
+              static_cast<uint64_t>(gen));
+  if (!st.ok()) {
+    fprintf(stderr, "swap-gauntlet: build gen %" PRId64 ": %s\n", gen,
+            st.ToString().c_str());
+    return "";
+  }
+  return path;
+}
+
+/// Stamps a higher format version into the header and re-seals the header
+/// CRC, so the file is bit-perfect except for being "from the future" — the
+/// reject must be the version skew, not a CRC mismatch.
+bool PatchFutureVersion(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "r+b");
+  if (f == nullptr) return false;
+  char header[store::kHeaderBytes];
+  if (fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    fclose(f);
+    return false;
+  }
+  const uint32_t future = store::kFormatVersion + 1;
+  memcpy(header + store::kVersionOffset, &future, sizeof(future));
+  const uint32_t crc = io::Crc32(header, store::kHeaderCrcOffset);
+  memcpy(header + store::kHeaderCrcOffset, &crc, sizeof(crc));
+  const bool ok = fseek(f, 0, SEEK_SET) == 0 &&
+                  fwrite(header, 1, sizeof(header), f) == sizeof(header);
+  fclose(f);
+  return ok;
+}
+
+/// Cross-thread pacing for the swap gauntlet: clients stream half their
+/// points, wait for the hot swap, stream the rest, and hold their sessions
+/// open until the corrupt-candidate campaign and the rollback are done — so
+/// every protocol step lands with live pinned sessions on every worker.
+struct SwapGates {
+  std::atomic<int> half_done{0};
+  std::atomic<bool> swapped{false};
+  std::atomic<int> full_done{0};
+  std::atomic<bool> protocol_done{false};
+  std::atomic<bool> abort{false};  ///< The protocol driver failed; unblock all.
+};
+
+bool AwaitFlag(const std::atomic<bool>& flag, const std::atomic<bool>& abort,
+               int seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (flag.load(std::memory_order_acquire)) return true;
+    if (abort.load(std::memory_order_acquire)) return false;
+    usleep(5 * 1000);
+  }
+  return false;
+}
+
+/// Drives one store-backed worker's full workload through
+/// srv::ResilientClient with zero tolerance: no kills fire in this gauntlet,
+/// so every round trip must succeed — any transport error or typed reject is
+/// acknowledged-response loss and fails the run.
+bool DriveSwapWorker(int w, const std::string& port_file, int sessions,
+                     int points, const std::vector<std::string>& oracle,
+                     SwapGates* gates) {
+  srv::ResilientClientConfig cc;
+  cc.port_file = port_file;
+  cc.max_attempts = 40;
+  cc.backoff_base_ms = 10;
+  cc.backoff_cap_ms = 250;
+  cc.io_timeout_ms = 2000;
+  srv::ResilientClient rc(cc);
+  auto fail = [w](const std::string& what, const std::string& got) {
+    fprintf(stderr, "swap-gauntlet: w%d expected %s, got '%s'\n", w,
+            what.c_str(), got.c_str());
+    return false;
+  };
+  auto must = [&](const std::string& line,
+                  const char* prefix) -> core::Result<std::string> {
+    core::Result<std::string> r = rc.TryCmd(line);
+    if (!r.ok()) {
+      fail(prefix, r.status().ToString());
+      return r.status();
+    }
+    if (!core::StartsWith(*r, prefix)) {
+      fail(prefix, *r);
+      return core::Status::Internal("unexpected response");
+    }
+    return r;
+  };
+
+  // Wait for the worker, then open dense session ids.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    bool ready = false;
+    while (!ready && std::chrono::steady_clock::now() < deadline) {
+      if (rc.Connect().ok()) {
+        core::Result<std::string> r = rc.TryCmd("health");
+        ready = r.ok() && core::StartsWith(*r, "ok health ");
+      }
+      if (!ready) usleep(20 * 1000);
+    }
+    if (!ready) return fail("ok health (worker up)", "startup timeout");
+  }
+  for (int c = 0; c < sessions; ++c) {
+    core::Result<std::string> r = rc.TryCmd("open");
+    long long id = -1;
+    if (!r.ok() || sscanf(r->c_str(), "ok open %lld", &id) != 1 || id != c) {
+      return fail("ok open " + std::to_string(c),
+                  r.ok() ? *r : r.status().ToString());
+    }
+  }
+  int64_t tick_no = 0;
+  if (!must(core::StrFormat("tick %" PRId64, ++tick_no), "ok tick").ok()) {
+    return false;
+  }
+
+  // First half of every session, on the bootstrap generation.
+  const int half = points / 2;
+  int since_tick = 0;
+  auto push_range = [&](int from, int to) {
+    for (int p = from; p < to; ++p) {
+      for (int c = 0; c < sessions; ++c) {
+        if (!must(PushLine(c, p, points), "ok push").ok()) return false;
+        if (++since_tick % 8 == 0 &&
+            !must(core::StrFormat("tick %" PRId64, ++tick_no), "ok tick")
+                 .ok()) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  if (!push_range(0, half)) return false;
+  gates->half_done.fetch_add(1, std::memory_order_acq_rel);
+  if (!AwaitFlag(gates->swapped, gates->abort, 180)) {
+    return fail("hot swap to land", "timeout/abort waiting at half-stream");
+  }
+
+  // Second half: the fleet's CURRENT now points at the new generation while
+  // these sessions keep matching on the one they pinned at open — the output
+  // must not care.
+  if (!push_range(half, points)) return false;
+  gates->full_done.fetch_add(1, std::memory_order_acq_rel);
+  if (!AwaitFlag(gates->protocol_done, gates->abort, 180)) {
+    return fail("corrupt-candidate campaign + rollback",
+                "timeout/abort waiting fully streamed");
+  }
+
+  // Finish everything and diff committed output against the oracle.
+  for (int c = 0; c < sessions; ++c) {
+    if (!must(core::StrFormat("finish %d", c), "ok finish").ok()) return false;
+  }
+  core::Result<std::string> r = rc.TryCmd("await");
+  if (!r.ok() || *r != "ok await") {
+    return fail("ok await", r.ok() ? *r : r.status().ToString());
+  }
+  for (int c = 0; c < sessions; ++c) {
+    r = must(core::StrFormat("committed %d", c), "ok committed");
+    if (!r.ok()) return false;
+    if (*r != oracle[c]) {
+      fprintf(stderr,
+              "swap-gauntlet: w%d session %d diverged from oracle\n"
+              "  oracle:       %s\n  store-backed: %s\n",
+              w, c, oracle[c].c_str(), r->c_str());
+      return false;
+    }
+  }
+  if (rc.reconnects() != 0) {
+    fprintf(stderr,
+            "swap-gauntlet: w%d needed %" PRId64
+            " reconnects with no kill fire — a swap disturbed the transport\n",
+            w, rc.reconnects());
+    return false;
+  }
+  fprintf(stderr, "swap-gauntlet: w%d OK (committed byte-identical)\n", w);
+  return true;
+}
+
+/// One frame-protocol control connection per worker, for fanning swap /
+/// rollback / status verbs from the protocol driver while the client threads
+/// keep their own load connections busy.
+struct ControlConn {
+  int fd = -1;
+  std::string Cmd(const std::string& line) {
+    if (fd < 0) return "";
+    if (!srv::WriteFrame(fd, line).ok()) return "";
+    core::Result<std::string> resp = srv::ReadFrame(fd);
+    return resp.ok() ? *resp : "";
+  }
+  ~ControlConn() {
+    if (fd >= 0) close(fd);
+  }
+};
+
+/// The swap gauntlet: owned-mode oracle, then a supervised store-backed
+/// fleet driven through build → swap → corrupt-candidate rejects → rollback
+/// while every worker streams under load.
+int RunSwapGauntlet(const std::map<std::string, std::string>& args) {
+  const std::string serve_bin = Get(args, "serve-bin", "");
+  if (serve_bin.empty()) {
+    fprintf(stderr, "swap-gauntlet: --swap-gauntlet requires --serve-bin\n");
+    return 2;
+  }
+  const int workers = std::max(1, GetInt(args, "workers", 4));
+  const int sessions = GetInt(args, "sessions", 4);
+  const int points = GetInt(args, "points", 24);
+  const int threads = GetInt(args, "threads", 4);
+  const std::string threads_str = std::to_string(threads);
+
+  printf("swap-gauntlet: %d workers on one shared store, %d sessions x %d "
+         "points each, %d engine threads\n",
+         workers, sessions, points, threads);
+
+  const std::string base = MakeTempDir();
+  if (base.empty()) {
+    perror("mkdtemp");
+    return 1;
+  }
+  const std::string root = base + "/store";
+  if (BuildStoreGen(root, 1, 10, 10, 200.0).empty()) return 1;
+  {
+    const core::Status st = store::PublishCurrent(root, 1);
+    if (!st.ok()) {
+      fprintf(stderr, "swap-gauntlet: publish gen 1: %s\n",
+              st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The oracle: an uninterrupted owned-mode run (no store at all), so the
+  // comparison proves the mapped data plane changes nothing about results.
+  std::vector<std::string> oracle;
+  {
+    ServeProc sp;
+    if (!sp.Start({serve_bin, "--threads", threads_str})) return 1;
+    DriveResult r = Drive(&sp, sessions, points, /*crash_after=*/-1,
+                          /*durable=*/false);
+    sp.Quit();
+    if (!r.ok) return 1;
+    oracle = std::move(r.committed);
+  }
+  printf("swap-gauntlet: owned-mode oracle complete (%zu committed lines)\n",
+         oracle.size());
+
+  std::vector<srv::WorkerSpec> specs;
+  for (int w = 0; w < workers; ++w) {
+    const std::string dir = base + "/w" + std::to_string(w);
+    mkdir(dir.c_str(), 0755);
+    srv::WorkerSpec spec;
+    spec.name = "w" + std::to_string(w);
+    spec.port_file = dir + "/port";
+    spec.argv = {serve_bin,     "--threads", threads_str,
+                 "--store",     root,        "--listen",
+                 "127.0.0.1:0", "--port-file", spec.port_file};
+    specs.push_back(std::move(spec));
+  }
+  srv::SupervisorConfig scfg;
+  scfg.backoff.base_ticks = 2;
+  scfg.backoff.cap_ticks = 32;
+  scfg.health_interval_ticks = 10;
+  scfg.health_grace_ticks = 200;
+  scfg.health_misses = 4;
+  scfg.health_timeout_ms = 500;
+
+  std::mutex mu;
+  srv::Supervisor sup(std::move(specs), scfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto tick = [t0] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
+               .count() /
+           10;
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const core::Status st = sup.StartAll(tick());
+    if (!st.ok()) {
+      fprintf(stderr, "swap-gauntlet: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::thread supervision([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        sup.Poll(tick());
+      }
+      usleep(5 * 1000);
+    }
+  });
+
+  SwapGates gates;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    clients.emplace_back([&, w] {
+      if (!DriveSwapWorker(w, base + "/w" + std::to_string(w) + "/port",
+                           sessions, points, oracle, &gates)) {
+        ++failures;
+        gates.abort.store(true, std::memory_order_release);
+      }
+    });
+  }
+
+  // --- The protocol driver (this thread). Any failure aborts the gates so
+  // client threads unblock and the run fails fast. ---
+  int rc = 0;
+  auto protocol_fail = [&](const std::string& what, const std::string& got) {
+    fprintf(stderr, "swap-gauntlet: expected %s, got '%s'\n", what.c_str(),
+            got.c_str());
+    rc = 1;
+    gates.abort.store(true, std::memory_order_release);
+  };
+  std::vector<ControlConn> ctl(static_cast<size_t>(workers));
+  auto fan = [&](const std::string& line, const std::string& expect_prefix,
+                 const std::string& expect_contains) {
+    for (int w = 0; w < workers && rc == 0; ++w) {
+      const std::string resp = ctl[static_cast<size_t>(w)].Cmd(line);
+      if (!core::StartsWith(resp, expect_prefix) ||
+          (!expect_contains.empty() &&
+           resp.find(expect_contains) == std::string::npos)) {
+        protocol_fail("w" + std::to_string(w) + " '" + line + "' -> " +
+                          expect_prefix + " ... " + expect_contains,
+                      resp);
+      }
+    }
+  };
+  /// Every worker must still be serving the given generation — the corrupt
+  /// candidates must never disturb the published pointer or the mapping.
+  auto expect_serving = [&](int64_t gen) {
+    fan("status", "ok status",
+        core::StrFormat(" store_gen=%lld ", static_cast<long long>(gen)));
+  };
+
+  auto wait_count = [&](std::atomic<int>& counter, const char* what) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(180);
+    while (counter.load(std::memory_order_acquire) < workers) {
+      if (failures.load() != 0 ||
+          std::chrono::steady_clock::now() >= deadline) {
+        protocol_fail(what, "client failure or timeout");
+        return false;
+      }
+      usleep(5 * 1000);
+    }
+    return true;
+  };
+
+  if (wait_count(gates.half_done, "all workers half-streamed")) {
+    // Control connections (the port files are published by now).
+    for (int w = 0; w < workers && rc == 0; ++w) {
+      int port = 0;
+      FILE* f = fopen((base + "/w" + std::to_string(w) + "/port").c_str(), "r");
+      if (f != nullptr) {
+        if (fscanf(f, "%d", &port) != 1) port = 0;
+        fclose(f);
+      }
+      ctl[static_cast<size_t>(w)].fd = port > 0 ? DialLoopback(port) : -1;
+      if (ctl[static_cast<size_t>(w)].fd < 0) {
+        protocol_fail("control connection to w" + std::to_string(w),
+                      "dial failed");
+      }
+    }
+
+    // Build generation 2 while the fleet serves generation 1, then hot-swap
+    // every worker. Same network: a routine model/asset rollout.
+    if (rc == 0 && BuildStoreGen(root, 2, 10, 10, 200.0).empty()) {
+      protocol_fail("gen 2 build", "StoreWriter failed");
+    }
+    if (rc == 0) {
+      fan("swap 2", "ok swap gen=2 prev=1", "");
+      expect_serving(2);
+      printf("swap-gauntlet: hot swap to gen 2 landed on all %d workers\n",
+             workers);
+    }
+  }
+  gates.swapped.store(true, std::memory_order_release);
+
+  if (rc == 0 && wait_count(gates.full_done, "all workers fully streamed")) {
+    // The corrupt-candidate campaign: every fault class a rollout can meet,
+    // each fanned to every worker, each a typed file+offset reject with the
+    // old generation untouched.
+    const std::string gen3 = store::StorePath(root, 3);
+    struct Corruption {
+      const char* name;
+      const char* expect;     ///< Substring of the typed reject.
+      bool same_network;      ///< false: built from a different grid.
+      std::function<core::Status(const std::string&)> inject;
+    };
+    const std::vector<Corruption> campaign = {
+        {"torn-tail", "torn tail", true,
+         [](const std::string& p) { return io::TornTail(p, 5); }},
+        {"bit-flip", "CRC mismatch", true,
+         [](const std::string& p) { return io::FlipBit(p, 1000, 5); }},
+        {"garbage-header", "bad magic", true,
+         [](const std::string& p) {
+           return io::InjectGarbage(p, 0, "NOTSTORE");
+         }},
+        {"future-version", "format version skew", true,
+         [](const std::string& p) {
+           return PatchFutureVersion(p)
+                      ? core::Status::Ok()
+                      : core::Status::IoError("patch failed");
+         }},
+        {"wrong-network", "fingerprint mismatch", false,
+         [](const std::string&) { return core::Status::Ok(); }},
+    };
+    for (const Corruption& c : campaign) {
+      if (rc != 0) break;
+      const std::string built =
+          c.same_network ? BuildStoreGen(root, 3, 10, 10, 200.0)
+                         : BuildStoreGen(root, 3, 8, 12, 200.0);
+      if (built.empty()) {
+        protocol_fail("gen 3 candidate build", c.name);
+        break;
+      }
+      const core::Status injected = c.inject(built);
+      if (!injected.ok()) {
+        protocol_fail("fault injection", injected.ToString());
+        break;
+      }
+      // Typed reject naming the file and byte offset, on every worker...
+      fan("swap 3", "err ", c.expect);
+      if (rc == 0) {
+        fan("swap 3", "err ", "offset");
+        // ...and the serving generation is untouched.
+        expect_serving(2);
+        printf("swap-gauntlet: corrupt candidate '%s' rejected typed, gen 2 "
+               "still serving\n",
+               c.name);
+      }
+    }
+
+    // Crash-safe rollback: back to generation 1 on every worker.
+    if (rc == 0) {
+      fan("rollback", "ok rollback gen=1 prev=2", "");
+      expect_serving(1);
+      printf("swap-gauntlet: rollback to gen 1 landed on all %d workers\n",
+             workers);
+    }
+  }
+  gates.protocol_done.store(true, std::memory_order_release);
+
+  for (std::thread& t : clients) t.join();
+  if (failures.load() != 0) rc = 1;
+
+  // Graceful drain under the mutex with the supervision thread still alive
+  // (restarted workers would be PDEATHSIG-tied to it; none restart here, but
+  // the discipline is the same as the fleet gauntlet's).
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int w = 0; w < workers; ++w) {
+      const srv::WorkerStatus& st = sup.status(w);
+      if (st.restarts != 0) {
+        fprintf(stderr,
+                "swap-gauntlet: w%d restarted %" PRId64
+                " times — a swap or reject crashed a worker\n",
+                w, st.restarts);
+        rc = 1;
+      }
+    }
+    sup.Drain();
+    const int stragglers = sup.WaitAll(15000);
+    if (stragglers != 0) {
+      fprintf(stderr, "swap-gauntlet: %d workers did not drain in time\n",
+              stragglers);
+      rc = 1;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  supervision.join();
+  for (int w = 0; w < workers; ++w) {
+    if (sup.status(w).clean_exits < 1) {
+      fprintf(stderr, "swap-gauntlet: w%d did not exit clean on drain\n", w);
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+    printf("swap-gauntlet: OK\n");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // A worker dying mid-conversation must never SIGPIPE the harness.
   std::signal(SIGPIPE, SIG_IGN);
   const auto args = ParseArgs(argc, argv);
+  if (GetInt(args, "swap-gauntlet", 0) != 0) return RunSwapGauntlet(args);
   if (GetInt(args, "fleet-gauntlet", 0) != 0) return RunFleetGauntlet(args);
   if (GetInt(args, "net-smoke", 0) != 0) return RunNetSmoke(args);
   if (args.count("crash-at") != 0) return RunCrashGauntlet(args);

@@ -84,6 +84,8 @@
 #include "srv/match_server.h"
 #include "srv/net_server.h"
 #include "srv/recovery.h"
+#include "store/generations.h"
+#include "store/pinned_matcher.h"
 
 using namespace lhmm;  // NOLINT(build/namespaces): CLI driver.
 namespace L = ::lhmm::lhmm;
@@ -164,12 +166,44 @@ int main(int argc, char** argv) {
   }
 
   // --- The world: a network, an index, and a (possibly faulty) router. ---
+  // --store ROOT maps the published generation of a versioned asset store
+  // (built by lhmm_store) as the shared data plane: the network, grid index,
+  // and contraction hierarchy come out of one PROT_READ mmap whose pages N
+  // workers share through the page cache, and the manager backs the
+  // swap/rollback verbs plus the store_* status fields. Without it the world
+  // is owned: generated grid (--grid-rows/--grid-cols/--spacing) or a
+  // dataset bundle (--data).
   network::RoadNetwork net;
   std::vector<geo::Point> towers;
   io::DatasetBundle bundle;
   std::shared_ptr<L::LhmmModel> model;
+  std::unique_ptr<store::GenerationManager> store_mgr;
+  store::GenerationHandle store_gen0;
+  const std::string store_root = Get(args, "store");
   const std::string data = Get(args, "data");
-  if (!data.empty()) {
+  if (!store_root.empty()) {
+    if (!data.empty()) {
+      fprintf(stderr, "error: --store and --data are mutually exclusive\n");
+      return 1;
+    }
+    auto mgr = store::GenerationManager::Open(store_root);
+    if (!mgr.ok()) {
+      fprintf(stderr, "error: %s\n", mgr.status().ToString().c_str());
+      return 1;
+    }
+    store_mgr = std::move(*mgr);
+    store_gen0 = store_mgr->Current();
+    auto loaded_net = store_gen0->store->LoadNetwork();
+    if (!loaded_net.ok()) {
+      fprintf(stderr, "error: %s\n", loaded_net.status().ToString().c_str());
+      return 1;
+    }
+    net = std::move(*loaded_net);
+    fprintf(stderr,
+            "mapped store %s gen %" PRId64 " (%" PRId64 " bytes)\n",
+            store_root.c_str(), store_gen0->generation,
+            store_gen0->store->bytes());
+  } else if (!data.empty()) {
     auto loaded = io::LoadDatasetBundle(data);
     if (!loaded.ok()) {
       fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
@@ -182,7 +216,18 @@ int main(int argc, char** argv) {
                                        GetInt(args, "grid-cols", 10),
                                        GetDouble(args, "spacing", 200.0));
   }
-  network::GridIndex index(&net, 300.0);
+  std::unique_ptr<network::GridIndex> index_owned;
+  if (store_mgr != nullptr) {
+    auto loaded = store_gen0->store->LoadGridIndex(&net);
+    if (!loaded.ok()) {
+      fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    index_owned = std::move(*loaded);
+  } else {
+    index_owned = std::make_unique<network::GridIndex>(&net, 300.0);
+  }
+  network::GridIndex& index = *index_owned;
   network::FaultConfig faults;
   faults.route_failure_rate = GetDouble(args, "route-failure-rate", 0.0);
   faults.latency_rate = GetDouble(args, "latency-rate", 0.0);
@@ -204,7 +249,18 @@ int main(int argc, char** argv) {
   if (backend == network::RouterBackend::kCH) {
     const std::string ch_file = Get(args, "ch-file");
     bool loaded_from_file = false;
-    if (!ch_file.empty()) {
+    if (store_mgr != nullptr &&
+        store_gen0->store->HasSection(store::kSectionCH)) {
+      auto loaded = store_gen0->store->LoadCHGraph();
+      if (!loaded.ok()) {
+        fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      ch = std::move(*loaded);
+      loaded_from_file = true;
+      fprintf(stderr, "loaded contraction hierarchy from store gen %" PRId64
+              "\n", store_gen0->generation);
+    } else if (!ch_file.empty()) {
       auto loaded = io::LoadCHGraph(ch_file, &net);
       if (loaded.ok()) {
         ch = std::move(*loaded);
@@ -275,6 +331,22 @@ int main(int argc, char** argv) {
                        return std::make_unique<matchers::StmMatcher>(
                            n, idx, models, stm_engine);
                      }});
+  }
+  if (store_mgr != nullptr) {
+    // Every matcher clone pins the generation that is current when its
+    // session opens: a swap flips new sessions to the new mapping while
+    // in-flight sessions keep reading the one they started on, and an old
+    // generation is unmapped exactly when its last pinned clone is destroyed.
+    store::GenerationManager* mgr = store_mgr.get();
+    for (srv::TierSpec& t : tiers) {
+      const matchers::MatcherFactory inner = t.factory;
+      t.factory = [mgr, inner] {
+        return std::make_unique<store::PinnedMatcher>(mgr->Current(), inner());
+      };
+    }
+    // Startup materialization is done; drop the bootstrap pin so the initial
+    // generation's lifetime too is governed only by the sessions holding it.
+    store_gen0.reset();
   }
 
   // --- The server. ---
@@ -367,6 +439,7 @@ int main(int argc, char** argv) {
   // path answers byte-identically to the stdin path by construction.
   srv::CommandOptions cmd_options;
   cmd_options.checkpoint_every = checkpoint_every;
+  cmd_options.store = store_mgr.get();
 
   const std::string listen = Get(args, "listen");
   if (!listen.empty()) {

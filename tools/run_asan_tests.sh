@@ -14,7 +14,7 @@ BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=address
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test io_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test io_test network_test hmm_test ch_test store_test lhmm_serve lhmm_loadgen
 
 # ASan aborts with a non-zero exit on the first bad access, so a plain run is
 # the assertion. The suite leans on the paths where lifetimes are trickiest:
@@ -27,6 +27,11 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # crash gauntlet, and a 64-connection net smoke). supervisor_test and the
 # fleet gauntlet cover srv::Supervisor's fork/exec/reap lifecycle and the
 # ResilientClient's reconnect buffers under repeated worker SIGKILLs.
+# store_test pins the mmap data plane's lifetime rules — a swapped-out
+# generation is unmapped exactly when the last pinned handle releases, and
+# zero-copy section views must never outlive their mapping — and the swap
+# gauntlet runs the full hot-swap/corrupt-reject/rollback protocol against
+# instrumented workers.
 export ASAN_OPTIONS="halt_on_error=1:detect_stack_use_after_return=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
@@ -48,6 +53,9 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
   --serve-bin ./tools/lhmm_serve --threads 4
 ./tests/supervisor_test
 ./tools/lhmm_loadgen --fleet-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
+./tests/store_test
+./tools/lhmm_loadgen --swap-gauntlet 1 --workers 3 \
   --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "ASan pass complete: no memory errors reported."

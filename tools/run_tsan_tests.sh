@@ -13,7 +13,7 @@ BUILD_DIR=build-tsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test network_test hmm_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test network_test hmm_test ch_test store_test lhmm_serve lhmm_loadgen
 
 # TSan halts with a non-zero exit on the first data race, so a plain run is
 # the assertion. batch_test covers the thread pool, the sharded route cache
@@ -37,7 +37,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # crash gauntlet plus a 64-connection net smoke drive lhmm_serve's
 # listener end-to-end; supervisor_test and the fleet gauntlet cover
 # srv::Supervisor (waitpid reaping, health probes, breaker) with client
-# threads and the supervision thread racing worker kills.
+# threads and the supervision thread racing worker kills; store_test and the
+# swap gauntlet cover the RCU-style generation flip — client threads pushing
+# on pinned handles while the control path swaps and rolls back CURRENT.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
@@ -58,6 +60,9 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
   --serve-bin ./tools/lhmm_serve --threads 4
 ./tests/supervisor_test
 ./tools/lhmm_loadgen --fleet-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
+./tests/store_test
+./tools/lhmm_loadgen --swap-gauntlet 1 --workers 3 \
   --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "TSan pass complete: no data races reported."

@@ -14,7 +14,7 @@ BUILD_DIR=build-ubsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=undefined
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test frame_test net_server_test supervisor_test ch_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test frame_test net_server_test supervisor_test ch_test store_test lhmm_serve lhmm_loadgen
 
 # -fno-sanitize-recover=all makes the first UB finding abort, so a plain run
 # is the assertion. The suite leans on the paths where UB is likeliest: the
@@ -29,7 +29,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test du
 # exactly where length-arithmetic UB would hide). supervisor_test pins the
 # backoff doubling loop (the `base << attempt` shift-overflow trap) and the
 # breaker's window arithmetic; the fleet gauntlet runs the whole
-# supervision stack instrumented.
+# supervision stack instrumented. store_test parses deliberately corrupted
+# store files (truncated headers, flipped bits, patched version fields) —
+# exactly where offset arithmetic against attacker-shaped lengths would trap —
+# and the swap gauntlet feeds the same corrupt candidates to live workers.
 export UBSAN_OPTIONS="print_stacktrace=1"
 cd "${BUILD_DIR}"
 ./tests/core_test
@@ -48,6 +51,9 @@ cd "${BUILD_DIR}"
   --serve-bin ./tools/lhmm_serve --threads 4
 ./tests/supervisor_test
 ./tools/lhmm_loadgen --fleet-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
+./tests/store_test
+./tools/lhmm_loadgen --swap-gauntlet 1 --workers 3 \
   --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "UBSan pass complete: no undefined behavior reported."

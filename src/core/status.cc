@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -29,6 +29,12 @@ enum class StatusCode {
   /// The operation is not supported by this implementation (e.g. a matcher
   /// family without a streaming session form). Not retryable.
   kUnimplemented,
+  /// The operation was *applied* but its durability promise was broken — a
+  /// journal append or fsync failed under FsyncPolicy::kEveryRecord, or the
+  /// server is running degraded-nondurable. Retrying would double-apply;
+  /// the honest client reaction is to note that this event may not survive
+  /// a crash (and watch the server's degraded/durability status).
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -75,6 +81,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -73,7 +73,8 @@ class Cursor {
 
 }  // namespace
 
-core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path) {
+core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path,
+                         Env* env) {
   std::string payload;  // Everything after the magic, covered by the CRC.
   AppendPod(&payload, ch.fingerprint);
   AppendPod(&payload, ch.num_nodes);
@@ -93,7 +94,7 @@ core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path) {
   AppendRaw(&file, kMagic, sizeof(kMagic));
   file += payload;
   AppendPod(&file, Crc32(payload.data(), payload.size()));
-  return AtomicWriteFile(path, file);
+  return AtomicWriteFile(env, path, file);
 }
 
 core::Result<network::CHGraph> LoadCHGraph(const std::string& path,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/status.h"
+#include "io/env.h"
 #include "network/contraction.h"
 #include "network/road_network.h"
 
@@ -24,7 +25,8 @@ namespace lhmm::io {
 /// and structurally invalid payloads with typed errors naming the file and
 /// byte offset (io/error_context.h conventions); when `expect` is given, a
 /// hierarchy built for a different network is refused up front.
-core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path);
+core::Status SaveCHGraph(const network::CHGraph& ch, const std::string& path,
+                         Env* env = nullptr);
 
 core::Result<network::CHGraph> LoadCHGraph(
     const std::string& path, const network::RoadNetwork* expect = nullptr);

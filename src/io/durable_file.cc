@@ -1,19 +1,13 @@
 #include "io/durable_file.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
+#include <memory>
+#include <utility>
 
 namespace lhmm::io {
 
 namespace {
 
-std::string Errno(const std::string& what) {
-  return what + ": " + std::strerror(errno);
-}
+Env* Resolve(Env* env) { return env != nullptr ? env : Env::Default(); }
 
 std::string ParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
@@ -22,76 +16,57 @@ std::string ParentDir(const std::string& path) {
   return path.substr(0, slash);
 }
 
-/// Writes all of `data` to `fd`, retrying short writes and EINTR.
-core::Status WriteAll(int fd, const std::string& data,
-                      const std::string& path) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return core::Status::IoError(Errno("write to " + path + " failed"));
-    }
-    off += static_cast<size_t>(n);
-  }
-  return core::Status::Ok();
-}
-
 }  // namespace
 
-core::Status FsyncPath(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return core::Status::IoError(Errno("cannot open " + path + " for fsync"));
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return core::Status::IoError(Errno("fsync of " + path + " failed"));
-  }
-  return core::Status::Ok();
+core::Status FsyncPath(Env* env, const std::string& path) {
+  return Resolve(env)->SyncPath(path);
 }
 
-core::Status FsyncParentDir(const std::string& path) {
-  return FsyncPath(ParentDir(path));
+core::Status FsyncParentDir(Env* env, const std::string& path) {
+  return Resolve(env)->SyncPath(ParentDir(path));
 }
 
-core::Status AtomicWriteFile(const std::string& path,
+core::Status AtomicWriteFile(Env* env, const std::string& path,
                              const std::string& contents, bool durable) {
+  env = Resolve(env);
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return core::Status::IoError(Errno("cannot write " + tmp));
-  }
-  core::Status write = WriteAll(fd, contents, tmp);
-  if (write.ok() && durable && ::fsync(fd) != 0) {
-    write = core::Status::IoError(Errno("fsync of " + tmp + " failed"));
-  }
-  ::close(fd);
+  core::Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(tmp, /*append=*/false);
+  if (!file.ok()) return file.status();
+  core::Status write = (*file)->Append(contents);
+  if (write.ok() && durable) write = (*file)->Sync();
+  const core::Status close = (*file)->Close();
+  if (write.ok() && !close.ok()) write = close;
+  if (write.ok()) write = env->Rename(tmp, path);
   if (!write.ok()) {
-    ::unlink(tmp.c_str());
+    (void)env->Unlink(tmp);  // Best effort: never leave a stale tmp behind.
     return write;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const core::Status st =
-        core::Status::IoError(Errno("cannot rename " + tmp + " to " + path));
-    ::unlink(tmp.c_str());
-    return st;
-  }
   if (durable) {
-    LHMM_RETURN_IF_ERROR(FsyncParentDir(path));
+    LHMM_RETURN_IF_ERROR(FsyncParentDir(env, path));
   }
   return core::Status::Ok();
 }
 
-core::Status AppendToFile(const std::string& path, const std::string& data) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return core::Status::IoError(Errno("cannot append to " + path));
-  }
-  const core::Status write = WriteAll(fd, data, path);
-  ::close(fd);
-  return write;
+core::Status AppendToFile(Env* env, const std::string& path,
+                          const std::string& data) {
+  core::Result<std::unique_ptr<WritableFile>> file =
+      Resolve(env)->NewWritableFile(path, /*append=*/true);
+  if (!file.ok()) return file.status();
+  const core::Status write = (*file)->Append(data);
+  const core::Status close = (*file)->Close();
+  return write.ok() ? close : write;
+}
+
+core::Status TruncateWriteFile(Env* env, const std::string& path,
+                               const std::string& contents, bool durable) {
+  core::Result<std::unique_ptr<WritableFile>> file =
+      Resolve(env)->NewWritableFile(path, /*append=*/false);
+  if (!file.ok()) return file.status();
+  core::Status write = (*file)->Append(contents);
+  if (write.ok() && durable) write = (*file)->Sync();
+  const core::Status close = (*file)->Close();
+  return write.ok() ? close : write;
 }
 
 }  // namespace lhmm::io

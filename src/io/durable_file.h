@@ -4,32 +4,60 @@
 #include <string>
 
 #include "core/status.h"
+#include "io/env.h"
 
 namespace lhmm::io {
 
 /// Flushes a file's contents to stable storage (fsync). The distinction
 /// between "written" and "durable" is the whole point of the durability
 /// layer: a write that only reached the page cache is lost on power failure.
-core::Status FsyncPath(const std::string& path);
+/// All helpers here go through `env` (pass nullptr for Env::Default()) so a
+/// FaultEnv can make any individual syscall fail on schedule.
+core::Status FsyncPath(Env* env, const std::string& path);
+inline core::Status FsyncPath(const std::string& path) {
+  return FsyncPath(nullptr, path);
+}
 
 /// Flushes the *directory entry* of `path` (fsync on its parent directory),
 /// which is what makes a rename or a newly created file itself survive a
 /// crash. A rename that was not followed by a directory fsync can vanish.
-core::Status FsyncParentDir(const std::string& path);
+core::Status FsyncParentDir(Env* env, const std::string& path);
+inline core::Status FsyncParentDir(const std::string& path) {
+  return FsyncParentDir(nullptr, path);
+}
 
 /// Writes `contents` to `path` atomically: write to `path + ".tmp"`, flush,
 /// optionally fsync, rename over `path`, then fsync the directory. Readers
 /// therefore always see either the complete old file or the complete new one
 /// — never a torn mixture — and a crash at any point leaves the previous
-/// file intact. `durable` controls the fsync calls (tests that don't care
-/// about power loss can skip them for speed).
-core::Status AtomicWriteFile(const std::string& path,
+/// file intact. On *any* failure (including a failed rename or fsync) the
+/// tmp file is unlinked and `path` is untouched, so an injected ENOSPC can
+/// never leave a readable partial. `durable` controls the fsync calls
+/// (tests that don't care about power loss can skip them for speed).
+core::Status AtomicWriteFile(Env* env, const std::string& path,
                              const std::string& contents, bool durable = true);
+inline core::Status AtomicWriteFile(const std::string& path,
+                                    const std::string& contents,
+                                    bool durable = true) {
+  return AtomicWriteFile(nullptr, path, contents, durable);
+}
 
 /// Appends `data` to `path` (creating it if absent) and reports the write
 /// through a Status instead of silently shortening. Used by the journal's
 /// group-commit path; fsync is the caller's decision via FsyncPath.
-core::Status AppendToFile(const std::string& path, const std::string& data);
+core::Status AppendToFile(Env* env, const std::string& path,
+                          const std::string& data);
+inline core::Status AppendToFile(const std::string& path,
+                                 const std::string& data) {
+  return AppendToFile(nullptr, path, data);
+}
+
+/// Creates (or truncates) `path` with exactly `contents`, optionally synced.
+/// Non-atomic — the journal uses it for brand-new segment files whose
+/// readers tolerate a torn tail by design; everything else wants
+/// AtomicWriteFile.
+core::Status TruncateWriteFile(Env* env, const std::string& path,
+                               const std::string& contents, bool durable);
 
 }  // namespace lhmm::io
 

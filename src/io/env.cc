@@ -1,0 +1,383 @@
+#include "io/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/statvfs.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace lhmm::io {
+
+namespace {
+
+std::string ErrnoText(int err, const std::string& what) {
+  return what + ": " + std::strerror(err);
+}
+
+/// A POSIX fd wrapper. Every raw syscall retries EINTR internally: an
+/// interrupted write is not a failure, just an incomplete one — callers of
+/// the Env interface only ever see real errors (injected EINTR storms from
+/// FaultEnv bypass this loop on purpose, modelling syscall wrappers that
+/// do *not* retry).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  core::Status Append(std::string_view data) override {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus(errno, "write to " + path_ + " failed");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus(errno, "fsync of " + path_ + " failed");
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status Close() override {
+    if (fd_ < 0) return core::Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoStatus(errno, "close of " + path_ + " failed");
+    }
+    return core::Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  core::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override {
+    const int flags =
+        O_WRONLY | O_CREAT | O_CLOEXEC | (append ? O_APPEND : O_TRUNC);
+    int fd;
+    do {
+      fd = ::open(path.c_str(), flags, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return ErrnoStatus(errno, "cannot open " + path + " for writing");
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  core::Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus(errno, "cannot rename " + from + " to " + to);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status Unlink(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus(errno, "cannot delete " + path);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status Truncate(const std::string& path, int64_t size) override {
+    int rc;
+    do {
+      rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      return ErrnoStatus(errno, "cannot truncate " + path);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status SyncPath(const std::string& path) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return ErrnoStatus(errno, "cannot open " + path + " for fsync");
+    }
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) {
+      return ErrnoStatus(err, "fsync of " + path + " failed");
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return core::Status::IoError("cannot create directory " + path + ": " +
+                                   ec.message());
+    }
+    return core::Status::Ok();
+  }
+
+  core::Result<DiskSpace> GetDiskSpace(const std::string& path) override {
+    struct statvfs vfs;
+    int rc;
+    do {
+      rc = ::statvfs(path.c_str(), &vfs);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      return ErrnoStatus(errno, "statvfs of " + path + " failed");
+    }
+    DiskSpace space;
+    space.available_bytes = static_cast<int64_t>(vfs.f_bavail) *
+                            static_cast<int64_t>(vfs.f_frsize);
+    space.total_bytes = static_cast<int64_t>(vfs.f_blocks) *
+                        static_cast<int64_t>(vfs.f_frsize);
+    return space;
+  }
+
+  core::Result<int> AcceptFd(int listen_fd) override {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) return fd;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+      if (errno == EMFILE || errno == ENFILE) {
+        return ErrnoStatus(errno, "accept failed");
+      }
+      return core::Status::Unavailable(ErrnoText(errno, "accept failed"));
+    }
+  }
+};
+
+/// FaultEnv's file handle: re-consults the rules on every Append/Sync so a
+/// fault can be scheduled for the Nth write *through an already-open file*
+/// (e.g. the journal write that lands right after a rotation).
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::unique_ptr<WritableFile> base,
+                    std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  core::Status Append(std::string_view data) override {
+    int64_t short_write = -1;
+    const int err = env_->Draw(EnvOp::kWrite, path_, &short_write);
+    if (err != 0) {
+      if (short_write >= 0 &&
+          short_write < static_cast<int64_t>(data.size())) {
+        // Tear the write: the prefix really lands on disk, the rest never
+        // does — exactly what ENOSPC halfway through a write leaves behind.
+        (void)base_->Append(data.substr(0, static_cast<size_t>(short_write)));
+      }
+      return ErrnoStatus(err, "injected: write to " + path_ + " failed");
+    }
+    return base_->Append(data);
+  }
+
+  core::Status Sync() override {
+    const int err = env_->Draw(EnvOp::kFsync, path_);
+    if (err != 0) {
+      return ErrnoStatus(err, "injected: fsync of " + path_ + " failed");
+    }
+    return base_->Sync();
+  }
+
+  core::Status Close() override { return base_->Close(); }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+/// splitmix64: the same finalizer FaultyRouter uses — decisions depend only
+/// on the seeded key, never on shared RNG state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* EnvOpName(EnvOp op) {
+  switch (op) {
+    case EnvOp::kOpen: return "open";
+    case EnvOp::kWrite: return "write";
+    case EnvOp::kFsync: return "fsync";
+    case EnvOp::kRename: return "rename";
+    case EnvOp::kUnlink: return "unlink";
+    case EnvOp::kTruncate: return "truncate";
+    case EnvOp::kStatvfs: return "statvfs";
+    case EnvOp::kAccept: return "accept";
+  }
+  return "unknown";
+}
+
+core::Status ErrnoStatus(int err, const std::string& what) {
+  if (err == EMFILE || err == ENFILE) {
+    return core::Status::ResourceExhausted(ErrnoText(err, what));
+  }
+  return core::Status::IoError(ErrnoText(err, what));
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+FaultEnv::FaultEnv(Env* base, uint64_t seed)
+    : base_(base != nullptr ? base : Env::Default()), seed_(seed) {}
+
+void FaultEnv::AddRule(const EnvFaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+  rule_matches_.push_back(0);
+}
+
+void FaultEnv::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  rule_matches_.clear();
+}
+
+int64_t FaultEnv::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+int64_t FaultEnv::op_count(EnvOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counts_[static_cast<int>(op)];
+}
+
+int FaultEnv::Draw(EnvOp op, const std::string& path, int64_t* short_write,
+                   int64_t* free_override) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++op_counts_[static_cast<int>(op)];
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const EnvFaultRule& rule = rules_[r];
+    if (rule.op != op) continue;
+    if (!rule.path_substr.empty() &&
+        path.find(rule.path_substr) == std::string::npos) {
+      continue;
+    }
+    const int64_t match = ++rule_matches_[r];
+    bool fire;
+    if (rule.rate > 0.0) {
+      const uint64_t h =
+          Mix64(seed_ ^ Mix64(static_cast<uint64_t>(r) * 0x10001u +
+                              static_cast<uint64_t>(match)));
+      fire = static_cast<double>(h >> 11) * 0x1.0p-53 < rule.rate;
+    } else {
+      fire = match >= rule.at_count &&
+             (rule.repeat < 0 || match < rule.at_count + rule.repeat);
+    }
+    if (!fire) continue;
+    ++injected_;
+    if (short_write != nullptr) *short_write = rule.short_write_bytes;
+    if (free_override != nullptr) *free_override = rule.free_bytes_override;
+    return rule.fault_errno;
+  }
+  return 0;
+}
+
+core::Result<std::unique_ptr<WritableFile>> FaultEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  const int err = Draw(EnvOp::kOpen, path);
+  if (err != 0) {
+    return ErrnoStatus(err, "injected: cannot open " + path + " for writing");
+  }
+  core::Result<std::unique_ptr<WritableFile>> base =
+      base_->NewWritableFile(path, append);
+  if (!base.ok()) return base;
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultWritableFile>(
+      this, std::move(*base), path));
+}
+
+core::Status FaultEnv::Rename(const std::string& from, const std::string& to) {
+  const int err = Draw(EnvOp::kRename, to);
+  if (err != 0) {
+    return ErrnoStatus(err,
+                       "injected: cannot rename " + from + " to " + to);
+  }
+  return base_->Rename(from, to);
+}
+
+core::Status FaultEnv::Unlink(const std::string& path) {
+  const int err = Draw(EnvOp::kUnlink, path);
+  if (err != 0) {
+    return ErrnoStatus(err, "injected: cannot delete " + path);
+  }
+  return base_->Unlink(path);
+}
+
+core::Status FaultEnv::Truncate(const std::string& path, int64_t size) {
+  const int err = Draw(EnvOp::kTruncate, path);
+  if (err != 0) {
+    return ErrnoStatus(err, "injected: cannot truncate " + path);
+  }
+  return base_->Truncate(path, size);
+}
+
+core::Status FaultEnv::SyncPath(const std::string& path) {
+  const int err = Draw(EnvOp::kFsync, path);
+  if (err != 0) {
+    return ErrnoStatus(err, "injected: fsync of " + path + " failed");
+  }
+  return base_->SyncPath(path);
+}
+
+core::Status FaultEnv::CreateDirs(const std::string& path) {
+  const int err = Draw(EnvOp::kOpen, path);
+  if (err != 0) {
+    return ErrnoStatus(err, "injected: cannot create directory " + path);
+  }
+  return base_->CreateDirs(path);
+}
+
+core::Result<DiskSpace> FaultEnv::GetDiskSpace(const std::string& path) {
+  int64_t free_override = -1;
+  const int err = Draw(EnvOp::kStatvfs, path, nullptr, &free_override);
+  if (err != 0) {
+    if (free_override >= 0) {
+      // The rule asked for a *successful* call reporting a fixed free-space
+      // figure — the deterministic way to script DiskGuard transitions.
+      core::Result<DiskSpace> base = base_->GetDiskSpace(path);
+      DiskSpace space;
+      space.total_bytes = base.ok() ? base->total_bytes : free_override;
+      space.available_bytes = free_override;
+      return space;
+    }
+    return ErrnoStatus(err, "injected: statvfs of " + path + " failed");
+  }
+  return base_->GetDiskSpace(path);
+}
+
+core::Result<int> FaultEnv::AcceptFd(int listen_fd) {
+  const int err = Draw(EnvOp::kAccept, "");
+  if (err != 0) {
+    return ErrnoStatus(err, "injected: accept failed");
+  }
+  return base_->AcceptFd(listen_fd);
+}
+
+}  // namespace lhmm::io

@@ -1,0 +1,158 @@
+#ifndef LHMM_IO_ENV_H_
+#define LHMM_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lhmm::io {
+
+/// Free/total space on the filesystem holding a path (statvfs). `available`
+/// is what an unprivileged writer can actually use (f_bavail), which is the
+/// number a disk-full watermark must watch — root-reserved blocks do not
+/// save a server running as a normal user.
+struct DiskSpace {
+  int64_t available_bytes = 0;
+  int64_t total_bytes = 0;
+};
+
+/// An open file handle for writing. Append/Sync report failures through
+/// Status instead of crashing or silently shortening; Close is idempotent
+/// and implied by destruction (destruction never reports errors — callers
+/// that care about the close result must call Close explicitly).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual core::Status Append(std::string_view data) = 0;
+  /// fsync. A failed Sync means the kernel may already have DROPPED the
+  /// dirty pages (fsyncgate): the caller must not retry Sync and claim
+  /// durability — the only safe reactions are to re-write the data
+  /// elsewhere or to stop claiming it is durable.
+  virtual core::Status Sync() = 0;
+  virtual core::Status Close() = 0;
+};
+
+/// The syscall boundary of every durable write path (journal, snapshots,
+/// store publish, CH persistence) and of the accept loop. Production uses
+/// the process-wide PosixEnv singleton from Env::Default(); tests swap in a
+/// FaultEnv to make any individual syscall fail on a deterministic
+/// schedule — ENOSPC mid-rotation, a failed fsync, EMFILE on accept —
+/// which is not reachable by corrupting bytes after the fact.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing: `append` true opens O_APPEND (creating if
+  /// absent), false truncates/creates.
+  virtual core::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) = 0;
+  virtual core::Status Rename(const std::string& from,
+                              const std::string& to) = 0;
+  virtual core::Status Unlink(const std::string& path) = 0;
+  virtual core::Status Truncate(const std::string& path, int64_t size) = 0;
+  /// fsync of an existing file or directory by path.
+  virtual core::Status SyncPath(const std::string& path) = 0;
+  virtual core::Status CreateDirs(const std::string& path) = 0;
+  virtual core::Result<DiskSpace> GetDiskSpace(const std::string& path) = 0;
+  /// accept(2) on a listening socket. Returns the new fd; -1 means the
+  /// backlog is drained (EAGAIN/EWOULDBLOCK — not an error). EMFILE/ENFILE
+  /// surface as kResourceExhausted so the server can run its reserve-fd
+  /// shed; other errno values (ECONNABORTED, ...) surface as kUnavailable.
+  virtual core::Result<int> AcceptFd(int listen_fd) = 0;
+
+  /// The process-wide PosixEnv.
+  static Env* Default();
+};
+
+/// Syscall classes a FaultEnv rule can target.
+enum class EnvOp {
+  kOpen = 0,
+  kWrite,
+  kFsync,
+  kRename,
+  kUnlink,
+  kTruncate,
+  kStatvfs,
+  kAccept,
+};
+constexpr int kNumEnvOps = 8;
+
+const char* EnvOpName(EnvOp op);
+
+/// One deterministic fault: "the Nth matching call to <op> on a path
+/// containing <path_substr> fails with <fault_errno>". Matching calls are
+/// counted per rule (1-based); the rule fires on calls numbered
+/// [at_count, at_count + repeat) — repeat < 0 means forever. Alternatively
+/// `rate` > 0 arms the rule on a pure hash of (seed, rule, match counter),
+/// mirroring network::FaultyRouter: the same seed always fails the same
+/// calls, with no RNG state shared between rules or threads.
+struct EnvFaultRule {
+  EnvOp op = EnvOp::kWrite;
+  std::string path_substr;  ///< Empty matches every path (kAccept has none).
+  int64_t at_count = 1;
+  int64_t repeat = 1;
+  double rate = 0.0;
+  int fault_errno = 28;  ///< ENOSPC. Also EDQUOT/EMFILE/EIO/EINTR/...
+  /// kWrite only: write this many bytes for real, then fail — a short write
+  /// torn by the fault, the on-disk signature of ENOSPC mid-append.
+  int64_t short_write_bytes = -1;
+  /// kStatvfs only: the call *succeeds* but reports this many free bytes,
+  /// so DiskGuard watermark transitions can be scheduled exactly.
+  int64_t free_bytes_override = -1;
+};
+
+/// An Env decorator that injects the faults described by its rules and
+/// forwards everything else to a base Env. Deterministic: every decision is
+/// a pure function of (seed, rules, per-rule match counters); thread-safe so
+/// the accept loop and the producer thread can share one instance.
+class FaultEnv : public Env {
+ public:
+  explicit FaultEnv(Env* base = nullptr, uint64_t seed = 1);
+
+  void AddRule(const EnvFaultRule& rule);
+  void ClearRules();
+
+  /// Total faults injected (all rules).
+  int64_t injected_faults() const;
+  /// Calls seen for one op class (faulted or not).
+  int64_t op_count(EnvOp op) const;
+
+  core::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
+  core::Status Rename(const std::string& from, const std::string& to) override;
+  core::Status Unlink(const std::string& path) override;
+  core::Status Truncate(const std::string& path, int64_t size) override;
+  core::Status SyncPath(const std::string& path) override;
+  core::Status CreateDirs(const std::string& path) override;
+  core::Result<DiskSpace> GetDiskSpace(const std::string& path) override;
+  core::Result<int> AcceptFd(int listen_fd) override;
+
+  /// Consults the rules for one syscall: returns 0 for "no fault", otherwise
+  /// the errno to inject. `short_write` / `free_override` (when non-null)
+  /// receive the matching rule's modifiers. Used internally by the decorated
+  /// file handles; exposed so tests can step the deterministic schedule.
+  int Draw(EnvOp op, const std::string& path, int64_t* short_write = nullptr,
+           int64_t* free_override = nullptr);
+
+ private:
+  Env* base_;
+  uint64_t seed_;
+  mutable std::mutex mu_;
+  std::vector<EnvFaultRule> rules_;
+  std::vector<int64_t> rule_matches_;  ///< Per-rule matching-call counters.
+  int64_t op_counts_[kNumEnvOps] = {};
+  int64_t injected_ = 0;
+};
+
+/// Formats an injected or real errno as a typed Status: EMFILE/ENFILE →
+/// kResourceExhausted (retryable after fds free), everything else kIoError.
+core::Status ErrnoStatus(int err, const std::string& what);
+
+}  // namespace lhmm::io
+
+#endif  // LHMM_IO_ENV_H_

@@ -265,17 +265,14 @@ JournalWriter::~JournalWriter() = default;
 
 core::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
     const std::string& dir, const JournalOptions& options) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return core::Status::IoError("cannot create journal directory " + dir);
-  }
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  LHMM_RETURN_IF_ERROR(env->CreateDirs(dir));
 
   core::Result<JournalScan> scan = ScanJournal(dir, /*keep_payloads=*/false);
   if (!scan.ok()) return scan.status();
 
   std::unique_ptr<JournalWriter> w(new JournalWriter());
+  w->env_ = env;
   w->dir_ = dir;
   w->options_ = options;
   w->next_index_ = scan->next_index;
@@ -288,10 +285,7 @@ core::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
   bool saw_problem = false;
   for (const SegmentInfo& seg : scan->segments) {
     if (saw_problem) {
-      if (::unlink(seg.path.c_str()) != 0) {
-        return core::Status::IoError("cannot delete journal segment " +
-                                     seg.path);
-      }
+      LHMM_RETURN_IF_ERROR(env->Unlink(seg.path));
       continue;
     }
     SegmentInfo live = seg;
@@ -299,13 +293,10 @@ core::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
       saw_problem = true;
       if (seg.valid_bytes < kHeaderBytes) {
         // Headerless stub: delete it; a fresh segment takes its place below.
-        if (::unlink(seg.path.c_str()) != 0) {
-          return core::Status::IoError("cannot delete journal segment " +
-                                       seg.path);
-        }
+        LHMM_RETURN_IF_ERROR(env->Unlink(seg.path));
         continue;
       }
-      LHMM_RETURN_IF_ERROR(ShortenTo(seg.path, seg.valid_bytes));
+      LHMM_RETURN_IF_ERROR(w->ShortenTo(seg.path, seg.valid_bytes));
       live.file_bytes = seg.valid_bytes;
     }
     w->segments_.push_back(live);
@@ -326,23 +317,37 @@ core::Status JournalWriter::CreateSegment(int64_t seq, int64_t first_index) {
   seg.first_index = first_index;
   seg.valid_bytes = kHeaderBytes;
   seg.file_bytes = kHeaderBytes;
-  LHMM_RETURN_IF_ERROR(AppendToFile(seg.path, SegmentHeader(first_index)));
+  // Truncate-create (not append): a failed earlier attempt may have left a
+  // partial header stub at this path, and appending a second header after
+  // it would be unrecoverable garbage. Truncating makes the retry
+  // idempotent.
+  LHMM_RETURN_IF_ERROR(TruncateWriteFile(
+      env_, seg.path, SegmentHeader(first_index),
+      /*durable=*/options_.fsync != FsyncPolicy::kNone));
   if (options_.fsync != FsyncPolicy::kNone) {
-    LHMM_RETURN_IF_ERROR(FsyncPath(seg.path));
-    LHMM_RETURN_IF_ERROR(FsyncParentDir(seg.path));
+    LHMM_RETURN_IF_ERROR(FsyncParentDir(env_, seg.path));
   }
   segments_.push_back(std::move(seg));
+  // A fresh tail is writable again; any seal applied to the previous tail
+  // stays with that (now closed) segment.
+  tail_sealed_ = false;
   return core::Status::Ok();
 }
 
 core::Status JournalWriter::ShortenTo(const std::string& path, int64_t size) {
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-    return core::Status::IoError("cannot truncate journal segment " + path);
+  core::Status st = env_->Truncate(path, size);
+  if (!st.ok()) {
+    return core::Status(st.code(),
+                        "cannot truncate journal segment " + path + ": " +
+                            st.message());
   }
   return core::Status::Ok();
 }
 
 core::Result<int64_t> JournalWriter::Append(const std::string& payload) {
+  if (wedged_) {
+    return core::Status::DataLoss("journal wedged: " + wedge_reason_);
+  }
   const int64_t index = next_index_++;
   FrameRecord(&buffer_, payload);
   ++buffered_records_;
@@ -353,16 +358,22 @@ core::Result<int64_t> JournalWriter::Append(const std::string& payload) {
 }
 
 core::Status JournalWriter::Commit() {
+  if (wedged_) {
+    return core::Status::DataLoss("journal wedged: " + wedge_reason_);
+  }
   if (buffered_records_ == 0) return core::Status::Ok();
   CHECK(!segments_.empty());
-  if (segments_.back().file_bytes >= options_.segment_bytes) {
+  if (tail_sealed_ || segments_.back().file_bytes >= options_.segment_bytes) {
+    // Rotation failure (e.g. ENOSPC creating the new segment) keeps the
+    // records buffered and the tail sealed; the next Commit retries.
     LHMM_RETURN_IF_ERROR(Rotate());
   }
   SegmentInfo& seg = segments_.back();
-  LHMM_RETURN_IF_ERROR(AppendToFile(seg.path, buffer_));
-  if (options_.fsync != FsyncPolicy::kNone) {
-    LHMM_RETURN_IF_ERROR(FsyncPath(seg.path));
+  core::Status st = AppendToFile(env_, seg.path, buffer_);
+  if (st.ok() && options_.fsync != FsyncPolicy::kNone) {
+    st = FsyncPath(env_, seg.path);
   }
+  if (!st.ok()) return SealTail(st);
   seg.file_bytes += static_cast<int64_t>(buffer_.size());
   seg.valid_bytes = seg.file_bytes;
   seg.record_count += buffered_records_;
@@ -370,6 +381,31 @@ core::Status JournalWriter::Commit() {
   buffered_records_ = 0;
   last_committed_index_ = next_index_ - 1;
   return core::Status::Ok();
+}
+
+core::Status JournalWriter::SealTail(const core::Status& cause) {
+  ++seal_events_;
+  tail_sealed_ = true;
+  SegmentInfo& seg = segments_.back();
+  // The failed commit may have left a torn append, and after a failed fsync
+  // the kernel has dropped the dirty pages — whatever is beyond the last
+  // committed boundary is untrustworthy. Cut it off and persist the shrink;
+  // the fsync here covers only the truncate, never the lost records (which
+  // stay buffered and move to the next segment).
+  core::Status repair = ShortenTo(seg.path, seg.valid_bytes);
+  if (repair.ok() && options_.fsync != FsyncPolicy::kNone) {
+    repair = FsyncPath(env_, seg.path);
+  }
+  if (!repair.ok()) {
+    wedged_ = true;
+    wedge_reason_ = cause.message() + "; seal repair failed: " +
+                    repair.message();
+    return core::Status::DataLoss("journal wedged: " + wedge_reason_);
+  }
+  seg.file_bytes = seg.valid_bytes;
+  return core::Status(cause.code(),
+                      "journal commit failed (tail sealed, will rotate): " +
+                          cause.message());
 }
 
 core::Status JournalWriter::Rotate() {
@@ -390,15 +426,12 @@ core::Status JournalWriter::CompactThrough(int64_t covered_index) {
   bool deleted = false;
   while (segments_.size() > 1 &&
          segments_[1].first_index - 1 <= covered_index) {
-    if (::unlink(segments_.front().path.c_str()) != 0) {
-      return core::Status::IoError("cannot delete journal segment " +
-                                   segments_.front().path);
-    }
+    LHMM_RETURN_IF_ERROR(env_->Unlink(segments_.front().path));
     segments_.erase(segments_.begin());
     deleted = true;
   }
   if (deleted && options_.fsync != FsyncPolicy::kNone) {
-    LHMM_RETURN_IF_ERROR(FsyncPath(dir_));
+    LHMM_RETURN_IF_ERROR(FsyncPath(env_, dir_));
   }
   return core::Status::Ok();
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/env.h"
 
 namespace lhmm::io {
 
@@ -39,6 +40,9 @@ struct JournalOptions {
   FsyncPolicy fsync = FsyncPolicy::kEveryTick;
   /// Rotate to a new segment file once the current one reaches this size.
   int64_t segment_bytes = 4 << 20;
+  /// Syscall boundary for every write/fsync/rename/unlink the journal makes.
+  /// nullptr = Env::Default(); tests inject a FaultEnv here.
+  Env* env = nullptr;
 };
 
 /// One decoded journal record: its 1-based position in the global record
@@ -120,6 +124,18 @@ class JournalWriter {
   /// Writes all buffered records to the current segment (rotating first if
   /// over the size threshold) and fsyncs per policy. The group-commit
   /// heartbeat: the server calls this once per tick.
+  ///
+  /// Resource-exhaustion contract: if the write or the fsync fails, the
+  /// tail segment is *sealed* — truncated back to its last committed record
+  /// boundary and never appended to or fsynced again. A failed fsync means
+  /// the kernel may already have dropped the dirty pages (fsyncgate), so
+  /// retrying the fsync and reporting success would be a durability lie;
+  /// instead the still-buffered records are re-written into a fresh segment
+  /// by the next Commit, with their original indices (the sealed segment
+  /// was truncated back, so the global record sequence stays contiguous).
+  /// If even the truncate repair fails the journal is *wedged*: every later
+  /// Append/Commit returns kDataLoss and the server must stop claiming
+  /// durability.
   core::Status Commit();
 
   /// Deletes every segment whose records are all <= `covered_index` (they
@@ -137,6 +153,12 @@ class JournalWriter {
   /// Bytes across all live segment files, including buffered-but-uncommitted
   /// records' bytes once they are written.
   int64_t total_bytes() const;
+  /// Times a failed commit sealed the tail segment (survivable: the journal
+  /// rolled forward into a fresh segment).
+  int64_t seal_events() const { return seal_events_; }
+  /// True once a seal repair itself failed: the journal can no longer make
+  /// any durability promise and every Append/Commit returns kDataLoss.
+  bool wedged() const { return wedged_; }
 
  private:
   JournalWriter() = default;
@@ -146,8 +168,14 @@ class JournalWriter {
   /// Creates wal-<seq>.seg with a header claiming `first_index`.
   core::Status CreateSegment(int64_t seq, int64_t first_index);
   /// Truncates a segment file to `size` bytes (tail repair on Open).
-  static core::Status ShortenTo(const std::string& path, int64_t size);
+  core::Status ShortenTo(const std::string& path, int64_t size);
+  /// Seals the tail segment after a failed commit (`cause`): truncates it
+  /// back to its committed boundary, persists the shrink, and marks it
+  /// never-touch-again. Wedges the journal if the repair fails. Returns the
+  /// error the caller should propagate.
+  core::Status SealTail(const core::Status& cause);
 
+  Env* env_ = nullptr;
   std::string dir_;
   JournalOptions options_;
   std::vector<SegmentInfo> segments_;  ///< Live segments, oldest first.
@@ -155,6 +183,10 @@ class JournalWriter {
   int64_t buffered_records_ = 0;
   int64_t next_index_ = 1;
   int64_t last_committed_index_ = 0;
+  bool tail_sealed_ = false;  ///< Tail failed a commit; rotate before writing.
+  bool wedged_ = false;
+  int64_t seal_events_ = 0;
+  std::string wedge_reason_;
 };
 
 /// Formats the path of segment `seq` inside `dir` (wal-<seq 8-digit>.seg).

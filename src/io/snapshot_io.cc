@@ -58,12 +58,12 @@ void SnapshotWriter::EndLine() {
   line_open_ = false;
 }
 
-core::Status SnapshotWriter::WriteFile(const std::string& path,
-                                       bool durable) const {
+core::Status SnapshotWriter::WriteFile(const std::string& path, bool durable,
+                                       Env* env) const {
   CHECK(!line_open_) << "last line not ended";
   // write-temp -> fsync -> rename -> fsync(dir): a crash at any point leaves
   // either the previous snapshot or the complete new one, never a torn file.
-  return AtomicWriteFile(path, buf_, durable);
+  return AtomicWriteFile(env, path, buf_, durable);
 }
 
 core::Result<SnapshotReader> SnapshotReader::Open(const std::string& path,

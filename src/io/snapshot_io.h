@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/env.h"
 
 namespace lhmm::io {
 
@@ -38,7 +39,10 @@ class SnapshotWriter {
   const std::string& contents() const { return buf_; }
   /// Atomic write as described above; `durable` false skips the fsyncs for
   /// callers that don't need power-loss safety (fast tests, scratch output).
-  core::Status WriteFile(const std::string& path, bool durable = true) const;
+  /// `env` is the syscall boundary (nullptr = Env::Default()); on any
+  /// injected or real failure the previous file at `path` is untouched.
+  core::Status WriteFile(const std::string& path, bool durable = true,
+                         Env* env = nullptr) const;
 
  private:
   std::string buf_;

@@ -1,0 +1,48 @@
+#include "srv/disk_guard.h"
+
+#include <algorithm>
+
+namespace lhmm::srv {
+
+DiskGuard::DiskGuard(const DiskGuardConfig& config) : config_(config) {
+  // A high watermark at or below the low one would re-enter degraded on the
+  // very next sample; clamp so exit always needs strictly more free space.
+  config_.high_watermark_bytes =
+      std::max(config_.high_watermark_bytes, config_.low_watermark_bytes);
+  config_.enter_after = std::max(config_.enter_after, 1);
+  config_.exit_after = std::max(config_.exit_after, 1);
+}
+
+DiskGuard::Transition DiskGuard::Observe(int64_t free_bytes) {
+  last_free_bytes_ = free_bytes;
+  if (config_.low_watermark_bytes <= 0) return Transition::kNone;
+  if (state_ == State::kNormal) {
+    recovered_streak_ = 0;
+    if (free_bytes < config_.low_watermark_bytes) {
+      if (++exhausted_streak_ >= config_.enter_after) {
+        state_ = State::kDegraded;
+        exhausted_streak_ = 0;
+        return Transition::kEnterDegraded;
+      }
+    } else {
+      exhausted_streak_ = 0;
+    }
+    return Transition::kNone;
+  }
+  // Degraded: wait for the filesystem to clear the *high* watermark for
+  // exit_after consecutive samples. A single freed block must not bounce
+  // the server straight back into (and then out of) durable mode.
+  exhausted_streak_ = 0;
+  if (free_bytes >= config_.high_watermark_bytes) {
+    if (++recovered_streak_ >= config_.exit_after) {
+      state_ = State::kNormal;
+      recovered_streak_ = 0;
+      return Transition::kExitDegraded;
+    }
+  } else {
+    recovered_streak_ = 0;
+  }
+  return Transition::kNone;
+}
+
+}  // namespace lhmm::srv

@@ -1,0 +1,64 @@
+#ifndef LHMM_SRV_DISK_GUARD_H_
+#define LHMM_SRV_DISK_GUARD_H_
+
+#include <cstdint>
+
+namespace lhmm::srv {
+
+/// Watermarks and hysteresis for the disk-space monitor. Watermarks are
+/// *free-space* thresholds on the filesystem holding the durability
+/// directory: below `low_watermark_bytes` the server should stop journaling
+/// (degraded-nondurable) before ENOSPC starts tearing writes; durability is
+/// restored only once free space climbs back above `high_watermark_bytes`
+/// (strictly higher, so the guard cannot flap at the boundary).
+struct DiskGuardConfig {
+  /// Free bytes below which the sample counts as exhausted. 0 disables the
+  /// watermark monitor entirely (journal failures can still degrade the
+  /// server via `journal_failure_streak`).
+  int64_t low_watermark_bytes = 0;
+  /// Free bytes the filesystem must regain before a recovery is attempted.
+  /// Clamped up to low_watermark_bytes when configured lower.
+  int64_t high_watermark_bytes = 0;
+  /// Consecutive exhausted samples before entering degraded mode.
+  int enter_after = 1;
+  /// Consecutive recovered samples before leaving degraded mode.
+  int exit_after = 2;
+  /// Consecutive failed journal tick-commits that force degraded mode even
+  /// with the watermark monitor disabled (the disk is telling us directly).
+  /// 0 disables.
+  int journal_failure_streak = 3;
+};
+
+/// The disk-space state machine, mirroring DegradeLadder: Observe() feeds
+/// one free-space sample per tick and the state is a pure function of the
+/// observed sample sequence — no wall time, no randomness — so a scheduled
+/// (or replayed) exhaustion window produces its transitions on exactly the
+/// same ticks every run.
+class DiskGuard {
+ public:
+  enum class State { kNormal, kDegraded };
+  /// What one Observe() call decided.
+  enum class Transition { kNone, kEnterDegraded, kExitDegraded };
+
+  explicit DiskGuard(const DiskGuardConfig& config);
+
+  /// Feeds one free-space sample (bytes available on the durability
+  /// filesystem; pass 0 when statvfs itself failed — an unstat-able disk
+  /// counts as exhausted).
+  Transition Observe(int64_t free_bytes);
+
+  State state() const { return state_; }
+  bool degraded() const { return state_ == State::kDegraded; }
+  int64_t last_free_bytes() const { return last_free_bytes_; }
+
+ private:
+  DiskGuardConfig config_;
+  State state_ = State::kNormal;
+  int exhausted_streak_ = 0;
+  int recovered_streak_ = 0;
+  int64_t last_free_bytes_ = -1;
+};
+
+}  // namespace lhmm::srv
+
+#endif  // LHMM_SRV_DISK_GUARD_H_

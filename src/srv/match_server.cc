@@ -167,15 +167,35 @@ void MatchServer::Tick(int64_t now) {
   last_rejected_pushes_ = rejected;
   ladder_.Observe(sample);
 
-  // The tick is the group-commit heartbeat: journal the clock move, then
-  // flush everything buffered since the last tick per the fsync policy.
+  // The tick is the group-commit heartbeat: sample the disk guard first so a
+  // scheduled exhaustion window takes effect on its exact tick, then journal
+  // the clock move and flush everything buffered since the last tick per the
+  // fsync policy. While degraded-nondurable, journaling is suspended
+  // entirely — appending to a full disk would just tear segments.
   if (journal_ != nullptr) {
-    core::Status js = JournalAppend(FormatTickEvent(clock_));
-    if (js.ok()) {
-      js = journal_->Commit();
-      if (!js.ok()) ++journal_errors_;
+    UpdateDiskGuard();
+    if (degraded_nondurable_) {
+      ++events_not_journaled_;  // The tick record itself.
+    } else {
+      core::Status js;
+      core::Result<int64_t> idx = journal_->Append(FormatTickEvent(clock_));
+      if (!idx.ok()) js = idx.status();
+      if (js.ok()) js = journal_->Commit();
+      if (js.ok()) {
+        last_durable_tick_ = clock_;
+        commit_fail_streak_ = 0;
+      } else {
+        ++journal_errors_;
+        ++commit_fail_streak_;
+        const int streak = durability_.disk_guard.journal_failure_streak;
+        if (journal_->wedged()) {
+          EnterDegraded("journal wedged: " + js.message());
+        } else if (streak > 0 && commit_fail_streak_ >= streak) {
+          EnterDegraded("journal failed " + std::to_string(streak) +
+                        " consecutive tick-commits: " + js.message());
+        }
+      }
     }
-    if (js.ok()) last_durable_tick_ = clock_;
   }
 }
 
@@ -316,7 +336,7 @@ core::Status MatchServer::Drain(const std::string& path) {
   // session. Now drain-vs-EOF is deterministic: a successful drain verb wins
   // (shutdown skips), a failed one leaves the server live so shutdown
   // completes the drain itself.
-  const core::Status saved = SaveServerSnapshot(*snap, path);
+  const core::Status saved = SaveServerSnapshot(*snap, path, env_);
   if (!saved.ok()) {
     draining_ = false;
     return saved;
@@ -402,11 +422,18 @@ core::Status MatchServer::EnableDurability(const DurabilityConfig& config) {
   if (config.keep_snapshots < 1) {
     return core::Status::InvalidArgument("keep_snapshots must be >= 1");
   }
+  DurabilityConfig resolved = config;
+  if (resolved.env == nullptr) resolved.env = io::Env::Default();
+  if (resolved.journal.env == nullptr) resolved.journal.env = resolved.env;
   core::Result<std::unique_ptr<io::JournalWriter>> journal =
-      io::JournalWriter::Open(config.dir, config.journal);
+      io::JournalWriter::Open(resolved.dir, resolved.journal);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(*journal);
-  durability_ = config;
+  durability_ = resolved;
+  env_ = resolved.env;
+  if (resolved.disk_guard.low_watermark_bytes > 0) {
+    disk_guard_ = std::make_unique<DiskGuard>(resolved.disk_guard);
+  }
   const std::vector<int> gens = ListSnapshotGenerations(config.dir);
   snapshot_gen_ = gens.empty() ? 0 : gens.back();
   return core::Status::Ok();
@@ -414,14 +441,80 @@ core::Status MatchServer::EnableDurability(const DurabilityConfig& config) {
 
 core::Status MatchServer::JournalAppend(const std::string& line) {
   if (journal_ == nullptr) return core::Status::Ok();
+  const bool every_record =
+      durability_.journal.fsync == io::FsyncPolicy::kEveryRecord;
+  if (degraded_nondurable_) {
+    ++events_not_journaled_;
+    // Group-commit policies never promised per-record durability, so the
+    // ack stays ok and the degraded state is what clients must watch. Under
+    // kEveryRecord the ack itself was the promise — break it loudly.
+    if (every_record) {
+      return core::Status::DataLoss(
+          "event applied but not durable: journaling suspended "
+          "(degraded-nondurable)");
+    }
+    return core::Status::Ok();
+  }
   core::Result<int64_t> index = journal_->Append(line);
   if (!index.ok()) {
     ++journal_errors_;
-    return core::Status(index.status().code(),
-                        "event applied but not journaled: " +
-                            index.status().message());
+    if (journal_->wedged()) {
+      EnterDegraded("journal wedged: " + index.status().message());
+    }
+    if (every_record) {
+      return core::Status::DataLoss("event applied but not durable: " +
+                                    index.status().message());
+    }
+    // Buffered-append failures outside kEveryRecord only happen once the
+    // journal is wedged; the tick path owns degraded-mode bookkeeping.
   }
   return core::Status::Ok();
+}
+
+void MatchServer::UpdateDiskGuard() {
+  if (disk_guard_ != nullptr) {
+    core::Result<io::DiskSpace> space = env_->GetDiskSpace(durability_.dir);
+    // An unstat-able filesystem counts as exhausted: if statvfs fails we
+    // cannot promise durability either.
+    const int64_t free = space.ok() ? space->available_bytes : 0;
+    switch (disk_guard_->Observe(free)) {
+      case DiskGuard::Transition::kEnterDegraded:
+        EnterDegraded("disk free " + std::to_string(free) +
+                      " bytes below low watermark");
+        break;
+      case DiskGuard::Transition::kExitDegraded:
+      case DiskGuard::Transition::kNone:
+        break;
+    }
+  }
+  // Restoration: space is back (or the guard is off) and the journal can
+  // still be written — take the fresh checkpoint that re-covers state.
+  if (degraded_nondurable_ && !journal_->wedged() &&
+      (disk_guard_ == nullptr || !disk_guard_->degraded())) {
+    TryRestoreDurability();
+  }
+}
+
+void MatchServer::EnterDegraded(const std::string& why) {
+  if (degraded_nondurable_) return;
+  degraded_nondurable_ = true;
+  ++degraded_entered_;
+  commit_fail_streak_ = 0;
+  LOG_WARNING << "entering degraded-nondurable mode: " << why;
+}
+
+void MatchServer::TryRestoreDurability() {
+  // The checkpoint is the exit gate: it flushes anything still buffered in
+  // the journal, snapshots full server state (covering every event applied
+  // while journaling was suspended), and compacts. Only a *complete*
+  // success restores the durability claim; any failure leaves the server
+  // degraded and the next tick retries.
+  const core::Status st = DoCheckpoint();
+  if (!st.ok()) return;
+  degraded_nondurable_ = false;
+  ++degraded_exited_;
+  LOG_INFO << "degraded-nondurable mode exited: checkpoint generation "
+            << snapshot_gen_ << " restored durability";
 }
 
 DurabilityStatus MatchServer::durability_status() const {
@@ -434,6 +527,14 @@ DurabilityStatus MatchServer::durability_status() const {
   d.last_durable_tick = last_durable_tick_;
   d.snapshot_generation = snapshot_gen_;
   d.journal_errors = journal_errors_;
+  d.degraded_nondurable = degraded_nondurable_;
+  d.degraded_entered = degraded_entered_;
+  d.degraded_exited = degraded_exited_;
+  d.events_not_journaled = events_not_journaled_;
+  d.journal_seal_events = journal_->seal_events();
+  d.journal_wedged = journal_->wedged();
+  d.disk_free_bytes =
+      disk_guard_ != nullptr ? disk_guard_->last_free_bytes() : -1;
   return d;
 }
 
@@ -442,6 +543,15 @@ core::Status MatchServer::Checkpoint() {
     return core::Status::FailedPrecondition(
         "durability not enabled (EnableDurability)");
   }
+  if (degraded_nondurable_) {
+    return core::Status::Unavailable(
+        "degraded-nondurable: checkpoint refused until disk space frees "
+        "(durability restores itself with a fresh checkpoint)");
+  }
+  return DoCheckpoint();
+}
+
+core::Status MatchServer::DoCheckpoint() {
   // Flush the journal first so journal_pos below is on disk, then quiesce the
   // engine so every live session is checkpointable.
   LHMM_RETURN_IF_ERROR(journal_->Commit());
@@ -455,7 +565,7 @@ core::Status MatchServer::Checkpoint() {
 
   const int gen = snapshot_gen_ + 1;
   LHMM_RETURN_IF_ERROR(
-      SaveServerSnapshot(*snap, SnapshotGenPath(durability_.dir, gen)));
+      SaveServerSnapshot(*snap, SnapshotGenPath(durability_.dir, gen), env_));
   snapshot_gen_ = gen;
   last_durable_tick_ = clock_;
   PruneSnapshots();

@@ -12,6 +12,7 @@
 #include "network/faulty_router.h"
 #include "srv/admission.h"
 #include "srv/degrade.h"
+#include "srv/disk_guard.h"
 #include "srv/snapshot.h"
 #include "srv/watchdog.h"
 
@@ -35,6 +36,12 @@ struct DurabilityConfig {
   /// are deleted; recovery falls back from a corrupt newest generation to the
   /// next one, so keeping 2+ is what makes a torn/corrupt snapshot survivable.
   int keep_snapshots = 2;
+  /// Syscall boundary for every durable write (journal, snapshots). nullptr =
+  /// io::Env::Default(); tests inject an io::FaultEnv. Also used as
+  /// journal.env when that is unset.
+  io::Env* env = nullptr;
+  /// Disk-space watermarks driving the degraded-nondurable state machine.
+  DiskGuardConfig disk_guard;
 };
 
 struct ServerConfig {
@@ -92,6 +99,26 @@ struct DurabilityStatus {
   /// tick-commit failures. Non-zero means recovery may not cover everything
   /// the server acknowledged — alert on it.
   int64_t journal_errors = 0;
+  /// True while the server is explicitly serving without durability: the
+  /// disk guard tripped (or the journal wedged / kept failing) and
+  /// journaling is suspended until space frees and a fresh checkpoint
+  /// succeeds. Under FsyncPolicy::kEveryRecord, pushes in this state are
+  /// acked with kDataLoss so clients know the promise is off.
+  bool degraded_nondurable = false;
+  /// Times the server entered / left degraded-nondurable mode.
+  int64_t degraded_entered = 0;
+  int64_t degraded_exited = 0;
+  /// Events applied while degraded and therefore never journaled. They are
+  /// covered by the checkpoint that exits degraded mode, but a crash inside
+  /// the window (or a fallback to an older snapshot generation) loses them.
+  int64_t events_not_journaled = 0;
+  /// Failed commits survived by sealing the tail segment and rotating.
+  int64_t journal_seal_events = 0;
+  /// True once the journal could not even repair a failed commit; the server
+  /// stays degraded-nondurable until restarted.
+  bool journal_wedged = false;
+  /// Last free-space sample the disk guard saw (-1 before the first).
+  int64_t disk_free_bytes = -1;
 };
 
 /// The serving front end over matchers::StreamEngine: what turns the matching
@@ -238,7 +265,15 @@ class MatchServer {
   /// generations beyond keep_snapshots, and compacts journal segments the new
   /// snapshot covers. Sessions whose family cannot checkpoint keep serving
   /// but are not crash-durable (counted in metrics().sessions_not_durable).
+  /// Refused with a typed kUnavailable while the server is
+  /// degraded-nondurable: a checkpoint taken on a full disk would fail half
+  /// way at best, and pretending to checkpoint is exactly the lie the
+  /// degraded state exists to avoid (recovery exits the state internally).
   core::Status Checkpoint();
+
+  /// True while serving without durability after resource exhaustion; see
+  /// DurabilityStatus::degraded_nondurable.
+  bool degraded_nondurable() const { return degraded_nondurable_; }
 
   /// Replay entry points used by srv::Recover() to re-apply journaled events
   /// after a crash. They bypass admission, the degrade ladder, and default
@@ -270,10 +305,24 @@ class MatchServer {
   /// Sessions whose family cannot checkpoint go to `unsupported` instead.
   core::Result<ServerSnapshot> CaptureSnapshot(
       std::vector<int64_t>* unsupported);
-  /// Appends one event line to the journal when durability is on; the event
-  /// has already been applied, so a journal failure is surfaced to the caller
-  /// as "applied but not journaled" while the server stays live.
+  /// Appends one event line to the journal when durability is on. The event
+  /// has already been applied, so the server stays live on failure; but
+  /// under FsyncPolicy::kEveryRecord a failed append/fsync (or a suspended
+  /// journal in degraded-nondurable mode) broke the per-record durability
+  /// promise for this event, and the caller gets a typed kDataLoss status
+  /// to forward as the ack.
   core::Status JournalAppend(const std::string& line);
+  /// Samples the disk guard (statvfs via the Env) and applies its
+  /// transitions; also forces degraded mode on journal wedge or a streak of
+  /// failed tick-commits, and attempts restoration once conditions clear.
+  void UpdateDiskGuard();
+  /// Flips into degraded-nondurable mode (idempotent).
+  void EnterDegraded(const std::string& why);
+  /// Leaves degraded-nondurable mode by taking a fresh checkpoint that
+  /// covers the un-journaled window. No-op (stays degraded) on failure.
+  void TryRestoreDurability();
+  /// Checkpoint() without the degraded-mode refusal (the restore path).
+  core::Status DoCheckpoint();
   /// Deletes snapshot generations older than the newest keep_snapshots.
   void PruneSnapshots();
 
@@ -294,10 +343,18 @@ class MatchServer {
   /// Crash durability (null/zero until EnableDurability).
   std::unique_ptr<io::JournalWriter> journal_;
   DurabilityConfig durability_;
+  io::Env* env_ = nullptr;  ///< Resolved durability Env (never null after
+                            ///< EnableDurability).
+  std::unique_ptr<DiskGuard> disk_guard_;
   int64_t last_durable_tick_ = 0;
   int snapshot_gen_ = 0;
   int64_t sessions_not_durable_ = 0;
   int64_t journal_errors_ = 0;
+  bool degraded_nondurable_ = false;
+  int64_t degraded_entered_ = 0;
+  int64_t degraded_exited_ = 0;
+  int64_t events_not_journaled_ = 0;
+  int commit_fail_streak_ = 0;  ///< Consecutive failed tick-commits.
 };
 
 /// Path of snapshot generation `gen` inside the durability directory

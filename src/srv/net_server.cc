@@ -37,6 +37,12 @@ const char* StateName(matchers::SessionState s) {
   return "unknown";
 }
 
+/// Poll rounds the listener sits out after an unshed-able EMFILE. One round
+/// is one poll_interval_ms timeout, so the pause is short — just long enough
+/// that a starved server waits in poll() instead of spinning on a
+/// permanently-readable listen fd.
+constexpr int kAcceptPauseRounds = 5;
+
 core::Status SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -190,6 +196,21 @@ bool CommandProcessor::Process(const std::string& line, std::string* response,
           static_cast<long long>(ss.generation),
           static_cast<long long>(ss.bytes),
           options_.store ? "mapped" : "owned");
+      // Resource-exhaustion state rides at the end of the line (existing
+      // parsers key on field names, so appending is compatible): degraded=1
+      // means journaling is suspended and pushes ack DataLoss under
+      // kEveryRecord until disk space frees and the exit checkpoint lands.
+      response->append(core::StrFormat(
+          " degraded=%d degraded_entered=%lld degraded_exited=%lld"
+          " events_not_journaled=%lld journal_sealed=%lld journal_wedged=%d"
+          " disk_free=%lld",
+          d.degraded_nondurable ? 1 : 0,
+          static_cast<long long>(d.degraded_entered),
+          static_cast<long long>(d.degraded_exited),
+          static_cast<long long>(d.events_not_journaled),
+          static_cast<long long>(d.journal_seal_events),
+          d.journal_wedged ? 1 : 0,
+          static_cast<long long>(d.disk_free_bytes)));
       return true;
     }
     if (id < 0 || id >= server_->num_sessions()) {
@@ -329,13 +350,17 @@ bool CommandProcessor::Process(const std::string& line, std::string* response,
 
 NetServer::NetServer(MatchServer* server, const CommandOptions& cmd_options,
                      const NetServerConfig& config)
-    : server_(server), processor_(server, cmd_options), config_(config) {}
+    : server_(server),
+      processor_(server, cmd_options),
+      config_(config),
+      env_(config.env != nullptr ? config.env : io::Env::Default()) {}
 
 NetServer::~NetServer() {
   for (auto& c : conns_) {
     if (c->fd >= 0) close(c->fd);
   }
   if (listen_fd_ >= 0) close(listen_fd_);
+  if (reserve_fd_ >= 0) close(reserve_fd_);
 }
 
 core::Status NetServer::Listen() {
@@ -381,13 +406,53 @@ core::Status NetServer::Listen() {
         core::StrFormat("getsockname: %s", strerror(errno)));
   }
   port_ = ntohs(bound.sin_port);
+  // Arm the reserve descriptor for the EMFILE shed path (see Accept). Best
+  // effort: if even this open fails the server still runs, it just falls
+  // back to accept-pausing under fd exhaustion.
+  if (reserve_fd_ < 0) reserve_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
   return core::Status::Ok();
 }
 
 void NetServer::Accept() {
   for (;;) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN (drained the backlog) or transient error.
+    const core::Result<int> accepted = env_->AcceptFd(listen_fd_);
+    if (accepted.ok() && *accepted < 0) return;  // Backlog drained (EAGAIN).
+    if (!accepted.ok()) {
+      if (accepted.status().code() != core::StatusCode::kResourceExhausted) {
+        // Transient per-connection failure (ECONNABORTED, ...): the next
+        // poll round retries; nothing to clean up.
+        ++metrics_.accept_failures;
+        return;
+      }
+      // EMFILE/ENFILE. The pending connection cannot be accepted, but the
+      // listen fd stays readable, so simply returning would make poll() a
+      // busy loop. Surrender the reserve fd to free one descriptor slot,
+      // accept the connection, close it immediately (the peer gets a clean
+      // RST/EOF instead of hanging in the backlog until timeout), then
+      // re-arm the reserve.
+      if (reserve_fd_ >= 0) {
+        close(reserve_fd_);
+        reserve_fd_ = -1;
+      }
+      const core::Result<int> shed = env_->AcceptFd(listen_fd_);
+      const bool shed_ok = shed.ok() && *shed >= 0;
+      if (shed_ok) {
+        close(*shed);
+        ++metrics_.accepted_shed;
+      } else {
+        ++metrics_.accept_failures;
+      }
+      if (reserve_fd_ < 0) {
+        reserve_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+      }
+      if (shed_ok && reserve_fd_ >= 0) continue;  // Keep draining the storm.
+      // Could not shed (another thread raced the freed slot) or could not
+      // re-arm the reserve: stop polling the listener for a few rounds so
+      // the loop blocks in poll() instead of spinning on POLLIN.
+      accept_pause_rounds_ = kAcceptPauseRounds;
+      return;
+    }
+    const int fd = *accepted;
     if (!SetNonBlocking(fd).ok()) {
       close(fd);
       continue;
@@ -521,9 +586,16 @@ core::Status NetServer::Run(const std::atomic<bool>& stop) {
                  conns_.end());
     if (stopping && conns_.empty()) break;
 
+    ++metrics_.poll_wakeups;
     pfds.clear();
-    const size_t base = stopping ? 0 : 1;
-    if (!stopping) pfds.push_back({listen_fd_, POLLIN, 0});
+    // Under fd exhaustion the listener is dropped from the poll set for a
+    // few rounds (Accept sets accept_pause_rounds_ when it cannot shed);
+    // otherwise poll() would return POLLIN instantly forever and the loop
+    // would busy-spin.
+    const bool poll_listener = !stopping && accept_pause_rounds_ == 0;
+    if (accept_pause_rounds_ > 0) --accept_pause_rounds_;
+    const size_t base = poll_listener ? 1 : 0;
+    if (poll_listener) pfds.push_back({listen_fd_, POLLIN, 0});
     const size_t n_conns = conns_.size();
     for (size_t k = 0; k < n_conns; ++k) {
       short events = 0;
@@ -553,7 +625,7 @@ core::Status NetServer::Run(const std::atomic<bool>& stop) {
       if (alive) alive = FlushWrites(c);
       if (!alive) CloseConn(c);
     }
-    if (!stopping && (pfds[0].revents & POLLIN)) Accept();
+    if (poll_listener && (pfds[0].revents & POLLIN)) Accept();
     // Half-open/idle reaping rides the server's logical clock: only `tick`
     // verbs advance it, so a fleet that stops ticking also stops reaping —
     // exactly the semantics of the engine's session idle TTL.

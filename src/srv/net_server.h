@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/env.h"
 #include "srv/frame.h"
 #include "srv/match_server.h"
 #include "store/control.h"
@@ -86,6 +87,10 @@ struct NetServerConfig {
   /// (lhmm_fleet --reuseport). Per-worker ports via --port-file remain the
   /// fallback where a client must address one specific worker.
   bool reuse_port = false;
+  /// Syscall boundary for accept(2); nullptr = io::Env::Default(). Tests
+  /// inject an io::FaultEnv here to script EMFILE storms without actually
+  /// starving the process of descriptors.
+  io::Env* env = nullptr;
 };
 
 /// Counters published by NetServer. Written only by the Run loop; read them
@@ -99,6 +104,12 @@ struct NetMetrics {
   int64_t codec_errors = 0;      ///< Connections dropped for bad framing.
   int64_t reaped_idle = 0;       ///< Connections reaped by the idle TTL.
   int64_t peer_disconnects = 0;  ///< Peer closed/reset, incl. mid-frame.
+  int64_t accepted_shed = 0;     ///< Accepted-then-closed under fd pressure.
+  int64_t accept_failures = 0;   ///< accept(2) errors other than a drained
+                                 ///< backlog (EMFILE with no shed possible,
+                                 ///< ECONNABORTED, ...).
+  int64_t poll_wakeups = 0;      ///< Run-loop iterations; an fd-starved
+                                 ///< server must NOT show this spinning.
 };
 
 /// The TCP transport of the serving stack: a poll-driven accept loop
@@ -162,8 +173,18 @@ class NetServer {
   MatchServer* server_;
   CommandProcessor processor_;
   NetServerConfig config_;
+  io::Env* env_;
   int listen_fd_ = -1;
   int port_ = 0;
+  /// Spare descriptor (open on /dev/null) surrendered under EMFILE so one
+  /// waiting connection can be accepted and cleanly closed instead of
+  /// rotting in the backlog. Re-armed after every shed.
+  int reserve_fd_ = -1;
+  /// While > 0 the listener is left out of the poll set (decremented once
+  /// per loop round): when even the reserve-fd shed cannot make progress,
+  /// pausing accepts is the only alternative to busy-spinning on a
+  /// permanently-readable listen fd.
+  int accept_pause_rounds_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
   NetMetrics metrics_;
 };

@@ -147,7 +147,7 @@ core::Status ReadSessionRecord(io::SnapshotReader* r, SessionRecord* rec) {
 }  // namespace
 
 core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
-                                const std::string& path) {
+                                const std::string& path, io::Env* env) {
   io::SnapshotWriter w(kKind, kServerSnapshotVersion);
   w.BeginLine("clock").AddInt(snapshot.clock);
   w.EndLine();
@@ -197,7 +197,7 @@ core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
     for (const network::SegmentId sid : oc.committed) w.AddInt(sid);
     w.EndLine();
   }
-  return w.WriteFile(path);
+  return w.WriteFile(path, /*durable=*/true, env);
 }
 
 core::Result<ServerSnapshot> LoadServerSnapshot(const std::string& path) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/env.h"
 #include "matchers/stream_engine.h"
 
 namespace lhmm::srv {
@@ -47,7 +48,8 @@ inline constexpr int kServerSnapshotVersion = 2;
 /// Persists `snapshot` to the versioned line-oriented snapshot format
 /// (io::SnapshotWriter; atomic durable write). Doubles round-trip exactly.
 core::Status SaveServerSnapshot(const ServerSnapshot& snapshot,
-                                const std::string& path);
+                                const std::string& path,
+                                io::Env* env = nullptr);
 
 /// Loads a snapshot written by SaveServerSnapshot. Corrupt or truncated input
 /// fails with the file and 1-based line of the problem (io/ error contract).

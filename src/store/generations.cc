@@ -34,9 +34,10 @@ core::Result<int64_t> ReadCurrent(const std::string& root) {
   return static_cast<int64_t>(gen);
 }
 
-core::Status PublishCurrent(const std::string& root, int64_t gen) {
+core::Status PublishCurrent(const std::string& root, int64_t gen,
+                            io::Env* env) {
   return io::AtomicWriteFile(
-      root + "/CURRENT",
+      env, root + "/CURRENT",
       core::StrFormat("%lld\n", static_cast<long long>(gen)));
 }
 
@@ -57,11 +58,14 @@ std::vector<int64_t> ListGenerations(const std::string& root) {
 }
 
 GenerationManager::GenerationManager(std::string root,
-                                     uint64_t expect_fingerprint)
-    : root_(std::move(root)), expect_fingerprint_(expect_fingerprint) {}
+                                     uint64_t expect_fingerprint,
+                                     io::Env* env)
+    : root_(std::move(root)),
+      expect_fingerprint_(expect_fingerprint),
+      env_(env != nullptr ? env : io::Env::Default()) {}
 
 core::Result<std::unique_ptr<GenerationManager>> GenerationManager::Open(
-    const std::string& root, uint64_t expect_fingerprint) {
+    const std::string& root, uint64_t expect_fingerprint, io::Env* env) {
   core::Result<int64_t> gen = ReadCurrent(root);
   if (!gen.ok()) return gen.status();
   core::Result<std::shared_ptr<MappedStore>> store =
@@ -72,7 +76,7 @@ core::Result<std::unique_ptr<GenerationManager>> GenerationManager::Open(
   const uint64_t pinned =
       expect_fingerprint != 0 ? expect_fingerprint : (*store)->fingerprint();
   std::unique_ptr<GenerationManager> mgr(
-      new GenerationManager(root, pinned));
+      new GenerationManager(root, pinned, env));
   mgr->current_ = std::make_shared<const LoadedGeneration>(
       LoadedGeneration{*gen, std::move(*store)});
   return mgr;
@@ -103,7 +107,10 @@ core::Result<StoreStatus> GenerationManager::Swap(int64_t generation) {
   core::Result<std::shared_ptr<MappedStore>> store =
       MappedStore::Open(StorePath(root_, generation), expect_fingerprint_);
   if (!store.ok()) return store.status();
-  LHMM_RETURN_IF_ERROR(PublishCurrent(root_, generation));
+  // The publish is the commit point: if it fails (disk full, failed fsync,
+  // failed rename), CURRENT still names the old generation and the serving
+  // handle is never flipped — candidate mapping is simply dropped.
+  LHMM_RETURN_IF_ERROR(PublishCurrent(root_, generation, env_));
   std::lock_guard<std::mutex> lock(mu_);
   if (current_->generation != generation) {
     previous_gen_ = current_->generation;

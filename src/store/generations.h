@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/env.h"
 #include "store/control.h"
 #include "store/mapped_store.h"
 
@@ -30,8 +31,12 @@ std::string StorePath(const std::string& root, int64_t gen);
 core::Result<int64_t> ReadCurrent(const std::string& root);
 
 /// Atomically points CURRENT at `gen` (which must already be fully built —
-/// publish is the commit point of a build).
-core::Status PublishCurrent(const std::string& root, int64_t gen);
+/// publish is the commit point of a build). On any failure — injected
+/// ENOSPC, failed fsync, failed rename — the previous CURRENT is untouched
+/// and no torn pointer is ever readable. `env` is the syscall boundary
+/// (nullptr = io::Env::Default()).
+core::Status PublishCurrent(const std::string& root, int64_t gen,
+                            io::Env* env = nullptr);
 
 /// All gen-<N> directories under `root` that contain a store file, ascending.
 std::vector<int64_t> ListGenerations(const std::string& root);
@@ -62,8 +67,11 @@ class GenerationManager : public StoreControl {
   /// is checked against it. 0 pins the opened generation's own fingerprint
   /// instead, so even a caller with no expectation can never swap across
   /// networks.
+  /// `env` is the syscall boundary for the CURRENT publish on Swap
+  /// (nullptr = io::Env::Default()).
   static core::Result<std::unique_ptr<GenerationManager>> Open(
-      const std::string& root, uint64_t expect_fingerprint = 0);
+      const std::string& root, uint64_t expect_fingerprint = 0,
+      io::Env* env = nullptr);
 
   /// The currently serving generation, pinned.
   GenerationHandle Current() const;
@@ -73,12 +81,14 @@ class GenerationManager : public StoreControl {
   core::Result<StoreStatus> Rollback() override;
 
  private:
-  GenerationManager(std::string root, uint64_t expect_fingerprint);
+  GenerationManager(std::string root, uint64_t expect_fingerprint,
+                    io::Env* env);
 
   StoreStatus StatusLocked() const;
 
   const std::string root_;
   const uint64_t expect_fingerprint_;
+  io::Env* const env_;
   mutable std::mutex mu_;
   GenerationHandle current_;
   int64_t previous_gen_ = -1;

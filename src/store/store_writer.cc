@@ -46,7 +46,7 @@ void StoreWriter::AddSection(uint32_t tag, std::string payload) {
 }
 
 core::Status StoreWriter::Write(const std::string& path, uint64_t fingerprint,
-                                uint64_t generation) const {
+                                uint64_t generation, io::Env* env) const {
   const uint32_t count = static_cast<uint32_t>(sections_.size());
   // TOC immediately follows the header; its own CRC + pad follow the entries,
   // so the first payload starts 8-aligned by construction.
@@ -83,7 +83,7 @@ core::Status StoreWriter::Write(const std::string& path, uint64_t fingerprint,
     const std::string& payload = sections_[i].second;
     std::memcpy(&file[toc[i].offset], payload.data(), payload.size());
   }
-  return io::AtomicWriteFile(path, file, /*durable=*/true);
+  return io::AtomicWriteFile(env, path, file, /*durable=*/true);
 }
 
 std::string EncodeNetwork(const network::RoadNetwork& net) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "io/env.h"
 #include "lhmm/model.h"
 #include "matchers/seq2seq.h"
 #include "network/contraction.h"
@@ -32,8 +33,10 @@ class StoreWriter {
   void AddSection(uint32_t tag, std::string payload);
 
   /// Assembles header + TOC + aligned payloads and atomically writes `path`.
+  /// On any failure (injected ENOSPC/fsync/rename included) nothing readable
+  /// is left at `path`. `env` is the syscall boundary (nullptr = Default()).
   core::Status Write(const std::string& path, uint64_t fingerprint,
-                     uint64_t generation) const;
+                     uint64_t generation, io::Env* env = nullptr) const;
 
  private:
   std::vector<std::pair<uint32_t, std::string>> sections_;

@@ -1,0 +1,592 @@
+// Tests for resource-exhaustion hardening: the io::Env syscall boundary and
+// its deterministic FaultEnv (Nth-call and rate schedules, short writes,
+// scripted statvfs), the atomic-write protocol's never-a-readable-partial
+// guarantee under injected ENOSPC/fsync/rename failure, the journal's
+// seal-rotate-heal reaction to a failed group commit (fsyncgate: a failed
+// fsync permanently poisons the segment; the repair is truncate + rotate,
+// never a retried fsync), the wedged terminal state, the srv::DiskGuard
+// watermark hysteresis, and the MatchServer's degraded-nondurable mode:
+// scheduled disk exhaustion suspends journaling, acks kDataLoss under
+// --fsync record, refuses checkpoints typed, and restores durability with a
+// fresh checkpoint once space frees.
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hmm/classic_models.h"
+#include "io/durable_file.h"
+#include "io/env.h"
+#include "io/journal.h"
+#include "matchers/ivmm.h"
+#include "network/generators.h"
+#include "network/grid_index.h"
+#include "srv/disk_guard.h"
+#include "srv/match_server.h"
+#include "traj/trajectory.h"
+
+namespace lhmm {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// FaultEnv schedules.
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvTest, NthMatchingWriteFailsExactlyOnce) {
+  const std::string dir = FreshDir("fault_nth");
+  io::FaultEnv env;
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kWrite;
+  rule.path_substr = "target";
+  rule.at_count = 2;
+  rule.fault_errno = ENOSPC;
+  env.AddRule(rule);
+
+  auto other = env.NewWritableFile(dir + "/other.dat", /*append=*/false);
+  ASSERT_TRUE(other.ok());
+  // Non-matching path: never faulted, never counted against the rule.
+  EXPECT_TRUE((*other)->Append("xxxx").ok());
+
+  auto target = env.NewWritableFile(dir + "/target.dat", /*append=*/false);
+  ASSERT_TRUE(target.ok());
+  EXPECT_TRUE((*target)->Append("one").ok());
+  const core::Status second = (*target)->Append("two");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), core::StatusCode::kIoError);
+  EXPECT_NE(second.message().find("injected"), std::string::npos);
+  EXPECT_TRUE((*target)->Append("three").ok());
+  EXPECT_EQ(env.injected_faults(), 1);
+  EXPECT_EQ(env.op_count(io::EnvOp::kWrite), 4);
+
+  ASSERT_TRUE((*target)->Close().ok());
+  // The faulted write landed nothing: only "one" and "three" are on disk.
+  EXPECT_EQ(Slurp(dir + "/target.dat"), "onethree");
+}
+
+TEST(FaultEnvTest, ShortWriteTearsExactlyThePromisedPrefix) {
+  const std::string dir = FreshDir("fault_short");
+  io::FaultEnv env;
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kWrite;
+  rule.at_count = 1;
+  rule.fault_errno = ENOSPC;
+  rule.short_write_bytes = 3;
+  env.AddRule(rule);
+
+  auto f = env.NewWritableFile(dir + "/torn.dat", /*append=*/false);
+  ASSERT_TRUE(f.ok());
+  const core::Status st = (*f)->Append("abcdef");
+  ASSERT_FALSE(st.ok());
+  ASSERT_TRUE((*f)->Close().ok());
+  // ENOSPC halfway through: the prefix is really on disk, the rest never
+  // made it. This is the torn-append signature the journal must repair.
+  EXPECT_EQ(Slurp(dir + "/torn.dat"), "abc");
+}
+
+TEST(FaultEnvTest, RateScheduleIsAPureFunctionOfTheSeed) {
+  auto pattern = [](uint64_t seed) {
+    io::FaultEnv env(nullptr, seed);
+    io::EnvFaultRule rule;
+    rule.op = io::EnvOp::kAccept;
+    rule.rate = 0.5;
+    rule.fault_errno = EMFILE;
+    env.AddRule(rule);
+    std::vector<bool> fired;
+    int64_t last = 0;
+    for (int i = 0; i < 64; ++i) {
+      env.Draw(io::EnvOp::kAccept, "");
+      fired.push_back(env.injected_faults() != last);
+      last = env.injected_faults();
+    }
+    return fired;
+  };
+  EXPECT_EQ(pattern(7), pattern(7)) << "same seed, same storm";
+  EXPECT_NE(pattern(7), pattern(8)) << "different seed, different storm";
+}
+
+TEST(FaultEnvTest, StatvfsOverrideSucceedsWithScheduledFreeBytes) {
+  const std::string dir = FreshDir("fault_statvfs");
+  io::FaultEnv env;
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kStatvfs;
+  rule.at_count = 1;
+  rule.repeat = 2;
+  rule.free_bytes_override = 12345;
+  env.AddRule(rule);
+
+  for (int i = 0; i < 2; ++i) {
+    auto space = env.GetDiskSpace(dir);
+    ASSERT_TRUE(space.ok()) << "override must succeed, not error";
+    EXPECT_EQ(space->available_bytes, 12345);
+  }
+  auto real = env.GetDiskSpace(dir);
+  ASSERT_TRUE(real.ok());
+  EXPECT_NE(real->available_bytes, 12345);
+}
+
+TEST(FaultEnvTest, ErrnoMappingTypesTheRetryableFaults) {
+  EXPECT_EQ(io::ErrnoStatus(EMFILE, "x").code(),
+            core::StatusCode::kResourceExhausted);
+  EXPECT_EQ(io::ErrnoStatus(ENFILE, "x").code(),
+            core::StatusCode::kResourceExhausted);
+  EXPECT_EQ(io::ErrnoStatus(ENOSPC, "x").code(), core::StatusCode::kIoError);
+  EXPECT_EQ(io::ErrnoStatus(EDQUOT, "x").code(), core::StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// AtomicWriteFile: no injected failure may leave a readable partial.
+// ---------------------------------------------------------------------------
+
+class AtomicWriteFaultTest : public ::testing::TestWithParam<io::EnvOp> {};
+
+TEST_P(AtomicWriteFaultTest, FailureLeavesOldFileAndNoTmp) {
+  const std::string dir =
+      FreshDir(std::string("atomic_fault_") + io::EnvOpName(GetParam()));
+  const std::string path = dir + "/state.dat";
+  ASSERT_TRUE(io::AtomicWriteFile(io::Env::Default(), path,
+                                  std::string("old-contents"))
+                  .ok());
+
+  io::FaultEnv env;
+  io::EnvFaultRule rule;
+  rule.op = GetParam();
+  rule.path_substr = "state.dat";
+  rule.at_count = 1;
+  rule.fault_errno = ENOSPC;
+  env.AddRule(rule);
+
+  const core::Status st = io::AtomicWriteFile(&env, path, "new-contents");
+  ASSERT_FALSE(st.ok()) << io::EnvOpName(GetParam());
+  EXPECT_EQ(env.injected_faults(), 1);
+  // Readers see the complete old file — never a torn mixture — and the tmp
+  // working file was unlinked, so retries and generation listings never trip
+  // over a stale partial.
+  EXPECT_EQ(Slurp(path), "old-contents");
+  int entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1) << "tmp file survived a failed atomic write";
+
+  // With the schedule exhausted the identical retry goes through.
+  EXPECT_TRUE(io::AtomicWriteFile(&env, path, "new-contents").ok());
+  EXPECT_EQ(Slurp(path), "new-contents");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AtomicWriteFaultTest,
+                         ::testing::Values(io::EnvOp::kOpen, io::EnvOp::kWrite,
+                                           io::EnvOp::kFsync,
+                                           io::EnvOp::kRename));
+
+// ---------------------------------------------------------------------------
+// Journal under injected faults: seal, rotate, heal — or wedge.
+// ---------------------------------------------------------------------------
+
+TEST(JournalFaultTest, FailedFsyncSealsTheTailAndTheNextCommitRotates) {
+  const std::string dir = FreshDir("journal_seal");
+  io::FaultEnv env;
+  io::JournalOptions options;
+  options.fsync = io::FsyncPolicy::kEveryTick;
+  options.env = &env;
+  auto writer = io::JournalWriter::Open(dir, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE((*writer)->Append("r" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  // Poison the next fsync of the active segment. A failed fsync means the
+  // kernel may have dropped the dirty pages (fsyncgate): the writer must
+  // never re-fsync this segment and claim durability.
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kFsync;
+  rule.path_substr = "wal-";
+  rule.at_count = 1;
+  rule.fault_errno = EIO;
+  env.AddRule(rule);
+
+  ASSERT_TRUE((*writer)->Append("r4").ok());
+  const core::Status failed = (*writer)->Commit();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("tail sealed"), std::string::npos)
+      << failed.ToString();
+  EXPECT_EQ((*writer)->seal_events(), 1);
+  EXPECT_FALSE((*writer)->wedged());
+
+  // r4 stayed buffered; the next commit rotates to a fresh segment and
+  // writes it there with its original index, so the global sequence stays
+  // contiguous for recovery.
+  ASSERT_TRUE((*writer)->Append("r5").ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  auto scan = io::ScanJournal(dir);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->clean);
+  EXPECT_FALSE(scan->torn_tail);
+  ASSERT_EQ(scan->records.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan->records[i].index, i + 1);
+    EXPECT_EQ(scan->records[i].payload, "r" + std::to_string(i + 1));
+  }
+  EXPECT_GE(scan->segments.size(), 2u) << "the sealed tail was not rotated";
+  // The sealed segment was truncated back to its committed prefix: no torn
+  // bytes survive on disk.
+  for (const io::SegmentInfo& seg : scan->segments) {
+    EXPECT_EQ(seg.file_bytes, seg.valid_bytes) << seg.path;
+  }
+}
+
+TEST(JournalFaultTest, EveryRecordPolicySurfacesTheSealOnTheAck) {
+  const std::string dir = FreshDir("journal_record_seal");
+  io::FaultEnv env;
+  io::JournalOptions options;
+  options.fsync = io::FsyncPolicy::kEveryRecord;
+  options.env = &env;
+  auto writer = io::JournalWriter::Open(dir, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append("r1").ok());
+
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kFsync;
+  rule.path_substr = "wal-";
+  rule.at_count = 1;
+  rule.fault_errno = ENOSPC;
+  env.AddRule(rule);
+
+  // The append itself carries the commit under kEveryRecord, so the caller
+  // sees the failure on the ack for exactly the record that lost its
+  // durability promise.
+  const auto r2 = (*writer)->Append("r2");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ((*writer)->seal_events(), 1);
+
+  // r2 was applied (its index is consumed and it stays buffered), so after
+  // the heal the log still carries every record exactly once, in order.
+  ASSERT_TRUE((*writer)->Append("r3").ok());
+  auto scan = io::ScanJournal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->clean);
+  ASSERT_EQ(scan->records.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(scan->records[i].index, i + 1);
+    EXPECT_EQ(scan->records[i].payload, "r" + std::to_string(i + 1));
+  }
+}
+
+TEST(JournalFaultTest, SealRepairFailureWedgesTheJournalPermanently) {
+  const std::string dir = FreshDir("journal_wedge");
+  io::FaultEnv env;
+  io::JournalOptions options;
+  options.fsync = io::FsyncPolicy::kEveryTick;
+  options.env = &env;
+  auto writer = io::JournalWriter::Open(dir, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("r1").ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  // The commit fsync fails AND the truncate that would repair the sealed
+  // tail fails: nothing about the segment can be trusted any more.
+  io::EnvFaultRule fsync_rule;
+  fsync_rule.op = io::EnvOp::kFsync;
+  fsync_rule.path_substr = "wal-";
+  fsync_rule.at_count = 1;
+  fsync_rule.fault_errno = EIO;
+  env.AddRule(fsync_rule);
+  io::EnvFaultRule trunc_rule;
+  trunc_rule.op = io::EnvOp::kTruncate;
+  trunc_rule.path_substr = "wal-";
+  trunc_rule.at_count = 1;
+  trunc_rule.fault_errno = EIO;
+  env.AddRule(trunc_rule);
+
+  ASSERT_TRUE((*writer)->Append("r2").ok());
+  const core::Status st = (*writer)->Commit();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  EXPECT_TRUE((*writer)->wedged());
+
+  // Terminal: every further append and commit refuses typed, consuming no
+  // indices — a wedged journal must not pretend to accept events.
+  const int64_t next = (*writer)->next_index();
+  EXPECT_EQ((*writer)->Append("r3").status().code(),
+            core::StatusCode::kDataLoss);
+  EXPECT_EQ((*writer)->next_index(), next);
+  EXPECT_EQ((*writer)->Commit().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(JournalFaultTest, EnospcDuringRotationKeepsRecordsBufferedUntilItHeals) {
+  const std::string dir = FreshDir("journal_rotate_enospc");
+  io::FaultEnv env;
+  io::JournalOptions options;
+  options.fsync = io::FsyncPolicy::kNone;
+  options.segment_bytes = 48;  // A couple of records force rotation.
+  options.env = &env;
+  auto writer = io::JournalWriter::Open(dir, options);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE((*writer)->Append("record-" + std::to_string(i)).ok());
+    ASSERT_TRUE((*writer)->Commit().ok());
+  }
+  ASSERT_GT((*writer)->segment_count(), 1);
+  const int64_t segments_before = (*writer)->segment_count();
+
+  // ENOSPC creating the next segment file: rotation fails, the records stay
+  // buffered, and the already-written log is untouched.
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kOpen;
+  rule.path_substr = io::JournalSegmentPath("", segments_before + 1);
+  rule.at_count = 1;
+  rule.fault_errno = ENOSPC;
+  env.AddRule(rule);
+
+  ASSERT_TRUE((*writer)->Append("record-5").ok());
+  const core::Status failed = (*writer)->Commit();
+  ASSERT_FALSE(failed.ok());
+  auto mid = io::ScanJournal(dir);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_TRUE(mid->clean);
+  EXPECT_EQ(mid->records.back().index, 4) << "a failed rotation leaked bytes";
+
+  // Space frees: the very next commit retries the rotation and lands the
+  // buffered record with its original index.
+  ASSERT_TRUE((*writer)->Commit().ok());
+  auto scan = io::ScanJournal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->clean);
+  ASSERT_EQ(scan->records.size(), 5u);
+  EXPECT_EQ(scan->records.back().index, 5);
+  EXPECT_EQ(scan->records.back().payload, "record-5");
+}
+
+// ---------------------------------------------------------------------------
+// DiskGuard hysteresis.
+// ---------------------------------------------------------------------------
+
+TEST(DiskGuardTest, EnterAndExitNeedTheirConsecutiveStreaks) {
+  srv::DiskGuardConfig config;
+  config.low_watermark_bytes = 100;
+  config.high_watermark_bytes = 200;
+  config.enter_after = 2;
+  config.exit_after = 2;
+  srv::DiskGuard guard(config);
+  using T = srv::DiskGuard::Transition;
+
+  EXPECT_EQ(guard.Observe(500), T::kNone);
+  EXPECT_EQ(guard.Observe(50), T::kNone) << "one low sample must not trip";
+  EXPECT_EQ(guard.Observe(300), T::kNone) << "the streak resets on recovery";
+  EXPECT_EQ(guard.Observe(50), T::kNone);
+  EXPECT_EQ(guard.Observe(50), T::kEnterDegraded);
+  EXPECT_TRUE(guard.degraded());
+
+  // Between the watermarks is no-man's land: not low enough to matter, not
+  // high enough to exit — hysteresis is what stops the flapping.
+  EXPECT_EQ(guard.Observe(150), T::kNone);
+  EXPECT_EQ(guard.Observe(250), T::kNone);
+  EXPECT_EQ(guard.Observe(150), T::kNone) << "the exit streak resets too";
+  EXPECT_EQ(guard.Observe(250), T::kNone);
+  EXPECT_EQ(guard.Observe(250), T::kExitDegraded);
+  EXPECT_FALSE(guard.degraded());
+  EXPECT_EQ(guard.last_free_bytes(), 250);
+}
+
+TEST(DiskGuardTest, ZeroLowWatermarkDisablesTheMonitor) {
+  srv::DiskGuard guard(srv::DiskGuardConfig{});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(guard.Observe(0), srv::DiskGuard::Transition::kNone);
+  }
+  EXPECT_FALSE(guard.degraded());
+}
+
+TEST(DiskGuardTest, HighWatermarkIsClampedUpToLow) {
+  srv::DiskGuardConfig config;
+  config.low_watermark_bytes = 100;
+  config.high_watermark_bytes = 10;  // Misconfigured below low.
+  config.enter_after = 1;
+  config.exit_after = 1;
+  srv::DiskGuard guard(config);
+  using T = srv::DiskGuard::Transition;
+  EXPECT_EQ(guard.Observe(50), T::kEnterDegraded);
+  // 60 free clears the *configured* high watermark but not the clamped one:
+  // exiting below the low watermark would re-enter on the next sample.
+  EXPECT_EQ(guard.Observe(60), T::kNone);
+  EXPECT_EQ(guard.Observe(100), T::kExitDegraded);
+}
+
+// ---------------------------------------------------------------------------
+// MatchServer degraded-nondurable mode, end to end against a FaultEnv.
+// ---------------------------------------------------------------------------
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  static std::vector<srv::TierSpec> Tiers(const network::RoadNetwork* net,
+                                          const network::GridIndex* index) {
+    hmm::ClassicModelConfig models;
+    std::vector<srv::TierSpec> tiers;
+    tiers.push_back({"IVMM", [net, index, models] {
+                       return std::make_unique<matchers::IvmmMatcher>(
+                           net, index, models, /*k=*/8);
+                     }});
+    return tiers;
+  }
+
+  static srv::ServerConfig Config() {
+    srv::ServerConfig config;
+    config.engine.num_threads = 1;
+    config.engine.lag = 4;
+    config.engine.max_inbox = 64;  // Roomy: these tests are not about
+                                   // backpressure.
+    return config;
+  }
+
+  static traj::TrajPoint Pt(int p) {
+    return {{10.0 + 180.0 * p, 10.0}, 15.0 * p,
+            static_cast<traj::TowerId>(p)};
+  }
+
+  void SetUp() override {
+    net_ = std::make_unique<network::RoadNetwork>(
+        network::GenerateGridNetwork(6, 6, 200.0));
+    index_ = std::make_unique<network::GridIndex>(net_.get(), 300.0);
+  }
+
+  std::unique_ptr<network::RoadNetwork> net_;
+  std::unique_ptr<network::GridIndex> index_;
+};
+
+TEST_F(DegradedModeTest, ScheduledExhaustionSuspendsJournalingAndRecovers) {
+  const std::string dir = FreshDir("degraded_watermark");
+  io::FaultEnv env;
+  // Ticks 1 and 2 observe a nearly-full disk; tick 3 onward sees the real
+  // filesystem (assumed to have more than 1MB free in TempDir).
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kStatvfs;
+  rule.at_count = 1;
+  rule.repeat = 2;
+  rule.free_bytes_override = 1000;
+  env.AddRule(rule);
+
+  srv::MatchServer server(Tiers(net_.get(), index_.get()), Config());
+  srv::DurabilityConfig durability;
+  durability.dir = dir;
+  durability.journal.fsync = io::FsyncPolicy::kEveryRecord;
+  durability.env = &env;
+  durability.disk_guard.low_watermark_bytes = 1 << 20;
+  durability.disk_guard.high_watermark_bytes = 2 << 20;
+  durability.disk_guard.enter_after = 1;
+  durability.disk_guard.exit_after = 1;
+  ASSERT_TRUE(server.EnableDurability(durability).ok());
+  ASSERT_TRUE(server.OpenSession().ok());
+
+  server.Tick(1);
+  srv::DurabilityStatus d = server.durability_status();
+  ASSERT_TRUE(d.degraded_nondurable)
+      << "the scheduled exhaustion must trip the guard on its exact tick";
+  EXPECT_EQ(d.degraded_entered, 1);
+  EXPECT_EQ(d.disk_free_bytes, 1000);
+
+  // The event is applied — the session advances — but under kEveryRecord
+  // the ack itself was the durability promise, so it is typed kDataLoss.
+  const core::Status push = server.Push(0, Pt(0));
+  EXPECT_EQ(push.code(), core::StatusCode::kDataLoss) << push.ToString();
+  server.Barrier();
+  EXPECT_EQ(server.Stats(0).points_pushed, 1);
+
+  // Checkpoints are refused typed while degraded: writing a snapshot to a
+  // full disk is how CURRENT ends up pointing at garbage.
+  EXPECT_EQ(server.Checkpoint().code(), core::StatusCode::kUnavailable);
+
+  server.Tick(2);  // Second scheduled low sample: still degraded.
+  EXPECT_TRUE(server.durability_status().degraded_nondurable);
+
+  // Space frees: the guard exits and durability restores itself with a
+  // fresh checkpoint covering the un-journaled window.
+  server.Tick(3);
+  d = server.durability_status();
+  EXPECT_FALSE(d.degraded_nondurable);
+  EXPECT_EQ(d.degraded_exited, 1);
+  EXPECT_GE(d.snapshot_generation, 1);
+  EXPECT_GT(d.events_not_journaled, 0);
+  EXPECT_FALSE(d.journal_wedged);
+
+  // Durable again: pushes ack clean and checkpoints work.
+  EXPECT_TRUE(server.Push(0, Pt(1)).ok());
+  EXPECT_TRUE(server.Checkpoint().ok());
+}
+
+TEST_F(DegradedModeTest, JournalFailureStreakForcesDegradedWithoutWatermarks) {
+  const std::string dir = FreshDir("degraded_streak");
+  io::FaultEnv env;
+  srv::MatchServer server(Tiers(net_.get(), index_.get()), Config());
+  srv::DurabilityConfig durability;
+  durability.dir = dir;
+  durability.journal.fsync = io::FsyncPolicy::kEveryTick;
+  durability.env = &env;
+  // No watermarks: only the journal's own failures can degrade the server.
+  durability.disk_guard.journal_failure_streak = 3;
+  ASSERT_TRUE(server.EnableDurability(durability).ok());
+  ASSERT_TRUE(server.OpenSession().ok());
+
+  // Every journal *write* fails from here on — the disk is full and stays
+  // full. (The seal repair is a truncate, which a full disk still allows, so
+  // each failed tick-commit seals and rotates instead of wedging.) The third
+  // failure in a row concedes and degrades.
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kWrite;
+  rule.path_substr = "wal-";
+  rule.at_count = 1;
+  rule.repeat = -1;
+  rule.fault_errno = ENOSPC;
+  env.AddRule(rule);
+
+  for (int t = 1; t <= 2; ++t) {
+    ASSERT_TRUE(server.Push(0, Pt(t - 1)).ok());
+    server.Tick(t);
+    EXPECT_FALSE(server.durability_status().degraded_nondurable)
+        << "degraded after only " << t << " failures";
+  }
+  ASSERT_TRUE(server.Push(0, Pt(2)).ok());
+  server.Tick(3);
+  srv::DurabilityStatus d = server.durability_status();
+  EXPECT_TRUE(d.degraded_nondurable);
+  EXPECT_EQ(d.degraded_entered, 1);
+  // At least the first failure sealed the tail; later ones may fail earlier,
+  // at the rotation that cannot fsync the fresh segment's header.
+  EXPECT_GE(d.journal_seal_events, 1);
+  EXPECT_GE(d.journal_errors, 3);
+  EXPECT_FALSE(d.journal_wedged) << "seal+rotate must survive, not wedge";
+
+  // The disk heals. The next tick restores durability via a fresh
+  // checkpoint, and the journal commits cleanly again.
+  env.ClearRules();
+  server.Tick(4);
+  d = server.durability_status();
+  EXPECT_FALSE(d.degraded_nondurable);
+  EXPECT_EQ(d.degraded_exited, 1);
+  EXPECT_GE(d.snapshot_generation, 1);
+  server.Tick(5);
+  EXPECT_EQ(server.durability_status().last_durable_tick, 5);
+}
+
+}  // namespace
+}  // namespace lhmm

@@ -24,6 +24,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -639,6 +641,83 @@ TEST_F(NetServeTest, FailedDrainLeavesServerServingSoShutdownDrainCompletes) {
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ((*restored)->num_sessions(), 2);
   EXPECT_TRUE((*restored)->SessionStatus(0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// fd exhaustion: the EMFILE accept storm, driven by an injected io::FaultEnv.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetServeTest, EmfileAcceptIsShedViaTheReserveFd) {
+  // The first accept attempt fails EMFILE; the retry after surrendering the
+  // reserve fd succeeds. The pending connection must be accepted and
+  // immediately closed — a clean EOF for the peer instead of rotting in the
+  // backlog until its connect timeout.
+  io::FaultEnv fenv;
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kAccept;
+  rule.at_count = 1;
+  rule.repeat = 1;
+  rule.fault_errno = EMFILE;
+  fenv.AddRule(rule);
+
+  RunningServer rs;
+  srv::NetServerConfig net_config;
+  net_config.env = &fenv;
+  rs.Start(Tiers(), Config(1), net_config);
+  if (HasFatalFailure()) return;
+
+  NetClient shed;
+  ASSERT_TRUE(shed.Connect(rs.net->port()));
+  EXPECT_TRUE(shed.WaitForEof()) << "the shed connection must close cleanly";
+
+  // The storm is over (the rule fired its once): a new connection is served
+  // normally.
+  NetClient fresh;
+  ASSERT_TRUE(fresh.Connect(rs.net->port()));
+  EXPECT_TRUE(core::StartsWith(fresh.Cmd("pid"), "ok pid "));
+
+  const srv::NetMetrics m = rs.Stop();
+  EXPECT_EQ(m.accepted_shed, 1);
+  EXPECT_EQ(m.accepted, 1) << "only the post-storm connection was admitted";
+}
+
+TEST_F(NetServeTest, SustainedEmfileStormDoesNotBusySpinAndRecovers) {
+  // EMFILE forever: even the reserve-fd retry fails, so the server can make
+  // no progress at all. The listen fd stays readable the whole time — the
+  // regression this guards against is the accept loop turning into a hot
+  // poll() spin. The loop must instead pause the listener and keep waking at
+  // its normal poll cadence.
+  io::FaultEnv fenv;
+  io::EnvFaultRule rule;
+  rule.op = io::EnvOp::kAccept;
+  rule.at_count = 1;
+  rule.repeat = -1;
+  rule.fault_errno = EMFILE;
+  fenv.AddRule(rule);
+
+  RunningServer rs;
+  srv::NetServerConfig net_config;
+  net_config.env = &fenv;
+  rs.Start(Tiers(), Config(1), net_config);
+  if (HasFatalFailure()) return;
+
+  // The connection lands in the kernel backlog (connect succeeds) but the
+  // server cannot accept it while starved.
+  NetClient waiting;
+  ASSERT_TRUE(waiting.Connect(rs.net->port()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // fds free up: the backlogged connection is finally accepted and served.
+  fenv.ClearRules();
+  EXPECT_TRUE(core::StartsWith(waiting.Cmd("pid"), "ok pid "));
+
+  const srv::NetMetrics m = rs.Stop();
+  EXPECT_GT(m.accept_failures, 0);
+  EXPECT_EQ(m.accepted, 1);
+  // ~400ms of storm at poll_interval_ms=20 is ~20 wakeups plus scheduling
+  // slop; a busy spin would rack up tens of thousands. The bound is loose on
+  // purpose — it catches the spin, not the exact cadence.
+  EXPECT_LT(m.poll_wakeups, 400) << "accept loop busy-spun under EMFILE";
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <unistd.h>
 
+#include <cerrno>
+
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "io/env.h"
 #include "io/fault_file.h"
 #include "io/journal.h"
 #include "network/contraction.h"
@@ -402,6 +405,96 @@ TEST_F(GenerationsTest, OldGenerationUnmapsOnLastRelease) {
 
   std::weak_ptr<MappedStore> new_mapping = (*mgr)->Current()->store;
   EXPECT_FALSE(new_mapping.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Write-time fault matrix: injected ENOSPC / failed fsync / failed rename
+// during a store build or a CURRENT publish must never leave a readable
+// partial and never move the commit point.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, WriterFaultMatrixNeverLeavesAPartialStore) {
+  for (const io::EnvOp op : {io::EnvOp::kWrite, io::EnvOp::kFsync,
+                             io::EnvOp::kRename, io::EnvOp::kOpen}) {
+    const std::string name =
+        std::string("faulted_") + io::EnvOpName(op) + ".lds";
+    const std::string path = Path(name);
+    io::FaultEnv env;
+    io::EnvFaultRule rule;
+    rule.op = op;
+    rule.path_substr = name;
+    rule.at_count = 1;
+    rule.fault_errno = ENOSPC;
+    env.AddRule(rule);
+
+    StoreWriter w;
+    w.AddSection(kSectionNetwork, EncodeNetwork(net_));
+    w.AddSection(kSectionGrid, EncodeGridIndex(*index_));
+    w.AddSection(kSectionCH, EncodeCHGraph(ch_));
+    const core::Status st = w.Write(path, fingerprint_, 1, &env);
+    ASSERT_FALSE(st.ok()) << io::EnvOpName(op);
+    EXPECT_EQ(env.injected_faults(), 1) << io::EnvOpName(op);
+    // Nothing readable at the target, and the tmp working file is gone: a
+    // generation directory can never hold a store that parses halfway.
+    EXPECT_FALSE(std::filesystem::exists(path)) << io::EnvOpName(op);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << io::EnvOpName(op);
+
+    // The identical retry (fault schedule exhausted) produces a store that
+    // maps and validates completely.
+    ASSERT_TRUE(w.Write(path, fingerprint_, 1, &env).ok());
+    auto store = MappedStore::Open(path, fingerprint_);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+  }
+}
+
+class GenerationsFaultTest : public GenerationsTest {};
+
+TEST_F(GenerationsFaultTest, FailedPublishNeverMovesCurrentOrTheServingHandle) {
+  for (const io::EnvOp op :
+       {io::EnvOp::kWrite, io::EnvOp::kFsync, io::EnvOp::kRename}) {
+    const std::string root = Root() + "_" + io::EnvOpName(op);
+    std::filesystem::create_directories(root);
+    {
+      StoreWriter w;
+      w.AddSection(kSectionNetwork, EncodeNetwork(net_));
+      w.AddSection(kSectionGrid, EncodeGridIndex(*index_));
+      w.AddSection(kSectionCH, EncodeCHGraph(ch_));
+      for (int64_t gen = 1; gen <= 2; ++gen) {
+        std::filesystem::create_directories(GenerationDir(root, gen));
+        ASSERT_TRUE(w.Write(StorePath(root, gen), fingerprint_, gen).ok());
+      }
+    }
+    ASSERT_TRUE(PublishCurrent(root, 1).ok());
+
+    io::FaultEnv env;
+    io::EnvFaultRule rule;
+    rule.op = op;
+    rule.path_substr = "CURRENT";
+    rule.at_count = 1;
+    rule.fault_errno = ENOSPC;
+    env.AddRule(rule);
+
+    auto mgr = GenerationManager::Open(root, fingerprint_, &env);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    auto swapped = (*mgr)->Swap(2);
+    ASSERT_FALSE(swapped.ok()) << io::EnvOpName(op);
+    // The publish is the commit point: after its failure CURRENT still
+    // names generation 1 (complete, not torn), the manager still serves 1,
+    // and a worker restarted now opens 1.
+    auto current = ReadCurrent(root);
+    ASSERT_TRUE(current.ok()) << io::EnvOpName(op);
+    EXPECT_EQ(*current, 1) << io::EnvOpName(op);
+    EXPECT_EQ((*mgr)->Status().generation, 1) << io::EnvOpName(op);
+    auto reopened = GenerationManager::Open(root, fingerprint_);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->Status().generation, 1);
+
+    // Space frees: the same swap goes through and flips both views.
+    auto retried = (*mgr)->Swap(2);
+    ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+    EXPECT_EQ(*ReadCurrent(root), 2);
+    EXPECT_EQ((*mgr)->Status().generation, 2);
+  }
 }
 
 }  // namespace

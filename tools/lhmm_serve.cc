@@ -38,6 +38,16 @@
 // the events past the last fsync; a restart with the same --durable dir
 // replays the rest byte-identically.
 //
+// Disk exhaustion: --disk-low-bytes N arms a free-space watermark on the
+// durable directory's filesystem — below it the server enters an explicit
+// degraded-nondurable mode (journaling suspended, pushes acked DataLoss under
+// --fsync record, checkpoints refused typed) instead of tearing journal
+// writes at ENOSPC. Once free space climbs back over --disk-high-bytes
+// (default 2x the low watermark) for two consecutive ticks, durability
+// restores itself with a fresh checkpoint. The status verb reports
+// degraded=, events_not_journaled=, journal_sealed=, journal_wedged= and
+// disk_free= so operators and the chaos gauntlet can watch the transitions.
+//
 // TCP transport: --listen HOST:PORT serves the same verbs over per-connection
 // length-prefixed frames (src/srv/frame.h documents the wire format) through
 // a poll-driven accept loop — one request frame in, one response frame out,
@@ -381,6 +391,15 @@ int main(int argc, char** argv) {
   }
   durable.journal.segment_bytes = GetInt(args, "segment-bytes", 4 << 20);
   durable.keep_snapshots = GetInt(args, "keep-snapshots", 2);
+  // Disk-space watermarks: below --disk-low-bytes free the server enters
+  // degraded-nondurable mode (journaling suspended, pushes ack DataLoss under
+  // --fsync record) instead of tearing writes at ENOSPC; durability restores
+  // itself with a fresh checkpoint once free space clears --disk-high-bytes.
+  durable.disk_guard.low_watermark_bytes = atoll(
+      Get(args, "disk-low-bytes", "0").c_str());
+  durable.disk_guard.high_watermark_bytes = args.count("disk-high-bytes")
+      ? atoll(Get(args, "disk-high-bytes").c_str())
+      : durable.disk_guard.low_watermark_bytes * 2;
   const int checkpoint_every = GetInt(args, "checkpoint-every", 0);
 
   std::unique_ptr<srv::MatchServer> server;

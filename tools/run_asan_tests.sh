@@ -14,7 +14,7 @@ BUILD_DIR=build-asan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=address
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test io_test network_test hmm_test ch_test store_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test env_fault_test io_test network_test hmm_test ch_test store_test lhmm_serve lhmm_loadgen
 
 # ASan aborts with a non-zero exit on the first bad access, so a plain run is
 # the assertion. The suite leans on the paths where lifetimes are trickiest:
@@ -32,6 +32,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # zero-copy section views must never outlive their mapping — and the swap
 # gauntlet runs the full hot-swap/corrupt-reject/rollback protocol against
 # instrumented workers.
+# env_fault_test and the chaos gauntlet additionally run the io::Env
+# fault-injection plane under the sanitizer: scheduled ENOSPC/EMFILE
+# storms, seal-and-rotate journal repair, and the degraded-nondurable
+# state machine's enter/exit transitions.
 export ASAN_OPTIONS="halt_on_error=1:detect_stack_use_after_return=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
@@ -40,6 +44,7 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
 ./tests/frame_test
 ./tests/net_server_test
 ./tests/durability_test
+./tests/env_fault_test
 ./tests/io_test
 ./tests/network_test
 ./tests/hmm_test
@@ -56,6 +61,8 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
   --serve-bin ./tools/lhmm_serve --threads 2
 ./tests/store_test
 ./tools/lhmm_loadgen --swap-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
+./tools/lhmm_loadgen --chaos-gauntlet 1 \
   --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "ASan pass complete: no memory errors reported."

@@ -13,7 +13,7 @@ BUILD_DIR=build-tsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test network_test hmm_test ch_test store_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robustness_test serve_test frame_test net_server_test supervisor_test durability_test env_fault_test network_test hmm_test ch_test store_test lhmm_serve lhmm_loadgen
 
 # TSan halts with a non-zero exit on the first data race, so a plain run is
 # the assertion. batch_test covers the thread pool, the sharded route cache
@@ -40,6 +40,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target batch_test stream_test robust
 # threads and the supervision thread racing worker kills; store_test and the
 # swap gauntlet cover the RCU-style generation flip — client threads pushing
 # on pinned handles while the control path swaps and rolls back CURRENT.
+# env_fault_test and the chaos gauntlet additionally run the io::Env
+# fault-injection plane under the sanitizer: scheduled ENOSPC/EMFILE
+# storms, seal-and-rotate journal repair, and the degraded-nondurable
+# state machine's enter/exit transitions.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 cd "${BUILD_DIR}"
 ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDeterminism|StreamEngine" "$@"
@@ -48,6 +52,7 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
 ./tests/frame_test
 ./tests/net_server_test
 ./tests/durability_test
+./tests/env_fault_test
 ./tests/network_test
 ./tests/hmm_test
 ./tests/ch_test
@@ -63,6 +68,8 @@ ctest --output-on-failure -R "ThreadPool|ParallelFor|CachedRouter|BatchDetermini
   --serve-bin ./tools/lhmm_serve --threads 2
 ./tests/store_test
 ./tools/lhmm_loadgen --swap-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
+./tools/lhmm_loadgen --chaos-gauntlet 1 \
   --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "TSan pass complete: no data races reported."

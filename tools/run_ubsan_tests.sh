@@ -14,7 +14,7 @@ BUILD_DIR=build-ubsan
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "${BUILD_DIR}" -S . -DLHMM_SANITIZE=undefined
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test serve_test frame_test net_server_test supervisor_test ch_test store_test lhmm_serve lhmm_loadgen
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test durability_test env_fault_test serve_test frame_test net_server_test supervisor_test ch_test store_test lhmm_serve lhmm_loadgen
 
 # -fno-sanitize-recover=all makes the first UB finding abort, so a plain run
 # is the assertion. The suite leans on the paths where UB is likeliest: the
@@ -33,12 +33,17 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test hmm_test io_test du
 # store files (truncated headers, flipped bits, patched version fields) —
 # exactly where offset arithmetic against attacker-shaped lengths would trap —
 # and the swap gauntlet feeds the same corrupt candidates to live workers.
+# env_fault_test and the chaos gauntlet additionally run the io::Env
+# fault-injection plane under the sanitizer: scheduled ENOSPC/EMFILE
+# storms, seal-and-rotate journal repair, and the degraded-nondurable
+# state machine's enter/exit transitions.
 export UBSAN_OPTIONS="print_stacktrace=1"
 cd "${BUILD_DIR}"
 ./tests/core_test
 ./tests/hmm_test
 ./tests/io_test
 ./tests/durability_test
+./tests/env_fault_test
 ./tests/serve_test
 ./tests/frame_test
 ./tests/net_server_test
@@ -54,6 +59,8 @@ cd "${BUILD_DIR}"
   --serve-bin ./tools/lhmm_serve --threads 2
 ./tests/store_test
 ./tools/lhmm_loadgen --swap-gauntlet 1 --workers 3 \
+  --serve-bin ./tools/lhmm_serve --threads 2
+./tools/lhmm_loadgen --chaos-gauntlet 1 \
   --serve-bin ./tools/lhmm_serve --threads 2
 
 echo "UBSan pass complete: no undefined behavior reported."
